@@ -1,0 +1,97 @@
+/// Ablation A1: the invocation-count threshold of the dominant-function
+/// heuristic (Section IV). The paper requires >= 2p invocations and argues
+/// that max-inclusive-only selection degenerates to `main`. This bench
+/// sweeps the multiplier k (threshold k*p) on the three case studies and
+/// reports which function gets selected and how many segments per process
+/// the choice yields (0 segments/process = useless for variation analysis).
+
+#include <iostream>
+
+#include "analysis/dominant.hpp"
+#include "analysis/segments.hpp"
+#include "apps/cosmo_specs.hpp"
+#include "apps/cosmo_specs_fd4.hpp"
+#include "apps/wrf.hpp"
+#include "bench/bench_util.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+using namespace perfvar;
+
+void sweep(const std::string& name, const trace::Trace& tr,
+           bench::Verdict& verdict, const std::string& expectedAtTwo) {
+  bench::header("A1 threshold sweep: " + name);
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"k (threshold k*p)", "selected function", "invocations",
+                  "segments/process"});
+  const auto profile = profile::FlatProfile::build(tr);
+  std::string selectedAtTwo = "(none)";
+  for (const std::uint64_t k : {1, 2, 3, 4, 8}) {
+    analysis::DominantOptions opts;
+    opts.invocationMultiplier = k;
+    const auto sel = analysis::selectDominantFunction(tr, profile, opts);
+    if (!sel.hasDominant()) {
+      rows.push_back({std::to_string(k), "(none)", "-", "-"});
+      continue;
+    }
+    const auto f = sel.dominant().function;
+    const auto segments = analysis::extractSegments(tr, f);
+    const auto info = analysis::describeSegmentation(segments);
+    rows.push_back({std::to_string(k), tr.functions.name(f),
+                    std::to_string(sel.dominant().invocations),
+                    std::to_string(info.totalSegments / tr.processCount())});
+    if (k == 2) {
+      selectedAtTwo = tr.functions.name(f);
+      // The k=2 choice must segment the run (> 1 segment per process) -
+      // the property the paper's threshold is designed to guarantee.
+      verdict.check(name + ": k=2 yields >1 segment/process",
+                    info.totalSegments / tr.processCount() > 1);
+    }
+  }
+  std::cout << fmt::table(rows);
+  bench::paperRow("selected at k=2 (the paper's threshold)", expectedAtTwo,
+                  selectedAtTwo, selectedAtTwo == expectedAtTwo);
+  verdict.check(name + ": expected selection at k=2",
+                selectedAtTwo == expectedAtTwo);
+}
+
+}  // namespace
+
+int main() {
+  using namespace perfvar;
+  bench::Verdict verdict;
+
+  {
+    apps::CosmoSpecsConfig cfg;
+    cfg.gridX = 6;
+    cfg.gridY = 6;
+    cfg.timesteps = 20;
+    const auto s = apps::buildCosmoSpecs(cfg);
+    sweep("COSMO-SPECS", sim::simulate(s.program, s.simOptions), verdict,
+          "cosmo_specs_timestep");
+  }
+  {
+    apps::CosmoSpecsFd4Config cfg;
+    cfg.ranks = 16;
+    cfg.blocksX = 16;
+    cfg.blocksY = 16;
+    cfg.iterations = 8;
+    cfg.interruptRank = 3;
+    cfg.interruptIteration = 4;
+    const auto s = apps::buildCosmoSpecsFd4(cfg);
+    sweep("COSMO-SPECS+FD4", sim::simulate(s.program, s.simOptions), verdict,
+          "coupling_iteration");
+  }
+  {
+    apps::WrfConfig cfg;
+    cfg.gridX = 4;
+    cfg.gridY = 4;
+    cfg.timesteps = 15;
+    cfg.fpeRank = 9;
+    const auto s = apps::buildWrf(cfg);
+    sweep("WRF", sim::simulate(s.program, s.simOptions), verdict,
+          "wrf_timestep");
+  }
+  return verdict.exitCode();
+}

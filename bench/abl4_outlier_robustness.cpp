@@ -1,0 +1,127 @@
+/// Ablation A4: robustness of the hotspot scoring under measurement noise.
+/// A single interrupted invocation (8x one segment) is hidden in runs with
+/// increasing log-normal compute noise; reported per noise level: whether
+/// the robust (median/MAD) scoring still ranks the true (rank, iteration)
+/// first, and the score margin over the best false positive - compared
+/// against classic (mean/stddev) z-scoring.
+
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/sos.hpp"
+#include "analysis/variation.hpp"
+#include "bench/bench_util.hpp"
+#include "sim/program.hpp"
+#include "sim/simulator.hpp"
+#include "util/format.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace perfvar;
+
+constexpr std::uint32_t kRanks = 12;
+constexpr std::size_t kIters = 30;
+constexpr std::uint32_t kCulprit = 7;
+constexpr std::size_t kCulpritIter = 13;
+
+trace::Trace noisyRun(double sigma, std::uint64_t seed) {
+  sim::ProgramBuilder b(kRanks);
+  const auto fStep = b.function("step", "APP");
+  const auto fWork = b.function("work", "APP");
+  for (std::size_t i = 0; i < kIters; ++i) {
+    for (std::uint32_t r = 0; r < kRanks; ++r) {
+      b.enter(r, fStep);
+      sim::ComputeAttrs attrs;
+      if (r == kCulprit && i == kCulpritIter) {
+        attrs.osDelay = 7.0e-3;  // 8x the nominal segment
+      }
+      b.compute(r, fWork, 1.0e-3, attrs);
+      b.barrier(r);
+      b.leave(r, fStep);
+    }
+  }
+  sim::SimOptions opts;
+  opts.noise.sigma = sigma;
+  opts.noise.seed = seed;
+  return sim::simulate(b.finish(), opts);
+}
+
+}  // namespace
+
+int main() {
+  using namespace perfvar;
+  bench::Verdict verdict;
+  bench::header("A4: hotspot detection vs compute noise (10 seeds each)");
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"noise sigma", "robust hit rate", "robust margin",
+                  "classic hit rate", "classic margin"});
+  for (const double sigma : {0.0, 0.02, 0.05, 0.1, 0.2, 0.4}) {
+    int robustHits = 0;
+    int classicHits = 0;
+    double robustMargin = 0.0;
+    double classicMargin = 0.0;
+    constexpr int kSeeds = 10;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      const trace::Trace tr = noisyRun(sigma, 1000 + seed);
+      const auto fStep = *tr.functions.find("step");
+      const analysis::SosResult sos = analysis::analyzeSos(tr, fStep);
+
+      // Robust scoring via the library's variation analysis.
+      analysis::VariationOptions opts;
+      opts.outlierThreshold = 3.5;
+      const auto report = analyzeVariation(sos, opts);
+      if (!report.hotspots.empty() &&
+          report.hotspots[0].process == kCulprit &&
+          report.hotspots[0].iteration == kCulpritIter) {
+        ++robustHits;
+        const double second = report.hotspots.size() > 1
+                                  ? report.hotspots[1].globalZ
+                                  : opts.outlierThreshold;
+        robustMargin += report.hotspots[0].globalZ / second;
+      }
+
+      // Classic z-scoring over the same SOS values.
+      const auto flat = sos.allSosSeconds();
+      double bestZ = 0.0;
+      double secondZ = 0.0;
+      std::size_t bestIdx = 0;
+      for (std::size_t k = 0; k < flat.size(); ++k) {
+        const double z = stats::zScore(flat[k], flat);
+        if (z > bestZ) {
+          secondZ = bestZ;
+          bestZ = z;
+          bestIdx = k;
+        } else {
+          secondZ = std::max(secondZ, z);
+        }
+      }
+      const std::size_t bestProc = bestIdx / kIters;
+      const std::size_t bestIter = bestIdx % kIters;
+      if (bestProc == kCulprit && bestIter == kCulpritIter && bestZ > 3.5) {
+        ++classicHits;
+        classicMargin += secondZ > 0.0 ? bestZ / secondZ : bestZ;
+      }
+    }
+    rows.push_back({fmt::fixed(sigma, 2),
+                    std::to_string(robustHits) + "/" +
+                        std::to_string(kSeeds),
+                    robustHits ? fmt::fixed(robustMargin / robustHits, 1)
+                               : "-",
+                    std::to_string(classicHits) + "/" +
+                        std::to_string(kSeeds),
+                    classicHits ? fmt::fixed(classicMargin / classicHits, 1)
+                                : "-"});
+    if (sigma <= 0.2) {
+      verdict.check("robust scoring finds the hotspot at sigma " +
+                        fmt::fixed(sigma, 2),
+                    robustHits == 10);
+    }
+  }
+  std::cout << fmt::table(rows);
+  std::cout << "\n  shape: robust (median/MAD) scoring keeps a perfect hit "
+               "rate well past the\n  noise level where the margin of "
+               "classic z-scoring collapses.\n";
+  return verdict.exitCode();
+}

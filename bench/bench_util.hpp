@@ -1,0 +1,55 @@
+#ifndef PERFVAR_BENCH_BENCH_UTIL_HPP
+#define PERFVAR_BENCH_BENCH_UTIL_HPP
+
+/// \file bench_util.hpp
+/// Shared helpers of the figure-reproduction benches: section headers,
+/// paper-vs-measured rows, and an artifacts directory for renders.
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+namespace perfvar::bench {
+
+inline void header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+inline void paperRow(const std::string& what, const std::string& paper,
+                     const std::string& measured, bool ok) {
+  std::cout << "  " << what << ": paper=" << paper << " measured=" << measured
+            << (ok ? "  [OK]" : "  [MISMATCH]") << '\n';
+}
+
+/// Directory for rendered artifacts (created under the current working
+/// directory).
+inline std::string artifactsDir() {
+  const std::string dir = "artifacts";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+/// Track the overall verdict of a bench binary.
+class Verdict {
+public:
+  void check(const std::string& what, bool ok) {
+    if (!ok) {
+      ok_ = false;
+      std::cout << "  !! check failed: " << what << '\n';
+    }
+  }
+
+  int exitCode() const {
+    std::cout << (ok_ ? "\nALL SHAPE CHECKS PASSED\n"
+                      : "\nSOME SHAPE CHECKS FAILED\n");
+    return ok_ ? 0 : 1;
+  }
+
+private:
+  bool ok_ = true;
+};
+
+}  // namespace perfvar::bench
+
+#endif  // PERFVAR_BENCH_BENCH_UTIL_HPP

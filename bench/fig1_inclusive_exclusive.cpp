@@ -1,0 +1,35 @@
+/// Regenerates paper Figure 1: inclusive vs. exclusive time of a function
+/// invocation (foo [0,6] calling bar [2,4]).
+
+#include <iostream>
+
+#include "apps/paper_examples.hpp"
+#include "bench/bench_util.hpp"
+#include "profile/profile.hpp"
+
+int main() {
+  using namespace perfvar;
+  bench::Verdict verdict;
+
+  bench::header("Figure 1: inclusive vs. exclusive time");
+  const trace::Trace tr = apps::buildFigure1Trace();
+  const auto profile = profile::FlatProfile::build(tr);
+  const auto foo = *tr.functions.find("foo");
+  const auto bar = *tr.functions.find("bar");
+
+  const auto& fooStats = profile.aggregated(foo);
+  const auto& barStats = profile.aggregated(bar);
+  std::cout << "  trace: foo enters t=0, bar [2,4], foo leaves t=6\n";
+  bench::paperRow("inclusive(foo)", "6", std::to_string(fooStats.inclusive),
+                  fooStats.inclusive == 6);
+  bench::paperRow("exclusive(foo)", "4", std::to_string(fooStats.exclusive),
+                  fooStats.exclusive == 4);
+  bench::paperRow("inclusive(bar)", "2", std::to_string(barStats.inclusive),
+                  barStats.inclusive == 2);
+  verdict.check("inclusive(foo) == 6", fooStats.inclusive == 6);
+  verdict.check("exclusive(foo) == 4", fooStats.exclusive == 4);
+  verdict.check("inclusive(bar) == 2", barStats.inclusive == 2);
+
+  std::cout << "\n" << profile::formatTopFunctions(tr, profile, 5);
+  return verdict.exitCode();
+}

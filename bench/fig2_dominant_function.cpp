@@ -1,0 +1,59 @@
+/// Regenerates paper Figure 2: selection of the time-dominant function on
+/// the three-process main/i/a/b/c example. The paper's numbers: main has
+/// the highest aggregated inclusive time (54) but only p = 3 invocations;
+/// `a` has the second highest (36) with 9 >= 2p invocations and is selected.
+
+#include <iostream>
+
+#include "analysis/dominant.hpp"
+#include "apps/paper_examples.hpp"
+#include "bench/bench_util.hpp"
+#include "profile/profile.hpp"
+
+int main() {
+  using namespace perfvar;
+  bench::Verdict verdict;
+
+  bench::header("Figure 2: time-dominant function selection");
+  const trace::Trace tr = apps::buildFigure2Trace();
+  const auto profile = profile::FlatProfile::build(tr);
+  std::cout << profile::formatTopFunctions(tr, profile, 10) << '\n';
+
+  const auto fMain = *tr.functions.find("main");
+  const auto fA = *tr.functions.find("a");
+  bench::paperRow("aggregated inclusive(main)", "54",
+                  std::to_string(profile.aggregated(fMain).inclusive),
+                  profile.aggregated(fMain).inclusive == 54);
+  bench::paperRow("invocations(main)", "3 (= p)",
+                  std::to_string(profile.aggregated(fMain).invocations),
+                  profile.aggregated(fMain).invocations == 3);
+  bench::paperRow("aggregated inclusive(a)", "36",
+                  std::to_string(profile.aggregated(fA).inclusive),
+                  profile.aggregated(fA).inclusive == 36);
+  bench::paperRow("invocations(a)", "9 (>= 2p = 6)",
+                  std::to_string(profile.aggregated(fA).invocations),
+                  profile.aggregated(fA).invocations == 9);
+
+  const analysis::DominantSelection sel =
+      analysis::selectDominantFunction(tr, profile);
+  std::cout << '\n' << analysis::formatSelection(tr, sel);
+  const bool aSelected =
+      sel.hasDominant() && sel.dominant().function == fA;
+  const bool mainRejected =
+      !sel.rejectedTopLevel.empty() &&
+      sel.rejectedTopLevel.front().function == fMain;
+  bench::paperRow("selected dominant function", "a",
+                  sel.hasDominant() ? tr.functions.name(
+                                          sel.dominant().function)
+                                    : "(none)",
+                  aSelected);
+  bench::paperRow("rejected despite max inclusive time", "main",
+                  mainRejected ? "main" : "(none)", mainRejected);
+
+  verdict.check("a selected", aSelected);
+  verdict.check("main rejected", mainRejected);
+  verdict.check("main inclusive 54",
+                profile.aggregated(fMain).inclusive == 54);
+  verdict.check("a inclusive 36", profile.aggregated(fA).inclusive == 36);
+  return verdict.exitCode();
+}

@@ -1,0 +1,306 @@
+/// Library performance microbenchmarks (google-benchmark): throughput of
+/// every pipeline stage, the trace substrate, the simulator and the
+/// balancer. These quantify that the analysis is "lightweight" (paper
+/// Section VIII) - a full dominant+SOS+variation pass costs a small
+/// multiple of reading the trace.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "analysis/overlay.hpp"
+#include "analysis/patterns.hpp"
+#include "analysis/pipeline.hpp"
+#include "analysis/streaming.hpp"
+#include "apps/cosmo_specs.hpp"
+#include "balance/fd4.hpp"
+#include "balance/hilbert.hpp"
+#include "balance/partition.hpp"
+#include "profile/calltree.hpp"
+#include "profile/profile.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/builder.hpp"
+#include "trace/replay.hpp"
+#include "trace/text_io.hpp"
+#include "vis/heatmap.hpp"
+#include "vis/timeline.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace perfvar;
+
+/// Shared synthetic workload: `ranks` x `iters` iterative trace.
+trace::Trace makeTrace(std::size_t ranks, std::size_t iters) {
+  apps::CosmoSpecsConfig cfg;
+  cfg.gridX = static_cast<std::uint32_t>(ranks >= 4 ? 4 : ranks);
+  cfg.gridY = static_cast<std::uint32_t>(ranks / cfg.gridX);
+  cfg.timesteps = iters;
+  cfg.noiseSigma = 0.02;
+  const auto scenario = apps::buildCosmoSpecs(cfg);
+  return sim::simulate(scenario.program, scenario.simOptions);
+}
+
+const trace::Trace& sharedTrace() {
+  static const trace::Trace tr = makeTrace(16, 50);
+  return tr;
+}
+
+void BM_TraceBuild(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    trace::TraceBuilder b(1);
+    const auto f = b.defineFunction("f");
+    for (std::size_t i = 0; i < events / 2; ++i) {
+      b.enter(0, 2 * i, f);
+      b.leave(0, 2 * i + 1, f);
+    }
+    benchmark::DoNotOptimize(b.finish());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_TraceBuild)->Arg(1000)->Arg(100000);
+
+void BM_BinaryWrite(benchmark::State& state) {
+  const trace::Trace& tr = sharedTrace();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream os;
+    trace::writeBinary(tr, os);
+    bytes = os.str().size();
+    benchmark::DoNotOptimize(os);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  state.counters["events"] = static_cast<double>(tr.eventCount());
+}
+BENCHMARK(BM_BinaryWrite);
+
+void BM_BinaryRead(benchmark::State& state) {
+  std::ostringstream os;
+  trace::writeBinary(sharedTrace(), os);
+  const std::string bytes = os.str();
+  for (auto _ : state) {
+    std::istringstream is(bytes);
+    benchmark::DoNotOptimize(trace::readBinary(is));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_BinaryRead);
+
+void BM_TextWrite(benchmark::State& state) {
+  const trace::Trace& tr = sharedTrace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::toText(tr));
+  }
+}
+BENCHMARK(BM_TextWrite);
+
+void BM_Replay(benchmark::State& state) {
+  const trace::Trace& tr = sharedTrace();
+  for (auto _ : state) {
+    std::size_t frames = 0;
+    for (const auto& proc : tr.processes) {
+      trace::ReplayVisitor v;
+      v.onLeave = [&](const trace::Frame&) { ++frames; };
+      trace::replayProcess(proc, v);
+    }
+    benchmark::DoNotOptimize(frames);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(
+                              sharedTrace().eventCount()));
+}
+BENCHMARK(BM_Replay);
+
+void BM_FlatProfile(benchmark::State& state) {
+  const trace::Trace& tr = sharedTrace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile::FlatProfile::build(tr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tr.eventCount()));
+}
+BENCHMARK(BM_FlatProfile);
+
+void BM_CallTree(benchmark::State& state) {
+  const trace::Trace& tr = sharedTrace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile::CallTree::buildMerged(tr));
+  }
+}
+BENCHMARK(BM_CallTree);
+
+void BM_DominantSelection(benchmark::State& state) {
+  const trace::Trace& tr = sharedTrace();
+  const auto profile = profile::FlatProfile::build(tr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::selectDominantFunction(tr, profile));
+  }
+}
+BENCHMARK(BM_DominantSelection);
+
+void BM_SosAnalysis(benchmark::State& state) {
+  const trace::Trace& tr = sharedTrace();
+  const auto selection = analysis::selectDominantFunction(tr);
+  const auto f = selection.dominant().function;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyzeSos(tr, f));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tr.eventCount()));
+}
+BENCHMARK(BM_SosAnalysis);
+
+void BM_VariationReport(benchmark::State& state) {
+  const trace::Trace& tr = sharedTrace();
+  const auto selection = analysis::selectDominantFunction(tr);
+  const auto sos = analysis::analyzeSos(tr, selection.dominant().function);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyzeVariation(sos));
+  }
+}
+BENCHMARK(BM_VariationReport);
+
+void BM_FullPipeline(benchmark::State& state) {
+  const trace::Trace tr = makeTrace(16, static_cast<std::size_t>(
+                                            state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyzeTrace(tr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tr.eventCount()));
+}
+BENCHMARK(BM_FullPipeline)->Arg(20)->Arg(100);
+
+void BM_OverlaySample(benchmark::State& state) {
+  const trace::Trace& tr = sharedTrace();
+  const auto selection = analysis::selectDominantFunction(tr);
+  const auto sos = analysis::analyzeSos(tr, selection.dominant().function);
+  const auto overlay = analysis::MetricOverlay::build(sos);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(overlay.sampleGrid(900));
+  }
+}
+BENCHMARK(BM_OverlaySample);
+
+void BM_HeatmapRender(benchmark::State& state) {
+  const trace::Trace& tr = sharedTrace();
+  const auto selection = analysis::selectDominantFunction(tr);
+  const auto sos = analysis::analyzeSos(tr, selection.dominant().function);
+  const auto matrix = sos.sosMatrixSeconds();
+  vis::HeatmapOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vis::renderHeatmapImage(matrix, opts));
+  }
+}
+BENCHMARK(BM_HeatmapRender);
+
+void BM_TimelineBins(benchmark::State& state) {
+  const trace::Trace& tr = sharedTrace();
+  vis::TimelineOptions opts;
+  opts.bins = 900;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vis::timelineBins(tr, opts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tr.eventCount()));
+}
+BENCHMARK(BM_TimelineBins);
+
+void BM_HilbertIndex(benchmark::State& state) {
+  const balance::HilbertCurve curve(10);
+  std::uint64_t acc = 0;
+  std::uint32_t x = 1;
+  for (auto _ : state) {
+    x = (x * 2654435761u) % curve.side();
+    acc += curve.toIndex(x, (x * 7) % curve.side());
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_HilbertIndex);
+
+void BM_PartitionOptimal(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> weights(static_cast<std::size_t>(state.range(0)));
+  for (auto& w : weights) {
+    w = rng.uniform(0.1, 10.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(balance::partitionOptimal(weights, 64));
+  }
+}
+BENCHMARK(BM_PartitionOptimal)->Arg(1600)->Arg(16384);
+
+void BM_Fd4Update(benchmark::State& state) {
+  balance::Fd4Balancer balancer(40, 40, 200);
+  Rng rng(6);
+  std::vector<double> weights(1600);
+  for (auto _ : state) {
+    for (auto& w : weights) {
+      w = rng.uniform(0.1, 5.0);
+    }
+    benchmark::DoNotOptimize(balancer.update(weights));
+  }
+}
+BENCHMARK(BM_Fd4Update);
+
+void BM_StreamingSos(benchmark::State& state) {
+  const trace::Trace& tr = sharedTrace();
+  const auto selection = analysis::selectDominantFunction(tr);
+  const auto f = selection.dominant().function;
+  for (auto _ : state) {
+    analysis::StreamingSos analyzer(tr, f);
+    analysis::StreamingSos::replay(tr, analyzer);
+    benchmark::DoNotOptimize(analyzer.segmentsCompleted());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tr.eventCount()));
+}
+BENCHMARK(BM_StreamingSos);
+
+void BM_WaitStateSearch(benchmark::State& state) {
+  const trace::Trace& tr = sharedTrace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::findWaitStates(tr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tr.eventCount()));
+}
+BENCHMARK(BM_WaitStateSearch);
+
+void BM_WindowSos(benchmark::State& state) {
+  const trace::Trace& tr = sharedTrace();
+  const trace::Timestamp window =
+      (tr.endTime() - tr.startTime()) / 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyzeSosWindows(tr, window));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tr.eventCount()));
+}
+BENCHMARK(BM_WindowSos);
+
+void BM_Simulator(benchmark::State& state) {
+  apps::CosmoSpecsConfig cfg;
+  cfg.gridX = 8;
+  cfg.gridY = 8;
+  cfg.timesteps = 20;
+  const auto scenario = apps::buildCosmoSpecs(cfg);
+  std::size_t events = 0;
+  for (auto _ : state) {
+    sim::SimReport report;
+    benchmark::DoNotOptimize(
+        sim::simulate(scenario.program, scenario.simOptions, &report));
+    events = report.events;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_Simulator);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,186 @@
+/// \file trace_tool.cpp
+/// Command-line utility around the trace substrate:
+///
+///   trace_tool generate <scenario> <out.pvt>   write a case-study trace
+///   trace_tool stats <in.pvt>                  print trace statistics
+///   trace_tool validate <in.pvt>               structural validation
+///   trace_tool profile <in.pvt>                top functions by time
+///   trace_tool analyze <in.pvt>                full variation analysis
+///   trace_tool dump <in.pvt>                   PVTX text dump to stdout
+///   trace_tool slice <in.pvt> <out.pvt> <startSec> <endSec>
+///   trace_tool export-json <in.pvt>            analysis as JSON to stdout
+///   trace_tool export-csv <in.pvt>             SOS matrix CSV to stdout
+///   trace_tool archive <in.pvt> <dir>          write a PVTA archive
+///   trace_tool unarchive <dir> <out.pvt>       assemble an archive
+///
+/// Scenarios: cosmo-specs | cosmo-specs-fd4 | wrf.
+/// Without arguments, a self-contained demo runs (generate + analyze a
+/// temporary COSMO-SPECS trace).
+
+#include <iostream>
+#include <string>
+
+#include "analysis/export.hpp"
+#include "analysis/pipeline.hpp"
+#include "apps/cosmo_specs.hpp"
+#include "apps/cosmo_specs_fd4.hpp"
+#include "apps/wrf.hpp"
+#include "profile/profile.hpp"
+#include "trace/archive.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/filter.hpp"
+#include "trace/stats.hpp"
+#include "trace/text_io.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace perfvar;
+
+trace::Trace generateScenario(const std::string& name) {
+  if (name == "cosmo-specs") {
+    const auto s = apps::buildCosmoSpecs();
+    return sim::simulate(s.program, s.simOptions);
+  }
+  if (name == "cosmo-specs-fd4") {
+    const auto s = apps::buildCosmoSpecsFd4();
+    return sim::simulate(s.program, s.simOptions);
+  }
+  if (name == "wrf") {
+    const auto s = apps::buildWrf();
+    return sim::simulate(s.program, s.simOptions);
+  }
+  throw Error("unknown scenario '" + name +
+              "' (expected cosmo-specs | cosmo-specs-fd4 | wrf)");
+}
+
+int usage() {
+  std::cout <<
+      "usage: trace_tool <command> [args]\n"
+      "  generate <scenario> <out.pvt>  scenario: cosmo-specs |\n"
+      "                                 cosmo-specs-fd4 | wrf\n"
+      "  stats <in.pvt>                 trace statistics\n"
+      "  validate <in.pvt>              structural validation\n"
+      "  profile <in.pvt>               flat profile (top 20)\n"
+      "  analyze <in.pvt>               dominant function + SOS analysis\n"
+      "  dump <in.pvt>                  PVTX text dump\n"
+      "  slice <in.pvt> <out.pvt> <startSec> <endSec>\n"
+      "  export-json <in.pvt>           analysis as JSON\n"
+      "  export-csv <in.pvt>            SOS matrix as CSV\n"
+      "  archive <in.pvt> <dir>         write a PVTA archive\n"
+      "  unarchive <dir> <out.pvt>      assemble an archive\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) {
+      // Demo mode: exercise the full round trip on a small scenario.
+      std::cout << "(no arguments: running the self-contained demo)\n\n";
+      apps::CosmoSpecsConfig cfg;
+      cfg.gridX = 4;
+      cfg.gridY = 4;
+      cfg.timesteps = 20;
+      const auto scenario = apps::buildCosmoSpecs(cfg);
+      const trace::Trace tr =
+          sim::simulate(scenario.program, scenario.simOptions);
+      const std::string path = "trace_tool_demo.pvt";
+      trace::saveBinaryFile(tr, path);
+      const trace::Trace loaded = trace::loadBinaryFile(path);
+      std::cout << trace::formatStats(trace::computeStats(loaded)) << '\n';
+      const auto result = analysis::analyzeTrace(loaded);
+      std::cout << analysis::formatAnalysis(loaded, result);
+      std::cout << "\nwrote " << path << "; try: trace_tool analyze " << path
+                << '\n';
+      return 0;
+    }
+
+    const std::string cmd = argv[1];
+    if (cmd == "generate") {
+      if (argc != 4) {
+        return usage();
+      }
+      const trace::Trace tr = generateScenario(argv[2]);
+      trace::saveBinaryFile(tr, argv[3]);
+      std::cout << "wrote " << argv[3] << " ("
+                << trace::computeStats(tr).eventCount << " events)\n";
+      return 0;
+    }
+    if (cmd == "slice") {
+      if (argc != 6) {
+        return usage();
+      }
+      const trace::Trace tr = trace::loadBinaryFile(argv[2]);
+      const double startSec = std::stod(argv[4]);
+      const double endSec = std::stod(argv[5]);
+      const trace::Trace sliced = trace::sliceTime(
+          tr, trace::secondsToTicks(startSec, tr.resolution),
+          trace::secondsToTicks(endSec, tr.resolution));
+      trace::saveBinaryFile(sliced, argv[3]);
+      std::cout << "wrote " << argv[3] << " (" << sliced.eventCount()
+                << " of " << tr.eventCount() << " events)\n";
+      return 0;
+    }
+    if (cmd == "archive") {
+      if (argc != 4) {
+        return usage();
+      }
+      const trace::Trace tr = trace::loadBinaryFile(argv[2]);
+      trace::saveArchive(tr, argv[3]);
+      std::cout << "wrote PVTA archive " << argv[3] << " ("
+                << tr.processCount() << " rank files)\n";
+      return 0;
+    }
+    if (cmd == "unarchive") {
+      if (argc != 4) {
+        return usage();
+      }
+      const trace::Trace tr = trace::loadArchive(argv[2]);
+      trace::saveBinaryFile(tr, argv[3]);
+      std::cout << "wrote " << argv[3] << " (" << tr.eventCount()
+                << " events)\n";
+      return 0;
+    }
+    if (argc != 3) {
+      return usage();
+    }
+    const trace::Trace tr = trace::loadBinaryFile(argv[2]);
+    if (cmd == "stats") {
+      std::cout << trace::formatStats(trace::computeStats(tr));
+    } else if (cmd == "validate") {
+      const auto issues = trace::validate(tr);
+      if (issues.empty()) {
+        std::cout << "trace is structurally valid\n";
+      } else {
+        for (const auto& issue : issues) {
+          std::cout << "process " << issue.process << ", event "
+                    << issue.eventIndex << ": " << issue.message << '\n';
+        }
+        return 1;
+      }
+    } else if (cmd == "profile") {
+      const auto profile = profile::FlatProfile::build(tr);
+      std::cout << profile::formatTopFunctions(tr, profile, 20);
+    } else if (cmd == "analyze") {
+      const auto result = analysis::analyzeTrace(tr);
+      std::cout << analysis::formatAnalysis(tr, result);
+    } else if (cmd == "dump") {
+      trace::writeText(tr, std::cout);
+    } else if (cmd == "export-json") {
+      const auto result = analysis::analyzeTrace(tr);
+      analysis::writeAnalysisJson(tr, result.selection, *result.sos,
+                                  result.variation, std::cout);
+    } else if (cmd == "export-csv") {
+      const auto result = analysis::analyzeTrace(tr);
+      analysis::writeSosMatrixCsv(*result.sos, std::cout);
+    } else {
+      return usage();
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "trace_tool: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,96 @@
+#include "analysis/baselines.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace perfvar::analysis {
+
+std::size_t DetectionOutcome::rankOf(trace::ProcessId process) const {
+  for (std::size_t i = 0; i < rankedProcesses.size(); ++i) {
+    if (rankedProcesses[i] == process) {
+      return i;
+    }
+  }
+  return rankedProcesses.size();
+}
+
+double DetectionOutcome::topSeparation() const {
+  if (scores.size() < 3) {
+    return 0.0;
+  }
+  const std::vector<double> rest(scores.begin() + 1, scores.end());
+  return stats::robustZ(scores.front(), rest);
+}
+
+namespace {
+
+DetectionOutcome rankProcesses(std::string method,
+                               const std::vector<double>& scoreByProcess) {
+  DetectionOutcome out;
+  out.method = std::move(method);
+  std::vector<trace::ProcessId> order(scoreByProcess.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](trace::ProcessId a, trace::ProcessId b) {
+              if (scoreByProcess[a] != scoreByProcess[b]) {
+                return scoreByProcess[a] > scoreByProcess[b];
+              }
+              return a < b;
+            });
+  out.rankedProcesses = order;
+  out.scores.reserve(order.size());
+  for (const auto p : order) {
+    out.scores.push_back(scoreByProcess[p]);
+  }
+  return out;
+}
+
+}  // namespace
+
+DetectionOutcome detectByProfile(const trace::Trace& tr,
+                                 const SyncClassifier& classifier) {
+  const auto profile = profile::FlatProfile::build(tr);
+  std::vector<bool> keep = classifier.mask(tr);
+  keep.flip();  // keep everything that is NOT synchronization
+  const auto exclusive = profile.exclusiveTimePerProcess(keep);
+  std::vector<double> scores(exclusive.size());
+  for (std::size_t p = 0; p < exclusive.size(); ++p) {
+    scores[p] = tr.toSeconds(exclusive[p]);
+  }
+  return rankProcesses("profile-only", scores);
+}
+
+DetectionOutcome outcomeFromSos(const SosResult& sos,
+                                const std::string& name) {
+  DetectionOutcome out = rankProcesses(name, sos.totalSosPerProcess());
+  const VariationReport report = analyzeVariation(sos);
+  if (!report.hotspots.empty()) {
+    out.suspiciousIteration = report.hotspots.front().iteration;
+  } else if (!report.iterations.empty()) {
+    const auto it = std::max_element(
+        report.iterations.begin(), report.iterations.end(),
+        [](const IterationStats& a, const IterationStats& b) {
+          return a.meanSos < b.meanSos;
+        });
+    out.suspiciousIteration = it->iteration;
+  }
+  return out;
+}
+
+DetectionOutcome detectBySegmentDuration(const trace::Trace& tr,
+                                         trace::FunctionId segmentFunction) {
+  const SosResult durations = analyzeSegmentDurations(tr, segmentFunction);
+  return outcomeFromSos(durations, "segment-duration");
+}
+
+DetectionOutcome detectBySos(const trace::Trace& tr,
+                             trace::FunctionId segmentFunction,
+                             const SyncClassifier& classifier) {
+  const SosResult sos = analyzeSos(tr, segmentFunction, classifier);
+  return outcomeFromSos(sos, "sos-time");
+}
+
+}  // namespace perfvar::analysis

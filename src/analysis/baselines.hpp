@@ -1,0 +1,70 @@
+#ifndef PERFVAR_ANALYSIS_BASELINES_HPP
+#define PERFVAR_ANALYSIS_BASELINES_HPP
+
+/// \file baselines.hpp
+/// Baseline detectors the paper compares against (implicitly or in its
+/// related-work discussion), used by the ablation benches:
+///
+///  * ProfileOnlyDetector — the aggregated-profile view of TAU/HPCToolkit:
+///    ranks processes by total exclusive compute time. It has no temporal
+///    dimension, so transient problems (one interrupted invocation out of
+///    thousands) are diluted and iterations cannot be localized.
+///  * SegmentDurationDetector — segment durations without synchronization
+///    subtraction (Section V's strawman): detects *when* iterations are
+///    slow but, because barriers equalize durations, usually cannot tell
+///    *which process* is responsible.
+///
+/// Both expose the same DetectionOutcome so benches can score them against
+/// the full SOS analysis with a common metric (localization rank).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/sos.hpp"
+#include "analysis/variation.hpp"
+#include "profile/profile.hpp"
+
+namespace perfvar::analysis {
+
+/// Common outcome of a detector: processes ranked most-suspicious first,
+/// plus (if the method has a temporal dimension) the most suspicious
+/// iteration.
+struct DetectionOutcome {
+  std::string method;
+  std::vector<trace::ProcessId> rankedProcesses;
+  std::vector<double> scores;  ///< aligned with rankedProcesses
+  std::optional<std::size_t> suspiciousIteration;
+
+  /// 0-based rank of `process` in rankedProcesses (worst = 0);
+  /// rankedProcesses.size() if absent.
+  std::size_t rankOf(trace::ProcessId process) const;
+
+  /// Separation of the top process' score from the remaining population:
+  /// robust z of scores[0] against scores[1..]. Higher = clearer signal.
+  double topSeparation() const;
+};
+
+/// Profile-only baseline: rank processes by total exclusive time of
+/// non-synchronization functions.
+DetectionOutcome detectByProfile(const trace::Trace& trace,
+                                 const SyncClassifier& classifier = {});
+
+/// Segment-duration baseline: rank processes by total segment duration;
+/// the suspicious iteration is the one with the slowest mean duration.
+DetectionOutcome detectBySegmentDuration(const trace::Trace& trace,
+                                         trace::FunctionId segmentFunction);
+
+/// Full method of the paper: rank processes by total SOS-time; the
+/// suspicious iteration is the one holding the top hotspot (falling back
+/// to the slowest mean SOS iteration).
+DetectionOutcome detectBySos(const trace::Trace& trace,
+                             trace::FunctionId segmentFunction,
+                             const SyncClassifier& classifier = {});
+
+/// Build the outcome from an existing SOS result (avoids re-analysis).
+DetectionOutcome outcomeFromSos(const SosResult& sos, const std::string& name);
+
+}  // namespace perfvar::analysis
+
+#endif  // PERFVAR_ANALYSIS_BASELINES_HPP

@@ -1,0 +1,236 @@
+#include "analysis/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/stats.hpp"
+
+namespace perfvar::analysis {
+
+namespace {
+
+struct Point {
+  double sos = 0.0;   // normalized
+  double rate = 0.0;  // normalized (0 when no rate metric)
+  std::size_t process = 0;
+  std::size_t index = 0;
+  double rawSos = 0.0;
+  double rawRate = 0.0;
+};
+
+double sq(double v) {
+  return v * v;
+}
+
+/// Min-max normalize one feature across all points (degenerate -> 0.5).
+void normalizeFeature(std::vector<Point>& points, double Point::* raw,
+                      double Point::* norm) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const Point& pt : points) {
+    lo = std::min(lo, pt.*raw);
+    hi = std::max(hi, pt.*raw);
+  }
+  for (Point& pt : points) {
+    pt.*norm = hi > lo ? (pt.*raw - lo) / (hi - lo) : 0.5;
+  }
+}
+
+}  // namespace
+
+std::uint32_t ClusterResult::slowestCluster() const {
+  PERFVAR_REQUIRE(!clusters.empty(), "empty clustering");
+  std::uint32_t best = 0;
+  for (std::uint32_t c = 1; c < clusters.size(); ++c) {
+    if (clusters[c].meanSos > clusters[best].meanSos) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+double ClusterResult::fraction(std::uint32_t cluster) const {
+  PERFVAR_REQUIRE(cluster < clusters.size(), "invalid cluster id");
+  std::size_t total = 0;
+  for (const auto& info : clusters) {
+    total += info.size;
+  }
+  return total > 0 ? static_cast<double>(clusters[cluster].size) /
+                         static_cast<double>(total)
+                   : 0.0;
+}
+
+ClusterResult clusterSegments(const SosResult& sos,
+                              const ClusterOptions& options) {
+  PERFVAR_REQUIRE(options.clusters >= 1, "need at least one cluster");
+  const auto& tr = sos.trace();
+  const double res = static_cast<double>(tr.resolution);
+
+  // Collect feature points.
+  std::vector<Point> points;
+  for (std::size_t p = 0; p < sos.processCount(); ++p) {
+    const auto& per = sos.process(static_cast<trace::ProcessId>(p));
+    for (std::size_t i = 0; i < per.size(); ++i) {
+      Point pt;
+      pt.process = p;
+      pt.index = i;
+      pt.rawSos = static_cast<double>(per[i].sosTime) / res;
+      if (options.rateMetric) {
+        PERFVAR_REQUIRE(*options.rateMetric < tr.metrics.size(),
+                        "invalid rate metric");
+        const double duration =
+            static_cast<double>(per[i].segment.inclusive()) / res;
+        const double delta =
+            *options.rateMetric < per[i].metricDelta.size()
+                ? per[i].metricDelta[*options.rateMetric]
+                : 0.0;
+        pt.rawRate = duration > 0.0 ? delta / duration : 0.0;
+      }
+      points.push_back(pt);
+    }
+  }
+  PERFVAR_REQUIRE(points.size() >= options.clusters,
+                  "fewer segments than clusters");
+
+  normalizeFeature(points, &Point::rawSos, &Point::sos);
+  if (options.rateMetric) {
+    normalizeFeature(points, &Point::rawRate, &Point::rate);
+  }
+
+  // Deterministic seeding: centroids at the SOS-feature quantiles.
+  const std::size_t k = options.clusters;
+  std::vector<double> sosValues;
+  sosValues.reserve(points.size());
+  for (const Point& pt : points) {
+    sosValues.push_back(pt.sos);
+  }
+  std::vector<double> rateValues;
+  if (options.rateMetric) {
+    rateValues.reserve(points.size());
+    for (const Point& pt : points) {
+      rateValues.push_back(pt.rate);
+    }
+  }
+  std::vector<double> centroidSos(k);
+  std::vector<double> centroidRate(k, 0.5);
+  for (std::size_t c = 0; c < k; ++c) {
+    const double q = k > 1 ? static_cast<double>(c) /
+                                 static_cast<double>(k - 1)
+                           : 0.5;
+    centroidSos[c] = stats::quantile(sosValues, q);
+    if (options.rateMetric) {
+      // Spread the second feature as well; otherwise identical seeds
+      // collapse all points into one cluster when SOS is constant.
+      centroidRate[c] = stats::quantile(rateValues, q);
+    }
+  }
+
+  // Lloyd iterations.
+  std::vector<std::uint32_t> label(points.size(), 0);
+  std::size_t iterations = 0;
+  for (; iterations < options.maxIterations; ++iterations) {
+    bool changed = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::uint32_t bestC = 0;
+      for (std::uint32_t c = 0; c < k; ++c) {
+        const double d = sq(points[i].sos - centroidSos[c]) +
+                         sq(points[i].rate - centroidRate[c]);
+        if (d < best) {
+          best = d;
+          bestC = c;
+        }
+      }
+      if (label[i] != bestC) {
+        label[i] = bestC;
+        changed = true;
+      }
+    }
+    if (!changed && iterations > 0) {
+      break;
+    }
+    // Recompute centroids; empty clusters keep their position.
+    std::vector<double> sumSos(k, 0.0);
+    std::vector<double> sumRate(k, 0.0);
+    std::vector<std::size_t> count(k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      sumSos[label[i]] += points[i].sos;
+      sumRate[label[i]] += points[i].rate;
+      ++count[label[i]];
+    }
+    for (std::uint32_t c = 0; c < k; ++c) {
+      if (count[c] > 0) {
+        centroidSos[c] = sumSos[c] / static_cast<double>(count[c]);
+        centroidRate[c] = sumRate[c] / static_cast<double>(count[c]);
+      }
+    }
+  }
+
+  // Relabel clusters by ascending mean raw SOS for a stable presentation.
+  std::vector<double> meanRaw(k, 0.0);
+  std::vector<std::size_t> count(k, 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    meanRaw[label[i]] += points[i].rawSos;
+    ++count[label[i]];
+  }
+  for (std::uint32_t c = 0; c < k; ++c) {
+    meanRaw[c] = count[c] > 0 ? meanRaw[c] / static_cast<double>(count[c])
+                              : std::numeric_limits<double>::infinity();
+  }
+  std::vector<std::uint32_t> order(k);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return meanRaw[a] < meanRaw[b];
+  });
+  std::vector<std::uint32_t> newLabel(k);
+  for (std::uint32_t rank = 0; rank < k; ++rank) {
+    newLabel[order[rank]] = rank;
+  }
+
+  ClusterResult result;
+  result.iterations = iterations;
+  result.assignment.resize(sos.processCount());
+  for (std::size_t p = 0; p < sos.processCount(); ++p) {
+    result.assignment[p].resize(
+        sos.process(static_cast<trace::ProcessId>(p)).size());
+  }
+  result.clusters.resize(k);
+  for (std::uint32_t rank = 0; rank < k; ++rank) {
+    const std::uint32_t old = order[rank];
+    result.clusters[rank].centroidSos = centroidSos[old];
+    result.clusters[rank].centroidRate = centroidRate[old];
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::uint32_t c = newLabel[label[i]];
+    result.assignment[points[i].process][points[i].index] = c;
+    auto& info = result.clusters[c];
+    ++info.size;
+    info.meanSos += points[i].rawSos;
+    info.meanRate += points[i].rawRate;
+  }
+  for (auto& info : result.clusters) {
+    if (info.size > 0) {
+      info.meanSos /= static_cast<double>(info.size);
+      info.meanRate /= static_cast<double>(info.size);
+    }
+  }
+  return result;
+}
+
+std::string formatClusters(const ClusterResult& result) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"cluster", "segments", "share", "mean SOS", "mean rate"});
+  for (std::size_t c = 0; c < result.clusters.size(); ++c) {
+    const auto& info = result.clusters[c];
+    rows.push_back({std::to_string(c), std::to_string(info.size),
+                    fmt::percent(result.fraction(static_cast<std::uint32_t>(c))),
+                    fmt::seconds(info.meanSos), fmt::fixed(info.meanRate, 3)});
+  }
+  return fmt::table(rows);
+}
+
+}  // namespace perfvar::analysis

@@ -1,0 +1,67 @@
+#ifndef PERFVAR_ANALYSIS_CLUSTER_HPP
+#define PERFVAR_ANALYSIS_CLUSTER_HPP
+
+/// \file cluster.hpp
+/// Computation-phase clustering (the Paraver-style baseline).
+///
+/// The paper's related work discusses an extension of the Paraver suite
+/// (Gonzalez et al., IPDPS 2009) that clusters computation phases by
+/// performance characteristics, and notes its limitation: "it does not
+/// highlight individual variations within processes". This module
+/// implements that approach - k-means over per-segment feature vectors
+/// (SOS-time, optionally a counter rate) - so the benches can compare it
+/// against the SOS hotspot analysis on equal footing.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/sos.hpp"
+
+namespace perfvar::analysis {
+
+/// Options of the segment clustering.
+struct ClusterOptions {
+  std::size_t clusters = 3;
+  /// Optional counter: the second feature dimension becomes
+  /// metricDelta / segment duration (a rate, like instructions/second).
+  std::optional<trace::MetricId> rateMetric;
+  std::size_t maxIterations = 100;
+};
+
+/// Statistics of one cluster.
+struct ClusterInfo {
+  std::size_t size = 0;
+  double meanSos = 0.0;       ///< seconds
+  double meanRate = 0.0;      ///< only meaningful with rateMetric
+  double centroidSos = 0.0;   ///< in normalized feature space
+  double centroidRate = 0.0;
+};
+
+/// Result of clustering all segments of an SOS analysis.
+struct ClusterResult {
+  /// assignment[process][segmentIndex] = cluster id.
+  std::vector<std::vector<std::uint32_t>> assignment;
+  std::vector<ClusterInfo> clusters;  ///< ordered by ascending mean SOS
+  std::size_t iterations = 0;
+
+  /// Cluster id with the highest mean SOS (the "slow phase").
+  std::uint32_t slowestCluster() const;
+
+  /// Fraction of all segments assigned to `cluster`.
+  double fraction(std::uint32_t cluster) const;
+};
+
+/// Cluster the segments of an SOS analysis with deterministic
+/// (quantile-seeded) k-means. Throws if there are fewer segments than
+/// clusters.
+ClusterResult clusterSegments(const SosResult& sos,
+                              const ClusterOptions& options = {});
+
+/// Render a summary table of the clustering.
+std::string formatClusters(const ClusterResult& result);
+
+}  // namespace perfvar::analysis
+
+#endif  // PERFVAR_ANALYSIS_CLUSTER_HPP

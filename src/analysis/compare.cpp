@@ -1,0 +1,99 @@
+#include "analysis/compare.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/stats.hpp"
+
+namespace perfvar::analysis {
+
+namespace {
+
+/// Mean per-iteration imbalance lambda of the SOS values of a run.
+double meanIterationImbalance(const SosResult& sos, std::size_t iterations) {
+  double acc = 0.0;
+  std::size_t counted = 0;
+  std::vector<double> values;
+  const double res = static_cast<double>(sos.trace().resolution);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    values.clear();
+    for (const auto& per : sos.all()) {
+      if (i < per.size()) {
+        values.push_back(static_cast<double>(per[i].sosTime) / res);
+      }
+    }
+    if (values.size() >= 2) {
+      acc += stats::imbalanceFactor(values);
+      ++counted;
+    }
+  }
+  return counted > 0 ? acc / static_cast<double>(counted) : 0.0;
+}
+
+double overallSyncShare(const SosResult& sos) {
+  double sync = 0.0;
+  double total = 0.0;
+  for (const auto& per : sos.all()) {
+    for (const auto& a : per) {
+      sync += static_cast<double>(a.syncTime);
+      total += static_cast<double>(a.segment.inclusive());
+    }
+  }
+  return total > 0.0 ? sync / total : 0.0;
+}
+
+}  // namespace
+
+RunComparison compareRuns(const SosResult& baseline,
+                          const SosResult& candidate) {
+  PERFVAR_REQUIRE(baseline.maxSegmentsPerProcess() > 0 &&
+                      candidate.maxSegmentsPerProcess() > 0,
+                  "compareRuns: a run has no segments");
+  RunComparison cmp;
+  cmp.meanDurationA = baseline.meanDurationPerIteration();
+  cmp.meanDurationB = candidate.meanDurationPerIteration();
+  cmp.iterationsCompared =
+      std::min(cmp.meanDurationA.size(), cmp.meanDurationB.size());
+
+  cmp.speedupPerIteration.reserve(cmp.iterationsCompared);
+  for (std::size_t i = 0; i < cmp.iterationsCompared; ++i) {
+    cmp.totalDurationA += cmp.meanDurationA[i];
+    cmp.totalDurationB += cmp.meanDurationB[i];
+    cmp.speedupPerIteration.push_back(
+        cmp.meanDurationB[i] > 0.0 ? cmp.meanDurationA[i] / cmp.meanDurationB[i]
+                                   : 0.0);
+  }
+  cmp.overallSpeedup = cmp.totalDurationB > 0.0
+                           ? cmp.totalDurationA / cmp.totalDurationB
+                           : 0.0;
+  cmp.meanImbalanceA =
+      meanIterationImbalance(baseline, cmp.iterationsCompared);
+  cmp.meanImbalanceB =
+      meanIterationImbalance(candidate, cmp.iterationsCompared);
+  cmp.syncShareA = overallSyncShare(baseline);
+  cmp.syncShareB = overallSyncShare(candidate);
+  return cmp;
+}
+
+std::string formatComparison(const RunComparison& cmp, const std::string& nameA,
+                             const std::string& nameB) {
+  std::ostringstream os;
+  os << "compared " << cmp.iterationsCompared << " iterations\n";
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"", nameA, nameB});
+  rows.push_back({"summed iteration time", fmt::seconds(cmp.totalDurationA),
+                  fmt::seconds(cmp.totalDurationB)});
+  rows.push_back({"mean SOS imbalance lambda",
+                  fmt::fixed(cmp.meanImbalanceA, 3),
+                  fmt::fixed(cmp.meanImbalanceB, 3)});
+  rows.push_back({"synchronization share", fmt::percent(cmp.syncShareA),
+                  fmt::percent(cmp.syncShareB)});
+  os << fmt::table(rows);
+  os << "overall speedup (" << nameA << " / " << nameB << "): "
+     << fmt::fixed(cmp.overallSpeedup, 2) << "x\n";
+  return os.str();
+}
+
+}  // namespace perfvar::analysis

@@ -1,0 +1,56 @@
+#ifndef PERFVAR_ANALYSIS_COMPARE_HPP
+#define PERFVAR_ANALYSIS_COMPARE_HPP
+
+/// \file compare.hpp
+/// Cross-run comparison of SOS analyses.
+///
+/// The paper's related work cites alignment-based metrics for comparing
+/// traces of different runs (Weber et al., Euro-Par 2013) to judge
+/// optimizations. This module provides the iteration-aligned comparison
+/// an analyst performs after applying a fix - e.g. COSMO-SPECS (static
+/// decomposition) vs. COSMO-SPECS+FD4 (dynamic balancing), the remedy the
+/// paper's first case study recommends.
+
+#include <string>
+#include <vector>
+
+#include "analysis/sos.hpp"
+
+namespace perfvar::analysis {
+
+/// Iteration-aligned comparison of two runs (A = baseline, B = candidate).
+struct RunComparison {
+  std::size_t iterationsCompared = 0;  ///< min of both runs
+
+  /// Per-iteration mean segment durations (seconds).
+  std::vector<double> meanDurationA;
+  std::vector<double> meanDurationB;
+  /// Per-iteration speedup duration(A)/duration(B); > 1 = B faster.
+  std::vector<double> speedupPerIteration;
+
+  double totalDurationA = 0.0;  ///< summed mean iteration durations
+  double totalDurationB = 0.0;
+  double overallSpeedup = 0.0;
+
+  /// Mean per-iteration load-imbalance lambda of the SOS-times.
+  double meanImbalanceA = 0.0;
+  double meanImbalanceB = 0.0;
+
+  /// Overall synchronization share (sync time / duration, all segments).
+  double syncShareA = 0.0;
+  double syncShareB = 0.0;
+};
+
+/// Compare two SOS results iteration by iteration. The runs may have
+/// different process counts and iteration counts (the shared prefix is
+/// compared). Throws if either run has no segments.
+RunComparison compareRuns(const SosResult& baseline, const SosResult& candidate);
+
+/// Render a compact comparison report.
+std::string formatComparison(const RunComparison& comparison,
+                             const std::string& nameA = "baseline",
+                             const std::string& nameB = "candidate");
+
+}  // namespace perfvar::analysis
+
+#endif  // PERFVAR_ANALYSIS_COMPARE_HPP

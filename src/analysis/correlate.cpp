@@ -1,0 +1,81 @@
+#include "analysis/correlate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/stats.hpp"
+
+namespace perfvar::analysis {
+
+MetricCorrelation correlateMetric(const SosResult& sos,
+                                  trace::MetricId metric) {
+  PERFVAR_REQUIRE(metric < sos.trace().metrics.size(), "invalid metric id");
+  MetricCorrelation c;
+  c.metric = metric;
+
+  std::vector<double> segSos;
+  std::vector<double> segMetric;
+  const double res = static_cast<double>(sos.trace().resolution);
+  for (const auto& per : sos.all()) {
+    for (const auto& a : per) {
+      segSos.push_back(static_cast<double>(a.sosTime) / res);
+      segMetric.push_back(metric < a.metricDelta.size() ? a.metricDelta[metric]
+                                                        : 0.0);
+    }
+  }
+  c.segmentPairs = segSos.size();
+  c.segmentPearson = stats::pearson(segSos, segMetric);
+  c.segmentSpearman = stats::spearman(segSos, segMetric);
+
+  const std::vector<double> procSos = sos.totalSosPerProcess();
+  const std::vector<double> procMetric = sos.totalMetricPerProcess(metric);
+  c.processPearson = stats::pearson(procSos, procMetric);
+  c.processSpearman = stats::spearman(procSos, procMetric);
+
+  if (!procSos.empty()) {
+    const std::size_t topSos = static_cast<std::size_t>(
+        std::max_element(procSos.begin(), procSos.end()) - procSos.begin());
+    const std::size_t topMetric = static_cast<std::size_t>(
+        std::max_element(procMetric.begin(), procMetric.end()) -
+        procMetric.begin());
+    c.topProcessMatches = topSos == topMetric;
+  }
+  return c;
+}
+
+std::vector<MetricCorrelation> correlateAllMetrics(const SosResult& sos) {
+  std::vector<MetricCorrelation> out;
+  for (std::size_t m = 0; m < sos.trace().metrics.size(); ++m) {
+    const auto totals =
+        sos.totalMetricPerProcess(static_cast<trace::MetricId>(m));
+    const bool anySample =
+        std::any_of(totals.begin(), totals.end(),
+                    [](double v) { return v != 0.0; });
+    if (!anySample) {
+      continue;
+    }
+    out.push_back(correlateMetric(sos, static_cast<trace::MetricId>(m)));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricCorrelation& a, const MetricCorrelation& b) {
+              return std::abs(a.processPearson) > std::abs(b.processPearson);
+            });
+  return out;
+}
+
+std::string formatCorrelation(const trace::Trace& tr,
+                              const MetricCorrelation& c) {
+  std::ostringstream os;
+  os << tr.metrics.name(c.metric) << ": per-process Pearson "
+     << fmt::fixed(c.processPearson, 3) << ", Spearman "
+     << fmt::fixed(c.processSpearman, 3) << "; per-segment Pearson "
+     << fmt::fixed(c.segmentPearson, 3) << " over " << c.segmentPairs
+     << " segments"
+     << (c.topProcessMatches ? "; hottest process matches" : "");
+  return os.str();
+}
+
+}  // namespace perfvar::analysis

@@ -1,0 +1,49 @@
+#ifndef PERFVAR_ANALYSIS_CORRELATE_HPP
+#define PERFVAR_ANALYSIS_CORRELATE_HPP
+
+/// \file correlate.hpp
+/// Correlation of SOS-times with hardware-counter metrics.
+///
+/// The paper's WRF case study validates the SOS hotspot map against the
+/// FR_FPU_EXCEPTIONS_SSE_MICROTRAPS counter ("the results ... perfectly
+/// match our runtime variation analysis"). This module quantifies such a
+/// match: Pearson/Spearman correlation between per-segment (and per-
+/// process) SOS-times and metric deltas.
+
+#include <string>
+#include <vector>
+
+#include "analysis/sos.hpp"
+
+namespace perfvar::analysis {
+
+/// Correlation of one metric with the SOS-times of an analysis.
+struct MetricCorrelation {
+  trace::MetricId metric = trace::kInvalidMetric;
+  /// Correlations over all segments (pairs of SOS-time, metric delta).
+  double segmentPearson = 0.0;
+  double segmentSpearman = 0.0;
+  /// Correlations over per-process totals.
+  double processPearson = 0.0;
+  double processSpearman = 0.0;
+  /// Whether the process with the highest metric total is also the
+  /// process with the highest total SOS-time.
+  bool topProcessMatches = false;
+  std::size_t segmentPairs = 0;
+};
+
+/// Correlate one metric with the SOS result.
+MetricCorrelation correlateMetric(const SosResult& sos, trace::MetricId metric);
+
+/// Correlate every metric defined in the trace, ranked by absolute
+/// per-process Pearson correlation (strongest first). Metrics without any
+/// samples are skipped.
+std::vector<MetricCorrelation> correlateAllMetrics(const SosResult& sos);
+
+/// One-line rendering, e.g. for reports.
+std::string formatCorrelation(const trace::Trace& trace,
+                              const MetricCorrelation& c);
+
+}  // namespace perfvar::analysis
+
+#endif  // PERFVAR_ANALYSIS_CORRELATE_HPP

@@ -1,0 +1,296 @@
+#include "analysis/export.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace perfvar::analysis {
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Minimal structured JSON writer (no dependencies, deterministic).
+class JsonWriter {
+public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {
+    out_.precision(17);
+  }
+
+  void beginObject() {
+    separator();
+    out_ << '{';
+    fresh_ = true;
+  }
+  void endObject() {
+    out_ << '}';
+    fresh_ = false;
+  }
+  void beginArray() {
+    separator();
+    out_ << '[';
+    fresh_ = true;
+  }
+  void endArray() {
+    out_ << ']';
+    fresh_ = false;
+  }
+  void key(const std::string& name) {
+    separator();
+    out_ << '"' << jsonEscape(name) << "\":";
+    fresh_ = true;
+  }
+  void value(double v) {
+    separator();
+    if (std::isfinite(v)) {
+      out_ << v;
+    } else {
+      out_ << "null";
+    }
+    fresh_ = false;
+  }
+  void value(std::uint64_t v) {
+    separator();
+    out_ << v;
+    fresh_ = false;
+  }
+  void value(const std::string& s) {
+    separator();
+    out_ << '"' << jsonEscape(s) << '"';
+    fresh_ = false;
+  }
+  void value(bool b) {
+    separator();
+    out_ << (b ? "true" : "false");
+    fresh_ = false;
+  }
+
+private:
+  void separator() {
+    if (!fresh_) {
+      out_ << ',';
+    }
+    fresh_ = true;
+  }
+
+  std::ostream& out_;
+  bool fresh_ = true;
+};
+
+}  // namespace
+
+void writeSosMatrixCsv(const SosResult& sos, std::ostream& out) {
+  const std::size_t cols = sos.maxSegmentsPerProcess();
+  out << "process";
+  for (std::size_t i = 0; i < cols; ++i) {
+    out << ",iter" << i;
+  }
+  out << '\n';
+  out.precision(12);
+  for (std::size_t p = 0; p < sos.processCount(); ++p) {
+    out << sos.trace().processes[p].name;
+    const auto& per = sos.process(static_cast<trace::ProcessId>(p));
+    for (std::size_t i = 0; i < cols; ++i) {
+      out << ',';
+      if (i < per.size()) {
+        out << sos.trace().toSeconds(per[i].sosTime);
+      }
+    }
+    out << '\n';
+  }
+}
+
+void writeIterationStatsCsv(const VariationReport& report, std::ostream& out) {
+  out << "iteration,processes,minSos,meanSos,maxSos,stddevSos,meanDuration,"
+         "imbalance,slowestProcess\n";
+  out.precision(12);
+  for (const auto& it : report.iterations) {
+    out << it.iteration << ',' << it.processCount << ',' << it.minSos << ','
+        << it.meanSos << ',' << it.maxSos << ',' << it.stddevSos << ','
+        << it.meanDuration << ',' << it.imbalance << ',' << it.slowestProcess
+        << '\n';
+  }
+}
+
+void writeHotspotsCsv(const trace::Trace& tr, const VariationReport& report,
+                      std::ostream& out) {
+  out << "process,processName,iteration,sosSeconds,durationSeconds,globalZ,"
+         "iterationZ\n";
+  out.precision(12);
+  for (const auto& h : report.hotspots) {
+    out << h.process << ",\"" << tr.processes[h.process].name << "\","
+        << h.iteration << ',' << h.sosSeconds << ',' << h.durationSeconds
+        << ',' << h.globalZ << ',' << h.iterationZ << '\n';
+  }
+}
+
+void writeAnalysisJson(const trace::Trace& tr,
+                       const DominantSelection& selection,
+                       const SosResult& sos, const VariationReport& report,
+                       std::ostream& out) {
+  JsonWriter w(out);
+  w.beginObject();
+
+  w.key("trace");
+  w.beginObject();
+  w.key("processes");
+  w.value(static_cast<std::uint64_t>(tr.processCount()));
+  w.key("functions");
+  w.value(static_cast<std::uint64_t>(tr.functions.size()));
+  w.key("events");
+  w.value(static_cast<std::uint64_t>(tr.eventCount()));
+  w.key("durationSeconds");
+  w.value(tr.durationSeconds());
+  w.endObject();
+
+  w.key("dominant");
+  w.beginObject();
+  w.key("function");
+  w.value(sos.segmentFunction() == trace::kInvalidFunction
+              ? std::string("(fixed time windows)")
+              : tr.functions.name(sos.segmentFunction()));
+  w.key("candidates");
+  w.beginArray();
+  for (const auto& c : selection.candidates) {
+    w.beginObject();
+    w.key("function");
+    w.value(tr.functions.name(c.function));
+    w.key("invocations");
+    w.value(c.invocations);
+    w.key("aggregatedInclusiveSeconds");
+    w.value(tr.toSeconds(c.aggregatedInclusive));
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+
+  w.key("processes");
+  w.beginArray();
+  for (const auto& ps : report.processes) {
+    w.beginObject();
+    w.key("process");
+    w.value(static_cast<std::uint64_t>(ps.process));
+    w.key("name");
+    w.value(tr.processes[ps.process].name);
+    w.key("segments");
+    w.value(static_cast<std::uint64_t>(ps.segments));
+    w.key("totalSos");
+    w.value(ps.totalSos);
+    w.key("meanSos");
+    w.value(ps.meanSos);
+    w.key("maxSos");
+    w.value(ps.maxSos);
+    w.key("totalZ");
+    w.value(ps.totalZ);
+    w.key("culprit");
+    bool isCulprit = false;
+    for (const auto c : report.culpritProcesses) {
+      isCulprit |= c == ps.process;
+    }
+    w.value(isCulprit);
+    w.endObject();
+  }
+  w.endArray();
+
+  w.key("iterations");
+  w.beginArray();
+  for (const auto& it : report.iterations) {
+    w.beginObject();
+    w.key("iteration");
+    w.value(static_cast<std::uint64_t>(it.iteration));
+    w.key("meanSos");
+    w.value(it.meanSos);
+    w.key("maxSos");
+    w.value(it.maxSos);
+    w.key("meanDuration");
+    w.value(it.meanDuration);
+    w.key("imbalance");
+    w.value(it.imbalance);
+    w.key("slowestProcess");
+    w.value(static_cast<std::uint64_t>(it.slowestProcess));
+    w.endObject();
+  }
+  w.endArray();
+
+  w.key("hotspots");
+  w.beginArray();
+  for (const auto& h : report.hotspots) {
+    w.beginObject();
+    w.key("process");
+    w.value(static_cast<std::uint64_t>(h.process));
+    w.key("iteration");
+    w.value(static_cast<std::uint64_t>(h.iteration));
+    w.key("sosSeconds");
+    w.value(h.sosSeconds);
+    w.key("globalZ");
+    w.value(h.globalZ);
+    w.key("iterationZ");
+    w.value(h.iterationZ);
+    w.endObject();
+  }
+  w.endArray();
+
+  w.key("trend");
+  w.beginObject();
+  w.key("durationSlopePerIteration");
+  w.value(report.durationTrend.slope);
+  w.key("durationR2");
+  w.value(report.durationTrend.r2);
+  w.key("sosSlopePerIteration");
+  w.value(report.sosTrend.slope);
+  w.key("sosR2");
+  w.value(report.sosTrend.r2);
+  w.endObject();
+
+  w.endObject();
+  out << '\n';
+}
+
+std::string sosMatrixCsv(const SosResult& sos) {
+  std::ostringstream os;
+  writeSosMatrixCsv(sos, os);
+  return os.str();
+}
+
+std::string analysisJson(const trace::Trace& tr,
+                         const DominantSelection& selection,
+                         const SosResult& sos,
+                         const VariationReport& report) {
+  std::ostringstream os;
+  writeAnalysisJson(tr, selection, sos, report, os);
+  return os.str();
+}
+
+}  // namespace perfvar::analysis

@@ -1,0 +1,49 @@
+#ifndef PERFVAR_ANALYSIS_EXPORT_HPP
+#define PERFVAR_ANALYSIS_EXPORT_HPP
+
+/// \file export.hpp
+/// Result export for downstream tooling: CSV matrices/tables and a JSON
+/// document of the complete analysis. Vampir keeps results in its GUI;
+/// an open reimplementation needs machine-readable outputs so external
+/// notebooks and dashboards can consume the SOS analysis.
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/dominant.hpp"
+#include "analysis/sos.hpp"
+#include "analysis/variation.hpp"
+
+namespace perfvar::analysis {
+
+/// CSV of the SOS matrix: one row per process ("process,iter0,iter1,...");
+/// missing segments are empty cells.
+void writeSosMatrixCsv(const SosResult& sos, std::ostream& out);
+
+/// CSV of per-iteration statistics (iteration, processes, min/mean/max
+/// SOS, stddev, mean duration, imbalance, slowest process).
+void writeIterationStatsCsv(const VariationReport& report, std::ostream& out);
+
+/// CSV of the hotspot list.
+void writeHotspotsCsv(const trace::Trace& trace, const VariationReport& report,
+                      std::ostream& out);
+
+/// Complete analysis as a single JSON document:
+///   { "trace": {...}, "dominant": {...}, "processes": [...],
+///     "iterations": [...], "hotspots": [...], "trend": {...} }
+/// All strings are JSON-escaped; numbers use full double precision.
+void writeAnalysisJson(const trace::Trace& trace,
+                       const DominantSelection& selection,
+                       const SosResult& sos, const VariationReport& report,
+                       std::ostream& out);
+
+/// Convenience string wrappers.
+std::string sosMatrixCsv(const SosResult& sos);
+std::string analysisJson(const trace::Trace& trace,
+                         const DominantSelection& selection,
+                         const SosResult& sos,
+                         const VariationReport& report);
+
+}  // namespace perfvar::analysis
+
+#endif  // PERFVAR_ANALYSIS_EXPORT_HPP

@@ -1,0 +1,75 @@
+#include "analysis/overlay.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace perfvar::analysis {
+
+MetricOverlay MetricOverlay::build(const SosResult& sos, Value value) {
+  MetricOverlay overlay;
+  const auto& tr = sos.trace();
+  const double res = static_cast<double>(tr.resolution);
+  overlay.start_ = tr.startTime();
+  overlay.end_ = tr.endTime();
+  overlay.steps_.resize(sos.processCount());
+  for (std::size_t p = 0; p < sos.processCount(); ++p) {
+    for (const auto& a : sos.process(static_cast<trace::ProcessId>(p))) {
+      OverlayStep step;
+      step.start = a.segment.enter;
+      step.end = a.segment.leave;
+      switch (value) {
+        case Value::SosSeconds:
+          step.value = static_cast<double>(a.sosTime) / res;
+          break;
+        case Value::DurationSeconds:
+          step.value = static_cast<double>(a.segment.inclusive()) / res;
+          break;
+        case Value::SyncSeconds:
+          step.value = static_cast<double>(a.syncTime) / res;
+          break;
+      }
+      overlay.steps_[p].push_back(step);
+    }
+  }
+  return overlay;
+}
+
+double MetricOverlay::at(trace::ProcessId p, trace::Timestamp t) const {
+  PERFVAR_REQUIRE(p < steps_.size(), "invalid process id");
+  const auto& series = steps_[p];
+  // Binary search for the first step ending after t.
+  const auto it = std::upper_bound(
+      series.begin(), series.end(), t,
+      [](trace::Timestamp time, const OverlayStep& s) { return time < s.end; });
+  if (it != series.end() && t >= it->start) {
+    return it->value;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+std::vector<std::vector<double>> MetricOverlay::sampleGrid(
+    std::size_t bins) const {
+  PERFVAR_REQUIRE(bins > 0, "bins must be positive");
+  std::vector<std::vector<double>> grid(
+      steps_.size(),
+      std::vector<double>(bins, std::numeric_limits<double>::quiet_NaN()));
+  const double span = static_cast<double>(end_ - start_);
+  if (span <= 0.0) {
+    return grid;
+  }
+  for (std::size_t p = 0; p < steps_.size(); ++p) {
+    for (std::size_t b = 0; b < bins; ++b) {
+      const double center =
+          static_cast<double>(start_) +
+          span * (static_cast<double>(b) + 0.5) / static_cast<double>(bins);
+      grid[p][b] =
+          at(static_cast<trace::ProcessId>(p),
+             static_cast<trace::Timestamp>(center));
+    }
+  }
+  return grid;
+}
+
+}  // namespace perfvar::analysis

@@ -1,0 +1,61 @@
+#ifndef PERFVAR_ANALYSIS_OVERLAY_HPP
+#define PERFVAR_ANALYSIS_OVERLAY_HPP
+
+/// \file overlay.hpp
+/// Metric-overlay construction (paper Section VI).
+///
+/// The paper feeds SOS-times back into the trace visualizer as a new
+/// metric counter drawn over the timeline. MetricOverlay provides that
+/// counter in two shapes:
+///  * per-process step series over real trace time (value = SOS-time of
+///    the segment covering an instant), and
+///  * a time-sampled [process][bin] matrix ready for heatmap rendering.
+
+#include <vector>
+
+#include "analysis/sos.hpp"
+
+namespace perfvar::analysis {
+
+/// One step of the overlay counter: constant `value` over [start, end).
+struct OverlayStep {
+  trace::Timestamp start = 0;
+  trace::Timestamp end = 0;
+  double value = 0.0;
+};
+
+/// Per-process SOS-time counter over trace time.
+class MetricOverlay {
+public:
+  /// Values used for the steps.
+  enum class Value {
+    SosSeconds,       ///< the SOS-time of the covering segment
+    DurationSeconds,  ///< plain segment duration
+    SyncSeconds,      ///< subtracted synchronization time
+  };
+
+  static MetricOverlay build(const SosResult& sos,
+                             Value value = Value::SosSeconds);
+
+  const std::vector<std::vector<OverlayStep>>& steps() const { return steps_; }
+
+  /// Value at time `t` on process `p`; NaN between/outside segments.
+  double at(trace::ProcessId p, trace::Timestamp t) const;
+
+  /// Sample the overlay on a regular time grid spanning
+  /// [traceStart, traceEnd] with `bins` columns. Cells not covered by any
+  /// segment are NaN. Bin value is the overlay value at the bin center.
+  std::vector<std::vector<double>> sampleGrid(std::size_t bins) const;
+
+  trace::Timestamp startTime() const { return start_; }
+  trace::Timestamp endTime() const { return end_; }
+
+private:
+  std::vector<std::vector<OverlayStep>> steps_;
+  trace::Timestamp start_ = 0;
+  trace::Timestamp end_ = 0;
+};
+
+}  // namespace perfvar::analysis
+
+#endif  // PERFVAR_ANALYSIS_OVERLAY_HPP

@@ -1,0 +1,87 @@
+#ifndef PERFVAR_ANALYSIS_PATTERNS_HPP
+#define PERFVAR_ANALYSIS_PATTERNS_HPP
+
+/// \file patterns.hpp
+/// Scalasca-style automatic wait-state pattern search.
+///
+/// The paper contrasts its visualization with automatic pattern searches:
+/// "Scalasca automatically searches trace data for a range of inefficiency
+/// patterns. Located patterns are ranked by their severity ... but it is
+/// also restricted to a limited set of performance problems" and "does not
+/// visualize runtime imbalances over time". This module implements the
+/// classic subset of those patterns so benches can compare the two
+/// philosophies head to head:
+///
+///  * WaitAtCollective - time ranks spend inside barriers/collectives
+///    before the operation completes (classic "Wait at Barrier/N x N");
+///  * LateSender - time a receive blocks before the matching message was
+///    sent plus its transfer completed;
+///  * severity is accumulated per (pattern, process) like Scalasca's
+///    severity view.
+///
+/// Note the structural property the benches exploit: wait-state severities
+/// accumulate on the *victims* (the waiting ranks), so for a load
+/// imbalance the overloaded rank is the one with the LOWEST severity -
+/// the search finds a symptom, the SOS overlay points at the cause.
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace perfvar::analysis {
+
+/// Kinds of detected inefficiency patterns.
+enum class PatternKind : std::uint8_t {
+  WaitAtCollective,
+  LateSender,
+};
+
+const char* patternName(PatternKind kind);
+
+/// One located pattern instance.
+struct PatternInstance {
+  PatternKind kind = PatternKind::WaitAtCollective;
+  trace::ProcessId process = 0;   ///< the waiting (victim) process
+  trace::Timestamp start = 0;     ///< begin of the waiting interval
+  double severitySeconds = 0.0;   ///< wasted time
+  trace::FunctionId function = trace::kInvalidFunction;  ///< the MPI call
+};
+
+/// Aggregated result of the pattern search.
+struct PatternReport {
+  std::vector<PatternInstance> instances;  ///< ranked by severity, desc
+  /// severity[pattern][process] in seconds.
+  std::vector<std::vector<double>> severityByProcess;
+  double totalSeverity = 0.0;
+
+  /// Total severity of one pattern kind.
+  double patternTotal(PatternKind kind) const;
+
+  /// Process with the highest summed severity (the worst *victim*).
+  trace::ProcessId worstVictim() const;
+};
+
+/// Options of the search.
+struct PatternOptions {
+  /// Instances below this severity are aggregated but not listed.
+  double minListedSeverity = 1e-6;
+  std::size_t maxInstances = 1000;
+};
+
+/// Run the wait-state search over a trace. Collective completion times
+/// are estimated per matched collective round (frames of the same MPI
+/// collective function, matched by per-process occurrence order, complete
+/// together - exactly how the simulator and real barrier semantics work).
+/// Late-sender analysis matches message events FIFO per (src, dst, tag).
+PatternReport findWaitStates(const trace::Trace& trace,
+                             const PatternOptions& options = {});
+
+/// Render the severity summary (per pattern, top processes).
+std::string formatPatternReport(const trace::Trace& trace,
+                                const PatternReport& report,
+                                std::size_t maxRows = 10);
+
+}  // namespace perfvar::analysis
+
+#endif  // PERFVAR_ANALYSIS_PATTERNS_HPP

@@ -1,0 +1,38 @@
+#include "analysis/pipeline.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace perfvar::analysis {
+
+AnalysisResult analyzeTrace(const trace::Trace& tr,
+                            const PipelineOptions& options) {
+  AnalysisResult result;
+  result.profile = profile::FlatProfile::build(tr);
+  result.selection = selectDominantFunction(tr, result.profile,
+                                            options.dominant);
+  PERFVAR_REQUIRE(result.selection.hasDominant(),
+                  "no function qualifies as time-dominant; lower the "
+                  "invocation multiplier or check the instrumentation");
+  PERFVAR_REQUIRE(options.candidateIndex < result.selection.candidates.size(),
+                  "candidateIndex exceeds the number of dominant candidates");
+  result.segmentFunction =
+      result.selection.candidates[options.candidateIndex].function;
+  result.sos = std::make_unique<SosResult>(
+      analyzeSos(tr, result.segmentFunction, options.sync));
+  result.variation = analyzeVariation(*result.sos, options.variation);
+  return result;
+}
+
+std::string formatAnalysis(const trace::Trace& tr,
+                           const AnalysisResult& result) {
+  std::ostringstream os;
+  os << "=== dominant-function selection ===\n"
+     << formatSelection(tr, result.selection) << '\n'
+     << "=== runtime-variation analysis ===\n"
+     << formatVariationReport(*result.sos, result.variation);
+  return os.str();
+}
+
+}  // namespace perfvar::analysis

@@ -1,0 +1,61 @@
+#ifndef PERFVAR_ANALYSIS_PIPELINE_HPP
+#define PERFVAR_ANALYSIS_PIPELINE_HPP
+
+/// \file pipeline.hpp
+/// One-call entry point running the paper's three steps:
+///   1. identify the time-dominant function (Section IV),
+///   2. compute SOS-times of its invocations (Section V),
+///   3. derive the variation report that drives the visualization
+///      (Section VI).
+///
+/// This is the API that examples and downstream tools use; the individual
+/// stages remain available for custom workflows (e.g. the granularity
+/// drill-down of Figure 5 re-runs stages 2-3 with candidateIndex > 0).
+
+#include <memory>
+#include <string>
+
+#include "analysis/dominant.hpp"
+#include "analysis/sos.hpp"
+#include "analysis/variation.hpp"
+#include "profile/profile.hpp"
+
+namespace perfvar::analysis {
+
+/// Options of the full pipeline.
+struct PipelineOptions {
+  DominantOptions dominant{};
+  /// Classifier used for the SOS subtraction (and, when
+  /// dominant.excludeSynchronization is set, for candidacy filtering).
+  SyncClassifier sync{};
+  VariationOptions variation{};
+  /// Which candidate of the dominant ranking to segment by: 0 = the
+  /// time-dominant function, k > 0 = increasingly finer segmentation.
+  std::size_t candidateIndex = 0;
+};
+
+/// Complete result of one pipeline run.
+struct AnalysisResult {
+  profile::FlatProfile profile;
+  DominantSelection selection;
+  trace::FunctionId segmentFunction = trace::kInvalidFunction;
+  std::unique_ptr<SosResult> sos;  ///< heap: SosResult is not assignable
+  VariationReport variation;
+};
+
+/// Run the full pipeline; throws perfvar::Error if no function qualifies
+/// as time-dominant (or candidateIndex is out of range).
+///
+/// Lifetime: the result references `trace` (SosResult keeps a pointer to
+/// avoid copying large traces); the trace must outlive the result. Do not
+/// pass a temporary.
+AnalysisResult analyzeTrace(const trace::Trace& trace,
+                            const PipelineOptions& options = {});
+
+/// Render a complete text report (dominant selection + variation report).
+std::string formatAnalysis(const trace::Trace& trace,
+                           const AnalysisResult& result);
+
+}  // namespace perfvar::analysis
+
+#endif  // PERFVAR_ANALYSIS_PIPELINE_HPP

@@ -1,0 +1,99 @@
+#include "analysis/sync.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace perfvar::analysis {
+
+namespace {
+
+bool startsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+SyncClassifier::SyncClassifier() : SyncClassifier(SyncPolicy::Paradigm) {}
+
+SyncClassifier::SyncClassifier(SyncPolicy policy) : policy_(policy) {
+  PERFVAR_REQUIRE(policy != SyncPolicy::Custom,
+                  "custom policy requires a predicate");
+}
+
+SyncClassifier::SyncClassifier(
+    std::function<bool(const trace::FunctionDef&)> predicate)
+    : policy_(SyncPolicy::Custom), predicate_(std::move(predicate)) {
+  PERFVAR_REQUIRE(static_cast<bool>(predicate_),
+                  "custom policy requires a predicate");
+}
+
+SyncClassifier SyncClassifier::none() {
+  return SyncClassifier([](const trace::FunctionDef&) { return false; });
+}
+
+bool SyncClassifier::isBlockingMpiName(const std::string& name) {
+  // Wait/test-for-completion operations.
+  if (startsWith(name, "MPI_Wait") || startsWith(name, "MPI_Probe")) {
+    return true;
+  }
+  // Collectives and barriers.
+  static const std::array<const char*, 14> kCollectives = {
+      "MPI_Barrier",    "MPI_Bcast",     "MPI_Reduce",    "MPI_Allreduce",
+      "MPI_Gather",     "MPI_Allgather", "MPI_Scatter",   "MPI_Alltoall",
+      "MPI_Scan",       "MPI_Exscan",    "MPI_Reduce_scatter",
+      "MPI_Gatherv",    "MPI_Scatterv",  "MPI_Allgatherv"};
+  for (const char* c : kCollectives) {
+    if (startsWith(name, c)) {
+      return true;
+    }
+  }
+  // Blocking point-to-point (but not the nonblocking I-variants).
+  if (name == "MPI_Send" || name == "MPI_Recv" || name == "MPI_Ssend" ||
+      name == "MPI_Sendrecv" || name == "MPI_Sendrecv_replace") {
+    return true;
+  }
+  return false;
+}
+
+bool SyncClassifier::isOpenMpSyncName(const std::string& name) {
+  return name.find("barrier") != std::string::npos ||
+         name.find("critical") != std::string::npos ||
+         name.find("taskwait") != std::string::npos ||
+         name.find("ordered") != std::string::npos ||
+         name.find("flush") != std::string::npos;
+}
+
+bool SyncClassifier::isSync(const trace::FunctionDef& def) const {
+  switch (policy_) {
+    case SyncPolicy::Paradigm:
+      if (def.paradigm == trace::Paradigm::MPI) {
+        return true;
+      }
+      if (def.paradigm == trace::Paradigm::OpenMP) {
+        return isOpenMpSyncName(def.name);
+      }
+      return false;
+    case SyncPolicy::BlockingOnly:
+      if (def.paradigm == trace::Paradigm::MPI) {
+        return isBlockingMpiName(def.name);
+      }
+      if (def.paradigm == trace::Paradigm::OpenMP) {
+        return isOpenMpSyncName(def.name);
+      }
+      return false;
+    case SyncPolicy::Custom:
+      return predicate_(def);
+  }
+  return false;
+}
+
+std::vector<bool> SyncClassifier::mask(const trace::Trace& trace) const {
+  std::vector<bool> m(trace.functions.size());
+  for (std::size_t f = 0; f < trace.functions.size(); ++f) {
+    m[f] = isSync(trace.functions.at(static_cast<trace::FunctionId>(f)));
+  }
+  return m;
+}
+
+}  // namespace perfvar::analysis

@@ -1,0 +1,76 @@
+#ifndef PERFVAR_ANALYSIS_SYNC_HPP
+#define PERFVAR_ANALYSIS_SYNC_HPP
+
+/// \file sync.hpp
+/// Classification of synchronization/communication functions.
+///
+/// The SOS-time computation (paper Section V) subtracts the runtime of
+/// synchronization operations (MPI_Wait, MPI_Reduce, omp barrier, ...)
+/// from segment durations. SyncClassifier decides which functions count
+/// as synchronization. Three policies are provided:
+///
+///  * Paradigm   — every function of a communication paradigm (MPI/OpenMP
+///                 synchronization constructs) counts. This matches the
+///                 paper's case studies, where whole "MPI" regions are
+///                 subtracted.
+///  * BlockingOnly — only operations that can block on remote progress
+///                 (waits, barriers, collectives, blocking point-to-point);
+///                 local-completion calls like MPI_Isend keep their cost.
+///  * Custom     — a user predicate.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace perfvar::analysis {
+
+/// Selection policy for synchronization functions.
+enum class SyncPolicy {
+  Paradigm,
+  BlockingOnly,
+  Custom,
+};
+
+/// Decides whether a function counts as synchronization/communication.
+class SyncClassifier {
+public:
+  /// Default classifier: Paradigm policy.
+  SyncClassifier();
+
+  explicit SyncClassifier(SyncPolicy policy);
+
+  /// Custom-policy classifier from a predicate over function definitions.
+  explicit SyncClassifier(
+      std::function<bool(const trace::FunctionDef&)> predicate);
+
+  /// A classifier that never classifies anything as synchronization.
+  /// With it, SOS-time degenerates to the plain segment duration - the
+  /// baseline the paper argues against in Section V.
+  static SyncClassifier none();
+
+  /// True if the function counts as synchronization.
+  bool isSync(const trace::FunctionDef& def) const;
+
+  /// Precompute the per-function-id decision vector for one trace.
+  std::vector<bool> mask(const trace::Trace& trace) const;
+
+  SyncPolicy policy() const { return policy_; }
+
+  /// True if an MPI function name denotes an operation that can block on
+  /// remote progress (used by the BlockingOnly policy). Exposed for tests.
+  static bool isBlockingMpiName(const std::string& name);
+
+  /// True if an OpenMP construct name denotes synchronization
+  /// (barriers, critical sections, taskwait...). Exposed for tests.
+  static bool isOpenMpSyncName(const std::string& name);
+
+private:
+  SyncPolicy policy_;
+  std::function<bool(const trace::FunctionDef&)> predicate_;
+};
+
+}  // namespace perfvar::analysis
+
+#endif  // PERFVAR_ANALYSIS_SYNC_HPP

@@ -1,0 +1,106 @@
+#ifndef PERFVAR_ANALYSIS_VARIATION_HPP
+#define PERFVAR_ANALYSIS_VARIATION_HPP
+
+/// \file variation.hpp
+/// Runtime-variation statistics and hotspot detection over SOS-times.
+///
+/// This layer turns the raw per-segment SOS-times into the guidance the
+/// paper's visualization provides: which (process, iteration) cells are
+/// exceptionally slow, which processes are persistently overloaded, and
+/// whether the run drifts slower over time.
+///
+/// Outliers are scored with a robust z-score (median/MAD based) so that a
+/// handful of extreme segments cannot mask themselves by inflating the
+/// scale estimate.
+
+#include <string>
+#include <vector>
+
+#include "analysis/sos.hpp"
+#include "util/stats.hpp"
+
+namespace perfvar::analysis {
+
+/// Across-process statistics of one iteration (segment index).
+struct IterationStats {
+  std::size_t iteration = 0;
+  std::size_t processCount = 0;  ///< processes that have this iteration
+  double minSos = 0.0;
+  double maxSos = 0.0;
+  double meanSos = 0.0;
+  double stddevSos = 0.0;
+  double meanDuration = 0.0;
+  /// Load imbalance lambda = max/mean - 1 of the SOS-times.
+  double imbalance = 0.0;
+  trace::ProcessId slowestProcess = 0;
+};
+
+/// Whole-run statistics of one process.
+struct ProcessStats {
+  trace::ProcessId process = 0;
+  std::size_t segments = 0;
+  double totalSos = 0.0;
+  double meanSos = 0.0;
+  double maxSos = 0.0;
+  /// Robust z-score of this process' total SOS against all processes.
+  double totalZ = 0.0;
+};
+
+/// One performance hotspot: an exceptionally slow segment.
+struct Hotspot {
+  trace::ProcessId process = 0;
+  std::size_t iteration = 0;
+  double sosSeconds = 0.0;
+  double durationSeconds = 0.0;
+  /// Robust z against all segments of the run.
+  double globalZ = 0.0;
+  /// Robust z against the other processes of the same iteration.
+  double iterationZ = 0.0;
+};
+
+/// Options of the variation analysis.
+struct VariationOptions {
+  /// Robust-z threshold above which a segment is reported as a hotspot.
+  double outlierThreshold = 3.5;
+  /// Robust-z threshold above which a process counts as a culprit.
+  double processThreshold = 3.0;
+  /// Maximum number of hotspots kept (ranked by global z).
+  std::size_t maxHotspots = 100;
+};
+
+/// Complete variation-analysis result.
+struct VariationReport {
+  std::vector<IterationStats> iterations;
+  std::vector<ProcessStats> processes;      ///< indexed by process id
+  std::vector<trace::ProcessId> processesBySos;  ///< ranked, slowest first
+  std::vector<trace::ProcessId> culpritProcesses;  ///< totalZ >= threshold
+  std::vector<Hotspot> hotspots;            ///< ranked by globalZ, desc
+
+  /// OLS trend of the mean segment *duration* per iteration
+  /// (seconds per iteration); positive slope = run gets slower.
+  stats::OlsFit durationTrend;
+  /// OLS trend of the mean SOS-time per iteration.
+  stats::OlsFit sosTrend;
+
+  /// Robust location/scale of all SOS values (seconds).
+  double sosMedian = 0.0;
+  double sosMad = 0.0;
+  stats::Summary sosSummary;
+
+  /// Most suspicious process (first of processesBySos); the paper's
+  /// "follow the red" answer.
+  trace::ProcessId slowestProcess() const;
+};
+
+/// Run the variation analysis over an SOS result.
+VariationReport analyzeVariation(const SosResult& sos,
+                                 const VariationOptions& options = {});
+
+/// Multi-line human-readable report.
+std::string formatVariationReport(const SosResult& sos,
+                                  const VariationReport& report,
+                                  std::size_t maxRows = 10);
+
+}  // namespace perfvar::analysis
+
+#endif  // PERFVAR_ANALYSIS_VARIATION_HPP

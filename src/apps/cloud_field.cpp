@@ -1,0 +1,52 @@
+#include "apps/cloud_field.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace perfvar::apps {
+
+CloudField::CloudField(std::uint32_t gridX, std::uint32_t gridY,
+                       std::vector<Cloud> clouds)
+    : gridX_(gridX), gridY_(gridY), clouds_(std::move(clouds)) {
+  PERFVAR_REQUIRE(gridX >= 1 && gridY >= 1, "grid must be non-empty");
+}
+
+double CloudField::mass(std::uint32_t bx, std::uint32_t by, double t) const {
+  PERFVAR_REQUIRE(bx < gridX_ && by < gridY_, "block out of range");
+  const double x = static_cast<double>(bx) + 0.5;
+  const double y = static_cast<double>(by) + 0.5;
+  double total = 0.0;
+  for (const Cloud& c : clouds_) {
+    const double cx = c.x0 + c.vx * t;
+    const double cy = c.y0 + c.vy * t;
+    const double sigma = std::max(1e-6, c.sigma0 + c.sigmaGrowth * t);
+    const double amp = std::max(0.0, c.amp0 + c.ampGrowth * t);
+    const double dx = x - cx;
+    const double dy = y - cy;
+    total += amp * std::exp(-(dx * dx + dy * dy) / (2.0 * sigma * sigma));
+  }
+  return total;
+}
+
+std::vector<double> CloudField::blockMasses(double t) const {
+  std::vector<double> masses(static_cast<std::size_t>(gridX_) * gridY_);
+  for (std::uint32_t by = 0; by < gridY_; ++by) {
+    for (std::uint32_t bx = 0; bx < gridX_; ++bx) {
+      masses[static_cast<std::size_t>(by) * gridX_ + bx] = mass(bx, by, t);
+    }
+  }
+  return masses;
+}
+
+double CloudField::totalMass(double t) const {
+  const auto masses = blockMasses(t);
+  double total = 0.0;
+  for (const double m : masses) {
+    total += m;
+  }
+  return total;
+}
+
+}  // namespace perfvar::apps

@@ -1,0 +1,58 @@
+#ifndef PERFVAR_APPS_CLOUD_FIELD_HPP
+#define PERFVAR_APPS_CLOUD_FIELD_HPP
+
+/// \file cloud_field.hpp
+/// Synthetic cloud field driving the SPECS workload models.
+///
+/// The COSMO-SPECS case studies hinge on one physical fact: the cost of
+/// the SPECS cloud-microphysics computation "heavily depends on the
+/// presence and size distribution of various cloud particle types in the
+/// grid cell". The CloudField models that driver as a sum of moving,
+/// growing 2-D Gaussians over the block grid; the workload models convert
+/// local cloud mass into compute seconds.
+
+#include <cstdint>
+#include <vector>
+
+namespace perfvar::apps {
+
+/// One Gaussian cloud: position/size/intensity are linear in time.
+struct Cloud {
+  double x0 = 0.0;       ///< initial center (grid coordinates)
+  double y0 = 0.0;
+  double vx = 0.0;       ///< drift per timestep
+  double vy = 0.0;
+  double sigma0 = 1.0;   ///< initial radius
+  double sigmaGrowth = 0.0;  ///< radius change per timestep
+  double amp0 = 0.0;     ///< initial peak mass
+  double ampGrowth = 0.0;    ///< peak-mass change per timestep
+};
+
+/// A field of clouds over a gridX x gridY block grid.
+class CloudField {
+public:
+  CloudField(std::uint32_t gridX, std::uint32_t gridY,
+             std::vector<Cloud> clouds);
+
+  std::uint32_t gridX() const { return gridX_; }
+  std::uint32_t gridY() const { return gridY_; }
+
+  /// Cloud mass at block (bx, by) at timestep t (evaluated at the block
+  /// center); always >= 0.
+  double mass(std::uint32_t bx, std::uint32_t by, double t) const;
+
+  /// Mass of every block at timestep t, linear index by * gridX + bx.
+  std::vector<double> blockMasses(double t) const;
+
+  /// Total mass over the grid at timestep t.
+  double totalMass(double t) const;
+
+private:
+  std::uint32_t gridX_;
+  std::uint32_t gridY_;
+  std::vector<Cloud> clouds_;
+};
+
+}  // namespace perfvar::apps
+
+#endif  // PERFVAR_APPS_CLOUD_FIELD_HPP

@@ -1,0 +1,98 @@
+#include "apps/cosmo_specs.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace perfvar::apps {
+
+CloudField cosmoSpecsCloudField(const CosmoSpecsConfig& config) {
+  // A stationary cloud growing over the run, centered between the block
+  // of rank 54 and its neighbors (for the default 10x10 grid). Block
+  // centers sit at integer + 0.5 coordinates.
+  Cloud cloud;
+  cloud.x0 = 0.4 + 0.45 * static_cast<double>(config.gridX);
+  cloud.y0 = 0.55 * static_cast<double>(config.gridY);
+  cloud.sigma0 = 0.09 * static_cast<double>(std::min(config.gridX,
+                                                     config.gridY));
+  cloud.amp0 = 0.05;
+  cloud.ampGrowth = 0.95 / std::max<double>(1.0,
+                                            static_cast<double>(
+                                                config.timesteps));
+  return CloudField(config.gridX, config.gridY, {cloud});
+}
+
+CosmoSpecsScenario buildCosmoSpecs(const CosmoSpecsConfig& config) {
+  PERFVAR_REQUIRE(config.timesteps >= 2, "need at least two timesteps");
+  const std::uint32_t ranks = config.gridX * config.gridY;
+  PERFVAR_REQUIRE(ranks >= 2, "need at least two ranks");
+
+  const CloudField field = cosmoSpecsCloudField(config);
+
+  sim::ProgramBuilder b(ranks);
+  const auto fIter = b.function("cosmo_specs_timestep", "ITERATION");
+  const auto fCosmo = b.function("cosmo_dynamics", "COSMO");
+  const auto fCouple = b.function("couple_fields", "COUPLING");
+  const auto fSpecs = b.function("specs_microphysics", "SPECS");
+
+  const auto rankOf = [&](std::uint32_t x, std::uint32_t y) {
+    return y * config.gridX + x;
+  };
+
+  for (std::size_t t = 0; t < config.timesteps; ++t) {
+    for (std::uint32_t y = 0; y < config.gridY; ++y) {
+      for (std::uint32_t x = 0; x < config.gridX; ++x) {
+        const std::uint32_t r = rankOf(x, y);
+        b.enter(r, fIter);
+        b.compute(r, fCosmo, config.cosmoSeconds);
+
+        // Halo exchange with the 4-neighborhood (eager sends first, so
+        // blocking receives cannot deadlock).
+        std::vector<std::uint32_t> neighbors;
+        if (x > 0) neighbors.push_back(rankOf(x - 1, y));
+        if (x + 1 < config.gridX) neighbors.push_back(rankOf(x + 1, y));
+        if (y > 0) neighbors.push_back(rankOf(x, y - 1));
+        if (y + 1 < config.gridY) neighbors.push_back(rankOf(x, y + 1));
+        const auto tag = static_cast<std::uint32_t>(t);
+        for (const std::uint32_t nbr : neighbors) {
+          b.send(r, nbr, tag, config.haloBytes);
+        }
+        for (const std::uint32_t nbr : neighbors) {
+          b.recv(r, nbr, tag);
+        }
+
+        b.compute(r, fCouple, config.couplingSeconds);
+        const double mass = field.mass(x, y, static_cast<double>(t));
+        b.compute(r, fSpecs,
+                  config.specsBaseSeconds + config.specsCloudSeconds * mass);
+        b.allreduce(r, config.reduceBytes);
+        b.leave(r, fIter);
+      }
+    }
+  }
+
+  CosmoSpecsScenario scenario;
+  scenario.program = b.finish();
+  scenario.simOptions.noise.sigma = config.noiseSigma;
+  scenario.simOptions.noise.seed = config.seed;
+  scenario.iterationFunction = fIter;
+  scenario.specsFunction = fSpecs;
+  scenario.timesteps = config.timesteps;
+
+  // Ground truth: the six ranks with the highest final cloud mass.
+  const auto masses =
+      field.blockMasses(static_cast<double>(config.timesteps - 1));
+  std::vector<std::uint32_t> order(masses.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t c) {
+    return masses[a] > masses[c];
+  });
+  const std::size_t hot = std::min<std::size_t>(6, order.size());
+  scenario.hotRanks.assign(order.begin(),
+                           order.begin() + static_cast<std::ptrdiff_t>(hot));
+  scenario.hottestRank = order.front();
+  return scenario;
+}
+
+}  // namespace perfvar::apps

@@ -1,0 +1,61 @@
+#ifndef PERFVAR_APPS_COSMO_SPECS_HPP
+#define PERFVAR_APPS_COSMO_SPECS_HPP
+
+/// \file cosmo_specs.hpp
+/// COSMO-SPECS workload model (paper case study A).
+///
+/// The coupled weather code: COSMO (cheap regional dynamics) + SPECS
+/// (expensive spectral-bin cloud microphysics) on a static 2-D
+/// decomposition with one rank per block. SPECS cost follows the local
+/// cloud mass; because the cloud grows over a handful of blocks, the
+/// static decomposition develops a worsening load imbalance and the MPI
+/// share of the run grows until waiting dominates - exactly Figure 4.
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/cloud_field.hpp"
+#include "sim/program.hpp"
+#include "sim/simulator.hpp"
+
+namespace perfvar::apps {
+
+/// Configuration of the COSMO-SPECS scenario.
+struct CosmoSpecsConfig {
+  std::uint32_t gridX = 10;   ///< ranks = gridX * gridY
+  std::uint32_t gridY = 10;
+  std::size_t timesteps = 60;
+  double cosmoSeconds = 0.8e-3;     ///< uniform COSMO dynamics per step
+  double couplingSeconds = 0.2e-3;  ///< model-coupling cost per step
+  double specsBaseSeconds = 3.0e-3; ///< SPECS cost at zero cloud mass
+  double specsCloudSeconds = 14.0e-3;  ///< extra SPECS cost per unit mass
+  std::uint64_t haloBytes = 16 * 1024;
+  std::uint64_t reduceBytes = 64;
+  double noiseSigma = 0.01;
+  std::uint64_t seed = 42;
+};
+
+/// A generated scenario: the program plus its ground truth for tests
+/// and benches.
+struct CosmoSpecsScenario {
+  sim::Program program;
+  sim::SimOptions simOptions;
+  trace::FunctionId iterationFunction = trace::kInvalidFunction;
+  trace::FunctionId specsFunction = trace::kInvalidFunction;
+  /// Ranks carrying the cloud (expected SOS hotspots), hottest first.
+  std::vector<std::uint32_t> hotRanks;
+  std::uint32_t hottestRank = 0;
+  std::size_t timesteps = 0;
+};
+
+/// Build the scenario. The default cloud is stationary, centered so the
+/// overloaded ranks are 44, 45, 54, 55, 64, 65 (10x10 grid) with rank 54
+/// the worst - matching the processes named in the paper's Figure 4(b).
+CosmoSpecsScenario buildCosmoSpecs(const CosmoSpecsConfig& config = {});
+
+/// The cloud field the default scenario uses (exposed for tests).
+CloudField cosmoSpecsCloudField(const CosmoSpecsConfig& config);
+
+}  // namespace perfvar::apps
+
+#endif  // PERFVAR_APPS_COSMO_SPECS_HPP

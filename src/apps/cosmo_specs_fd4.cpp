@@ -1,0 +1,118 @@
+#include "apps/cosmo_specs_fd4.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace perfvar::apps {
+
+namespace {
+
+CloudField fd4CloudField(const CosmoSpecsFd4Config& config) {
+  // A cloud drifting diagonally across the block grid, so the balancer
+  // has to migrate blocks repeatedly over the run.
+  Cloud cloud;
+  cloud.x0 = 0.2 * static_cast<double>(config.blocksX);
+  cloud.y0 = 0.2 * static_cast<double>(config.blocksY);
+  cloud.vx = 0.6 * static_cast<double>(config.blocksX) /
+             std::max<double>(1.0, static_cast<double>(config.iterations));
+  cloud.vy = 0.5 * static_cast<double>(config.blocksY) /
+             std::max<double>(1.0, static_cast<double>(config.iterations));
+  cloud.sigma0 = 0.15 * static_cast<double>(config.blocksX);
+  cloud.amp0 = 1.0;
+  return CloudField(config.blocksX, config.blocksY, {cloud});
+}
+
+}  // namespace
+
+CosmoSpecsFd4Scenario buildCosmoSpecsFd4(const CosmoSpecsFd4Config& config) {
+  PERFVAR_REQUIRE(config.ranks >= 2, "need at least two ranks");
+  PERFVAR_REQUIRE(config.interruptRank < config.ranks,
+                  "interrupt rank out of range");
+  PERFVAR_REQUIRE(config.interruptIteration < config.iterations &&
+                      config.interruptInnerStep < config.innerTimesteps,
+                  "interruption position out of range");
+
+  const CloudField field = fd4CloudField(config);
+  balance::Fd4Balancer balancer(config.blocksX, config.blocksY, config.ranks,
+                                config.balancer);
+  const auto ranks = static_cast<std::uint32_t>(config.ranks);
+
+  sim::ProgramBuilder b(ranks);
+  const auto fIter = b.function("coupling_iteration", "ITERATION");
+  const auto fCosmo = b.function("cosmo_dynamics", "COSMO");
+  const auto fFd4 = b.function("fd4_balance", "FD4");
+  const auto fStep = b.function("specs_timestep", "SPECS");
+  const auto fSpecs = b.function("specs_microphysics", "SPECS");
+
+  CosmoSpecsFd4Scenario scenario;
+
+  for (std::size_t it = 0; it < config.iterations; ++it) {
+    // Per-block SPECS cost of one inner timestep at this iteration.
+    const auto masses = field.blockMasses(static_cast<double>(it));
+    std::vector<double> blockSeconds(masses.size());
+    for (std::size_t i = 0; i < masses.size(); ++i) {
+      blockSeconds[i] = config.specsBlockBase +
+                        config.specsBlockCloud * masses[i];
+    }
+    const balance::Fd4StepResult step = balancer.update(blockSeconds);
+    scenario.migratedBlocks.push_back(step.migratedBlocks);
+    scenario.balancedImbalance.push_back(step.imbalanceAfter);
+
+    const std::vector<double> rankLoad = balancer.rankLoads(blockSeconds);
+
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+      b.enter(r, fIter);
+      b.compute(r, fCosmo, config.cosmoSeconds);
+      b.compute(r, fFd4, config.fd4Seconds);
+      b.allreduce(r, config.reduceBytes);
+
+      for (std::size_t k = 0; k < config.innerTimesteps; ++k) {
+        b.enter(r, fStep);
+        sim::ComputeAttrs attrs;
+        if (r == config.interruptRank && it == config.interruptIteration &&
+            k == config.interruptInnerStep) {
+          attrs.osDelay = config.interruptSeconds;
+        }
+        b.compute(r, fSpecs, rankLoad[r], attrs);
+
+        // Halo exchange along the space-filling curve: contiguous curve
+        // ranges are spatially compact, so curve neighbors are the
+        // dominant communication partners.
+        const auto tag = static_cast<std::uint32_t>(
+            it * config.innerTimesteps + k);
+        if (r > 0) {
+          b.send(r, r - 1, tag, config.haloBytes);
+        }
+        if (r + 1 < ranks) {
+          b.send(r, r + 1, tag, config.haloBytes);
+        }
+        if (r > 0) {
+          b.recv(r, r - 1, tag);
+        }
+        if (r + 1 < ranks) {
+          b.recv(r, r + 1, tag);
+        }
+        b.barrier(r);
+        b.leave(r, fStep);
+      }
+      b.leave(r, fIter);
+    }
+  }
+
+  scenario.program = b.finish();
+  scenario.simOptions.noise.sigma = config.noiseSigma;
+  scenario.simOptions.noise.seed = config.seed;
+  scenario.iterationFunction = fIter;
+  scenario.specsStepFunction = fStep;
+  scenario.culpritRank = config.interruptRank;
+  scenario.culpritIteration = config.interruptIteration;
+  scenario.culpritFineSegment =
+      config.interruptIteration * config.innerTimesteps +
+      config.interruptInnerStep;
+  scenario.iterations = config.iterations;
+  scenario.innerTimesteps = config.innerTimesteps;
+  return scenario;
+}
+
+}  // namespace perfvar::apps

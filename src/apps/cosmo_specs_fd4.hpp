@@ -1,0 +1,73 @@
+#ifndef PERFVAR_APPS_COSMO_SPECS_FD4_HPP
+#define PERFVAR_APPS_COSMO_SPECS_FD4_HPP
+
+/// \file cosmo_specs_fd4.hpp
+/// COSMO-SPECS+FD4 workload model (paper case study B).
+///
+/// The extended weather code with FD4 dynamic load balancing: the cloud
+/// workload is spread over many blocks per rank and the Fd4Balancer
+/// re-partitions the Hilbert-curve block order whenever the imbalance
+/// exceeds its threshold, so all ranks stay evenly loaded. The
+/// performance anomaly of the case study is *not* load imbalance but a
+/// one-off OS interruption: one SPECS timestep invocation on one rank is
+/// stretched by the operating system while its cycle counter stays low.
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/cloud_field.hpp"
+#include "balance/fd4.hpp"
+#include "sim/program.hpp"
+#include "sim/simulator.hpp"
+
+namespace perfvar::apps {
+
+/// Configuration of the COSMO-SPECS+FD4 scenario.
+struct CosmoSpecsFd4Config {
+  std::size_t ranks = 200;
+  std::uint32_t blocksX = 40;  ///< block grid (blocks >> ranks)
+  std::uint32_t blocksY = 40;
+  std::size_t iterations = 20;      ///< coupling iterations
+  std::size_t innerTimesteps = 6;   ///< SPECS timesteps per iteration
+  double cosmoSeconds = 1.0e-3;
+  double fd4Seconds = 0.2e-3;       ///< balancing bookkeeping per iteration
+  double specsBlockBase = 0.10e-3;  ///< per-block SPECS base cost
+  double specsBlockCloud = 0.50e-3; ///< per-block cost per unit cloud mass
+  std::uint64_t haloBytes = 8 * 1024;
+  std::uint64_t reduceBytes = 64;
+  /// The injected OS interruption.
+  std::uint32_t interruptRank = 20;
+  std::size_t interruptIteration = 12;
+  std::size_t interruptInnerStep = 3;
+  double interruptSeconds = 60.0e-3;
+  double noiseSigma = 0.015;
+  std::uint64_t seed = 1337;
+  balance::Fd4Options balancer{};
+};
+
+/// Scenario with ground truth.
+struct CosmoSpecsFd4Scenario {
+  sim::Program program;
+  sim::SimOptions simOptions;
+  trace::FunctionId iterationFunction = trace::kInvalidFunction;  ///< coarse
+  trace::FunctionId specsStepFunction = trace::kInvalidFunction;  ///< fine
+  std::uint32_t culpritRank = 0;
+  std::size_t culpritIteration = 0;
+  /// Global index of the interrupted specs_timestep invocation
+  /// (iteration * innerTimesteps + innerStep).
+  std::size_t culpritFineSegment = 0;
+  std::size_t iterations = 0;
+  std::size_t innerTimesteps = 0;
+  /// Per-iteration imbalance of the rank loads after balancing (for the
+  /// ablation benches: with FD4 these stay near 0).
+  std::vector<double> balancedImbalance;
+  /// Migration volume of each balancing step.
+  std::vector<std::size_t> migratedBlocks;
+};
+
+/// Build the scenario.
+CosmoSpecsFd4Scenario buildCosmoSpecsFd4(const CosmoSpecsFd4Config& config = {});
+
+}  // namespace perfvar::apps
+
+#endif  // PERFVAR_APPS_COSMO_SPECS_FD4_HPP

@@ -1,0 +1,97 @@
+#include "apps/paper_examples.hpp"
+
+#include "trace/builder.hpp"
+
+namespace perfvar::apps {
+
+trace::Trace buildFigure1Trace() {
+  trace::TraceBuilder b(1, /*resolution=*/1);
+  const auto foo = b.defineFunction("foo");
+  const auto bar = b.defineFunction("bar");
+  b.enter(0, 0, foo);
+  b.enter(0, 2, bar);
+  b.leave(0, 4, bar);
+  b.leave(0, 6, foo);
+  return b.finish();
+}
+
+trace::Trace buildFigure2Trace() {
+  trace::TraceBuilder b(3, /*resolution=*/1);
+  const auto fMain = b.defineFunction("main");
+  const auto fI = b.defineFunction("i");
+  const auto fA = b.defineFunction("a");
+  const auto fB = b.defineFunction("b");
+  const auto fC = b.defineFunction("c");
+
+  for (trace::ProcessId p = 0; p < 3; ++p) {
+    b.enter(p, 0, fMain);
+    // Initialization phase.
+    b.enter(p, 0, fI);
+    b.leave(p, 2, fI);
+    // Three invocations of a, 4 time steps each (aggregated inclusive
+    // time 3 processes x 3 invocations x 4 = 36).
+    for (trace::Timestamp start = 2; start <= 10; start += 4) {
+      b.enter(p, start, fA);
+      b.enter(p, start + 1, fB);
+      b.leave(p, start + 2, fB);
+      b.enter(p, start + 2, fC);
+      b.leave(p, start + 3, fC);
+      b.leave(p, start + 4, fA);
+    }
+    // Trailing work directly in main until t = 18
+    // (main aggregated inclusive: 3 x 18 = 54).
+    b.leave(p, 18, fMain);
+  }
+  return b.finish();
+}
+
+const double (&figure3CalcTimes())[3][3] {
+  static const double kCalc[3][3] = {
+      {5.0, 3.0, 1.0},  // iteration 0: strong imbalance, process 0 slow
+      {2.0, 2.0, 2.0},  // iteration 1: balanced (duration 3, twice as fast)
+      {1.0, 3.0, 4.0},  // iteration 2: imbalance the other way around
+  };
+  return kCalc;
+}
+
+trace::Trace buildFigure3Trace() {
+  trace::TraceBuilder b(3, /*resolution=*/1);
+  const auto fMain = b.defineFunction("main");
+  const auto fA = b.defineFunction("a");
+  const auto fCalc = b.defineFunction("calc");
+  const auto fMpi = b.defineFunction("MPI", "MPI", trace::Paradigm::MPI);
+
+  const auto& calc = figure3CalcTimes();
+  // Iteration end = iteration start + max(calc) + 1 (synchronization
+  // completes one time step after the slowest process arrives).
+  trace::Timestamp iterStart[4];
+  iterStart[0] = 0;
+  for (int i = 0; i < 3; ++i) {
+    double maxCalc = 0.0;
+    for (int p = 0; p < 3; ++p) {
+      maxCalc = std::max(maxCalc, calc[i][p]);
+    }
+    iterStart[i + 1] =
+        iterStart[i] + static_cast<trace::Timestamp>(maxCalc) + 1;
+  }
+
+  for (trace::ProcessId p = 0; p < 3; ++p) {
+    b.enter(p, 0, fMain);
+    for (int i = 0; i < 3; ++i) {
+      const trace::Timestamp start = iterStart[i];
+      const trace::Timestamp end = iterStart[i + 1];
+      const auto calcEnd =
+          start + static_cast<trace::Timestamp>(calc[i][p]);
+      b.enter(p, start, fA);
+      b.enter(p, start, fCalc);
+      b.leave(p, calcEnd, fCalc);
+      b.enter(p, calcEnd, fMpi);
+      b.leave(p, end, fMpi);
+      b.leave(p, end, fA);
+    }
+    b.leave(p, iterStart[3], fMain);
+  }
+  return b.finish();
+}
+
+}  // namespace perfvar::apps

@@ -1,0 +1,39 @@
+#ifndef PERFVAR_APPS_PAPER_EXAMPLES_HPP
+#define PERFVAR_APPS_PAPER_EXAMPLES_HPP
+
+/// \file paper_examples.hpp
+/// Exact reconstructions of the paper's methodology figures.
+///
+/// These traces use resolution 1 (one tick = one abstract "time step" of
+/// the figures) so every number printed by the fig1-fig3 benches can be
+/// compared directly against the paper.
+
+#include "trace/trace.hpp"
+
+namespace perfvar::apps {
+
+/// Figure 1: foo [0,6] calling bar [2,4] on one process.
+/// Inclusive(foo) = 6, exclusive(foo) = 4.
+trace::Trace buildFigure1Trace();
+
+/// Figure 2: three processes, functions main/i/a/b/c over t = 0..18.
+/// main: 3 invocations, aggregated inclusive 54 (rejected: only p
+/// invocations); a: 9 invocations, aggregated inclusive 36 (selected).
+trace::Trace buildFigure2Trace();
+
+/// Figure 3: three processes, three iterations of the dominant function
+/// `a`, each iteration = calc + MPI synchronization. Segment durations are
+/// identical across processes (6, 3, 5) because the MPI call absorbs the
+/// imbalance; SOS-times expose the per-process calc times:
+///   iteration 0: (5, 3, 1)   iteration 1: (2, 2, 2)   iteration 2: (1, 3, 4)
+/// The exact per-cell values of the figure are partially ambiguous in the
+/// source text; this reconstruction reproduces every number stated in the
+/// prose (first iteration duration 6, middle 3, SOS 5 vs 1 in iteration 0).
+trace::Trace buildFigure3Trace();
+
+/// The calc times used by buildFigure3Trace(), [iteration][process].
+const double (&figure3CalcTimes())[3][3];
+
+}  // namespace perfvar::apps
+
+#endif  // PERFVAR_APPS_PAPER_EXAMPLES_HPP

@@ -1,0 +1,88 @@
+#include "apps/wrf.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace perfvar::apps {
+
+WrfScenario buildWrf(const WrfConfig& config) {
+  const std::uint32_t ranks = config.gridX * config.gridY;
+  PERFVAR_REQUIRE(ranks >= 2, "need at least two ranks");
+  PERFVAR_REQUIRE(config.fpeRank < ranks, "fpe rank out of range");
+  PERFVAR_REQUIRE(config.timesteps >= 2, "need at least two timesteps");
+
+  sim::ProgramBuilder b(ranks);
+  const auto fInit = b.function("wrf_init", "INIT");
+  const auto fIo = b.function("wrf_read_input", "INIT", trace::Paradigm::IO);
+  const auto fIter = b.function("wrf_timestep", "ITERATION");
+  const auto fDyn = b.function("dyn_advection", "WRF_DYN");
+  const auto fPhys = b.function("phys_microphysics", "WRF_PHYS");
+  const auto fRad = b.function("phys_radiation", "WRF_PHYS");
+
+  const auto rankOf = [&](std::uint32_t x, std::uint32_t y) {
+    return y * config.gridX + x;
+  };
+
+  // ---- initialization + input I/O + broadcast (the ~11 s lead-in of the
+  // paper's Figure 6(a), scaled) ------------------------------------------
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    b.compute(r, fInit, config.initSeconds);
+    if (r == 0) {
+      b.compute(r, fIo, config.ioSeconds);
+    }
+    b.bcast(r, 0, config.inputBytes);
+  }
+
+  // ---- timesteps ----------------------------------------------------------
+  for (std::size_t t = 0; t < config.timesteps; ++t) {
+    for (std::uint32_t y = 0; y < config.gridY; ++y) {
+      for (std::uint32_t x = 0; x < config.gridX; ++x) {
+        const std::uint32_t r = rankOf(x, y);
+        b.enter(r, fIter);
+        b.compute(r, fDyn, config.dynSeconds);
+
+        std::vector<std::uint32_t> neighbors;
+        if (x > 0) neighbors.push_back(rankOf(x - 1, y));
+        if (x + 1 < config.gridX) neighbors.push_back(rankOf(x + 1, y));
+        if (y > 0) neighbors.push_back(rankOf(x, y - 1));
+        if (y + 1 < config.gridY) neighbors.push_back(rankOf(x, y + 1));
+        const auto tag = static_cast<std::uint32_t>(t);
+        for (const std::uint32_t nbr : neighbors) {
+          b.send(r, nbr, tag, config.haloBytes);
+        }
+        for (const std::uint32_t nbr : neighbors) {
+          b.recv(r, nbr, tag);
+        }
+
+        sim::ComputeAttrs physAttrs;
+        double phys = config.physSeconds;
+        if (r == config.fpeRank) {
+          phys *= config.fpeSlowdown;
+          physAttrs.fpExceptions = config.fpeRatePerSecond * phys;
+        } else {
+          physAttrs.fpExceptions = config.fpeBackgroundRate * phys;
+        }
+        b.compute(r, fPhys, phys, physAttrs);
+        b.compute(r, fRad, config.radSeconds);
+
+        b.allreduce(r, config.reduceBytes);
+        b.leave(r, fIter);
+      }
+    }
+  }
+
+  WrfScenario scenario;
+  scenario.program = b.finish();
+  scenario.simOptions.noise.sigma = config.noiseSigma;
+  scenario.simOptions.noise.seed = config.seed;
+  scenario.iterationFunction = fIter;
+  scenario.physicsFunction = fPhys;
+  scenario.culpritRank = config.fpeRank;
+  scenario.timesteps = config.timesteps;
+  scenario.fpExceptionMetricName =
+      scenario.simOptions.counters.fpExceptionsMetricName;
+  return scenario;
+}
+
+}  // namespace perfvar::apps

@@ -1,0 +1,60 @@
+#ifndef PERFVAR_APPS_WRF_HPP
+#define PERFVAR_APPS_WRF_HPP
+
+/// \file wrf.hpp
+/// WRF workload model (paper case study C, 12km CONUS benchmark shape).
+///
+/// 64 ranks on an 8x8 decomposition: an initialization + I/O phase,
+/// then iterations of dynamics (advection/pressure) and physics
+/// (microphysics/radiation) with halo exchanges and a global reduction.
+/// One rank's physics hits denormal operands: a high rate of
+/// floating-point exceptions (FR_FPU_EXCEPTIONS_SSE_MICROTRAPS) slows its
+/// computation, making every other rank wait - Figure 6.
+
+#include <cstdint>
+
+#include "sim/program.hpp"
+#include "sim/simulator.hpp"
+
+namespace perfvar::apps {
+
+/// Configuration of the WRF scenario.
+struct WrfConfig {
+  std::uint32_t gridX = 8;  ///< ranks = gridX * gridY
+  std::uint32_t gridY = 8;
+  std::size_t timesteps = 50;
+  double initSeconds = 0.25;       ///< per-rank model initialization
+  double ioSeconds = 0.9;          ///< input reading on rank 0
+  std::uint64_t inputBytes = 64 * 1024 * 1024;  ///< broadcast payload
+  double dynSeconds = 2.6e-3;      ///< dynamical core per step
+  double physSeconds = 2.2e-3;     ///< physics per step (healthy rank)
+  double radSeconds = 0.9e-3;      ///< radiation per step
+  /// The FP-exception anomaly.
+  std::uint32_t fpeRank = 39;
+  double fpeSlowdown = 1.8;        ///< physics slowdown factor on fpeRank
+  double fpeRatePerSecond = 4.0e7; ///< exceptions per second of physics
+  double fpeBackgroundRate = 2.0e3;  ///< residual rate on healthy ranks
+  std::uint64_t haloBytes = 32 * 1024;
+  std::uint64_t reduceBytes = 128;
+  double noiseSigma = 0.02;
+  std::uint64_t seed = 7;
+};
+
+/// Scenario with ground truth.
+struct WrfScenario {
+  sim::Program program;
+  sim::SimOptions simOptions;
+  trace::FunctionId iterationFunction = trace::kInvalidFunction;
+  trace::FunctionId physicsFunction = trace::kInvalidFunction;
+  std::uint32_t culpritRank = 0;
+  std::size_t timesteps = 0;
+  /// Name of the FP-exception counter metric in the produced trace.
+  std::string fpExceptionMetricName;
+};
+
+/// Build the scenario.
+WrfScenario buildWrf(const WrfConfig& config = {});
+
+}  // namespace perfvar::apps
+
+#endif  // PERFVAR_APPS_WRF_HPP

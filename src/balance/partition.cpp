@@ -1,0 +1,165 @@
+#include "balance/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace perfvar::balance {
+
+std::size_t ChainPartition::ownerOf(std::size_t i) const {
+  PERFVAR_REQUIRE(!cuts.empty() && i < cuts.back(), "item out of range");
+  // First cut strictly greater than i, minus one.
+  const auto it = std::upper_bound(cuts.begin(), cuts.end(), i);
+  return static_cast<std::size_t>(it - cuts.begin()) - 1;
+}
+
+double ChainPartition::bottleneck(std::span<const double> weights) const {
+  double worst = 0.0;
+  for (std::size_t k = 0; k + 1 < cuts.size(); ++k) {
+    double sum = 0.0;
+    for (std::size_t i = cuts[k]; i < cuts[k + 1]; ++i) {
+      sum += weights[i];
+    }
+    worst = std::max(worst, sum);
+  }
+  return worst;
+}
+
+std::vector<std::size_t> ChainPartition::owners(std::size_t n) const {
+  PERFVAR_REQUIRE(!cuts.empty() && cuts.back() == n,
+                  "partition does not cover n items");
+  std::vector<std::size_t> out(n, 0);
+  for (std::size_t k = 0; k + 1 < cuts.size(); ++k) {
+    for (std::size_t i = cuts[k]; i < cuts[k + 1]; ++i) {
+      out[i] = k;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void checkInputs(std::span<const double> weights, std::size_t parts) {
+  PERFVAR_REQUIRE(parts >= 1, "parts must be positive");
+  for (const double w : weights) {
+    PERFVAR_REQUIRE(w >= 0.0, "weights must be non-negative");
+  }
+}
+
+/// Greedy probe: can the chain be split into <= parts ranges each with
+/// sum <= limit? Fills `cuts` when feasible.
+bool probe(std::span<const double> weights, std::size_t parts, double limit,
+           std::vector<std::size_t>* cuts) {
+  if (cuts != nullptr) {
+    cuts->clear();
+    cuts->push_back(0);
+  }
+  std::size_t used = 1;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > limit) {
+      return false;  // single item exceeds the limit
+    }
+    if (sum + weights[i] > limit) {
+      ++used;
+      if (used > parts) {
+        return false;
+      }
+      if (cuts != nullptr) {
+        cuts->push_back(i);
+      }
+      sum = 0.0;
+    }
+    sum += weights[i];
+  }
+  if (cuts != nullptr) {
+    while (cuts->size() < parts) {
+      cuts->push_back(weights.size());
+    }
+    cuts->push_back(weights.size());
+  }
+  return true;
+}
+
+}  // namespace
+
+ChainPartition partitionGreedy(std::span<const double> weights,
+                               std::size_t parts) {
+  checkInputs(weights, parts);
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  const double target = total / static_cast<double>(parts);
+
+  ChainPartition p;
+  p.cuts.push_back(0);
+  double sum = 0.0;
+  std::size_t cutsLeft = parts - 1;
+  for (std::size_t i = 0; i < weights.size() && cutsLeft > 0; ++i) {
+    sum += weights[i];
+    // Cut after item i if we reached the target, but keep enough items
+    // for the remaining parts to be non-empty where possible.
+    const std::size_t remainingItems = weights.size() - (i + 1);
+    if ((sum >= target && remainingItems >= cutsLeft) ||
+        remainingItems == cutsLeft) {
+      p.cuts.push_back(i + 1);
+      --cutsLeft;
+      sum = 0.0;
+    }
+  }
+  while (p.cuts.size() < parts + 1) {
+    p.cuts.push_back(weights.size());
+  }
+  return p;
+}
+
+ChainPartition partitionOptimal(std::span<const double> weights,
+                                std::size_t parts) {
+  checkInputs(weights, parts);
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  double lo = 0.0;
+  for (const double w : weights) {
+    lo = std::max(lo, w);
+  }
+  double hi = std::max(total, lo);
+
+  // Binary search the bottleneck to a tight relative tolerance, then
+  // build the cuts with the final feasible limit.
+  const double eps = std::max(1e-12, 1e-9 * hi);
+  for (int iter = 0; iter < 200 && hi - lo > eps; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (probe(weights, parts, mid, nullptr)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  ChainPartition p;
+  const bool ok = probe(weights, parts, hi, &p.cuts);
+  PERFVAR_ASSERT(ok, "optimal partition probe failed at final limit");
+  return p;
+}
+
+double partitionImbalance(const ChainPartition& partition,
+                          std::span<const double> weights) {
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  const double ideal = total / static_cast<double>(partition.parts());
+  return partition.bottleneck(weights) / ideal - 1.0;
+}
+
+std::size_t migrationCount(const ChainPartition& before,
+                           const ChainPartition& after, std::size_t n) {
+  const auto a = before.owners(n);
+  const auto b = after.owners(n);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) {
+      ++moved;
+    }
+  }
+  return moved;
+}
+
+}  // namespace perfvar::balance

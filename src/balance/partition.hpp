@@ -1,0 +1,57 @@
+#ifndef PERFVAR_BALANCE_PARTITION_HPP
+#define PERFVAR_BALANCE_PARTITION_HPP
+
+/// \file partition.hpp
+/// 1-D chain partitioning: split a weight sequence into `parts` contiguous
+/// ranges minimizing the maximum range sum (the classic load-balancing
+/// kernel behind SFC-based balancers like FD4).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace perfvar::balance {
+
+/// A contiguous partition described by cut points:
+/// part k owns indices [cuts[k], cuts[k+1]). cuts.size() == parts + 1,
+/// cuts.front() == 0, cuts.back() == n. Empty parts are allowed.
+struct ChainPartition {
+  std::vector<std::size_t> cuts;
+
+  std::size_t parts() const { return cuts.empty() ? 0 : cuts.size() - 1; }
+  std::size_t begin(std::size_t part) const { return cuts[part]; }
+  std::size_t end(std::size_t part) const { return cuts[part + 1]; }
+
+  /// Owner part of item `i`.
+  std::size_t ownerOf(std::size_t i) const;
+
+  /// Maximum part weight under `weights`.
+  double bottleneck(std::span<const double> weights) const;
+
+  /// Dense owner array: owner[i] = part of item i.
+  std::vector<std::size_t> owners(std::size_t n) const;
+};
+
+/// Greedy heuristic: walk the chain, cutting when the running sum exceeds
+/// the ideal average. O(n). Good but not optimal.
+ChainPartition partitionGreedy(std::span<const double> weights,
+                               std::size_t parts);
+
+/// Optimal min-max partition via binary search on the bottleneck value
+/// with a greedy feasibility probe. O(n log(sum/epsilon)).
+ChainPartition partitionOptimal(std::span<const double> weights,
+                                std::size_t parts);
+
+/// Load imbalance lambda = maxPartWeight / idealAverage - 1 of a
+/// partition (0 = perfect).
+double partitionImbalance(const ChainPartition& partition,
+                          std::span<const double> weights);
+
+/// Number of items whose owner differs between two partitions of the same
+/// chain (the migration volume of a rebalancing step).
+std::size_t migrationCount(const ChainPartition& before,
+                           const ChainPartition& after, std::size_t n);
+
+}  // namespace perfvar::balance
+
+#endif  // PERFVAR_BALANCE_PARTITION_HPP

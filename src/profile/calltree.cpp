@@ -1,0 +1,154 @@
+#include "profile/calltree.hpp"
+
+#include <sstream>
+
+#include "trace/replay.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace perfvar::profile {
+
+CallTreeNode& CallTreeNode::childFor(trace::FunctionId f) {
+  for (auto& c : children) {
+    if (c.function == f) {
+      return c;
+    }
+  }
+  children.push_back(CallTreeNode{});
+  children.back().function = f;
+  return children.back();
+}
+
+const CallTreeNode* CallTreeNode::findChild(trace::FunctionId f) const {
+  for (const auto& c : children) {
+    if (c.function == f) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t CallTreeNode::nodeCount() const {
+  std::size_t n = 1;
+  for (const auto& c : children) {
+    n += c.nodeCount();
+  }
+  return n;
+}
+
+std::size_t CallTreeNode::maxDepth() const {
+  std::size_t d = 0;
+  for (const auto& c : children) {
+    d = std::max(d, c.maxDepth());
+  }
+  return d + 1;
+}
+
+CallTree CallTree::build(const trace::ProcessTrace& process) {
+  CallTree tree;
+  // Path of nodes from the root to the currently open frame. Raw pointers
+  // into the tree are safe here only because we never touch siblings of an
+  // open path; children are appended below the deepest open node, and
+  // vector reallocation of a node's `children` does not move the node
+  // itself... except it can move *grandchildren* containers. To stay safe
+  // we track the path as indices instead of pointers.
+  std::vector<std::size_t> pathIndices;  // child index at each level
+
+  const auto nodeAt = [&](std::size_t depth) -> CallTreeNode& {
+    CallTreeNode* n = &tree.root_;
+    for (std::size_t i = 0; i < depth; ++i) {
+      n = &n->children[pathIndices[i]];
+    }
+    return *n;
+  };
+
+  trace::ReplayVisitor v;
+  v.onEnter = [&](trace::FunctionId f, trace::Timestamp, std::size_t depth) {
+    CallTreeNode& parent = nodeAt(depth);
+    std::size_t idx = parent.children.size();
+    for (std::size_t i = 0; i < parent.children.size(); ++i) {
+      if (parent.children[i].function == f) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == parent.children.size()) {
+      parent.children.push_back(CallTreeNode{});
+      parent.children.back().function = f;
+    }
+    if (pathIndices.size() <= depth) {
+      pathIndices.resize(depth + 1);
+    }
+    pathIndices[depth] = idx;
+  };
+  v.onLeave = [&](const trace::Frame& frame) {
+    CallTreeNode& node = nodeAt(frame.depth + 1);
+    ++node.invocations;
+    node.inclusive += frame.inclusive();
+    node.exclusive += frame.exclusive();
+  };
+  trace::replayProcess(process, v);
+  return tree;
+}
+
+CallTree CallTree::buildMerged(const trace::Trace& tr) {
+  CallTree merged;
+  for (const auto& p : tr.processes) {
+    merged.merge(build(p));
+  }
+  return merged;
+}
+
+void CallTree::mergeNode(CallTreeNode& into, const CallTreeNode& from) {
+  into.invocations += from.invocations;
+  into.inclusive += from.inclusive;
+  into.exclusive += from.exclusive;
+  for (const auto& child : from.children) {
+    mergeNode(into.childFor(child.function), child);
+  }
+}
+
+void CallTree::merge(const CallTree& other) {
+  mergeNode(root_, other.root_);
+}
+
+const CallTreeNode* CallTree::findPath(
+    const std::vector<trace::FunctionId>& path) const {
+  const CallTreeNode* n = &root_;
+  for (const trace::FunctionId f : path) {
+    n = n->findChild(f);
+    if (n == nullptr) {
+      return nullptr;
+    }
+  }
+  return n;
+}
+
+namespace {
+
+void formatNode(const trace::Trace& tr, const CallTreeNode& node,
+                std::size_t depth, std::size_t maxDepth, std::ostream& os) {
+  if (depth > maxDepth) {
+    return;
+  }
+  if (node.function != trace::kInvalidFunction) {
+    os << std::string(2 * (depth - 1), ' ') << tr.functions.name(node.function)
+       << "  [calls " << node.invocations << ", incl "
+       << fmt::seconds(tr.toSeconds(node.inclusive)) << ", excl "
+       << fmt::seconds(tr.toSeconds(node.exclusive)) << "]\n";
+  }
+  for (const auto& c : node.children) {
+    formatNode(tr, c, depth + 1, maxDepth, os);
+  }
+}
+
+}  // namespace
+
+std::string formatCallTree(const trace::Trace& tr, const CallTree& tree,
+                           std::size_t maxDepth) {
+  std::ostringstream os;
+  formatNode(tr, tree.root(), 0, maxDepth, os);
+  return os.str();
+}
+
+}  // namespace perfvar::profile

@@ -1,0 +1,74 @@
+#ifndef PERFVAR_PROFILE_CALLTREE_HPP
+#define PERFVAR_PROFILE_CALLTREE_HPP
+
+/// \file calltree.hpp
+/// Call-path trees (calling-context trees) built from traces.
+///
+/// Each node represents one call path (root -> ... -> function) with
+/// accumulated statistics. Per-process trees can be merged into one
+/// cross-process tree to answer "where below main is the time spent".
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace perfvar::profile {
+
+/// One call-path node.
+struct CallTreeNode {
+  trace::FunctionId function = trace::kInvalidFunction;
+  std::uint64_t invocations = 0;
+  trace::Timestamp inclusive = 0;
+  trace::Timestamp exclusive = 0;
+  std::vector<CallTreeNode> children;  ///< ordered by first occurrence
+
+  /// Child for `f`, creating it if absent.
+  CallTreeNode& childFor(trace::FunctionId f);
+
+  /// Child for `f` or nullptr.
+  const CallTreeNode* findChild(trace::FunctionId f) const;
+
+  /// Total number of nodes in this subtree (including this node).
+  std::size_t nodeCount() const;
+
+  /// Maximum depth of this subtree (a leaf has depth 1).
+  std::size_t maxDepth() const;
+};
+
+/// Call tree of one process or of the merged trace. The root is a
+/// synthetic node (function == kInvalidFunction) whose children are the
+/// top-level functions.
+class CallTree {
+public:
+  /// Build the call tree of a single process stream.
+  static CallTree build(const trace::ProcessTrace& process);
+
+  /// Build the merged call tree of all processes of a trace.
+  static CallTree buildMerged(const trace::Trace& trace);
+
+  const CallTreeNode& root() const { return root_; }
+
+  /// Merge another tree into this one (paths unified by function ids).
+  void merge(const CallTree& other);
+
+  /// Total node count excluding the synthetic root.
+  std::size_t nodeCount() const { return root_.nodeCount() - 1; }
+
+  /// Find the node for an explicit call path (functions from the top-level
+  /// function downward); nullptr if the path never occurred.
+  const CallTreeNode* findPath(const std::vector<trace::FunctionId>& path) const;
+
+private:
+  static void mergeNode(CallTreeNode& into, const CallTreeNode& from);
+
+  CallTreeNode root_;
+};
+
+/// Indented multi-line rendering of a call tree (up to `maxDepth` levels).
+std::string formatCallTree(const trace::Trace& trace, const CallTree& tree,
+                           std::size_t maxDepth);
+
+}  // namespace perfvar::profile
+
+#endif  // PERFVAR_PROFILE_CALLTREE_HPP

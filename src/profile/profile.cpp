@@ -1,0 +1,139 @@
+#include "profile/profile.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace perfvar::profile {
+
+void FunctionStats::add(trace::Timestamp inc, trace::Timestamp exc) {
+  if (invocations == 0) {
+    minInclusive = inc;
+    maxInclusive = inc;
+  } else {
+    minInclusive = std::min(minInclusive, inc);
+    maxInclusive = std::max(maxInclusive, inc);
+  }
+  ++invocations;
+  inclusive += inc;
+  exclusive += exc;
+}
+
+void FunctionStats::merge(const FunctionStats& other) {
+  if (other.invocations == 0) {
+    return;
+  }
+  if (invocations == 0) {
+    *this = other;
+    return;
+  }
+  invocations += other.invocations;
+  inclusive += other.inclusive;
+  exclusive += other.exclusive;
+  minInclusive = std::min(minInclusive, other.minInclusive);
+  maxInclusive = std::max(maxInclusive, other.maxInclusive);
+}
+
+FlatProfile FlatProfile::build(const trace::Trace& tr) {
+  FlatProfile profile;
+  const std::size_t nFuncs = tr.functions.size();
+  profile.perProcess_.assign(tr.processCount(),
+                             std::vector<FunctionStats>(nFuncs));
+  profile.aggregated_.assign(nFuncs, FunctionStats{});
+  for (std::size_t f = 0; f < nFuncs; ++f) {
+    profile.aggregated_[f].function = static_cast<trace::FunctionId>(f);
+    for (auto& per : profile.perProcess_) {
+      per[f].function = static_cast<trace::FunctionId>(f);
+    }
+  }
+
+  for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
+    trace::ReplayVisitor v;
+    v.onLeave = [&](const trace::Frame& frame) {
+      profile.perProcess_[p][frame.function].add(frame.inclusive(),
+                                                 frame.exclusive());
+      profile.aggregated_[frame.function].add(frame.inclusive(),
+                                              frame.exclusive());
+    };
+    trace::replayProcess(tr.processes[p], v);
+  }
+  return profile;
+}
+
+const FunctionStats& FlatProfile::process(trace::ProcessId p,
+                                          trace::FunctionId f) const {
+  PERFVAR_REQUIRE(p < perProcess_.size(), "invalid process id");
+  PERFVAR_REQUIRE(f < perProcess_[p].size(), "invalid function id");
+  return perProcess_[p][f];
+}
+
+const FunctionStats& FlatProfile::aggregated(trace::FunctionId f) const {
+  PERFVAR_REQUIRE(f < aggregated_.size(), "invalid function id");
+  return aggregated_[f];
+}
+
+namespace {
+
+std::vector<FunctionStats> sortedBy(
+    const std::vector<FunctionStats>& all,
+    trace::Timestamp FunctionStats::* key) {
+  std::vector<FunctionStats> out;
+  for (const auto& s : all) {
+    if (s.invocations > 0) {
+      out.push_back(s);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [&](const FunctionStats& a, const FunctionStats& b) {
+              if (a.*key != b.*key) {
+                return a.*key > b.*key;
+              }
+              return a.function < b.function;  // deterministic tie-break
+            });
+  return out;
+}
+
+}  // namespace
+
+std::vector<FunctionStats> FlatProfile::byInclusiveTime() const {
+  return sortedBy(aggregated_, &FunctionStats::inclusive);
+}
+
+std::vector<FunctionStats> FlatProfile::byExclusiveTime() const {
+  return sortedBy(aggregated_, &FunctionStats::exclusive);
+}
+
+std::vector<trace::Timestamp> FlatProfile::exclusiveTimePerProcess(
+    const std::vector<bool>& keep) const {
+  PERFVAR_REQUIRE(keep.size() == aggregated_.size(),
+                  "keep mask size must equal function count");
+  std::vector<trace::Timestamp> out(perProcess_.size(), 0);
+  for (std::size_t p = 0; p < perProcess_.size(); ++p) {
+    for (std::size_t f = 0; f < keep.size(); ++f) {
+      if (keep[f]) {
+        out[p] += perProcess_[p][f].exclusive;
+      }
+    }
+  }
+  return out;
+}
+
+std::string formatTopFunctions(const trace::Trace& tr,
+                               const FlatProfile& profile, std::size_t n) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"function", "group", "paradigm", "invocations", "inclusive",
+                  "exclusive"});
+  const auto sorted = profile.byInclusiveTime();
+  for (std::size_t i = 0; i < std::min(n, sorted.size()); ++i) {
+    const FunctionStats& s = sorted[i];
+    const trace::FunctionDef& def = tr.functions.at(s.function);
+    rows.push_back({def.name, def.group, trace::paradigmName(def.paradigm),
+                    std::to_string(s.invocations),
+                    fmt::seconds(tr.toSeconds(s.inclusive)),
+                    fmt::seconds(tr.toSeconds(s.exclusive))});
+  }
+  return fmt::table(rows);
+}
+
+}  // namespace perfvar::profile

@@ -1,0 +1,44 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace perfvar::sim {
+
+unsigned treeStages(std::size_t ranks) {
+  unsigned stages = 0;
+  std::size_t span = 1;
+  while (span < ranks) {
+    span *= 2;
+    ++stages;
+  }
+  return std::max(stages, 1u);
+}
+
+double NetworkModel::transferTime(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) / bandwidth;
+}
+
+double NetworkModel::messageDelay(std::uint64_t bytes) const {
+  return latency + transferTime(bytes);
+}
+
+double NetworkModel::sendBusyTime(std::uint64_t bytes) const {
+  return sendOverhead + transferTime(bytes);
+}
+
+double NetworkModel::barrierCost(std::size_t ranks) const {
+  return collectivePerStage * treeStages(ranks);
+}
+
+double NetworkModel::allreduceCost(std::size_t ranks,
+                                   std::uint64_t bytes) const {
+  // Reduce + broadcast tree; payload crosses the wire twice.
+  return 2.0 * collectivePerStage * treeStages(ranks) +
+         2.0 * transferTime(bytes);
+}
+
+double NetworkModel::bcastCost(std::size_t ranks, std::uint64_t bytes) const {
+  return collectivePerStage * treeStages(ranks) + transferTime(bytes);
+}
+
+}  // namespace perfvar::sim

@@ -1,0 +1,46 @@
+#ifndef PERFVAR_SIM_NETWORK_HPP
+#define PERFVAR_SIM_NETWORK_HPP
+
+/// \file network.hpp
+/// LogP-style analytic network cost model of the simulator.
+///
+/// Point-to-point: the sender is busy for `sendOverhead + bytes/bandwidth`
+/// (eager injection); the message arrives `latency + bytes/bandwidth`
+/// after the send started. Collectives use logarithmic-tree estimates.
+
+#include <cstdint>
+
+namespace perfvar::sim {
+
+struct NetworkModel {
+  double latency = 1.5e-6;          ///< end-to-end latency (s)
+  double bandwidth = 5.0e9;         ///< bytes per second
+  double sendOverhead = 0.4e-6;     ///< sender CPU overhead (s)
+  double recvOverhead = 0.4e-6;     ///< receiver CPU overhead (s)
+  double collectivePerStage = 2.0e-6;  ///< per-tree-stage cost (s)
+
+  /// Time for `bytes` on the wire.
+  double transferTime(std::uint64_t bytes) const;
+
+  /// Arrival delay of an eager message (measured from send start).
+  double messageDelay(std::uint64_t bytes) const;
+
+  /// Busy time of the sender for an eager send.
+  double sendBusyTime(std::uint64_t bytes) const;
+
+  /// Time from the last arrival to completion of a barrier over `ranks`.
+  double barrierCost(std::size_t ranks) const;
+
+  /// Time from the last arrival to completion of an allreduce.
+  double allreduceCost(std::size_t ranks, std::uint64_t bytes) const;
+
+  /// Delay after the root's arrival until non-root ranks hold the data.
+  double bcastCost(std::size_t ranks, std::uint64_t bytes) const;
+};
+
+/// Number of tree stages for `ranks` participants (ceil(log2), >= 1).
+unsigned treeStages(std::size_t ranks);
+
+}  // namespace perfvar::sim
+
+#endif  // PERFVAR_SIM_NETWORK_HPP

@@ -1,0 +1,52 @@
+#ifndef PERFVAR_TRACE_ARCHIVE_HPP
+#define PERFVAR_TRACE_ARCHIVE_HPP
+
+/// \file archive.hpp
+/// Multi-file trace archives, mirroring OTF2's on-disk layout.
+///
+/// Score-P writes one event file per location plus shared definition and
+/// anchor files, so that large traces can be written without any
+/// inter-process communication and read selectively. The PVTA archive
+/// reproduces that structure on top of the PVTF binary format:
+///
+///   <dir>/anchor.pva        text: magic, version, rank count
+///   <dir>/definitions.pvt   PVTF: definitions only (no events)
+///   <dir>/rank<k>.pvt       PVTF: one process, rank k's events
+///
+/// loadArchive() can read all ranks or any subset (e.g. just the ranks a
+/// hotspot analysis flagged) without touching the other files.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace perfvar::trace {
+
+/// Write `trace` as a PVTA archive directory (created if needed; existing
+/// archive files are overwritten).
+void saveArchive(const Trace& trace, const std::string& directory);
+
+/// Archive metadata from the anchor file.
+struct ArchiveInfo {
+  std::size_t ranks = 0;
+  std::uint64_t resolution = 0;
+};
+
+/// Read the anchor of an archive (cheap; no event data touched).
+ArchiveInfo readArchiveInfo(const std::string& directory);
+
+/// Load the complete archive.
+Trace loadArchive(const std::string& directory);
+
+/// Load a subset of ranks. The resulting trace contains only the selected
+/// processes, renumbered densely in the given order (message peer ids are
+/// remapped; messages to unselected ranks are dropped, as in
+/// selectProcesses()).
+Trace loadArchiveRanks(const std::string& directory,
+                       const std::vector<ProcessId>& ranks);
+
+}  // namespace perfvar::trace
+
+#endif  // PERFVAR_TRACE_ARCHIVE_HPP

@@ -1,0 +1,316 @@
+#include "trace/binary_io.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace perfvar::trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'V', 'T', 'F'};
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Buffered payload writer that maintains an FNV-1a checksum.
+class PayloadWriter {
+public:
+  explicit PayloadWriter(std::ostream& out) : out_(out) {}
+
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ = (hash_ ^ p[i]) * kFnvPrime;
+    }
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(n));
+  }
+
+  void u8(std::uint8_t v) { bytes(&v, 1); }
+
+  void varint(std::uint64_t v) {
+    unsigned char buf[10];
+    std::size_t n = 0;
+    do {
+      unsigned char b = static_cast<unsigned char>(v & 0x7F);
+      v >>= 7;
+      if (v != 0) {
+        b |= 0x80;
+      }
+      buf[n++] = b;
+    } while (v != 0);
+    bytes(buf, n);
+  }
+
+  void f64(double v) {
+    const auto bits = std::bit_cast<std::uint64_t>(v);
+    unsigned char buf[8];
+    for (int i = 0; i < 8; ++i) {
+      buf[i] = static_cast<unsigned char>((bits >> (8 * i)) & 0xFF);
+    }
+    bytes(buf, 8);
+  }
+
+  void string(const std::string& s) {
+    varint(s.size());
+    if (!s.empty()) {
+      bytes(s.data(), s.size());
+    }
+  }
+
+  std::uint64_t hash() const { return hash_; }
+
+private:
+  std::ostream& out_;
+  std::uint64_t hash_ = kFnvOffset;
+};
+
+/// Payload reader mirroring PayloadWriter.
+class PayloadReader {
+public:
+  explicit PayloadReader(std::istream& in) : in_(in) {}
+
+  void bytes(void* data, std::size_t n) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    PERFVAR_REQUIRE(static_cast<std::size_t>(in_.gcount()) == n,
+                    "binary trace truncated");
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ = (hash_ ^ p[i]) * kFnvPrime;
+    }
+  }
+
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    bytes(&v, 1);
+    return v;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      PERFVAR_REQUIRE(shift < 64, "binary trace: varint too long");
+      const std::uint8_t b = u8();
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) {
+        break;
+      }
+      shift += 7;
+    }
+    return v;
+  }
+
+  double f64() {
+    unsigned char buf[8];
+    bytes(buf, 8);
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+    }
+    return std::bit_cast<double>(bits);
+  }
+
+  std::string string() {
+    const std::uint64_t n = varint();
+    PERFVAR_REQUIRE(n < (1ULL << 24), "binary trace: oversized string");
+    std::string s(static_cast<std::size_t>(n), '\0');
+    if (n > 0) {
+      bytes(s.data(), static_cast<std::size_t>(n));
+    }
+    return s;
+  }
+
+  std::uint64_t hash() const { return hash_; }
+
+private:
+  std::istream& in_;
+  std::uint64_t hash_ = kFnvOffset;
+};
+
+void writeU32LE(std::ostream& out, std::uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  out.write(buf, 4);
+}
+
+std::uint32_t readU32LE(std::istream& in) {
+  unsigned char buf[4];
+  in.read(reinterpret_cast<char*>(buf), 4);
+  PERFVAR_REQUIRE(in.gcount() == 4, "binary trace truncated");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void writeBinary(const Trace& trace, std::ostream& out) {
+  out.write(kMagic, 4);
+  writeU32LE(out, kBinaryFormatVersion);
+
+  PayloadWriter w(out);
+  w.varint(trace.resolution);
+
+  w.varint(trace.functions.size());
+  for (const FunctionDef& f : trace.functions.all()) {
+    w.string(f.name);
+    w.string(f.group);
+    w.u8(static_cast<std::uint8_t>(f.paradigm));
+  }
+
+  w.varint(trace.metrics.size());
+  for (const MetricDef& m : trace.metrics.all()) {
+    w.string(m.name);
+    w.string(m.unit);
+    w.u8(static_cast<std::uint8_t>(m.mode));
+  }
+
+  w.varint(trace.processes.size());
+  for (const ProcessTrace& p : trace.processes) {
+    w.string(p.name);
+    w.varint(p.events.size());
+    Timestamp last = 0;
+    for (const Event& e : p.events) {
+      w.u8(static_cast<std::uint8_t>(e.kind));
+      w.varint(e.time - last);
+      last = e.time;
+      switch (e.kind) {
+        case EventKind::Enter:
+        case EventKind::Leave:
+          w.varint(e.ref);
+          break;
+        case EventKind::MpiSend:
+        case EventKind::MpiRecv:
+          w.varint(e.ref);
+          w.varint(e.aux);
+          w.varint(e.size);
+          break;
+        case EventKind::Metric:
+          w.varint(e.ref);
+          w.f64(e.value);
+          break;
+      }
+    }
+  }
+
+  // Checksum trailer (not part of the checksummed payload).
+  const std::uint64_t h = w.hash();
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((h >> (8 * i)) & 0xFF);
+  }
+  out.write(buf, 8);
+  PERFVAR_REQUIRE(out.good(), "binary trace: write failed");
+}
+
+Trace readBinary(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  PERFVAR_REQUIRE(in.gcount() == 4 && std::memcmp(magic, kMagic, 4) == 0,
+                  "binary trace: bad magic");
+  const std::uint32_t version = readU32LE(in);
+  PERFVAR_REQUIRE(version == kBinaryFormatVersion,
+                  "binary trace: unsupported version " +
+                      std::to_string(version));
+
+  PayloadReader r(in);
+  Trace trace;
+  trace.resolution = r.varint();
+  PERFVAR_REQUIRE(trace.resolution > 0, "binary trace: zero resolution");
+
+  const std::uint64_t nFuncs = r.varint();
+  PERFVAR_REQUIRE(nFuncs < (1ULL << 24), "binary trace: too many functions");
+  for (std::uint64_t i = 0; i < nFuncs; ++i) {
+    const std::string name = r.string();
+    const std::string group = r.string();
+    const auto paradigm = static_cast<Paradigm>(r.u8());
+    PERFVAR_REQUIRE(paradigm <= Paradigm::Other,
+                    "binary trace: invalid paradigm");
+    trace.functions.intern(name, group, paradigm);
+  }
+
+  const std::uint64_t nMetrics = r.varint();
+  PERFVAR_REQUIRE(nMetrics < (1ULL << 24), "binary trace: too many metrics");
+  for (std::uint64_t i = 0; i < nMetrics; ++i) {
+    const std::string name = r.string();
+    const std::string unit = r.string();
+    const auto mode = static_cast<MetricMode>(r.u8());
+    PERFVAR_REQUIRE(mode <= MetricMode::Absolute,
+                    "binary trace: invalid metric mode");
+    trace.metrics.intern(name, unit, mode);
+  }
+
+  const std::uint64_t nProcs = r.varint();
+  PERFVAR_REQUIRE(nProcs >= 1 && nProcs < (1ULL << 24),
+                  "binary trace: invalid process count");
+  trace.processes.resize(static_cast<std::size_t>(nProcs));
+  for (auto& p : trace.processes) {
+    p.name = r.string();
+    const std::uint64_t nEvents = r.varint();
+    p.events.reserve(static_cast<std::size_t>(nEvents));
+    Timestamp last = 0;
+    for (std::uint64_t i = 0; i < nEvents; ++i) {
+      Event e;
+      const auto kind = static_cast<EventKind>(r.u8());
+      PERFVAR_REQUIRE(kind <= EventKind::Metric,
+                      "binary trace: invalid event kind");
+      e.kind = kind;
+      last += r.varint();
+      e.time = last;
+      switch (kind) {
+        case EventKind::Enter:
+        case EventKind::Leave:
+          e.ref = static_cast<std::uint32_t>(r.varint());
+          break;
+        case EventKind::MpiSend:
+        case EventKind::MpiRecv:
+          e.ref = static_cast<std::uint32_t>(r.varint());
+          e.aux = static_cast<std::uint32_t>(r.varint());
+          e.size = r.varint();
+          break;
+        case EventKind::Metric:
+          e.ref = static_cast<std::uint32_t>(r.varint());
+          e.value = r.f64();
+          break;
+      }
+      p.events.push_back(e);
+    }
+  }
+
+  const std::uint64_t expected = r.hash();
+  unsigned char buf[8];
+  in.read(reinterpret_cast<char*>(buf), 8);
+  PERFVAR_REQUIRE(in.gcount() == 8, "binary trace: missing checksum");
+  std::uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  }
+  PERFVAR_REQUIRE(stored == expected, "binary trace: checksum mismatch");
+  return trace;
+}
+
+void saveBinaryFile(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  PERFVAR_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  writeBinary(trace, out);
+  out.close();
+  PERFVAR_REQUIRE(out.good(), "write to '" + path + "' failed");
+}
+
+Trace loadBinaryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PERFVAR_REQUIRE(in.good(), "cannot open '" + path + "' for reading");
+  return readBinary(in);
+}
+
+}  // namespace perfvar::trace

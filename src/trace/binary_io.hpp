@@ -1,0 +1,36 @@
+#ifndef PERFVAR_TRACE_BINARY_IO_HPP
+#define PERFVAR_TRACE_BINARY_IO_HPP
+
+/// \file binary_io.hpp
+/// Binary serialization of traces ("PVTF" format, the OTF2 stand-in).
+///
+/// Layout (all integers LEB128 varints unless noted):
+///   magic "PVTF" | version u32 LE | payload | fnv1a-64 checksum (8 bytes LE)
+/// The payload holds resolution, definitions, and per-process event streams
+/// with delta-encoded timestamps. Doubles are stored as their IEEE-754 bit
+/// pattern (8 bytes LE). The reader validates magic, version and checksum
+/// and throws perfvar::Error on any corruption.
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace perfvar::trace {
+
+inline constexpr std::uint32_t kBinaryFormatVersion = 1;
+
+/// Serialize a trace to a stream.
+void writeBinary(const Trace& trace, std::ostream& out);
+
+/// Deserialize a trace from a stream; throws perfvar::Error on malformed
+/// input (bad magic, unsupported version, truncation, checksum mismatch).
+Trace readBinary(std::istream& in);
+
+/// Convenience file wrappers.
+void saveBinaryFile(const Trace& trace, const std::string& path);
+Trace loadBinaryFile(const std::string& path);
+
+}  // namespace perfvar::trace
+
+#endif  // PERFVAR_TRACE_BINARY_IO_HPP

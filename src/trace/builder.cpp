@@ -1,0 +1,128 @@
+#include "trace/builder.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace perfvar::trace {
+
+TraceBuilder::TraceBuilder(std::size_t processCount, std::uint64_t resolution) {
+  PERFVAR_REQUIRE(processCount > 0, "trace needs at least one process");
+  PERFVAR_REQUIRE(resolution > 0, "resolution must be positive");
+  trace_.resolution = resolution;
+  trace_.processes.resize(processCount);
+  for (std::size_t i = 0; i < processCount; ++i) {
+    trace_.processes[i].name = "Rank " + std::to_string(i);
+  }
+  stacks_.resize(processCount);
+  lastTime_.assign(processCount, 0);
+}
+
+FunctionId TraceBuilder::defineFunction(const std::string& name,
+                                        const std::string& group,
+                                        Paradigm paradigm) {
+  return trace_.functions.intern(name, group, paradigm);
+}
+
+MetricId TraceBuilder::defineMetric(const std::string& name,
+                                    const std::string& unit, MetricMode mode) {
+  return trace_.metrics.intern(name, unit, mode);
+}
+
+void TraceBuilder::setProcessName(ProcessId p, const std::string& name) {
+  checkProcess(p);
+  trace_.processes[p].name = name;
+}
+
+void TraceBuilder::checkProcess(ProcessId p) const {
+  PERFVAR_REQUIRE(!finished_, "builder already finished");
+  PERFVAR_REQUIRE(p < trace_.processes.size(), "invalid process id");
+}
+
+void TraceBuilder::checkTime(ProcessId p, Timestamp t) const {
+  if (!trace_.processes[p].events.empty()) {
+    PERFVAR_REQUIRE(t >= lastTime_[p],
+                    "timestamps must be non-decreasing per process");
+  }
+}
+
+void TraceBuilder::enter(ProcessId p, Timestamp t, FunctionId f) {
+  checkProcess(p);
+  checkTime(p, t);
+  PERFVAR_REQUIRE(f < trace_.functions.size(), "enter of undefined function");
+  trace_.processes[p].events.push_back(Event::enter(t, f));
+  stacks_[p].push_back(f);
+  lastTime_[p] = t;
+}
+
+void TraceBuilder::leave(ProcessId p, Timestamp t, FunctionId f) {
+  checkProcess(p);
+  checkTime(p, t);
+  PERFVAR_REQUIRE(f < trace_.functions.size(), "leave of undefined function");
+  PERFVAR_REQUIRE(!stacks_[p].empty(), "leave without matching enter");
+  if (stacks_[p].back() != f) {
+    std::ostringstream os;
+    os << "leave of '" << trace_.functions.name(f)
+       << "' does not match innermost enter '"
+       << trace_.functions.name(stacks_[p].back()) << "'";
+    throw Error(os.str());
+  }
+  trace_.processes[p].events.push_back(Event::leave(t, f));
+  stacks_[p].pop_back();
+  lastTime_[p] = t;
+}
+
+void TraceBuilder::mpiSend(ProcessId p, Timestamp t, ProcessId receiver,
+                           std::uint32_t tag, std::uint64_t bytes) {
+  checkProcess(p);
+  checkTime(p, t);
+  PERFVAR_REQUIRE(receiver < trace_.processes.size(), "send to undefined peer");
+  PERFVAR_REQUIRE(receiver != p, "send to self");
+  trace_.processes[p].events.push_back(Event::mpiSend(t, receiver, tag, bytes));
+  lastTime_[p] = t;
+}
+
+void TraceBuilder::mpiRecv(ProcessId p, Timestamp t, ProcessId sender,
+                           std::uint32_t tag, std::uint64_t bytes) {
+  checkProcess(p);
+  checkTime(p, t);
+  PERFVAR_REQUIRE(sender < trace_.processes.size(), "recv from undefined peer");
+  PERFVAR_REQUIRE(sender != p, "recv from self");
+  trace_.processes[p].events.push_back(Event::mpiRecv(t, sender, tag, bytes));
+  lastTime_[p] = t;
+}
+
+void TraceBuilder::metric(ProcessId p, Timestamp t, MetricId m, double value) {
+  checkProcess(p);
+  checkTime(p, t);
+  PERFVAR_REQUIRE(m < trace_.metrics.size(), "sample of undefined metric");
+  trace_.processes[p].events.push_back(Event::metric(t, m, value));
+  lastTime_[p] = t;
+}
+
+std::size_t TraceBuilder::depth(ProcessId p) const {
+  checkProcess(p);
+  return stacks_[p].size();
+}
+
+std::size_t TraceBuilder::eventCount(ProcessId p) const {
+  checkProcess(p);
+  return trace_.processes[p].events.size();
+}
+
+Trace TraceBuilder::finish() {
+  PERFVAR_REQUIRE(!finished_, "builder already finished");
+  for (ProcessId p = 0; p < stacks_.size(); ++p) {
+    if (!stacks_[p].empty()) {
+      std::ostringstream os;
+      os << "process " << p << " has " << stacks_[p].size()
+         << " unclosed enter frame(s), innermost '"
+         << trace_.functions.name(stacks_[p].back()) << "'";
+      throw Error(os.str());
+    }
+  }
+  finished_ = true;
+  return std::move(trace_);
+}
+
+}  // namespace perfvar::trace

@@ -1,0 +1,77 @@
+#ifndef PERFVAR_TRACE_BUILDER_HPP
+#define PERFVAR_TRACE_BUILDER_HPP
+
+/// \file builder.hpp
+/// Stack-checked construction of traces.
+///
+/// TraceBuilder plays the role of the Score-P measurement API: callers
+/// define functions/metrics, then record enter/leave/message/metric events
+/// per process. The builder enforces monotonic timestamps and proper
+/// nesting at record time, so a finished trace is valid by construction.
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace perfvar::trace {
+
+class TraceBuilder {
+public:
+  /// Create a builder for `processCount` processes. Process names default
+  /// to "Rank <i>".
+  explicit TraceBuilder(std::size_t processCount,
+                        std::uint64_t resolution = 1'000'000'000ULL);
+
+  /// Define (or look up) a function.
+  FunctionId defineFunction(const std::string& name,
+                            const std::string& group = "",
+                            Paradigm paradigm = Paradigm::Compute);
+
+  /// Define (or look up) a metric.
+  MetricId defineMetric(const std::string& name, const std::string& unit = "",
+                        MetricMode mode = MetricMode::Accumulated);
+
+  /// Rename a process.
+  void setProcessName(ProcessId p, const std::string& name);
+
+  /// Record a function entry at time `t` on process `p`.
+  void enter(ProcessId p, Timestamp t, FunctionId f);
+
+  /// Record a function exit; must match the innermost open enter.
+  void leave(ProcessId p, Timestamp t, FunctionId f);
+
+  /// Record a message send event.
+  void mpiSend(ProcessId p, Timestamp t, ProcessId receiver, std::uint32_t tag,
+               std::uint64_t bytes);
+
+  /// Record a message receive event.
+  void mpiRecv(ProcessId p, Timestamp t, ProcessId sender, std::uint32_t tag,
+               std::uint64_t bytes);
+
+  /// Record a metric sample.
+  void metric(ProcessId p, Timestamp t, MetricId m, double value);
+
+  /// Current call-stack depth of a process.
+  std::size_t depth(ProcessId p) const;
+
+  /// Number of events recorded so far on a process.
+  std::size_t eventCount(ProcessId p) const;
+
+  /// Finish building. All call stacks must be empty. The builder is left
+  /// in a moved-from state; use a fresh builder for the next trace.
+  Trace finish();
+
+private:
+  void checkProcess(ProcessId p) const;
+  void checkTime(ProcessId p, Timestamp t) const;
+
+  Trace trace_;
+  std::vector<std::vector<FunctionId>> stacks_;
+  std::vector<Timestamp> lastTime_;
+  bool finished_ = false;
+};
+
+}  // namespace perfvar::trace
+
+#endif  // PERFVAR_TRACE_BUILDER_HPP

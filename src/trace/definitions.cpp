@@ -1,0 +1,68 @@
+#include "trace/definitions.hpp"
+
+#include "util/error.hpp"
+
+namespace perfvar::trace {
+
+FunctionId FunctionRegistry::intern(const std::string& name,
+                                    const std::string& group,
+                                    Paradigm paradigm) {
+  PERFVAR_REQUIRE(!name.empty(), "function name must not be empty");
+  const auto it = byName_.find(name);
+  if (it != byName_.end()) {
+    const FunctionDef& existing = defs_[it->second];
+    PERFVAR_REQUIRE(existing.paradigm == paradigm &&
+                        (group.empty() || existing.group == group),
+                    "function '" + name + "' re-registered with different "
+                    "group/paradigm");
+    return it->second;
+  }
+  const auto id = static_cast<FunctionId>(defs_.size());
+  defs_.push_back(FunctionDef{name, group, paradigm});
+  byName_.emplace(name, id);
+  return id;
+}
+
+std::optional<FunctionId> FunctionRegistry::find(const std::string& name) const {
+  const auto it = byName_.find(name);
+  if (it == byName_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const FunctionDef& FunctionRegistry::at(FunctionId id) const {
+  PERFVAR_REQUIRE(id < defs_.size(), "invalid function id");
+  return defs_[id];
+}
+
+MetricId MetricRegistry::intern(const std::string& name,
+                                const std::string& unit, MetricMode mode) {
+  PERFVAR_REQUIRE(!name.empty(), "metric name must not be empty");
+  const auto it = byName_.find(name);
+  if (it != byName_.end()) {
+    const MetricDef& existing = defs_[it->second];
+    PERFVAR_REQUIRE(existing.mode == mode,
+                    "metric '" + name + "' re-registered with different mode");
+    return it->second;
+  }
+  const auto id = static_cast<MetricId>(defs_.size());
+  defs_.push_back(MetricDef{name, unit, mode});
+  byName_.emplace(name, id);
+  return id;
+}
+
+std::optional<MetricId> MetricRegistry::find(const std::string& name) const {
+  const auto it = byName_.find(name);
+  if (it == byName_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const MetricDef& MetricRegistry::at(MetricId id) const {
+  PERFVAR_REQUIRE(id < defs_.size(), "invalid metric id");
+  return defs_[id];
+}
+
+}  // namespace perfvar::trace

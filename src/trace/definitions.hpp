@@ -1,0 +1,79 @@
+#ifndef PERFVAR_TRACE_DEFINITIONS_HPP
+#define PERFVAR_TRACE_DEFINITIONS_HPP
+
+/// \file definitions.hpp
+/// Global definition records of a trace: functions, metrics.
+///
+/// Definitions are interned: registering the same name twice returns the
+/// original id. Ids are dense indices, so lookup tables over definitions
+/// can be plain vectors.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/types.hpp"
+
+namespace perfvar::trace {
+
+/// Definition of one instrumented function (OTF2 region).
+struct FunctionDef {
+  std::string name;
+  std::string group;  ///< free-form group label, e.g. "SPECS", "MPI"
+  Paradigm paradigm = Paradigm::Compute;
+};
+
+/// Definition of one metric (hardware counter or derived value).
+struct MetricDef {
+  std::string name;
+  std::string unit;
+  MetricMode mode = MetricMode::Accumulated;
+};
+
+/// Interning registry for function definitions.
+class FunctionRegistry {
+public:
+  /// Register (or look up) a function by name. If the name already exists
+  /// the existing id is returned and group/paradigm must match.
+  FunctionId intern(const std::string& name, const std::string& group = "",
+                    Paradigm paradigm = Paradigm::Compute);
+
+  /// Id for a name, if registered.
+  std::optional<FunctionId> find(const std::string& name) const;
+
+  const FunctionDef& at(FunctionId id) const;
+  std::size_t size() const { return defs_.size(); }
+  const std::vector<FunctionDef>& all() const { return defs_; }
+
+  /// Convenience: name of a function id (throws on invalid id).
+  const std::string& name(FunctionId id) const { return at(id).name; }
+
+private:
+  std::vector<FunctionDef> defs_;
+  std::unordered_map<std::string, FunctionId> byName_;
+};
+
+/// Interning registry for metric definitions.
+class MetricRegistry {
+public:
+  MetricId intern(const std::string& name, const std::string& unit = "",
+                  MetricMode mode = MetricMode::Accumulated);
+
+  std::optional<MetricId> find(const std::string& name) const;
+
+  const MetricDef& at(MetricId id) const;
+  std::size_t size() const { return defs_.size(); }
+  const std::vector<MetricDef>& all() const { return defs_; }
+
+  const std::string& name(MetricId id) const { return at(id).name; }
+
+private:
+  std::vector<MetricDef> defs_;
+  std::unordered_map<std::string, MetricId> byName_;
+};
+
+}  // namespace perfvar::trace
+
+#endif  // PERFVAR_TRACE_DEFINITIONS_HPP

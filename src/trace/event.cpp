@@ -1,0 +1,21 @@
+#include "trace/event.hpp"
+
+namespace perfvar::trace {
+
+const char* eventKindName(EventKind k) {
+  switch (k) {
+    case EventKind::Enter:
+      return "ENTER";
+    case EventKind::Leave:
+      return "LEAVE";
+    case EventKind::MpiSend:
+      return "MPI_SEND";
+    case EventKind::MpiRecv:
+      return "MPI_RECV";
+    case EventKind::Metric:
+      return "METRIC";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace perfvar::trace

@@ -1,0 +1,158 @@
+#include "trace/filter.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace perfvar::trace {
+
+Trace sliceTime(const Trace& tr, Timestamp start, Timestamp end) {
+  PERFVAR_REQUIRE(start < end, "sliceTime: empty window");
+  Trace out;
+  out.resolution = tr.resolution;
+  out.functions = tr.functions;
+  out.metrics = tr.metrics;
+  out.processes.resize(tr.processCount());
+
+  for (ProcessId p = 0; p < tr.processes.size(); ++p) {
+    const auto& in = tr.processes[p].events;
+    auto& dst = out.processes[p];
+    dst.name = tr.processes[p].name;
+
+    std::vector<FunctionId> stack;
+    std::unordered_map<MetricId, double> lastMetric;
+    std::size_t i = 0;
+
+    // Phase 1: replay the pre-window prefix to learn the open stack and
+    // the latest cumulative metric values.
+    for (; i < in.size() && in[i].time < start; ++i) {
+      const Event& e = in[i];
+      switch (e.kind) {
+        case EventKind::Enter:
+          stack.push_back(e.ref);
+          break;
+        case EventKind::Leave:
+          PERFVAR_REQUIRE(!stack.empty() && stack.back() == e.ref,
+                          "sliceTime: unbalanced input stream");
+          stack.pop_back();
+          break;
+        case EventKind::Metric:
+          lastMetric[e.ref] = e.value;
+          break;
+        default:
+          break;
+      }
+    }
+
+    // Leave events exactly at `start` close frames whose lifetime has zero
+    // overlap with the window; fold them into the prefix so they do not
+    // produce zero-length stub frames. (In a valid stream, leaves at a
+    // given timestamp precede enters at the same timestamp.)
+    for (; i < in.size() && in[i].time == start &&
+           in[i].kind == EventKind::Leave;
+         ++i) {
+      PERFVAR_REQUIRE(!stack.empty() && stack.back() == in[i].ref,
+                      "sliceTime: unbalanced input stream");
+      stack.pop_back();
+    }
+
+    // Synthesize the boundary state at `start`. Carried metric samples go
+    // first (outside any frame) so they only set the baseline for
+    // accumulated-metric deltas without being attributed to a segment.
+    std::vector<std::pair<MetricId, double>> carried(lastMetric.begin(),
+                                                     lastMetric.end());
+    std::sort(carried.begin(), carried.end());
+    for (const auto& [m, v] : carried) {
+      dst.events.push_back(Event::metric(start, m, v));
+    }
+    for (const FunctionId f : stack) {
+      dst.events.push_back(Event::enter(start, f));
+    }
+
+    // Phase 2: copy the in-window events.
+    for (; i < in.size() && in[i].time < end; ++i) {
+      const Event& e = in[i];
+      switch (e.kind) {
+        case EventKind::Enter:
+          stack.push_back(e.ref);
+          break;
+        case EventKind::Leave:
+          PERFVAR_REQUIRE(!stack.empty() && stack.back() == e.ref,
+                          "sliceTime: unbalanced input stream");
+          stack.pop_back();
+          break;
+        default:
+          break;
+      }
+      dst.events.push_back(e);
+    }
+
+    // Phase 3: close frames still open at the window end.
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      dst.events.push_back(Event::leave(end, *it));
+    }
+  }
+  return out;
+}
+
+Trace filterFunctions(const Trace& tr,
+                      const std::function<bool(FunctionId)>& drop) {
+  PERFVAR_REQUIRE(static_cast<bool>(drop), "filterFunctions: null predicate");
+  Trace out;
+  out.resolution = tr.resolution;
+  out.functions = tr.functions;
+  out.metrics = tr.metrics;
+  out.processes.resize(tr.processCount());
+  for (ProcessId p = 0; p < tr.processes.size(); ++p) {
+    out.processes[p].name = tr.processes[p].name;
+    auto& dst = out.processes[p].events;
+    for (const Event& e : tr.processes[p].events) {
+      if ((e.kind == EventKind::Enter || e.kind == EventKind::Leave) &&
+          drop(e.ref)) {
+        continue;
+      }
+      dst.push_back(e);
+    }
+  }
+  return out;
+}
+
+Trace selectProcesses(const Trace& tr,
+                      const std::vector<ProcessId>& processes) {
+  PERFVAR_REQUIRE(!processes.empty(), "selectProcesses: empty selection");
+  std::unordered_map<ProcessId, ProcessId> remap;
+  for (std::size_t i = 0; i < processes.size(); ++i) {
+    PERFVAR_REQUIRE(processes[i] < tr.processCount(),
+                    "selectProcesses: invalid process id");
+    PERFVAR_REQUIRE(remap.emplace(processes[i],
+                                  static_cast<ProcessId>(i)).second,
+                    "selectProcesses: duplicate process id");
+  }
+
+  Trace out;
+  out.resolution = tr.resolution;
+  out.functions = tr.functions;
+  out.metrics = tr.metrics;
+  out.processes.resize(processes.size());
+  for (std::size_t i = 0; i < processes.size(); ++i) {
+    const auto& in = tr.processes[processes[i]];
+    out.processes[i].name = in.name;
+    for (const Event& e : in.events) {
+      if (e.kind == EventKind::MpiSend || e.kind == EventKind::MpiRecv) {
+        const auto it = remap.find(e.ref);
+        if (it == remap.end()) {
+          continue;  // peer removed
+        }
+        Event remapped = e;
+        remapped.ref = it->second;
+        out.processes[i].events.push_back(remapped);
+      } else {
+        out.processes[i].events.push_back(e);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace perfvar::trace

@@ -1,0 +1,47 @@
+#ifndef PERFVAR_TRACE_FILTER_HPP
+#define PERFVAR_TRACE_FILTER_HPP
+
+/// \file filter.hpp
+/// Trace reduction: time-window slicing and function filtering.
+///
+/// The paper's second case study uses a filtered measurement: "the analyst
+/// used a second measurement run to only record slow iterations. For
+/// normal iterations the analyst discarded the tracing data." sliceTime
+/// reproduces that post-hoc: it cuts a trace to a window, synthesizing
+/// enter/leave events at the window boundaries for frames that span them,
+/// so the result is again a structurally valid trace.
+///
+/// filterFunctions drops selected functions (splicing their children into
+/// the parent), the standard way to thin traces of high-frequency helper
+/// functions before analysis.
+
+#include <functional>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace perfvar::trace {
+
+/// Cut a trace to [start, end). Frames overlapping a boundary get
+/// synthetic Enter/Leave events at the boundary timestamps; events outside
+/// the window are dropped. Definitions are preserved unchanged. Messages
+/// whose event falls outside the window are dropped (their partner event
+/// may survive - message records are unilateral in the event model).
+Trace sliceTime(const Trace& trace, Timestamp start, Timestamp end);
+
+/// Remove every invocation of the functions for which `drop(id)` is true.
+/// Children of a dropped frame are kept and attach to the dropped frame's
+/// parent (standard filter semantics of Score-P). Metric and message
+/// events are kept.
+Trace filterFunctions(const Trace& trace,
+                      const std::function<bool(FunctionId)>& drop);
+
+/// Keep only the given processes (ids are renumbered densely in the given
+/// order). Message events whose peer is not kept are dropped; surviving
+/// peer ids are remapped to the new numbering.
+Trace selectProcesses(const Trace& trace,
+                      const std::vector<ProcessId>& processes);
+
+}  // namespace perfvar::trace
+
+#endif  // PERFVAR_TRACE_FILTER_HPP

@@ -1,0 +1,79 @@
+#include "trace/replay.hpp"
+
+#include "util/error.hpp"
+
+namespace perfvar::trace {
+
+void replayProcess(const ProcessTrace& process, const ReplayVisitor& visitor) {
+  struct OpenFrame {
+    FunctionId function;
+    Timestamp enterTime;
+    Timestamp childrenTime;
+  };
+  std::vector<OpenFrame> stack;
+  for (const Event& e : process.events) {
+    switch (e.kind) {
+      case EventKind::Enter: {
+        if (visitor.onEnter) {
+          visitor.onEnter(e.ref, e.time, stack.size());
+        }
+        stack.push_back(OpenFrame{e.ref, e.time, 0});
+        break;
+      }
+      case EventKind::Leave: {
+        PERFVAR_REQUIRE(!stack.empty() && stack.back().function == e.ref,
+                        "replay: unbalanced enter/leave");
+        const OpenFrame open = stack.back();
+        stack.pop_back();
+        Frame frame;
+        frame.function = open.function;
+        frame.parent =
+            stack.empty() ? kInvalidFunction : stack.back().function;
+        frame.enterTime = open.enterTime;
+        frame.leaveTime = e.time;
+        frame.depth = stack.size();
+        frame.childrenTime = open.childrenTime;
+        if (!stack.empty()) {
+          stack.back().childrenTime += frame.inclusive();
+        }
+        if (visitor.onLeave) {
+          visitor.onLeave(frame);
+        }
+        break;
+      }
+      case EventKind::MpiSend:
+        if (visitor.onMessage) {
+          visitor.onMessage(true, e);
+        }
+        break;
+      case EventKind::MpiRecv:
+        if (visitor.onMessage) {
+          visitor.onMessage(false, e);
+        }
+        break;
+      case EventKind::Metric:
+        if (visitor.onMetric) {
+          visitor.onMetric(e, stack.size());
+        }
+        break;
+    }
+  }
+  PERFVAR_REQUIRE(stack.empty(), "replay: unclosed frames at stream end");
+}
+
+void replayTrace(const Trace& trace,
+                 const std::function<ReplayVisitor(ProcessId)>& makeVisitor) {
+  for (ProcessId p = 0; p < trace.processes.size(); ++p) {
+    replayProcess(trace.processes[p], makeVisitor(p));
+  }
+}
+
+std::vector<Frame> collectFrames(const ProcessTrace& process) {
+  std::vector<Frame> frames;
+  ReplayVisitor v;
+  v.onLeave = [&](const Frame& f) { frames.push_back(f); };
+  replayProcess(process, v);
+  return frames;
+}
+
+}  // namespace perfvar::trace

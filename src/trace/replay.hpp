@@ -1,0 +1,57 @@
+#ifndef PERFVAR_TRACE_REPLAY_HPP
+#define PERFVAR_TRACE_REPLAY_HPP
+
+/// \file replay.hpp
+/// Call-stack replay over a process event stream.
+///
+/// StackReplayer walks one process stream and reconstructs the call stack,
+/// invoking visitor callbacks with full frame information (enter time,
+/// depth, parent). Profile construction, segmentation and SOS analysis are
+/// all implemented on top of this single pass.
+
+#include <functional>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace perfvar::trace {
+
+/// One completed function invocation as seen during replay.
+struct Frame {
+  FunctionId function = kInvalidFunction;
+  FunctionId parent = kInvalidFunction;  ///< kInvalidFunction at top level
+  Timestamp enterTime = 0;
+  Timestamp leaveTime = 0;
+  std::size_t depth = 0;          ///< 0 = top level
+  Timestamp childrenTime = 0;     ///< sum of direct children inclusive times
+
+  Timestamp inclusive() const { return leaveTime - enterTime; }
+  Timestamp exclusive() const { return inclusive() - childrenTime; }
+};
+
+/// Visitor interface of the replayer. All callbacks are optional.
+struct ReplayVisitor {
+  /// Called at each Enter event (function, time, depth after push - 1).
+  std::function<void(FunctionId, Timestamp, std::size_t)> onEnter;
+  /// Called at each Leave event with the completed frame.
+  std::function<void(const Frame&)> onLeave;
+  /// Called for each message event (isSend, event).
+  std::function<void(bool, const Event&)> onMessage;
+  /// Called for each metric sample with the current stack depth.
+  std::function<void(const Event&, std::size_t)> onMetric;
+};
+
+/// Replay one process stream. The stream must be structurally valid
+/// (use trace::validate / requireValid first); malformed streams throw.
+void replayProcess(const ProcessTrace& process, const ReplayVisitor& visitor);
+
+/// Replay every process of a trace (in process order).
+void replayTrace(const Trace& trace,
+                 const std::function<ReplayVisitor(ProcessId)>& makeVisitor);
+
+/// Collect all completed frames of a process in leave order.
+std::vector<Frame> collectFrames(const ProcessTrace& process);
+
+}  // namespace perfvar::trace
+
+#endif  // PERFVAR_TRACE_REPLAY_HPP

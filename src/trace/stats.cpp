@@ -1,0 +1,64 @@
+#include "trace/stats.hpp"
+
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace perfvar::trace {
+
+TraceStats computeStats(const Trace& trace) {
+  TraceStats s;
+  s.processCount = trace.processCount();
+  s.functionCount = trace.functions.size();
+  s.metricCount = trace.metrics.size();
+  s.startTime = trace.startTime();
+  s.endTime = trace.endTime();
+  s.durationSeconds = trace.durationSeconds();
+  for (const auto& p : trace.processes) {
+    std::size_t depth = 0;
+    for (const Event& e : p.events) {
+      ++s.eventCount;
+      ++s.eventsByKind[static_cast<std::size_t>(e.kind)];
+      switch (e.kind) {
+        case EventKind::Enter:
+          ++depth;
+          s.maxStackDepth = std::max(s.maxStackDepth, depth);
+          break;
+        case EventKind::Leave:
+          if (depth > 0) {
+            --depth;
+          }
+          break;
+        case EventKind::MpiSend:
+          ++s.messageCount;
+          s.messageBytes += e.size;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return s;
+}
+
+std::string formatStats(const TraceStats& s) {
+  std::ostringstream os;
+  os << "processes:   " << s.processCount << '\n'
+     << "functions:   " << s.functionCount << '\n'
+     << "metrics:     " << s.metricCount << '\n'
+     << "events:      " << s.eventCount << " (enter "
+     << s.eventsByKind[static_cast<std::size_t>(EventKind::Enter)] << ", leave "
+     << s.eventsByKind[static_cast<std::size_t>(EventKind::Leave)] << ", send "
+     << s.eventsByKind[static_cast<std::size_t>(EventKind::MpiSend)]
+     << ", recv "
+     << s.eventsByKind[static_cast<std::size_t>(EventKind::MpiRecv)]
+     << ", metric "
+     << s.eventsByKind[static_cast<std::size_t>(EventKind::Metric)] << ")\n"
+     << "messages:    " << s.messageCount << " carrying "
+     << fmt::bytes(s.messageBytes) << '\n'
+     << "duration:    " << fmt::seconds(s.durationSeconds) << '\n'
+     << "max depth:   " << s.maxStackDepth << '\n';
+  return os.str();
+}
+
+}  // namespace perfvar::trace

@@ -1,0 +1,38 @@
+#ifndef PERFVAR_TRACE_STATS_HPP
+#define PERFVAR_TRACE_STATS_HPP
+
+/// \file stats.hpp
+/// Cheap whole-trace statistics (event counts, message volume, time span).
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace perfvar::trace {
+
+/// Aggregate statistics of a trace.
+struct TraceStats {
+  std::size_t processCount = 0;
+  std::size_t functionCount = 0;
+  std::size_t metricCount = 0;
+  std::size_t eventCount = 0;
+  std::array<std::size_t, 5> eventsByKind{};  ///< indexed by EventKind
+  std::size_t messageCount = 0;               ///< sends
+  std::uint64_t messageBytes = 0;             ///< bytes sent
+  Timestamp startTime = 0;
+  Timestamp endTime = 0;
+  double durationSeconds = 0.0;
+  std::size_t maxStackDepth = 0;
+};
+
+/// Compute trace statistics in one pass.
+TraceStats computeStats(const Trace& trace);
+
+/// Multi-line human-readable rendering of the statistics.
+std::string formatStats(const TraceStats& stats);
+
+}  // namespace perfvar::trace
+
+#endif  // PERFVAR_TRACE_STATS_HPP

@@ -1,0 +1,70 @@
+#ifndef PERFVAR_TRACE_TRACE_HPP
+#define PERFVAR_TRACE_TRACE_HPP
+
+/// \file trace.hpp
+/// The in-memory trace container and its validation.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/definitions.hpp"
+#include "trace/event.hpp"
+
+namespace perfvar::trace {
+
+/// Event stream of one process (OTF2 location).
+struct ProcessTrace {
+  std::string name;           ///< e.g. "Rank 17"
+  std::vector<Event> events;  ///< time-sorted
+};
+
+/// A complete trace: definitions plus one event stream per process.
+struct Trace {
+  /// Ticks per second of all timestamps; defaults to nanoseconds.
+  std::uint64_t resolution = 1'000'000'000ULL;
+  FunctionRegistry functions;
+  MetricRegistry metrics;
+  std::vector<ProcessTrace> processes;
+
+  std::size_t processCount() const { return processes.size(); }
+
+  /// Total number of events across all processes.
+  std::size_t eventCount() const;
+
+  /// Earliest event timestamp (0 for an empty trace).
+  Timestamp startTime() const;
+
+  /// Latest event timestamp (0 for an empty trace).
+  Timestamp endTime() const;
+
+  /// Trace duration in seconds.
+  double durationSeconds() const;
+
+  /// Seconds represented by `t` ticks under this trace's resolution.
+  double toSeconds(Timestamp t) const { return ticksToSeconds(t, resolution); }
+};
+
+/// One problem found by validate().
+struct ValidationIssue {
+  ProcessId process = 0;
+  std::size_t eventIndex = 0;  ///< index into the process event stream
+  std::string message;
+};
+
+/// Structural validation of a trace. Checks per process stream:
+///  - timestamps are non-decreasing,
+///  - Enter/Leave are properly nested and Leave matches the innermost Enter,
+///  - every referenced function/metric id is defined,
+///  - all Enter frames are closed by the end of the stream.
+/// Message events are additionally checked for self-messages.
+/// Returns all issues found (empty == valid).
+std::vector<ValidationIssue> validate(const Trace& trace);
+
+/// Convenience: throws perfvar::Error listing the first issues if the trace
+/// is not valid.
+void requireValid(const Trace& trace);
+
+}  // namespace perfvar::trace
+
+#endif  // PERFVAR_TRACE_TRACE_HPP

@@ -1,0 +1,44 @@
+#include "trace/types.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace perfvar::trace {
+
+const char* paradigmName(Paradigm p) {
+  switch (p) {
+    case Paradigm::Compute:
+      return "COMPUTE";
+    case Paradigm::MPI:
+      return "MPI";
+    case Paradigm::OpenMP:
+      return "OPENMP";
+    case Paradigm::IO:
+      return "IO";
+    case Paradigm::Memory:
+      return "MEMORY";
+    case Paradigm::Other:
+      return "OTHER";
+  }
+  return "OTHER";
+}
+
+Paradigm paradigmFromName(const std::string& name) {
+  if (name == "COMPUTE") return Paradigm::Compute;
+  if (name == "MPI") return Paradigm::MPI;
+  if (name == "OPENMP") return Paradigm::OpenMP;
+  if (name == "IO") return Paradigm::IO;
+  if (name == "MEMORY") return Paradigm::Memory;
+  if (name == "OTHER") return Paradigm::Other;
+  PERFVAR_REQUIRE(false, "unknown paradigm name: " + name);
+  return Paradigm::Other;
+}
+
+Timestamp secondsToTicks(double s, std::uint64_t resolution) {
+  PERFVAR_REQUIRE(s >= 0.0, "secondsToTicks: negative time");
+  return static_cast<Timestamp>(
+      std::llround(s * static_cast<double>(resolution)));
+}
+
+}  // namespace perfvar::trace

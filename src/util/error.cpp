@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace perfvar::detail {
+
+void throwError(const char* condition, const char* file, int line,
+                const std::string& message) {
+  std::ostringstream os;
+  os << "perfvar: " << message << " [failed: " << condition << " at " << file
+     << ":" << line << "]";
+  throw Error(os.str());
+}
+
+}  // namespace perfvar::detail

@@ -1,0 +1,41 @@
+#ifndef PERFVAR_UTIL_ERROR_HPP
+#define PERFVAR_UTIL_ERROR_HPP
+
+/// \file error.hpp
+/// Error handling primitives for the perfvar libraries.
+///
+/// The libraries report contract violations and malformed inputs through
+/// perfvar::Error (a std::runtime_error subtype). Internal invariants are
+/// asserted with PERFVAR_ASSERT; user-facing precondition checks use
+/// PERFVAR_REQUIRE which is always active.
+
+#include <stdexcept>
+#include <string>
+
+namespace perfvar {
+
+/// Exception type thrown by all perfvar libraries.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throwError(const char* condition, const char* file, int line,
+                             const std::string& message);
+}  // namespace detail
+
+}  // namespace perfvar
+
+/// Precondition / input validation check; always enabled.
+#define PERFVAR_REQUIRE(cond, message)                                        \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::perfvar::detail::throwError(#cond, __FILE__, __LINE__, (message));    \
+    }                                                                         \
+  } while (false)
+
+/// Internal invariant check; enabled unless NDEBUG-only builds disable it.
+#define PERFVAR_ASSERT(cond, message) PERFVAR_REQUIRE(cond, message)
+
+#endif  // PERFVAR_UTIL_ERROR_HPP

@@ -1,0 +1,124 @@
+#include "util/format.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace perfvar::fmt {
+
+std::string fixed(double v, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << v;
+  return os.str();
+}
+
+std::string seconds(double s) {
+  const double a = std::abs(s);
+  if (a < 1e-6) {
+    return fixed(s * 1e9, 1) + " ns";
+  }
+  if (a < 1e-3) {
+    return fixed(s * 1e6, 2) + " us";
+  }
+  if (a < 1.0) {
+    return fixed(s * 1e3, 2) + " ms";
+  }
+  return fixed(s, 3) + " s";
+}
+
+std::string bytes(std::uint64_t n) {
+  const double d = static_cast<double>(n);
+  if (n < (1ULL << 10)) {
+    return std::to_string(n) + " B";
+  }
+  if (n < (1ULL << 20)) {
+    return fixed(d / 1024.0, 1) + " KiB";
+  }
+  if (n < (1ULL << 30)) {
+    return fixed(d / (1024.0 * 1024.0), 1) + " MiB";
+  }
+  return fixed(d / (1024.0 * 1024.0 * 1024.0), 2) + " GiB";
+}
+
+std::string percent(double ratio) {
+  return fixed(ratio * 100.0, 1) + "%";
+}
+
+std::string join(std::span<const std::string> parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string pad(const std::string& s, int width) {
+  const auto w = static_cast<std::size_t>(std::abs(width));
+  if (s.size() >= w) {
+    return s;
+  }
+  const std::string fill(w - s.size(), ' ');
+  return width < 0 ? fill + s : s + fill;
+}
+
+std::string table(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) {
+    return {};
+  }
+  std::size_t cols = 0;
+  for (const auto& r : rows) {
+    cols = std::max(cols, r.size());
+  }
+  std::vector<std::size_t> widths(cols, 0);
+  for (const auto& r : rows) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t c = 0; c < rows[i].size(); ++c) {
+      os << pad(rows[i][c], static_cast<int>(widths[c]));
+      if (c + 1 < rows[i].size()) {
+        os << "  ";
+      }
+    }
+    os << '\n';
+    if (i == 0) {
+      std::size_t total = 0;
+      for (std::size_t c = 0; c < cols; ++c) {
+        total += widths[c] + (c + 1 < cols ? 2 : 0);
+      }
+      os << std::string(total, '-') << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string sparkline(std::span<const double> values) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty()) {
+    return {};
+  }
+  const auto [mnIt, mxIt] = std::minmax_element(values.begin(), values.end());
+  const double mn = *mnIt;
+  const double range = *mxIt - mn;
+  std::string out;
+  for (const double v : values) {
+    int level = 0;
+    if (range > 0.0) {
+      level = static_cast<int>((v - mn) / range * 7.999);
+      level = std::clamp(level, 0, 7);
+    }
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+}  // namespace perfvar::fmt

@@ -1,0 +1,287 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace perfvar::stats {
+
+namespace {
+
+std::vector<double> sorted(std::span<const double> xs) {
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+double medianOfSorted(const std::vector<double>& v) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  const std::size_t n = v.size();
+  if (n % 2 == 1) {
+    return v[n / 2];
+  }
+  return 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) {
+    const double d = x - m;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  return std::sqrt(variance(xs));
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) {
+    return s;
+  }
+  s.count = xs.size();
+  s.min = xs[0];
+  s.max = xs[0];
+  double sum = 0.0;
+  double sumSq = 0.0;
+  for (const double x : xs) {
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+    sum += x;
+    sumSq += x * x;
+  }
+  s.sum = sum;
+  s.mean = sum / static_cast<double>(s.count);
+  const double var =
+      std::max(0.0, sumSq / static_cast<double>(s.count) - s.mean * s.mean);
+  s.stddev = std::sqrt(var);
+  return s;
+}
+
+double median(std::span<const double> xs) {
+  return medianOfSorted(sorted(xs));
+}
+
+double quantile(std::span<const double> xs, double q) {
+  PERFVAR_REQUIRE(q >= 0.0 && q <= 1.0, "quantile: q must be in [0,1]");
+  if (xs.empty()) {
+    return 0.0;
+  }
+  const auto v = sorted(xs);
+  if (v.size() == 1) {
+    return v[0];
+  }
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double mad(std::span<const double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  const double med = median(xs);
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (const double x : xs) {
+    dev.push_back(std::abs(x - med));
+  }
+  return median(dev);
+}
+
+double robustZ(double x, std::span<const double> sample) {
+  const double med = median(sample);
+  const double scale = kMadToSigma * mad(sample);
+  if (scale > 0.0) {
+    return (x - med) / scale;
+  }
+  return zScore(x, sample);
+}
+
+double zScore(double x, std::span<const double> sample) {
+  const double sd = stddev(sample);
+  if (sd <= 0.0) {
+    return 0.0;
+  }
+  return (x - mean(sample)) / sd;
+}
+
+double referenceZ(double x, std::span<const double> reference) {
+  if (reference.empty()) {
+    return 0.0;
+  }
+  const double med = median(reference);
+  double scale = kMadToSigma * mad(reference);
+  if (scale <= 0.0) {
+    scale = stddev(reference);
+  }
+  if (scale <= 0.0) {
+    if (x == med) {
+      return 0.0;
+    }
+    // Constant reference: any deviation is significant. Score relative to
+    // 0.1% of the reference level (or an absolute epsilon near zero).
+    const double base = std::max(1e-3 * std::abs(med), 1e-12);
+    return (x - med) / base;
+  }
+  return (x - med) / scale;
+}
+
+OlsFit olsFit(std::span<const double> xs, std::span<const double> ys) {
+  PERFVAR_REQUIRE(xs.size() == ys.size(), "olsFit: size mismatch");
+  OlsFit fit;
+  const std::size_t n = xs.size();
+  if (n < 2) {
+    return fit;
+  }
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) {
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = (syy > 0.0) ? (sxy * sxy) / (sxx * syy) : 0.0;
+  return fit;
+}
+
+OlsFit olsTrend(std::span<const double> ys) {
+  std::vector<double> xs(ys.size());
+  std::iota(xs.begin(), xs.end(), 0.0);
+  return olsFit(xs, ys);
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  PERFVAR_REQUIRE(xs.size() == ys.size(), "pearson: size mismatch");
+  const std::size_t n = xs.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> out(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) {
+      ++j;
+    }
+    // Average rank across the tie group [i, j].
+    const double avgRank = 0.5 * (static_cast<double>(i) + static_cast<double>(j));
+    for (std::size_t k = i; k <= j; ++k) {
+      out[order[k]] = avgRank;
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  PERFVAR_REQUIRE(xs.size() == ys.size(), "spearman: size mismatch");
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const auto rx = ranks(xs);
+  const auto ry = ranks(ys);
+  return pearson(rx, ry);
+}
+
+double imbalanceFactor(std::span<const double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  const double m = mean(xs);
+  if (m <= 0.0) {
+    return 0.0;
+  }
+  const double mx = *std::max_element(xs.begin(), xs.end());
+  return mx / m - 1.0;
+}
+
+double imbalanceLoss(std::span<const double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  const double mx = *std::max_element(xs.begin(), xs.end());
+  if (mx <= 0.0) {
+    return 0.0;
+  }
+  return (mx - mean(xs)) / mx;
+}
+
+std::vector<std::size_t> histogram(std::span<const double> xs, std::size_t bins) {
+  PERFVAR_REQUIRE(bins > 0, "histogram: bins must be positive");
+  std::vector<std::size_t> counts(bins, 0);
+  if (xs.empty()) {
+    return counts;
+  }
+  const auto [mnIt, mxIt] = std::minmax_element(xs.begin(), xs.end());
+  const double mn = *mnIt;
+  const double mx = *mxIt;
+  const double width = mx - mn;
+  for (const double x : xs) {
+    std::size_t b = 0;
+    if (width > 0.0) {
+      b = static_cast<std::size_t>((x - mn) / width * static_cast<double>(bins));
+      b = std::min(b, bins - 1);
+    }
+    ++counts[b];
+  }
+  return counts;
+}
+
+}  // namespace perfvar::stats

@@ -1,0 +1,183 @@
+#include "vis/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace perfvar::vis {
+
+Rgb seriesColor(std::size_t index) {
+  static const Rgb kColors[] = {
+      Rgb{0, 114, 188}, Rgb{215, 25, 28},  Rgb{58, 181, 74},
+      Rgb{123, 63, 153}, Rgb{247, 148, 29}, Rgb{0, 169, 157},
+  };
+  return kColors[index % (sizeof(kColors) / sizeof(kColors[0]))];
+}
+
+namespace {
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void add(double v) {
+    if (std::isfinite(v)) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+
+  bool valid() const { return lo <= hi; }
+};
+
+std::string tickLabel(double v, bool percent) {
+  if (percent) {
+    return fmt::percent(v);
+  }
+  std::ostringstream os;
+  os.precision(3);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+SvgDocument renderLineChart(const std::vector<Series>& seriesList,
+                            const ChartOptions& options) {
+  PERFVAR_REQUIRE(!seriesList.empty(), "chart needs at least one series");
+  for (const auto& s : seriesList) {
+    PERFVAR_REQUIRE(!s.ys.empty(), "chart series must not be empty");
+    PERFVAR_REQUIRE(s.xs.empty() || s.xs.size() == s.ys.size(),
+                    "xs/ys size mismatch");
+  }
+
+  Range xr;
+  Range yr;
+  for (const auto& s : seriesList) {
+    for (std::size_t i = 0; i < s.ys.size(); ++i) {
+      xr.add(s.xs.empty() ? static_cast<double>(i) : s.xs[i]);
+      yr.add(s.ys[i]);
+    }
+  }
+  PERFVAR_REQUIRE(xr.valid() && yr.valid(), "chart data has no finite values");
+  if (options.yMin < options.yMax) {
+    yr.lo = options.yMin;
+    yr.hi = options.yMax;
+  }
+  if (yr.hi == yr.lo) {
+    yr.hi = yr.lo + 1.0;
+  }
+  if (xr.hi == xr.lo) {
+    xr.hi = xr.lo + 1.0;
+  }
+
+  const double mL = 56;
+  const double mR = 14;
+  const double mT = options.title.empty() ? 14 : 30;
+  const double mB = options.legend ? 56 : 38;
+  const double plotW = options.width - mL - mR;
+  const double plotH = options.height - mT - mB;
+  PERFVAR_REQUIRE(plotW > 10 && plotH > 10, "chart too small");
+
+  SvgDocument svg(options.width, options.height);
+  const Rgb axis{60, 60, 60};
+  const Rgb grid{225, 225, 225};
+  const Rgb text{30, 30, 30};
+
+  if (!options.title.empty()) {
+    svg.text(mL, 18, options.title, text, 13.0);
+  }
+
+  const auto xPos = [&](double x) {
+    return mL + plotW * (x - xr.lo) / (xr.hi - xr.lo);
+  };
+  const auto yPos = [&](double y) {
+    return mT + plotH * (1.0 - (y - yr.lo) / (yr.hi - yr.lo));
+  };
+
+  // Grid and ticks.
+  constexpr int kTicks = 5;
+  for (int t = 0; t <= kTicks; ++t) {
+    const double fy = yr.lo + (yr.hi - yr.lo) * t / kTicks;
+    svg.line(mL, yPos(fy), mL + plotW, yPos(fy), grid, 0.7);
+    svg.text(mL - 6, yPos(fy) + 3.5, tickLabel(fy, options.percentY), text,
+             9.0, "end");
+    const double fx = xr.lo + (xr.hi - xr.lo) * t / kTicks;
+    svg.text(xPos(fx), mT + plotH + 14, tickLabel(fx, false), text, 9.0,
+             "middle");
+  }
+  svg.line(mL, mT, mL, mT + plotH, axis, 1.0);
+  svg.line(mL, mT + plotH, mL + plotW, mT + plotH, axis, 1.0);
+  if (!options.xLabel.empty()) {
+    svg.text(mL + plotW / 2, mT + plotH + 28, options.xLabel, text, 10.0,
+             "middle");
+  }
+  if (!options.yLabel.empty()) {
+    svg.text(4, mT - 4, options.yLabel, text, 10.0);
+  }
+
+  // Series.
+  for (const auto& s : seriesList) {
+    std::ostringstream path;
+    path.setf(std::ios::fixed);
+    path.precision(2);
+    bool pen = false;
+    std::ostringstream area;
+    area.setf(std::ios::fixed);
+    area.precision(2);
+    double firstX = 0.0;
+    double lastX = 0.0;
+    bool anyPoint = false;
+    for (std::size_t i = 0; i < s.ys.size(); ++i) {
+      const double x = s.xs.empty() ? static_cast<double>(i) : s.xs[i];
+      const double y = s.ys[i];
+      if (!std::isfinite(y)) {
+        pen = false;
+        continue;
+      }
+      path << (pen ? " L " : " M ") << xPos(x) << ' ' << yPos(y);
+      area << (anyPoint ? " L " : "M ") << xPos(x) << ' ' << yPos(y);
+      if (!anyPoint) {
+        firstX = x;
+      }
+      lastX = x;
+      pen = true;
+      anyPoint = true;
+    }
+    if (!anyPoint) {
+      continue;
+    }
+    if (s.filled) {
+      area << " L " << xPos(lastX) << ' ' << yPos(yr.lo) << " L "
+           << xPos(firstX) << ' ' << yPos(yr.lo) << " Z";
+      std::ostringstream el;
+      el << "<path d=\"" << area.str() << "\" fill=\"" << s.color.hex()
+         << "\" fill-opacity=\"0.15\" stroke=\"none\"/>";
+      svg.raw(el.str());
+    }
+    std::ostringstream el;
+    el << "<path d=\"" << path.str() << "\" fill=\"none\" stroke=\""
+       << s.color.hex() << "\" stroke-width=\"1.6\"/>";
+    svg.raw(el.str());
+  }
+
+  if (options.legend) {
+    double x = mL;
+    const double y = options.height - 10;
+    for (const auto& s : seriesList) {
+      if (s.label.empty()) {
+        continue;
+      }
+      svg.line(x, y - 4, x + 16, y - 4, s.color, 2.0);
+      svg.text(x + 20, y, s.label, text, 10.0);
+      x += 30 + 6.2 * static_cast<double>(s.label.size());
+    }
+  }
+  return svg;
+}
+
+}  // namespace perfvar::vis

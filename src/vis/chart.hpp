@@ -1,0 +1,52 @@
+#ifndef PERFVAR_VIS_CHART_HPP
+#define PERFVAR_VIS_CHART_HPP
+
+/// \file chart.hpp
+/// Simple SVG line charts for analysis series (MPI share over the run,
+/// per-iteration durations, trend lines). Complements the timeline and
+/// heatmap renderers with the "statistics panel" views Vampir places next
+/// to its timelines.
+
+#include <string>
+#include <vector>
+
+#include "vis/color.hpp"
+#include "vis/svg.hpp"
+
+namespace perfvar::vis {
+
+/// One chart series: y-values over implicit x = 0..n-1 (or explicit xs).
+struct Series {
+  std::string label;
+  std::vector<double> ys;
+  std::vector<double> xs;  ///< optional; indices if empty
+  Rgb color{0, 114, 188};
+  bool filled = false;  ///< area fill under the line
+};
+
+/// Chart options.
+struct ChartOptions {
+  std::string title;
+  std::string xLabel;
+  std::string yLabel;
+  double width = 640;
+  double height = 320;
+  /// Force the y axis to [yMin, yMax] when yMin < yMax.
+  double yMin = 0.0;
+  double yMax = 0.0;
+  bool legend = true;
+  /// Draw y values as percentages.
+  bool percentY = false;
+};
+
+/// Render series as an SVG line chart with axes and tick labels.
+/// NaN values break the line. Throws on empty input.
+SvgDocument renderLineChart(const std::vector<Series>& series,
+                            const ChartOptions& options);
+
+/// Default categorical colors for chart series (cycled).
+Rgb seriesColor(std::size_t index);
+
+}  // namespace perfvar::vis
+
+#endif  // PERFVAR_VIS_CHART_HPP

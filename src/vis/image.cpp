@@ -1,0 +1,241 @@
+#include "vis/image.hpp"
+
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <ostream>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace perfvar::vis {
+
+namespace {
+
+/// 5x7 bitmap font. Each glyph is 7 strings of 5 cells; '#' = pixel on.
+struct Glyph {
+  std::array<const char*, 7> rows;
+};
+
+const std::unordered_map<char, Glyph>& font() {
+  static const std::unordered_map<char, Glyph> kFont = {
+      {' ', {{".....", ".....", ".....", ".....", ".....", ".....", "....."}}},
+      {'0', {{".###.", "#...#", "#..##", "#.#.#", "##..#", "#...#", ".###."}}},
+      {'1', {{"..#..", ".##..", "..#..", "..#..", "..#..", "..#..", ".###."}}},
+      {'2', {{".###.", "#...#", "....#", "...#.", "..#..", ".#...", "#####"}}},
+      {'3', {{".###.", "#...#", "....#", "..##.", "....#", "#...#", ".###."}}},
+      {'4', {{"...#.", "..##.", ".#.#.", "#..#.", "#####", "...#.", "...#."}}},
+      {'5', {{"#####", "#....", "####.", "....#", "....#", "#...#", ".###."}}},
+      {'6', {{".###.", "#....", "#....", "####.", "#...#", "#...#", ".###."}}},
+      {'7', {{"#####", "....#", "...#.", "..#..", ".#...", ".#...", ".#..."}}},
+      {'8', {{".###.", "#...#", "#...#", ".###.", "#...#", "#...#", ".###."}}},
+      {'9', {{".###.", "#...#", "#...#", ".####", "....#", "....#", ".###."}}},
+      {'A', {{".###.", "#...#", "#...#", "#####", "#...#", "#...#", "#...#"}}},
+      {'B', {{"####.", "#...#", "#...#", "####.", "#...#", "#...#", "####."}}},
+      {'C', {{".###.", "#...#", "#....", "#....", "#....", "#...#", ".###."}}},
+      {'D', {{"####.", "#...#", "#...#", "#...#", "#...#", "#...#", "####."}}},
+      {'E', {{"#####", "#....", "#....", "####.", "#....", "#....", "#####"}}},
+      {'F', {{"#####", "#....", "#....", "####.", "#....", "#....", "#...."}}},
+      {'G', {{".###.", "#...#", "#....", "#.###", "#...#", "#...#", ".###."}}},
+      {'H', {{"#...#", "#...#", "#...#", "#####", "#...#", "#...#", "#...#"}}},
+      {'I', {{".###.", "..#..", "..#..", "..#..", "..#..", "..#..", ".###."}}},
+      {'J', {{"..###", "...#.", "...#.", "...#.", "...#.", "#..#.", ".##.."}}},
+      {'K', {{"#...#", "#..#.", "#.#..", "##...", "#.#..", "#..#.", "#...#"}}},
+      {'L', {{"#....", "#....", "#....", "#....", "#....", "#....", "#####"}}},
+      {'M', {{"#...#", "##.##", "#.#.#", "#.#.#", "#...#", "#...#", "#...#"}}},
+      {'N', {{"#...#", "##..#", "#.#.#", "#..##", "#...#", "#...#", "#...#"}}},
+      {'O', {{".###.", "#...#", "#...#", "#...#", "#...#", "#...#", ".###."}}},
+      {'P', {{"####.", "#...#", "#...#", "####.", "#....", "#....", "#...."}}},
+      {'Q', {{".###.", "#...#", "#...#", "#...#", "#.#.#", "#..#.", ".##.#"}}},
+      {'R', {{"####.", "#...#", "#...#", "####.", "#.#..", "#..#.", "#...#"}}},
+      {'S', {{".####", "#....", "#....", ".###.", "....#", "....#", "####."}}},
+      {'T', {{"#####", "..#..", "..#..", "..#..", "..#..", "..#..", "..#.."}}},
+      {'U', {{"#...#", "#...#", "#...#", "#...#", "#...#", "#...#", ".###."}}},
+      {'V', {{"#...#", "#...#", "#...#", "#...#", "#...#", ".#.#.", "..#.."}}},
+      {'W', {{"#...#", "#...#", "#...#", "#.#.#", "#.#.#", "##.##", "#...#"}}},
+      {'X', {{"#...#", "#...#", ".#.#.", "..#..", ".#.#.", "#...#", "#...#"}}},
+      {'Y', {{"#...#", "#...#", ".#.#.", "..#..", "..#..", "..#..", "..#.."}}},
+      {'Z', {{"#####", "....#", "...#.", "..#..", ".#...", "#....", "#####"}}},
+      {'.', {{".....", ".....", ".....", ".....", ".....", ".##..", ".##.."}}},
+      {',', {{".....", ".....", ".....", ".....", ".##..", "..#..", ".#..."}}},
+      {':', {{".....", ".##..", ".##..", ".....", ".##..", ".##..", "....."}}},
+      {'-', {{".....", ".....", ".....", "#####", ".....", ".....", "....."}}},
+      {'+', {{".....", "..#..", "..#..", "#####", "..#..", "..#..", "....."}}},
+      {'_', {{".....", ".....", ".....", ".....", ".....", ".....", "#####"}}},
+      {'=', {{".....", ".....", "#####", ".....", "#####", ".....", "....."}}},
+      {'/', {{"....#", "...#.", "...#.", "..#..", ".#...", ".#...", "#...."}}},
+      {'%', {{"##..#", "##..#", "...#.", "..#..", ".#...", "#..##", "#..##"}}},
+      {'(', {{"...#.", "..#..", ".#...", ".#...", ".#...", "..#..", "...#."}}},
+      {')', {{".#...", "..#..", "...#.", "...#.", "...#.", "..#..", ".#..."}}},
+      {'[', {{".###.", ".#...", ".#...", ".#...", ".#...", ".#...", ".###."}}},
+      {']', {{".###.", "...#.", "...#.", "...#.", "...#.", "...#.", ".###."}}},
+      {'>', {{"#....", ".#...", "..#..", "...#.", "..#..", ".#...", "#...."}}},
+      {'<', {{"...#.", "..#..", ".#...", "#....", ".#...", "..#..", "...#."}}},
+      {'#', {{".#.#.", "#####", ".#.#.", ".#.#.", ".#.#.", "#####", ".#.#."}}},
+  };
+  return kFont;
+}
+
+}  // namespace
+
+Image::Image(std::size_t width, std::size_t height, Rgb fill)
+    : width_(width), height_(height), pixels_(width * height, fill) {
+  PERFVAR_REQUIRE(width > 0 && height > 0, "image dimensions must be positive");
+  PERFVAR_REQUIRE(width * height <= (1ULL << 28),
+                  "image too large (limit 256 Mpixel)");
+}
+
+Rgb Image::at(std::size_t x, std::size_t y) const {
+  PERFVAR_REQUIRE(x < width_ && y < height_, "pixel out of bounds");
+  return pixels_[y * width_ + x];
+}
+
+void Image::set(std::size_t x, std::size_t y, Rgb c) {
+  if (x < width_ && y < height_) {
+    pixels_[y * width_ + x] = c;
+  }
+}
+
+void Image::fillRect(std::size_t x, std::size_t y, std::size_t w,
+                     std::size_t h, Rgb c) {
+  const std::size_t x1 = std::min(x + w, width_);
+  const std::size_t y1 = std::min(y + h, height_);
+  for (std::size_t yy = y; yy < y1; ++yy) {
+    for (std::size_t xx = x; xx < x1; ++xx) {
+      pixels_[yy * width_ + xx] = c;
+    }
+  }
+}
+
+void Image::hline(std::size_t x0, std::size_t x1, std::size_t y, Rgb c) {
+  if (y >= height_) {
+    return;
+  }
+  for (std::size_t x = x0; x <= x1 && x < width_; ++x) {
+    pixels_[y * width_ + x] = c;
+  }
+}
+
+void Image::vline(std::size_t x, std::size_t y0, std::size_t y1, Rgb c) {
+  if (x >= width_) {
+    return;
+  }
+  for (std::size_t y = y0; y <= y1 && y < height_; ++y) {
+    pixels_[y * width_ + x] = c;
+  }
+}
+
+void Image::rectOutline(std::size_t x, std::size_t y, std::size_t w,
+                        std::size_t h, Rgb c) {
+  if (w == 0 || h == 0) {
+    return;
+  }
+  hline(x, x + w - 1, y, c);
+  hline(x, x + w - 1, y + h - 1, c);
+  vline(x, y, y + h - 1, c);
+  vline(x + w - 1, y, y + h - 1, c);
+}
+
+void Image::text(std::size_t x, std::size_t y, const std::string& s, Rgb c,
+                 std::size_t scale) {
+  std::size_t cx = x;
+  for (const char rawCh : s) {
+    const char ch = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(rawCh)));
+    const auto it = font().find(ch);
+    if (it != font().end()) {
+      for (std::size_t row = 0; row < 7; ++row) {
+        for (std::size_t col = 0; col < 5; ++col) {
+          if (it->second.rows[row][col] == '#') {
+            fillRect(cx + col * scale, y + row * scale, scale, scale, c);
+          }
+        }
+      }
+    }
+    cx += 6 * scale;  // 5 cells + 1 gap
+  }
+}
+
+std::size_t Image::textWidth(const std::string& s, std::size_t scale) {
+  return s.size() * 6 * scale;
+}
+
+std::size_t Image::textHeight(std::size_t scale) {
+  return 7 * scale;
+}
+
+void Image::writePpm(std::ostream& out) const {
+  out << "P6\n" << width_ << ' ' << height_ << "\n255\n";
+  std::vector<unsigned char> row(width_ * 3);
+  for (std::size_t y = 0; y < height_; ++y) {
+    for (std::size_t x = 0; x < width_; ++x) {
+      const Rgb c = pixels_[y * width_ + x];
+      row[3 * x] = c.r;
+      row[3 * x + 1] = c.g;
+      row[3 * x + 2] = c.b;
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  PERFVAR_REQUIRE(out.good(), "PPM write failed");
+}
+
+void Image::savePpm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  PERFVAR_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  writePpm(out);
+}
+
+void Image::writeBmp(std::ostream& out) const {
+  const std::size_t rowBytes = (width_ * 3 + 3) & ~std::size_t{3};
+  const std::size_t dataSize = rowBytes * height_;
+  const std::size_t fileSize = 54 + dataSize;
+
+  const auto put16 = [&](std::uint32_t v) {
+    out.put(static_cast<char>(v & 0xFF));
+    out.put(static_cast<char>((v >> 8) & 0xFF));
+  };
+  const auto put32 = [&](std::uint32_t v) {
+    put16(v & 0xFFFF);
+    put16(v >> 16);
+  };
+
+  out.put('B');
+  out.put('M');
+  put32(static_cast<std::uint32_t>(fileSize));
+  put32(0);
+  put32(54);  // pixel data offset
+  put32(40);  // BITMAPINFOHEADER size
+  put32(static_cast<std::uint32_t>(width_));
+  put32(static_cast<std::uint32_t>(height_));
+  put16(1);   // planes
+  put16(24);  // bpp
+  put32(0);   // no compression
+  put32(static_cast<std::uint32_t>(dataSize));
+  put32(2835);  // ~72 dpi
+  put32(2835);
+  put32(0);
+  put32(0);
+
+  std::vector<unsigned char> row(rowBytes, 0);
+  for (std::size_t yy = 0; yy < height_; ++yy) {
+    const std::size_t y = height_ - 1 - yy;  // BMP is bottom-up
+    for (std::size_t x = 0; x < width_; ++x) {
+      const Rgb c = pixels_[y * width_ + x];
+      row[3 * x] = c.b;
+      row[3 * x + 1] = c.g;
+      row[3 * x + 2] = c.r;
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  PERFVAR_REQUIRE(out.good(), "BMP write failed");
+}
+
+void Image::saveBmp(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  PERFVAR_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  writeBmp(out);
+}
+
+}  // namespace perfvar::vis

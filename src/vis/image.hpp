@@ -1,0 +1,67 @@
+#ifndef PERFVAR_VIS_IMAGE_HPP
+#define PERFVAR_VIS_IMAGE_HPP
+
+/// \file image.hpp
+/// A simple raster image with PPM (P6) and BMP (24-bit) writers.
+///
+/// The renderers draw into Image; the files are viewable with any image
+/// tool and easy to golden-test (both formats are fully deterministic).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "vis/color.hpp"
+
+namespace perfvar::vis {
+
+class Image {
+public:
+  Image(std::size_t width, std::size_t height, Rgb fill = Rgb{255, 255, 255});
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+
+  Rgb at(std::size_t x, std::size_t y) const;
+  void set(std::size_t x, std::size_t y, Rgb c);
+
+  /// Filled axis-aligned rectangle; clipped to the image bounds.
+  void fillRect(std::size_t x, std::size_t y, std::size_t w, std::size_t h,
+                Rgb c);
+
+  /// 1-pixel horizontal / vertical lines (clipped).
+  void hline(std::size_t x0, std::size_t x1, std::size_t y, Rgb c);
+  void vline(std::size_t x, std::size_t y0, std::size_t y1, Rgb c);
+
+  /// 1-pixel rectangle outline (clipped).
+  void rectOutline(std::size_t x, std::size_t y, std::size_t w, std::size_t h,
+                   Rgb c);
+
+  /// Draw text with the built-in 5x7 bitmap font (upper-case latin,
+  /// digits and basic punctuation; other characters render as blanks).
+  /// (x, y) is the top-left corner; scale enlarges the glyphs.
+  void text(std::size_t x, std::size_t y, const std::string& s, Rgb c,
+            std::size_t scale = 1);
+
+  /// Width in pixels that text() will occupy.
+  static std::size_t textWidth(const std::string& s, std::size_t scale = 1);
+  static std::size_t textHeight(std::size_t scale = 1);
+
+  /// Write binary PPM (P6).
+  void writePpm(std::ostream& out) const;
+  void savePpm(const std::string& path) const;
+
+  /// Write a 24-bit uncompressed BMP.
+  void writeBmp(std::ostream& out) const;
+  void saveBmp(const std::string& path) const;
+
+private:
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<Rgb> pixels_;
+};
+
+}  // namespace perfvar::vis
+
+#endif  // PERFVAR_VIS_IMAGE_HPP

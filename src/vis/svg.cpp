@@ -1,0 +1,91 @@
+#include "vis/svg.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace perfvar::vis {
+
+SvgDocument::SvgDocument(double width, double height)
+    : width_(width), height_(height) {
+  PERFVAR_REQUIRE(width > 0 && height > 0, "SVG dimensions must be positive");
+  body_.setf(std::ios::fixed);
+  body_.precision(2);
+}
+
+std::string SvgDocument::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void SvgDocument::rect(double x, double y, double w, double h, Rgb fill) {
+  body_ << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << w
+        << "\" height=\"" << h << "\" fill=\"" << fill.hex() << "\"/>\n";
+}
+
+void SvgDocument::rectOutline(double x, double y, double w, double h,
+                              Rgb strokeColor, double strokeWidth) {
+  body_ << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << w
+        << "\" height=\"" << h << "\" fill=\"none\" stroke=\""
+        << strokeColor.hex() << "\" stroke-width=\"" << strokeWidth
+        << "\"/>\n";
+}
+
+void SvgDocument::line(double x1, double y1, double x2, double y2,
+                       Rgb strokeColor, double strokeWidth) {
+  body_ << "<line x1=\"" << x1 << "\" y1=\"" << y1 << "\" x2=\"" << x2
+        << "\" y2=\"" << y2 << "\" stroke=\"" << strokeColor.hex()
+        << "\" stroke-width=\"" << strokeWidth << "\"/>\n";
+}
+
+void SvgDocument::text(double x, double y, const std::string& s, Rgb fill,
+                       double fontSize, const std::string& anchor) {
+  body_ << "<text x=\"" << x << "\" y=\"" << y << "\" fill=\"" << fill.hex()
+        << "\" font-size=\"" << fontSize
+        << "\" font-family=\"monospace\" text-anchor=\"" << anchor << "\">"
+        << escape(s) << "</text>\n";
+}
+
+void SvgDocument::raw(const std::string& element) {
+  body_ << element << '\n';
+}
+
+std::string SvgDocument::finalize() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+     << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_
+     << "\" height=\"" << height_ << "\" viewBox=\"0 0 " << width_ << ' '
+     << height_ << "\">\n"
+     << body_.str() << "</svg>\n";
+  return os.str();
+}
+
+void SvgDocument::save(const std::string& path) const {
+  std::ofstream out(path);
+  PERFVAR_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  out << finalize();
+  PERFVAR_REQUIRE(out.good(), "write to '" + path + "' failed");
+}
+
+}  // namespace perfvar::vis

@@ -1,0 +1,467 @@
+#include "vis/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace perfvar::vis {
+
+namespace {
+
+/// Categorical palette for application function groups.
+const std::vector<Rgb>& categoricalPalette() {
+  static const std::vector<Rgb> kPalette = {
+      Rgb{123, 63, 153},   // purple (e.g. SPECS in the paper's Fig. 4)
+      Rgb{58, 181, 74},    // green (COSMO)
+      Rgb{255, 222, 23},   // yellow (coupling)
+      Rgb{0, 114, 188},    // blue (dynamics)
+      Rgb{140, 98, 57},    // brown (physics)
+      Rgb{0, 169, 157},    // teal
+      Rgb{236, 0, 140},    // magenta
+      Rgb{247, 148, 29},   // orange
+      Rgb{102, 102, 102},  // gray
+      Rgb{141, 198, 63},   // light green
+  };
+  return kPalette;
+}
+
+/// Invoke `cb(function, t0, t1)` for every maximal interval during which
+/// `function` is on top of the call stack of `proc`.
+template <typename Callback>
+void forEachTopInterval(const trace::ProcessTrace& proc, Callback&& cb) {
+  std::vector<trace::FunctionId> stack;
+  trace::Timestamp prev = 0;
+  bool first = true;
+  for (const trace::Event& e : proc.events) {
+    if (e.kind != trace::EventKind::Enter &&
+        e.kind != trace::EventKind::Leave) {
+      continue;
+    }
+    if (!first && !stack.empty() && e.time > prev) {
+      cb(stack.back(), prev, e.time);
+    }
+    if (e.kind == trace::EventKind::Enter) {
+      stack.push_back(e.ref);
+    } else {
+      PERFVAR_REQUIRE(!stack.empty() && stack.back() == e.ref,
+                      "timeline: unbalanced enter/leave");
+      stack.pop_back();
+    }
+    prev = e.time;
+    first = false;
+  }
+}
+
+struct TimeWindow {
+  trace::Timestamp start;
+  trace::Timestamp end;
+};
+
+TimeWindow resolveWindow(const trace::Trace& tr,
+                         const TimelineOptions& options) {
+  if (options.windowEnd > options.windowStart) {
+    return {options.windowStart, options.windowEnd};
+  }
+  return {tr.startTime(), tr.endTime()};
+}
+
+}  // namespace
+
+FunctionColors FunctionColors::standard(const trace::Trace& tr) {
+  FunctionColors fc;
+  fc.trace_ = &tr;
+  fc.byFunction_.resize(tr.functions.size());
+  std::map<std::string, Rgb> groupColor;
+  std::size_t nextPaletteSlot = 0;
+
+  for (std::size_t f = 0; f < tr.functions.size(); ++f) {
+    const auto& def = tr.functions.at(static_cast<trace::FunctionId>(f));
+    Rgb c;
+    switch (def.paradigm) {
+      case trace::Paradigm::MPI:
+        c = Rgb{215, 25, 28};  // red, as in Vampir
+        break;
+      case trace::Paradigm::OpenMP:
+        c = Rgb{247, 148, 29};  // orange
+        break;
+      case trace::Paradigm::IO:
+        c = Rgb{121, 85, 61};  // brown
+        break;
+      case trace::Paradigm::Memory:
+        c = Rgb{150, 150, 200};
+        break;
+      default: {
+        const std::string key = def.group.empty() ? def.name : def.group;
+        const auto it = groupColor.find(key);
+        if (it != groupColor.end()) {
+          c = it->second;
+        } else {
+          const auto& palette = categoricalPalette();
+          c = palette[nextPaletteSlot % palette.size()];
+          ++nextPaletteSlot;
+          groupColor.emplace(key, c);
+        }
+        break;
+      }
+    }
+    fc.byFunction_[f] = c;
+  }
+
+  // Legend: one entry per distinct label.
+  std::map<std::string, Rgb> legendMap;
+  for (std::size_t f = 0; f < tr.functions.size(); ++f) {
+    const auto& def = tr.functions.at(static_cast<trace::FunctionId>(f));
+    std::string label;
+    if (def.paradigm == trace::Paradigm::MPI) {
+      label = "MPI";
+    } else if (def.paradigm == trace::Paradigm::OpenMP) {
+      label = "OpenMP";
+    } else if (def.paradigm == trace::Paradigm::IO) {
+      label = "I/O";
+    } else {
+      label = def.group.empty() ? def.name : def.group;
+    }
+    legendMap.emplace(label, fc.byFunction_[f]);
+  }
+  fc.legend_.assign(legendMap.begin(), legendMap.end());
+  return fc;
+}
+
+Rgb FunctionColors::color(trace::FunctionId f) const {
+  PERFVAR_REQUIRE(f < byFunction_.size(), "invalid function id");
+  return byFunction_[f];
+}
+
+void FunctionColors::setGroupColor(const std::string& group, Rgb c) {
+  PERFVAR_REQUIRE(trace_ != nullptr, "uninitialized FunctionColors");
+  for (std::size_t f = 0; f < trace_->functions.size(); ++f) {
+    if (trace_->functions.at(static_cast<trace::FunctionId>(f)).group ==
+        group) {
+      byFunction_[f] = c;
+    }
+  }
+  for (auto& [label, color] : legend_) {
+    if (label == group) {
+      color = c;
+    }
+  }
+}
+
+std::vector<std::pair<std::string, Rgb>> FunctionColors::legend() const {
+  return legend_;
+}
+
+std::vector<std::vector<trace::FunctionId>> timelineBins(
+    const trace::Trace& tr, const TimelineOptions& options) {
+  PERFVAR_REQUIRE(options.bins > 0, "timeline needs at least one bin");
+  const TimeWindow window = resolveWindow(tr, options);
+  const double span = static_cast<double>(window.end - window.start);
+  const std::size_t bins = options.bins;
+  const std::size_t nFuncs = tr.functions.size();
+
+  std::vector<std::vector<trace::FunctionId>> result(
+      tr.processCount(),
+      std::vector<trace::FunctionId>(bins, trace::kInvalidFunction));
+  if (span <= 0.0) {
+    return result;
+  }
+
+  // coverage[bin][func] = covered ticks within the bin.
+  std::vector<std::vector<double>> coverage(bins,
+                                            std::vector<double>(nFuncs, 0.0));
+  for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
+    for (auto& binRow : coverage) {
+      std::fill(binRow.begin(), binRow.end(), 0.0);
+    }
+    forEachTopInterval(
+        tr.processes[p],
+        [&](trace::FunctionId f, trace::Timestamp t0, trace::Timestamp t1) {
+          const trace::Timestamp a = std::max(t0, window.start);
+          const trace::Timestamp b = std::min(t1, window.end);
+          if (a >= b) {
+            return;
+          }
+          const double binWidth = span / static_cast<double>(bins);
+          const auto firstBin = static_cast<std::size_t>(
+              static_cast<double>(a - window.start) / binWidth);
+          const auto lastBin = std::min(
+              bins - 1, static_cast<std::size_t>(
+                            static_cast<double>(b - 1 - window.start) /
+                            binWidth));
+          for (std::size_t bin = firstBin; bin <= lastBin; ++bin) {
+            const double binStart =
+                static_cast<double>(window.start) +
+                binWidth * static_cast<double>(bin);
+            const double lo = std::max(binStart, static_cast<double>(a));
+            const double hi =
+                std::min(binStart + binWidth, static_cast<double>(b));
+            if (hi > lo) {
+              coverage[bin][f] += hi - lo;
+            }
+          }
+        });
+    for (std::size_t bin = 0; bin < bins; ++bin) {
+      double best = 0.0;
+      trace::FunctionId bestF = trace::kInvalidFunction;
+      for (std::size_t f = 0; f < nFuncs; ++f) {
+        if (coverage[bin][f] > best) {
+          best = coverage[bin][f];
+          bestF = static_cast<trace::FunctionId>(f);
+        }
+      }
+      result[p][bin] = bestF;
+    }
+  }
+  return result;
+}
+
+Image renderTimelineImage(const trace::Trace& tr, const FunctionColors& colors,
+                          const TimelineOptions& options) {
+  const auto bins = timelineBins(tr, options);
+  const std::size_t rows = bins.size();
+  const std::size_t cols = options.bins;
+  const std::size_t titleHeight = options.title.empty() ? 0 : 14;
+  const std::size_t legendHeight =
+      options.legend ? 12 * ((colors.legend().size() + 3) / 4) + 6 : 0;
+  Image img(cols + 2, titleHeight + rows * options.rowHeight + legendHeight + 2);
+  if (!options.title.empty()) {
+    img.text(2, 2, options.title, Rgb{0, 0, 0});
+  }
+  const std::size_t y0 = titleHeight + 1;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const trace::FunctionId f = bins[r][c];
+      const Rgb color =
+          f == trace::kInvalidFunction ? options.idleColor : colors.color(f);
+      img.fillRect(1 + c, y0 + r * options.rowHeight, 1, options.rowHeight,
+                   color);
+    }
+  }
+  if (options.legend) {
+    const auto entries = colors.legend();
+    std::size_t x = 2;
+    std::size_t y = y0 + rows * options.rowHeight + 4;
+    for (const auto& [label, color] : entries) {
+      const std::size_t w = 12 + Image::textWidth(label) + 10;
+      if (x + w >= img.width() && x > 2) {
+        x = 2;
+        y += 12;
+      }
+      img.fillRect(x, y, 8, 8, color);
+      img.text(x + 11, y, label, Rgb{0, 0, 0});
+      x += w;
+    }
+  }
+  return img;
+}
+
+SvgDocument renderTimelineSvg(const trace::Trace& tr,
+                              const FunctionColors& colors,
+                              const TimelineOptions& options) {
+  const auto bins = timelineBins(tr, options);
+  const std::size_t rows = bins.size();
+  const std::size_t cols = options.bins;
+  const double cellW = std::max(1.0, 900.0 / static_cast<double>(cols));
+  const double rowH = std::max(2.0, 500.0 / static_cast<double>(rows));
+  const double titleH = options.title.empty() ? 0.0 : 24.0;
+  const double legendH = options.legend ? 20.0 : 0.0;
+  const double plotW = cellW * static_cast<double>(cols);
+  const double plotH = rowH * static_cast<double>(rows);
+  SvgDocument svg(plotW + 10, titleH + plotH + legendH + 10);
+  if (!options.title.empty()) {
+    svg.text(4, 16, options.title, Rgb{0, 0, 0}, 14.0);
+  }
+  const double x0 = 4;
+  const double y0 = titleH + 4;
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    // Merge equal-colored runs into single rects to keep files small.
+    std::size_t c = 0;
+    while (c < cols) {
+      std::size_t c1 = c + 1;
+      while (c1 < cols && bins[r][c1] == bins[r][c]) {
+        ++c1;
+      }
+      const trace::FunctionId f = bins[r][c];
+      const Rgb color =
+          f == trace::kInvalidFunction ? options.idleColor : colors.color(f);
+      svg.rect(x0 + cellW * static_cast<double>(c),
+               y0 + rowH * static_cast<double>(r),
+               cellW * static_cast<double>(c1 - c) + 0.2, rowH + 0.2, color);
+      c = c1;
+    }
+  }
+
+  if (options.messageLines) {
+    const TimeWindow window = resolveWindow(tr, options);
+    const double span = static_cast<double>(window.end - window.start);
+    if (span > 0.0) {
+      struct Msg {
+        trace::Timestamp sendTime;
+        trace::Timestamp recvTime;
+        trace::ProcessId src;
+        trace::ProcessId dst;
+        std::uint64_t bytes;
+      };
+      // FIFO matching per (src, dst, tag).
+      std::map<std::tuple<trace::ProcessId, trace::ProcessId, std::uint32_t>,
+               std::vector<trace::Timestamp>>
+          pendingSends;
+      for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
+        for (const auto& e : tr.processes[p].events) {
+          if (e.kind == trace::EventKind::MpiSend) {
+            pendingSends[{p, e.ref, e.aux}].push_back(e.time);
+          }
+        }
+      }
+      std::map<std::tuple<trace::ProcessId, trace::ProcessId, std::uint32_t>,
+               std::size_t>
+          nextSend;
+      std::vector<Msg> messages;
+      for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
+        for (const auto& e : tr.processes[p].events) {
+          if (e.kind == trace::EventKind::MpiRecv) {
+            const auto key = std::make_tuple(
+                static_cast<trace::ProcessId>(e.ref), p, e.aux);
+            const auto it = pendingSends.find(key);
+            if (it != pendingSends.end()) {
+              std::size_t& idx = nextSend[key];
+              if (idx < it->second.size()) {
+                messages.push_back(Msg{it->second[idx], e.time,
+                                       static_cast<trace::ProcessId>(e.ref), p,
+                                       e.size});
+                ++idx;
+              }
+            }
+          }
+        }
+      }
+      std::sort(messages.begin(), messages.end(),
+                [](const Msg& a, const Msg& b) { return a.bytes > b.bytes; });
+      if (messages.size() > options.maxMessageLines) {
+        messages.resize(options.maxMessageLines);
+      }
+      for (const Msg& m : messages) {
+        if (m.sendTime < window.start || m.recvTime > window.end) {
+          continue;
+        }
+        const double xA =
+            x0 + plotW * static_cast<double>(m.sendTime - window.start) / span;
+        const double xB =
+            x0 + plotW * static_cast<double>(m.recvTime - window.start) / span;
+        const double yA = y0 + rowH * (static_cast<double>(m.src) + 0.5);
+        const double yB = y0 + rowH * (static_cast<double>(m.dst) + 0.5);
+        svg.line(xA, yA, xB, yB, Rgb{0, 0, 0}, 0.4);
+      }
+    }
+  }
+
+  if (options.legend) {
+    double x = x0;
+    const double y = y0 + plotH + 14;
+    for (const auto& [label, color] : colors.legend()) {
+      svg.rect(x, y - 8, 10, 10, color);
+      svg.text(x + 14, y, label, Rgb{0, 0, 0}, 10.0);
+      x += 24 + 6.5 * static_cast<double>(label.size());
+    }
+  }
+  return svg;
+}
+
+std::string renderTimelineAscii(const trace::Trace& tr,
+                                const TimelineOptions& options) {
+  const auto bins = timelineBins(tr, options);
+  // Assign letters per function group (MPI gets '#').
+  std::map<std::string, char> groupChar;
+  std::vector<char> funcChar(tr.functions.size(), '?');
+  char next = 'a';
+  for (std::size_t f = 0; f < tr.functions.size(); ++f) {
+    const auto& def = tr.functions.at(static_cast<trace::FunctionId>(f));
+    if (def.paradigm == trace::Paradigm::MPI) {
+      funcChar[f] = '#';
+      continue;
+    }
+    const std::string key = def.group.empty() ? def.name : def.group;
+    const auto it = groupChar.find(key);
+    if (it != groupChar.end()) {
+      funcChar[f] = it->second;
+    } else {
+      funcChar[f] = next;
+      groupChar.emplace(key, next);
+      if (next < 'z') {
+        ++next;
+      }
+    }
+  }
+
+  std::ostringstream os;
+  if (!options.title.empty()) {
+    os << options.title << '\n';
+  }
+  for (std::size_t p = 0; p < bins.size(); ++p) {
+    for (const trace::FunctionId f : bins[p]) {
+      os << (f == trace::kInvalidFunction ? ' ' : funcChar[f]);
+    }
+    os << '\n';
+  }
+  if (options.legend) {
+    os << "legend: # = MPI";
+    for (const auto& [label, c] : groupChar) {
+      os << ", " << c << " = " << label;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::vector<std::vector<double>> paradigmShareOverTime(const trace::Trace& tr,
+                                                       std::size_t bins) {
+  PERFVAR_REQUIRE(bins > 0, "needs at least one bin");
+  const trace::Timestamp start = tr.startTime();
+  const trace::Timestamp end = tr.endTime();
+  const double span = static_cast<double>(end - start);
+  constexpr std::size_t kParadigms = 6;
+  std::vector<std::vector<double>> shares(kParadigms,
+                                          std::vector<double>(bins, 0.0));
+  if (span <= 0.0) {
+    return shares;
+  }
+  std::vector<double> busy(bins, 0.0);
+  const double binWidth = span / static_cast<double>(bins);
+  for (const auto& proc : tr.processes) {
+    forEachTopInterval(
+        proc,
+        [&](trace::FunctionId f, trace::Timestamp t0, trace::Timestamp t1) {
+          const auto paradigm = static_cast<std::size_t>(
+              tr.functions.at(f).paradigm);
+          const auto firstBin = static_cast<std::size_t>(
+              static_cast<double>(t0 - start) / binWidth);
+          const auto lastBin = std::min(
+              bins - 1,
+              static_cast<std::size_t>(static_cast<double>(t1 - 1 - start) /
+                                       binWidth));
+          for (std::size_t bin = firstBin; bin <= lastBin; ++bin) {
+            const double binStart =
+                static_cast<double>(start) +
+                binWidth * static_cast<double>(bin);
+            const double lo = std::max(binStart, static_cast<double>(t0));
+            const double hi =
+                std::min(binStart + binWidth, static_cast<double>(t1));
+            if (hi > lo) {
+              shares[paradigm][bin] += hi - lo;
+              busy[bin] += hi - lo;
+            }
+          }
+        });
+  }
+  for (std::size_t par = 0; par < kParadigms; ++par) {
+    for (std::size_t bin = 0; bin < bins; ++bin) {
+      shares[par][bin] = busy[bin] > 0.0 ? shares[par][bin] / busy[bin] : 0.0;
+    }
+  }
+  return shares;
+}
+
+}  // namespace perfvar::vis

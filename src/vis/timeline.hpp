@@ -1,0 +1,98 @@
+#ifndef PERFVAR_VIS_TIMELINE_HPP
+#define PERFVAR_VIS_TIMELINE_HPP
+
+/// \file timeline.hpp
+/// Master-timeline rendering of traces (Vampir's main view; paper
+/// Figures 4(a), 5(a), 6(a)).
+///
+/// One row per process; the horizontal axis is trace time; the color of a
+/// pixel column is the function on top of the call stack (the currently
+/// executing function) that covers the largest share of the column's time
+/// span. Function colors derive from their group (consistent with the
+/// paper: MPI = red, application groups get distinct colors).
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "vis/color.hpp"
+#include "vis/image.hpp"
+#include "vis/svg.hpp"
+
+namespace perfvar::vis {
+
+/// Assigns colors to functions, by function group (preferred) or paradigm.
+class FunctionColors {
+public:
+  /// Default palette: MPI red, IO brown, OpenMP orange; application
+  /// groups cycle through a categorical palette; ungrouped compute green.
+  static FunctionColors standard(const trace::Trace& trace);
+
+  Rgb color(trace::FunctionId f) const;
+
+  /// Override the color of one group.
+  void setGroupColor(const std::string& group, Rgb c);
+
+  /// Legend entries: (label, color), deduplicated by group.
+  std::vector<std::pair<std::string, Rgb>> legend() const;
+
+private:
+  FunctionColors() = default;
+  const trace::Trace* trace_ = nullptr;
+  std::vector<Rgb> byFunction_;
+  std::vector<std::pair<std::string, Rgb>> legend_;
+};
+
+/// Options of the timeline renderers.
+struct TimelineOptions {
+  std::string title;
+  /// Horizontal resolution (number of time bins).
+  std::size_t bins = 900;
+  /// Row height in pixels for the raster renderer.
+  std::size_t rowHeight = 5;
+  /// Draw message (send->recv) lines in the SVG renderer.
+  bool messageLines = true;
+  /// Maximum number of message lines drawn (largest-bytes first).
+  std::size_t maxMessageLines = 2000;
+  /// Idle (no function on the stack) color.
+  Rgb idleColor{245, 245, 245};
+  /// Render the function-group legend.
+  bool legend = true;
+  /// Restrict rendering to [start, end) ticks; 0/0 = full trace.
+  trace::Timestamp windowStart = 0;
+  trace::Timestamp windowEnd = 0;
+};
+
+/// Compute the [process][bin] dominant-function matrix underlying the
+/// timeline: each cell holds the FunctionId covering the largest time
+/// share of that bin on top of the stack, or trace::kInvalidFunction for
+/// idle. Exposed for tests and ASCII rendering.
+std::vector<std::vector<trace::FunctionId>> timelineBins(
+    const trace::Trace& trace, const TimelineOptions& options);
+
+/// Raster timeline.
+Image renderTimelineImage(const trace::Trace& trace,
+                          const FunctionColors& colors,
+                          const TimelineOptions& options);
+
+/// SVG timeline (with optional message lines).
+SvgDocument renderTimelineSvg(const trace::Trace& trace,
+                              const FunctionColors& colors,
+                              const TimelineOptions& options);
+
+/// ASCII timeline for terminals: one character per (process, bin); each
+/// function group gets a letter (its legend is appended), MPI renders as
+/// '#', idle as ' '. Useful for quick looks at traces over SSH.
+std::string renderTimelineAscii(const trace::Trace& trace,
+                                const TimelineOptions& options);
+
+/// Fraction of total stack-top time per paradigm over `bins` time bins,
+/// aggregated across processes: series[paradigm][bin] in [0,1]. This
+/// regenerates "MPI share grows over the run" observations from timeline
+/// views.
+std::vector<std::vector<double>> paradigmShareOverTime(
+    const trace::Trace& trace, std::size_t bins);
+
+}  // namespace perfvar::vis
+
+#endif  // PERFVAR_VIS_TIMELINE_HPP

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "analysis/cluster.hpp"
+#include "analysis/compare.hpp"
+#include "trace/builder.hpp"
+#include "util/error.hpp"
+#include "vis/chart.hpp"
+
+namespace perfvar::analysis {
+namespace {
+
+/// Iterative trace whose SOS-time per (process, iteration) comes from a
+/// callback; barrier absorbs the imbalance.
+template <typename WorkFn>
+trace::Trace iterativeTrace(std::size_t procs, std::size_t iters,
+                            WorkFn&& work) {
+  trace::TraceBuilder b(procs);
+  const auto fStep = b.defineFunction("step");
+  const auto fWork = b.defineFunction("work");
+  const auto fMpi =
+      b.defineFunction("MPI_Barrier", "MPI", trace::Paradigm::MPI);
+  for (std::size_t i = 0; i < iters; ++i) {
+    trace::Timestamp slowest = 0;
+    for (std::size_t p = 0; p < procs; ++p) {
+      slowest = std::max(slowest, work(p, i));
+    }
+    for (std::size_t p = 0; p < procs; ++p) {
+      const trace::Timestamp t0 = static_cast<trace::Timestamp>(i) * 1000;
+      const trace::Timestamp w = work(p, i);
+      b.enter(p, t0, fStep);
+      b.enter(p, t0, fWork);
+      b.leave(p, t0 + w, fWork);
+      b.enter(p, t0 + w, fMpi);
+      b.leave(p, t0 + slowest + 1, fMpi);
+      b.leave(p, t0 + slowest + 1, fStep);
+    }
+  }
+  return b.finish();
+}
+
+SosResult sosOf(const trace::Trace& tr) {
+  return analyzeSos(tr, *tr.functions.find("step"));
+}
+
+// --- clustering ------------------------------------------------------------------
+
+TEST(Cluster, SeparatesTwoClearPhases) {
+  // Odd iterations are 3x slower than even ones (two phase populations).
+  const trace::Trace tr =
+      iterativeTrace(4, 20, [](std::size_t p, std::size_t i) {
+        const auto jitter = static_cast<trace::Timestamp>((p + i) % 3);
+        return (i % 2 == 1 ? trace::Timestamp{300} : trace::Timestamp{100}) +
+               jitter;
+      });
+  const SosResult sos = sosOf(tr);
+  ClusterOptions opts;
+  opts.clusters = 2;
+  const ClusterResult result = clusterSegments(sos, opts);
+  ASSERT_EQ(result.clusters.size(), 2u);
+  // Clusters are ordered by ascending mean SOS.
+  EXPECT_LT(result.clusters[0].meanSos, result.clusters[1].meanSos);
+  EXPECT_EQ(result.clusters[0].size, result.clusters[1].size);
+  // Every even iteration lands in cluster 0, every odd in cluster 1.
+  for (std::size_t p = 0; p < 4; ++p) {
+    for (std::size_t i = 0; i < 20; ++i) {
+      EXPECT_EQ(result.assignment[p][i], i % 2 == 1 ? 1u : 0u)
+          << "p=" << p << " i=" << i;
+    }
+  }
+  EXPECT_EQ(result.slowestCluster(), 1u);
+  EXPECT_DOUBLE_EQ(result.fraction(0), 0.5);
+}
+
+TEST(Cluster, SingleClusterSwallowsEverything) {
+  const trace::Trace tr = iterativeTrace(
+      3, 10, [](std::size_t, std::size_t) { return trace::Timestamp{100}; });
+  const SosResult sos = sosOf(tr);
+  ClusterOptions opts;
+  opts.clusters = 1;
+  const ClusterResult result = clusterSegments(sos, opts);
+  EXPECT_EQ(result.clusters[0].size, 30u);
+  EXPECT_DOUBLE_EQ(result.fraction(0), 1.0);
+}
+
+TEST(Cluster, CannotLocalizeTheProcessTheWayHotspotsDo) {
+  // The related-work limitation: clustering classifies phases, but the
+  // slow cluster of a persistent single-rank imbalance contains ONLY the
+  // culprit's segments - it reveals "a slow class exists", yet the
+  // temporal hotspot list still pinpoints (process, iteration) directly.
+  const trace::Trace tr =
+      iterativeTrace(6, 15, [](std::size_t p, std::size_t i) {
+        const auto jitter = static_cast<trace::Timestamp>((p * 3 + i) % 5);
+        return (p == 4 ? trace::Timestamp{200} : trace::Timestamp{100}) +
+               jitter;
+      });
+  const SosResult sos = sosOf(tr);
+  ClusterOptions opts;
+  opts.clusters = 2;
+  const ClusterResult result = clusterSegments(sos, opts);
+  const auto slow = result.slowestCluster();
+  for (std::size_t p = 0; p < 6; ++p) {
+    for (std::size_t i = 0; i < 15; ++i) {
+      EXPECT_EQ(result.assignment[p][i] == slow, p == 4);
+    }
+  }
+}
+
+TEST(Cluster, RateMetricSplitsEqualDurationPhases) {
+  // Two phases with identical SOS but different counter rates are only
+  // separable with the rate feature (the Paraver use case: IPC classes).
+  trace::TraceBuilder b(1);
+  const auto fStep = b.defineFunction("step");
+  const auto m = b.defineMetric("instructions");
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const trace::Timestamp t0 = static_cast<trace::Timestamp>(i) * 100;
+    b.enter(0, t0, fStep);
+    cumulative += i % 2 == 0 ? 1000.0 : 100.0;  // high vs low rate
+    b.metric(0, t0 + 50, m, cumulative);
+    b.leave(0, t0 + 100, fStep);
+  }
+  const trace::Trace tr = b.finish();
+  const SosResult sos = analyzeSos(tr, fStep);
+  ClusterOptions opts;
+  opts.clusters = 2;
+  opts.rateMetric = m;
+  const ClusterResult result = clusterSegments(sos, opts);
+  EXPECT_EQ(result.clusters[0].size, 10u);
+  EXPECT_EQ(result.clusters[1].size, 10u);
+  EXPECT_NE(result.clusters[0].meanRate, result.clusters[1].meanRate);
+}
+
+TEST(Cluster, MoreClustersThanSegmentsRejected) {
+  const trace::Trace tr = iterativeTrace(
+      1, 2, [](std::size_t, std::size_t) { return trace::Timestamp{10}; });
+  const SosResult sos = sosOf(tr);
+  ClusterOptions opts;
+  opts.clusters = 5;
+  EXPECT_THROW(clusterSegments(sos, opts), Error);
+}
+
+TEST(Cluster, FormatListsAllClusters) {
+  const trace::Trace tr =
+      iterativeTrace(2, 10, [](std::size_t, std::size_t i) {
+        return static_cast<trace::Timestamp>(100 + 10 * i);
+      });
+  const SosResult sos = sosOf(tr);
+  const ClusterResult result = clusterSegments(sos);
+  const std::string text = formatClusters(result);
+  EXPECT_NE(text.find("cluster"), std::string::npos);
+  EXPECT_NE(text.find("mean SOS"), std::string::npos);
+}
+
+// --- run comparison -----------------------------------------------------------------
+
+TEST(Compare, DetectsTheFix) {
+  // Baseline: rank 2 overloaded (3x). Candidate: balanced, same total work.
+  const trace::Trace broken =
+      iterativeTrace(4, 12, [](std::size_t p, std::size_t) {
+        return static_cast<trace::Timestamp>(p == 2 ? 300 : 100);
+      });
+  const trace::Trace fixed =
+      iterativeTrace(4, 12, [](std::size_t, std::size_t) {
+        return trace::Timestamp{150};  // (300+3*100)/4
+      });
+  const SosResult a = sosOf(broken);
+  const SosResult b = sosOf(fixed);
+  const RunComparison cmp = compareRuns(a, b);
+  EXPECT_EQ(cmp.iterationsCompared, 12u);
+  EXPECT_GT(cmp.overallSpeedup, 1.5);  // 301 vs 151 per iteration
+  EXPECT_GT(cmp.meanImbalanceA, 0.5);
+  EXPECT_NEAR(cmp.meanImbalanceB, 0.0, 1e-9);
+  EXPECT_GT(cmp.syncShareA, cmp.syncShareB);
+  for (const double s : cmp.speedupPerIteration) {
+    EXPECT_GT(s, 1.0);
+  }
+}
+
+TEST(Compare, HandlesDifferentIterationCounts) {
+  const trace::Trace a = iterativeTrace(
+      2, 10, [](std::size_t, std::size_t) { return trace::Timestamp{100}; });
+  const trace::Trace b = iterativeTrace(
+      2, 7, [](std::size_t, std::size_t) { return trace::Timestamp{100}; });
+  const RunComparison cmp = compareRuns(sosOf(a), sosOf(b));
+  EXPECT_EQ(cmp.iterationsCompared, 7u);
+  EXPECT_NEAR(cmp.overallSpeedup, 1.0, 1e-9);
+}
+
+TEST(Compare, FormatNamesBothRuns) {
+  const trace::Trace a = iterativeTrace(
+      2, 5, [](std::size_t, std::size_t) { return trace::Timestamp{100}; });
+  const RunComparison cmp = compareRuns(sosOf(a), sosOf(a));
+  const std::string text = formatComparison(cmp, "static", "fd4");
+  EXPECT_NE(text.find("static"), std::string::npos);
+  EXPECT_NE(text.find("fd4"), std::string::npos);
+  EXPECT_NE(text.find("1.00x"), std::string::npos);
+}
+
+// --- chart renderer --------------------------------------------------------------------
+
+TEST(Chart, RendersSeriesWithAxesAndLegend) {
+  vis::Series s1;
+  s1.label = "mpi share";
+  s1.ys = {0.1, 0.2, 0.35, 0.5, 0.7};
+  s1.filled = true;
+  vis::Series s2;
+  s2.label = "compute";
+  s2.ys = {0.9, 0.8, 0.65, 0.5, 0.3};
+  s2.color = vis::seriesColor(1);
+  vis::ChartOptions opts;
+  opts.title = "shares over run";
+  opts.percentY = true;
+  opts.yMin = 0.0;
+  opts.yMax = 1.0;
+  const std::string doc =
+      vis::renderLineChart({s1, s2}, opts).finalize();
+  EXPECT_NE(doc.find("<path"), std::string::npos);
+  EXPECT_NE(doc.find("mpi share"), std::string::npos);
+  EXPECT_NE(doc.find("100.0%"), std::string::npos);
+  EXPECT_NE(doc.find("fill-opacity"), std::string::npos);  // filled area
+}
+
+TEST(Chart, NaNBreaksTheLine) {
+  vis::Series s;
+  s.ys = {1.0, std::numeric_limits<double>::quiet_NaN(), 3.0};
+  const std::string doc =
+      vis::renderLineChart({s}, vis::ChartOptions{}).finalize();
+  // Two separate moveto commands (one per line fragment).
+  std::size_t moves = 0;
+  for (std::size_t pos = doc.find(" M "); pos != std::string::npos;
+       pos = doc.find(" M ", pos + 1)) {
+    ++moves;
+  }
+  EXPECT_GE(moves, 2u);
+}
+
+TEST(Chart, RejectsEmptyInput) {
+  EXPECT_THROW(vis::renderLineChart({}, vis::ChartOptions{}), Error);
+  vis::Series empty;
+  EXPECT_THROW(vis::renderLineChart({empty}, vis::ChartOptions{}), Error);
+}
+
+}  // namespace
+}  // namespace perfvar::analysis

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "analysis/dominant.hpp"
+#include "apps/paper_examples.hpp"
+#include "trace/builder.hpp"
+#include "util/error.hpp"
+
+namespace perfvar::analysis {
+namespace {
+
+// --- Figure 2: the paper's worked selection example ------------------------
+
+TEST(Dominant, Figure2SelectsFunctionA) {
+  const trace::Trace tr = apps::buildFigure2Trace();
+  const DominantSelection sel = selectDominantFunction(tr);
+  ASSERT_TRUE(sel.hasDominant());
+  EXPECT_EQ(tr.functions.name(sel.dominant().function), "a");
+  EXPECT_EQ(sel.dominant().invocations, 9u);
+  EXPECT_EQ(sel.dominant().aggregatedInclusive, 36u);
+}
+
+TEST(Dominant, Figure2RejectsMainForInvocationCount) {
+  const trace::Trace tr = apps::buildFigure2Trace();
+  const DominantSelection sel = selectDominantFunction(tr);
+  ASSERT_FALSE(sel.rejectedTopLevel.empty());
+  EXPECT_EQ(tr.functions.name(sel.rejectedTopLevel[0].function), "main");
+  EXPECT_EQ(sel.rejectedTopLevel[0].aggregatedInclusive, 54u);
+  EXPECT_EQ(sel.rejectedTopLevel[0].invocations, 3u);  // == p, < 2p
+}
+
+TEST(Dominant, Figure2CandidateRankingIsByInclusiveTime) {
+  const trace::Trace tr = apps::buildFigure2Trace();
+  const DominantSelection sel = selectDominantFunction(tr);
+  ASSERT_GE(sel.candidates.size(), 2u);
+  for (std::size_t i = 1; i < sel.candidates.size(); ++i) {
+    EXPECT_GE(sel.candidates[i - 1].aggregatedInclusive,
+              sel.candidates[i].aggregatedInclusive);
+  }
+  // b and c qualify too (9 invocations each) but rank below a.
+  EXPECT_EQ(tr.functions.name(sel.candidates[0].function), "a");
+}
+
+// --- threshold semantics -----------------------------------------------------
+
+TEST(Dominant, MultiplierOneAcceptsMain) {
+  const trace::Trace tr = apps::buildFigure2Trace();
+  DominantOptions opts;
+  opts.invocationMultiplier = 1;
+  const DominantSelection sel = selectDominantFunction(tr, opts);
+  ASSERT_TRUE(sel.hasDominant());
+  // With threshold p, main (3 invocations on 3 processes) qualifies and
+  // wins by inclusive time - the degenerate selection the paper avoids.
+  EXPECT_EQ(tr.functions.name(sel.dominant().function), "main");
+}
+
+TEST(Dominant, HugeMultiplierLeavesNothing) {
+  const trace::Trace tr = apps::buildFigure2Trace();
+  DominantOptions opts;
+  opts.invocationMultiplier = 100;
+  const DominantSelection sel = selectDominantFunction(tr, opts);
+  EXPECT_FALSE(sel.hasDominant());
+  EXPECT_THROW(sel.dominant(), Error);
+}
+
+TEST(Dominant, ZeroMultiplierRejected) {
+  const trace::Trace tr = apps::buildFigure2Trace();
+  DominantOptions opts;
+  opts.invocationMultiplier = 0;
+  EXPECT_THROW(selectDominantFunction(tr, opts), Error);
+}
+
+class MultiplierSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultiplierSweep, CandidatesAllMeetTheThreshold) {
+  const trace::Trace tr = apps::buildFigure2Trace();
+  DominantOptions opts;
+  opts.invocationMultiplier = GetParam();
+  const DominantSelection sel = selectDominantFunction(tr, opts);
+  const std::uint64_t required = GetParam() * tr.processCount();
+  for (const auto& c : sel.candidates) {
+    EXPECT_GE(c.invocations, required);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Multipliers, MultiplierSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+// --- synchronization exclusion ----------------------------------------------
+
+TEST(Dominant, ExcludesMpiFunctionsByDefault) {
+  trace::TraceBuilder b(2);
+  const auto fMpi =
+      b.defineFunction("MPI_Waitall", "MPI", trace::Paradigm::MPI);
+  const auto fApp = b.defineFunction("step", "APP");
+  for (trace::ProcessId p = 0; p < 2; ++p) {
+    trace::Timestamp t = 0;
+    for (int i = 0; i < 4; ++i) {
+      b.enter(p, t, fApp);
+      b.enter(p, t + 1, fMpi);
+      b.leave(p, t + 90, fMpi);  // MPI dominates the inclusive time
+      b.leave(p, t + 100, fApp);
+      t += 100;
+    }
+  }
+  const trace::Trace tr = b.finish();
+  const DominantSelection sel = selectDominantFunction(tr);
+  ASSERT_TRUE(sel.hasDominant());
+  EXPECT_EQ(sel.dominant().function, fApp);
+
+  DominantOptions noExclusion;
+  noExclusion.excludeSynchronization = false;
+  const DominantSelection raw = selectDominantFunction(tr, noExclusion);
+  EXPECT_EQ(raw.dominant().function, fApp);  // step still wins (wrapper)
+  // But MPI_Waitall now appears among the candidates.
+  bool mpiPresent = false;
+  for (const auto& c : raw.candidates) {
+    mpiPresent |= c.function == fMpi;
+  }
+  EXPECT_TRUE(mpiPresent);
+}
+
+TEST(Dominant, FormatSelectionMentionsDominantAndRejected) {
+  const trace::Trace tr = apps::buildFigure2Trace();
+  const DominantSelection sel = selectDominantFunction(tr);
+  const std::string text = formatSelection(tr, sel);
+  EXPECT_NE(text.find("[dominant] a"), std::string::npos);
+  EXPECT_NE(text.find("main"), std::string::npos);
+  EXPECT_NE(text.find("rejected"), std::string::npos);
+}
+
+TEST(Dominant, TieBreaksDeterministically) {
+  trace::TraceBuilder b(1);
+  const auto f1 = b.defineFunction("f1");
+  const auto f2 = b.defineFunction("f2");
+  trace::Timestamp t = 0;
+  for (int i = 0; i < 3; ++i) {
+    b.enter(0, t, f1);
+    b.leave(0, t + 10, f1);
+    b.enter(0, t + 10, f2);
+    b.leave(0, t + 20, f2);
+    t += 20;
+  }
+  const trace::Trace tr = b.finish();
+  const DominantSelection sel = selectDominantFunction(tr);
+  ASSERT_TRUE(sel.hasDominant());
+  EXPECT_EQ(sel.dominant().function, f1);  // equal time -> lower id wins
+}
+
+}  // namespace
+}  // namespace perfvar::analysis

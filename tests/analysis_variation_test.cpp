@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline.hpp"
+#include "analysis/variation.hpp"
+#include "apps/paper_examples.hpp"
+#include "trace/builder.hpp"
+#include "util/error.hpp"
+
+namespace perfvar::analysis {
+namespace {
+
+/// Synthetic iterative trace: `procs` processes x `iters` iterations of a
+/// `step` function with per-(process, iteration) SOS-time supplied by a
+/// callback, plus a barrier absorbing the imbalance.
+template <typename WorkFn>
+trace::Trace iterativeTrace(std::size_t procs, std::size_t iters,
+                            WorkFn&& work) {
+  trace::TraceBuilder b(procs);
+  const auto fStep = b.defineFunction("step");
+  const auto fWork = b.defineFunction("work");
+  const auto fMpi =
+      b.defineFunction("MPI_Barrier", "MPI", trace::Paradigm::MPI);
+  for (std::size_t i = 0; i < iters; ++i) {
+    trace::Timestamp slowest = 0;
+    for (std::size_t p = 0; p < procs; ++p) {
+      slowest = std::max(slowest, work(p, i));
+    }
+    for (std::size_t p = 0; p < procs; ++p) {
+      const trace::Timestamp t0 = static_cast<trace::Timestamp>(i) * 1000;
+      const trace::Timestamp w = work(p, i);
+      b.enter(p, t0, fStep);
+      b.enter(p, t0, fWork);
+      b.leave(p, t0 + w, fWork);
+      b.enter(p, t0 + w, fMpi);
+      b.leave(p, t0 + slowest + 1, fMpi);
+      b.leave(p, t0 + slowest + 1, fStep);
+    }
+  }
+  return b.finish();
+}
+
+TEST(Variation, DetectsPersistentlySlowProcess) {
+  const trace::Trace tr = iterativeTrace(8, 30, [](std::size_t p, std::size_t) {
+    return static_cast<trace::Timestamp>(p == 5 ? 160 : 100);
+  });
+  const auto fStep = *tr.functions.find("step");
+  const SosResult sos = analyzeSos(tr, fStep);
+  const VariationReport report = analyzeVariation(sos);
+  EXPECT_EQ(report.slowestProcess(), 5u);
+  ASSERT_FALSE(report.culpritProcesses.empty());
+  EXPECT_EQ(report.culpritProcesses[0], 5u);
+  EXPECT_GT(report.processes[5].totalZ, 3.0);
+  // Every iteration blames process 5.
+  for (const auto& it : report.iterations) {
+    EXPECT_EQ(it.slowestProcess, 5u);
+    EXPECT_NEAR(it.imbalance, 160.0 / 107.5 - 1.0, 1e-9);
+  }
+}
+
+TEST(Variation, DetectsSingleSlowIteration) {
+  const trace::Trace tr =
+      iterativeTrace(6, 40, [](std::size_t p, std::size_t i) {
+        // Baseline with mild deterministic jitter (real traces are never
+        // exactly constant) plus one extreme segment.
+        const auto jitter = static_cast<trace::Timestamp>((p * 13 + i * 7) % 9);
+        return (p == 2 && i == 17) ? trace::Timestamp{500} : 100 + jitter;
+      });
+  const auto fStep = *tr.functions.find("step");
+  const SosResult sos = analyzeSos(tr, fStep);
+  const VariationReport report = analyzeVariation(sos);
+  ASSERT_FALSE(report.hotspots.empty());
+  EXPECT_EQ(report.hotspots[0].process, 2u);
+  EXPECT_EQ(report.hotspots[0].iteration, 17u);
+  EXPECT_GT(report.hotspots[0].globalZ, 3.5);
+  EXPECT_GT(report.hotspots[0].iterationZ, 3.5);
+}
+
+TEST(Variation, DetectsGradualSlowdownTrend) {
+  const trace::Trace tr =
+      iterativeTrace(4, 50, [](std::size_t, std::size_t i) {
+        return static_cast<trace::Timestamp>(100 + 4 * i);
+      });
+  const auto fStep = *tr.functions.find("step");
+  const SosResult sos = analyzeSos(tr, fStep);
+  const VariationReport report = analyzeVariation(sos);
+  // ~4 ticks/iteration; slopes are reported in seconds (resolution 1e9).
+  EXPECT_NEAR(report.sosTrend.slope, 4e-9, 1e-10);
+  EXPECT_GT(report.sosTrend.r2, 0.99);
+  EXPECT_NEAR(report.durationTrend.slope, 4e-9, 1e-10);
+}
+
+TEST(Variation, BalancedRunHasNoCulpritsOrHotspots) {
+  const trace::Trace tr =
+      iterativeTrace(8, 30, [](std::size_t p, std::size_t i) {
+        // Tiny deterministic jitter, no structure.
+        return static_cast<trace::Timestamp>(100 + (p * 7 + i * 3) % 5);
+      });
+  const auto fStep = *tr.functions.find("step");
+  const SosResult sos = analyzeSos(tr, fStep);
+  const VariationReport report = analyzeVariation(sos);
+  EXPECT_TRUE(report.culpritProcesses.empty());
+  EXPECT_TRUE(report.hotspots.empty());
+}
+
+TEST(Variation, HotspotsAreRankedAndCapped) {
+  const trace::Trace tr =
+      iterativeTrace(4, 50, [](std::size_t p, std::size_t i) {
+        if (i % 5 == 0) {
+          return static_cast<trace::Timestamp>(300 + 10 * p);
+        }
+        return static_cast<trace::Timestamp>(100 + (p * 11 + i * 5) % 7);
+      });
+  const auto fStep = *tr.functions.find("step");
+  const SosResult sos = analyzeSos(tr, fStep);
+  VariationOptions opts;
+  opts.maxHotspots = 7;
+  const VariationReport report = analyzeVariation(sos, opts);
+  EXPECT_EQ(report.hotspots.size(), 7u);
+  for (std::size_t i = 1; i < report.hotspots.size(); ++i) {
+    EXPECT_GE(report.hotspots[i - 1].globalZ, report.hotspots[i].globalZ);
+  }
+}
+
+TEST(Variation, ProcessesBySosIsSortedDescending) {
+  const trace::Trace tr =
+      iterativeTrace(5, 10, [](std::size_t p, std::size_t) {
+        return static_cast<trace::Timestamp>(100 + 10 * p);
+      });
+  const auto fStep = *tr.functions.find("step");
+  const SosResult sos = analyzeSos(tr, fStep);
+  const VariationReport report = analyzeVariation(sos);
+  ASSERT_EQ(report.processesBySos.size(), 5u);
+  EXPECT_EQ(report.processesBySos.front(), 4u);
+  EXPECT_EQ(report.processesBySos.back(), 0u);
+  const auto totals = sos.totalSosPerProcess();
+  for (std::size_t i = 1; i < report.processesBySos.size(); ++i) {
+    EXPECT_GE(totals[report.processesBySos[i - 1]],
+              totals[report.processesBySos[i]]);
+  }
+}
+
+TEST(Variation, ReportFormatsKeyFacts) {
+  const trace::Trace tr =
+      iterativeTrace(4, 20, [](std::size_t p, std::size_t i) {
+        return static_cast<trace::Timestamp>(
+            (p == 1 && i == 5) ? 900 : 100);
+      });
+  const auto fStep = *tr.functions.find("step");
+  const SosResult sos = analyzeSos(tr, fStep);
+  const VariationReport report = analyzeVariation(sos);
+  const std::string text = formatVariationReport(sos, report);
+  EXPECT_NE(text.find("segmentation function: step"), std::string::npos);
+  EXPECT_NE(text.find("Rank 1"), std::string::npos);
+  EXPECT_NE(text.find("top hotspots"), std::string::npos);
+}
+
+// --- pipeline ----------------------------------------------------------------
+
+TEST(Pipeline, EndToEndOnFigure3) {
+  const trace::Trace tr = apps::buildFigure3Trace();
+  const AnalysisResult result = analyzeTrace(tr);
+  EXPECT_EQ(tr.functions.name(result.segmentFunction), "a");
+  EXPECT_EQ(result.sos->maxSegmentsPerProcess(), 3u);
+  const std::string text = formatAnalysis(tr, result);
+  EXPECT_NE(text.find("dominant"), std::string::npos);
+}
+
+TEST(Pipeline, CandidateIndexSelectsFinerSegmentation) {
+  const trace::Trace tr = apps::buildFigure3Trace();
+  PipelineOptions opts;
+  opts.candidateIndex = 1;
+  const AnalysisResult result = analyzeTrace(tr, opts);
+  EXPECT_EQ(tr.functions.name(result.segmentFunction), "calc");
+}
+
+TEST(Pipeline, OutOfRangeCandidateThrows) {
+  const trace::Trace tr = apps::buildFigure3Trace();
+  PipelineOptions opts;
+  opts.candidateIndex = 99;
+  EXPECT_THROW(analyzeTrace(tr, opts), Error);
+}
+
+TEST(Pipeline, ThrowsWhenNothingQualifies) {
+  trace::TraceBuilder b(2);
+  const auto f = b.defineFunction("main");
+  b.enter(0, 0, f);
+  b.leave(0, 10, f);
+  b.enter(1, 0, f);
+  b.leave(1, 10, f);
+  const trace::Trace tr = b.finish();
+  EXPECT_THROW(analyzeTrace(tr), Error);
+}
+
+}  // namespace
+}  // namespace perfvar::analysis

@@ -1,0 +1,239 @@
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "apps/cloud_field.hpp"
+#include "apps/cosmo_specs.hpp"
+#include "apps/cosmo_specs_fd4.hpp"
+#include "apps/paper_examples.hpp"
+#include "apps/wrf.hpp"
+#include "trace/trace.hpp"
+#include "util/error.hpp"
+
+namespace perfvar::apps {
+namespace {
+
+// --- cloud field ---------------------------------------------------------------
+
+TEST(CloudField, PeaksAtTheCloudCenter) {
+  Cloud cloud;
+  cloud.x0 = 5.5;  // center of block (5, 3)
+  cloud.y0 = 3.5;
+  cloud.sigma0 = 1.0;
+  cloud.amp0 = 2.0;
+  const CloudField field(10, 10, {cloud});
+  const double peak = field.mass(5, 3, 0.0);
+  EXPECT_NEAR(peak, 2.0, 1e-9);
+  for (std::uint32_t y = 0; y < 10; ++y) {
+    for (std::uint32_t x = 0; x < 10; ++x) {
+      EXPECT_LE(field.mass(x, y, 0.0), peak + 1e-12);
+      EXPECT_GE(field.mass(x, y, 0.0), 0.0);
+    }
+  }
+}
+
+TEST(CloudField, MovesWithVelocity) {
+  Cloud cloud;
+  cloud.x0 = 1.5;
+  cloud.y0 = 1.5;
+  cloud.vx = 1.0;
+  cloud.sigma0 = 0.8;
+  cloud.amp0 = 1.0;
+  const CloudField field(8, 8, {cloud});
+  EXPECT_GT(field.mass(1, 1, 0.0), field.mass(5, 1, 0.0));
+  EXPECT_GT(field.mass(5, 1, 4.0), field.mass(1, 1, 4.0));
+}
+
+TEST(CloudField, GrowsWithAmplitudeGrowth) {
+  Cloud cloud;
+  cloud.x0 = 2.5;
+  cloud.y0 = 2.5;
+  cloud.sigma0 = 1.0;
+  cloud.amp0 = 0.1;
+  cloud.ampGrowth = 0.1;
+  const CloudField field(5, 5, {cloud});
+  EXPECT_LT(field.totalMass(0.0), field.totalMass(10.0));
+}
+
+TEST(CloudField, BlockMassesMatchPointQueries) {
+  Cloud cloud;
+  cloud.x0 = 1.0;
+  cloud.y0 = 2.0;
+  cloud.sigma0 = 1.5;
+  cloud.amp0 = 1.0;
+  const CloudField field(4, 3, {cloud});
+  const auto masses = field.blockMasses(0.0);
+  ASSERT_EQ(masses.size(), 12u);
+  for (std::uint32_t y = 0; y < 3; ++y) {
+    for (std::uint32_t x = 0; x < 4; ++x) {
+      EXPECT_DOUBLE_EQ(masses[y * 4 + x], field.mass(x, y, 0.0));
+    }
+  }
+}
+
+// --- paper examples --------------------------------------------------------------
+
+TEST(PaperExamples, AllTracesAreValid) {
+  EXPECT_TRUE(trace::validate(buildFigure1Trace()).empty());
+  EXPECT_TRUE(trace::validate(buildFigure2Trace()).empty());
+  EXPECT_TRUE(trace::validate(buildFigure3Trace()).empty());
+}
+
+TEST(PaperExamples, Figure3NarrativeNumbers) {
+  const auto& calc = figure3CalcTimes();
+  // First iteration duration 6 (max calc 5 + 1 sync), middle duration 3.
+  double max0 = 0.0;
+  double max1 = 0.0;
+  for (int p = 0; p < 3; ++p) {
+    max0 = std::max(max0, calc[0][p]);
+    max1 = std::max(max1, calc[1][p]);
+  }
+  EXPECT_EQ(max0 + 1.0, 6.0);
+  EXPECT_EQ(max1 + 1.0, 3.0);
+  EXPECT_EQ(calc[0][0], 5.0);
+  EXPECT_EQ(calc[0][2], 1.0);
+}
+
+// --- COSMO-SPECS scenario -----------------------------------------------------------
+
+TEST(CosmoSpecs, DefaultGroundTruthMatchesThePaper) {
+  const CosmoSpecsScenario scenario = buildCosmoSpecs();
+  EXPECT_EQ(scenario.program.ranks, 100u);
+  EXPECT_EQ(scenario.hottestRank, 54u);
+  std::vector<std::uint32_t> sorted = scenario.hotRanks;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::uint32_t>{44, 45, 54, 55, 64, 65}));
+}
+
+TEST(CosmoSpecs, ProducesAValidTraceWithGrowingImbalance) {
+  CosmoSpecsConfig cfg;
+  cfg.gridX = 4;
+  cfg.gridY = 4;
+  cfg.timesteps = 12;
+  cfg.noiseSigma = 0.0;
+  const CosmoSpecsScenario scenario = buildCosmoSpecs(cfg);
+  const trace::Trace tr =
+      sim::simulate(scenario.program, scenario.simOptions);
+  EXPECT_TRUE(trace::validate(tr).empty());
+  EXPECT_EQ(tr.processCount(), 16u);
+  // Iteration function appears timesteps times per rank.
+  std::size_t iterFrames = 0;
+  for (const auto& proc : tr.processes) {
+    for (const auto& e : proc.events) {
+      if (e.kind == trace::EventKind::Enter &&
+          e.ref == scenario.iterationFunction) {
+        ++iterFrames;
+      }
+    }
+  }
+  EXPECT_EQ(iterFrames, 16u * 12u);
+}
+
+TEST(CosmoSpecs, CloudFieldIsStationaryAndGrowing) {
+  const CosmoSpecsConfig cfg;
+  const CloudField field = cosmoSpecsCloudField(cfg);
+  const double early = field.mass(4, 5, 1.0);
+  const double late = field.mass(4, 5, 50.0);
+  EXPECT_LT(early, late);
+  // The hottest block at the end is rank 54's block (4, 5).
+  const auto masses = field.blockMasses(59.0);
+  const auto maxIt = std::max_element(masses.begin(), masses.end());
+  EXPECT_EQ(static_cast<std::size_t>(maxIt - masses.begin()), 54u);
+}
+
+// --- COSMO-SPECS+FD4 scenario ---------------------------------------------------------
+
+TEST(CosmoSpecsFd4, BalancerKeepsLoadsEven) {
+  CosmoSpecsFd4Config cfg;
+  cfg.ranks = 16;
+  cfg.blocksX = 16;
+  cfg.blocksY = 16;
+  cfg.iterations = 8;
+  cfg.interruptRank = 3;
+  cfg.interruptIteration = 4;
+  const CosmoSpecsFd4Scenario scenario = buildCosmoSpecsFd4(cfg);
+  ASSERT_EQ(scenario.balancedImbalance.size(), 8u);
+  for (const double imbalance : scenario.balancedImbalance) {
+    EXPECT_LT(imbalance, 0.25) << "post-balancing imbalance too high";
+  }
+  // The moving cloud forces at least one actual migration.
+  std::size_t migrated = 0;
+  for (const auto m : scenario.migratedBlocks) {
+    migrated += m;
+  }
+  EXPECT_GT(migrated, 0u);
+}
+
+TEST(CosmoSpecsFd4, GroundTruthIndicesAreConsistent) {
+  CosmoSpecsFd4Config cfg;
+  cfg.ranks = 8;
+  cfg.blocksX = 8;
+  cfg.blocksY = 8;
+  cfg.iterations = 6;
+  cfg.innerTimesteps = 4;
+  cfg.interruptRank = 2;
+  cfg.interruptIteration = 3;
+  cfg.interruptInnerStep = 1;
+  const CosmoSpecsFd4Scenario scenario = buildCosmoSpecsFd4(cfg);
+  EXPECT_EQ(scenario.culpritRank, 2u);
+  EXPECT_EQ(scenario.culpritIteration, 3u);
+  EXPECT_EQ(scenario.culpritFineSegment, 3u * 4u + 1u);
+  const trace::Trace tr =
+      sim::simulate(scenario.program, scenario.simOptions);
+  EXPECT_TRUE(trace::validate(tr).empty());
+}
+
+TEST(CosmoSpecsFd4, RejectsOutOfRangePositions) {
+  CosmoSpecsFd4Config cfg;
+  cfg.ranks = 8;
+  cfg.blocksX = 8;
+  cfg.blocksY = 8;
+  cfg.interruptRank = 99;
+  EXPECT_THROW(buildCosmoSpecsFd4(cfg), Error);
+}
+
+// --- WRF scenario ------------------------------------------------------------------------
+
+TEST(Wrf, ProducesValidTraceWithFpeCounter) {
+  WrfConfig cfg;
+  cfg.gridX = 4;
+  cfg.gridY = 4;
+  cfg.timesteps = 8;
+  cfg.fpeRank = 9;
+  cfg.noiseSigma = 0.0;
+  const WrfScenario scenario = buildWrf(cfg);
+  const trace::Trace tr = sim::simulate(scenario.program, scenario.simOptions);
+  EXPECT_TRUE(trace::validate(tr).empty());
+  const auto fpe = tr.metrics.find(scenario.fpExceptionMetricName);
+  ASSERT_TRUE(fpe.has_value());
+  // Rank 9 accumulates far more exceptions than any other rank.
+  std::vector<double> lastValue(tr.processCount(), 0.0);
+  for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
+    for (const auto& e : tr.processes[p].events) {
+      if (e.kind == trace::EventKind::Metric && e.ref == *fpe) {
+        lastValue[p] = e.value;
+      }
+    }
+  }
+  for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
+    if (p != 9) {
+      EXPECT_LT(lastValue[p], lastValue[9] / 100.0) << "rank " << p;
+    }
+  }
+}
+
+TEST(Wrf, InitPhasePrecedesIterations) {
+  WrfConfig cfg;
+  cfg.gridX = 2;
+  cfg.gridY = 2;
+  cfg.timesteps = 3;
+  cfg.fpeRank = 1;
+  const WrfScenario scenario = buildWrf(cfg);
+  const trace::Trace tr = sim::simulate(scenario.program, scenario.simOptions);
+  // First enter on rank 0 is the init function; wrf_timestep comes later.
+  const auto fInit = *tr.functions.find("wrf_init");
+  EXPECT_EQ(tr.processes[0].events.front().ref, fInit);
+  EXPECT_EQ(tr.processes[0].events.front().kind, trace::EventKind::Enter);
+}
+
+}  // namespace
+}  // namespace perfvar::apps

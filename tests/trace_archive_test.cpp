@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/pipeline.hpp"
+#include "apps/paper_examples.hpp"
+#include "sim/simulator.hpp"
+#include "apps/cosmo_specs.hpp"
+#include "trace/archive.hpp"
+#include "trace/builder.hpp"
+#include "util/error.hpp"
+
+namespace perfvar::trace {
+namespace {
+
+std::string tempDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/perfvar_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+Trace sampleTrace() {
+  TraceBuilder b(4);
+  const auto f = b.defineFunction("solve", "APP");
+  const auto mpi = b.defineFunction("MPI_Barrier", "MPI", Paradigm::MPI);
+  const auto m = b.defineMetric("ctr");
+  for (ProcessId p = 0; p < 4; ++p) {
+    b.enter(p, p, f);
+    b.metric(p, p + 1, m, 10.0 * p);
+    b.enter(p, p + 2, mpi);
+    b.leave(p, p + 6, mpi);
+    b.leave(p, p + 9, f);
+  }
+  b.mpiSend(0, 20, 2, 5, 256);
+  b.mpiRecv(2, 25, 0, 5, 256);
+  b.mpiSend(1, 21, 3, 5, 128);
+  return b.finish();
+}
+
+TEST(Archive, RoundTripsFullTrace) {
+  const Trace original = sampleTrace();
+  const std::string dir = tempDir("roundtrip");
+  saveArchive(original, dir);
+
+  const ArchiveInfo info = readArchiveInfo(dir);
+  EXPECT_EQ(info.ranks, 4u);
+  EXPECT_EQ(info.resolution, original.resolution);
+
+  const Trace loaded = loadArchive(dir);
+  ASSERT_EQ(loaded.processCount(), 4u);
+  EXPECT_EQ(loaded.functions.size(), original.functions.size());
+  EXPECT_EQ(loaded.metrics.size(), original.metrics.size());
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_EQ(loaded.processes[p].name, original.processes[p].name);
+    ASSERT_EQ(loaded.processes[p].events.size(),
+              original.processes[p].events.size());
+    for (std::size_t i = 0; i < loaded.processes[p].events.size(); ++i) {
+      EXPECT_EQ(loaded.processes[p].events[i],
+                original.processes[p].events[i]);
+    }
+  }
+  EXPECT_TRUE(validate(loaded).empty());
+}
+
+TEST(Archive, LayoutHasAnchorDefinitionsAndRankFiles) {
+  const Trace original = sampleTrace();
+  const std::string dir = tempDir("layout");
+  saveArchive(original, dir);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/anchor.pva"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/definitions.pvt"));
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_TRUE(std::filesystem::exists(dir + "/rank" + std::to_string(r) +
+                                        ".pvt"));
+  }
+}
+
+TEST(Archive, SelectiveLoadRemapsPeers) {
+  const Trace original = sampleTrace();
+  const std::string dir = tempDir("selective");
+  saveArchive(original, dir);
+
+  // Load ranks 2 and 0 (in that order): the 0->2 message survives with
+  // remapped ids; the 1->3 message's endpoints are absent entirely.
+  const Trace subset = loadArchiveRanks(dir, {2, 0});
+  ASSERT_EQ(subset.processCount(), 2u);
+  EXPECT_EQ(subset.processes[0].name, "Rank 2");
+  EXPECT_EQ(subset.processes[1].name, "Rank 0");
+  bool sawSend = false;
+  for (const auto& e : subset.processes[1].events) {
+    if (e.kind == EventKind::MpiSend) {
+      sawSend = true;
+      EXPECT_EQ(e.ref, 0u);  // old rank 2 -> new process 0
+    }
+  }
+  EXPECT_TRUE(sawSend);
+  bool sawRecv = false;
+  for (const auto& e : subset.processes[0].events) {
+    if (e.kind == EventKind::MpiRecv) {
+      sawRecv = true;
+      EXPECT_EQ(e.ref, 1u);  // old rank 0 -> new process 1
+    }
+  }
+  EXPECT_TRUE(sawRecv);
+  EXPECT_TRUE(validate(subset).empty());
+}
+
+TEST(Archive, SelectiveLoadValidatesInput) {
+  const Trace original = sampleTrace();
+  const std::string dir = tempDir("badsel");
+  saveArchive(original, dir);
+  EXPECT_THROW(loadArchiveRanks(dir, {}), Error);
+  EXPECT_THROW(loadArchiveRanks(dir, {9}), Error);
+  EXPECT_THROW(loadArchiveRanks(dir, {1, 1}), Error);
+}
+
+TEST(Archive, MissingOrCorruptArchiveThrows) {
+  EXPECT_THROW(loadArchive("/nonexistent/archive"), Error);
+  const std::string dir = tempDir("corrupt");
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/anchor.pva") << "NOTANARCHIVE 1\n";
+  EXPECT_THROW(readArchiveInfo(dir), Error);
+}
+
+TEST(Archive, AnalysisOnArchiveSubsetMatchesFullTrace) {
+  // The hotspot-guided workflow: detect the culprit on the full run, then
+  // reload only the interesting ranks from the archive for deep analysis.
+  apps::CosmoSpecsConfig cfg;
+  cfg.gridX = 4;
+  cfg.gridY = 4;
+  cfg.timesteps = 12;
+  const auto scenario = apps::buildCosmoSpecs(cfg);
+  const Trace full = sim::simulate(scenario.program, scenario.simOptions);
+  const std::string dir = tempDir("workflow");
+  saveArchive(full, dir);
+
+  const auto fullResult = analysis::analyzeTrace(full);
+  const ProcessId culprit = fullResult.variation.slowestProcess();
+
+  const Trace subset = loadArchiveRanks(dir, {culprit});
+  const analysis::SosResult sos =
+      analysis::analyzeSos(subset, fullResult.segmentFunction);
+  ASSERT_EQ(sos.processCount(), 1u);
+  // Per-rank SOS values are identical to the full-trace analysis.
+  const auto& fullSegs = fullResult.sos->process(culprit);
+  const auto& subsetSegs = sos.process(0);
+  ASSERT_EQ(subsetSegs.size(), fullSegs.size());
+  for (std::size_t i = 0; i < subsetSegs.size(); ++i) {
+    EXPECT_EQ(subsetSegs[i].sosTime, fullSegs[i].sosTime);
+  }
+}
+
+}  // namespace
+}  // namespace perfvar::trace

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "analysis/sos.hpp"
+#include "apps/paper_examples.hpp"
+#include "trace/builder.hpp"
+#include "trace/filter.hpp"
+#include "trace/replay.hpp"
+#include "util/error.hpp"
+
+namespace perfvar::trace {
+namespace {
+
+TEST(SliceTime, ProducesValidTraceWithBoundaryFrames) {
+  // fig3: a-invocations at [0,6), [6,9), [9,14). Slice to iteration 1.
+  const Trace tr = apps::buildFigure3Trace();
+  const Trace sliced = sliceTime(tr, 6, 9);
+  EXPECT_TRUE(validate(sliced).empty());
+  EXPECT_EQ(sliced.startTime(), 6u);
+  EXPECT_EQ(sliced.endTime(), 9u);
+  // main is re-opened at the boundary and closed at the end on every rank.
+  const auto fMain = *sliced.functions.find("main");
+  for (const auto& proc : sliced.processes) {
+    EXPECT_EQ(proc.events.front().ref, fMain);
+    EXPECT_EQ(proc.events.front().time, 6u);
+    EXPECT_EQ(proc.events.back().ref, fMain);
+    EXPECT_EQ(proc.events.back().time, 9u);
+  }
+}
+
+TEST(SliceTime, SlicedIterationAnalyzesStandalone) {
+  const Trace tr = apps::buildFigure3Trace();
+  const Trace sliced = sliceTime(tr, 6, 9);
+  const auto fA = *sliced.functions.find("a");
+  const analysis::SosResult sos = analysis::analyzeSos(sliced, fA);
+  for (ProcessId p = 0; p < 3; ++p) {
+    ASSERT_EQ(sos.process(p).size(), 1u);
+    EXPECT_EQ(sos.process(p)[0].sosTime, 2u);  // iteration 1 calc = 2
+  }
+}
+
+TEST(SliceTime, MidFrameCutSynthesizesEnterAndLeave) {
+  TraceBuilder b(1);
+  const auto f = b.defineFunction("f");
+  const auto g = b.defineFunction("g");
+  b.enter(0, 0, f);
+  b.enter(0, 10, g);
+  b.leave(0, 30, g);
+  b.leave(0, 40, f);
+  const Trace sliced = sliceTime(b.finish(), 15, 25);
+  EXPECT_TRUE(validate(sliced).empty());
+  const auto frames = collectFrames(sliced.processes[0]);
+  ASSERT_EQ(frames.size(), 2u);
+  // g closed first (leave order): [15,25) clipped.
+  EXPECT_EQ(frames[0].function, g);
+  EXPECT_EQ(frames[0].enterTime, 15u);
+  EXPECT_EQ(frames[0].leaveTime, 25u);
+  EXPECT_EQ(frames[1].function, f);
+  EXPECT_EQ(frames[1].inclusive(), 10u);
+}
+
+TEST(SliceTime, CarriesMetricBaselineAcrossTheBoundary) {
+  TraceBuilder b(1);
+  const auto f = b.defineFunction("f");
+  const auto m = b.defineMetric("ctr");
+  b.enter(0, 0, f);
+  b.metric(0, 5, m, 100.0);   // before the window
+  b.metric(0, 20, m, 130.0);  // inside the window
+  b.leave(0, 40, f);
+  const Trace sliced = sliceTime(b.finish(), 10, 30);
+  // The slice carries a synthetic sample of value 100 at t=10, so the
+  // in-window delta stays 30 (not 130).
+  const auto fId = *sliced.functions.find("f");
+  const analysis::SosResult sos = analysis::analyzeSos(sliced, fId);
+  EXPECT_DOUBLE_EQ(sos.process(0)[0].metricDelta[m], 30.0);
+}
+
+TEST(SliceTime, EmptyWindowRejected) {
+  const Trace tr = apps::buildFigure3Trace();
+  EXPECT_THROW(sliceTime(tr, 9, 9), Error);
+  EXPECT_THROW(sliceTime(tr, 9, 6), Error);
+}
+
+TEST(SliceTime, WindowBeyondTraceYieldsOnlySynthetics) {
+  const Trace tr = apps::buildFigure1Trace();
+  const Trace sliced = sliceTime(tr, 100, 200);
+  EXPECT_TRUE(validate(sliced).empty());
+  EXPECT_TRUE(sliced.processes[0].events.empty());  // everything closed
+}
+
+TEST(FilterFunctions, DropsFramesAndSplicesChildren) {
+  TraceBuilder b(1);
+  const auto a = b.defineFunction("a");
+  const auto wrapper = b.defineFunction("wrapper");
+  const auto leaf = b.defineFunction("leaf");
+  b.enter(0, 0, a);
+  b.enter(0, 10, wrapper);
+  b.enter(0, 20, leaf);
+  b.leave(0, 30, leaf);
+  b.leave(0, 40, wrapper);
+  b.leave(0, 50, a);
+  const Trace filtered = filterFunctions(
+      b.finish(), [&](FunctionId f) { return f == wrapper; });
+  EXPECT_TRUE(validate(filtered).empty());
+  const auto frames = collectFrames(filtered.processes[0]);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].function, leaf);
+  EXPECT_EQ(frames[0].parent, a);  // child spliced into grandparent
+  // a's exclusive time absorbs the dropped wrapper's exclusive time.
+  EXPECT_EQ(frames[1].function, a);
+  EXPECT_EQ(frames[1].exclusive(), 40u);
+}
+
+TEST(FilterFunctions, KeepsMetricsAndMessages) {
+  TraceBuilder b(2);
+  const auto f = b.defineFunction("f");
+  const auto m = b.defineMetric("m");
+  b.enter(0, 0, f);
+  b.metric(0, 1, m, 7.0);
+  b.mpiSend(0, 2, 1, 3, 64);
+  b.leave(0, 10, f);
+  b.enter(1, 0, f);
+  b.leave(1, 5, f);
+  const Trace filtered =
+      filterFunctions(b.finish(), [&](FunctionId fn) { return fn == f; });
+  EXPECT_TRUE(validate(filtered).empty());
+  EXPECT_EQ(filtered.processes[0].events.size(), 2u);  // metric + send
+}
+
+TEST(SelectProcesses, RenumbersAndRemapsMessages) {
+  TraceBuilder b(4);
+  const auto f = b.defineFunction("f");
+  for (ProcessId p = 0; p < 4; ++p) {
+    b.enter(p, 0, f);
+    b.leave(p, 10, f);
+  }
+  b.mpiSend(1, 11, 3, 0, 32);  // survives: both 1 and 3 are kept
+  b.mpiSend(3, 12, 0, 0, 32);  // dropped: 0 is not kept
+  const Trace selected = selectProcesses(b.finish(), {3, 1});
+  EXPECT_EQ(selected.processCount(), 2u);
+  EXPECT_EQ(selected.processes[0].name, "Rank 3");
+  EXPECT_EQ(selected.processes[1].name, "Rank 1");
+  EXPECT_TRUE(validate(selected).empty());
+  // Rank 1 (now process 1) sends to rank 3 (now process 0).
+  bool sawSend = false;
+  for (const auto& e : selected.processes[1].events) {
+    if (e.kind == EventKind::MpiSend) {
+      sawSend = true;
+      EXPECT_EQ(e.ref, 0u);
+    }
+  }
+  EXPECT_TRUE(sawSend);
+  // The send to removed rank 0 is gone.
+  for (const auto& e : selected.processes[0].events) {
+    EXPECT_NE(e.kind, EventKind::MpiSend);
+  }
+}
+
+TEST(SelectProcesses, RejectsBadSelections) {
+  const Trace tr = apps::buildFigure3Trace();
+  EXPECT_THROW(selectProcesses(tr, {}), Error);
+  EXPECT_THROW(selectProcesses(tr, {0, 0}), Error);
+  EXPECT_THROW(selectProcesses(tr, {99}), Error);
+}
+
+}  // namespace
+}  // namespace perfvar::trace

@@ -1,0 +1,189 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace perfvar {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.uniform();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntStaysInRangeAndHitsEnds) {
+  Rng rng(5);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniformInt(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+    sawLo |= v == 3;
+    sawHi |= v == 9;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformIntRejectsEmptyRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniformInt(5, 4), Error);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) {
+    xs.push_back(rng.normal(2.0, 3.0));
+  }
+  EXPECT_NEAR(stats::mean(xs), 2.0, 0.1);
+  EXPECT_NEAR(stats::stddev(xs), 3.0, 0.1);
+}
+
+TEST(Rng, LognormalFactorMedianNearOne) {
+  Rng rng(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(rng.lognormalFactor(0.3));
+  }
+  EXPECT_NEAR(stats::median(xs), 1.0, 0.03);
+  for (const double x : xs) {
+    EXPECT_GT(x, 0.0);
+  }
+}
+
+TEST(Rng, LognormalFactorZeroSigmaIsExactlyOne) {
+  Rng rng(23);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.lognormalFactor(0.0), 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(31);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.exponential(2.0);
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(99);
+  Rng child = parent.split();
+  // Child stream differs from the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(3);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Format, Seconds) {
+  EXPECT_EQ(fmt::seconds(1.5), "1.500 s");
+  EXPECT_EQ(fmt::seconds(0.0123), "12.30 ms");
+  EXPECT_EQ(fmt::seconds(45e-6), "45.00 us");
+  EXPECT_EQ(fmt::seconds(7e-9), "7.0 ns");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(fmt::bytes(512), "512 B");
+  EXPECT_EQ(fmt::bytes(2048), "2.0 KiB");
+  EXPECT_EQ(fmt::bytes(3 * 1024 * 1024), "3.0 MiB");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(fmt::percent(0.25), "25.0%");
+  EXPECT_EQ(fmt::percent(1.0), "100.0%");
+}
+
+TEST(Format, PadBothDirections) {
+  EXPECT_EQ(fmt::pad("ab", 5), "ab   ");
+  EXPECT_EQ(fmt::pad("ab", -5), "   ab");
+  EXPECT_EQ(fmt::pad("abcdef", 3), "abcdef");
+}
+
+TEST(Format, JoinStrings) {
+  const std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(fmt::join(parts, ", "), "a, b, c");
+  EXPECT_EQ(fmt::join({}, ", "), "");
+}
+
+TEST(Format, TableAlignsColumns) {
+  const std::string t = fmt::table({{"name", "value"}, {"x", "10"},
+                                    {"longer", "2"}});
+  EXPECT_NE(t.find("name    value"), std::string::npos);
+  EXPECT_NE(t.find("------"), std::string::npos);
+}
+
+TEST(Format, SparklineLengthMatchesInput) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::string s = fmt::sparkline(xs);
+  // Each block glyph is 3 UTF-8 bytes.
+  EXPECT_EQ(s.size(), 9u);
+  EXPECT_TRUE(fmt::sparkline({}).empty());
+}
+
+TEST(Error, RequireThrowsWithContext) {
+  try {
+    PERFVAR_REQUIRE(1 == 2, "math is broken");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace perfvar

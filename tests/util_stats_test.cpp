@@ -1,0 +1,201 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace perfvar::stats {
+namespace {
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, MeanBasic) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, VarianceAndStddev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, VarianceOfSingletonIsZero) {
+  const std::vector<double> xs = {42.0};
+  EXPECT_EQ(variance(xs), 0.0);
+}
+
+TEST(Stats, SummarizeMatchesIndividuals) {
+  const std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, xs.size());
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.mean, mean(xs));
+  EXPECT_NEAR(s.stddev, stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum, 31.0);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Stats, QuantileEndpointsAndMidpoint) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.3), 3.0);
+}
+
+TEST(Stats, MadOfSymmetricSample) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(mad(xs), 1.0);
+}
+
+TEST(Stats, RobustZFlagsOutlier) {
+  std::vector<double> xs(50, 1.0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] += 0.01 * static_cast<double>(i % 5);
+  }
+  const double z = robustZ(10.0, xs);
+  EXPECT_GT(z, 100.0);
+}
+
+TEST(Stats, RobustZFallsBackToClassicZWhenMadIsZero) {
+  // Majority identical -> MAD 0, but stddev > 0.
+  const std::vector<double> xs = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 5.0};
+  const double z = robustZ(5.0, xs);
+  EXPECT_GT(z, 0.0);
+  EXPECT_DOUBLE_EQ(z, zScore(5.0, xs));
+}
+
+TEST(Stats, RobustZOfConstantSampleIsZero) {
+  const std::vector<double> xs(10, 3.0);
+  EXPECT_EQ(robustZ(3.0, xs), 0.0);
+  EXPECT_EQ(robustZ(9.0, xs), 0.0);
+}
+
+TEST(Stats, OlsFitRecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.0 * i);
+  }
+  const OlsFit fit = olsFit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-10);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, OlsTrendDetectsGrowth) {
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) {
+    ys.push_back(1.0 + 0.1 * i);
+  }
+  const OlsFit fit = olsTrend(ys);
+  EXPECT_NEAR(fit.slope, 0.1, 1e-12);
+}
+
+TEST(Stats, OlsDegenerateInputs) {
+  EXPECT_EQ(olsTrend(std::vector<double>{5.0}).slope, 0.0);
+  const std::vector<double> xs = {2.0, 2.0, 2.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_EQ(olsFit(xs, ys).slope, 0.0);  // zero x-variance
+}
+
+TEST(Stats, PearsonPerfectAndAnti) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> up = {2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> down = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(xs, down), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonOfConstantIsZero) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, SpearmanIsRankBased) {
+  // Monotone but nonlinear relation: Spearman 1, Pearson < 1.
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> ys = {1.0, 8.0, 27.0, 64.0, 1000.0};
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+  EXPECT_LT(pearson(xs, ys), 1.0);
+}
+
+TEST(Stats, RanksAverageTies) {
+  const std::vector<double> xs = {10.0, 20.0, 20.0, 30.0};
+  const auto r = ranks(xs);
+  EXPECT_DOUBLE_EQ(r[0], 0.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.5);
+  EXPECT_DOUBLE_EQ(r[2], 1.5);
+  EXPECT_DOUBLE_EQ(r[3], 3.0);
+}
+
+TEST(Stats, ImbalanceFactorBalanced) {
+  const std::vector<double> xs = {2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(imbalanceFactor(xs), 0.0);
+}
+
+TEST(Stats, ImbalanceFactorSkewed) {
+  const std::vector<double> xs = {1.0, 1.0, 4.0};
+  EXPECT_DOUBLE_EQ(imbalanceFactor(xs), 1.0);  // max 4 / mean 2 - 1
+}
+
+TEST(Stats, ImbalanceLossBounds) {
+  const std::vector<double> xs = {1.0, 1.0, 4.0};
+  const double loss = imbalanceLoss(xs);
+  EXPECT_GT(loss, 0.0);
+  EXPECT_LT(loss, 1.0);
+  EXPECT_DOUBLE_EQ(loss, (4.0 - 2.0) / 4.0);
+}
+
+TEST(Stats, HistogramCountsSumToInput) {
+  const std::vector<double> xs = {0.0, 0.1, 0.5, 0.9, 1.0};
+  const auto h = histogram(xs, 4);
+  std::size_t total = 0;
+  for (const auto c : h) {
+    total += c;
+  }
+  EXPECT_EQ(total, xs.size());
+  EXPECT_EQ(h.back(), 2u);  // 0.9 and 1.0 land in the last bucket
+}
+
+TEST(Stats, HistogramOfConstantGoesToFirstBucket) {
+  const std::vector<double> xs = {5.0, 5.0, 5.0};
+  const auto h = histogram(xs, 3);
+  EXPECT_EQ(h[0], 3u);
+}
+
+// Property sweep: robust z of every in-sample point of a well-behaved
+// normal sample stays small, for several sample sizes.
+class RobustZSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RobustZSweep, InSamplePointsAreNotOutliers) {
+  Rng rng(GetParam());
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < 200 + GetParam(); ++i) {
+    xs.push_back(rng.normal(10.0, 1.0));
+  }
+  for (const double x : xs) {
+    EXPECT_LT(std::abs(robustZ(x, xs)), 6.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RobustZSweep,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace perfvar::stats
