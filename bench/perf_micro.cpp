@@ -6,9 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <sstream>
 
 #include "analysis/overlay.hpp"
+#include "analysis/parallel.hpp"
 #include "analysis/patterns.hpp"
 #include "analysis/pipeline.hpp"
 #include "analysis/streaming.hpp"
@@ -174,6 +176,69 @@ void BM_FullPipeline(benchmark::State& state) {
                           static_cast<std::int64_t>(tr.eventCount()));
 }
 BENCHMARK(BM_FullPipeline)->Arg(20)->Arg(100);
+
+/// 64-rank synthetic trace shared by the parallel-engine benches.
+const trace::Trace& trace64() {
+  static const trace::Trace tr = makeTrace(64, 30);
+  return tr;
+}
+
+void BM_FullPipelineParallel(benchmark::State& state) {
+  const trace::Trace& tr = trace64();
+  analysis::ParallelPipelineOptions opts;
+  opts.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyzeTraceParallel(tr, opts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tr.eventCount()));
+  state.counters["threads"] = static_cast<double>(
+      util::ThreadPool::resolveThreadCount(opts.threads));
+}
+BENCHMARK(BM_FullPipelineParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
+
+/// Serial-vs-parallel speedup of the full pipeline on the 64-rank trace,
+/// recorded as counters (speedup = serial seconds / parallel seconds at
+/// `threads` = the benchmark argument). On a multi-core host the 4-thread
+/// speedup is expected to be >= 2x; on a single hardware thread it
+/// degrades gracefully towards 1x (minus pool overhead).
+void BM_PipelineSpeedup64(benchmark::State& state) {
+  const trace::Trace& tr = trace64();
+  analysis::ParallelPipelineOptions opts;
+  opts.threads = static_cast<std::size_t>(state.range(0));
+  using clock = std::chrono::steady_clock;
+  double serialSec = 0.0;
+  double parallelSec = 0.0;
+  for (auto _ : state) {
+    const auto t0 = clock::now();
+    benchmark::DoNotOptimize(analysis::analyzeTrace(tr));
+    const auto t1 = clock::now();
+    benchmark::DoNotOptimize(analysis::analyzeTraceParallel(tr, opts));
+    const auto t2 = clock::now();
+    serialSec += std::chrono::duration<double>(t1 - t0).count();
+    parallelSec += std::chrono::duration<double>(t2 - t1).count();
+  }
+  const double n = static_cast<double>(state.iterations());
+  state.counters["serial_s"] = serialSec / n;
+  state.counters["parallel_s"] = parallelSec / n;
+  state.counters["speedup"] =
+      parallelSec > 0.0 ? serialSec / parallelSec : 0.0;
+}
+BENCHMARK(BM_PipelineSpeedup64)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_SosAnalysisParallel(benchmark::State& state) {
+  const trace::Trace& tr = trace64();
+  const auto selection = analysis::selectDominantFunction(tr);
+  const auto f = selection.dominant().function;
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::analyzeSosParallel(tr, f, analysis::SyncClassifier{}, pool));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tr.eventCount()));
+}
+BENCHMARK(BM_SosAnalysisParallel)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_OverlaySample(benchmark::State& state) {
   const trace::Trace& tr = sharedTrace();

@@ -13,14 +13,21 @@
 ///   trace_tool archive <in.pvt> <dir>          write a PVTA archive
 ///   trace_tool unarchive <dir> <out.pvt>       assemble an archive
 ///
+/// Global option: --threads N runs the analysis commands (analyze,
+/// export-json, export-csv and the demo) through the rank-sharded parallel
+/// pipeline with N worker threads (0 = all hardware threads). Output is
+/// bit-identical to the serial pipeline.
+///
 /// Scenarios: cosmo-specs | cosmo-specs-fd4 | wrf.
 /// Without arguments, a self-contained demo runs (generate + analyze a
 /// temporary COSMO-SPECS trace).
 
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "analysis/export.hpp"
+#include "analysis/parallel.hpp"
 #include "analysis/pipeline.hpp"
 #include "apps/cosmo_specs.hpp"
 #include "apps/cosmo_specs_fd4.hpp"
@@ -56,7 +63,7 @@ trace::Trace generateScenario(const std::string& name) {
 
 int usage() {
   std::cout <<
-      "usage: trace_tool <command> [args]\n"
+      "usage: trace_tool [--threads N] <command> [args]\n"
       "  generate <scenario> <out.pvt>  scenario: cosmo-specs |\n"
       "                                 cosmo-specs-fd4 | wrf\n"
       "  stats <in.pvt>                 trace statistics\n"
@@ -68,15 +75,58 @@ int usage() {
       "  export-json <in.pvt>           analysis as JSON\n"
       "  export-csv <in.pvt>            SOS matrix as CSV\n"
       "  archive <in.pvt> <dir>         write a PVTA archive\n"
-      "  unarchive <dir> <out.pvt>      assemble an archive\n";
+      "  unarchive <dir> <out.pvt>      assemble an archive\n"
+      "\n"
+      "  --threads N   run the analysis on N worker threads (0 = all\n"
+      "                hardware threads); results are identical to serial\n";
   return 2;
 }
+
+/// Parallelism selected via --threads: 1 (default) = serial pipeline.
+struct AnalysisRunner {
+  std::size_t threads = 1;
+
+  analysis::AnalysisResult run(const trace::Trace& tr) const {
+    if (threads == 1) {
+      return analysis::analyzeTrace(tr);
+    }
+    analysis::ParallelPipelineOptions opts;
+    opts.threads = threads;
+    return analysis::analyzeTraceParallel(tr, opts);
+  }
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    if (argc < 2) {
+    AnalysisRunner runner;
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--threads") {
+        if (i + 1 >= argc) {
+          std::cerr << "trace_tool: --threads needs a value\n";
+          return usage();
+        }
+        const std::string value = argv[++i];
+        try {
+          if (value.empty() ||
+              value.find_first_not_of("0123456789") != std::string::npos) {
+            throw std::invalid_argument(value);
+          }
+          // 0 = all hardware threads (AnalysisRunner treats 1 as serial).
+          runner.threads = static_cast<std::size_t>(std::stoul(value));
+        } catch (const std::exception&) {
+          std::cerr << "trace_tool: --threads expects a non-negative "
+                       "integer, got '" << value << "'\n";
+          return usage();
+        }
+      } else {
+        args.push_back(arg);
+      }
+    }
+    if (args.empty()) {
       // Demo mode: exercise the full round trip on a small scenario.
       std::cout << "(no arguments: running the self-contained demo)\n\n";
       apps::CosmoSpecsConfig cfg;
@@ -90,63 +140,63 @@ int main(int argc, char** argv) {
       trace::saveBinaryFile(tr, path);
       const trace::Trace loaded = trace::loadBinaryFile(path);
       std::cout << trace::formatStats(trace::computeStats(loaded)) << '\n';
-      const auto result = analysis::analyzeTrace(loaded);
+      const auto result = runner.run(loaded);
       std::cout << analysis::formatAnalysis(loaded, result);
       std::cout << "\nwrote " << path << "; try: trace_tool analyze " << path
                 << '\n';
       return 0;
     }
 
-    const std::string cmd = argv[1];
+    const std::string& cmd = args[0];
     if (cmd == "generate") {
-      if (argc != 4) {
+      if (args.size() != 3) {
         return usage();
       }
-      const trace::Trace tr = generateScenario(argv[2]);
-      trace::saveBinaryFile(tr, argv[3]);
-      std::cout << "wrote " << argv[3] << " ("
+      const trace::Trace tr = generateScenario(args[1]);
+      trace::saveBinaryFile(tr, args[2]);
+      std::cout << "wrote " << args[2] << " ("
                 << trace::computeStats(tr).eventCount << " events)\n";
       return 0;
     }
     if (cmd == "slice") {
-      if (argc != 6) {
+      if (args.size() != 5) {
         return usage();
       }
-      const trace::Trace tr = trace::loadBinaryFile(argv[2]);
-      const double startSec = std::stod(argv[4]);
-      const double endSec = std::stod(argv[5]);
+      const trace::Trace tr = trace::loadBinaryFile(args[1]);
+      const double startSec = std::stod(args[3]);
+      const double endSec = std::stod(args[4]);
       const trace::Trace sliced = trace::sliceTime(
           tr, trace::secondsToTicks(startSec, tr.resolution),
           trace::secondsToTicks(endSec, tr.resolution));
-      trace::saveBinaryFile(sliced, argv[3]);
-      std::cout << "wrote " << argv[3] << " (" << sliced.eventCount()
+      trace::saveBinaryFile(sliced, args[2]);
+      std::cout << "wrote " << args[2] << " (" << sliced.eventCount()
                 << " of " << tr.eventCount() << " events)\n";
       return 0;
     }
     if (cmd == "archive") {
-      if (argc != 4) {
+      if (args.size() != 3) {
         return usage();
       }
-      const trace::Trace tr = trace::loadBinaryFile(argv[2]);
-      trace::saveArchive(tr, argv[3]);
-      std::cout << "wrote PVTA archive " << argv[3] << " ("
+      const trace::Trace tr = trace::loadBinaryFile(args[1]);
+      trace::saveArchive(tr, args[2]);
+      std::cout << "wrote PVTA archive " << args[2] << " ("
                 << tr.processCount() << " rank files)\n";
       return 0;
     }
     if (cmd == "unarchive") {
-      if (argc != 4) {
+      if (args.size() != 3) {
         return usage();
       }
-      const trace::Trace tr = trace::loadArchive(argv[2]);
-      trace::saveBinaryFile(tr, argv[3]);
-      std::cout << "wrote " << argv[3] << " (" << tr.eventCount()
+      const trace::Trace tr = trace::loadArchive(args[1]);
+      trace::saveBinaryFile(tr, args[2]);
+      std::cout << "wrote " << args[2] << " (" << tr.eventCount()
                 << " events)\n";
       return 0;
     }
-    if (argc != 3) {
+    if (args.size() != 2) {
       return usage();
     }
-    const trace::Trace tr = trace::loadBinaryFile(argv[2]);
+    const trace::Trace tr = trace::loadBinaryFile(args[1]);
     if (cmd == "stats") {
       std::cout << trace::formatStats(trace::computeStats(tr));
     } else if (cmd == "validate") {
@@ -164,16 +214,16 @@ int main(int argc, char** argv) {
       const auto profile = profile::FlatProfile::build(tr);
       std::cout << profile::formatTopFunctions(tr, profile, 20);
     } else if (cmd == "analyze") {
-      const auto result = analysis::analyzeTrace(tr);
+      const auto result = runner.run(tr);
       std::cout << analysis::formatAnalysis(tr, result);
     } else if (cmd == "dump") {
       trace::writeText(tr, std::cout);
     } else if (cmd == "export-json") {
-      const auto result = analysis::analyzeTrace(tr);
+      const auto result = runner.run(tr);
       analysis::writeAnalysisJson(tr, result.selection, *result.sos,
                                   result.variation, std::cout);
     } else if (cmd == "export-csv") {
-      const auto result = analysis::analyzeTrace(tr);
+      const auto result = runner.run(tr);
       analysis::writeSosMatrixCsv(*result.sos, std::cout);
     } else {
       return usage();

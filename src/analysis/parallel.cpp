@@ -1,0 +1,109 @@
+#include "analysis/parallel.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace perfvar::analysis {
+
+namespace {
+
+/// Pool-backed IndexRunner for the variation loops: chunks of `grain`
+/// indices per task, bodies write disjoint slots.
+detail::IndexRunner poolRunner(util::ThreadPool& pool, std::size_t grain) {
+  return [&pool, grain](std::size_t n,
+                        const std::function<void(std::size_t)>& body) {
+    util::parallelChunks(&pool, n, grain,
+                         [&body](std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i) {
+                             body(i);
+                           }
+                         });
+  };
+}
+
+}  // namespace
+
+profile::FlatProfile buildProfileParallel(const trace::Trace& tr,
+                                          util::ThreadPool& pool,
+                                          std::size_t grainRanks) {
+  std::vector<std::vector<profile::FunctionStats>> perProcess(
+      tr.processCount());
+  util::parallelChunks(&pool, tr.processCount(), grainRanks,
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t p = begin; p < end; ++p) {
+                           perProcess[p] = profile::FlatProfile::buildProcess(
+                               tr, static_cast<trace::ProcessId>(p));
+                         }
+                       });
+  return profile::FlatProfile::fromPerProcess(tr, std::move(perProcess));
+}
+
+std::vector<std::vector<Segment>> extractSegmentsParallel(
+    const trace::Trace& tr, trace::FunctionId f, util::ThreadPool& pool,
+    std::size_t grainRanks) {
+  PERFVAR_REQUIRE(f < tr.functions.size(),
+                  "segmentation function is not defined in this trace");
+  std::vector<std::vector<Segment>> result(tr.processCount());
+  util::parallelChunks(&pool, tr.processCount(), grainRanks,
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t p = begin; p < end; ++p) {
+                           result[p] = detail::extractSegmentsProcess(
+                               tr, static_cast<trace::ProcessId>(p), f);
+                         }
+                       });
+  return result;
+}
+
+SosResult analyzeSosParallel(const trace::Trace& tr,
+                             trace::FunctionId segmentFunction,
+                             const SyncClassifier& classifier,
+                             util::ThreadPool& pool, std::size_t grainRanks) {
+  PERFVAR_REQUIRE(segmentFunction < tr.functions.size(),
+                  "segmentation function is not defined in this trace");
+  const std::vector<bool> syncMask = classifier.mask(tr);
+  std::vector<std::vector<SegmentAnalysis>> perProcess(tr.processCount());
+  util::parallelChunks(&pool, tr.processCount(), grainRanks,
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t p = begin; p < end; ++p) {
+                           perProcess[p] = detail::analyzeSosProcess(
+                               tr, static_cast<trace::ProcessId>(p),
+                               segmentFunction, syncMask);
+                         }
+                       });
+  return SosResult(tr, segmentFunction, std::move(perProcess));
+}
+
+VariationReport analyzeVariationParallel(const SosResult& sos,
+                                         const VariationOptions& options,
+                                         util::ThreadPool& pool,
+                                         std::size_t grain) {
+  return detail::analyzeVariationImpl(sos, options, poolRunner(pool, grain));
+}
+
+AnalysisResult analyzeTraceParallel(const trace::Trace& tr,
+                                    const ParallelPipelineOptions& options) {
+  util::ThreadPool pool(options.threads);
+  const std::size_t grain = options.grainSizeRanks;
+
+  AnalysisResult result;
+  result.profile = buildProfileParallel(tr, pool, grain);
+  result.selection = selectDominantFunction(tr, result.profile,
+                                            options.pipeline.dominant);
+  PERFVAR_REQUIRE(result.selection.hasDominant(),
+                  "no function qualifies as time-dominant; lower the "
+                  "invocation multiplier or check the instrumentation");
+  PERFVAR_REQUIRE(
+      options.pipeline.candidateIndex < result.selection.candidates.size(),
+      "candidateIndex exceeds the number of dominant candidates");
+  result.segmentFunction =
+      result.selection.candidates[options.pipeline.candidateIndex].function;
+  result.sos = std::make_unique<SosResult>(analyzeSosParallel(
+      tr, result.segmentFunction, options.pipeline.sync, pool, grain));
+  result.variation = analyzeVariationParallel(
+      *result.sos, options.pipeline.variation, pool, grain);
+  return result;
+}
+
+}  // namespace perfvar::analysis

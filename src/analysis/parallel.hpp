@@ -1,0 +1,83 @@
+#ifndef PERFVAR_ANALYSIS_PARALLEL_HPP
+#define PERFVAR_ANALYSIS_PARALLEL_HPP
+
+/// \file parallel.hpp
+/// Rank-sharded parallel analysis engine.
+///
+/// The paper's workflow is embarrassingly parallel across process
+/// timelines: profile replay, segment extraction, SOS computation and the
+/// per-segment variation statistics are per-rank computations followed by
+/// a cross-rank reduction. analyzeTraceParallel() shards those per-rank
+/// loops over a fixed-size util::ThreadPool and merges the partial results
+/// deterministically in rank order.
+///
+/// Determinism guarantee: every parallel stage calls the exact per-rank
+/// helper the serial stage is built from (profile::FlatProfile::buildProcess,
+/// detail::extractSegmentsProcess, detail::analyzeSosProcess,
+/// detail::analyzeVariationImpl), each task writes only its own disjoint
+/// output slots, and all cross-rank reductions run on the calling thread
+/// in ascending rank order — so the result is bit-identical to the serial
+/// analyzeTrace() regardless of the thread count or grain size
+/// (tests/parallel_differential_test.cpp proves it over a trace matrix).
+
+#include "analysis/pipeline.hpp"
+#include "analysis/segments.hpp"
+#include "util/thread_pool.hpp"
+
+namespace perfvar::analysis {
+
+/// Options of the parallel pipeline.
+struct ParallelPipelineOptions {
+  /// Stage options, identical to the serial pipeline's.
+  PipelineOptions pipeline{};
+  /// Worker threads; 0 = std::thread::hardware_concurrency(). A value of 1
+  /// runs every stage inline (no tasks are spawned).
+  std::size_t threads = 0;
+  /// Ranks per pool task. Larger grains amortize task overhead on traces
+  /// with many cheap ranks; 1 gives the best load balance when ranks are
+  /// expensive or skewed. Has no effect on the result.
+  std::size_t grainSizeRanks = 1;
+};
+
+/// Parallel analyzeTrace(): identical output (field for field, bit for
+/// bit), sharded by rank over an internal thread pool.
+///
+/// Lifetime: like analyzeTrace(), the result references `trace`; passing a
+/// temporary is a compile error.
+AnalysisResult analyzeTraceParallel(const trace::Trace& trace,
+                                    const ParallelPipelineOptions& options = {});
+AnalysisResult analyzeTraceParallel(trace::Trace&&,
+                                    const ParallelPipelineOptions& = {}) =
+    delete;
+
+/// Rank-sharded profile::FlatProfile::build().
+profile::FlatProfile buildProfileParallel(const trace::Trace& trace,
+                                          util::ThreadPool& pool,
+                                          std::size_t grainRanks = 1);
+
+/// Rank-sharded extractSegments().
+std::vector<std::vector<Segment>> extractSegmentsParallel(
+    const trace::Trace& trace, trace::FunctionId f, util::ThreadPool& pool,
+    std::size_t grainRanks = 1);
+
+/// Rank-sharded analyzeSos(). The classifier mask is computed once on the
+/// calling thread and shared read-only by all tasks.
+SosResult analyzeSosParallel(const trace::Trace& trace,
+                             trace::FunctionId segmentFunction,
+                             const SyncClassifier& classifier,
+                             util::ThreadPool& pool,
+                             std::size_t grainRanks = 1);
+SosResult analyzeSosParallel(trace::Trace&&, trace::FunctionId,
+                             const SyncClassifier&, util::ThreadPool&,
+                             std::size_t = 1) = delete;
+
+/// analyzeVariation() with the per-iteration and per-process loops sharded
+/// over the pool (the cross-rank reductions stay on the calling thread).
+VariationReport analyzeVariationParallel(const SosResult& sos,
+                                         const VariationOptions& options,
+                                         util::ThreadPool& pool,
+                                         std::size_t grain = 1);
+
+}  // namespace perfvar::analysis
+
+#endif  // PERFVAR_ANALYSIS_PARALLEL_HPP

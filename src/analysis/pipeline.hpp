@@ -47,10 +47,13 @@ struct AnalysisResult {
 /// as time-dominant (or candidateIndex is out of range).
 ///
 /// Lifetime: the result references `trace` (SosResult keeps a pointer to
-/// avoid copying large traces); the trace must outlive the result. Do not
-/// pass a temporary.
+/// avoid copying large traces); the trace must outlive the result. The
+/// rvalue overload is deleted so passing a temporary trace is a compile
+/// error instead of a dangling pointer.
 AnalysisResult analyzeTrace(const trace::Trace& trace,
                             const PipelineOptions& options = {});
+AnalysisResult analyzeTrace(trace::Trace&&,
+                            const PipelineOptions& = {}) = delete;
 
 /// Render a complete text report (dominant selection + variation report).
 std::string formatAnalysis(const trace::Trace& trace,

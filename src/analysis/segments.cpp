@@ -7,38 +7,51 @@
 
 namespace perfvar::analysis {
 
+namespace detail {
+
+std::vector<Segment> extractSegmentsProcess(const trace::Trace& tr,
+                                            trace::ProcessId p,
+                                            trace::FunctionId f) {
+  PERFVAR_REQUIRE(p < tr.processCount(), "invalid process id");
+  std::vector<Segment> result;
+  std::size_t nesting = 0;      // current nesting inside f
+  trace::Timestamp start = 0;   // enter time of the outermost invocation
+  trace::ReplayVisitor v;
+  v.onEnter = [&](trace::FunctionId fn, trace::Timestamp t, std::size_t) {
+    if (fn == f) {
+      if (nesting == 0) {
+        start = t;
+      }
+      ++nesting;
+    }
+  };
+  v.onLeave = [&](const trace::Frame& frame) {
+    if (frame.function == f) {
+      PERFVAR_ASSERT(nesting > 0, "segment nesting underflow");
+      --nesting;
+      if (nesting == 0) {
+        Segment s;
+        s.process = p;
+        s.index = static_cast<std::uint32_t>(result.size());
+        s.enter = start;
+        s.leave = frame.leaveTime;
+        result.push_back(s);
+      }
+    }
+  };
+  trace::replayProcess(tr.processes[p], v);
+  return result;
+}
+
+}  // namespace detail
+
 std::vector<std::vector<Segment>> extractSegments(const trace::Trace& tr,
                                                   trace::FunctionId f) {
   PERFVAR_REQUIRE(f < tr.functions.size(),
                   "segmentation function is not defined in this trace");
   std::vector<std::vector<Segment>> result(tr.processCount());
   for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
-    std::size_t nesting = 0;      // current nesting inside f
-    trace::Timestamp start = 0;   // enter time of the outermost invocation
-    trace::ReplayVisitor v;
-    v.onEnter = [&](trace::FunctionId fn, trace::Timestamp t, std::size_t) {
-      if (fn == f) {
-        if (nesting == 0) {
-          start = t;
-        }
-        ++nesting;
-      }
-    };
-    v.onLeave = [&](const trace::Frame& frame) {
-      if (frame.function == f) {
-        PERFVAR_ASSERT(nesting > 0, "segment nesting underflow");
-        --nesting;
-        if (nesting == 0) {
-          Segment s;
-          s.process = p;
-          s.index = static_cast<std::uint32_t>(result[p].size());
-          s.enter = start;
-          s.leave = frame.leaveTime;
-          result[p].push_back(s);
-        }
-      }
-    };
-    trace::replayProcess(tr.processes[p], v);
+    result[p] = detail::extractSegmentsProcess(tr, p, f);
   }
   return result;
 }

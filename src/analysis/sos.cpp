@@ -198,103 +198,115 @@ std::vector<double> SosResult::totalMetricPerProcess(trace::MetricId m) const {
   return out;
 }
 
+namespace detail {
+
+std::vector<SegmentAnalysis> analyzeSosProcess(
+    const trace::Trace& tr, trace::ProcessId p,
+    trace::FunctionId segmentFunction, const std::vector<bool>& syncMask) {
+  PERFVAR_REQUIRE(p < tr.processCount(), "invalid process id");
+  const std::size_t nMetrics = tr.metrics.size();
+  std::vector<SegmentAnalysis> segments;
+
+  // Per-process replay state.
+  std::size_t segNesting = 0;       // nesting inside the segment function
+  trace::Timestamp segStart = 0;    // enter of the outermost invocation
+  SegmentAnalysis current;          // accumulators of the open segment
+  std::size_t syncNesting = 0;      // nesting inside sync functions
+  trace::Timestamp syncStart = 0;
+  std::array<std::size_t, kParadigmCount> paradigmNesting{};
+  std::array<trace::Timestamp, kParadigmCount> paradigmStart{};
+  // Last observed cumulative value of every metric (for deltas).
+  std::vector<double> lastMetric(nMetrics, 0.0);
+  std::vector<bool> seenMetric(nMetrics, false);
+
+  const auto beginSegment = [&](trace::Timestamp t) {
+    current = SegmentAnalysis{};
+    current.metricDelta.assign(nMetrics, 0.0);
+    segStart = t;
+  };
+
+  trace::ReplayVisitor v;
+  v.onEnter = [&](trace::FunctionId fn, trace::Timestamp t, std::size_t) {
+    if (fn == segmentFunction) {
+      if (segNesting == 0) {
+        beginSegment(t);
+      }
+      ++segNesting;
+    }
+    if (segNesting > 0) {
+      const auto& def = tr.functions.at(fn);
+      const auto par = static_cast<std::size_t>(def.paradigm);
+      if (paradigmNesting[par]++ == 0) {
+        paradigmStart[par] = t;
+      }
+      if (syncMask[fn]) {
+        if (syncNesting++ == 0) {
+          syncStart = t;
+        }
+      }
+    }
+  };
+  v.onLeave = [&](const trace::Frame& frame) {
+    if (segNesting > 0) {
+      const auto& def = tr.functions.at(frame.function);
+      const auto par = static_cast<std::size_t>(def.paradigm);
+      PERFVAR_ASSERT(paradigmNesting[par] > 0, "paradigm nesting underflow");
+      if (--paradigmNesting[par] == 0) {
+        current.paradigmTime[par] += frame.leaveTime - paradigmStart[par];
+      }
+      if (syncMask[frame.function]) {
+        PERFVAR_ASSERT(syncNesting > 0, "sync nesting underflow");
+        if (--syncNesting == 0) {
+          current.syncTime += frame.leaveTime - syncStart;
+        }
+      }
+    }
+    if (frame.function == segmentFunction) {
+      PERFVAR_ASSERT(segNesting > 0, "segment nesting underflow");
+      if (--segNesting == 0) {
+        current.segment.process = p;
+        current.segment.index =
+            static_cast<std::uint32_t>(segments.size());
+        current.segment.enter = segStart;
+        current.segment.leave = frame.leaveTime;
+        const trace::Timestamp duration = current.segment.inclusive();
+        PERFVAR_ASSERT(current.syncTime <= duration,
+                       "sync time exceeds segment duration");
+        current.sosTime = duration - current.syncTime;
+        segments.push_back(std::move(current));
+        current = SegmentAnalysis{};
+      }
+    }
+  };
+  v.onMetric = [&](const trace::Event& e, std::size_t) {
+    const trace::MetricId m = e.ref;
+    const bool accumulated =
+        tr.metrics.at(m).mode == trace::MetricMode::Accumulated;
+    if (segNesting > 0 && !current.metricDelta.empty()) {
+      if (accumulated) {
+        const double base = seenMetric[m] ? lastMetric[m] : 0.0;
+        current.metricDelta[m] += e.value - base;
+      } else {
+        current.metricDelta[m] = e.value;
+      }
+    }
+    lastMetric[m] = e.value;
+    seenMetric[m] = true;
+  };
+  trace::replayProcess(tr.processes[p], v);
+  return segments;
+}
+
+}  // namespace detail
+
 SosResult analyzeSos(const trace::Trace& tr, trace::FunctionId segmentFunction,
                      const SyncClassifier& classifier) {
   PERFVAR_REQUIRE(segmentFunction < tr.functions.size(),
                   "segmentation function is not defined in this trace");
   const std::vector<bool> syncMask = classifier.mask(tr);
-  const std::size_t nMetrics = tr.metrics.size();
-
   std::vector<std::vector<SegmentAnalysis>> perProcess(tr.processCount());
-
   for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
-    // Per-process replay state.
-    std::size_t segNesting = 0;       // nesting inside the segment function
-    trace::Timestamp segStart = 0;    // enter of the outermost invocation
-    SegmentAnalysis current;          // accumulators of the open segment
-    std::size_t syncNesting = 0;      // nesting inside sync functions
-    trace::Timestamp syncStart = 0;
-    std::array<std::size_t, kParadigmCount> paradigmNesting{};
-    std::array<trace::Timestamp, kParadigmCount> paradigmStart{};
-    // Last observed cumulative value of every metric (for deltas).
-    std::vector<double> lastMetric(nMetrics, 0.0);
-    std::vector<bool> seenMetric(nMetrics, false);
-
-    const auto beginSegment = [&](trace::Timestamp t) {
-      current = SegmentAnalysis{};
-      current.metricDelta.assign(nMetrics, 0.0);
-      segStart = t;
-    };
-
-    trace::ReplayVisitor v;
-    v.onEnter = [&](trace::FunctionId fn, trace::Timestamp t, std::size_t) {
-      if (fn == segmentFunction) {
-        if (segNesting == 0) {
-          beginSegment(t);
-        }
-        ++segNesting;
-      }
-      if (segNesting > 0) {
-        const auto& def = tr.functions.at(fn);
-        const auto par = static_cast<std::size_t>(def.paradigm);
-        if (paradigmNesting[par]++ == 0) {
-          paradigmStart[par] = t;
-        }
-        if (syncMask[fn]) {
-          if (syncNesting++ == 0) {
-            syncStart = t;
-          }
-        }
-      }
-    };
-    v.onLeave = [&](const trace::Frame& frame) {
-      if (segNesting > 0) {
-        const auto& def = tr.functions.at(frame.function);
-        const auto par = static_cast<std::size_t>(def.paradigm);
-        PERFVAR_ASSERT(paradigmNesting[par] > 0, "paradigm nesting underflow");
-        if (--paradigmNesting[par] == 0) {
-          current.paradigmTime[par] += frame.leaveTime - paradigmStart[par];
-        }
-        if (syncMask[frame.function]) {
-          PERFVAR_ASSERT(syncNesting > 0, "sync nesting underflow");
-          if (--syncNesting == 0) {
-            current.syncTime += frame.leaveTime - syncStart;
-          }
-        }
-      }
-      if (frame.function == segmentFunction) {
-        PERFVAR_ASSERT(segNesting > 0, "segment nesting underflow");
-        if (--segNesting == 0) {
-          current.segment.process = p;
-          current.segment.index =
-              static_cast<std::uint32_t>(perProcess[p].size());
-          current.segment.enter = segStart;
-          current.segment.leave = frame.leaveTime;
-          const trace::Timestamp duration = current.segment.inclusive();
-          PERFVAR_ASSERT(current.syncTime <= duration,
-                         "sync time exceeds segment duration");
-          current.sosTime = duration - current.syncTime;
-          perProcess[p].push_back(std::move(current));
-          current = SegmentAnalysis{};
-        }
-      }
-    };
-    v.onMetric = [&](const trace::Event& e, std::size_t) {
-      const trace::MetricId m = e.ref;
-      const bool accumulated =
-          tr.metrics.at(m).mode == trace::MetricMode::Accumulated;
-      if (segNesting > 0 && !current.metricDelta.empty()) {
-        if (accumulated) {
-          const double base = seenMetric[m] ? lastMetric[m] : 0.0;
-          current.metricDelta[m] += e.value - base;
-        } else {
-          current.metricDelta[m] = e.value;
-        }
-      }
-      lastMetric[m] = e.value;
-      seenMetric[m] = true;
-    };
-    trace::replayProcess(tr.processes[p], v);
+    perProcess[p] = detail::analyzeSosProcess(tr, p, segmentFunction, syncMask);
   }
   return SosResult(tr, segmentFunction, std::move(perProcess));
 }

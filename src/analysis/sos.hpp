@@ -109,16 +109,20 @@ private:
 /// compute SOS-times with the given synchronization classifier.
 ///
 /// Lifetime: the result references `trace` (it is not copied); the trace
-/// must outlive the SosResult. Do not pass a temporary.
+/// must outlive the SosResult. Passing a temporary is a compile error.
 SosResult analyzeSos(const trace::Trace& trace,
                      trace::FunctionId segmentFunction,
                      const SyncClassifier& classifier = SyncClassifier{});
+SosResult analyzeSos(trace::Trace&&, trace::FunctionId,
+                     const SyncClassifier& = SyncClassifier{}) = delete;
 
 /// Baseline from the paper's Section V discussion: plain segment durations
 /// (no synchronization subtraction). Equivalent to analyzeSos with
 /// SyncClassifier::none().
 SosResult analyzeSegmentDurations(const trace::Trace& trace,
                                   trace::FunctionId segmentFunction);
+SosResult analyzeSegmentDurations(trace::Trace&&,
+                                  trace::FunctionId) = delete;
 
 /// Alternative segmentation for codes without a usable dominant function:
 /// fixed time windows of `windowTicks` spanning the whole trace. Every
@@ -132,6 +136,22 @@ SosResult analyzeSosWindows(const trace::Trace& trace,
                             trace::Timestamp windowTicks,
                             const SyncClassifier& classifier =
                                 SyncClassifier{});
+SosResult analyzeSosWindows(trace::Trace&&, trace::Timestamp,
+                            const SyncClassifier& = SyncClassifier{}) = delete;
+
+namespace detail {
+
+/// SOS analysis of a single process (row `p` of analyzeSos): segment the
+/// process timeline by `segmentFunction` and compute SOS-time, paradigm
+/// breakdown and metric deltas per segment. `syncMask` is the classifier's
+/// precomputed per-function decision vector. Both the serial analyzer and
+/// the rank-sharded parallel one call this, so their results are identical
+/// by construction.
+std::vector<SegmentAnalysis> analyzeSosProcess(
+    const trace::Trace& trace, trace::ProcessId p,
+    trace::FunctionId segmentFunction, const std::vector<bool>& syncMask);
+
+}  // namespace detail
 
 }  // namespace perfvar::analysis
 

@@ -16,6 +16,20 @@ trace::ProcessId VariationReport::slowestProcess() const {
 
 VariationReport analyzeVariation(const SosResult& sos,
                                  const VariationOptions& options) {
+  return detail::analyzeVariationImpl(
+      sos, options,
+      [](std::size_t n, const std::function<void(std::size_t)>& body) {
+        for (std::size_t i = 0; i < n; ++i) {
+          body(i);
+        }
+      });
+}
+
+namespace detail {
+
+VariationReport analyzeVariationImpl(const SosResult& sos,
+                                     const VariationOptions& options,
+                                     const IndexRunner& run) {
   VariationReport report;
   const auto& perProcess = sos.all();
   const std::size_t nProcs = perProcess.size();
@@ -39,10 +53,11 @@ VariationReport analyzeVariation(const SosResult& sos,
   };
 
   // ---- per-iteration stats ------------------------------------------------
-  report.iterations.reserve(nIters);
-  std::vector<double> iterSos;  // reused buffer
-  for (std::size_t i = 0; i < nIters; ++i) {
-    iterSos.clear();
+  // Every index writes only its own slot; the inner sums always walk the
+  // processes in ascending order, so the result is runner-independent.
+  report.iterations.resize(nIters);
+  run(nIters, [&](std::size_t i) {
+    std::vector<double> iterSos;
     IterationStats is;
     is.iteration = i;
     double durationSum = 0.0;
@@ -69,8 +84,8 @@ VariationReport analyzeVariation(const SosResult& sos,
       is.meanDuration = durationSum / static_cast<double>(iterSos.size());
       is.imbalance = stats::imbalanceFactor(iterSos);
     }
-    report.iterations.push_back(is);
-  }
+    report.iterations[i] = is;
+  });
 
   // ---- trends --------------------------------------------------------------
   {
@@ -86,7 +101,7 @@ VariationReport analyzeVariation(const SosResult& sos,
   // ---- per-process stats ----------------------------------------------------
   report.processes.resize(nProcs);
   std::vector<double> totals(nProcs, 0.0);
-  for (std::size_t p = 0; p < nProcs; ++p) {
+  run(nProcs, [&](std::size_t p) {
     ProcessStats ps;
     ps.process = static_cast<trace::ProcessId>(p);
     ps.segments = perProcess[p].size();
@@ -100,19 +115,19 @@ VariationReport analyzeVariation(const SosResult& sos,
     }
     totals[p] = ps.totalSos;
     report.processes[p] = ps;
-  }
+  });
   // Leave-one-out scoring: a single extreme process must not dilute its
   // own score by inflating the scale estimate.
-  std::vector<double> others(nProcs > 0 ? nProcs - 1 : 0);
-  for (std::size_t p = 0; p < nProcs; ++p) {
-    others.clear();
+  run(nProcs, [&](std::size_t p) {
+    std::vector<double> others;
+    others.reserve(nProcs > 0 ? nProcs - 1 : 0);
     for (std::size_t q = 0; q < nProcs; ++q) {
       if (q != p) {
         others.push_back(totals[q]);
       }
     }
     report.processes[p].totalZ = stats::referenceZ(totals[p], others);
-  }
+  });
 
   report.processesBySos.resize(nProcs);
   std::iota(report.processesBySos.begin(), report.processesBySos.end(), 0u);
@@ -130,10 +145,13 @@ VariationReport analyzeVariation(const SosResult& sos,
   }
 
   // ---- hotspots --------------------------------------------------------------
-  std::vector<Hotspot> hotspots;
-  std::vector<double> iterOthers;
-  for (std::size_t i = 0; i < nIters; ++i) {
-    iterSos.clear();
+  // Collected per iteration into disjoint slots, then concatenated in
+  // iteration order; the final sort key (globalZ, process, iteration) is a
+  // total order, so the ranking is independent of the runner.
+  std::vector<std::vector<Hotspot>> perIterHotspots(nIters);
+  run(nIters, [&](std::size_t i) {
+    std::vector<double> iterSos;
+    std::vector<double> iterOthers;
     for (std::size_t p = 0; p < nProcs; ++p) {
       if (i < perProcess[p].size()) {
         iterSos.push_back(static_cast<double>(perProcess[p][i].sosTime) / res);
@@ -162,9 +180,13 @@ VariationReport analyzeVariation(const SosResult& sos,
           }
         }
         h.iterationZ = stats::referenceZ(v, iterOthers);
-        hotspots.push_back(h);
+        perIterHotspots[i].push_back(h);
       }
     }
+  });
+  std::vector<Hotspot> hotspots;
+  for (auto& per : perIterHotspots) {
+    hotspots.insert(hotspots.end(), per.begin(), per.end());
   }
   std::sort(hotspots.begin(), hotspots.end(),
             [](const Hotspot& a, const Hotspot& b) {
@@ -182,6 +204,8 @@ VariationReport analyzeVariation(const SosResult& sos,
   report.hotspots = std::move(hotspots);
   return report;
 }
+
+}  // namespace detail
 
 std::string formatVariationReport(const SosResult& sos,
                                   const VariationReport& report,

@@ -13,6 +13,8 @@
 /// handful of extreme segments cannot mask themselves by inflating the
 /// scale estimate.
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -95,6 +97,26 @@ struct VariationReport {
 /// Run the variation analysis over an SOS result.
 VariationReport analyzeVariation(const SosResult& sos,
                                  const VariationOptions& options = {});
+
+namespace detail {
+
+/// Index-space executor: run body(i) for every i in [0, n), in any order
+/// and possibly concurrently. Calls of body must be independent; the
+/// arithmetic performed for one index never depends on the executor, so
+/// serial and pool-backed runners produce bit-identical reports.
+using IndexRunner =
+    std::function<void(std::size_t n, const std::function<void(std::size_t)>&)>;
+
+/// The one variation-analysis implementation. analyzeVariation() passes a
+/// serial runner; analyzeVariationParallel() (parallel.hpp) passes a
+/// thread-pool runner. Per-iteration and per-process loops go through
+/// `run`; cross-cutting reductions (global summary, rankings, trends) stay
+/// on the calling thread.
+VariationReport analyzeVariationImpl(const SosResult& sos,
+                                     const VariationOptions& options,
+                                     const IndexRunner& run);
+
+}  // namespace detail
 
 /// Multi-line human-readable report.
 std::string formatVariationReport(const SosResult& sos,

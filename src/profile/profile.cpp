@@ -35,30 +35,48 @@ void FunctionStats::merge(const FunctionStats& other) {
   maxInclusive = std::max(maxInclusive, other.maxInclusive);
 }
 
-FlatProfile FlatProfile::build(const trace::Trace& tr) {
-  FlatProfile profile;
+std::vector<FunctionStats> FlatProfile::buildProcess(const trace::Trace& tr,
+                                                     trace::ProcessId p) {
+  PERFVAR_REQUIRE(p < tr.processCount(), "invalid process id");
   const std::size_t nFuncs = tr.functions.size();
-  profile.perProcess_.assign(tr.processCount(),
-                             std::vector<FunctionStats>(nFuncs));
+  std::vector<FunctionStats> row(nFuncs);
+  for (std::size_t f = 0; f < nFuncs; ++f) {
+    row[f].function = static_cast<trace::FunctionId>(f);
+  }
+  trace::ReplayVisitor v;
+  v.onLeave = [&](const trace::Frame& frame) {
+    row[frame.function].add(frame.inclusive(), frame.exclusive());
+  };
+  trace::replayProcess(tr.processes[p], v);
+  return row;
+}
+
+FlatProfile FlatProfile::fromPerProcess(
+    const trace::Trace& tr, std::vector<std::vector<FunctionStats>> perProcess) {
+  PERFVAR_REQUIRE(perProcess.size() == tr.processCount(),
+                  "per-process row count mismatch");
+  const std::size_t nFuncs = tr.functions.size();
+  FlatProfile profile;
+  profile.perProcess_ = std::move(perProcess);
   profile.aggregated_.assign(nFuncs, FunctionStats{});
   for (std::size_t f = 0; f < nFuncs; ++f) {
     profile.aggregated_[f].function = static_cast<trace::FunctionId>(f);
-    for (auto& per : profile.perProcess_) {
-      per[f].function = static_cast<trace::FunctionId>(f);
+  }
+  for (const auto& row : profile.perProcess_) {
+    PERFVAR_REQUIRE(row.size() == nFuncs, "per-process row size mismatch");
+    for (std::size_t f = 0; f < nFuncs; ++f) {
+      profile.aggregated_[f].merge(row[f]);
     }
   }
-
-  for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
-    trace::ReplayVisitor v;
-    v.onLeave = [&](const trace::Frame& frame) {
-      profile.perProcess_[p][frame.function].add(frame.inclusive(),
-                                                 frame.exclusive());
-      profile.aggregated_[frame.function].add(frame.inclusive(),
-                                              frame.exclusive());
-    };
-    trace::replayProcess(tr.processes[p], v);
-  }
   return profile;
+}
+
+FlatProfile FlatProfile::build(const trace::Trace& tr) {
+  std::vector<std::vector<FunctionStats>> perProcess(tr.processCount());
+  for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
+    perProcess[p] = buildProcess(tr, p);
+  }
+  return fromPerProcess(tr, std::move(perProcess));
 }
 
 const FunctionStats& FlatProfile::process(trace::ProcessId p,

@@ -41,6 +41,20 @@ public:
   /// Build the profile of a structurally valid trace.
   static FlatProfile build(const trace::Trace& trace);
 
+  /// Stats of a single process (row `p` of the full profile). Used by the
+  /// parallel pipeline to shard the replay by rank; build() is implemented
+  /// on top of it, so sharded and serial profiles are identical.
+  static std::vector<FunctionStats> buildProcess(const trace::Trace& trace,
+                                                 trace::ProcessId p);
+
+  /// Assemble a full profile from per-process rows (as produced by
+  /// buildProcess, one row per process of `trace`), aggregating in
+  /// ascending process order. All aggregation is integer sums and min/max,
+  /// so the result does not depend on how the rows were computed.
+  static FlatProfile fromPerProcess(
+      const trace::Trace& trace,
+      std::vector<std::vector<FunctionStats>> perProcess);
+
   std::size_t processCount() const { return perProcess_.size(); }
 
   /// Stats of `f` on process `p` (zeroed if the function never ran there).

@@ -1,0 +1,102 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace perfvar::util {
+
+std::size_t ThreadPool::resolveThreadCount(std::size_t threads) {
+  if (threads == 0) {
+    threads = static_cast<std::size_t>(std::thread::hardware_concurrency());
+  }
+  return std::max<std::size_t>(1, threads);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = resolveThreadCount(threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  taskReady_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  PERFVAR_REQUIRE(task != nullptr, "cannot submit an empty task");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++inFlight_;
+  }
+  taskReady_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return inFlight_ == 0; });
+  if (firstError_) {
+    std::exception_ptr err;
+    std::swap(err, firstError_);
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      taskReady_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ set and queue drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!firstError_) {
+        firstError_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--inFlight_ == 0) {
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+void parallelChunks(ThreadPool* pool, std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body) {
+  PERFVAR_REQUIRE(body != nullptr, "parallelChunks needs a body");
+  if (n == 0) {
+    return;
+  }
+  grain = std::max<std::size_t>(1, grain);
+  if (pool == nullptr || pool->threadCount() <= 1 || n <= grain) {
+    body(0, n);
+    return;
+  }
+  for (std::size_t begin = 0; begin < n; begin += grain) {
+    const std::size_t end = std::min(n, begin + grain);
+    pool->submit([&body, begin, end] { body(begin, end); });
+  }
+  pool->wait();
+}
+
+}  // namespace perfvar::util

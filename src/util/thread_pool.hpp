@@ -1,0 +1,76 @@
+#ifndef PERFVAR_UTIL_THREAD_POOL_HPP
+#define PERFVAR_UTIL_THREAD_POOL_HPP
+
+/// \file thread_pool.hpp
+/// Fixed-size thread pool used by the parallel analysis engine.
+///
+/// Deliberately minimal (no work stealing, no futures): tasks go into one
+/// shared FIFO queue, workers drain it, wait() blocks until the pool is
+/// idle again. The analysis pipelines shard their per-rank loops into
+/// chunk tasks via parallelChunks(); determinism is the caller's job
+/// (every task writes only its own, disjoint output slots).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace perfvar::util {
+
+/// Fixed-size FIFO thread pool with exception propagation.
+class ThreadPool {
+public:
+  /// Spawn `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least one).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers; tasks still queued are executed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threadCount() const { return workers_.size(); }
+
+  /// Enqueue a task. Tasks must not submit to or wait on the same pool
+  /// (no nested parallelism; the pool has no work stealing to unblock a
+  /// worker that waits).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished. If any task threw,
+  /// rethrows the first exception (later ones of the same batch are
+  /// dropped) and clears the error state so the pool stays usable.
+  void wait();
+
+  /// Number of worker threads a `threads` option value resolves to:
+  /// 0 = hardware concurrency, clamped to at least 1.
+  static std::size_t resolveThreadCount(std::size_t threads);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable taskReady_;
+  std::condition_variable idle_;
+  std::size_t inFlight_ = 0;  ///< queued + currently running tasks
+  std::exception_ptr firstError_;
+  bool stop_ = false;
+};
+
+/// Split [0, n) into chunks of at most `grain` indices and run
+/// body(begin, end) for each. With a null pool, a single-threaded pool, or
+/// n <= grain everything runs inline on the calling thread; otherwise the
+/// chunks are submitted to the pool and waited for (exceptions propagate).
+/// Chunk boundaries depend only on n and grain, never on the thread count.
+void parallelChunks(ThreadPool* pool, std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace perfvar::util
+
+#endif  // PERFVAR_UTIL_THREAD_POOL_HPP

@@ -1,0 +1,115 @@
+/// Golden-file regression tests: formatAnalysis() output for three small
+/// canonical traces is serialized under tests/golden/ and diffed here, so
+/// a refactor cannot silently change report content. The parallel pipeline
+/// must reproduce the same golden reports (its output is bit-identical to
+/// the serial one by contract).
+///
+/// To regenerate after an *intentional* report change:
+///   PERFVAR_UPDATE_GOLDEN=1 ./golden_report_test
+/// then review the diff of tests/golden/ like any other code change.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/parallel.hpp"
+#include "analysis/pipeline.hpp"
+#include "apps/cosmo_specs.hpp"
+#include "apps/paper_examples.hpp"
+#include "sim/simulator.hpp"
+
+#ifndef PERFVAR_GOLDEN_DIR
+#error "PERFVAR_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace perfvar {
+namespace {
+
+std::string goldenPath(const std::string& name) {
+  return std::string(PERFVAR_GOLDEN_DIR) + "/" + name;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Diff `actual` against the golden file; with PERFVAR_UPDATE_GOLDEN set,
+/// rewrite the file instead (the test is reported as skipped so an update
+/// run is conspicuous in a test log).
+void checkGolden(const std::string& name, const std::string& actual) {
+  const std::string path = goldenPath(name);
+  if (std::getenv("PERFVAR_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "updated " << path;
+  }
+  const std::string expected = readFile(path);
+  ASSERT_FALSE(expected.empty())
+      << "missing golden file " << path
+      << " (regenerate with PERFVAR_UPDATE_GOLDEN=1)";
+  EXPECT_EQ(expected, actual)
+      << "report for '" << name << "' changed; if intentional, regenerate "
+      << "with PERFVAR_UPDATE_GOLDEN=1 and review the diff";
+}
+
+/// The three canonical traces: the paper's Figure 2 and Figure 3 examples
+/// (integer tick arithmetic, resolution 1) and a small simulated
+/// COSMO-SPECS run (deterministic simulator, fixed seed).
+trace::Trace smallCosmo() {
+  apps::CosmoSpecsConfig cfg;
+  cfg.gridX = 4;
+  cfg.gridY = 4;
+  cfg.timesteps = 12;
+  const auto scenario = apps::buildCosmoSpecs(cfg);
+  return sim::simulate(scenario.program, scenario.simOptions);
+}
+
+std::string reportFor(const trace::Trace& tr) {
+  const analysis::AnalysisResult result = analysis::analyzeTrace(tr);
+  return analysis::formatAnalysis(tr, result);
+}
+
+TEST(GoldenReport, Figure2Trace) {
+  const trace::Trace tr = apps::buildFigure2Trace();
+  checkGolden("figure2_report.txt", reportFor(tr));
+}
+
+TEST(GoldenReport, Figure3Trace) {
+  const trace::Trace tr = apps::buildFigure3Trace();
+  checkGolden("figure3_report.txt", reportFor(tr));
+}
+
+TEST(GoldenReport, SmallCosmoSpecsTrace) {
+  const trace::Trace tr = smallCosmo();
+  checkGolden("cosmo_4x4_report.txt", reportFor(tr));
+}
+
+TEST(GoldenReport, ParallelPipelineReproducesTheGoldenReports) {
+  analysis::ParallelPipelineOptions opts;
+  opts.threads = 4;
+  const trace::Trace fig2 = apps::buildFigure2Trace();
+  const trace::Trace fig3 = apps::buildFigure3Trace();
+  const trace::Trace cosmo = smallCosmo();
+  checkGolden("figure2_report.txt",
+              analysis::formatAnalysis(
+                  fig2, analysis::analyzeTraceParallel(fig2, opts)));
+  checkGolden("figure3_report.txt",
+              analysis::formatAnalysis(
+                  fig3, analysis::analyzeTraceParallel(fig3, opts)));
+  checkGolden("cosmo_4x4_report.txt",
+              analysis::formatAnalysis(
+                  cosmo, analysis::analyzeTraceParallel(cosmo, opts)));
+}
+
+}  // namespace
+}  // namespace perfvar

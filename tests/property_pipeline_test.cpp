@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/overlay.hpp"
+#include "analysis/parallel.hpp"
 #include "analysis/pipeline.hpp"
 #include "profile/profile.hpp"
 #include "sim/program.hpp"
@@ -145,6 +146,46 @@ TEST_P(PipelineSweep, SosNeverExceedsComputeSideOfTheProgram) {
     }
   }
   EXPECT_EQ(sumSos + sumSync, sumDur);
+}
+
+/// Checks the SOS bound/count invariants on one pipeline result:
+///  * every segment's SOS-time is >= 0 and <= its inclusive duration,
+///  * the per-rank segment counts sum to the totals the SosResult and the
+///    variation report advertise.
+void expectSosInvariants(const analysis::AnalysisResult& result) {
+  std::size_t perRankSum = 0;
+  for (const auto& per : result.sos->all()) {
+    perRankSum += per.size();
+    for (const auto& seg : per) {
+      EXPECT_GE(seg.sosTime, 0u);
+      EXPECT_LE(seg.sosTime, seg.segment.inclusive());
+    }
+  }
+  EXPECT_EQ(perRankSum, result.sos->allSosSeconds().size());
+  EXPECT_EQ(perRankSum, result.variation.sosSummary.count);
+  std::size_t reportedSum = 0;
+  for (const auto& ps : result.variation.processes) {
+    reportedSum += ps.segments;
+  }
+  EXPECT_EQ(perRankSum, reportedSum);
+}
+
+TEST_P(PipelineSweep, SosBoundsAndSegmentCountsHold) {
+  const GeneratedRun run = generate(GetParam());
+  expectSosInvariants(analysis::analyzeTrace(run.tr));
+}
+
+TEST_P(PipelineSweep, SosInvariantsHoldUnderTheParallelPipeline) {
+  const GeneratedRun run = generate(GetParam());
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    analysis::ParallelPipelineOptions opts;
+    opts.threads = threads;
+    const auto result = analysis::analyzeTraceParallel(run.tr, opts);
+    expectSosInvariants(result);
+    // And the parallel engine's SOS values equal the serial ones.
+    const auto serial = analysis::analyzeSos(run.tr, run.stepFunction);
+    EXPECT_EQ(serial.allSosSeconds(), result.sos->allSosSeconds());
+  }
 }
 
 TEST_P(PipelineSweep, SerializationPreservesTheAnalysis) {
