@@ -11,6 +11,7 @@
 
 #include "analysis/overlay.hpp"
 #include "analysis/parallel.hpp"
+#include "engine/engine.hpp"
 #include "analysis/patterns.hpp"
 #include "analysis/pipeline.hpp"
 #include "analysis/streaming.hpp"
@@ -185,10 +186,10 @@ const trace::Trace& trace64() {
 
 void BM_FullPipelineParallel(benchmark::State& state) {
   const trace::Trace& tr = trace64();
-  analysis::ParallelPipelineOptions opts;
+  analysis::PipelineOptions opts;
   opts.threads = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(analysis::analyzeTraceParallel(tr, opts));
+    benchmark::DoNotOptimize(analysis::analyzeTrace(tr, opts));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(tr.eventCount()));
@@ -204,7 +205,7 @@ BENCHMARK(BM_FullPipelineParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
 /// degrades gracefully towards 1x (minus pool overhead).
 void BM_PipelineSpeedup64(benchmark::State& state) {
   const trace::Trace& tr = trace64();
-  analysis::ParallelPipelineOptions opts;
+  analysis::PipelineOptions opts;
   opts.threads = static_cast<std::size_t>(state.range(0));
   using clock = std::chrono::steady_clock;
   double serialSec = 0.0;
@@ -213,7 +214,7 @@ void BM_PipelineSpeedup64(benchmark::State& state) {
     const auto t0 = clock::now();
     benchmark::DoNotOptimize(analysis::analyzeTrace(tr));
     const auto t1 = clock::now();
-    benchmark::DoNotOptimize(analysis::analyzeTraceParallel(tr, opts));
+    benchmark::DoNotOptimize(analysis::analyzeTrace(tr, opts));
     const auto t2 = clock::now();
     serialSec += std::chrono::duration<double>(t1 - t0).count();
     parallelSec += std::chrono::duration<double>(t2 - t1).count();
@@ -239,6 +240,60 @@ void BM_SosAnalysisParallel(benchmark::State& state) {
                           static_cast<std::int64_t>(tr.eventCount()));
 }
 BENCHMARK(BM_SosAnalysisParallel)->Arg(1)->Arg(2)->Arg(4);
+
+// ---- analysis engine: cold vs warm cache ----------------------------------
+//
+// The same query through engine::AnalysisEngine, with the stage cache
+// cleared every iteration (cold: every stage recomputed) and kept (warm:
+// every stage a cache hit). The cold/warm gap is the cost the cache
+// amortizes for interactive re-queries.
+
+void BM_EngineColdAnalyze(benchmark::State& state) {
+  engine::AnalysisEngine eng{trace::Trace(trace64())};
+  for (auto _ : state) {
+    state.PauseTiming();
+    eng.clearCache();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(eng.analyze());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(eng.trace().eventCount()));
+}
+BENCHMARK(BM_EngineColdAnalyze)->Unit(benchmark::kMillisecond);
+
+void BM_EngineWarmHit(benchmark::State& state) {
+  engine::AnalysisEngine eng{trace::Trace(trace64())};
+  benchmark::DoNotOptimize(eng.analyze());  // populate every stage
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.analyze());
+  }
+  const engine::CacheStats stats = eng.cacheStats();
+  state.counters["hits"] = static_cast<double>(stats.hits);
+  state.counters["misses"] = static_cast<double>(stats.misses);
+}
+BENCHMARK(BM_EngineWarmHit);
+
+/// Warm drilldown: re-query with only VariationOptions changed. The
+/// profile, dominant ranking and SOS matrix stay cached; only the cheap
+/// variation stage recomputes. Alternating thresholds keeps both variants
+/// resident so every iteration after the first two is a pure hit on the
+/// upstream stages.
+void BM_EngineWarmDrilldown(benchmark::State& state) {
+  engine::AnalysisEngine eng{trace::Trace(trace64())};
+  analysis::PipelineOptions a;
+  analysis::PipelineOptions b;
+  b.variation.outlierThreshold = a.variation.outlierThreshold + 0.5;
+  benchmark::DoNotOptimize(eng.analyze(a));  // warm the shared stages
+  bool flip = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.analyze(flip ? b : a));
+    flip = !flip;
+  }
+  const engine::CacheStats stats = eng.cacheStats();
+  state.counters["hits"] = static_cast<double>(stats.hits);
+  state.counters["misses"] = static_cast<double>(stats.misses);
+}
+BENCHMARK(BM_EngineWarmDrilldown);
 
 void BM_OverlaySample(benchmark::State& state) {
   const trace::Trace& tr = sharedTrace();

@@ -32,12 +32,12 @@ int main() {
   const analysis::AnalysisResult result = analysis::analyzeTrace(tr);
   {
     std::ofstream csv("cosmo_specs_sos.csv");
-    analysis::writeSosMatrixCsv(*result.sos, csv);
+    analysis::exportReport(tr, result, analysis::ExportFormat::Csv, csv);
     std::ofstream iters("cosmo_specs_iterations.csv");
-    analysis::writeIterationStatsCsv(result.variation, iters);
+    analysis::exportReport(tr, result, analysis::ExportFormat::CsvIterations,
+                           iters);
     std::ofstream json("cosmo_specs_analysis.json");
-    analysis::writeAnalysisJson(tr, result.selection, *result.sos,
-                                result.variation, json);
+    analysis::exportReport(tr, result, analysis::ExportFormat::Json, json);
   }
   std::cout << "exported cosmo_specs_{sos,iterations}.csv and "
                "cosmo_specs_analysis.json\n";

@@ -12,26 +12,32 @@
 ///   trace_tool export-csv <in.pvt>             SOS matrix CSV to stdout
 ///   trace_tool archive <in.pvt> <dir>          write a PVTA archive
 ///   trace_tool unarchive <dir> <out.pvt>       assemble an archive
+///   trace_tool query <in.pvt>                  load once, answer many
+///                                              queries read from stdin
 ///
-/// Global option: --threads N runs the analysis commands (analyze,
-/// export-json, export-csv and the demo) through the rank-sharded parallel
-/// pipeline with N worker threads (0 = all hardware threads). Output is
-/// bit-identical to the serial pipeline.
+/// Global options: --threads N runs the analysis commands on N worker
+/// threads (0 = all hardware threads; output is bit-identical to serial);
+/// --help prints the usage text. Unknown options are rejected.
+///
+/// Exit codes: 0 = success, 1 = runtime/analysis error (unreadable trace,
+/// no dominant function, failed validation, ...), 2 = usage error
+/// (unknown command/option, malformed arguments).
 ///
 /// Scenarios: cosmo-specs | cosmo-specs-fd4 | wrf.
 /// Without arguments, a self-contained demo runs (generate + analyze a
 /// temporary COSMO-SPECS trace).
 
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/export.hpp"
-#include "analysis/parallel.hpp"
 #include "analysis/pipeline.hpp"
 #include "apps/cosmo_specs.hpp"
 #include "apps/cosmo_specs_fd4.hpp"
 #include "apps/wrf.hpp"
+#include "engine/engine.hpp"
 #include "profile/profile.hpp"
 #include "trace/archive.hpp"
 #include "trace/binary_io.hpp"
@@ -43,6 +49,10 @@
 namespace {
 
 using namespace perfvar;
+
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;  ///< analysis/IO errors
+constexpr int kExitUsage = 2;    ///< malformed command lines
 
 trace::Trace generateScenario(const std::string& name) {
   if (name == "cosmo-specs") {
@@ -61,8 +71,8 @@ trace::Trace generateScenario(const std::string& name) {
               "' (expected cosmo-specs | cosmo-specs-fd4 | wrf)");
 }
 
-int usage() {
-  std::cout <<
+void printUsage(std::ostream& out) {
+  out <<
       "usage: trace_tool [--threads N] <command> [args]\n"
       "  generate <scenario> <out.pvt>  scenario: cosmo-specs |\n"
       "                                 cosmo-specs-fd4 | wrf\n"
@@ -76,56 +86,207 @@ int usage() {
       "  export-csv <in.pvt>            SOS matrix as CSV\n"
       "  archive <in.pvt> <dir>         write a PVTA archive\n"
       "  unarchive <dir> <out.pvt>      assemble an archive\n"
+      "  query <in.pvt>                 load the trace once, then answer\n"
+      "                                 queries from stdin (one per line):\n"
+      "                                   analyze [candidate K]\n"
+      "                                     [threshold Z] [max-hotspots N]\n"
+      "                                   export <text|json|csv|\n"
+      "                                     csv-iterations|csv-hotspots>\n"
+      "                                     [candidate K] [threshold Z]\n"
+      "                                     [max-hotspots N]\n"
+      "                                   profile | stats | cache |\n"
+      "                                   help | quit\n"
       "\n"
       "  --threads N   run the analysis on N worker threads (0 = all\n"
-      "                hardware threads); results are identical to serial\n";
-  return 2;
+      "                hardware threads); results are identical to serial\n"
+      "  --help        print this text\n"
+      "\n"
+      "exit codes: 0 success, 1 runtime/analysis error, 2 usage error\n";
 }
 
-/// Parallelism selected via --threads: 1 (default) = serial pipeline.
-struct AnalysisRunner {
-  std::size_t threads = 1;
+int usageError(const std::string& message) {
+  std::cerr << "trace_tool: " << message
+            << "\n(try 'trace_tool --help')\n";
+  return kExitUsage;
+}
 
-  analysis::AnalysisResult run(const trace::Trace& tr) const {
-    if (threads == 1) {
-      return analysis::analyzeTrace(tr);
-    }
-    analysis::ParallelPipelineOptions opts;
-    opts.threads = threads;
-    return analysis::analyzeTraceParallel(tr, opts);
+bool parseSize(const std::string& value, std::size_t& out) {
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
   }
-};
+  try {
+    out = static_cast<std::size_t>(std::stoul(value));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+bool parseDouble(const std::string& value, double& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stod(value, &pos);
+    return pos == value.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parseExportFormat(const std::string& name,
+                       analysis::ExportFormat& format) {
+  if (name == "text") {
+    format = analysis::ExportFormat::Text;
+  } else if (name == "json") {
+    format = analysis::ExportFormat::Json;
+  } else if (name == "csv") {
+    format = analysis::ExportFormat::Csv;
+  } else if (name == "csv-iterations") {
+    format = analysis::ExportFormat::CsvIterations;
+  } else if (name == "csv-hotspots") {
+    format = analysis::ExportFormat::CsvHotspots;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Parse `[candidate K] [threshold Z] [max-hotspots N]` pairs starting at
+/// tokens[first]. Returns false (with a message on stderr) on bad input.
+bool parseQueryOptions(const std::vector<std::string>& tokens,
+                       std::size_t first, analysis::PipelineOptions& opts) {
+  for (std::size_t i = first; i < tokens.size(); i += 2) {
+    if (i + 1 >= tokens.size()) {
+      std::cerr << "trace_tool: query option '" << tokens[i]
+                << "' needs a value\n";
+      return false;
+    }
+    const std::string& key = tokens[i];
+    const std::string& value = tokens[i + 1];
+    if (key == "candidate") {
+      if (!parseSize(value, opts.candidateIndex)) {
+        std::cerr << "trace_tool: candidate expects a non-negative "
+                     "integer, got '" << value << "'\n";
+        return false;
+      }
+    } else if (key == "threshold") {
+      if (!parseDouble(value, opts.variation.outlierThreshold)) {
+        std::cerr << "trace_tool: threshold expects a number, got '"
+                  << value << "'\n";
+        return false;
+      }
+    } else if (key == "max-hotspots") {
+      if (!parseSize(value, opts.variation.maxHotspots)) {
+        std::cerr << "trace_tool: max-hotspots expects a non-negative "
+                     "integer, got '" << value << "'\n";
+        return false;
+      }
+    } else {
+      std::cerr << "trace_tool: unknown query option '" << key << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+void printQueryHelp(std::ostream& out) {
+  out << "query commands:\n"
+         "  analyze [candidate K] [threshold Z] [max-hotspots N]\n"
+         "  export <text|json|csv|csv-iterations|csv-hotspots>"
+         " [candidate K] [threshold Z] [max-hotspots N]\n"
+         "  profile   top functions by inclusive time\n"
+         "  stats     trace statistics\n"
+         "  cache     cache hit/miss/eviction/bytes counters\n"
+         "  help      this text\n"
+         "  quit      end the session\n";
+}
+
+/// The `query` session: one engine, many analyses. Commands come from
+/// `in` one per line; '#'-prefixed lines are comments. Repeated queries
+/// with overlapping options are served from the engine's stage cache.
+int runQuerySession(engine::AnalysisEngine& eng, std::istream& in,
+                    std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream split(line);
+    std::vector<std::string> tokens;
+    for (std::string t; split >> t;) {
+      tokens.push_back(t);
+    }
+    if (tokens.empty() || tokens[0][0] == '#') {
+      continue;
+    }
+    const std::string& cmd = tokens[0];
+    if (cmd == "quit" || cmd == "exit") {
+      break;
+    }
+    if (cmd == "help") {
+      printQueryHelp(out);
+    } else if (cmd == "cache") {
+      out << engine::formatCacheStats(eng.cacheStats()) << '\n';
+    } else if (cmd == "stats") {
+      out << trace::formatStats(trace::computeStats(eng.trace()));
+    } else if (cmd == "profile") {
+      out << profile::formatTopFunctions(eng.trace(), *eng.profile(), 20);
+    } else if (cmd == "analyze" || cmd == "export") {
+      analysis::PipelineOptions opts;
+      analysis::ExportFormat format = analysis::ExportFormat::Text;
+      std::size_t firstOption = 1;
+      if (cmd == "export") {
+        if (tokens.size() < 2 || !parseExportFormat(tokens[1], format)) {
+          std::cerr << "trace_tool: export needs a format (text | json | "
+                       "csv | csv-iterations | csv-hotspots)\n";
+          return kExitUsage;
+        }
+        firstOption = 2;
+      }
+      if (!parseQueryOptions(tokens, firstOption, opts)) {
+        return kExitUsage;
+      }
+      if (cmd == "analyze") {
+        out << eng.formatReport(opts);
+      } else {
+        eng.exportReport(format, out, opts);
+      }
+    } else {
+      std::cerr << "trace_tool: unknown query command '" << cmd
+                << "' (try 'help')\n";
+      return kExitUsage;
+    }
+  }
+  return kExitOk;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    AnalysisRunner runner;
+    std::size_t threads = 1;  // 1 = serial pipeline
     std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        printUsage(std::cout);
+        return kExitOk;
+      }
       if (arg == "--threads") {
         if (i + 1 >= argc) {
-          std::cerr << "trace_tool: --threads needs a value\n";
-          return usage();
+          return usageError("--threads needs a value");
         }
         const std::string value = argv[++i];
-        try {
-          if (value.empty() ||
-              value.find_first_not_of("0123456789") != std::string::npos) {
-            throw std::invalid_argument(value);
-          }
-          // 0 = all hardware threads (AnalysisRunner treats 1 as serial).
-          runner.threads = static_cast<std::size_t>(std::stoul(value));
-        } catch (const std::exception&) {
-          std::cerr << "trace_tool: --threads expects a non-negative "
-                       "integer, got '" << value << "'\n";
-          return usage();
+        // 0 = all hardware threads; 1 = serial.
+        if (!parseSize(value, threads)) {
+          return usageError("--threads expects a non-negative integer, "
+                            "got '" + value + "'");
         }
+      } else if (!arg.empty() && arg[0] == '-') {
+        return usageError("unknown option '" + arg + "'");
       } else {
         args.push_back(arg);
       }
     }
+    analysis::PipelineOptions pipelineOptions;
+    pipelineOptions.threads = threads;
     if (args.empty()) {
       // Demo mode: exercise the full round trip on a small scenario.
       std::cout << "(no arguments: running the self-contained demo)\n\n";
@@ -140,61 +301,76 @@ int main(int argc, char** argv) {
       trace::saveBinaryFile(tr, path);
       const trace::Trace loaded = trace::loadBinaryFile(path);
       std::cout << trace::formatStats(trace::computeStats(loaded)) << '\n';
-      const auto result = runner.run(loaded);
+      const auto result = analysis::analyzeTrace(loaded, pipelineOptions);
       std::cout << analysis::formatAnalysis(loaded, result);
       std::cout << "\nwrote " << path << "; try: trace_tool analyze " << path
                 << '\n';
-      return 0;
+      return kExitOk;
     }
 
     const std::string& cmd = args[0];
     if (cmd == "generate") {
       if (args.size() != 3) {
-        return usage();
+        return usageError("'generate' expects <scenario> <out.pvt>");
       }
       const trace::Trace tr = generateScenario(args[1]);
       trace::saveBinaryFile(tr, args[2]);
       std::cout << "wrote " << args[2] << " ("
                 << trace::computeStats(tr).eventCount << " events)\n";
-      return 0;
+      return kExitOk;
     }
     if (cmd == "slice") {
       if (args.size() != 5) {
-        return usage();
+        return usageError(
+            "'slice' expects <in.pvt> <out.pvt> <startSec> <endSec>");
+      }
+      double startSec = 0.0;
+      double endSec = 0.0;
+      if (!parseDouble(args[3], startSec) || !parseDouble(args[4], endSec)) {
+        return usageError("'slice' expects numeric start/end seconds");
       }
       const trace::Trace tr = trace::loadBinaryFile(args[1]);
-      const double startSec = std::stod(args[3]);
-      const double endSec = std::stod(args[4]);
       const trace::Trace sliced = trace::sliceTime(
           tr, trace::secondsToTicks(startSec, tr.resolution),
           trace::secondsToTicks(endSec, tr.resolution));
       trace::saveBinaryFile(sliced, args[2]);
       std::cout << "wrote " << args[2] << " (" << sliced.eventCount()
                 << " of " << tr.eventCount() << " events)\n";
-      return 0;
+      return kExitOk;
     }
     if (cmd == "archive") {
       if (args.size() != 3) {
-        return usage();
+        return usageError("'archive' expects <in.pvt> <dir>");
       }
       const trace::Trace tr = trace::loadBinaryFile(args[1]);
       trace::saveArchive(tr, args[2]);
       std::cout << "wrote PVTA archive " << args[2] << " ("
                 << tr.processCount() << " rank files)\n";
-      return 0;
+      return kExitOk;
     }
     if (cmd == "unarchive") {
       if (args.size() != 3) {
-        return usage();
+        return usageError("'unarchive' expects <dir> <out.pvt>");
       }
       const trace::Trace tr = trace::loadArchive(args[1]);
       trace::saveBinaryFile(tr, args[2]);
       std::cout << "wrote " << args[2] << " (" << tr.eventCount()
                 << " events)\n";
-      return 0;
+      return kExitOk;
     }
     if (args.size() != 2) {
-      return usage();
+      if (cmd == "stats" || cmd == "validate" || cmd == "profile" ||
+          cmd == "analyze" || cmd == "dump" || cmd == "export-json" ||
+          cmd == "export-csv" || cmd == "query") {
+        return usageError("'" + cmd + "' expects exactly one <in.pvt>");
+      }
+      return usageError("unknown command '" + cmd + "'");
+    }
+    if (cmd == "query") {
+      engine::EngineOptions engineOptions;
+      engineOptions.threads = threads;
+      auto eng = engine::AnalysisEngine::fromFile(args[1], engineOptions);
+      return runQuerySession(eng, std::cin, std::cout);
     }
     const trace::Trace tr = trace::loadBinaryFile(args[1]);
     if (cmd == "stats") {
@@ -208,29 +384,30 @@ int main(int argc, char** argv) {
           std::cout << "process " << issue.process << ", event "
                     << issue.eventIndex << ": " << issue.message << '\n';
         }
-        return 1;
+        return kExitRuntime;
       }
     } else if (cmd == "profile") {
       const auto profile = profile::FlatProfile::build(tr);
       std::cout << profile::formatTopFunctions(tr, profile, 20);
     } else if (cmd == "analyze") {
-      const auto result = runner.run(tr);
+      const auto result = analysis::analyzeTrace(tr, pipelineOptions);
       std::cout << analysis::formatAnalysis(tr, result);
     } else if (cmd == "dump") {
       trace::writeText(tr, std::cout);
     } else if (cmd == "export-json") {
-      const auto result = runner.run(tr);
-      analysis::writeAnalysisJson(tr, result.selection, *result.sos,
-                                  result.variation, std::cout);
+      const auto result = analysis::analyzeTrace(tr, pipelineOptions);
+      analysis::exportReport(tr, result, analysis::ExportFormat::Json,
+                             std::cout);
     } else if (cmd == "export-csv") {
-      const auto result = runner.run(tr);
-      analysis::writeSosMatrixCsv(*result.sos, std::cout);
+      const auto result = analysis::analyzeTrace(tr, pipelineOptions);
+      analysis::exportReport(tr, result, analysis::ExportFormat::Csv,
+                             std::cout);
     } else {
-      return usage();
+      return usageError("unknown command '" + cmd + "'");
     }
-    return 0;
+    return kExitOk;
   } catch (const std::exception& e) {
     std::cerr << "trace_tool: " << e.what() << '\n';
-    return 1;
+    return kExitRuntime;
   }
 }

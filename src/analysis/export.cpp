@@ -111,6 +111,8 @@ private:
 
 }  // namespace
 
+namespace detail {
+
 void writeSosMatrixCsv(const SosResult& sos, std::ostream& out) {
   const std::size_t cols = sos.maxSegmentsPerProcess();
   out << "process";
@@ -278,9 +280,73 @@ void writeAnalysisJson(const trace::Trace& tr,
   out << '\n';
 }
 
+}  // namespace detail
+
+void exportReport(const trace::Trace& tr, const DominantSelection& selection,
+                  const SosResult& sos, const VariationReport& report,
+                  ExportFormat format, std::ostream& out) {
+  switch (format) {
+    case ExportFormat::Text:
+      out << formatAnalysis(tr, selection, sos, report);
+      return;
+    case ExportFormat::Json:
+      detail::writeAnalysisJson(tr, selection, sos, report, out);
+      return;
+    case ExportFormat::Csv:
+      detail::writeSosMatrixCsv(sos, out);
+      return;
+    case ExportFormat::CsvIterations:
+      detail::writeIterationStatsCsv(report, out);
+      return;
+    case ExportFormat::CsvHotspots:
+      detail::writeHotspotsCsv(tr, report, out);
+      return;
+  }
+  PERFVAR_REQUIRE(false, "unknown ExportFormat");
+}
+
+void exportReport(const trace::Trace& tr, const AnalysisResult& result,
+                  ExportFormat format, std::ostream& out) {
+  exportReport(tr, result.selection, *result.sos, result.variation, format,
+               out);
+}
+
+std::string exportReportString(const trace::Trace& tr,
+                               const AnalysisResult& result,
+                               ExportFormat format) {
+  std::ostringstream os;
+  exportReport(tr, result, format, os);
+  return os.str();
+}
+
+// Deprecated forwarders; the attribute only fires at external use sites,
+// but GCC also flags the out-of-line definitions, so silence it here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+void writeSosMatrixCsv(const SosResult& sos, std::ostream& out) {
+  detail::writeSosMatrixCsv(sos, out);
+}
+
+void writeIterationStatsCsv(const VariationReport& report, std::ostream& out) {
+  detail::writeIterationStatsCsv(report, out);
+}
+
+void writeHotspotsCsv(const trace::Trace& tr, const VariationReport& report,
+                      std::ostream& out) {
+  detail::writeHotspotsCsv(tr, report, out);
+}
+
+void writeAnalysisJson(const trace::Trace& tr,
+                       const DominantSelection& selection,
+                       const SosResult& sos, const VariationReport& report,
+                       std::ostream& out) {
+  detail::writeAnalysisJson(tr, selection, sos, report, out);
+}
+
 std::string sosMatrixCsv(const SosResult& sos) {
   std::ostringstream os;
-  writeSosMatrixCsv(sos, os);
+  detail::writeSosMatrixCsv(sos, os);
   return os.str();
 }
 
@@ -289,8 +355,10 @@ std::string analysisJson(const trace::Trace& tr,
                          const SosResult& sos,
                          const VariationReport& report) {
   std::ostringstream os;
-  writeAnalysisJson(tr, selection, sos, report, os);
+  detail::writeAnalysisJson(tr, selection, sos, report, os);
   return os.str();
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace perfvar::analysis

@@ -2,47 +2,91 @@
 #define PERFVAR_ANALYSIS_EXPORT_HPP
 
 /// \file export.hpp
-/// Result export for downstream tooling: CSV matrices/tables and a JSON
-/// document of the complete analysis. Vampir keeps results in its GUI;
+/// Result export for downstream tooling. Vampir keeps results in its GUI;
 /// an open reimplementation needs machine-readable outputs so external
 /// notebooks and dashboards can consume the SOS analysis.
+///
+/// exportReport() is the one entry point: it renders a complete analysis
+/// in any supported format. The former per-format functions
+/// (writeSosMatrixCsv, writeAnalysisJson, ...) remain as deprecated
+/// forwarders with unchanged output.
 
 #include <iosfwd>
 #include <string>
 
 #include "analysis/dominant.hpp"
+#include "analysis/pipeline.hpp"
 #include "analysis/sos.hpp"
 #include "analysis/variation.hpp"
 
 namespace perfvar::analysis {
 
-/// CSV of the SOS matrix: one row per process ("process,iter0,iter1,...");
-/// missing segments are empty cells.
+/// Output format of exportReport().
+enum class ExportFormat {
+  Text,          ///< the human-readable formatAnalysis() report
+  Json,          ///< complete analysis as one JSON document
+  Csv,           ///< SOS matrix: one row per process, one column per iter
+  CsvIterations, ///< per-iteration statistics table
+  CsvHotspots,   ///< ranked hotspot list
+};
+
+/// Render a complete analysis in `format`. All formats are deterministic
+/// byte-for-byte functions of the analysis results (full double
+/// precision), so serial, parallel and cached pipelines export
+/// identically.
+void exportReport(const trace::Trace& trace, const AnalysisResult& result,
+                  ExportFormat format, std::ostream& out);
+
+/// Same from individual stage results (used by engine::AnalysisEngine to
+/// export cached stages without assembling an AnalysisResult).
+void exportReport(const trace::Trace& trace,
+                  const DominantSelection& selection, const SosResult& sos,
+                  const VariationReport& report, ExportFormat format,
+                  std::ostream& out);
+
+/// Convenience string wrapper.
+std::string exportReportString(const trace::Trace& trace,
+                               const AnalysisResult& result,
+                               ExportFormat format);
+
+namespace detail {
+
+/// Format implementations shared by exportReport() and the deprecated
+/// forwarders below (Text lives in pipeline.cpp as formatAnalysis()).
 void writeSosMatrixCsv(const SosResult& sos, std::ostream& out);
-
-/// CSV of per-iteration statistics (iteration, processes, min/mean/max
-/// SOS, stddev, mean duration, imbalance, slowest process).
 void writeIterationStatsCsv(const VariationReport& report, std::ostream& out);
-
-/// CSV of the hotspot list.
 void writeHotspotsCsv(const trace::Trace& trace, const VariationReport& report,
                       std::ostream& out);
-
-/// Complete analysis as a single JSON document:
-///   { "trace": {...}, "dominant": {...}, "processes": [...],
-///     "iterations": [...], "hotspots": [...], "trend": {...} }
-/// All strings are JSON-escaped; numbers use full double precision.
 void writeAnalysisJson(const trace::Trace& trace,
                        const DominantSelection& selection,
                        const SosResult& sos, const VariationReport& report,
                        std::ostream& out);
 
-/// Convenience string wrappers.
-std::string sosMatrixCsv(const SosResult& sos);
-std::string analysisJson(const trace::Trace& trace,
-                         const DominantSelection& selection,
-                         const SosResult& sos,
-                         const VariationReport& report);
+}  // namespace detail
+
+/// Deprecated per-format entry points; each forwards to the shared
+/// implementation behind exportReport() and produces unchanged output.
+[[deprecated("use exportReport(..., ExportFormat::Csv, ...)")]] void
+writeSosMatrixCsv(const SosResult& sos, std::ostream& out);
+
+[[deprecated("use exportReport(..., ExportFormat::CsvIterations, ...)")]] void
+writeIterationStatsCsv(const VariationReport& report, std::ostream& out);
+
+[[deprecated("use exportReport(..., ExportFormat::CsvHotspots, ...)")]] void
+writeHotspotsCsv(const trace::Trace& trace, const VariationReport& report,
+                 std::ostream& out);
+
+[[deprecated("use exportReport(..., ExportFormat::Json, ...)")]] void
+writeAnalysisJson(const trace::Trace& trace,
+                  const DominantSelection& selection, const SosResult& sos,
+                  const VariationReport& report, std::ostream& out);
+
+[[deprecated("use exportReportString(..., ExportFormat::Csv)")]] std::string
+sosMatrixCsv(const SosResult& sos);
+
+[[deprecated("use exportReportString(..., ExportFormat::Json)")]] std::string
+analysisJson(const trace::Trace& trace, const DominantSelection& selection,
+             const SosResult& sos, const VariationReport& report);
 
 }  // namespace perfvar::analysis
 

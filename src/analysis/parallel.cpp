@@ -82,28 +82,48 @@ VariationReport analyzeVariationParallel(const SosResult& sos,
   return detail::analyzeVariationImpl(sos, options, poolRunner(pool, grain));
 }
 
-AnalysisResult analyzeTraceParallel(const trace::Trace& tr,
-                                    const ParallelPipelineOptions& options) {
+namespace detail {
+
+AnalysisResult analyzeTraceSharded(const trace::Trace& tr,
+                                   const PipelineOptions& options) {
   util::ThreadPool pool(options.threads);
   const std::size_t grain = options.grainSizeRanks;
 
   AnalysisResult result;
   result.profile = buildProfileParallel(tr, pool, grain);
   result.selection = selectDominantFunction(tr, result.profile,
-                                            options.pipeline.dominant);
+                                            options.dominant);
   PERFVAR_REQUIRE(result.selection.hasDominant(),
                   "no function qualifies as time-dominant; lower the "
                   "invocation multiplier or check the instrumentation");
-  PERFVAR_REQUIRE(
-      options.pipeline.candidateIndex < result.selection.candidates.size(),
-      "candidateIndex exceeds the number of dominant candidates");
+  PERFVAR_REQUIRE(options.candidateIndex < result.selection.candidates.size(),
+                  "candidateIndex exceeds the number of dominant candidates");
   result.segmentFunction =
-      result.selection.candidates[options.pipeline.candidateIndex].function;
+      result.selection.candidates[options.candidateIndex].function;
   result.sos = std::make_unique<SosResult>(analyzeSosParallel(
-      tr, result.segmentFunction, options.pipeline.sync, pool, grain));
+      tr, result.segmentFunction, options.sync, pool, grain));
   result.variation = analyzeVariationParallel(
-      *result.sos, options.pipeline.variation, pool, grain);
+      *result.sos, options.variation, pool, grain);
   return result;
 }
+
+}  // namespace detail
+
+// Definition of the deprecated wrapper; the attribute only warns at use
+// sites, but GCC also flags the out-of-line definition itself, so the
+// diagnostic is silenced locally.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+AnalysisResult analyzeTraceParallel(const trace::Trace& tr,
+                                    const ParallelPipelineOptions& options) {
+  PipelineOptions unified = options.pipeline;
+  unified.threads = options.threads;
+  unified.grainSizeRanks = options.grainSizeRanks;
+  // threads == 1 historically ran a one-worker pool that executed every
+  // stage inline; the serial path analyzeTrace() picks for threads == 1 is
+  // bit-identical by the determinism guarantee.
+  return analyzeTrace(tr, unified);
+}
+#pragma GCC diagnostic pop
 
 }  // namespace perfvar::analysis

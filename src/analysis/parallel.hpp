@@ -7,9 +7,11 @@
 /// The paper's workflow is embarrassingly parallel across process
 /// timelines: profile replay, segment extraction, SOS computation and the
 /// per-segment variation statistics are per-rank computations followed by
-/// a cross-rank reduction. analyzeTraceParallel() shards those per-rank
-/// loops over a fixed-size util::ThreadPool and merges the partial results
-/// deterministically in rank order.
+/// a cross-rank reduction. analyzeTrace() with PipelineOptions::threads
+/// != 1 shards those per-rank loops over a fixed-size util::ThreadPool and
+/// merges the partial results deterministically in rank order. The
+/// per-stage helpers below are reused by engine::AnalysisEngine to run
+/// cached stages on its own pool.
 ///
 /// Determinism guarantee: every parallel stage calls the exact per-rank
 /// helper the serial stage is built from (profile::FlatProfile::buildProcess,
@@ -26,7 +28,8 @@
 
 namespace perfvar::analysis {
 
-/// Options of the parallel pipeline.
+/// Options of the deprecated analyzeTraceParallel() wrapper. New code sets
+/// PipelineOptions::threads / grainSizeRanks and calls analyzeTrace().
 struct ParallelPipelineOptions {
   /// Stage options, identical to the serial pipeline's.
   PipelineOptions pipeline{};
@@ -39,13 +42,18 @@ struct ParallelPipelineOptions {
   std::size_t grainSizeRanks = 1;
 };
 
-/// Parallel analyzeTrace(): identical output (field for field, bit for
-/// bit), sharded by rank over an internal thread pool.
+/// Deprecated forwarder: analyzeTrace() is the unified entry point; this
+/// copies threads/grainSizeRanks into PipelineOptions and calls it. Output
+/// is bit-identical to the historical behavior (a threads == 1 pool ran
+/// every stage inline, exactly like the serial pipeline).
 ///
 /// Lifetime: like analyzeTrace(), the result references `trace`; passing a
 /// temporary is a compile error.
-AnalysisResult analyzeTraceParallel(const trace::Trace& trace,
-                                    const ParallelPipelineOptions& options = {});
+[[deprecated(
+    "call analyzeTrace() and set PipelineOptions::threads "
+    "instead")]] AnalysisResult
+analyzeTraceParallel(const trace::Trace& trace,
+                     const ParallelPipelineOptions& options = {});
 AnalysisResult analyzeTraceParallel(trace::Trace&&,
                                     const ParallelPipelineOptions& = {}) =
     delete;
@@ -77,6 +85,16 @@ VariationReport analyzeVariationParallel(const SosResult& sos,
                                          const VariationOptions& options,
                                          util::ThreadPool& pool,
                                          std::size_t grain = 1);
+
+namespace detail {
+
+/// The rank-sharded pipeline run: analyzeTrace() dispatches here when
+/// options.threads != 1. Spawns a pool of options.threads workers (0 =
+/// hardware concurrency) for the duration of the call.
+AnalysisResult analyzeTraceSharded(const trace::Trace& trace,
+                                   const PipelineOptions& options);
+
+}  // namespace detail
 
 }  // namespace perfvar::analysis
 

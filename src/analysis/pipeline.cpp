@@ -2,12 +2,16 @@
 
 #include <sstream>
 
+#include "analysis/parallel.hpp"
 #include "util/error.hpp"
 
 namespace perfvar::analysis {
 
 AnalysisResult analyzeTrace(const trace::Trace& tr,
                             const PipelineOptions& options) {
+  if (options.threads != 1) {
+    return detail::analyzeTraceSharded(tr, options);
+  }
   AnalysisResult result;
   result.profile = profile::FlatProfile::build(tr);
   result.selection = selectDominantFunction(tr, result.profile,
@@ -26,13 +30,20 @@ AnalysisResult analyzeTrace(const trace::Trace& tr,
 }
 
 std::string formatAnalysis(const trace::Trace& tr,
-                           const AnalysisResult& result) {
+                           const DominantSelection& selection,
+                           const SosResult& sos,
+                           const VariationReport& variation) {
   std::ostringstream os;
   os << "=== dominant-function selection ===\n"
-     << formatSelection(tr, result.selection) << '\n'
+     << formatSelection(tr, selection) << '\n'
      << "=== runtime-variation analysis ===\n"
-     << formatVariationReport(*result.sos, result.variation);
+     << formatVariationReport(sos, variation);
   return os.str();
+}
+
+std::string formatAnalysis(const trace::Trace& tr,
+                           const AnalysisResult& result) {
+  return formatAnalysis(tr, result.selection, *result.sos, result.variation);
 }
 
 }  // namespace perfvar::analysis

@@ -32,6 +32,15 @@ struct PipelineOptions {
   /// Which candidate of the dominant ranking to segment by: 0 = the
   /// time-dominant function, k > 0 = increasingly finer segmentation.
   std::size_t candidateIndex = 0;
+  /// Worker threads of the rank-sharded stages: 1 (the default) runs every
+  /// stage inline on the calling thread; 0 = hardware concurrency; any
+  /// other value spawns that many pool workers. The result is bit-identical
+  /// regardless of this value (see parallel.hpp for the determinism
+  /// argument).
+  std::size_t threads = 1;
+  /// Ranks per pool task when threads != 1. Larger grains amortize task
+  /// overhead on traces with many cheap ranks; has no effect on the result.
+  std::size_t grainSizeRanks = 1;
 };
 
 /// Complete result of one pipeline run.
@@ -46,6 +55,11 @@ struct AnalysisResult {
 /// Run the full pipeline; throws perfvar::Error if no function qualifies
 /// as time-dominant (or candidateIndex is out of range).
 ///
+/// With options.threads == 1 every stage runs inline; any other value
+/// routes through the rank-sharded parallel engine (parallel.hpp) with
+/// bit-identical output. This is the one analysis entry point; the former
+/// analyzeTraceParallel() is a deprecated forwarder to it.
+///
 /// Lifetime: the result references `trace` (SosResult keeps a pointer to
 /// avoid copying large traces); the trace must outlive the result. The
 /// rvalue overload is deleted so passing a temporary trace is a compile
@@ -58,6 +72,14 @@ AnalysisResult analyzeTrace(trace::Trace&&,
 /// Render a complete text report (dominant selection + variation report).
 std::string formatAnalysis(const trace::Trace& trace,
                            const AnalysisResult& result);
+
+/// Same report from individual stage results (the engine renders cached
+/// stages without assembling an AnalysisResult; both overloads share one
+/// implementation, so their output is identical).
+std::string formatAnalysis(const trace::Trace& trace,
+                           const DominantSelection& selection,
+                           const SosResult& sos,
+                           const VariationReport& variation);
 
 }  // namespace perfvar::analysis
 

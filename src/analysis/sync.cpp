@@ -1,6 +1,7 @@
 #include "analysis/sync.hpp"
 
 #include <array>
+#include <atomic>
 
 #include "util/error.hpp"
 
@@ -12,6 +13,18 @@ bool startsWith(const std::string& s, const char* prefix) {
   return s.rfind(prefix, 0) == 0;
 }
 
+// Fixed cache tokens of the built-in policies; custom predicates draw
+// unique tokens from the counter so they never alias a built-in (or each
+// other).
+constexpr std::uint64_t kTokenParadigm = 1;
+constexpr std::uint64_t kTokenBlockingOnly = 2;
+constexpr std::uint64_t kTokenNone = 3;
+
+std::uint64_t nextCustomToken() {
+  static std::atomic<std::uint64_t> counter{16};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 SyncClassifier::SyncClassifier() : SyncClassifier(SyncPolicy::Paradigm) {}
@@ -19,17 +32,23 @@ SyncClassifier::SyncClassifier() : SyncClassifier(SyncPolicy::Paradigm) {}
 SyncClassifier::SyncClassifier(SyncPolicy policy) : policy_(policy) {
   PERFVAR_REQUIRE(policy != SyncPolicy::Custom,
                   "custom policy requires a predicate");
+  token_ = policy == SyncPolicy::Paradigm ? kTokenParadigm
+                                          : kTokenBlockingOnly;
 }
 
 SyncClassifier::SyncClassifier(
     std::function<bool(const trace::FunctionDef&)> predicate)
-    : policy_(SyncPolicy::Custom), predicate_(std::move(predicate)) {
+    : policy_(SyncPolicy::Custom),
+      token_(nextCustomToken()),
+      predicate_(std::move(predicate)) {
   PERFVAR_REQUIRE(static_cast<bool>(predicate_),
                   "custom policy requires a predicate");
 }
 
 SyncClassifier SyncClassifier::none() {
-  return SyncClassifier([](const trace::FunctionDef&) { return false; });
+  SyncClassifier c([](const trace::FunctionDef&) { return false; });
+  c.token_ = kTokenNone;  // stable: every none() classifies identically
+  return c;
 }
 
 bool SyncClassifier::isBlockingMpiName(const std::string& name) {

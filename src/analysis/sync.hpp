@@ -18,6 +18,7 @@
 ///                 local-completion calls like MPI_Isend keep their cost.
 ///  * Custom     — a user predicate.
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -58,6 +59,16 @@ public:
 
   SyncPolicy policy() const { return policy_; }
 
+  /// Stable cache token used by the analysis engine to fingerprint a
+  /// classifier: two classifiers with the same token classify every
+  /// function identically. The built-in policies (Paradigm, BlockingOnly,
+  /// none()) have fixed tokens, so independently constructed instances
+  /// share cached results. Every Custom-predicate classifier draws a fresh
+  /// token at construction (copies keep it): the engine cannot inspect a
+  /// std::function, so distinct custom classifiers are conservatively
+  /// treated as different even when their predicates are equivalent.
+  std::uint64_t cacheToken() const { return token_; }
+
   /// True if an MPI function name denotes an operation that can block on
   /// remote progress (used by the BlockingOnly policy). Exposed for tests.
   static bool isBlockingMpiName(const std::string& name);
@@ -68,6 +79,7 @@ public:
 
 private:
   SyncPolicy policy_;
+  std::uint64_t token_ = 0;
   std::function<bool(const trace::FunctionDef&)> predicate_;
 };
 

@@ -1,0 +1,351 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "analysis/parallel.hpp"
+#include "trace/binary_io.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/thread_pool.hpp"
+
+namespace perfvar::engine {
+
+namespace {
+
+// Stage tags mixed into every fingerprint so keys of different stages can
+// never collide even for identical option content.
+constexpr std::uint64_t kTagDominant = 0x646f6d;    // "dom"
+constexpr std::uint64_t kTagSos = 0x736f73;         // "sos"
+constexpr std::uint64_t kTagVariation = 0x766172;   // "var"
+
+std::uint64_t fingerprintDominant(const analysis::DominantOptions& o) {
+  util::Hasher h;
+  h.u64(kTagDominant)
+      .u64(o.invocationMultiplier)
+      .boolean(o.excludeSynchronization);
+  // The classifier only participates in candidacy filtering when
+  // exclusion is on; keying on it otherwise would split identical results.
+  if (o.excludeSynchronization) {
+    h.u64(o.syncClassifier.cacheToken());
+  }
+  return h.digest();
+}
+
+std::uint64_t fingerprintSos(trace::FunctionId segmentFunction,
+                             const analysis::SyncClassifier& classifier) {
+  return util::Hasher{}
+      .u64(kTagSos)
+      .u64(segmentFunction)
+      .u64(classifier.cacheToken())
+      .digest();
+}
+
+std::uint64_t fingerprintVariation(std::uint64_t sosKey,
+                                   const analysis::VariationOptions& o) {
+  return util::Hasher{}
+      .u64(kTagVariation)
+      .u64(sosKey)
+      .f64(o.outlierThreshold)
+      .f64(o.processThreshold)
+      .u64(o.maxHotspots)
+      .digest();
+}
+
+// Approximate resident sizes of cached stage results (capacity-based where
+// the containers are reachable; close enough for observability and
+// eviction accounting, not an allocator audit).
+
+std::size_t approxBytes(const profile::FlatProfile& p) {
+  return sizeof(p) + (p.processCount() + 1) * p.functionCount() *
+                         sizeof(profile::FunctionStats);
+}
+
+std::size_t approxBytes(const analysis::DominantSelection& s) {
+  return sizeof(s) + (s.candidates.capacity() + s.rejectedTopLevel.capacity()) *
+                         sizeof(analysis::DominantCandidate);
+}
+
+std::size_t approxBytes(const analysis::SosResult& r) {
+  std::size_t total = sizeof(r);
+  for (const auto& per : r.all()) {
+    total += per.capacity() * sizeof(analysis::SegmentAnalysis);
+    for (const auto& seg : per) {
+      total += seg.metricDelta.capacity() * sizeof(double);
+    }
+  }
+  return total;
+}
+
+std::size_t approxBytes(const analysis::VariationReport& v) {
+  return sizeof(v) +
+         v.iterations.capacity() * sizeof(analysis::IterationStats) +
+         v.processes.capacity() * sizeof(analysis::ProcessStats) +
+         (v.processesBySos.capacity() + v.culpritProcesses.capacity()) *
+             sizeof(trace::ProcessId) +
+         v.hotspots.capacity() * sizeof(analysis::Hotspot);
+}
+
+}  // namespace
+
+struct AnalysisEngine::Impl {
+  template <typename T>
+  struct Entry {
+    std::shared_ptr<const T> value;
+    std::uint64_t lastUse = 0;
+    std::size_t bytes = 0;
+  };
+  template <typename T>
+  using Map = std::unordered_map<std::uint64_t, Entry<T>>;
+
+  /// Guards every cache container, useClock and bytes. Held only for map
+  /// lookups/inserts, never while a stage computes.
+  std::mutex cacheMutex;
+  std::uint64_t useClock = 0;
+  std::uint64_t bytes = 0;
+
+  std::shared_ptr<const profile::FlatProfile> profile;
+  std::size_t profileBytes = 0;
+  Map<analysis::DominantSelection> dominant;
+  Map<analysis::SosResult> sos;
+  Map<analysis::VariationReport> variation;
+
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> evictions{0};
+
+  /// Workers of the heavy stages (null when EngineOptions::threads == 1).
+  /// poolMutex serializes whole stage batches: ThreadPool::wait() waits
+  /// for pool-wide idleness, so interleaving two batches would let one
+  /// query wait on (and steal exceptions of) another's tasks.
+  std::unique_ptr<util::ThreadPool> pool;
+  std::mutex poolMutex;
+
+  template <typename Map>
+  void evictLruFrom(Map& map, typename Map::iterator victim) {
+    bytes -= victim->second.bytes;
+    map.erase(victim);
+    evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Drop least-recently-used derived entries until the combined count is
+  /// within `maxEntries` again. Caller holds cacheMutex.
+  void evictIfNeeded(std::size_t maxEntries) {
+    if (maxEntries == 0) {
+      return;
+    }
+    auto lruUse = [](const auto& map) {
+      std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+      for (const auto& [key, entry] : map) {
+        best = std::min(best, entry.lastUse);
+      }
+      return best;
+    };
+    auto lruIt = [](auto& map) {
+      auto best = map.begin();
+      for (auto it = map.begin(); it != map.end(); ++it) {
+        if (it->second.lastUse < best->second.lastUse) {
+          best = it;
+        }
+      }
+      return best;
+    };
+    while (dominant.size() + sos.size() + variation.size() > maxEntries) {
+      const std::uint64_t d = lruUse(dominant);
+      const std::uint64_t s = lruUse(sos);
+      const std::uint64_t v = lruUse(variation);
+      if (d <= s && d <= v) {
+        evictLruFrom(dominant, lruIt(dominant));
+      } else if (s <= v) {
+        evictLruFrom(sos, lruIt(sos));
+      } else {
+        evictLruFrom(variation, lruIt(variation));
+      }
+    }
+  }
+
+  /// The cache protocol of every derived stage: lookup under the lock,
+  /// compute outside it on a miss, insert (first writer wins — a racing
+  /// thread that lost simply adopts the winner's instance so all callers
+  /// observe one object per key).
+  template <typename T, typename Compute>
+  std::shared_ptr<const T> getOrCompute(Map<T>& map, std::uint64_t key,
+                                        std::size_t maxEntries,
+                                        Compute&& compute) {
+    {
+      std::lock_guard<std::mutex> lock(cacheMutex);
+      const auto it = map.find(key);
+      if (it != map.end()) {
+        it->second.lastUse = ++useClock;
+        hits.fetch_add(1, std::memory_order_relaxed);
+        return it->second.value;
+      }
+    }
+    misses.fetch_add(1, std::memory_order_relaxed);
+    auto computed = std::make_shared<const T>(compute());
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    const auto [it, inserted] = map.try_emplace(key);
+    it->second.lastUse = ++useClock;
+    if (!inserted) {
+      return it->second.value;  // lost a compute race; adopt the winner
+    }
+    it->second.value = computed;
+    it->second.bytes = approxBytes(*computed);
+    bytes += it->second.bytes;
+    evictIfNeeded(maxEntries);
+    return computed;
+  }
+};
+
+AnalysisEngine::AnalysisEngine(trace::Trace trace, EngineOptions options)
+    : trace_(std::make_shared<const trace::Trace>(std::move(trace))),
+      options_(options),
+      impl_(std::make_unique<Impl>()) {
+  if (options_.threads != 1) {
+    impl_->pool = std::make_unique<util::ThreadPool>(options_.threads);
+  }
+}
+
+AnalysisEngine::~AnalysisEngine() = default;
+
+AnalysisEngine AnalysisEngine::fromFile(const std::string& path,
+                                        EngineOptions options) {
+  return AnalysisEngine(trace::loadBinaryFile(path), options);
+}
+
+std::shared_ptr<const profile::FlatProfile> AnalysisEngine::profile() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->cacheMutex);
+    if (impl_->profile) {
+      impl_->hits.fetch_add(1, std::memory_order_relaxed);
+      return impl_->profile;
+    }
+  }
+  impl_->misses.fetch_add(1, std::memory_order_relaxed);
+  auto computed = [&] {
+    if (!impl_->pool) {
+      return std::make_shared<const profile::FlatProfile>(
+          profile::FlatProfile::build(*trace_));
+    }
+    std::lock_guard<std::mutex> poolLock(impl_->poolMutex);
+    return std::make_shared<const profile::FlatProfile>(
+        analysis::buildProfileParallel(*trace_, *impl_->pool,
+                                       options_.grainSizeRanks));
+  }();
+  std::lock_guard<std::mutex> lock(impl_->cacheMutex);
+  if (!impl_->profile) {
+    impl_->profile = computed;
+    impl_->profileBytes = approxBytes(*computed);
+    impl_->bytes += impl_->profileBytes;
+  }
+  return impl_->profile;
+}
+
+std::shared_ptr<const analysis::DominantSelection> AnalysisEngine::dominant(
+    const analysis::DominantOptions& options) {
+  const auto prof = profile();
+  return impl_->getOrCompute(
+      impl_->dominant, fingerprintDominant(options), options_.maxCacheEntries,
+      [&] {
+        return analysis::selectDominantFunction(*trace_, *prof, options);
+      });
+}
+
+EngineResult AnalysisEngine::analyze(const analysis::PipelineOptions& options) {
+  EngineResult result;
+  result.trace = trace_;
+  result.profile = profile();
+  // Inline dominant() with the profile already in hand: one counter event
+  // per stage per query (a cold analyze is 4 misses, a warm one 4 hits).
+  result.selection = impl_->getOrCompute(
+      impl_->dominant, fingerprintDominant(options.dominant),
+      options_.maxCacheEntries, [&] {
+        return analysis::selectDominantFunction(*trace_, *result.profile,
+                                                options.dominant);
+      });
+  PERFVAR_REQUIRE(result.selection->hasDominant(),
+                  "no function qualifies as time-dominant; lower the "
+                  "invocation multiplier or check the instrumentation");
+  PERFVAR_REQUIRE(
+      options.candidateIndex < result.selection->candidates.size(),
+      "candidateIndex exceeds the number of dominant candidates");
+  result.segmentFunction =
+      result.selection->candidates[options.candidateIndex].function;
+
+  const std::uint64_t sosKey =
+      fingerprintSos(result.segmentFunction, options.sync);
+  result.sos = impl_->getOrCompute(
+      impl_->sos, sosKey, options_.maxCacheEntries, [&] {
+        if (!impl_->pool) {
+          return analysis::analyzeSos(*trace_, result.segmentFunction,
+                                      options.sync);
+        }
+        std::lock_guard<std::mutex> poolLock(impl_->poolMutex);
+        return analysis::analyzeSosParallel(*trace_, result.segmentFunction,
+                                            options.sync, *impl_->pool,
+                                            options_.grainSizeRanks);
+      });
+
+  result.variation = impl_->getOrCompute(
+      impl_->variation, fingerprintVariation(sosKey, options.variation),
+      options_.maxCacheEntries, [&] {
+        if (!impl_->pool) {
+          return analysis::analyzeVariation(*result.sos, options.variation);
+        }
+        std::lock_guard<std::mutex> poolLock(impl_->poolMutex);
+        return analysis::analyzeVariationParallel(*result.sos,
+                                                  options.variation,
+                                                  *impl_->pool,
+                                                  options_.grainSizeRanks);
+      });
+  return result;
+}
+
+std::string AnalysisEngine::formatReport(
+    const analysis::PipelineOptions& options) {
+  const EngineResult r = analyze(options);
+  return analysis::formatAnalysis(*trace_, *r.selection, *r.sos, *r.variation);
+}
+
+void AnalysisEngine::exportReport(analysis::ExportFormat format,
+                                  std::ostream& out,
+                                  const analysis::PipelineOptions& options) {
+  const EngineResult r = analyze(options);
+  analysis::exportReport(*trace_, *r.selection, *r.sos, *r.variation, format,
+                         out);
+}
+
+CacheStats AnalysisEngine::cacheStats() const {
+  CacheStats stats;
+  stats.hits = impl_->hits.load(std::memory_order_relaxed);
+  stats.misses = impl_->misses.load(std::memory_order_relaxed);
+  stats.evictions = impl_->evictions.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(impl_->cacheMutex);
+  stats.bytes = impl_->bytes;
+  return stats;
+}
+
+void AnalysisEngine::clearCache() {
+  std::lock_guard<std::mutex> lock(impl_->cacheMutex);
+  impl_->profile.reset();
+  impl_->profileBytes = 0;
+  impl_->dominant.clear();
+  impl_->sos.clear();
+  impl_->variation.clear();
+  impl_->bytes = 0;
+}
+
+std::string formatCacheStats(const CacheStats& stats) {
+  std::ostringstream os;
+  os << "cache: hits=" << stats.hits << " misses=" << stats.misses
+     << " evictions=" << stats.evictions << " bytes=" << stats.bytes;
+  return os.str();
+}
+
+}  // namespace perfvar::engine

@@ -1,0 +1,162 @@
+#ifndef PERFVAR_ENGINE_ENGINE_HPP
+#define PERFVAR_ENGINE_ENGINE_HPP
+
+/// \file engine.hpp
+/// AnalysisEngine: a long-lived analysis session over one trace.
+///
+/// analyzeTrace() recomputes the whole profile -> dominant -> SOS ->
+/// variation chain on every call, even though interactive workflows touch
+/// the same trace repeatedly: the Figure-5 drill-down re-runs stages 2-3
+/// with a different candidateIndex, exporters re-render the same results,
+/// and a query service answers many requests against one loaded trace.
+/// AnalysisEngine loads the trace once and serves repeated queries from
+/// content-addressed stage-level caches:
+///
+///   stage        cache key (util::Hasher fingerprint)
+///   ---------    ------------------------------------------------------
+///   profile      (none; one per trace)
+///   dominant     DominantOptions fields (+ classifier token if excluding)
+///   SOS          segment function id + SyncClassifier::cacheToken()
+///   variation    SOS key + VariationOptions fields
+///
+/// A drill-down that only changes candidateIndex therefore recomputes the
+/// SOS and variation stages for the new segment function and reuses the
+/// cached profile and dominant ranking; a re-export with unchanged options
+/// recomputes nothing.
+///
+/// Execution options that do NOT change results (EngineOptions::threads,
+/// grainSizeRanks — see parallel.hpp's determinism guarantee) are
+/// deliberately excluded from every fingerprint, so results computed
+/// serially and in parallel share cache entries. By the same guarantee,
+/// every cached result is bit-identical to a fresh analyzeTrace() run.
+///
+/// Thread safety: all public member functions may be called concurrently.
+/// Cache lookups and inserts synchronize on an internal mutex held only
+/// for map operations; stage computation runs outside the lock (two
+/// threads racing on the same missing key may both compute it; the first
+/// insert wins and both observe the same instance afterwards). Heavy
+/// stages dispatch onto an engine-owned util::ThreadPool (serialized by a
+/// second mutex — the pool's wait() semantics do not allow interleaved
+/// batches) and reuse the rank-sharded helpers from analysis/parallel.hpp.
+///
+/// Capacity: derived-stage entries (dominant/SOS/variation) are evicted
+/// least-recently-used once their count exceeds EngineOptions
+/// maxCacheEntries; the profile is never evicted. EngineResult holds
+/// shared_ptrs, so eviction never invalidates a result a caller still
+/// owns.
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "analysis/export.hpp"
+#include "analysis/pipeline.hpp"
+#include "profile/profile.hpp"
+#include "trace/trace.hpp"
+
+namespace perfvar::util {
+class ThreadPool;
+}
+
+namespace perfvar::engine {
+
+/// Construction-time options of an engine.
+struct EngineOptions {
+  /// Worker threads of the heavy stages: 1 (default) computes inline on
+  /// the querying thread, 0 = hardware concurrency, else that many pool
+  /// workers. Does not affect results (and is not part of cache keys).
+  std::size_t threads = 1;
+  /// Ranks per pool task when threads != 1. No effect on results.
+  std::size_t grainSizeRanks = 1;
+  /// Maximum number of cached derived-stage results (dominant + SOS +
+  /// variation entries together; the profile is exempt). 0 = unlimited.
+  std::size_t maxCacheEntries = 64;
+};
+
+/// Cache observability counters (cumulative since construction).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  /// Approximate bytes currently held by cached stage results.
+  std::uint64_t bytes = 0;
+};
+
+/// One query answer: shared views of the cached stage results. Cheap to
+/// copy; keeps the underlying stages (and the engine's trace) alive even
+/// across cache eviction or engine destruction.
+struct EngineResult {
+  std::shared_ptr<const trace::Trace> trace;
+  std::shared_ptr<const profile::FlatProfile> profile;
+  std::shared_ptr<const analysis::DominantSelection> selection;
+  trace::FunctionId segmentFunction = trace::kInvalidFunction;
+  std::shared_ptr<const analysis::SosResult> sos;
+  std::shared_ptr<const analysis::VariationReport> variation;
+};
+
+/// Cached, thread-safe, repeatedly-queryable analysis session over one
+/// trace. Non-copyable and non-movable: cached SosResults point into the
+/// owned trace, whose address must stay stable.
+class AnalysisEngine {
+public:
+  /// Take ownership of `trace` (move it in; the engine is the one place
+  /// that keeps it alive for cached results).
+  explicit AnalysisEngine(trace::Trace trace, EngineOptions options = {});
+
+  ~AnalysisEngine();
+
+  AnalysisEngine(const AnalysisEngine&) = delete;
+  AnalysisEngine& operator=(const AnalysisEngine&) = delete;
+
+  /// Load a PVT trace file and open a session over it.
+  static AnalysisEngine fromFile(const std::string& path,
+                                 EngineOptions options = {});
+
+  const trace::Trace& trace() const { return *trace_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// The flat profile (stage 1); computed once per engine.
+  std::shared_ptr<const profile::FlatProfile> profile();
+
+  /// The dominant-function ranking (stage 2) under `options`.
+  std::shared_ptr<const analysis::DominantSelection> dominant(
+      const analysis::DominantOptions& options = {});
+
+  /// Full pipeline query: every stage is served from cache when its
+  /// options fingerprint matches a previous query. Throws perfvar::Error
+  /// exactly like analyzeTrace() (no dominant candidate, candidateIndex
+  /// out of range). PipelineOptions::threads / grainSizeRanks are ignored:
+  /// execution is governed by EngineOptions.
+  EngineResult analyze(const analysis::PipelineOptions& options = {});
+
+  /// formatAnalysis() of a (cached) query: byte-identical to
+  /// formatAnalysis(trace, analyzeTrace(trace, options)).
+  std::string formatReport(const analysis::PipelineOptions& options = {});
+
+  /// exportReport() of a (cached) query.
+  void exportReport(analysis::ExportFormat format, std::ostream& out,
+                    const analysis::PipelineOptions& options = {});
+
+  /// Current cache counters (hits/misses/evictions cumulative).
+  CacheStats cacheStats() const;
+
+  /// Drop every cached result, including the profile. Counters keep
+  /// accumulating; bytes drops to zero. Outstanding EngineResults stay
+  /// valid (they share ownership).
+  void clearCache();
+
+private:
+  struct Impl;
+  std::shared_ptr<const trace::Trace> trace_;
+  EngineOptions options_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Render "cache: hits=... misses=... evictions=... bytes=..." (the
+/// trace_tool `cache` query and CI smoke output).
+std::string formatCacheStats(const CacheStats& stats);
+
+}  // namespace perfvar::engine
+
+#endif  // PERFVAR_ENGINE_ENGINE_HPP

@@ -1,0 +1,45 @@
+#include "util/hash.hpp"
+
+#include <cstring>
+
+namespace perfvar::util {
+
+namespace {
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+}  // namespace
+
+Hasher& Hasher::bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    state_ ^= p[i];
+    state_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+Hasher& Hasher::u64(std::uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+  return bytes(buf, sizeof(buf));
+}
+
+Hasher& Hasher::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return u64(bits);
+}
+
+Hasher& Hasher::boolean(bool b) {
+  const unsigned char byte = b ? 1 : 0;
+  return bytes(&byte, 1);
+}
+
+Hasher& Hasher::str(std::string_view s) {
+  u64(s.size());
+  return bytes(s.data(), s.size());
+}
+
+}  // namespace perfvar::util

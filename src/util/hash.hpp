@@ -1,0 +1,55 @@
+#ifndef PERFVAR_UTIL_HASH_HPP
+#define PERFVAR_UTIL_HASH_HPP
+
+/// \file hash.hpp
+/// Incremental FNV-1a content hashing for cache keys.
+///
+/// The analysis engine (engine/engine.hpp) addresses cached stage results
+/// by a fingerprint of the stage's options. Hasher provides a small,
+/// deterministic, dependency-free 64-bit FNV-1a accumulator for that:
+/// every field is mixed with a fixed-width encoding (doubles by bit
+/// pattern, strings length-prefixed), so a fingerprint is stable across
+/// runs and platforms with the same type widths and never depends on
+/// address-space layout.
+///
+/// This is a content hash for cache addressing, NOT a cryptographic hash;
+/// collisions are astronomically unlikely for the handful of option
+/// structs hashed here but not adversarially hard.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace perfvar::util {
+
+/// Incremental 64-bit FNV-1a hasher. Mix calls chain:
+///   const auto key = Hasher{}.u64(stageTag).f64(threshold).digest();
+class Hasher {
+public:
+  /// Mix `n` raw bytes.
+  Hasher& bytes(const void* data, std::size_t n);
+
+  /// Mix a 64-bit integer (fixed little-endian byte order).
+  Hasher& u64(std::uint64_t v);
+
+  /// Mix a double by bit pattern. Note -0.0 and 0.0 hash differently and
+  /// every NaN payload hashes to its own key; for option fingerprints
+  /// (human-chosen thresholds) this is the desired strictness.
+  Hasher& f64(double v);
+
+  /// Mix a bool as one byte.
+  Hasher& boolean(bool b);
+
+  /// Mix a string, length-prefixed so ("ab","c") != ("a","bc").
+  Hasher& str(std::string_view s);
+
+  /// Current hash value.
+  std::uint64_t digest() const { return state_; }
+
+private:
+  std::uint64_t state_ = 0xcbf29ce484222325ull;  ///< FNV offset basis
+};
+
+}  // namespace perfvar::util
+
+#endif  // PERFVAR_UTIL_HASH_HPP

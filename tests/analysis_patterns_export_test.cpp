@@ -126,7 +126,8 @@ AnalysisResult figureResult() {
 
 TEST(Export, SosMatrixCsvShape) {
   const AnalysisResult result = figureResult();
-  const std::string csv = sosMatrixCsv(*result.sos);
+  const std::string csv =
+      exportReportString(figureTrace(), result, ExportFormat::Csv);
   std::istringstream is(csv);
   std::string line;
   std::getline(is, line);
@@ -143,7 +144,7 @@ TEST(Export, SosMatrixCsvShape) {
 TEST(Export, IterationStatsCsvHasHeaderAndRows) {
   const AnalysisResult result = figureResult();
   std::ostringstream os;
-  writeIterationStatsCsv(result.variation, os);
+  exportReport(figureTrace(), result, ExportFormat::CsvIterations, os);
   const std::string csv = os.str();
   EXPECT_EQ(csv.rfind("iteration,processes,minSos", 0), 0u);
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);  // header + 3
@@ -152,15 +153,14 @@ TEST(Export, IterationStatsCsvHasHeaderAndRows) {
 TEST(Export, HotspotsCsvQuotesNames) {
   const AnalysisResult result = figureResult();
   std::ostringstream os;
-  writeHotspotsCsv(result.sos->trace(), result.variation, os);
+  exportReport(figureTrace(), result, ExportFormat::CsvHotspots, os);
   EXPECT_EQ(os.str().rfind("process,processName", 0), 0u);
 }
 
 TEST(Export, JsonIsBalancedAndCarriesKeyFacts) {
   const AnalysisResult result = figureResult();
-  const std::string json = analysisJson(result.sos->trace(),
-                                        result.selection, *result.sos,
-                                        result.variation);
+  const std::string json =
+      exportReportString(figureTrace(), result, ExportFormat::Json);
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
   EXPECT_EQ(std::count(json.begin(), json.end(), '['),
@@ -183,12 +183,47 @@ TEST(Export, JsonEscapesSpecialCharacters) {
   }
   const trace::Trace tr = b.finish();
   const AnalysisResult result = analyzeTrace(tr);
-  const std::string json = analysisJson(tr, result.selection, *result.sos,
-                                        result.variation);
+  const std::string json = exportReportString(tr, result, ExportFormat::Json);
   EXPECT_NE(json.find("\\\"fast\\\""), std::string::npos);
   EXPECT_NE(json.find("\\n"), std::string::npos);
   EXPECT_NE(json.find("\\\\x"), std::string::npos);
 }
+
+TEST(Export, TextFormatMatchesFormatAnalysis) {
+  const AnalysisResult result = figureResult();
+  EXPECT_EQ(exportReportString(figureTrace(), result, ExportFormat::Text),
+            formatAnalysis(figureTrace(), result));
+}
+
+// The old per-format entry points must keep compiling and producing
+// byte-identical output until they are removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Export, DeprecatedForwardersMatchExportReport) {
+  const AnalysisResult result = figureResult();
+  const trace::Trace& tr = figureTrace();
+
+  EXPECT_EQ(sosMatrixCsv(*result.sos),
+            exportReportString(tr, result, ExportFormat::Csv));
+  EXPECT_EQ(analysisJson(tr, result.selection, *result.sos, result.variation),
+            exportReportString(tr, result, ExportFormat::Json));
+
+  std::ostringstream oldOut;
+  writeSosMatrixCsv(*result.sos, oldOut);
+  writeIterationStatsCsv(result.variation, oldOut);
+  writeHotspotsCsv(tr, result.variation, oldOut);
+  writeAnalysisJson(tr, result.selection, *result.sos, result.variation,
+                    oldOut);
+
+  std::ostringstream newOut;
+  exportReport(tr, result, ExportFormat::Csv, newOut);
+  exportReport(tr, result, ExportFormat::CsvIterations, newOut);
+  exportReport(tr, result, ExportFormat::CsvHotspots, newOut);
+  exportReport(tr, result, ExportFormat::Json, newOut);
+
+  EXPECT_EQ(oldOut.str(), newOut.str());
+}
+#pragma GCC diagnostic pop
 
 // --- ASCII timeline ------------------------------------------------------------------
 

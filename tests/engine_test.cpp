@@ -1,0 +1,324 @@
+/// Differential + concurrency tests for engine::AnalysisEngine: every
+/// answer the engine serves — cold, warm (cache hit), serial or pooled —
+/// must be byte-identical to a fresh analyzeTrace() run with the same
+/// options, across the three canonical scenario traces (Figure 2,
+/// Figure 3, small COSMO-SPECS). Labeled `parallel` so the TSan CI job
+/// exercises the concurrent query paths.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/pipeline.hpp"
+#include "apps/cosmo_specs.hpp"
+#include "apps/paper_examples.hpp"
+#include "engine/engine.hpp"
+#include "sim/simulator.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/builder.hpp"
+#include "util/error.hpp"
+
+namespace perfvar {
+namespace {
+
+trace::Trace smallCosmo() {
+  apps::CosmoSpecsConfig cfg;
+  cfg.gridX = 4;
+  cfg.gridY = 4;
+  cfg.timesteps = 12;
+  const auto scenario = apps::buildCosmoSpecs(cfg);
+  return sim::simulate(scenario.program, scenario.simOptions);
+}
+
+struct Scenario {
+  const char* name;
+  trace::Trace tr;
+};
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> out;
+  out.push_back({"figure2", apps::buildFigure2Trace()});
+  out.push_back({"figure3", apps::buildFigure3Trace()});
+  out.push_back({"cosmo4x4", smallCosmo()});
+  return out;
+}
+
+/// The reference answer: a fresh serial pipeline run rendered to text
+/// (formatAnalysis covers every stage's fields, so byte equality of the
+/// report is the differential oracle the golden tests already rely on).
+std::string reference(const trace::Trace& tr,
+                      const analysis::PipelineOptions& opts = {}) {
+  return analysis::formatAnalysis(tr, analysis::analyzeTrace(tr, opts));
+}
+
+// ---- warm cache is byte-identical to analyzeTrace ------------------------
+
+TEST(Engine, ColdAndWarmQueriesMatchSerialPipeline) {
+  for (auto& s : scenarios()) {
+    SCOPED_TRACE(s.name);
+    const std::string expected = reference(s.tr);
+    engine::AnalysisEngine eng{std::move(s.tr)};
+
+    EXPECT_EQ(eng.formatReport(), expected);  // cold: every stage computed
+    const engine::CacheStats afterCold = eng.cacheStats();
+    EXPECT_EQ(afterCold.hits, 0u);
+    EXPECT_GT(afterCold.misses, 0u);
+    EXPECT_GT(afterCold.bytes, 0u);
+
+    EXPECT_EQ(eng.formatReport(), expected);  // warm: every stage a hit
+    const engine::CacheStats afterWarm = eng.cacheStats();
+    EXPECT_GT(afterWarm.hits, afterCold.hits);
+    EXPECT_EQ(afterWarm.misses, afterCold.misses);
+  }
+}
+
+TEST(Engine, PooledEngineMatchesSerialPipeline) {
+  for (auto& s : scenarios()) {
+    SCOPED_TRACE(s.name);
+    const std::string expected = reference(s.tr);
+    engine::EngineOptions eopts;
+    eopts.threads = 4;
+    engine::AnalysisEngine eng{std::move(s.tr), eopts};
+    EXPECT_EQ(eng.formatReport(), expected);
+    EXPECT_EQ(eng.formatReport(), expected);
+  }
+}
+
+TEST(Engine, ExportsMatchTheUnifiedExporters) {
+  const trace::Trace tr = apps::buildFigure3Trace();  // outlives `serial`
+  const analysis::AnalysisResult serial = analysis::analyzeTrace(tr);
+  engine::AnalysisEngine eng{trace::Trace(tr)};
+  using analysis::ExportFormat;
+  for (const ExportFormat format :
+       {ExportFormat::Text, ExportFormat::Json, ExportFormat::Csv,
+        ExportFormat::CsvIterations, ExportFormat::CsvHotspots}) {
+    std::ostringstream viaEngine;
+    eng.exportReport(format, viaEngine);
+    EXPECT_EQ(viaEngine.str(), analysis::exportReportString(tr, serial, format));
+  }
+}
+
+// ---- drill-down sweeps reuse upstream stages -----------------------------
+
+TEST(Engine, CandidateIndexSweepMatchesSerialAndSkipsUpstreamStages) {
+  trace::Trace cosmo = smallCosmo();
+  const trace::Trace probe = cosmo;  // analyzeTrace needs an lvalue copy
+  engine::AnalysisEngine eng{std::move(cosmo)};
+  const std::size_t candidates =
+      eng.dominant()->candidates.size();
+  ASSERT_GE(candidates, 1u);
+
+  for (std::size_t k = 0; k < candidates && k < 3; ++k) {
+    SCOPED_TRACE("candidate=" + std::to_string(k));
+    analysis::PipelineOptions opts;
+    opts.candidateIndex = k;
+    EXPECT_EQ(eng.formatReport(opts), reference(probe, opts));
+  }
+
+  // A re-queried candidateIndex is a pure cache hit: no new misses.
+  const engine::CacheStats before = eng.cacheStats();
+  analysis::PipelineOptions opts;
+  opts.candidateIndex = 0;
+  (void)eng.analyze(opts);
+  const engine::CacheStats after = eng.cacheStats();
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_GT(after.hits, before.hits);
+}
+
+TEST(Engine, ThresholdSweepRecomputesOnlyTheVariationStage) {
+  trace::Trace cosmo = smallCosmo();
+  const trace::Trace probe = cosmo;
+  engine::AnalysisEngine eng{std::move(cosmo)};
+  (void)eng.analyze();  // warm profile/dominant/SOS
+  const engine::CacheStats warm = eng.cacheStats();
+
+  for (const double z : {2.0, 2.5, 3.0}) {
+    SCOPED_TRACE("outlierThreshold=" + std::to_string(z));
+    analysis::PipelineOptions opts;
+    opts.variation.outlierThreshold = z;
+    EXPECT_EQ(eng.formatReport(opts), reference(probe, opts));
+  }
+  // Three new variation keys -> exactly three misses; the profile,
+  // dominant and SOS stages were all served from cache.
+  EXPECT_EQ(eng.cacheStats().misses, warm.misses + 3);
+
+  // maxHotspots is part of the variation fingerprint too.
+  analysis::PipelineOptions opts;
+  opts.variation.maxHotspots = 1;
+  EXPECT_EQ(eng.formatReport(opts), reference(probe, opts));
+}
+
+TEST(Engine, DominantOptionsAreKeyedSeparately) {
+  trace::Trace tr = apps::buildFigure2Trace();
+  const trace::Trace probe = tr;
+  engine::AnalysisEngine eng{std::move(tr)};
+  analysis::DominantOptions strict;
+  strict.invocationMultiplier = 3;
+  const auto base = eng.dominant();
+  const auto strictSel = eng.dominant(strict);
+  EXPECT_EQ(base->candidates.size(),
+            analysis::selectDominantFunction(probe).candidates.size());
+  EXPECT_EQ(strictSel->candidates.size(),
+            analysis::selectDominantFunction(probe, strict).candidates.size());
+  // Both keys now resident: re-queries are hits.
+  const engine::CacheStats before = eng.cacheStats();
+  (void)eng.dominant();
+  (void)eng.dominant(strict);
+  EXPECT_EQ(eng.cacheStats().misses, before.misses);
+}
+
+// ---- error behavior matches analyzeTrace ---------------------------------
+
+TEST(Engine, ErrorsMatchAnalyzeTrace) {
+  trace::Trace tr = apps::buildFigure3Trace();
+  engine::AnalysisEngine eng{std::move(tr)};
+  analysis::PipelineOptions opts;
+  opts.candidateIndex = 10000;
+  EXPECT_THROW((void)eng.analyze(opts), Error);
+
+  // A trace with no qualifying candidate throws like the pipeline does.
+  trace::TraceBuilder b(1);
+  const auto f = b.defineFunction("main");
+  b.enter(0, 0, f);
+  b.leave(0, 100, f);
+  engine::AnalysisEngine empty{b.finish()};
+  EXPECT_THROW((void)empty.analyze(), Error);
+}
+
+// ---- eviction and lifetime -----------------------------------------------
+
+TEST(Engine, LruEvictionKeepsResultsCorrectAndOwned) {
+  trace::Trace cosmo = smallCosmo();
+  const trace::Trace probe = cosmo;
+  engine::EngineOptions eopts;
+  eopts.maxCacheEntries = 3;  // profile exempt; forces derived-stage churn
+  engine::AnalysisEngine eng{std::move(cosmo), eopts};
+
+  const engine::EngineResult first = eng.analyze();
+  const std::string firstReport = reference(probe);
+
+  for (int i = 0; i < 6; ++i) {  // six distinct variation keys
+    analysis::PipelineOptions opts;
+    opts.variation.maxHotspots = static_cast<std::size_t>(10 + i);
+    EXPECT_EQ(eng.formatReport(opts), reference(probe, opts));
+  }
+  EXPECT_GT(eng.cacheStats().evictions, 0u);
+
+  // The result handed out before the churn still works (shared ownership).
+  EXPECT_EQ(analysis::formatAnalysis(*first.trace, *first.selection,
+                                     *first.sos, *first.variation),
+            firstReport);
+  // And a re-query after eviction recomputes correctly.
+  EXPECT_EQ(eng.formatReport(), firstReport);
+}
+
+TEST(Engine, ClearCacheDropsBytesButKeepsAnswersIdentical) {
+  trace::Trace tr = apps::buildFigure3Trace();
+  const std::string expected = reference(tr);
+  engine::AnalysisEngine eng{std::move(tr)};
+  EXPECT_EQ(eng.formatReport(), expected);
+  EXPECT_GT(eng.cacheStats().bytes, 0u);
+  eng.clearCache();
+  EXPECT_EQ(eng.cacheStats().bytes, 0u);
+  EXPECT_EQ(eng.formatReport(), expected);
+}
+
+TEST(Engine, ResultOutlivesTheEngine) {
+  engine::EngineResult result;
+  std::string expected;
+  {
+    trace::Trace tr = apps::buildFigure2Trace();
+    expected = reference(tr);
+    engine::AnalysisEngine eng{std::move(tr)};
+    result = eng.analyze();
+  }
+  // The engine is gone; the shared trace and stages keep the result valid.
+  EXPECT_EQ(analysis::formatAnalysis(*result.trace, *result.selection,
+                                     *result.sos, *result.variation),
+            expected);
+}
+
+// ---- file loading --------------------------------------------------------
+
+TEST(Engine, FromFileAnswersLikeTheInMemoryEngine) {
+  const trace::Trace tr = apps::buildFigure3Trace();
+  const std::string path = "engine_test_fig3.pvt";
+  trace::saveBinaryFile(tr, path);
+  auto eng = engine::AnalysisEngine::fromFile(path);
+  EXPECT_EQ(eng.formatReport(), reference(tr));
+  std::remove(path.c_str());
+}
+
+// ---- stats rendering -----------------------------------------------------
+
+TEST(Engine, FormatCacheStatsIsStable) {
+  engine::CacheStats stats;
+  stats.hits = 7;
+  stats.misses = 3;
+  stats.evictions = 1;
+  stats.bytes = 4096;
+  EXPECT_EQ(engine::formatCacheStats(stats),
+            "cache: hits=7 misses=3 evictions=1 bytes=4096");
+}
+
+// ---- concurrency (the TSan job runs this file) ---------------------------
+
+TEST(Engine, ConcurrentMixedQueriesAgreeWithSerialAnswers) {
+  trace::Trace cosmo = smallCosmo();
+  const trace::Trace probe = cosmo;
+  engine::EngineOptions eopts;
+  eopts.threads = 2;  // pool + concurrent callers: the contended path
+  engine::AnalysisEngine eng{std::move(cosmo), eopts};
+
+  // Precompute the expected answers serially.
+  std::vector<analysis::PipelineOptions> queries;
+  for (const double z : {2.5, 3.5}) {
+    analysis::PipelineOptions opts;
+    opts.variation.outlierThreshold = z;
+    queries.push_back(opts);
+  }
+  std::vector<std::string> expected;
+  expected.reserve(queries.size());
+  for (const auto& q : queries) {
+    expected.push_back(reference(probe, q));
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 4;
+  std::vector<int> mismatches(kThreads, 0);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (int r = 0; r < kRounds; ++r) {
+          const std::size_t q =
+              static_cast<std::size_t>(t + r) % queries.size();
+          if (eng.formatReport(queries[q]) != expected[q]) {
+            ++mismatches[static_cast<std::size_t>(t)];
+          }
+        }
+      });
+    }
+    for (auto& w : workers) {
+      w.join();
+    }
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[static_cast<std::size_t>(t)], 0)
+        << "thread " << t << " observed a divergent cached answer";
+  }
+
+  // Exactly queries.size() variation keys (plus the shared upstream
+  // stages) were ever computed; everything else was served from cache.
+  const engine::CacheStats stats = eng.cacheStats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+}  // namespace
+}  // namespace perfvar

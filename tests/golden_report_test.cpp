@@ -15,7 +15,6 @@
 #include <sstream>
 #include <string>
 
-#include "analysis/parallel.hpp"
 #include "analysis/pipeline.hpp"
 #include "apps/cosmo_specs.hpp"
 #include "apps/paper_examples.hpp"
@@ -95,20 +94,18 @@ TEST(GoldenReport, SmallCosmoSpecsTrace) {
 }
 
 TEST(GoldenReport, ParallelPipelineReproducesTheGoldenReports) {
-  analysis::ParallelPipelineOptions opts;
+  analysis::PipelineOptions opts;
   opts.threads = 4;
   const trace::Trace fig2 = apps::buildFigure2Trace();
   const trace::Trace fig3 = apps::buildFigure3Trace();
   const trace::Trace cosmo = smallCosmo();
   checkGolden("figure2_report.txt",
-              analysis::formatAnalysis(
-                  fig2, analysis::analyzeTraceParallel(fig2, opts)));
+              analysis::formatAnalysis(fig2, analysis::analyzeTrace(fig2, opts)));
   checkGolden("figure3_report.txt",
-              analysis::formatAnalysis(
-                  fig3, analysis::analyzeTraceParallel(fig3, opts)));
+              analysis::formatAnalysis(fig3, analysis::analyzeTrace(fig3, opts)));
   checkGolden("cosmo_4x4_report.txt",
-              analysis::formatAnalysis(
-                  cosmo, analysis::analyzeTraceParallel(cosmo, opts)));
+              analysis::formatAnalysis(cosmo,
+                                       analysis::analyzeTrace(cosmo, opts)));
 }
 
 }  // namespace

@@ -1,7 +1,8 @@
 /// Differential harness for the parallel analysis engine: for a matrix of
 /// trace shapes (uniform, imbalanced, interrupted-rank, zero-segment,
 /// single-rank, simulated) and thread counts {1, 2, 4, hardware},
-/// analyzeTraceParallel() must produce output that is field-for-field
+/// analyzeTrace() with PipelineOptions::threads != 1 must produce output
+/// that is field-for-field
 /// identical to the serial analyzeTrace() — same DominantSelection, same
 /// SOS vectors (including paradigm breakdown and metric deltas), same
 /// VariationReport. Exact double comparisons throughout: the guarantee is
@@ -301,10 +302,9 @@ TEST(ParallelDifferential, FullPipelineMatchesSerialAcrossMatrix) {
     for (const std::size_t threads : threadMatrix()) {
       SCOPED_TRACE(std::string(c.name) + ", threads=" +
                    std::to_string(threads));
-      analysis::ParallelPipelineOptions opts;
+      analysis::PipelineOptions opts;
       opts.threads = threads;
-      const analysis::AnalysisResult par =
-          analysis::analyzeTraceParallel(c.tr, opts);
+      const analysis::AnalysisResult par = analysis::analyzeTrace(c.tr, opts);
       expectProfileEqual(serial.profile, par.profile, c.tr);
       expectSelectionEqual(serial.selection, par.selection);
       EXPECT_EQ(serial.segmentFunction, par.segmentFunction);
@@ -324,14 +324,39 @@ TEST(ParallelDifferential, GrainSizeDoesNotChangeTheResult) {
   for (const std::size_t grain : {std::size_t{1}, std::size_t{3},
                                   std::size_t{8}, std::size_t{100}}) {
     SCOPED_TRACE("grain=" + std::to_string(grain));
-    analysis::ParallelPipelineOptions opts;
+    analysis::PipelineOptions opts;
     opts.threads = 4;
     opts.grainSizeRanks = grain;
-    const analysis::AnalysisResult par = analysis::analyzeTraceParallel(tr, opts);
+    const analysis::AnalysisResult par = analysis::analyzeTrace(tr, opts);
     expectSosEqual(*serial.sos, *par.sos);
     expectVariationEqual(serial.variation, par.variation);
   }
 }
+
+// The deprecated wrapper must keep forwarding to the unified entry point
+// with identical results until it is removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(ParallelDifferential, DeprecatedWrapperMatchesUnifiedEntryPoint) {
+  const trace::Trace tr = buildSynthetic(6, 10, Shape::Imbalanced);
+  analysis::PipelineOptions unified;
+  unified.threads = 3;
+  unified.grainSizeRanks = 2;
+  const analysis::AnalysisResult direct = analysis::analyzeTrace(tr, unified);
+
+  analysis::ParallelPipelineOptions legacy;
+  legacy.threads = 3;
+  legacy.grainSizeRanks = 2;
+  const analysis::AnalysisResult viaWrapper =
+      analysis::analyzeTraceParallel(tr, legacy);
+
+  expectSelectionEqual(direct.selection, viaWrapper.selection);
+  expectSosEqual(*direct.sos, *viaWrapper.sos);
+  expectVariationEqual(direct.variation, viaWrapper.variation);
+  EXPECT_EQ(analysis::formatAnalysis(tr, direct),
+            analysis::formatAnalysis(tr, viaWrapper));
+}
+#pragma GCC diagnostic pop
 
 TEST(ParallelDifferential, StageEntryPointsMatchSerial) {
   const trace::Trace tr = buildSimulated();

@@ -6,7 +6,6 @@
 #include <gtest/gtest.h>
 
 #include "analysis/overlay.hpp"
-#include "analysis/parallel.hpp"
 #include "analysis/pipeline.hpp"
 #include "profile/profile.hpp"
 #include "sim/program.hpp"
@@ -178,9 +177,9 @@ TEST_P(PipelineSweep, SosBoundsAndSegmentCountsHold) {
 TEST_P(PipelineSweep, SosInvariantsHoldUnderTheParallelPipeline) {
   const GeneratedRun run = generate(GetParam());
   for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
-    analysis::ParallelPipelineOptions opts;
+    analysis::PipelineOptions opts;
     opts.threads = threads;
-    const auto result = analysis::analyzeTraceParallel(run.tr, opts);
+    const auto result = analysis::analyzeTrace(run.tr, opts);
     expectSosInvariants(result);
     // And the parallel engine's SOS values equal the serial ones.
     const auto serial = analysis::analyzeSos(run.tr, run.stepFunction);

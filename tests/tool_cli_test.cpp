@@ -1,0 +1,180 @@
+/// End-to-end integration tests for the trace_tool CLI: exit-code
+/// contract (0 success, 1 runtime error, 2 usage error), rejection of
+/// unknown flags/commands, and the `query` session answering from one
+/// loaded trace. The binary path comes in via PERFVAR_TRACE_TOOL_BIN.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include <sys/wait.h>
+
+#include "apps/cosmo_specs.hpp"
+#include "sim/simulator.hpp"
+#include "trace/binary_io.hpp"
+
+#ifndef PERFVAR_TRACE_TOOL_BIN
+#error "PERFVAR_TRACE_TOOL_BIN must point at the trace_tool executable"
+#endif
+
+namespace perfvar {
+namespace {
+
+struct RunResult {
+  int exitCode = -1;
+  std::string out;
+};
+
+/// Run a shell command, capture stdout and the exit code. stderr is left
+/// alone (it shows up in the test log, which is where diagnostics belong).
+RunResult run(const std::string& command) {
+  RunResult r;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    return r;
+  }
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = fread(buf, 1, sizeof buf, pipe)) > 0) {
+    r.out.append(buf, n);
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) {
+    r.exitCode = WEXITSTATUS(status);
+  }
+  return r;
+}
+
+std::string tool() { return std::string(PERFVAR_TRACE_TOOL_BIN); }
+
+/// Shared fixture trace on disk (written once per test binary).
+const std::string& tracePath() {
+  static const std::string path = [] {
+    apps::CosmoSpecsConfig cfg;
+    cfg.gridX = 4;
+    cfg.gridY = 4;
+    cfg.timesteps = 12;
+    const auto scenario = apps::buildCosmoSpecs(cfg);
+    const trace::Trace tr =
+        sim::simulate(scenario.program, scenario.simOptions);
+    const std::string p = "tool_cli_test.pvt";
+    trace::saveBinaryFile(tr, p);
+    return p;
+  }();
+  return path;
+}
+
+// ---- exit-code contract --------------------------------------------------
+
+TEST(ToolCli, HelpPrintsUsageAndExitsZero) {
+  const RunResult r = run(tool() + " --help");
+  EXPECT_EQ(r.exitCode, 0);
+  EXPECT_NE(r.out.find("usage: trace_tool"), std::string::npos);
+  EXPECT_NE(r.out.find("exit codes:"), std::string::npos);
+}
+
+TEST(ToolCli, UnknownOptionIsAUsageError) {
+  const RunResult r = run(tool() + " --frobnicate 2>/dev/null");
+  EXPECT_EQ(r.exitCode, 2);
+}
+
+TEST(ToolCli, UnknownCommandIsAUsageError) {
+  const RunResult r = run(tool() + " frobnicate 2>/dev/null");
+  EXPECT_EQ(r.exitCode, 2);
+}
+
+TEST(ToolCli, MissingArgumentsAreAUsageError) {
+  EXPECT_EQ(run(tool() + " analyze 2>/dev/null").exitCode, 2);
+  EXPECT_EQ(run(tool() + " slice a b 2>/dev/null").exitCode, 2);
+  EXPECT_EQ(run(tool() + " --threads 2>/dev/null").exitCode, 2);
+  EXPECT_EQ(run(tool() + " --threads x analyze t.pvt 2>/dev/null").exitCode,
+            2);
+}
+
+TEST(ToolCli, UnreadableTraceIsARuntimeError) {
+  const RunResult r =
+      run(tool() + " stats definitely_missing.pvt 2>/dev/null");
+  EXPECT_EQ(r.exitCode, 1);
+}
+
+TEST(ToolCli, UnknownScenarioIsARuntimeError) {
+  const RunResult r =
+      run(tool() + " generate no-such-scenario out.pvt 2>/dev/null");
+  EXPECT_EQ(r.exitCode, 1);
+}
+
+// ---- one-shot analysis ---------------------------------------------------
+
+TEST(ToolCli, AnalyzeSucceedsAndThreadsDoNotChangeTheOutput) {
+  const RunResult serial = run(tool() + " analyze " + tracePath());
+  ASSERT_EQ(serial.exitCode, 0);
+  EXPECT_NE(serial.out.find("dominant"), std::string::npos);
+
+  const RunResult parallel =
+      run(tool() + " --threads 4 analyze " + tracePath());
+  ASSERT_EQ(parallel.exitCode, 0);
+  EXPECT_EQ(parallel.out, serial.out);
+}
+
+// ---- the query session ---------------------------------------------------
+
+TEST(ToolCli, QuerySessionMatchesOneShotAnalyze) {
+  const RunResult oneShot = run(tool() + " analyze " + tracePath());
+  ASSERT_EQ(oneShot.exitCode, 0);
+
+  // Two analyzes: the second is served from the engine's stage cache and
+  // must render byte-identically.
+  const RunResult session =
+      run("printf 'analyze\\nanalyze\\nquit\\n' | " + tool() + " query " +
+          tracePath());
+  ASSERT_EQ(session.exitCode, 0);
+  EXPECT_EQ(session.out, oneShot.out + oneShot.out);
+}
+
+TEST(ToolCli, QueryCacheReportsHitsAfterARepeatedAnalyze) {
+  const RunResult session =
+      run("printf 'analyze\\nanalyze\\ncache\\nquit\\n' | " + tool() +
+          " query " + tracePath() + " > /dev/null; echo done");
+  // Re-run capturing only the cache line.
+  const RunResult cacheLine =
+      run("printf 'analyze\\nanalyze\\ncache\\nquit\\n' | " + tool() +
+          " query " + tracePath() + " | grep '^cache:'");
+  ASSERT_EQ(session.exitCode, 0);
+  ASSERT_NE(cacheLine.out.find("cache: hits="), std::string::npos);
+  EXPECT_EQ(cacheLine.out.find("cache: hits=0 "), std::string::npos)
+      << "the repeated analyze should have produced cache hits: "
+      << cacheLine.out;
+}
+
+TEST(ToolCli, QueryDrilldownOptionsChangeTheReport) {
+  const RunResult session =
+      run("printf 'analyze\\nanalyze threshold 2.0 max-hotspots 3\\nquit\\n'"
+          " | " + tool() + " query " + tracePath());
+  ASSERT_EQ(session.exitCode, 0);
+  EXPECT_NE(session.out.find("dominant"), std::string::npos);
+}
+
+TEST(ToolCli, QueryExportJsonMatchesOneShotExport) {
+  const RunResult oneShot = run(tool() + " export-json " + tracePath());
+  ASSERT_EQ(oneShot.exitCode, 0);
+  const RunResult session = run("printf 'export json\\nquit\\n' | " + tool() +
+                                " query " + tracePath());
+  ASSERT_EQ(session.exitCode, 0);
+  EXPECT_EQ(session.out, oneShot.out);
+}
+
+TEST(ToolCli, QueryUnknownCommandIsAUsageError) {
+  const RunResult r = run("printf 'frobnicate\\n' | " + tool() + " query " +
+                          tracePath() + " 2>/dev/null");
+  EXPECT_EQ(r.exitCode, 2);
+}
+
+TEST(ToolCli, QueryBadOptionValueIsAUsageError) {
+  const RunResult r = run("printf 'analyze candidate x\\n' | " + tool() +
+                          " query " + tracePath() + " 2>/dev/null");
+  EXPECT_EQ(r.exitCode, 2);
+}
+
+}  // namespace
+}  // namespace perfvar
