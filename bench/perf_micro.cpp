@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <fstream>
 #include <sstream>
 
 #include "analysis/overlay.hpp"
@@ -294,6 +295,169 @@ void BM_EngineWarmDrilldown(benchmark::State& state) {
   state.counters["misses"] = static_cast<double>(stats.misses);
 }
 BENCHMARK(BM_EngineWarmDrilldown);
+
+// ---- trace I/O: format v1 vs v2, mmap load, parallel decode ---------------
+//
+// The BM_Io* family quantifies the cold-load path the paper's workflow
+// starts with: the legacy v1 stream codec (per-byte checksum through
+// virtual istream calls, serial) against the block-based v2 codec
+// (block-wise buffer checksums, zero-copy mmap load, per-rank parallel
+// decode). CI runs these on the 64-rank trace with
+//   perf_micro --benchmark_filter=BM_Io
+//              --benchmark_out=BENCH_io.json --benchmark_out_format=json
+// and archives BENCH_io.json; BM_IoLoadSpeedup64's `speedup` counter is
+// the headline v1-serial vs v2-mmap-threaded cold-load ratio.
+
+/// 64-rank trace at the paper's event scale (hundreds of thousands of
+/// events), so the fixed costs (pool spin-up, header parse) are measured
+/// against a realistic decode volume.
+const trace::Trace& ioTrace() {
+  static const trace::Trace tr = makeTrace(64, 200);
+  return tr;
+}
+
+/// 64-rank trace written once per process in both formats.
+struct IoFixture {
+  std::string v1Path = "perf_micro_io_v1.pvt";
+  std::string v2Path = "perf_micro_io_v2.pvt";
+  std::size_t v1Bytes = 0;
+  std::size_t v2Bytes = 0;
+};
+
+const IoFixture& ioFixture() {
+  static const IoFixture fixture = [] {
+    IoFixture f;
+    trace::BinaryWriteOptions v1;
+    v1.version = trace::kBinaryFormatV1;
+    trace::saveBinaryFile(ioTrace(), f.v1Path, v1);
+    trace::saveBinaryFile(ioTrace(), f.v2Path);  // v2 default
+    const auto size = [](const std::string& path) {
+      std::ifstream in(path, std::ios::binary | std::ios::ate);
+      return static_cast<std::size_t>(in.tellg());
+    };
+    f.v1Bytes = size(f.v1Path);
+    f.v2Bytes = size(f.v2Path);
+    return f;
+  }();
+  return fixture;
+}
+
+std::string binaryImage(std::uint32_t version) {
+  std::ostringstream os;
+  trace::BinaryWriteOptions opts;
+  opts.version = version;
+  trace::writeBinary(trace64(), os, opts);
+  return os.str();
+}
+
+void BM_IoEncodeV1(benchmark::State& state) {
+  const trace::Trace& tr = trace64();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream os;
+    trace::BinaryWriteOptions opts;
+    opts.version = trace::kBinaryFormatV1;
+    trace::writeBinary(tr, os, opts);
+    bytes = os.str().size();
+    benchmark::DoNotOptimize(os);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_IoEncodeV1);
+
+void BM_IoEncodeV2(benchmark::State& state) {
+  const trace::Trace& tr = trace64();
+  trace::BinaryWriteOptions opts;
+  opts.threads = static_cast<std::size_t>(state.range(0));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream os;
+    trace::writeBinary(tr, os, opts);
+    bytes = os.str().size();
+    benchmark::DoNotOptimize(os);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_IoEncodeV2)->Arg(1)->Arg(8);
+
+void BM_IoDecodeV1(benchmark::State& state) {
+  const std::string bytes = binaryImage(trace::kBinaryFormatV1);
+  for (auto _ : state) {
+    std::istringstream is(bytes);
+    benchmark::DoNotOptimize(trace::readBinary(is));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_IoDecodeV1)->Unit(benchmark::kMillisecond);
+
+void BM_IoDecodeV2(benchmark::State& state) {
+  const std::string bytes = binaryImage(trace::kBinaryFormatV2);
+  trace::BinaryReadOptions opts;
+  opts.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trace::readBinaryBuffer(bytes.data(), bytes.size(), opts));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_IoDecodeV2)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IoColdLoadV1(benchmark::State& state) {
+  const IoFixture& f = ioFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::loadBinaryFile(f.v1Path));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.v1Bytes));
+}
+BENCHMARK(BM_IoColdLoadV1)->Unit(benchmark::kMillisecond);
+
+void BM_IoColdLoadV2(benchmark::State& state) {
+  const IoFixture& f = ioFixture();
+  trace::BinaryReadOptions opts;
+  opts.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::loadBinaryFile(f.v2Path, opts));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.v2Bytes));
+}
+BENCHMARK(BM_IoColdLoadV2)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Headline cold-load comparison on the 64-rank trace: v1 serial stream
+/// load vs v2 mmap + parallel decode (hardware threads). The `speedup`
+/// counter is the acceptance number recorded in BENCH_io.json; the size
+/// counters document that v2 is also the smaller file.
+void BM_IoLoadSpeedup64(benchmark::State& state) {
+  const IoFixture& f = ioFixture();
+  trace::BinaryReadOptions v2opts;
+  v2opts.threads = 0;  // hardware concurrency
+  using clock = std::chrono::steady_clock;
+  double v1Sec = 0.0;
+  double v2Sec = 0.0;
+  for (auto _ : state) {
+    const auto t0 = clock::now();
+    benchmark::DoNotOptimize(trace::loadBinaryFile(f.v1Path));
+    const auto t1 = clock::now();
+    benchmark::DoNotOptimize(trace::loadBinaryFile(f.v2Path, v2opts));
+    const auto t2 = clock::now();
+    v1Sec += std::chrono::duration<double>(t1 - t0).count();
+    v2Sec += std::chrono::duration<double>(t2 - t1).count();
+  }
+  const double n = static_cast<double>(state.iterations());
+  state.counters["v1_serial_s"] = v1Sec / n;
+  state.counters["v2_mmap_threads_s"] = v2Sec / n;
+  state.counters["speedup"] = v2Sec > 0.0 ? v1Sec / v2Sec : 0.0;
+  state.counters["v1_bytes"] = static_cast<double>(f.v1Bytes);
+  state.counters["v2_bytes"] = static_cast<double>(f.v2Bytes);
+}
+BENCHMARK(BM_IoLoadSpeedup64)->Unit(benchmark::kMillisecond);
 
 void BM_OverlaySample(benchmark::State& state) {
   const trace::Trace& tr = sharedTrace();

@@ -2,6 +2,8 @@
 /// Command-line utility around the trace substrate:
 ///
 ///   trace_tool generate <scenario> <out.pvt>   write a case-study trace
+///   trace_tool info <in.pvt>                   format version, file size,
+///                                              per-rank blocks
 ///   trace_tool stats <in.pvt>                  print trace statistics
 ///   trace_tool validate <in.pvt>               structural validation
 ///   trace_tool profile <in.pvt>                top functions by time
@@ -15,9 +17,11 @@
 ///   trace_tool query <in.pvt>                  load once, answer many
 ///                                              queries read from stdin
 ///
-/// Global options: --threads N runs the analysis commands on N worker
-/// threads (0 = all hardware threads; output is bit-identical to serial);
-/// --help prints the usage text. Unknown options are rejected.
+/// Global options: --threads N runs the analysis commands — and the v2
+/// trace decode — on N worker threads (0 = all hardware threads; output
+/// is bit-identical to serial); --format v1|v2 selects the binary layout
+/// written by generate/slice/archive/unarchive (default v2); --help
+/// prints the usage text. Unknown options are rejected.
 ///
 /// Exit codes: 0 = success, 1 = runtime/analysis error (unreadable trace,
 /// no dominant function, failed validation, ...), 2 = usage error
@@ -73,9 +77,11 @@ trace::Trace generateScenario(const std::string& name) {
 
 void printUsage(std::ostream& out) {
   out <<
-      "usage: trace_tool [--threads N] <command> [args]\n"
+      "usage: trace_tool [--threads N] [--format v1|v2] <command> [args]\n"
       "  generate <scenario> <out.pvt>  scenario: cosmo-specs |\n"
       "                                 cosmo-specs-fd4 | wrf\n"
+      "  info <in.pvt>                  format version, file size and\n"
+      "                                 per-rank block sizes/event counts\n"
       "  stats <in.pvt>                 trace statistics\n"
       "  validate <in.pvt>              structural validation\n"
       "  profile <in.pvt>               flat profile (top 20)\n"
@@ -97,8 +103,11 @@ void printUsage(std::ostream& out) {
       "                                   profile | stats | cache |\n"
       "                                   help | quit\n"
       "\n"
-      "  --threads N   run the analysis on N worker threads (0 = all\n"
-      "                hardware threads); results are identical to serial\n"
+      "  --threads N   run the analysis and the v2 trace decode on N\n"
+      "                worker threads (0 = all hardware threads); results\n"
+      "                are identical to serial\n"
+      "  --format V    binary layout written by generate/slice/archive/\n"
+      "                unarchive: v1 (legacy) or v2 (default)\n"
       "  --help        print this text\n"
       "\n"
       "exit codes: 0 success, 1 runtime/analysis error, 2 usage error\n";
@@ -261,7 +270,8 @@ int runQuerySession(engine::AnalysisEngine& eng, std::istream& in,
 
 int main(int argc, char** argv) {
   try {
-    std::size_t threads = 1;  // 1 = serial pipeline
+    std::size_t threads = 1;  // 1 = serial pipeline and serial decode
+    std::uint32_t format = trace::kBinaryFormatVersion;
     std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -279,6 +289,19 @@ int main(int argc, char** argv) {
           return usageError("--threads expects a non-negative integer, "
                             "got '" + value + "'");
         }
+      } else if (arg == "--format") {
+        if (i + 1 >= argc) {
+          return usageError("--format needs a value");
+        }
+        const std::string value = argv[++i];
+        if (value == "v1") {
+          format = trace::kBinaryFormatV1;
+        } else if (value == "v2") {
+          format = trace::kBinaryFormatV2;
+        } else {
+          return usageError("--format expects v1 or v2, got '" + value +
+                            "'");
+        }
       } else if (!arg.empty() && arg[0] == '-') {
         return usageError("unknown option '" + arg + "'");
       } else {
@@ -287,6 +310,11 @@ int main(int argc, char** argv) {
     }
     analysis::PipelineOptions pipelineOptions;
     pipelineOptions.threads = threads;
+    trace::BinaryWriteOptions writeOptions;
+    writeOptions.version = format;
+    writeOptions.threads = threads;
+    trace::BinaryReadOptions readOptions;
+    readOptions.threads = threads;
     if (args.empty()) {
       // Demo mode: exercise the full round trip on a small scenario.
       std::cout << "(no arguments: running the self-contained demo)\n\n";
@@ -314,7 +342,7 @@ int main(int argc, char** argv) {
         return usageError("'generate' expects <scenario> <out.pvt>");
       }
       const trace::Trace tr = generateScenario(args[1]);
-      trace::saveBinaryFile(tr, args[2]);
+      trace::saveBinaryFile(tr, args[2], writeOptions);
       std::cout << "wrote " << args[2] << " ("
                 << trace::computeStats(tr).eventCount << " events)\n";
       return kExitOk;
@@ -329,11 +357,11 @@ int main(int argc, char** argv) {
       if (!parseDouble(args[3], startSec) || !parseDouble(args[4], endSec)) {
         return usageError("'slice' expects numeric start/end seconds");
       }
-      const trace::Trace tr = trace::loadBinaryFile(args[1]);
+      const trace::Trace tr = trace::loadBinaryFile(args[1], readOptions);
       const trace::Trace sliced = trace::sliceTime(
           tr, trace::secondsToTicks(startSec, tr.resolution),
           trace::secondsToTicks(endSec, tr.resolution));
-      trace::saveBinaryFile(sliced, args[2]);
+      trace::saveBinaryFile(sliced, args[2], writeOptions);
       std::cout << "wrote " << args[2] << " (" << sliced.eventCount()
                 << " of " << tr.eventCount() << " events)\n";
       return kExitOk;
@@ -342,8 +370,8 @@ int main(int argc, char** argv) {
       if (args.size() != 3) {
         return usageError("'archive' expects <in.pvt> <dir>");
       }
-      const trace::Trace tr = trace::loadBinaryFile(args[1]);
-      trace::saveArchive(tr, args[2]);
+      const trace::Trace tr = trace::loadBinaryFile(args[1], readOptions);
+      trace::saveArchive(tr, args[2], writeOptions);
       std::cout << "wrote PVTA archive " << args[2] << " ("
                 << tr.processCount() << " rank files)\n";
       return kExitOk;
@@ -352,8 +380,10 @@ int main(int argc, char** argv) {
       if (args.size() != 3) {
         return usageError("'unarchive' expects <dir> <out.pvt>");
       }
-      const trace::Trace tr = trace::loadArchive(args[1]);
-      trace::saveBinaryFile(tr, args[2]);
+      trace::ArchiveReadOptions archiveOptions;
+      archiveOptions.threads = threads;
+      const trace::Trace tr = trace::loadArchive(args[1], archiveOptions);
+      trace::saveBinaryFile(tr, args[2], writeOptions);
       std::cout << "wrote " << args[2] << " (" << tr.eventCount()
                 << " events)\n";
       return kExitOk;
@@ -361,10 +391,26 @@ int main(int argc, char** argv) {
     if (args.size() != 2) {
       if (cmd == "stats" || cmd == "validate" || cmd == "profile" ||
           cmd == "analyze" || cmd == "dump" || cmd == "export-json" ||
-          cmd == "export-csv" || cmd == "query") {
+          cmd == "export-csv" || cmd == "query" || cmd == "info") {
         return usageError("'" + cmd + "' expects exactly one <in.pvt>");
       }
       return usageError("unknown command '" + cmd + "'");
+    }
+    if (cmd == "info") {
+      const trace::BinaryFileInfo info = trace::inspectBinaryFile(args[1]);
+      std::cout << "file: " << args[1] << '\n'
+                << "format: v" << info.version << '\n'
+                << "size: " << info.fileSize << " bytes\n"
+                << "resolution: " << info.resolution << " ticks/s\n"
+                << "events: " << info.eventCount << '\n'
+                << "processes: " << info.blocks.size() << '\n'
+                << "rank blocks:\n";
+      for (std::size_t i = 0; i < info.blocks.size(); ++i) {
+        const trace::BinaryBlockInfo& b = info.blocks[i];
+        std::cout << "  " << i << " \"" << b.process << "\": " << b.events
+                  << " events, " << b.bytes << " bytes\n";
+      }
+      return kExitOk;
     }
     if (cmd == "query") {
       engine::EngineOptions engineOptions;
@@ -372,7 +418,7 @@ int main(int argc, char** argv) {
       auto eng = engine::AnalysisEngine::fromFile(args[1], engineOptions);
       return runQuerySession(eng, std::cin, std::cout);
     }
-    const trace::Trace tr = trace::loadBinaryFile(args[1]);
+    const trace::Trace tr = trace::loadBinaryFile(args[1], readOptions);
     if (cmd == "stats") {
       std::cout << trace::formatStats(trace::computeStats(tr));
     } else if (cmd == "validate") {

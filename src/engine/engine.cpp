@@ -216,7 +216,12 @@ AnalysisEngine::~AnalysisEngine() = default;
 
 AnalysisEngine AnalysisEngine::fromFile(const std::string& path,
                                         EngineOptions options) {
-  return AnalysisEngine(trace::loadBinaryFile(path), options);
+  // Load with the same parallelism the engine will analyze with: v2
+  // trace files decode their per-rank blocks on that many threads
+  // (identical Trace for any thread count; v1 files load serially).
+  trace::BinaryReadOptions readOptions;
+  readOptions.threads = options.threads;
+  return AnalysisEngine(trace::loadBinaryFile(path, readOptions), options);
 }
 
 std::shared_ptr<const profile::FlatProfile> AnalysisEngine::profile() {

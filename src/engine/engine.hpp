@@ -109,7 +109,10 @@ public:
   AnalysisEngine(const AnalysisEngine&) = delete;
   AnalysisEngine& operator=(const AnalysisEngine&) = delete;
 
-  /// Load a PVT trace file and open a session over it.
+  /// Load a PVT trace file and open a session over it. The file is
+  /// memory-mapped and (for v2 files) its per-rank blocks are decoded on
+  /// `options.threads` workers; the loaded trace is identical for every
+  /// thread count.
   static AnalysisEngine fromFile(const std::string& path,
                                  EngineOptions options = {});
 

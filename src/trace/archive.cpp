@@ -2,10 +2,12 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <unordered_map>
 
 #include "trace/binary_io.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace perfvar::trace {
 
@@ -25,7 +27,8 @@ std::string rankPath(const std::string& dir, std::size_t rank) {
 
 }  // namespace
 
-void saveArchive(const Trace& tr, const std::string& directory) {
+void saveArchive(const Trace& tr, const std::string& directory,
+                 const BinaryWriteOptions& options) {
   std::error_code ec;
   std::filesystem::create_directories(directory, ec);
   PERFVAR_REQUIRE(!ec, "cannot create archive directory '" + directory + "'");
@@ -49,7 +52,7 @@ void saveArchive(const Trace& tr, const std::string& directory) {
     defs.metrics = tr.metrics;
     defs.processes.resize(1);
     defs.processes[0].name = "(definitions)";
-    saveBinaryFile(defs, definitionsPath(directory));
+    saveBinaryFile(defs, definitionsPath(directory), options);
   }
 
   // One event file per rank: a single-process PVTF without definitions
@@ -59,7 +62,7 @@ void saveArchive(const Trace& tr, const std::string& directory) {
     rankTrace.resolution = tr.resolution;
     rankTrace.processes.resize(1);
     rankTrace.processes[0] = tr.processes[r];
-    saveBinaryFile(rankTrace, rankPath(directory, r));
+    saveBinaryFile(rankTrace, rankPath(directory, r), options);
   }
 }
 
@@ -92,7 +95,8 @@ ArchiveInfo readArchiveInfo(const std::string& directory) {
 namespace {
 
 Trace loadSelected(const std::string& directory,
-                   const std::vector<ProcessId>& ranks, std::size_t total) {
+                   const std::vector<ProcessId>& ranks, std::size_t total,
+                   const ArchiveReadOptions& options) {
   Trace defs = loadBinaryFile(definitionsPath(directory));
 
   std::unordered_map<ProcessId, ProcessId> remap;
@@ -108,45 +112,59 @@ Trace loadSelected(const std::string& directory,
   out.functions = std::move(defs.functions);
   out.metrics = std::move(defs.metrics);
   out.processes.resize(ranks.size());
-  for (std::size_t i = 0; i < ranks.size(); ++i) {
-    Trace rankTrace = loadBinaryFile(rankPath(directory, ranks[i]));
-    PERFVAR_REQUIRE(rankTrace.processCount() == 1,
-                    "archive rank file must hold exactly one process");
-    PERFVAR_REQUIRE(rankTrace.resolution == out.resolution,
-                    "archive rank file resolution mismatch");
-    auto& dst = out.processes[i];
-    dst.name = std::move(rankTrace.processes[0].name);
-    dst.events.reserve(rankTrace.processes[0].events.size());
-    for (Event& e : rankTrace.processes[0].events) {
-      if (e.kind == EventKind::MpiSend || e.kind == EventKind::MpiRecv) {
-        const auto it = remap.find(e.ref);
-        if (it == remap.end()) {
-          continue;  // peer not part of the selection
-        }
-        e.ref = it->second;
-      }
-      dst.events.push_back(e);
-    }
+
+  // Rank files are independent, so they load in parallel; each task
+  // writes only its own process slot (the remap table is read-only), and
+  // slot order follows the selection, so the result is identical for
+  // every thread count.
+  std::unique_ptr<util::ThreadPool> pool;
+  if (options.threads != 1) {
+    pool = std::make_unique<util::ThreadPool>(options.threads);
   }
+  util::parallelChunks(
+      pool.get(), ranks.size(), 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          Trace rankTrace = loadBinaryFile(rankPath(directory, ranks[i]));
+          PERFVAR_REQUIRE(rankTrace.processCount() == 1,
+                          "archive rank file must hold exactly one process");
+          PERFVAR_REQUIRE(rankTrace.resolution == out.resolution,
+                          "archive rank file resolution mismatch");
+          auto& dst = out.processes[i];
+          dst.name = std::move(rankTrace.processes[0].name);
+          dst.events.reserve(rankTrace.processes[0].events.size());
+          for (Event& e : rankTrace.processes[0].events) {
+            if (e.kind == EventKind::MpiSend || e.kind == EventKind::MpiRecv) {
+              const auto it = remap.find(e.ref);
+              if (it == remap.end()) {
+                continue;  // peer not part of the selection
+              }
+              e.ref = it->second;
+            }
+            dst.events.push_back(e);
+          }
+        }
+      });
   return out;
 }
 
 }  // namespace
 
-Trace loadArchive(const std::string& directory) {
+Trace loadArchive(const std::string& directory,
+                  const ArchiveReadOptions& options) {
   const ArchiveInfo info = readArchiveInfo(directory);
   std::vector<ProcessId> all(info.ranks);
   for (std::size_t i = 0; i < info.ranks; ++i) {
     all[i] = static_cast<ProcessId>(i);
   }
-  return loadSelected(directory, all, info.ranks);
+  return loadSelected(directory, all, info.ranks, options);
 }
 
 Trace loadArchiveRanks(const std::string& directory,
-                       const std::vector<ProcessId>& ranks) {
+                       const std::vector<ProcessId>& ranks,
+                       const ArchiveReadOptions& options) {
   PERFVAR_REQUIRE(!ranks.empty(), "empty rank selection");
   const ArchiveInfo info = readArchiveInfo(directory);
-  return loadSelected(directory, ranks, info.ranks);
+  return loadSelected(directory, ranks, info.ranks, options);
 }
 
 }  // namespace perfvar::trace

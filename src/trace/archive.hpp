@@ -20,13 +20,25 @@
 #include <string>
 #include <vector>
 
+#include "trace/binary_io.hpp"
 #include "trace/trace.hpp"
 
 namespace perfvar::trace {
 
 /// Write `trace` as a PVTA archive directory (created if needed; existing
-/// archive files are overwritten).
-void saveArchive(const Trace& trace, const std::string& directory);
+/// archive files are overwritten). The per-rank PVTF files are written in
+/// `options.version` (v2 by default).
+void saveArchive(const Trace& trace, const std::string& directory,
+                 const BinaryWriteOptions& options = {});
+
+/// Options of the archive readers.
+struct ArchiveReadOptions {
+  /// Worker threads for loading rank files: 1 (default) loads serially,
+  /// 0 = hardware concurrency. Rank files are independent, each task
+  /// fills only its own process slot, so the result is identical for
+  /// every thread count.
+  std::size_t threads = 1;
+};
 
 /// Archive metadata from the anchor file.
 struct ArchiveInfo {
@@ -38,14 +50,16 @@ struct ArchiveInfo {
 ArchiveInfo readArchiveInfo(const std::string& directory);
 
 /// Load the complete archive.
-Trace loadArchive(const std::string& directory);
+Trace loadArchive(const std::string& directory,
+                  const ArchiveReadOptions& options = {});
 
 /// Load a subset of ranks. The resulting trace contains only the selected
 /// processes, renumbered densely in the given order (message peer ids are
 /// remapped; messages to unselected ranks are dropped, as in
 /// selectProcesses()).
 Trace loadArchiveRanks(const std::string& directory,
-                       const std::vector<ProcessId>& ranks);
+                       const std::vector<ProcessId>& ranks,
+                       const ArchiveReadOptions& options = {});
 
 }  // namespace perfvar::trace
 

@@ -1,0 +1,45 @@
+#ifndef PERFVAR_TRACE_BINARY_FORMAT_HPP
+#define PERFVAR_TRACE_BINARY_FORMAT_HPP
+
+/// \file binary_format.hpp
+/// Internal interface between the PVTF dispatchers (binary_io.cpp) and
+/// the per-version codecs (v1 in binary_io.cpp, v2 in binary_v2.cpp).
+/// Not installed, not part of the public API — include binary_io.hpp.
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "trace/binary_io.hpp"
+
+namespace perfvar::trace::detail {
+
+inline constexpr char kBinaryMagic[4] = {'P', 'V', 'T', 'F'};
+
+/// Size of the "magic + version" prologue both layouts share.
+inline constexpr std::size_t kBinaryPrologueSize = 8;
+
+/// Legacy v1 payload codec. The reader expects `in` positioned after the
+/// prologue; when `blocks` is non-null it records per-process stream
+/// extents (for inspectBinaryFile).
+void writeBinaryV1(const Trace& trace, std::ostream& out);
+Trace readBinaryV1(std::istream& in, std::vector<BinaryBlockInfo>* blocks);
+
+/// Block-based v2 codec over whole-file images. `image`/`size` span the
+/// complete file including the prologue (block table offsets are
+/// absolute). The reader decodes event blocks in parallel when the
+/// options name a pool or thread count; `info` (optional) receives the
+/// file summary.
+void writeBinaryV2(const Trace& trace, std::ostream& out,
+                   const BinaryWriteOptions& options);
+Trace readBinaryV2(const unsigned char* image, std::size_t size,
+                   const BinaryReadOptions& options, BinaryFileInfo* info);
+
+/// v2 file summary from the header, table and definitions block only;
+/// event blocks are bounds-checked against the file but neither decoded
+/// nor checksummed (inspect stays cheap on large files).
+BinaryFileInfo inspectBinaryV2(const unsigned char* image, std::size_t size);
+
+}  // namespace perfvar::trace::detail
+
+#endif  // PERFVAR_TRACE_BINARY_FORMAT_HPP

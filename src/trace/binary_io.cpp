@@ -6,16 +6,22 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <streambuf>
 
+#include "trace/binary_format.hpp"
 #include "util/error.hpp"
+#include "util/mmap_file.hpp"
 
 namespace perfvar::trace {
 
 namespace {
 
-constexpr char kMagic[4] = {'P', 'V', 'T', 'F'};
 constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
 constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Cap for size hints taken from (not yet checksum-verified) counts: a
+/// corrupted count must fail on decode, never on a pathological reserve.
+constexpr std::uint64_t kReserveCap = 1ULL << 20;
 
 /// Buffered payload writer that maintains an FNV-1a checksum.
 class PayloadWriter {
@@ -128,6 +134,12 @@ public:
 
   std::uint64_t hash() const { return hash_; }
 
+  /// Current position of the underlying stream (v1 block extents).
+  std::uint64_t tell() const {
+    const auto pos = in_.tellg();
+    return pos < 0 ? 0 : static_cast<std::uint64_t>(pos);
+  }
+
 private:
   std::istream& in_;
   std::uint64_t hash_ = kFnvOffset;
@@ -152,11 +164,75 @@ std::uint32_t readU32LE(std::istream& in) {
   return v;
 }
 
+/// Zero-copy std::istream over an in-memory byte range (the v1-from-
+/// mapped-file path).
+class MemoryStreamBuf : public std::streambuf {
+public:
+  MemoryStreamBuf(const unsigned char* data, std::size_t size) {
+    auto* p = const_cast<char*>(reinterpret_cast<const char*>(data));
+    setg(p, p, p + size);
+  }
+
+protected:
+  // tellg() support for the v1 block-extent tracking.
+  pos_type seekoff(off_type off, std::ios_base::seekdir dir,
+                   std::ios_base::openmode which) override {
+    if (!(which & std::ios_base::in)) {
+      return pos_type(off_type(-1));
+    }
+    char* target = nullptr;
+    switch (dir) {
+      case std::ios_base::beg:
+        target = eback() + off;
+        break;
+      case std::ios_base::cur:
+        target = gptr() + off;
+        break;
+      case std::ios_base::end:
+        target = egptr() + off;
+        break;
+      default:
+        return pos_type(off_type(-1));
+    }
+    if (target < eback() || target > egptr()) {
+      return pos_type(off_type(-1));
+    }
+    setg(eback(), target, egptr());
+    return pos_type(target - eback());
+  }
+
+  pos_type seekpos(pos_type pos, std::ios_base::openmode which) override {
+    return seekoff(off_type(pos), std::ios_base::beg, which);
+  }
+};
+
+/// Read a whole stream (from the current position) into a byte vector.
+std::vector<unsigned char> slurp(std::istream& in) {
+  std::vector<unsigned char> bytes;
+  char buf[1 << 16];
+  while (in.read(buf, sizeof buf) || in.gcount() > 0) {
+    bytes.insert(bytes.end(), buf, buf + in.gcount());
+  }
+  return bytes;
+}
+
+std::uint32_t readPrologue(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  PERFVAR_REQUIRE(
+      in.gcount() == 4 &&
+          std::memcmp(magic, detail::kBinaryMagic, 4) == 0,
+      "binary trace: bad magic");
+  return readU32LE(in);
+}
+
 }  // namespace
 
-void writeBinary(const Trace& trace, std::ostream& out) {
-  out.write(kMagic, 4);
-  writeU32LE(out, kBinaryFormatVersion);
+namespace detail {
+
+void writeBinaryV1(const Trace& trace, std::ostream& out) {
+  out.write(kBinaryMagic, 4);
+  writeU32LE(out, kBinaryFormatV1);
 
   PayloadWriter w(out);
   w.varint(trace.resolution);
@@ -213,16 +289,7 @@ void writeBinary(const Trace& trace, std::ostream& out) {
   PERFVAR_REQUIRE(out.good(), "binary trace: write failed");
 }
 
-Trace readBinary(std::istream& in) {
-  char magic[4];
-  in.read(magic, 4);
-  PERFVAR_REQUIRE(in.gcount() == 4 && std::memcmp(magic, kMagic, 4) == 0,
-                  "binary trace: bad magic");
-  const std::uint32_t version = readU32LE(in);
-  PERFVAR_REQUIRE(version == kBinaryFormatVersion,
-                  "binary trace: unsupported version " +
-                      std::to_string(version));
-
+Trace readBinaryV1(std::istream& in, std::vector<BinaryBlockInfo>* blocks) {
   PayloadReader r(in);
   Trace trace;
   trace.resolution = r.varint();
@@ -255,9 +322,13 @@ Trace readBinary(std::istream& in) {
                   "binary trace: invalid process count");
   trace.processes.resize(static_cast<std::size_t>(nProcs));
   for (auto& p : trace.processes) {
+    const std::uint64_t blockStart = r.tell();
     p.name = r.string();
     const std::uint64_t nEvents = r.varint();
-    p.events.reserve(static_cast<std::size_t>(nEvents));
+    // Reserve from the declared count, clamped: the count is only
+    // trustworthy after the checksum check at the end of the payload.
+    p.events.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(nEvents, kReserveCap)));
     Timestamp last = 0;
     for (std::uint64_t i = 0; i < nEvents; ++i) {
       Event e;
@@ -285,6 +356,10 @@ Trace readBinary(std::istream& in) {
       }
       p.events.push_back(e);
     }
+    if (blocks != nullptr) {
+      blocks->push_back(BinaryBlockInfo{p.name, nEvents,
+                                        r.tell() - blockStart});
+    }
   }
 
   const std::uint64_t expected = r.hash();
@@ -299,18 +374,112 @@ Trace readBinary(std::istream& in) {
   return trace;
 }
 
-void saveBinaryFile(const Trace& trace, const std::string& path) {
+}  // namespace detail
+
+void writeBinary(const Trace& trace, std::ostream& out,
+                 const BinaryWriteOptions& options) {
+  switch (options.version) {
+    case kBinaryFormatV1:
+      detail::writeBinaryV1(trace, out);
+      return;
+    case kBinaryFormatV2:
+      detail::writeBinaryV2(trace, out, options);
+      return;
+    default:
+      throw Error("binary trace: unsupported write version " +
+                  std::to_string(options.version));
+  }
+}
+
+Trace readBinary(std::istream& in, const BinaryReadOptions& options) {
+  const std::uint32_t version = readPrologue(in);
+  if (version == kBinaryFormatV1) {
+    return detail::readBinaryV1(in, nullptr);
+  }
+  PERFVAR_REQUIRE(version == kBinaryFormatV2,
+                  "binary trace: unsupported version " +
+                      std::to_string(version));
+  // v2 is decoded from a contiguous image; reassemble prologue + body.
+  std::vector<unsigned char> image;
+  image.reserve(detail::kBinaryPrologueSize + (1 << 16));
+  const unsigned char prologue[detail::kBinaryPrologueSize] = {
+      'P', 'V', 'T', 'F',
+      static_cast<unsigned char>(version & 0xFF),
+      static_cast<unsigned char>((version >> 8) & 0xFF),
+      static_cast<unsigned char>((version >> 16) & 0xFF),
+      static_cast<unsigned char>((version >> 24) & 0xFF)};
+  image.insert(image.end(), prologue, prologue + sizeof prologue);
+  const std::vector<unsigned char> body = slurp(in);
+  image.insert(image.end(), body.begin(), body.end());
+  return detail::readBinaryV2(image.data(), image.size(), options, nullptr);
+}
+
+Trace readBinaryBuffer(const void* data, std::size_t size,
+                       const BinaryReadOptions& options) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  PERFVAR_REQUIRE(
+      size >= detail::kBinaryPrologueSize &&
+          std::memcmp(bytes, detail::kBinaryMagic, 4) == 0,
+      "binary trace: bad magic");
+  std::uint32_t version = 0;
+  for (int i = 0; i < 4; ++i) {
+    version |= static_cast<std::uint32_t>(bytes[4 + i]) << (8 * i);
+  }
+  if (version == kBinaryFormatV1) {
+    MemoryStreamBuf buf(bytes + detail::kBinaryPrologueSize,
+                        size - detail::kBinaryPrologueSize);
+    std::istream in(&buf);
+    return detail::readBinaryV1(in, nullptr);
+  }
+  PERFVAR_REQUIRE(version == kBinaryFormatV2,
+                  "binary trace: unsupported version " +
+                      std::to_string(version));
+  return detail::readBinaryV2(bytes, size, options, nullptr);
+}
+
+void saveBinaryFile(const Trace& trace, const std::string& path,
+                    const BinaryWriteOptions& options) {
   std::ofstream out(path, std::ios::binary);
   PERFVAR_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
-  writeBinary(trace, out);
+  writeBinary(trace, out, options);
   out.close();
   PERFVAR_REQUIRE(out.good(), "write to '" + path + "' failed");
 }
 
-Trace loadBinaryFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  PERFVAR_REQUIRE(in.good(), "cannot open '" + path + "' for reading");
-  return readBinary(in);
+Trace loadBinaryFile(const std::string& path,
+                     const BinaryReadOptions& options) {
+  const util::FileView file = util::FileView::open(path, options.mapFile);
+  return readBinaryBuffer(file.data(), file.size(), options);
+}
+
+BinaryFileInfo inspectBinaryFile(const std::string& path) {
+  const util::FileView file = util::FileView::open(path);
+  PERFVAR_REQUIRE(
+      file.size() >= detail::kBinaryPrologueSize &&
+          std::memcmp(file.data(), detail::kBinaryMagic, 4) == 0,
+      "binary trace: bad magic");
+  std::uint32_t version = 0;
+  for (int i = 0; i < 4; ++i) {
+    version |= static_cast<std::uint32_t>(file.data()[4 + i]) << (8 * i);
+  }
+  if (version == kBinaryFormatV2) {
+    BinaryFileInfo info = detail::inspectBinaryV2(file.data(), file.size());
+    info.fileSize = file.size();
+    return info;
+  }
+  PERFVAR_REQUIRE(version == kBinaryFormatV1,
+                  "binary trace: unsupported version " +
+                      std::to_string(version));
+  BinaryFileInfo info;
+  info.version = kBinaryFormatV1;
+  info.fileSize = file.size();
+  MemoryStreamBuf buf(file.data() + detail::kBinaryPrologueSize,
+                      file.size() - detail::kBinaryPrologueSize);
+  std::istream in(&buf);
+  const Trace trace = detail::readBinaryV1(in, &info.blocks);
+  info.resolution = trace.resolution;
+  info.eventCount = trace.eventCount();
+  return info;
 }
 
 }  // namespace perfvar::trace

@@ -4,32 +4,119 @@
 /// \file binary_io.hpp
 /// Binary serialization of traces ("PVTF" format, the OTF2 stand-in).
 ///
-/// Layout (all integers LEB128 varints unless noted):
-///   magic "PVTF" | version u32 LE | payload | fnv1a-64 checksum (8 bytes LE)
-/// The payload holds resolution, definitions, and per-process event streams
-/// with delta-encoded timestamps. Doubles are stored as their IEEE-754 bit
-/// pattern (8 bytes LE). The reader validates magic, version and checksum
-/// and throws perfvar::Error on any corruption.
+/// Two on-disk layouts share the magic/version prologue (see
+/// docs/FORMAT.md for the byte-level reference):
+///
+/// v1 (legacy, streaming):
+///   magic "PVTF" | version u32 LE | payload | fnv1a-64 checksum (8 B LE)
+/// The payload holds resolution, definitions, and per-process event
+/// streams with delta-encoded timestamps, checksummed as one unit.
+///
+/// v2 (current, block-based):
+///   magic "PVTF" | version u32 LE | header hash | fixed header |
+///   block table | definitions block | one event block per process
+/// Every process stream is an independently decodable block with
+/// delta-encoded timestamps and varint fields; each block carries its own
+/// FNV-1a checksum computed block-wise over the encoded buffer (no
+/// per-byte stream virtual calls), so blocks can be decoded in parallel
+/// straight out of a memory-mapped file.
+///
+/// writeBinary() defaults to v2; v1 files written by older versions keep
+/// loading through the legacy path. Readers validate magic, version and
+/// all checksums and throw perfvar::Error on any corruption; a Trace
+/// round-trips bit-exactly through either version.
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "trace/trace.hpp"
 
+namespace perfvar::util {
+class ThreadPool;
+}
+
 namespace perfvar::trace {
 
-inline constexpr std::uint32_t kBinaryFormatVersion = 1;
+inline constexpr std::uint32_t kBinaryFormatV1 = 1;
+inline constexpr std::uint32_t kBinaryFormatV2 = 2;
 
-/// Serialize a trace to a stream.
-void writeBinary(const Trace& trace, std::ostream& out);
+/// Default version written by writeBinary()/saveBinaryFile().
+inline constexpr std::uint32_t kBinaryFormatVersion = kBinaryFormatV2;
 
-/// Deserialize a trace from a stream; throws perfvar::Error on malformed
-/// input (bad magic, unsupported version, truncation, checksum mismatch).
-Trace readBinary(std::istream& in);
+/// Options of the binary writers.
+struct BinaryWriteOptions {
+  /// On-disk layout to emit: kBinaryFormatV1 or kBinaryFormatV2.
+  std::uint32_t version = kBinaryFormatVersion;
+  /// Worker threads for the per-rank v2 block encode: 1 (default) encodes
+  /// inline, 0 = hardware concurrency. The bytes produced are identical
+  /// for every thread count (blocks are encoded independently and
+  /// assembled in process order). Ignored for v1.
+  std::size_t threads = 1;
+  /// Optional external pool; overrides `threads` when set.
+  util::ThreadPool* pool = nullptr;
+};
 
-/// Convenience file wrappers.
-void saveBinaryFile(const Trace& trace, const std::string& path);
-Trace loadBinaryFile(const std::string& path);
+/// Options of the binary readers.
+struct BinaryReadOptions {
+  /// Worker threads for the per-rank v2 block decode: 1 (default) decodes
+  /// inline, 0 = hardware concurrency. The resulting Trace is identical
+  /// for every thread count (each task fills only its own process slot).
+  /// Ignored for v1 files.
+  std::size_t threads = 1;
+  /// Optional external pool; overrides `threads` when set.
+  util::ThreadPool* pool = nullptr;
+  /// loadBinaryFile(): memory-map the file and decode zero-copy out of
+  /// the mapping when the platform supports it; a buffered read of the
+  /// whole file is the fallback (and the behavior when false).
+  bool mapFile = true;
+};
+
+/// Serialize a trace to a stream (v2 by default; options.version selects).
+void writeBinary(const Trace& trace, std::ostream& out,
+                 const BinaryWriteOptions& options = {});
+
+/// Deserialize a trace from a stream (either version; sniffs the header);
+/// throws perfvar::Error on malformed input (bad magic, unsupported
+/// version, truncation, checksum mismatch).
+Trace readBinary(std::istream& in, const BinaryReadOptions& options = {});
+
+/// Deserialize a trace from an in-memory image (either version). This is
+/// the zero-copy v2 path: event blocks are decoded directly from `data`.
+Trace readBinaryBuffer(const void* data, std::size_t size,
+                       const BinaryReadOptions& options = {});
+
+/// Convenience file wrappers. loadBinaryFile() memory-maps the file when
+/// possible (BinaryReadOptions::mapFile) and falls back to one buffered
+/// read.
+void saveBinaryFile(const Trace& trace, const std::string& path,
+                    const BinaryWriteOptions& options = {});
+Trace loadBinaryFile(const std::string& path,
+                     const BinaryReadOptions& options = {});
+
+/// Per-process stream extent of a binary trace file (the `trace_tool
+/// info` view). For v2 this comes straight from the block table; for v1
+/// the extents are measured while parsing the single payload.
+struct BinaryBlockInfo {
+  std::string process;        ///< process name
+  std::uint64_t events = 0;   ///< events in this process stream
+  std::uint64_t bytes = 0;    ///< encoded size of the stream in the file
+};
+
+/// Summary of a binary trace file without materializing its events
+/// (cheap for v2: only the header, table and definitions are read; v1
+/// requires a full parse of the payload).
+struct BinaryFileInfo {
+  std::uint32_t version = 0;
+  std::uint64_t fileSize = 0;
+  std::uint64_t resolution = 0;
+  std::uint64_t eventCount = 0;
+  std::vector<BinaryBlockInfo> blocks;  ///< one entry per process
+};
+
+/// Inspect a binary trace file; throws perfvar::Error on corruption.
+BinaryFileInfo inspectBinaryFile(const std::string& path);
 
 }  // namespace perfvar::trace
 

@@ -1,0 +1,118 @@
+#include "util/mmap_file.hpp"
+
+#include <fstream>
+#include <utility>
+
+#include "util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PERFVAR_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define PERFVAR_HAVE_MMAP 0
+#endif
+
+namespace perfvar::util {
+
+namespace {
+
+/// Slurp the whole file with one buffered read.
+std::vector<unsigned char> readWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  PERFVAR_REQUIRE(in.good(), "cannot open '" + path + "' for reading");
+  const std::streamoff size = in.tellg();
+  PERFVAR_REQUIRE(size >= 0, "cannot determine size of '" + path + "'");
+  std::vector<unsigned char> bytes(static_cast<std::size_t>(size));
+  in.seekg(0);
+  if (!bytes.empty()) {
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    PERFVAR_REQUIRE(in.gcount() == static_cast<std::streamsize>(bytes.size()),
+                    "short read from '" + path + "'");
+  }
+  return bytes;
+}
+
+}  // namespace
+
+FileView FileView::open(const std::string& path, bool allowMmap) {
+  FileView view;
+#if PERFVAR_HAVE_MMAP
+  if (allowMmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    PERFVAR_REQUIRE(fd >= 0, "cannot open '" + path + "' for reading");
+    struct stat st{};
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      const auto size = static_cast<std::size_t>(st.st_size);
+      if (size == 0) {
+        ::close(fd);
+        return view;  // empty file: empty view, nothing to map
+      }
+      void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (base != MAP_FAILED) {
+        view.mappedBase_ = base;
+        view.data_ = static_cast<const unsigned char*>(base);
+        view.size_ = size;
+        return view;
+      }
+      // fall through to the buffered read on mapping failure
+    } else {
+      ::close(fd);
+    }
+  }
+#else
+  (void)allowMmap;
+#endif
+  view.buffer_ = readWholeFile(path);
+  view.data_ = view.buffer_.data();
+  view.size_ = view.buffer_.size();
+  return view;
+}
+
+FileView::~FileView() {
+#if PERFVAR_HAVE_MMAP
+  if (mappedBase_ != nullptr) {
+    ::munmap(mappedBase_, size_);
+  }
+#endif
+}
+
+FileView::FileView(FileView&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mappedBase_(other.mappedBase_),
+      buffer_(std::move(other.buffer_)) {
+  if (!buffer_.empty()) {
+    data_ = buffer_.data();
+  }
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mappedBase_ = nullptr;
+}
+
+FileView& FileView::operator=(FileView&& other) noexcept {
+  if (this != &other) {
+#if PERFVAR_HAVE_MMAP
+    if (mappedBase_ != nullptr) {
+      ::munmap(mappedBase_, size_);
+    }
+#endif
+    data_ = other.data_;
+    size_ = other.size_;
+    mappedBase_ = other.mappedBase_;
+    buffer_ = std::move(other.buffer_);
+    if (!buffer_.empty()) {
+      data_ = buffer_.data();
+    }
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mappedBase_ = nullptr;
+  }
+  return *this;
+}
+
+}  // namespace perfvar::util

@@ -1,0 +1,53 @@
+#ifndef PERFVAR_UTIL_MMAP_FILE_HPP
+#define PERFVAR_UTIL_MMAP_FILE_HPP
+
+/// \file mmap_file.hpp
+/// Read-only whole-file views for the zero-copy trace loaders.
+///
+/// FileView presents a file as one contiguous byte range. On POSIX it
+/// memory-maps the file (the kernel pages data in on demand and the
+/// caller decodes straight out of the mapping, no user-space copy); on
+/// platforms without mmap — or when mapping fails or is disabled — it
+/// falls back to a single buffered read into an owned buffer. Callers
+/// never need to distinguish the two beyond mapped() telemetry.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace perfvar::util {
+
+/// Immutable view of a whole file, memory-mapped when possible.
+/// Move-only; the view (and with it the mapping) lives as long as the
+/// object.
+class FileView {
+public:
+  /// Open `path` read-only. With allowMmap the file is memory-mapped if
+  /// the platform supports it; otherwise (or on any mapping failure) the
+  /// whole file is read into an internal buffer. Throws perfvar::Error if
+  /// the file cannot be opened or read.
+  static FileView open(const std::string& path, bool allowMmap = true);
+
+  FileView() = default;
+  ~FileView();
+
+  FileView(FileView&& other) noexcept;
+  FileView& operator=(FileView&& other) noexcept;
+  FileView(const FileView&) = delete;
+  FileView& operator=(const FileView&) = delete;
+
+  const unsigned char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  /// True when the view is a live memory mapping (vs an owned buffer).
+  bool mapped() const { return mappedBase_ != nullptr; }
+
+private:
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  void* mappedBase_ = nullptr;  ///< munmap target when mapped
+  std::vector<unsigned char> buffer_;  ///< fallback storage
+};
+
+}  // namespace perfvar::util
+
+#endif  // PERFVAR_UTIL_MMAP_FILE_HPP

@@ -1,10 +1,12 @@
 /// Robustness: corrupted or truncated inputs must produce perfvar::Error,
 /// never crashes or silent misreads. Randomized byte-level corruption of
-/// PVTF images and line-level corruption of PVTX texts.
+/// PVTF images (both on-disk layouts) and line-level corruption of PVTX
+/// texts.
 
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <tuple>
 
 #include "apps/paper_examples.hpp"
 #include "trace/binary_io.hpp"
@@ -15,18 +17,34 @@
 namespace perfvar::trace {
 namespace {
 
-std::string binaryImage(const Trace& tr) {
+std::string binaryImage(const Trace& tr,
+                        std::uint32_t version = kBinaryFormatVersion) {
   std::ostringstream os;
-  writeBinary(tr, os);
+  BinaryWriteOptions options;
+  options.version = version;
+  writeBinary(tr, os, options);
   return os.str();
 }
 
-class CorruptionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+void expectDecodeThrows(const std::string& bytes, std::size_t threads = 1) {
+  BinaryReadOptions options;
+  options.threads = threads;
+  EXPECT_THROW(readBinaryBuffer(bytes.data(), bytes.size(), options), Error);
+}
+
+/// Sweeps run against both format versions: (seed, version).
+class CorruptionSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t,
+                                                 std::uint32_t>> {
+protected:
+  std::uint64_t seed() const { return std::get<0>(GetParam()); }
+  std::uint32_t version() const { return std::get<1>(GetParam()); }
+};
 
 TEST_P(CorruptionSweep, SingleByteFlipsNeverCrashAndNeverPassSilently) {
   const Trace original = apps::buildFigure3Trace();
-  const std::string clean = binaryImage(original);
-  Rng rng(GetParam());
+  const std::string clean = binaryImage(original, version());
+  Rng rng(seed());
   for (int trial = 0; trial < 60; ++trial) {
     std::string corrupted = clean;
     const auto pos = static_cast<std::size_t>(
@@ -39,8 +57,11 @@ TEST_P(CorruptionSweep, SingleByteFlipsNeverCrashAndNeverPassSilently) {
       // A flip in a payload byte can only be accepted if the checksum was
       // flipped to match - impossible for a single flip - or the flip hit
       // a byte whose change is structurally invisible. That never happens
-      // for PVTF: every payload byte feeds the checksum, so reaching here
-      // means the reader failed to detect corruption.
+      // for PVTF: in v1 every payload byte feeds the whole-file checksum,
+      // and in v2 every byte is covered by exactly one of the header,
+      // definitions or per-block hashes (a flip of a stored hash itself
+      // mismatches the recomputed one). Reaching here means the reader
+      // failed to detect corruption.
       FAIL() << "corruption at byte " << pos << " (mask "
              << static_cast<int>(mask) << ") was not detected";
     } catch (const Error&) {
@@ -51,19 +72,77 @@ TEST_P(CorruptionSweep, SingleByteFlipsNeverCrashAndNeverPassSilently) {
 
 TEST_P(CorruptionSweep, RandomTruncationsAlwaysThrow) {
   const Trace original = apps::buildFigure2Trace();
-  const std::string clean = binaryImage(original);
-  Rng rng(GetParam() * 31);
+  const std::string clean = binaryImage(original, version());
+  Rng rng(seed() * 31);
   for (int trial = 0; trial < 40; ++trial) {
     const auto cut = static_cast<std::size_t>(
         rng.uniformInt(0, static_cast<std::int64_t>(clean.size()) - 1));
     std::istringstream is(clean.substr(0, cut));
     EXPECT_THROW(readBinary(is), Error) << "cut at " << cut;
+    expectDecodeThrows(clean.substr(0, cut));
   }
 }
 
-TEST_P(CorruptionSweep, GarbageBytesAlwaysThrow) {
-  Rng rng(GetParam() * 77);
-  for (int trial = 0; trial < 20; ++trial) {
+TEST_P(CorruptionSweep, CorruptedImagesFailCleanlyUnderThreadedDecode) {
+  // The parallel block decode must propagate the first worker error as a
+  // perfvar::Error on the calling thread - never a crash, a hang, or a
+  // partially filled trace handed back to the caller.
+  const Trace original = apps::buildFigure3Trace();
+  const std::string clean = binaryImage(original, version());
+  Rng rng(seed() * 131);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string corrupted = clean;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(clean.size()) - 1));
+    corrupted[pos] = static_cast<char>(
+        corrupted[pos] ^ static_cast<char>(rng.uniformInt(1, 255)));
+    expectDecodeThrows(corrupted, 4);
+  }
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto cut = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(clean.size()) - 1));
+    expectDecodeThrows(clean.substr(0, cut), 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, CorruptionSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(kBinaryFormatV1, kBinaryFormatV2)),
+    [](const auto& p) {
+      return "seed" + std::to_string(std::get<0>(p.param)) + "v" +
+             std::to_string(std::get<1>(p.param));
+    });
+
+TEST(CorruptionTargeted, FlippedChecksumFieldsAreRejected) {
+  // Hit the stored hash fields of the v2 layout directly: the prologue
+  // header hash (offset 8), the definitions hash (offset 40) and each
+  // block-table checksum (last 8 bytes of a 32-byte entry from offset 48).
+  const Trace original = apps::buildFigure3Trace();
+  const std::string clean = binaryImage(original, kBinaryFormatV2);
+  const std::size_t processCount = original.processCount();
+  std::vector<std::size_t> targets = {8, 40};
+  for (std::size_t p = 0; p < processCount; ++p) {
+    targets.push_back(48 + 32 * p + 24);
+  }
+  for (const std::size_t pos : targets) {
+    ASSERT_LT(pos, clean.size());
+    std::string corrupted = clean;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x01);
+    std::istringstream is(corrupted);
+    EXPECT_THROW(readBinary(is), Error) << "hash field at " << pos;
+  }
+  // The v1 trailing whole-file checksum.
+  const std::string v1 = binaryImage(original, kBinaryFormatV1);
+  std::string corrupted = v1;
+  corrupted[v1.size() - 1] = static_cast<char>(corrupted[v1.size() - 1] ^ 1);
+  std::istringstream is(corrupted);
+  EXPECT_THROW(readBinary(is), Error);
+}
+
+TEST(CorruptionTargeted, GarbageBytesAlwaysThrow) {
+  Rng rng(77);
+  for (int trial = 0; trial < 40; ++trial) {
     std::string garbage(static_cast<std::size_t>(rng.uniformInt(0, 200)),
                         '\0');
     for (auto& c : garbage) {
@@ -71,10 +150,30 @@ TEST_P(CorruptionSweep, GarbageBytesAlwaysThrow) {
     }
     std::istringstream is(garbage);
     EXPECT_THROW(readBinary(is), Error);
+    expectDecodeThrows(garbage);
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionSweep, ::testing::Values(1, 2, 3));
+TEST(CorruptionTargeted, GarbageWithValidPrologueAlwaysThrows) {
+  // Valid magic + version, random everything after: exercises the header
+  // and table bounds checks rather than the magic check.
+  Rng rng(99);
+  for (const std::uint32_t version : {kBinaryFormatV1, kBinaryFormatV2}) {
+    for (int trial = 0; trial < 40; ++trial) {
+      std::string bytes = "PVTF";
+      bytes.push_back(static_cast<char>(version));
+      bytes.append(3, '\0');
+      const auto n = static_cast<std::size_t>(rng.uniformInt(0, 300));
+      for (std::size_t i = 0; i < n; ++i) {
+        bytes.push_back(static_cast<char>(rng.uniformInt(0, 255)));
+      }
+      std::istringstream is(bytes);
+      EXPECT_THROW(readBinary(is), Error);
+      expectDecodeThrows(bytes);
+      expectDecodeThrows(bytes, 4);
+    }
+  }
+}
 
 TEST(PvtxRobustness, LineDeletionIsDetectedOrHarmless) {
   // Removing a random line must either throw or still yield a trace that

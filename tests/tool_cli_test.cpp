@@ -104,6 +104,59 @@ TEST(ToolCli, UnknownScenarioIsARuntimeError) {
   EXPECT_EQ(r.exitCode, 1);
 }
 
+// ---- file inspection and format selection --------------------------------
+
+TEST(ToolCli, InfoPrintsV2LayoutSummary) {
+  const RunResult r = run(tool() + " info " + tracePath());
+  ASSERT_EQ(r.exitCode, 0);
+  EXPECT_NE(r.out.find("format: v2"), std::string::npos);
+  EXPECT_NE(r.out.find("size: "), std::string::npos);
+  EXPECT_NE(r.out.find("events: "), std::string::npos);
+  EXPECT_NE(r.out.find("rank blocks:"), std::string::npos);
+  EXPECT_NE(r.out.find("events, "), std::string::npos);  // per-rank line
+}
+
+TEST(ToolCli, FormatFlagSelectsTheOnDiskLayout) {
+  const std::string v1 = "tool_cli_fmt_v1.pvt";
+  const std::string v2 = "tool_cli_fmt_v2.pvt";
+  // A full-range slice is a copy; --format picks the output layout.
+  ASSERT_EQ(run(tool() + " --format v1 slice " + tracePath() + " " + v1 +
+                " 0 1e6").exitCode,
+            0);
+  ASSERT_EQ(run(tool() + " --format v2 slice " + tracePath() + " " + v2 +
+                " 0 1e6").exitCode,
+            0);
+
+  const RunResult infoV1 = run(tool() + " info " + v1);
+  ASSERT_EQ(infoV1.exitCode, 0);
+  EXPECT_NE(infoV1.out.find("format: v1"), std::string::npos);
+  const RunResult infoV2 = run(tool() + " info " + v2);
+  ASSERT_EQ(infoV2.exitCode, 0);
+  EXPECT_NE(infoV2.out.find("format: v2"), std::string::npos);
+
+  // Both layouts hold the same trace: the analysis output is identical.
+  const RunResult a1 = run(tool() + " analyze " + v1);
+  const RunResult a2 = run(tool() + " analyze " + v2);
+  ASSERT_EQ(a1.exitCode, 0);
+  ASSERT_EQ(a2.exitCode, 0);
+  EXPECT_EQ(a1.out, a2.out);
+
+  std::remove(v1.c_str());
+  std::remove(v2.c_str());
+}
+
+TEST(ToolCli, BadFormatValueIsAUsageError) {
+  EXPECT_EQ(run(tool() + " --format v3 info " + tracePath() +
+                " 2>/dev/null").exitCode,
+            2);
+  EXPECT_EQ(run(tool() + " --format 2>/dev/null").exitCode, 2);
+}
+
+TEST(ToolCli, InfoOnMissingFileIsARuntimeError) {
+  EXPECT_EQ(run(tool() + " info definitely_missing.pvt 2>/dev/null").exitCode,
+            1);
+}
+
 // ---- one-shot analysis ---------------------------------------------------
 
 TEST(ToolCli, AnalyzeSucceedsAndThreadsDoNotChangeTheOutput) {

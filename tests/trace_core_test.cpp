@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "trace/builder.hpp"
 #include "trace/stats.hpp"
 #include "trace/trace.hpp"
@@ -74,6 +76,40 @@ TEST(Builder, BuildsValidTrace) {
   EXPECT_EQ(tr.eventCount(), 6u);
   EXPECT_EQ(tr.startTime(), 0u);
   EXPECT_EQ(tr.endTime(), 30u);
+}
+
+TEST(Trace, StartEndTimeMatchFullEventScan) {
+  // startTime()/endTime() rely on the sorted-stream invariant (front() /
+  // back() of each process); cross-check against a scan of every event.
+  TraceBuilder b(4);
+  const auto f = b.defineFunction("work");
+  b.enter(1, 7, f);
+  b.leave(1, 900, f);
+  b.enter(2, 3, f);
+  b.leave(2, 450, f);
+  b.enter(3, 100, f);
+  b.leave(3, 2000, f);
+  const Trace tr = b.finish();  // process 0 stays empty
+
+  Timestamp lo = 0;
+  Timestamp hi = 0;
+  bool any = false;
+  for (const auto& p : tr.processes) {
+    for (const Event& e : p.events) {
+      lo = any ? std::min(lo, e.time) : e.time;
+      hi = any ? std::max(hi, e.time) : e.time;
+      any = true;
+    }
+  }
+  ASSERT_TRUE(any);
+  EXPECT_EQ(tr.startTime(), lo);
+  EXPECT_EQ(tr.startTime(), 3u);
+  EXPECT_EQ(tr.endTime(), hi);
+  EXPECT_EQ(tr.endTime(), 2000u);
+
+  const Trace empty;
+  EXPECT_EQ(empty.startTime(), 0u);
+  EXPECT_EQ(empty.endTime(), 0u);
 }
 
 TEST(Builder, RejectsMismatchedLeave) {
