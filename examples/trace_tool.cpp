@@ -2,8 +2,10 @@
 /// Command-line utility around the trace substrate:
 ///
 ///   trace_tool generate <scenario> <out.pvt>   write a case-study trace
-///   trace_tool info <in.pvt>                   format version, file size,
-///                                              per-rank blocks
+///   trace_tool info [--verify] <in.pvt>        format version, file size,
+///                                              per-rank blocks; --verify
+///                                              adds a salvage dry run
+///   trace_tool salvage <in.pvt> <out.pvt>      recover a damaged trace
 ///   trace_tool stats <in.pvt>                  print trace statistics
 ///   trace_tool validate <in.pvt>               structural validation
 ///   trace_tool profile <in.pvt>                top functions by time
@@ -20,12 +22,15 @@
 /// Global options: --threads N runs the analysis commands — and the v2
 /// trace decode — on N worker threads (0 = all hardware threads; output
 /// is bit-identical to serial); --format v1|v2 selects the binary layout
-/// written by generate/slice/archive/unarchive (default v2); --help
-/// prints the usage text. Unknown options are rejected.
+/// written by generate/slice/archive/unarchive (default v2); --salvage
+/// loads damaged inputs in recovery mode (quarantined ranks are excluded
+/// from analysis and reported); --help prints the usage text. Unknown
+/// options are rejected.
 ///
 /// Exit codes: 0 = success, 1 = runtime/analysis error (unreadable trace,
 /// no dominant function, failed validation, ...), 2 = usage error
-/// (unknown command/option, malformed arguments).
+/// (unknown command/option, malformed arguments). Load failures print a
+/// single structured line: `error: <code>: <path>`.
 ///
 /// Scenarios: cosmo-specs | cosmo-specs-fd4 | wrf.
 /// Without arguments, a self-contained demo runs (generate + analyze a
@@ -77,11 +82,17 @@ trace::Trace generateScenario(const std::string& name) {
 
 void printUsage(std::ostream& out) {
   out <<
-      "usage: trace_tool [--threads N] [--format v1|v2] <command> [args]\n"
+      "usage: trace_tool [--threads N] [--format v1|v2] [--salvage]\n"
+      "                  <command> [args]\n"
       "  generate <scenario> <out.pvt>  scenario: cosmo-specs |\n"
       "                                 cosmo-specs-fd4 | wrf\n"
-      "  info <in.pvt>                  format version, file size and\n"
-      "                                 per-rank block sizes/event counts\n"
+      "  info [--verify] <in.pvt>       format version, file size and\n"
+      "                                 per-rank block sizes/event counts;\n"
+      "                                 --verify adds a salvage dry run\n"
+      "                                 (per-rank load report)\n"
+      "  salvage <in.pvt> <out.pvt>     recover a damaged trace: load in\n"
+      "                                 salvage mode, print the per-rank\n"
+      "                                 report, rewrite the recovered data\n"
       "  stats <in.pvt>                 trace statistics\n"
       "  validate <in.pvt>              structural validation\n"
       "  profile <in.pvt>               flat profile (top 20)\n"
@@ -108,6 +119,9 @@ void printUsage(std::ostream& out) {
       "                are identical to serial\n"
       "  --format V    binary layout written by generate/slice/archive/\n"
       "                unarchive: v1 (legacy) or v2 (default)\n"
+      "  --salvage     load inputs in recovery mode: damaged ranks are\n"
+      "                quarantined (and excluded from analysis) instead\n"
+      "                of failing the whole load\n"
       "  --help        print this text\n"
       "\n"
       "exit codes: 0 success, 1 runtime/analysis error, 2 usage error\n";
@@ -272,6 +286,8 @@ int main(int argc, char** argv) {
   try {
     std::size_t threads = 1;  // 1 = serial pipeline and serial decode
     std::uint32_t format = trace::kBinaryFormatVersion;
+    bool salvage = false;
+    bool verify = false;
     std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -302,6 +318,10 @@ int main(int argc, char** argv) {
           return usageError("--format expects v1 or v2, got '" + value +
                             "'");
         }
+      } else if (arg == "--salvage") {
+        salvage = true;
+      } else if (arg == "--verify") {
+        verify = true;
       } else if (!arg.empty() && arg[0] == '-') {
         return usageError("unknown option '" + arg + "'");
       } else {
@@ -315,6 +335,9 @@ int main(int argc, char** argv) {
     writeOptions.threads = threads;
     trace::BinaryReadOptions readOptions;
     readOptions.threads = threads;
+    if (salvage) {
+      readOptions.recovery = trace::RecoveryMode::Salvage;
+    }
     if (args.empty()) {
       // Demo mode: exercise the full round trip on a small scenario.
       std::cout << "(no arguments: running the self-contained demo)\n\n";
@@ -388,6 +411,22 @@ int main(int argc, char** argv) {
                 << " events)\n";
       return kExitOk;
     }
+    if (cmd == "salvage") {
+      if (args.size() != 3) {
+        return usageError("'salvage' expects <in.pvt> <out.pvt>");
+      }
+      trace::BinaryReadOptions salvageOptions = readOptions;
+      salvageOptions.recovery = trace::RecoveryMode::Salvage;
+      trace::LoadReport report;
+      salvageOptions.report = &report;
+      const trace::Trace tr = trace::loadBinaryFile(args[1], salvageOptions);
+      std::cout << trace::formatLoadReport(report);
+      trace::saveBinaryFile(tr, args[2], writeOptions);
+      std::cout << "wrote " << args[2] << " (" << tr.eventCount()
+                << " events, " << report.quarantinedCount() << " of "
+                << report.ranks.size() << " ranks quarantined)\n";
+      return kExitOk;
+    }
     if (args.size() != 2) {
       if (cmd == "stats" || cmd == "validate" || cmd == "profile" ||
           cmd == "analyze" || cmd == "dump" || cmd == "export-json" ||
@@ -397,6 +436,15 @@ int main(int argc, char** argv) {
       return usageError("unknown command '" + cmd + "'");
     }
     if (cmd == "info") {
+      if (verify) {
+        // A salvage dry run: works on damaged files the strict block
+        // inspection below would reject.
+        const trace::LoadReport report =
+            trace::verifyBinaryFile(args[1], readOptions);
+        std::cout << "file: " << args[1] << '\n'
+                  << trace::formatLoadReport(report);
+        return report.quarantinedCount() > 0 ? kExitRuntime : kExitOk;
+      }
       const trace::BinaryFileInfo info = trace::inspectBinaryFile(args[1]);
       std::cout << "file: " << args[1] << '\n'
                 << "format: v" << info.version << '\n'
@@ -452,6 +500,16 @@ int main(int argc, char** argv) {
       return usageError("unknown command '" + cmd + "'");
     }
     return kExitOk;
+  } catch (const Error& e) {
+    // Structured one-liner for load failures that carry a file path
+    // (scripts can match on the stable error-code name).
+    if (!e.path().empty()) {
+      std::cerr << "error: " << errorCodeName(e.code()) << ": " << e.path()
+                << '\n';
+    } else {
+      std::cerr << "trace_tool: " << e.what() << '\n';
+    }
+    return kExitRuntime;
   } catch (const std::exception& e) {
     std::cerr << "trace_tool: " << e.what() << '\n';
     return kExitRuntime;

@@ -205,7 +205,9 @@ void writeAnalysisJson(const trace::Trace& tr,
     w.key("process");
     w.value(static_cast<std::uint64_t>(ps.process));
     w.key("name");
-    w.value(tr.processes[ps.process].name);
+    // Process ids index the trace the SOS analysis ran on — for degraded
+    // inputs that is the filtered view, not `tr` (same object otherwise).
+    w.value(sos.trace().processes[ps.process].name);
     w.key("segments");
     w.value(static_cast<std::uint64_t>(ps.segments));
     w.key("totalSos");
@@ -276,6 +278,35 @@ void writeAnalysisJson(const trace::Trace& tr,
   w.value(report.sosTrend.r2);
   w.endObject();
 
+  // Emitted only for degraded (Salvage-loaded) inputs, so clean-trace
+  // output stays byte-for-byte unchanged.
+  if (!tr.quarantined.empty()) {
+    w.key("degradation");
+    w.beginObject();
+    w.key("analyzedProcesses");
+    w.value(static_cast<std::uint64_t>(sos.trace().processCount()));
+    w.key("quarantined");
+    w.beginArray();
+    for (const trace::QuarantinedRank& q : tr.quarantined) {
+      w.beginObject();
+      w.key("process");
+      w.value(static_cast<std::uint64_t>(q.process));
+      w.key("name");
+      w.value(q.name);
+      w.key("error");
+      w.value(std::string(errorCodeName(q.error)));
+      w.key("bytesSalvaged");
+      w.value(q.bytesSalvaged);
+      w.key("eventsSalvaged");
+      w.value(q.eventsSalvaged);
+      w.key("eventsDropped");
+      w.value(q.eventsDropped);
+      w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+  }
+
   w.endObject();
   out << '\n';
 }
@@ -299,7 +330,9 @@ void exportReport(const trace::Trace& tr, const DominantSelection& selection,
       detail::writeIterationStatsCsv(report, out);
       return;
     case ExportFormat::CsvHotspots:
-      detail::writeHotspotsCsv(tr, report, out);
+      // Hotspot process ids index the trace the SOS ran on (the filtered
+      // view for degraded inputs; `tr` itself otherwise).
+      detail::writeHotspotsCsv(sos.trace(), report, out);
       return;
   }
   PERFVAR_REQUIRE(false, "unknown ExportFormat");

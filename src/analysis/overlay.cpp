@@ -72,4 +72,35 @@ std::vector<std::vector<double>> MetricOverlay::sampleGrid(
   return grid;
 }
 
+std::vector<std::vector<double>> expandQuarantinedRows(
+    const std::vector<std::vector<double>>& filtered,
+    const trace::Trace& full) {
+  if (full.quarantined.empty()) {
+    return filtered;
+  }
+  std::vector<std::vector<double>> expanded(full.processes.size());
+  std::size_t next = 0;
+  for (std::size_t p = 0; p < full.processes.size(); ++p) {
+    if (full.isQuarantined(static_cast<trace::ProcessId>(p))) {
+      continue;  // leave the row empty
+    }
+    PERFVAR_REQUIRE(next < filtered.size(),
+                    "expandQuarantinedRows: fewer rows than healthy ranks");
+    expanded[p] = filtered[next++];
+  }
+  PERFVAR_REQUIRE(next == filtered.size(),
+                  "expandQuarantinedRows: more rows than healthy ranks");
+  return expanded;
+}
+
+std::vector<std::size_t> quarantinedRowIndices(const trace::Trace& full) {
+  std::vector<std::size_t> rows;
+  rows.reserve(full.quarantined.size());
+  for (const trace::QuarantinedRank& q : full.quarantined) {
+    rows.push_back(q.process);
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
 }  // namespace perfvar::analysis

@@ -56,6 +56,20 @@ private:
   trace::Timestamp end_ = 0;
 };
 
+/// Spread the rows of a matrix computed on a trace::dropQuarantined view
+/// back onto the full rank space of `full`: row i of `filtered`
+/// corresponds to the i-th non-quarantined rank; quarantined ranks get an
+/// empty row (the heatmap renderers paint missing cells in the missing
+/// color, or as a no-data band via HeatmapOptions::noDataRows). With no
+/// quarantined ranks this returns `filtered` unchanged.
+std::vector<std::vector<double>> expandQuarantinedRows(
+    const std::vector<std::vector<double>>& filtered,
+    const trace::Trace& full);
+
+/// Row indices of the quarantined ranks of `full`, ready to assign to
+/// vis::HeatmapOptions::noDataRows next to expandQuarantinedRows().
+std::vector<std::size_t> quarantinedRowIndices(const trace::Trace& full);
+
 }  // namespace perfvar::analysis
 
 #endif  // PERFVAR_ANALYSIS_OVERLAY_HPP

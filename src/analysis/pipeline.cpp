@@ -3,12 +3,22 @@
 #include <sstream>
 
 #include "analysis/parallel.hpp"
+#include "trace/filter.hpp"
 #include "util/error.hpp"
 
 namespace perfvar::analysis {
 
 AnalysisResult analyzeTrace(const trace::Trace& tr,
                             const PipelineOptions& options) {
+  if (!tr.quarantined.empty()) {
+    // Degraded input (a Salvage-mode load): analyze the healthy ranks as
+    // if the quarantined ones were never recorded. The filtered view must
+    // outlive the result (SosResult points into it), so it rides along.
+    auto view = std::make_unique<trace::Trace>(trace::dropQuarantined(tr));
+    AnalysisResult result = analyzeTrace(*view, options);
+    result.salvagedView = std::move(view);
+    return result;
+  }
   if (options.threads != 1) {
     return detail::analyzeTraceSharded(tr, options);
   }
@@ -29,6 +39,23 @@ AnalysisResult analyzeTrace(const trace::Trace& tr,
   return result;
 }
 
+std::string formatDegradation(const trace::Trace& tr) {
+  if (tr.quarantined.empty()) {
+    return {};
+  }
+  std::ostringstream os;
+  os << "=== degraded input ===\n"
+     << tr.quarantined.size() << '/' << tr.processes.size()
+     << " ranks quarantined; they are excluded from the analysis\n";
+  for (const trace::QuarantinedRank& q : tr.quarantined) {
+    os << "  rank " << q.process << " \"" << q.name
+       << "\": " << errorCodeName(q.error) << " (salvaged "
+       << q.eventsSalvaged << " events, dropped " << q.eventsDropped
+       << ")\n";
+  }
+  return os.str();
+}
+
 std::string formatAnalysis(const trace::Trace& tr,
                            const DominantSelection& selection,
                            const SosResult& sos,
@@ -38,6 +65,9 @@ std::string formatAnalysis(const trace::Trace& tr,
      << formatSelection(tr, selection) << '\n'
      << "=== runtime-variation analysis ===\n"
      << formatVariationReport(sos, variation);
+  if (!tr.quarantined.empty()) {
+    os << '\n' << formatDegradation(tr);
+  }
   return os.str();
 }
 

@@ -50,6 +50,10 @@ struct AnalysisResult {
   trace::FunctionId segmentFunction = trace::kInvalidFunction;
   std::unique_ptr<SosResult> sos;  ///< heap: SosResult is not assignable
   VariationReport variation;
+  /// Set only when the input trace carried quarantined ranks: the filtered
+  /// trace (trace::dropQuarantined) the analysis actually ran on. SosResult
+  /// points into this view, so it lives here, inside the result.
+  std::unique_ptr<trace::Trace> salvagedView;
 };
 
 /// Run the full pipeline; throws perfvar::Error if no function qualifies
@@ -60,6 +64,13 @@ struct AnalysisResult {
 /// bit-identical output. This is the one analysis entry point; the former
 /// analyzeTraceParallel() is a deprecated forwarder to it.
 ///
+/// Graceful degradation: a trace carrying quarantined ranks (a Salvage-
+/// mode load) is analyzed as if those ranks were never present — the
+/// pipeline runs on trace::dropQuarantined(trace) (kept alive in
+/// AnalysisResult::salvagedView) and produces exactly the result a
+/// manually filtered trace would. This throws (like any analysis of an
+/// empty trace) when every rank is quarantined.
+///
 /// Lifetime: the result references `trace` (SosResult keeps a pointer to
 /// avoid copying large traces); the trace must outlive the result. The
 /// rvalue overload is deleted so passing a temporary trace is a compile
@@ -69,7 +80,9 @@ AnalysisResult analyzeTrace(const trace::Trace& trace,
 AnalysisResult analyzeTrace(trace::Trace&&,
                             const PipelineOptions& = {}) = delete;
 
-/// Render a complete text report (dominant selection + variation report).
+/// Render a complete text report (dominant selection + variation report;
+/// plus a degraded-input section when `trace` carries quarantined ranks —
+/// output for clean traces is byte-for-byte unchanged).
 std::string formatAnalysis(const trace::Trace& trace,
                            const AnalysisResult& result);
 
@@ -80,6 +93,11 @@ std::string formatAnalysis(const trace::Trace& trace,
                            const DominantSelection& selection,
                            const SosResult& sos,
                            const VariationReport& variation);
+
+/// The degraded-input section of formatAnalysis: one line per quarantined
+/// rank (error class, events salvaged/dropped). Empty string for a clean
+/// trace.
+std::string formatDegradation(const trace::Trace& trace);
 
 }  // namespace perfvar::analysis
 

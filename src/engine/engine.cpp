@@ -11,6 +11,7 @@
 
 #include "analysis/parallel.hpp"
 #include "trace/binary_io.hpp"
+#include "trace/filter.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
 #include "util/thread_pool.hpp"
@@ -207,6 +208,14 @@ AnalysisEngine::AnalysisEngine(trace::Trace trace, EngineOptions options)
     : trace_(std::make_shared<const trace::Trace>(std::move(trace))),
       options_(options),
       impl_(std::make_unique<Impl>()) {
+  // Degraded input: build the filtered analysis view once; every stage
+  // (and every cache entry) is then relative to it, exactly like
+  // analyzeTrace() on the same trace.
+  analysisTrace_ =
+      trace_->quarantined.empty()
+          ? trace_
+          : std::make_shared<const trace::Trace>(
+                trace::dropQuarantined(*trace_));
   if (options_.threads != 1) {
     impl_->pool = std::make_unique<util::ThreadPool>(options_.threads);
   }
@@ -236,11 +245,11 @@ std::shared_ptr<const profile::FlatProfile> AnalysisEngine::profile() {
   auto computed = [&] {
     if (!impl_->pool) {
       return std::make_shared<const profile::FlatProfile>(
-          profile::FlatProfile::build(*trace_));
+          profile::FlatProfile::build(*analysisTrace_));
     }
     std::lock_guard<std::mutex> poolLock(impl_->poolMutex);
     return std::make_shared<const profile::FlatProfile>(
-        analysis::buildProfileParallel(*trace_, *impl_->pool,
+        analysis::buildProfileParallel(*analysisTrace_, *impl_->pool,
                                        options_.grainSizeRanks));
   }();
   std::lock_guard<std::mutex> lock(impl_->cacheMutex);
@@ -258,20 +267,24 @@ std::shared_ptr<const analysis::DominantSelection> AnalysisEngine::dominant(
   return impl_->getOrCompute(
       impl_->dominant, fingerprintDominant(options), options_.maxCacheEntries,
       [&] {
-        return analysis::selectDominantFunction(*trace_, *prof, options);
+        return analysis::selectDominantFunction(*analysisTrace_, *prof,
+                                                options);
       });
 }
 
 EngineResult AnalysisEngine::analyze(const analysis::PipelineOptions& options) {
   EngineResult result;
-  result.trace = trace_;
+  // The stages reference the analysis view (SosResult points into it), so
+  // that is the trace a result must keep alive.
+  result.trace = analysisTrace_;
   result.profile = profile();
   // Inline dominant() with the profile already in hand: one counter event
   // per stage per query (a cold analyze is 4 misses, a warm one 4 hits).
   result.selection = impl_->getOrCompute(
       impl_->dominant, fingerprintDominant(options.dominant),
       options_.maxCacheEntries, [&] {
-        return analysis::selectDominantFunction(*trace_, *result.profile,
+        return analysis::selectDominantFunction(*analysisTrace_,
+                                                *result.profile,
                                                 options.dominant);
       });
   PERFVAR_REQUIRE(result.selection->hasDominant(),
@@ -288,11 +301,12 @@ EngineResult AnalysisEngine::analyze(const analysis::PipelineOptions& options) {
   result.sos = impl_->getOrCompute(
       impl_->sos, sosKey, options_.maxCacheEntries, [&] {
         if (!impl_->pool) {
-          return analysis::analyzeSos(*trace_, result.segmentFunction,
+          return analysis::analyzeSos(*analysisTrace_, result.segmentFunction,
                                       options.sync);
         }
         std::lock_guard<std::mutex> poolLock(impl_->poolMutex);
-        return analysis::analyzeSosParallel(*trace_, result.segmentFunction,
+        return analysis::analyzeSosParallel(*analysisTrace_,
+                                            result.segmentFunction,
                                             options.sync, *impl_->pool,
                                             options_.grainSizeRanks);
       });

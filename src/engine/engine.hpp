@@ -87,6 +87,9 @@ struct CacheStats {
 /// copy; keeps the underlying stages (and the engine's trace) alive even
 /// across cache eviction or engine destruction.
 struct EngineResult {
+  /// The trace the stages were computed on. For a degraded (quarantined)
+  /// input this is the filtered view the analysis ran on, which SosResult
+  /// points into; for a clean trace it is the engine's trace itself.
   std::shared_ptr<const trace::Trace> trace;
   std::shared_ptr<const profile::FlatProfile> profile;
   std::shared_ptr<const analysis::DominantSelection> selection;
@@ -101,7 +104,9 @@ struct EngineResult {
 class AnalysisEngine {
 public:
   /// Take ownership of `trace` (move it in; the engine is the one place
-  /// that keeps it alive for cached results).
+  /// that keeps it alive for cached results). A trace with quarantined
+  /// ranks (a Salvage-mode load) is accepted: every stage then runs on
+  /// the trace::dropQuarantined view, exactly like analyzeTrace().
   explicit AnalysisEngine(trace::Trace trace, EngineOptions options = {});
 
   ~AnalysisEngine();
@@ -152,6 +157,9 @@ public:
 private:
   struct Impl;
   std::shared_ptr<const trace::Trace> trace_;
+  /// What the stages compute on: trace_ itself for a clean trace, the
+  /// dropQuarantined view for a degraded one (built once at construction).
+  std::shared_ptr<const trace::Trace> analysisTrace_;
   EngineOptions options_;
   std::unique_ptr<Impl> impl_;
 };

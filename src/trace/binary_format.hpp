@@ -40,6 +40,25 @@ Trace readBinaryV2(const unsigned char* image, std::size_t size,
 /// nor checksummed (inspect stays cheap on large files).
 BinaryFileInfo inspectBinaryV2(const unsigned char* image, std::size_t size);
 
+/// Salvage-mode v2 reader: the header, block table and definitions must
+/// still verify (they are the trust root), but rank blocks that fail
+/// checksum, decode or extent checks are quarantined instead of throwing —
+/// each keeps its balanced salvaged event prefix and gets a LoadReport
+/// entry. The caller stamps Trace::quarantined from the report.
+Trace readBinaryV2Salvage(const unsigned char* image, std::size_t size,
+                          const BinaryReadOptions& options,
+                          LoadReport& report);
+
+/// Shared salvage post-pass: keep the longest structurally sane prefix of
+/// `events` (defined refs, no self-messages, consistent Enter/Leave
+/// nesting) and append synthetic Leave events at the last kept timestamp
+/// for frames still open, so the stream passes trace::validate(). Returns
+/// the number of decoded events kept (the closers come after them).
+std::size_t balanceSalvagedEvents(std::vector<Event>& events,
+                                  std::size_t functionCount,
+                                  std::size_t metricCount,
+                                  std::size_t processCount, ProcessId self);
+
 }  // namespace perfvar::trace::detail
 
 #endif  // PERFVAR_TRACE_BINARY_FORMAT_HPP

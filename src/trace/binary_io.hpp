@@ -22,9 +22,12 @@
 /// straight out of a memory-mapped file.
 ///
 /// writeBinary() defaults to v2; v1 files written by older versions keep
-/// loading through the legacy path. Readers validate magic, version and
-/// all checksums and throw perfvar::Error on any corruption; a Trace
-/// round-trips bit-exactly through either version.
+/// loading through the legacy path. In the default Strict recovery mode
+/// readers validate magic, version and all checksums and throw
+/// perfvar::Error on any corruption; a Trace round-trips bit-exactly
+/// through either version. RecoveryMode::Salvage instead quarantines the
+/// rank blocks that fail verification and returns every healthy rank (see
+/// docs/FORMAT.md, "Recovery semantics").
 
 #include <cstdint>
 #include <iosfwd>
@@ -58,6 +61,44 @@ struct BinaryWriteOptions {
   util::ThreadPool* pool = nullptr;
 };
 
+/// Recovery policy of the binary readers.
+enum class RecoveryMode : std::uint8_t {
+  /// Throw perfvar::Error on any fault (the historical contract).
+  Strict,
+  /// Quarantine rank blocks that fail checksum or decode, keep every
+  /// healthy rank. Header-level corruption (prologue, v2 fixed header /
+  /// block table / definitions) is unsalvageable and still throws.
+  Salvage,
+};
+
+/// Load status of one rank (process stream) of a binary trace file, as
+/// reported by a Salvage-mode load or by verifyBinaryFile().
+struct RankLoadStatus {
+  std::string process;               ///< process name (may be empty if lost)
+  bool ok = true;                    ///< stream verified and fully decoded
+  ErrorCode error = ErrorCode::None; ///< fault class when !ok
+  std::uint64_t bytesTotal = 0;      ///< encoded stream bytes per the file
+  std::uint64_t bytesSalvaged = 0;   ///< encoded bytes decoded successfully
+  std::uint64_t eventsDeclared = 0;  ///< event count per the file
+  std::uint64_t eventsSalvaged = 0;  ///< decoded events kept
+  std::uint64_t eventsDropped = 0;   ///< declared events lost to the fault
+};
+
+/// Per-rank outcome of a binary load (BinaryReadOptions::report) or of
+/// verifyBinaryFile().
+struct LoadReport {
+  std::uint32_t version = 0;  ///< on-disk format of the file
+  RecoveryMode mode = RecoveryMode::Strict;
+  std::vector<RankLoadStatus> ranks;  ///< one entry per process, in order
+
+  std::size_t quarantinedCount() const;
+  bool clean() const { return quarantinedCount() == 0; }
+};
+
+/// Human-readable per-rank status table (the `trace_tool info --verify`
+/// and `trace_tool salvage` view).
+std::string formatLoadReport(const LoadReport& report);
+
 /// Options of the binary readers.
 struct BinaryReadOptions {
   /// Worker threads for the per-rank v2 block decode: 1 (default) decodes
@@ -71,6 +112,12 @@ struct BinaryReadOptions {
   /// the mapping when the platform supports it; a buffered read of the
   /// whole file is the fallback (and the behavior when false).
   bool mapFile = true;
+  /// Strict (default) throws on any fault; Salvage quarantines faulty
+  /// rank blocks (Trace::quarantined) and keeps the healthy ranks.
+  RecoveryMode recovery = RecoveryMode::Strict;
+  /// When set, receives the per-rank load outcome (all-ok for a
+  /// successful Strict load).
+  LoadReport* report = nullptr;
 };
 
 /// Serialize a trace to a stream (v2 by default; options.version selects).
@@ -102,6 +149,7 @@ struct BinaryBlockInfo {
   std::string process;        ///< process name
   std::uint64_t events = 0;   ///< events in this process stream
   std::uint64_t bytes = 0;    ///< encoded size of the stream in the file
+  std::uint64_t offset = 0;   ///< absolute file offset of the stream
 };
 
 /// Summary of a binary trace file without materializing its events
@@ -117,6 +165,15 @@ struct BinaryFileInfo {
 
 /// Inspect a binary trace file; throws perfvar::Error on corruption.
 BinaryFileInfo inspectBinaryFile(const std::string& path);
+
+/// Inspect an in-memory binary trace image (either version).
+BinaryFileInfo inspectBinaryBuffer(const void* data, std::size_t size);
+
+/// Verify a binary trace file rank by rank: runs a Salvage-mode load and
+/// returns the per-rank status table without keeping the trace. Throws
+/// only on unsalvageable (header-level) corruption or I/O failure.
+LoadReport verifyBinaryFile(const std::string& path,
+                            const BinaryReadOptions& options = {});
 
 }  // namespace perfvar::trace
 

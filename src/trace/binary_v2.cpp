@@ -121,7 +121,8 @@ public:
   bool atEnd() const { return p_ == end_; }
 
   std::uint8_t u8() {
-    PERFVAR_REQUIRE(p_ < end_, "binary trace v2: truncated block");
+    PERFVAR_REQUIRE_E(p_ < end_, "binary trace v2: truncated block",
+                      ErrorContext::at(ErrorCode::TruncatedInput));
     return *p_++;
   }
 
@@ -129,7 +130,8 @@ public:
     std::uint64_t v = 0;
     int shift = 0;
     while (true) {
-      PERFVAR_REQUIRE(shift < 64, "binary trace v2: varint too long");
+      PERFVAR_REQUIRE_E(shift < 64, "binary trace v2: varint too long",
+                        ErrorContext::at(ErrorCode::MalformedEvent));
       const std::uint8_t b = u8();
       v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
       if ((b & 0x80) == 0) {
@@ -141,7 +143,8 @@ public:
   }
 
   double f64() {
-    PERFVAR_REQUIRE(remaining() >= 8, "binary trace v2: truncated block");
+    PERFVAR_REQUIRE_E(remaining() >= 8, "binary trace v2: truncated block",
+                      ErrorContext::at(ErrorCode::TruncatedInput));
     const std::uint64_t bits = getU64LE(p_);
     p_ += 8;
     return std::bit_cast<double>(bits);
@@ -149,13 +152,18 @@ public:
 
   std::string string() {
     const std::uint64_t n = varint();
-    PERFVAR_REQUIRE(n < (1ULL << 24), "binary trace v2: oversized string");
-    PERFVAR_REQUIRE(remaining() >= n, "binary trace v2: truncated string");
+    PERFVAR_REQUIRE_E(n < (1ULL << 24), "binary trace v2: oversized string",
+                      ErrorContext::at(ErrorCode::MalformedEvent));
+    PERFVAR_REQUIRE_E(remaining() >= n, "binary trace v2: truncated string",
+                      ErrorContext::at(ErrorCode::TruncatedInput));
     std::string s(reinterpret_cast<const char*>(p_),
                   static_cast<std::size_t>(n));
     p_ += n;
     return s;
   }
+
+  /// Current read position (for salvage byte accounting).
+  const unsigned char* pos() const { return p_; }
 
 private:
   const unsigned char* p_;
@@ -213,45 +221,78 @@ std::string encodeEvents(const ProcessTrace& process) {
   return w.take();
 }
 
+/// Decode one event at the cursor, accumulating the delta-encoded
+/// timestamp into `last`. Throws on any malformed or truncated content.
+void decodeOneEvent(ByteCursor& c, Timestamp& last, Event& e) {
+  const std::uint8_t tag = c.u8();
+  const auto kind = static_cast<EventKind>(tag & 0x07);
+  PERFVAR_REQUIRE_E(kind <= EventKind::Metric,
+                    "binary trace v2: invalid event kind",
+                    ErrorContext::at(ErrorCode::MalformedEvent));
+  e.kind = kind;
+  last += c.varint();
+  e.time = last;
+  const std::uint32_t refLo = tag >> 3;
+  e.ref = refLo == kRefEscape
+              ? static_cast<std::uint32_t>(c.varint())
+              : refLo;
+  switch (kind) {
+    case EventKind::Enter:
+    case EventKind::Leave:
+      break;
+    case EventKind::MpiSend:
+    case EventKind::MpiRecv:
+      e.aux = static_cast<std::uint32_t>(c.varint());
+      e.size = c.varint();
+      break;
+    case EventKind::Metric:
+      e.value = c.f64();
+      break;
+  }
+}
+
 void decodeEvents(const unsigned char* begin, const unsigned char* end,
                   std::uint64_t count, std::vector<Event>& out) {
   // Every event is at least two bytes (tag + delta), so a valid count
   // can never exceed half the block; reserving is then safe even before
   // the events are decoded.
-  PERFVAR_REQUIRE(count <= static_cast<std::uint64_t>(end - begin) / 2,
-                  "binary trace v2: event count exceeds block size");
+  PERFVAR_REQUIRE_E(count <= static_cast<std::uint64_t>(end - begin) / 2,
+                    "binary trace v2: event count exceeds block size",
+                    ErrorContext::at(ErrorCode::MalformedEvent));
   out.reserve(static_cast<std::size_t>(count));
   ByteCursor c(begin, end);
   Timestamp last = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
-    const std::uint8_t tag = c.u8();
-    const auto kind = static_cast<EventKind>(tag & 0x07);
-    PERFVAR_REQUIRE(kind <= EventKind::Metric,
-                    "binary trace v2: invalid event kind");
     Event e;
-    e.kind = kind;
-    last += c.varint();
-    e.time = last;
-    const std::uint32_t refLo = tag >> 3;
-    e.ref = refLo == kRefEscape
-                ? static_cast<std::uint32_t>(c.varint())
-                : refLo;
-    switch (kind) {
-      case EventKind::Enter:
-      case EventKind::Leave:
-        break;
-      case EventKind::MpiSend:
-      case EventKind::MpiRecv:
-        e.aux = static_cast<std::uint32_t>(c.varint());
-        e.size = c.varint();
-        break;
-      case EventKind::Metric:
-        e.value = c.f64();
-        break;
-    }
+    decodeOneEvent(c, last, e);
     out.push_back(e);
   }
-  PERFVAR_REQUIRE(c.atEnd(), "binary trace v2: trailing bytes in block");
+  PERFVAR_REQUIRE_E(c.atEnd(), "binary trace v2: trailing bytes in block",
+                    ErrorContext::at(ErrorCode::MalformedEvent));
+}
+
+/// Best-effort decode of a (possibly corrupt or truncated) block prefix:
+/// keep whole events until the first decode failure or `maxCount` events.
+/// Growth is bounded by the byte range (every event is >= 2 bytes).
+/// Returns the encoded bytes consumed by the events kept.
+std::size_t decodeEventsLenient(const unsigned char* begin,
+                                const unsigned char* end,
+                                std::uint64_t maxCount,
+                                std::vector<Event>& out) {
+  ByteCursor c(begin, end);
+  Timestamp last = 0;
+  std::size_t consumed = 0;
+  while (!c.atEnd() && out.size() < maxCount) {
+    Event e;
+    try {
+      decodeOneEvent(c, last, e);
+    } catch (const Error&) {
+      break;
+    }
+    out.push_back(e);
+    consumed = static_cast<std::size_t>(c.pos() - begin);
+  }
+  return consumed;
 }
 
 // ---- header parsing -------------------------------------------------------
@@ -261,12 +302,19 @@ struct V2Layout {
   std::uint64_t defsOffset = 0;
   std::uint64_t defsSize = 0;
   std::vector<TableEntry> table;
+  /// Per-entry extent fault (lenient parses only; ErrorCode::None = sane).
+  std::vector<ErrorCode> blockFault;
 };
 
 /// Validate the prologue-to-table region of a v2 image (bounds + header
-/// hash + defs hash) and return the parsed layout.
-V2Layout parseHeader(const unsigned char* image, std::size_t size) {
-  PERFVAR_REQUIRE(size >= kTableOffset, "binary trace v2: truncated header");
+/// hash + defs hash) and return the parsed layout. The header, table and
+/// definitions must verify even when `lenientBlocks` is set (they are the
+/// trust root of a salvage load); lenient parses record per-entry extent
+/// faults in blockFault instead of throwing.
+V2Layout parseHeader(const unsigned char* image, std::size_t size,
+                     bool lenientBlocks = false) {
+  PERFVAR_REQUIRE_E(size >= kTableOffset, "binary trace v2: truncated header",
+                    ErrorContext::at(ErrorCode::TruncatedInput, size));
   V2Layout layout;
   const std::uint64_t storedHeaderHash = getU64LE(image + kHeaderHashOffset);
   layout.resolution = getU64LE(image + kFixedHeaderOffset);
@@ -274,40 +322,61 @@ V2Layout parseHeader(const unsigned char* image, std::size_t size) {
   layout.defsSize = getU64LE(image + 32);
   const std::uint64_t storedDefsHash = getU64LE(image + 40);
 
-  PERFVAR_REQUIRE(nProcs >= 1 && nProcs < (1ULL << 24),
-                  "binary trace v2: invalid process count");
+  PERFVAR_REQUIRE_E(nProcs >= 1 && nProcs < (1ULL << 24),
+                    "binary trace v2: invalid process count",
+                    ErrorContext::at(ErrorCode::MalformedEvent, 24));
   const std::uint64_t tableBytes = nProcs * kTableEntrySize;
-  PERFVAR_REQUIRE(kTableOffset + tableBytes <= size,
-                  "binary trace v2: truncated block table");
+  PERFVAR_REQUIRE_E(kTableOffset + tableBytes <= size,
+                    "binary trace v2: truncated block table",
+                    ErrorContext::at(ErrorCode::TruncatedInput, size));
   const std::uint64_t headerBytes = kTableOffset + tableBytes -
                                     kFixedHeaderOffset;
-  PERFVAR_REQUIRE(
+  PERFVAR_REQUIRE_E(
       fnv1a(image + kFixedHeaderOffset,
             static_cast<std::size_t>(headerBytes)) == storedHeaderHash,
-      "binary trace v2: header checksum mismatch");
+      "binary trace v2: header checksum mismatch",
+      ErrorContext::at(ErrorCode::ChecksumMismatch, kHeaderHashOffset));
 
   // Everything below is authenticated by the header hash.
-  PERFVAR_REQUIRE(layout.resolution > 0, "binary trace v2: zero resolution");
+  PERFVAR_REQUIRE_E(layout.resolution > 0, "binary trace v2: zero resolution",
+                    ErrorContext::at(ErrorCode::MalformedEvent,
+                                     kFixedHeaderOffset));
   layout.defsOffset = kTableOffset + tableBytes;
-  PERFVAR_REQUIRE(layout.defsOffset + layout.defsSize <= size,
-                  "binary trace v2: truncated definitions block");
-  PERFVAR_REQUIRE(
+  PERFVAR_REQUIRE_E(layout.defsOffset + layout.defsSize <= size,
+                    "binary trace v2: truncated definitions block",
+                    ErrorContext::at(ErrorCode::TruncatedInput, size));
+  PERFVAR_REQUIRE_E(
       fnv1a(image + layout.defsOffset,
             static_cast<std::size_t>(layout.defsSize)) == storedDefsHash,
-      "binary trace v2: definitions checksum mismatch");
+      "binary trace v2: definitions checksum mismatch",
+      ErrorContext::at(ErrorCode::ChecksumMismatch, 40));
 
   layout.table.resize(static_cast<std::size_t>(nProcs));
+  layout.blockFault.assign(layout.table.size(), ErrorCode::None);
   const std::uint64_t defsEnd = layout.defsOffset + layout.defsSize;
   for (std::size_t i = 0; i < layout.table.size(); ++i) {
-    const unsigned char* entry = image + kTableOffset + i * kTableEntrySize;
+    const std::uint64_t entryOffset = kTableOffset + i * kTableEntrySize;
+    const unsigned char* entry = image + entryOffset;
     TableEntry& t = layout.table[i];
     t.offset = getU64LE(entry);
     t.size = getU64LE(entry + 8);
     t.events = getU64LE(entry + 16);
     t.hash = getU64LE(entry + 24);
-    PERFVAR_REQUIRE(t.offset >= defsEnd && t.offset + t.size <= size &&
-                        t.offset + t.size >= t.offset,
-                    "binary trace v2: block extent out of range");
+    const bool noOverflow = t.offset + t.size >= t.offset;
+    const bool sane = t.offset >= defsEnd && noOverflow;
+    const bool inFile = sane && t.offset + t.size <= size;
+    if (inFile) {
+      continue;
+    }
+    // A sane extent reaching past the end of the file is a truncation
+    // (salvage can decode the present prefix); anything else is garbage.
+    const ErrorCode code = sane ? ErrorCode::TruncatedInput
+                                : ErrorCode::MalformedEvent;
+    PERFVAR_REQUIRE_E(lenientBlocks,
+                      "binary trace v2: block extent out of range",
+                      ErrorContext::at(code, entryOffset,
+                                       static_cast<std::int64_t>(i)));
+    layout.blockFault[i] = code;
   }
   return layout;
 }
@@ -318,23 +387,29 @@ std::vector<std::string> decodeDefs(const unsigned char* image,
   ByteCursor c(image + layout.defsOffset,
                image + layout.defsOffset + layout.defsSize);
   const std::uint64_t nFuncs = c.varint();
-  PERFVAR_REQUIRE(nFuncs < (1ULL << 24), "binary trace v2: too many functions");
+  PERFVAR_REQUIRE_E(nFuncs < (1ULL << 24),
+                    "binary trace v2: too many functions",
+                    ErrorContext::at(ErrorCode::MalformedEvent));
   for (std::uint64_t i = 0; i < nFuncs; ++i) {
     const std::string name = c.string();
     const std::string group = c.string();
     const auto paradigm = static_cast<Paradigm>(c.u8());
-    PERFVAR_REQUIRE(paradigm <= Paradigm::Other,
-                    "binary trace v2: invalid paradigm");
+    PERFVAR_REQUIRE_E(paradigm <= Paradigm::Other,
+                      "binary trace v2: invalid paradigm",
+                      ErrorContext::at(ErrorCode::MalformedEvent));
     trace.functions.intern(name, group, paradigm);
   }
   const std::uint64_t nMetrics = c.varint();
-  PERFVAR_REQUIRE(nMetrics < (1ULL << 24), "binary trace v2: too many metrics");
+  PERFVAR_REQUIRE_E(nMetrics < (1ULL << 24),
+                    "binary trace v2: too many metrics",
+                    ErrorContext::at(ErrorCode::MalformedEvent));
   for (std::uint64_t i = 0; i < nMetrics; ++i) {
     const std::string name = c.string();
     const std::string unit = c.string();
     const auto mode = static_cast<MetricMode>(c.u8());
-    PERFVAR_REQUIRE(mode <= MetricMode::Absolute,
-                    "binary trace v2: invalid metric mode");
+    PERFVAR_REQUIRE_E(mode <= MetricMode::Absolute,
+                      "binary trace v2: invalid metric mode",
+                      ErrorContext::at(ErrorCode::MalformedEvent));
     trace.metrics.intern(name, unit, mode);
   }
   std::vector<std::string> names;
@@ -342,8 +417,9 @@ std::vector<std::string> decodeDefs(const unsigned char* image,
   for (std::size_t i = 0; i < layout.table.size(); ++i) {
     names.push_back(c.string());
   }
-  PERFVAR_REQUIRE(c.atEnd(),
-                  "binary trace v2: trailing bytes in definitions block");
+  PERFVAR_REQUIRE_E(c.atEnd(),
+                    "binary trace v2: trailing bytes in definitions block",
+                    ErrorContext::at(ErrorCode::MalformedEvent));
   return names;
 }
 
@@ -441,9 +517,11 @@ Trace readBinaryV2(const unsigned char* image, std::size_t size,
         for (std::size_t i = begin; i < end; ++i) {
           const TableEntry& t = layout.table[i];
           const unsigned char* block = image + t.offset;
-          PERFVAR_REQUIRE(
+          PERFVAR_REQUIRE_E(
               fnv1a(block, static_cast<std::size_t>(t.size)) == t.hash,
-              "binary trace v2: block checksum mismatch");
+              "binary trace v2: block checksum mismatch",
+              ErrorContext::at(ErrorCode::ChecksumMismatch, t.offset,
+                               static_cast<std::int64_t>(i)));
           trace.processes[i].name = names[i];
           decodeEvents(block, block + t.size, t.events,
                        trace.processes[i].events);
@@ -456,9 +534,124 @@ Trace readBinaryV2(const unsigned char* image, std::size_t size,
     info->eventCount = trace.eventCount();
     for (std::size_t i = 0; i < layout.table.size(); ++i) {
       info->blocks.push_back(BinaryBlockInfo{
-          names[i], layout.table[i].events, layout.table[i].size});
+          names[i], layout.table[i].events, layout.table[i].size,
+          layout.table[i].offset});
     }
   }
+  return trace;
+}
+
+std::size_t balanceSalvagedEvents(std::vector<Event>& events,
+                                  std::size_t functionCount,
+                                  std::size_t metricCount,
+                                  std::size_t processCount, ProcessId self) {
+  std::vector<std::uint32_t> open;  // refs of currently open Enter frames
+  std::size_t keep = 0;
+  for (const Event& e : events) {
+    bool sane = true;
+    switch (e.kind) {
+      case EventKind::Enter:
+        sane = e.ref < functionCount;
+        if (sane) {
+          open.push_back(e.ref);
+        }
+        break;
+      case EventKind::Leave:
+        sane = e.ref < functionCount && !open.empty() &&
+               open.back() == e.ref;
+        if (sane) {
+          open.pop_back();
+        }
+        break;
+      case EventKind::MpiSend:
+      case EventKind::MpiRecv:
+        sane = e.ref < processCount && e.ref != self;
+        break;
+      case EventKind::Metric:
+        sane = e.ref < metricCount;
+        break;
+    }
+    if (!sane) {
+      break;
+    }
+    ++keep;
+  }
+  events.resize(keep);
+  const Timestamp last = keep > 0 ? events[keep - 1].time : 0;
+  for (auto it = open.rbegin(); it != open.rend(); ++it) {
+    Event close;
+    close.kind = EventKind::Leave;
+    close.time = last;
+    close.ref = *it;
+    events.push_back(close);
+  }
+  return keep;
+}
+
+Trace readBinaryV2Salvage(const unsigned char* image, std::size_t size,
+                          const BinaryReadOptions& options,
+                          LoadReport& report) {
+  const V2Layout layout = parseHeader(image, size, /*lenientBlocks=*/true);
+  Trace trace;
+  trace.resolution = layout.resolution;
+  const std::vector<std::string> names = decodeDefs(image, layout, trace);
+
+  const std::size_t nProcs = layout.table.size();
+  trace.processes.resize(nProcs);
+  report.version = kBinaryFormatV2;
+  report.mode = RecoveryMode::Salvage;
+  report.ranks.assign(nProcs, RankLoadStatus{});
+
+  std::unique_ptr<util::ThreadPool> owned;
+  util::ThreadPool* pool = resolvePool(options.pool, options.threads, owned);
+  // Same rank-sharded shape as the strict reader: every task verifies,
+  // decodes (or salvages) and reports only its own process slot, so the
+  // result is identical for every thread count.
+  util::parallelChunks(pool, nProcs, 1, [&](std::size_t begin,
+                                            std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const TableEntry& t = layout.table[i];
+      RankLoadStatus& st = report.ranks[i];
+      st.process = names[i];
+      st.bytesTotal = t.size;
+      st.eventsDeclared = t.events;
+      trace.processes[i].name = names[i];
+      std::vector<Event>& events = trace.processes[i].events;
+
+      ErrorCode fault = layout.blockFault[i];
+      if (fault == ErrorCode::None) {
+        const unsigned char* block = image + t.offset;
+        if (fnv1a(block, static_cast<std::size_t>(t.size)) == t.hash) {
+          try {
+            decodeEvents(block, block + t.size, t.events, events);
+            st.bytesSalvaged = t.size;
+            st.eventsSalvaged = t.events;
+            continue;  // rank is healthy
+          } catch (const Error& e) {
+            fault = e.code() == ErrorCode::Generic ? ErrorCode::MalformedEvent
+                                                   : e.code();
+            events.clear();
+          }
+        } else {
+          fault = ErrorCode::ChecksumMismatch;
+        }
+        st.bytesSalvaged = decodeEventsLenient(block, block + t.size,
+                                               t.events, events);
+      } else if (fault == ErrorCode::TruncatedInput && t.offset < size) {
+        // Tail block cut off mid-write: decode the bytes that made it.
+        const unsigned char* block = image + t.offset;
+        st.bytesSalvaged = decodeEventsLenient(block, image + size,
+                                               t.events, events);
+      }
+      st.ok = false;
+      st.error = fault;
+      st.eventsSalvaged = balanceSalvagedEvents(
+          events, trace.functions.size(), trace.metrics.size(), nProcs,
+          static_cast<ProcessId>(i));
+      st.eventsDropped =
+          t.events > st.eventsSalvaged ? t.events - st.eventsSalvaged : 0;
+    }
+  });
   return trace;
 }
 
@@ -473,7 +666,8 @@ BinaryFileInfo inspectBinaryV2(const unsigned char* image, std::size_t size) {
   info.resolution = layout.resolution;
   for (std::size_t i = 0; i < layout.table.size(); ++i) {
     info.blocks.push_back(BinaryBlockInfo{
-        names[i], layout.table[i].events, layout.table[i].size});
+        names[i], layout.table[i].events, layout.table[i].size,
+        layout.table[i].offset});
     info.eventCount += layout.table[i].events;
   }
   return info;

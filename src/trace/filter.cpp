@@ -155,4 +155,20 @@ Trace selectProcesses(const Trace& tr,
   return out;
 }
 
+Trace dropQuarantined(const Trace& tr) {
+  if (tr.quarantined.empty()) {
+    return tr;
+  }
+  std::vector<ProcessId> keep;
+  keep.reserve(tr.processCount());
+  for (ProcessId p = 0; p < tr.processCount(); ++p) {
+    if (!tr.isQuarantined(p)) {
+      keep.push_back(p);
+    }
+  }
+  PERFVAR_REQUIRE(!keep.empty(),
+                  "dropQuarantined: every rank is quarantined");
+  return selectProcesses(tr, keep);
+}
+
 }  // namespace perfvar::trace

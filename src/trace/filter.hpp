@@ -42,6 +42,14 @@ Trace filterFunctions(const Trace& trace,
 Trace selectProcesses(const Trace& trace,
                       const std::vector<ProcessId>& processes);
 
+/// Drop every quarantined rank of a salvage-loaded trace (selectProcesses
+/// semantics: dense renumbering in ascending process order, messages to
+/// dropped peers removed) and clear the quarantine metadata. The result is
+/// the clean analyzable subset. A trace without quarantined ranks is
+/// returned as a plain copy. Throws perfvar::Error if every rank is
+/// quarantined (nothing left to analyze).
+Trace dropQuarantined(const Trace& trace);
+
 }  // namespace perfvar::trace
 
 #endif  // PERFVAR_TRACE_FILTER_HPP

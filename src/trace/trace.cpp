@@ -7,6 +7,15 @@
 
 namespace perfvar::trace {
 
+bool Trace::isQuarantined(ProcessId p) const {
+  for (const auto& q : quarantined) {
+    if (q.process == p) {
+      return true;
+    }
+  }
+  return false;
+}
+
 std::size_t Trace::eventCount() const {
   std::size_t n = 0;
   for (const auto& p : processes) {
@@ -120,7 +129,10 @@ void requireValid(const Trace& trace) {
   if (issues.size() > shown) {
     os << "\n  ...";
   }
-  throw Error(os.str());
+  ErrorContext context;
+  context.code = ErrorCode::MalformedEvent;
+  context.rank = static_cast<std::int64_t>(issues.front().process);
+  throw Error(os.str(), std::move(context));
 }
 
 }  // namespace perfvar::trace

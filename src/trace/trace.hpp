@@ -10,6 +10,7 @@
 
 #include "trace/definitions.hpp"
 #include "trace/event.hpp"
+#include "util/error.hpp"
 
 namespace perfvar::trace {
 
@@ -17,6 +18,19 @@ namespace perfvar::trace {
 struct ProcessTrace {
   std::string name;           ///< e.g. "Rank 17"
   std::vector<Event> events;  ///< time-sorted
+};
+
+/// A rank whose on-disk block failed verification during a salvage load
+/// (BinaryReadOptions::recovery == RecoveryMode::Salvage). The process
+/// stays in Trace::processes — holding whatever balanced event prefix was
+/// recovered, possibly none — but analyses must not trust it.
+struct QuarantinedRank {
+  ProcessId process = 0;      ///< index into Trace::processes
+  std::string name;           ///< process name (may be empty if lost)
+  ErrorCode error = ErrorCode::Generic;  ///< why the rank was quarantined
+  std::uint64_t bytesSalvaged = 0;   ///< encoded bytes decoded successfully
+  std::uint64_t eventsSalvaged = 0;  ///< decoded events kept (before closers)
+  std::uint64_t eventsDropped = 0;   ///< declared events lost to the fault
 };
 
 /// A complete trace: definitions plus one event stream per process.
@@ -27,7 +41,15 @@ struct Trace {
   MetricRegistry metrics;
   std::vector<ProcessTrace> processes;
 
+  /// Ranks quarantined by a salvage load, sorted by process id; empty for
+  /// every trace loaded strictly or built in memory. Analyses skip these
+  /// ranks (see trace::dropQuarantined / analysis::analyzeTrace).
+  std::vector<QuarantinedRank> quarantined;
+
   std::size_t processCount() const { return processes.size(); }
+
+  /// True when process `p` was quarantined by a salvage load.
+  bool isQuarantined(ProcessId p) const;
 
   /// Total number of events across all processes.
   std::size_t eventCount() const;

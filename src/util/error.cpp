@@ -1,15 +1,57 @@
 #include "util/error.hpp"
 
 #include <sstream>
+#include <utility>
 
-namespace perfvar::detail {
+namespace perfvar {
 
-void throwError(const char* condition, const char* file, int line,
-                const std::string& message) {
+const char* errorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::None:
+      return "none";
+    case ErrorCode::Generic:
+      return "error";
+    case ErrorCode::IoFailure:
+      return "io-failure";
+    case ErrorCode::BadMagic:
+      return "bad-magic";
+    case ErrorCode::UnsupportedVersion:
+      return "unsupported-version";
+    case ErrorCode::ChecksumMismatch:
+      return "checksum-mismatch";
+    case ErrorCode::TruncatedInput:
+      return "truncated-input";
+    case ErrorCode::MalformedEvent:
+      return "malformed-event";
+    case ErrorCode::StackImbalance:
+      return "stack-imbalance";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+namespace {
+
+std::string formatWhat(const char* condition, const char* file, int line,
+                       const std::string& message) {
   std::ostringstream os;
   os << "perfvar: " << message << " [failed: " << condition << " at " << file
      << ":" << line << "]";
-  throw Error(os.str());
+  return os.str();
 }
 
-}  // namespace perfvar::detail
+}  // namespace
+
+void throwError(const char* condition, const char* file, int line,
+                const std::string& message) {
+  throw Error(formatWhat(condition, file, line, message));
+}
+
+void throwError(const char* condition, const char* file, int line,
+                const std::string& message, ErrorContext context) {
+  throw Error(formatWhat(condition, file, line, message), std::move(context));
+}
+
+}  // namespace detail
+}  // namespace perfvar

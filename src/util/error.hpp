@@ -5,24 +5,92 @@
 /// Error handling primitives for the perfvar libraries.
 ///
 /// The libraries report contract violations and malformed inputs through
-/// perfvar::Error (a std::runtime_error subtype). Internal invariants are
-/// asserted with PERFVAR_ASSERT; user-facing precondition checks use
-/// PERFVAR_REQUIRE which is always active.
+/// perfvar::Error (a std::runtime_error subtype). An Error carries a
+/// machine-readable ErrorCode plus — where the failure site knows them —
+/// the failing byte offset, rank and file path, so callers and tests can
+/// assert on *which* failure occurred instead of string-matching what().
+///
+/// Internal invariants are asserted with PERFVAR_ASSERT (compiled out
+/// under NDEBUG); user-facing precondition checks use PERFVAR_REQUIRE /
+/// PERFVAR_REQUIRE_E, which are always active.
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 namespace perfvar {
 
+/// Machine-readable failure classification carried by perfvar::Error.
+/// `None` is reserved for "no fault" slots in per-rank status tables;
+/// a thrown Error always carries `Generic` or a more specific code.
+enum class ErrorCode : std::uint8_t {
+  None = 0,            ///< no fault (status-table sentinel, never thrown)
+  Generic,             ///< uncategorized contract violation
+  IoFailure,           ///< file cannot be opened / read / written
+  BadMagic,            ///< input does not start with the PVTF magic
+  UnsupportedVersion,  ///< recognized container, unknown format version
+  ChecksumMismatch,    ///< stored hash does not match recomputed hash
+  TruncatedInput,      ///< input ends before the declared data does
+  MalformedEvent,      ///< structurally invalid payload content
+  StackImbalance,      ///< Enter/Leave nesting violated
+};
+
+/// Stable kebab-case name for an ErrorCode ("checksum-mismatch", ...).
+const char* errorCodeName(ErrorCode code);
+
+/// Optional failure-site context attached to an Error at the throw site.
+/// Fields default to "unknown" and are filled in only where the site
+/// actually knows them.
+struct ErrorContext {
+  /// Sentinel for "byte offset unknown".
+  static constexpr std::uint64_t kNoByteOffset = ~std::uint64_t{0};
+
+  ErrorCode code = ErrorCode::Generic;
+  std::uint64_t byteOffset = kNoByteOffset;  ///< offset into the input image
+  std::int64_t rank = -1;                    ///< failing process, -1 unknown
+  std::string path;                          ///< file path, empty if unknown
+
+  /// Throw-site shorthand: ErrorContext::at(ErrorCode::TruncatedInput,
+  /// offset, rank).
+  static ErrorContext at(ErrorCode code,
+                         std::uint64_t byteOffset = kNoByteOffset,
+                         std::int64_t rank = -1) {
+    ErrorContext c;
+    c.code = code;
+    c.byteOffset = byteOffset;
+    c.rank = rank;
+    return c;
+  }
+};
+
 /// Exception type thrown by all perfvar libraries.
 class Error : public std::runtime_error {
 public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what)
+      : std::runtime_error(what) {}
+  Error(const std::string& what, ErrorContext context)
+      : std::runtime_error(what), context_(std::move(context)) {}
+
+  ErrorCode code() const { return context_.code; }
+  /// Byte offset of the failure into the input image;
+  /// ErrorContext::kNoByteOffset when unknown.
+  std::uint64_t byteOffset() const { return context_.byteOffset; }
+  /// Failing rank / process index; -1 when unknown.
+  std::int64_t rank() const { return context_.rank; }
+  /// File path involved in the failure; empty when unknown.
+  const std::string& path() const { return context_.path; }
+  const ErrorContext& context() const { return context_; }
+
+private:
+  ErrorContext context_;
 };
 
 namespace detail {
 [[noreturn]] void throwError(const char* condition, const char* file, int line,
                              const std::string& message);
+[[noreturn]] void throwError(const char* condition, const char* file, int line,
+                             const std::string& message,
+                             ErrorContext context);
 }  // namespace detail
 
 }  // namespace perfvar
@@ -35,7 +103,31 @@ namespace detail {
     }                                                                         \
   } while (false)
 
-/// Internal invariant check; enabled unless NDEBUG-only builds disable it.
+/// Precondition check carrying an ErrorCode (and optionally byte offset,
+/// rank, path) so the thrown Error is machine-classifiable:
+///   PERFVAR_REQUIRE_E(ok, "bad block",
+///                     (ErrorContext{ErrorCode::ChecksumMismatch}));
+/// Always enabled.
+#define PERFVAR_REQUIRE_E(cond, message, context)                             \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::perfvar::detail::throwError(#cond, __FILE__, __LINE__, (message),     \
+                                    (context));                               \
+    }                                                                         \
+  } while (false)
+
+/// Internal invariant check; compiled out under NDEBUG. The condition is
+/// never evaluated in release builds, so it must be side-effect free.
+#ifdef NDEBUG
+#define PERFVAR_ASSERT(cond, message)                                         \
+  do {                                                                        \
+    if (false) {                                                              \
+      static_cast<void>(cond);                                                \
+      static_cast<void>(message);                                             \
+    }                                                                         \
+  } while (false)
+#else
 #define PERFVAR_ASSERT(cond, message) PERFVAR_REQUIRE(cond, message)
+#endif
 
 #endif  // PERFVAR_UTIL_ERROR_HPP

@@ -19,19 +19,29 @@ namespace perfvar::util {
 
 namespace {
 
+ErrorContext ioFailure(const std::string& path) {
+  ErrorContext c;
+  c.code = ErrorCode::IoFailure;
+  c.path = path;
+  return c;
+}
+
 /// Slurp the whole file with one buffered read.
 std::vector<unsigned char> readWholeFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
-  PERFVAR_REQUIRE(in.good(), "cannot open '" + path + "' for reading");
+  PERFVAR_REQUIRE_E(in.good(), "cannot open '" + path + "' for reading",
+                    ioFailure(path));
   const std::streamoff size = in.tellg();
-  PERFVAR_REQUIRE(size >= 0, "cannot determine size of '" + path + "'");
+  PERFVAR_REQUIRE_E(size >= 0, "cannot determine size of '" + path + "'",
+                    ioFailure(path));
   std::vector<unsigned char> bytes(static_cast<std::size_t>(size));
   in.seekg(0);
   if (!bytes.empty()) {
     in.read(reinterpret_cast<char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
-    PERFVAR_REQUIRE(in.gcount() == static_cast<std::streamsize>(bytes.size()),
-                    "short read from '" + path + "'");
+    PERFVAR_REQUIRE_E(
+        in.gcount() == static_cast<std::streamsize>(bytes.size()),
+        "short read from '" + path + "'", ioFailure(path));
   }
   return bytes;
 }
@@ -43,7 +53,8 @@ FileView FileView::open(const std::string& path, bool allowMmap) {
 #if PERFVAR_HAVE_MMAP
   if (allowMmap) {
     const int fd = ::open(path.c_str(), O_RDONLY);
-    PERFVAR_REQUIRE(fd >= 0, "cannot open '" + path + "' for reading");
+    PERFVAR_REQUIRE_E(fd >= 0, "cannot open '" + path + "' for reading",
+                      ioFailure(path));
     struct stat st{};
     if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
       const auto size = static_cast<std::size_t>(st.st_size);

@@ -56,6 +56,11 @@ std::vector<double> resampleRow(const std::vector<double>& row,
   return out;
 }
 
+bool isNoDataRow(const HeatmapOptions& options, std::size_t row) {
+  return std::find(options.noDataRows.begin(), options.noDataRows.end(),
+                   row) != options.noDataRows.end();
+}
+
 std::size_t labelStride(std::size_t rows, std::size_t requested,
                         std::size_t maxLabels) {
   if (requested > 0) {
@@ -106,6 +111,11 @@ Image renderHeatmapImage(const Matrix& values, const HeatmapOptions& options) {
   const std::size_t x0 = labelWidth + 1;
   const std::size_t y0 = titleHeight + 1;
   for (std::size_t r = 0; r < rows; ++r) {
+    if (isNoDataRow(options, r)) {
+      img.fillRect(x0, y0 + r * options.cellHeight, cols * options.cellWidth,
+                   options.cellHeight, options.noDataColor);
+      continue;
+    }
     for (std::size_t c = 0; c < cols; ++c) {
       const double v = c < values[r].size()
                            ? values[r][c]
@@ -170,6 +180,12 @@ SvgDocument renderHeatmapSvg(const Matrix& values,
   const double x0 = labelW + 4;
   const double y0 = titleH + 4;
   for (std::size_t r = 0; r < rows; ++r) {
+    if (isNoDataRow(options, r)) {
+      svg.rect(x0, y0 + cellH * static_cast<double>(r),
+               cellW * static_cast<double>(cols) + 0.3, cellH + 0.3,
+               options.noDataColor);
+      continue;
+    }
     for (std::size_t c = 0; c < cols; ++c) {
       const double v = c < values[r].size()
                            ? values[r][c]
@@ -225,6 +241,19 @@ std::string renderTerminal(const Matrix& values, const HeatmapOptions& options,
   for (std::size_t r = 0; r < values.size(); ++r) {
     if (r < options.rowLabels.size()) {
       os << fmt::pad(options.rowLabels[r], -12) << ' ';
+    }
+    if (isNoDataRow(options, r)) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (ansi) {
+          const Rgb b = options.noDataColor;
+          os << "\x1b[48;2;" << int{b.r} << ';' << int{b.g} << ';' << int{b.b}
+             << "m \x1b[0m";
+        } else {
+          os << 'x';
+        }
+      }
+      os << '\n';
+      continue;
     }
     const auto row = resampleRow(values[r], cols, fullWidth);
     for (const double v : row) {

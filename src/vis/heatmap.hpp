@@ -35,6 +35,11 @@ struct HeatmapOptions {
   bool legend = true;
   /// Label every k-th row (0 = automatic).
   std::size_t rowLabelStride = 0;
+  /// Row indices rendered as explicit "no data" bands (quarantined ranks
+  /// of a salvaged trace); their cell values are ignored.
+  std::vector<std::size_t> noDataRows;
+  /// Color of the no-data bands.
+  Rgb noDataColor{210, 210, 214};
 };
 
 /// A value matrix: rows = processes, columns = iterations / time bins.

@@ -164,6 +164,11 @@ std::vector<std::vector<trace::FunctionId>> timelineBins(
   std::vector<std::vector<trace::FunctionId>> result(
       tr.processCount(),
       std::vector<trace::FunctionId>(bins, trace::kInvalidFunction));
+  for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
+    if (tr.isQuarantined(p)) {
+      std::fill(result[p].begin(), result[p].end(), kTimelineNoData);
+    }
+  }
   if (span <= 0.0) {
     return result;
   }
@@ -172,6 +177,9 @@ std::vector<std::vector<trace::FunctionId>> timelineBins(
   std::vector<std::vector<double>> coverage(bins,
                                             std::vector<double>(nFuncs, 0.0));
   for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
+    if (tr.isQuarantined(p)) {
+      continue;
+    }
     for (auto& binRow : coverage) {
       std::fill(binRow.begin(), binRow.end(), 0.0);
     }
@@ -233,8 +241,9 @@ Image renderTimelineImage(const trace::Trace& tr, const FunctionColors& colors,
   for (std::size_t r = 0; r < rows; ++r) {
     for (std::size_t c = 0; c < cols; ++c) {
       const trace::FunctionId f = bins[r][c];
-      const Rgb color =
-          f == trace::kInvalidFunction ? options.idleColor : colors.color(f);
+      const Rgb color = f == trace::kInvalidFunction ? options.idleColor
+                        : f == kTimelineNoData       ? options.noDataColor
+                                                     : colors.color(f);
       img.fillRect(1 + c, y0 + r * options.rowHeight, 1, options.rowHeight,
                    color);
     }
@@ -285,8 +294,9 @@ SvgDocument renderTimelineSvg(const trace::Trace& tr,
         ++c1;
       }
       const trace::FunctionId f = bins[r][c];
-      const Rgb color =
-          f == trace::kInvalidFunction ? options.idleColor : colors.color(f);
+      const Rgb color = f == trace::kInvalidFunction ? options.idleColor
+                        : f == kTimelineNoData       ? options.noDataColor
+                                                     : colors.color(f);
       svg.rect(x0 + cellW * static_cast<double>(c),
                y0 + rowH * static_cast<double>(r),
                cellW * static_cast<double>(c1 - c) + 0.2, rowH + 0.2, color);
@@ -310,6 +320,9 @@ SvgDocument renderTimelineSvg(const trace::Trace& tr,
                std::vector<trace::Timestamp>>
           pendingSends;
       for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
+        if (tr.isQuarantined(p)) {
+          continue;  // salvaged partial streams are not trustworthy
+        }
         for (const auto& e : tr.processes[p].events) {
           if (e.kind == trace::EventKind::MpiSend) {
             pendingSends[{p, e.ref, e.aux}].push_back(e.time);
@@ -321,6 +334,9 @@ SvgDocument renderTimelineSvg(const trace::Trace& tr,
           nextSend;
       std::vector<Msg> messages;
       for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
+        if (tr.isQuarantined(p)) {
+          continue;
+        }
         for (const auto& e : tr.processes[p].events) {
           if (e.kind == trace::EventKind::MpiRecv) {
             const auto key = std::make_tuple(
@@ -402,7 +418,9 @@ std::string renderTimelineAscii(const trace::Trace& tr,
   }
   for (std::size_t p = 0; p < bins.size(); ++p) {
     for (const trace::FunctionId f : bins[p]) {
-      os << (f == trace::kInvalidFunction ? ' ' : funcChar[f]);
+      os << (f == trace::kInvalidFunction ? ' '
+             : f == kTimelineNoData       ? 'x'
+                                          : funcChar[f]);
     }
     os << '\n';
   }
@@ -410,6 +428,9 @@ std::string renderTimelineAscii(const trace::Trace& tr,
     os << "legend: # = MPI";
     for (const auto& [label, c] : groupChar) {
       os << ", " << c << " = " << label;
+    }
+    if (!tr.quarantined.empty()) {
+      os << ", x = no data (quarantined)";
     }
     os << '\n';
   }

@@ -56,6 +56,9 @@ struct TimelineOptions {
   std::size_t maxMessageLines = 2000;
   /// Idle (no function on the stack) color.
   Rgb idleColor{245, 245, 245};
+  /// Color of quarantined (salvage-dropped) rank rows, rendered as
+  /// explicit "no data" bands distinct from idle.
+  Rgb noDataColor{210, 210, 214};
   /// Render the function-group legend.
   bool legend = true;
   /// Restrict rendering to [start, end) ticks; 0/0 = full trace.
@@ -63,10 +66,18 @@ struct TimelineOptions {
   trace::Timestamp windowEnd = 0;
 };
 
+/// Sentinel bin value marking a quarantined rank's row: the renderers
+/// paint it in TimelineOptions::noDataColor ('x' in ASCII) instead of
+/// looking up a function color.
+inline constexpr trace::FunctionId kTimelineNoData =
+    trace::kInvalidFunction - 1;
+
 /// Compute the [process][bin] dominant-function matrix underlying the
 /// timeline: each cell holds the FunctionId covering the largest time
 /// share of that bin on top of the stack, or trace::kInvalidFunction for
-/// idle. Exposed for tests and ASCII rendering.
+/// idle. Rows of quarantined ranks are filled with kTimelineNoData —
+/// salvaged partial data is deliberately not drawn as if it were sound.
+/// Exposed for tests and ASCII rendering.
 std::vector<std::vector<trace::FunctionId>> timelineBins(
     const trace::Trace& trace, const TimelineOptions& options);
 

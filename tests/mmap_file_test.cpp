@@ -1,0 +1,114 @@
+/// Edge coverage of util::FileView, the whole-file view behind the
+/// zero-copy trace loaders: mapped and buffered paths must agree on the
+/// bytes, zero-length files must yield a valid empty view, missing files
+/// must raise a classified IoFailure naming the path, and moves must
+/// transfer ownership of the mapping.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/mmap_file.hpp"
+
+namespace perfvar::util {
+namespace {
+
+/// RAII temp file with the given contents.
+class TempFile {
+public:
+  explicit TempFile(const std::string& name, const std::string& contents)
+      : path_(name) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+private:
+  std::string path_;
+};
+
+std::string bytes(const FileView& view) {
+  return std::string(reinterpret_cast<const char*>(view.data()),
+                     view.size());
+}
+
+TEST(FileView, MappedAndBufferedPathsSeeTheSameBytes) {
+  std::string contents;
+  for (int i = 0; i < 10000; ++i) {
+    contents.push_back(static_cast<char>(i * 37));
+  }
+  const TempFile f("mmap_file_test_data.bin", contents);
+
+  const FileView mapped = FileView::open(f.path(), /*allowMmap=*/true);
+  const FileView buffered = FileView::open(f.path(), /*allowMmap=*/false);
+  EXPECT_FALSE(buffered.mapped());
+  EXPECT_EQ(bytes(mapped), contents);
+  EXPECT_EQ(bytes(buffered), contents);
+}
+
+TEST(FileView, ZeroLengthFileYieldsAnEmptyView) {
+  const TempFile f("mmap_file_test_empty.bin", "");
+  for (const bool allowMmap : {true, false}) {
+    const FileView view = FileView::open(f.path(), allowMmap);
+    EXPECT_EQ(view.size(), 0u);
+  }
+}
+
+TEST(FileView, MissingFileThrowsIoFailureWithThePath) {
+  const std::string missing = "mmap_file_test_definitely_missing.bin";
+  for (const bool allowMmap : {true, false}) {
+    try {
+      FileView::open(missing, allowMmap);
+      FAIL() << "open() of a missing file must throw";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::IoFailure);
+      EXPECT_EQ(e.path(), missing);
+    }
+  }
+}
+
+TEST(FileView, BufferedViewSurvivesTheFileShrinkingAfterOpen) {
+  // The buffered path snapshots the file at open time: later shrinking
+  // (a writer truncating the trace mid-session) must not disturb an
+  // already-open view.
+  const std::string contents(4096, 'x');
+  const TempFile f("mmap_file_test_shrink.bin", contents);
+  const FileView view = FileView::open(f.path(), /*allowMmap=*/false);
+  {
+    std::ofstream shrink(f.path(), std::ios::binary | std::ios::trunc);
+  }
+  EXPECT_EQ(bytes(view), contents);
+}
+
+TEST(FileView, MoveTransfersTheView) {
+  const std::string contents = "move me";
+  const TempFile f("mmap_file_test_move.bin", contents);
+
+  FileView a = FileView::open(f.path());
+  const bool wasMapped = a.mapped();
+  FileView b = std::move(a);
+  EXPECT_EQ(bytes(b), contents);
+  EXPECT_EQ(b.mapped(), wasMapped);
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(a.size(), 0u);
+
+  FileView c;
+  c = std::move(b);
+  EXPECT_EQ(bytes(c), contents);
+}
+
+TEST(FileView, DefaultConstructedViewIsEmpty) {
+  const FileView view;
+  EXPECT_EQ(view.data(), nullptr);
+  EXPECT_EQ(view.size(), 0u);
+  EXPECT_FALSE(view.mapped());
+}
+
+}  // namespace
+}  // namespace perfvar::util

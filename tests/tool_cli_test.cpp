@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include <sys/wait.h>
@@ -13,6 +14,7 @@
 #include "apps/cosmo_specs.hpp"
 #include "sim/simulator.hpp"
 #include "trace/binary_io.hpp"
+#include "trace/fault_injection.hpp"
 
 #ifndef PERFVAR_TRACE_TOOL_BIN
 #error "PERFVAR_TRACE_TOOL_BIN must point at the trace_tool executable"
@@ -60,6 +62,31 @@ const std::string& tracePath() {
         sim::simulate(scenario.program, scenario.simOptions);
     const std::string p = "tool_cli_test.pvt";
     trace::saveBinaryFile(tr, p);
+    return p;
+  }();
+  return path;
+}
+
+/// A copy of the fixture trace with one rank's v2 block corrupted
+/// (written once per test binary).
+const std::string& corruptTracePath() {
+  static const std::string path = [] {
+    tracePath();  // ensure the clean fixture exists
+    const trace::Trace tr = trace::loadBinaryFile(tracePath());
+    const perfvar::testing::Image clean =
+        perfvar::testing::encodeImage(tr, trace::kBinaryFormatV2);
+    const trace::BinaryFileInfo info =
+        trace::inspectBinaryBuffer(clean.data(), clean.size());
+    const trace::BinaryBlockInfo& block = info.blocks.back();
+    perfvar::testing::FaultInjector injector(11);
+    const perfvar::testing::Image bad = injector.bitFlip(
+        clean, static_cast<std::size_t>(block.offset),
+        static_cast<std::size_t>(block.offset) +
+            static_cast<std::size_t>(block.bytes));
+    const std::string p = "tool_cli_test_corrupt.pvt";
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bad.data()),
+              static_cast<std::streamsize>(bad.size()));
     return p;
   }();
   return path;
@@ -155,6 +182,76 @@ TEST(ToolCli, BadFormatValueIsAUsageError) {
 TEST(ToolCli, InfoOnMissingFileIsARuntimeError) {
   EXPECT_EQ(run(tool() + " info definitely_missing.pvt 2>/dev/null").exitCode,
             1);
+}
+
+// ---- structured error lines ----------------------------------------------
+
+TEST(ToolCli, MissingInputPrintsTheStructuredErrorLine) {
+  // Swap the streams so the pipe captures stderr: load failures must be
+  // one greppable `error: <code>: <path>` line.
+  for (const std::string cmd : {"stats", "info", "analyze", "salvage"}) {
+    const std::string trailing = cmd == "salvage" ? " out.pvt" : "";
+    const RunResult r = run(tool() + " " + cmd + " definitely_missing.pvt" +
+                            trailing + " 2>&1 1>/dev/null");
+    EXPECT_EQ(r.exitCode, 1) << cmd;
+    EXPECT_NE(r.out.find("error: io-failure: definitely_missing.pvt"),
+              std::string::npos)
+        << cmd << " stderr: " << r.out;
+  }
+}
+
+TEST(ToolCli, CorruptInputPrintsTheStructuredErrorLine) {
+  const RunResult r =
+      run(tool() + " stats " + corruptTracePath() + " 2>&1 1>/dev/null");
+  EXPECT_EQ(r.exitCode, 1);
+  EXPECT_NE(r.out.find("error: checksum-mismatch: " + corruptTracePath()),
+            std::string::npos)
+      << "stderr: " << r.out;
+}
+
+// ---- salvage and verification --------------------------------------------
+
+TEST(ToolCli, InfoVerifyReportsCleanFilesAsOk) {
+  const RunResult r = run(tool() + " info --verify " + tracePath());
+  ASSERT_EQ(r.exitCode, 0);
+  EXPECT_NE(r.out.find("salvage mode"), std::string::npos);
+  EXPECT_NE(r.out.find("ranks ok"), std::string::npos);
+  EXPECT_EQ(r.out.find("quarantined"), std::string::npos);
+}
+
+TEST(ToolCli, InfoVerifyFlagsACorruptFile) {
+  const RunResult r = run(tool() + " info --verify " + corruptTracePath());
+  EXPECT_EQ(r.exitCode, 1);
+  EXPECT_NE(r.out.find("quarantined: checksum-mismatch"), std::string::npos)
+      << r.out;
+}
+
+TEST(ToolCli, SalvageRecoversACorruptFileIntoACleanOne) {
+  const std::string recovered = "tool_cli_test_recovered.pvt";
+  const RunResult r =
+      run(tool() + " salvage " + corruptTracePath() + " " + recovered);
+  ASSERT_EQ(r.exitCode, 0) << r.out;
+  EXPECT_NE(r.out.find("quarantined"), std::string::npos);
+  EXPECT_NE(r.out.find("wrote " + recovered), std::string::npos);
+
+  // The rewritten file is clean: strict loads and validation succeed.
+  EXPECT_EQ(run(tool() + " validate " + recovered).exitCode, 0);
+  const RunResult verify = run(tool() + " info --verify " + recovered);
+  EXPECT_EQ(verify.exitCode, 0);
+  std::remove(recovered.c_str());
+}
+
+TEST(ToolCli, SalvageFlagLetsAnalyzeRunOnACorruptFile) {
+  // Without --salvage the analysis refuses the damaged input ...
+  EXPECT_EQ(run(tool() + " analyze " + corruptTracePath() +
+                " 2>/dev/null").exitCode,
+            1);
+  // ... with it the healthy ranks are analyzed and the report says so.
+  const RunResult r =
+      run(tool() + " --salvage analyze " + corruptTracePath());
+  ASSERT_EQ(r.exitCode, 0) << r.out;
+  EXPECT_NE(r.out.find("degraded input"), std::string::npos);
+  EXPECT_NE(r.out.find("checksum-mismatch"), std::string::npos);
 }
 
 // ---- one-shot analysis ---------------------------------------------------

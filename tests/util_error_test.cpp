@@ -1,0 +1,110 @@
+/// Unit tests of the error taxonomy: ErrorCode carriage on
+/// perfvar::Error, the stable kebab-case code names, ErrorContext
+/// defaults and the PERFVAR_REQUIRE / PERFVAR_REQUIRE_E / PERFVAR_ASSERT
+/// macro family (including the NDEBUG no-op contract of the assert).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace perfvar {
+namespace {
+
+TEST(ErrorCodeNames, AreStableAndKebabCase) {
+  EXPECT_STREQ(errorCodeName(ErrorCode::None), "none");
+  EXPECT_STREQ(errorCodeName(ErrorCode::Generic), "error");
+  EXPECT_STREQ(errorCodeName(ErrorCode::IoFailure), "io-failure");
+  EXPECT_STREQ(errorCodeName(ErrorCode::BadMagic), "bad-magic");
+  EXPECT_STREQ(errorCodeName(ErrorCode::UnsupportedVersion),
+               "unsupported-version");
+  EXPECT_STREQ(errorCodeName(ErrorCode::ChecksumMismatch),
+               "checksum-mismatch");
+  EXPECT_STREQ(errorCodeName(ErrorCode::TruncatedInput), "truncated-input");
+  EXPECT_STREQ(errorCodeName(ErrorCode::MalformedEvent), "malformed-event");
+  EXPECT_STREQ(errorCodeName(ErrorCode::StackImbalance), "stack-imbalance");
+}
+
+TEST(ErrorContextTest, DefaultsMeanUnknown) {
+  const ErrorContext c;
+  EXPECT_EQ(c.code, ErrorCode::Generic);
+  EXPECT_EQ(c.byteOffset, ErrorContext::kNoByteOffset);
+  EXPECT_EQ(c.rank, -1);
+  EXPECT_TRUE(c.path.empty());
+}
+
+TEST(ErrorContextTest, AtFillsCodeOffsetAndRank) {
+  const ErrorContext c = ErrorContext::at(ErrorCode::TruncatedInput, 42, 3);
+  EXPECT_EQ(c.code, ErrorCode::TruncatedInput);
+  EXPECT_EQ(c.byteOffset, 42u);
+  EXPECT_EQ(c.rank, 3);
+}
+
+TEST(ErrorTest, PlainConstructionCarriesGenericCode) {
+  const Error e("boom");
+  EXPECT_EQ(e.code(), ErrorCode::Generic);
+  EXPECT_EQ(e.byteOffset(), ErrorContext::kNoByteOffset);
+  EXPECT_EQ(e.rank(), -1);
+  EXPECT_TRUE(e.path().empty());
+  EXPECT_STREQ(e.what(), "boom");
+}
+
+TEST(ErrorTest, ContextConstructionExposesEveryField) {
+  ErrorContext c = ErrorContext::at(ErrorCode::ChecksumMismatch, 128, 7);
+  c.path = "some/trace.pvt";
+  const Error e("block 7 damaged", c);
+  EXPECT_EQ(e.code(), ErrorCode::ChecksumMismatch);
+  EXPECT_EQ(e.byteOffset(), 128u);
+  EXPECT_EQ(e.rank(), 7);
+  EXPECT_EQ(e.path(), "some/trace.pvt");
+  EXPECT_EQ(e.context().code, ErrorCode::ChecksumMismatch);
+}
+
+TEST(RequireMacros, RequirePassesAndThrowsWithGenericCode) {
+  EXPECT_NO_THROW(PERFVAR_REQUIRE(1 + 1 == 2, "arithmetic works"));
+  try {
+    PERFVAR_REQUIRE(false, "always fails");
+    FAIL() << "PERFVAR_REQUIRE(false) must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Generic);
+    EXPECT_NE(std::string(e.what()).find("always fails"),
+              std::string::npos);
+  }
+}
+
+TEST(RequireMacros, RequireEAttachesTheContext) {
+  try {
+    PERFVAR_REQUIRE_E(false, "bad block",
+                      ErrorContext::at(ErrorCode::MalformedEvent, 99, 2));
+    FAIL() << "PERFVAR_REQUIRE_E(false) must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::MalformedEvent);
+    EXPECT_EQ(e.byteOffset(), 99u);
+    EXPECT_EQ(e.rank(), 2);
+    EXPECT_NE(std::string(e.what()).find("bad block"), std::string::npos);
+  }
+}
+
+TEST(AssertMacro, HoldsTheNdebugContract) {
+  int evaluations = 0;
+  const auto count = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+#ifdef NDEBUG
+  // Release builds: the condition is never evaluated and a false
+  // condition does not throw.
+  PERFVAR_ASSERT(count(), "never evaluated");
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_NO_THROW(PERFVAR_ASSERT(false, "compiled out"));
+#else
+  // Debug builds: behaves exactly like PERFVAR_REQUIRE.
+  PERFVAR_ASSERT(count(), "evaluated once");
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_THROW(PERFVAR_ASSERT(false, "must throw"), Error);
+#endif
+}
+
+}  // namespace
+}  // namespace perfvar
