@@ -13,6 +13,7 @@
 #include "analysis/overlay.hpp"
 #include "analysis/parallel.hpp"
 #include "engine/engine.hpp"
+#include "lint/lint.hpp"
 #include "analysis/patterns.hpp"
 #include "analysis/pipeline.hpp"
 #include "analysis/streaming.hpp"
@@ -241,6 +242,65 @@ void BM_SosAnalysisParallel(benchmark::State& state) {
                           static_cast<std::int64_t>(tr.eventCount()));
 }
 BENCHMARK(BM_SosAnalysisParallel)->Arg(1)->Arg(2)->Arg(4);
+
+// ---- lint ------------------------------------------------------------------
+//
+// The lint engine advertises itself as cheap enough to run on every load
+// (the engine's lint-on-load gate); these benches quantify that claim on
+// the shared 64-rank trace. The Release bench CI job archives the numbers
+// as BENCH_lint.json.
+
+void BM_LintFullRegistry(benchmark::State& state) {
+  const trace::Trace& tr = trace64();
+  lint::LintOptions opts;
+  opts.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lint::lintTrace(tr, opts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tr.eventCount()));
+  state.counters["threads"] = static_cast<double>(
+      util::ThreadPool::resolveThreadCount(opts.threads));
+}
+BENCHMARK(BM_LintFullRegistry)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
+
+/// The validate() subset alone — the forwarder's cost relative to the
+/// historical single-pass validator it replaced.
+void BM_LintValidateSubset(benchmark::State& state) {
+  const trace::Trace& tr = trace64();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::validate(tr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tr.eventCount()));
+}
+BENCHMARK(BM_LintValidateSubset);
+
+/// Serial-vs-threaded lint speedup on the 64-rank trace, recorded as
+/// counters like BM_PipelineSpeedup64 (the bench CI job greps `speedup`).
+void BM_LintSpeedup64(benchmark::State& state) {
+  const trace::Trace& tr = trace64();
+  lint::LintOptions opts;
+  opts.threads = static_cast<std::size_t>(state.range(0));
+  using clock = std::chrono::steady_clock;
+  double serialSec = 0.0;
+  double parallelSec = 0.0;
+  for (auto _ : state) {
+    const auto t0 = clock::now();
+    benchmark::DoNotOptimize(lint::lintTrace(tr));
+    const auto t1 = clock::now();
+    benchmark::DoNotOptimize(lint::lintTrace(tr, opts));
+    const auto t2 = clock::now();
+    serialSec += std::chrono::duration<double>(t1 - t0).count();
+    parallelSec += std::chrono::duration<double>(t2 - t1).count();
+  }
+  const double n = static_cast<double>(state.iterations());
+  state.counters["serial_s"] = serialSec / n;
+  state.counters["parallel_s"] = parallelSec / n;
+  state.counters["speedup"] =
+      parallelSec > 0.0 ? serialSec / parallelSec : 0.0;
+}
+BENCHMARK(BM_LintSpeedup64)->Arg(4)->Unit(benchmark::kMillisecond);
 
 // ---- analysis engine: cold vs warm cache ----------------------------------
 //

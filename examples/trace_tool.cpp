@@ -8,6 +8,9 @@
 ///   trace_tool salvage <in.pvt> <out.pvt>      recover a damaged trace
 ///   trace_tool stats <in.pvt>                  print trace statistics
 ///   trace_tool validate <in.pvt>               structural validation
+///   trace_tool lint <in.pvt>                   rule-based diagnostics
+///                                              (see --json, --fail-on,
+///                                              --disable)
 ///   trace_tool profile <in.pvt>                top functions by time
 ///   trace_tool analyze <in.pvt>                full variation analysis
 ///   trace_tool dump <in.pvt>                   PVTX text dump to stdout
@@ -32,6 +35,10 @@
 /// (unknown command/option, malformed arguments). Load failures print a
 /// single structured line: `error: <code>: <path>`.
 ///
+/// The `lint` command has its own contract: 0 = clean (no finding at or
+/// above the --fail-on severity), 1 = findings at or above it, 2 = the
+/// trace could not be loaded at all.
+///
 /// Scenarios: cosmo-specs | cosmo-specs-fd4 | wrf.
 /// Without arguments, a self-contained demo runs (generate + analyze a
 /// temporary COSMO-SPECS trace).
@@ -43,6 +50,7 @@
 
 #include "analysis/export.hpp"
 #include "analysis/pipeline.hpp"
+#include "lint/lint.hpp"
 #include "apps/cosmo_specs.hpp"
 #include "apps/cosmo_specs_fd4.hpp"
 #include "apps/wrf.hpp"
@@ -62,6 +70,9 @@ using namespace perfvar;
 constexpr int kExitOk = 0;
 constexpr int kExitRuntime = 1;  ///< analysis/IO errors
 constexpr int kExitUsage = 2;    ///< malformed command lines
+/// `lint` contract: 1 = findings at/above --fail-on, 2 = unloadable trace.
+constexpr int kExitLintFindings = 1;
+constexpr int kExitLintLoadError = 2;
 
 trace::Trace generateScenario(const std::string& name) {
   if (name == "cosmo-specs") {
@@ -95,6 +106,10 @@ void printUsage(std::ostream& out) {
       "                                 report, rewrite the recovered data\n"
       "  stats <in.pvt>                 trace statistics\n"
       "  validate <in.pvt>              structural validation\n"
+      "  lint <in.pvt>                  rule-based diagnostics; exit 0 =\n"
+      "                                 clean, 1 = findings at/above the\n"
+      "                                 --fail-on severity, 2 = the trace\n"
+      "                                 could not be loaded\n"
       "  profile <in.pvt>               flat profile (top 20)\n"
       "  analyze <in.pvt>               dominant function + SOS analysis\n"
       "  dump <in.pvt>                  PVTX text dump\n"
@@ -122,6 +137,10 @@ void printUsage(std::ostream& out) {
       "  --salvage     load inputs in recovery mode: damaged ranks are\n"
       "                quarantined (and excluded from analysis) instead\n"
       "                of failing the whole load\n"
+      "  --json        lint only: report as JSON instead of text\n"
+      "  --fail-on S   lint only: severity that fails the run with exit\n"
+      "                code 1 (info | warning | error; default warning)\n"
+      "  --disable R   lint only: skip rule id R (repeatable)\n"
       "  --help        print this text\n"
       "\n"
       "exit codes: 0 success, 1 runtime/analysis error, 2 usage error\n";
@@ -288,6 +307,9 @@ int main(int argc, char** argv) {
     std::uint32_t format = trace::kBinaryFormatVersion;
     bool salvage = false;
     bool verify = false;
+    bool lintJson = false;
+    lint::Severity lintFailOn = lint::Severity::Warning;
+    std::vector<std::string> lintDisabled;
     std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -322,6 +344,23 @@ int main(int argc, char** argv) {
         salvage = true;
       } else if (arg == "--verify") {
         verify = true;
+      } else if (arg == "--json") {
+        lintJson = true;
+      } else if (arg == "--fail-on") {
+        if (i + 1 >= argc) {
+          return usageError("--fail-on needs a value");
+        }
+        const std::string value = argv[++i];
+        if (value != "info" && value != "warning" && value != "error") {
+          return usageError("--fail-on expects info, warning or error, "
+                            "got '" + value + "'");
+        }
+        lintFailOn = lint::severityFromName(value);
+      } else if (arg == "--disable") {
+        if (i + 1 >= argc) {
+          return usageError("--disable needs a rule id");
+        }
+        lintDisabled.emplace_back(argv[++i]);
       } else if (!arg.empty() && arg[0] == '-') {
         return usageError("unknown option '" + arg + "'");
       } else {
@@ -428,9 +467,10 @@ int main(int argc, char** argv) {
       return kExitOk;
     }
     if (args.size() != 2) {
-      if (cmd == "stats" || cmd == "validate" || cmd == "profile" ||
-          cmd == "analyze" || cmd == "dump" || cmd == "export-json" ||
-          cmd == "export-csv" || cmd == "query" || cmd == "info") {
+      if (cmd == "stats" || cmd == "validate" || cmd == "lint" ||
+          cmd == "profile" || cmd == "analyze" || cmd == "dump" ||
+          cmd == "export-json" || cmd == "export-csv" || cmd == "query" ||
+          cmd == "info") {
         return usageError("'" + cmd + "' expects exactly one <in.pvt>");
       }
       return usageError("unknown command '" + cmd + "'");
@@ -465,6 +505,32 @@ int main(int argc, char** argv) {
       engineOptions.threads = threads;
       auto eng = engine::AnalysisEngine::fromFile(args[1], engineOptions);
       return runQuerySession(eng, std::cin, std::cout);
+    }
+    if (cmd == "lint") {
+      // Own exit-code contract (see file comment): a trace that cannot be
+      // loaded at all exits 2, not the generic runtime code 1 — scripts
+      // can then distinguish "damaged beyond linting" from "has findings".
+      trace::Trace tr;
+      try {
+        tr = trace::loadBinaryFile(args[1], readOptions);
+      } catch (const Error& e) {
+        if (!e.path().empty()) {
+          std::cerr << "error: " << errorCodeName(e.code()) << ": "
+                    << e.path() << '\n';
+        } else {
+          std::cerr << "trace_tool: " << e.what() << '\n';
+        }
+        return kExitLintLoadError;
+      }
+      lint::LintOptions lintOptions;
+      lintOptions.threads = threads;
+      lintOptions.disabledRules = lintDisabled;
+      const lint::LintReport report = lint::lintTrace(tr, lintOptions);
+      lint::exportLintReport(report,
+                             lintJson ? analysis::ExportFormat::Json
+                                      : analysis::ExportFormat::Text,
+                             std::cout);
+      return report.hasAtLeast(lintFailOn) ? kExitLintFindings : kExitOk;
     }
     const trace::Trace tr = trace::loadBinaryFile(args[1], readOptions);
     if (cmd == "stats") {

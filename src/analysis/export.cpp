@@ -1,115 +1,15 @@
 #include "analysis/export.hpp"
 
-#include <cmath>
 #include <cstdint>
-#include <cstdio>
 #include <ostream>
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/json_writer.hpp"
 
 namespace perfvar::analysis {
 
-namespace {
-
-std::string jsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-/// Minimal structured JSON writer (no dependencies, deterministic).
-class JsonWriter {
-public:
-  explicit JsonWriter(std::ostream& out) : out_(out) {
-    out_.precision(17);
-  }
-
-  void beginObject() {
-    separator();
-    out_ << '{';
-    fresh_ = true;
-  }
-  void endObject() {
-    out_ << '}';
-    fresh_ = false;
-  }
-  void beginArray() {
-    separator();
-    out_ << '[';
-    fresh_ = true;
-  }
-  void endArray() {
-    out_ << ']';
-    fresh_ = false;
-  }
-  void key(const std::string& name) {
-    separator();
-    out_ << '"' << jsonEscape(name) << "\":";
-    fresh_ = true;
-  }
-  void value(double v) {
-    separator();
-    if (std::isfinite(v)) {
-      out_ << v;
-    } else {
-      out_ << "null";
-    }
-    fresh_ = false;
-  }
-  void value(std::uint64_t v) {
-    separator();
-    out_ << v;
-    fresh_ = false;
-  }
-  void value(const std::string& s) {
-    separator();
-    out_ << '"' << jsonEscape(s) << '"';
-    fresh_ = false;
-  }
-  void value(bool b) {
-    separator();
-    out_ << (b ? "true" : "false");
-    fresh_ = false;
-  }
-
-private:
-  void separator() {
-    if (!fresh_) {
-      out_ << ',';
-    }
-    fresh_ = true;
-  }
-
-  std::ostream& out_;
-  bool fresh_ = true;
-};
-
-}  // namespace
+using util::JsonWriter;
 
 namespace detail {
 

@@ -93,6 +93,19 @@ std::size_t approxBytes(const analysis::VariationReport& v) {
          v.hotspots.capacity() * sizeof(analysis::Hotspot);
 }
 
+std::size_t approxBytes(const lint::LintReport& r) {
+  std::size_t total = sizeof(r) +
+                      r.findings.capacity() * sizeof(lint::Finding) +
+                      r.truncated.capacity() * sizeof(lint::TruncatedRule);
+  for (const lint::Finding& f : r.findings) {
+    total += f.rule.size() + f.message.size();
+  }
+  for (const std::string& id : r.rulesRun) {
+    total += sizeof(std::string) + id.size();
+  }
+  return total;
+}
+
 }  // namespace
 
 struct AnalysisEngine::Impl {
@@ -113,6 +126,8 @@ struct AnalysisEngine::Impl {
 
   std::shared_ptr<const profile::FlatProfile> profile;
   std::size_t profileBytes = 0;
+  std::shared_ptr<const lint::LintReport> lint;
+  std::size_t lintBytes = 0;
   Map<analysis::DominantSelection> dominant;
   Map<analysis::SosResult> sos;
   Map<analysis::VariationReport> variation;
@@ -219,6 +234,25 @@ AnalysisEngine::AnalysisEngine(trace::Trace trace, EngineOptions options)
   if (options_.threads != 1) {
     impl_->pool = std::make_unique<util::ThreadPool>(options_.threads);
   }
+  if (options_.lintOnLoad) {
+    const auto report = lintReport();
+    if (report->hasAtLeast(options_.lintGateSeverity)) {
+      std::ostringstream os;
+      os << "lint-on-load gate: trace has "
+         << report->countAtLeast(options_.lintGateSeverity)
+         << " finding(s) at or above "
+         << lint::severityName(options_.lintGateSeverity);
+      for (const lint::Finding& f : report->findings) {
+        if (f.severity >= options_.lintGateSeverity) {
+          os << "\n  first: [" << f.rule << "] " << f.message;
+          break;
+        }
+      }
+      ErrorContext context;
+      context.code = ErrorCode::MalformedEvent;
+      throw Error(os.str(), std::move(context));
+    }
+  }
 }
 
 AnalysisEngine::~AnalysisEngine() = default;
@@ -259,6 +293,39 @@ std::shared_ptr<const profile::FlatProfile> AnalysisEngine::profile() {
     impl_->bytes += impl_->profileBytes;
   }
   return impl_->profile;
+}
+
+std::shared_ptr<const lint::LintReport> AnalysisEngine::lintReport() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->cacheMutex);
+    if (impl_->lint) {
+      impl_->hits.fetch_add(1, std::memory_order_relaxed);
+      return impl_->lint;
+    }
+  }
+  impl_->misses.fetch_add(1, std::memory_order_relaxed);
+  // Lint the raw trace (not the filtered view): the quarantine-interaction
+  // rule exists precisely to surface the ranks the analyses drop.
+  auto computed = [&] {
+    lint::LintOptions lintOptions;
+    lintOptions.grainSizeRanks = options_.grainSizeRanks;
+    lintOptions.disabledRules = options_.lintDisabledRules;
+    if (!impl_->pool) {
+      return std::make_shared<const lint::LintReport>(
+          lint::lintTrace(*trace_, lintOptions));
+    }
+    std::lock_guard<std::mutex> poolLock(impl_->poolMutex);
+    lintOptions.pool = impl_->pool.get();
+    return std::make_shared<const lint::LintReport>(
+        lint::lintTrace(*trace_, lintOptions));
+  }();
+  std::lock_guard<std::mutex> lock(impl_->cacheMutex);
+  if (!impl_->lint) {
+    impl_->lint = computed;
+    impl_->lintBytes = approxBytes(*computed);
+    impl_->bytes += impl_->lintBytes;
+  }
+  return impl_->lint;
 }
 
 std::shared_ptr<const analysis::DominantSelection> AnalysisEngine::dominant(
@@ -354,6 +421,8 @@ void AnalysisEngine::clearCache() {
   std::lock_guard<std::mutex> lock(impl_->cacheMutex);
   impl_->profile.reset();
   impl_->profileBytes = 0;
+  impl_->lint.reset();
+  impl_->lintBytes = 0;
   impl_->dominant.clear();
   impl_->sos.clear();
   impl_->variation.clear();

@@ -49,9 +49,11 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "analysis/export.hpp"
 #include "analysis/pipeline.hpp"
+#include "lint/lint.hpp"
 #include "profile/profile.hpp"
 #include "trace/trace.hpp"
 
@@ -72,6 +74,18 @@ struct EngineOptions {
   /// Maximum number of cached derived-stage results (dominant + SOS +
   /// variation entries together; the profile is exempt). 0 = unlimited.
   std::size_t maxCacheEntries = 64;
+
+  /// Opt-in lint-on-load gate: run lint::lintTrace() over the raw trace
+  /// (quarantined ranks included) at construction and refuse the session
+  /// — by throwing perfvar::Error — when the report has a finding at or
+  /// above `lintGateSeverity`. The report is cached either way and
+  /// available via lintReport() without recomputation.
+  bool lintOnLoad = false;
+  /// Severity at (or above) which lintOnLoad rejects the trace.
+  lint::Severity lintGateSeverity = lint::Severity::Error;
+  /// Rule suppression applied to the lint-on-load run (and the cached
+  /// report). Execution options (threads/pool) are taken from the engine.
+  std::vector<std::string> lintDisabledRules;
 };
 
 /// Cache observability counters (cumulative since construction).
@@ -126,6 +140,12 @@ public:
 
   /// The flat profile (stage 1); computed once per engine.
   std::shared_ptr<const profile::FlatProfile> profile();
+
+  /// The lint report of the raw trace (quarantined ranks included),
+  /// computed once per engine on the engine's workers and cached like the
+  /// profile. With EngineOptions::lintOnLoad it was already computed (and
+  /// gated) during construction, so this is a cache hit.
+  std::shared_ptr<const lint::LintReport> lintReport();
 
   /// The dominant-function ranking (stage 2) under `options`.
   std::shared_ptr<const analysis::DominantSelection> dominant(

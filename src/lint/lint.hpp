@@ -1,0 +1,268 @@
+#ifndef PERFVAR_LINT_LINT_HPP
+#define PERFVAR_LINT_LINT_HPP
+
+/// \file lint.hpp
+/// Rule-based static analysis of traces ("perfvar::lint").
+///
+/// The analysis pipeline silently assumes well-formed inputs: monotone
+/// clocks, balanced enter/leave stacks, classifiable synchronization
+/// regions, and a dominant function invoked at least 2p times (paper
+/// Sections IV-V). A trace violating these either throws mid-pipeline or
+/// produces quietly wrong SOS-times. lintTrace() diagnoses such
+/// pathologies up front: an extensible set of rules (stable kebab-case
+/// ids, Error/Warning/Info severities) runs over the trace and returns
+/// every finding as a LintReport.
+///
+/// Rules come in two flavors. Per-rank checks (Rule::checkProcess) run
+/// over each process stream and are sharded across a util::ThreadPool
+/// when LintOptions::threads != 1; whole-trace checks (Rule::checkTrace)
+/// run serially on the calling thread afterwards. Findings are merged
+/// deterministically — per-rank findings in ascending rank order, each
+/// rank's findings sorted by event index (ties in registry order), global
+/// findings appended in registry order — so the report is byte-identical
+/// for every thread count (the same discipline as analyzeTrace, see
+/// analysis/parallel.hpp).
+///
+/// Robustness contract: lintTrace() never throws on hostile trace
+/// content. Every rule invocation is guarded; a rule that throws is
+/// reported as a finding on the rule itself instead of propagating.
+///
+/// trace::validate() is subsumed: it forwards to this engine with the
+/// five structural rules enabled and returns the identical issues the
+/// historical single-pass implementation produced.
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/dominant.hpp"
+#include "analysis/export.hpp"
+#include "analysis/sync.hpp"
+#include "profile/profile.hpp"
+#include "trace/trace.hpp"
+
+namespace perfvar::util {
+class ThreadPool;
+}
+
+namespace perfvar::lint {
+
+/// Severity of one finding; ordered (Info < Warning < Error).
+enum class Severity : std::uint8_t {
+  Info = 0,     ///< stylistic / informational (analysis still sound)
+  Warning = 1,  ///< analysis runs but results may mislead
+  Error = 2,    ///< structural damage; the pipeline will throw or lie
+};
+
+/// Stable lowercase name of a severity ("info", "warning", "error").
+const char* severityName(Severity s);
+
+/// Parse a severityName(); throws perfvar::Error for unknown names.
+Severity severityFromName(const std::string& name);
+
+/// One problem found by a lint rule.
+struct Finding {
+  std::string rule;     ///< stable kebab-case rule id
+  Severity severity = Severity::Warning;
+  std::int64_t process = -1;     ///< failing process, -1 = whole trace
+  std::int64_t eventIndex = -1;  ///< event in the process stream, -1 = none
+  std::string message;
+
+  bool operator==(const Finding& other) const = default;
+};
+
+/// Options of lintTrace().
+struct LintOptions {
+  /// Worker threads of the per-rank rule phase: 1 (default) runs inline,
+  /// 0 = hardware concurrency. The report is byte-identical for every
+  /// value (see the determinism note in the file comment).
+  std::size_t threads = 1;
+  /// Ranks per pool task when threads != 1. No effect on the report.
+  std::size_t grainSizeRanks = 1;
+  /// Optional external pool; overrides `threads` when set.
+  util::ThreadPool* pool = nullptr;
+
+  /// Per-rule-ID suppression: rules whose id appears here are skipped.
+  std::vector<std::string> disabledRules;
+  /// When non-empty, run only these rule ids (still minus disabledRules).
+  std::vector<std::string> onlyRules;
+  /// Findings below this severity are dropped at the source.
+  Severity minSeverity = Severity::Info;
+  /// Keep at most this many findings per rule (in report order); the
+  /// overflow count is recorded in LintReport::truncated. 0 = unlimited.
+  std::size_t maxFindingsPerRule = 1000;
+
+  /// The `2` of the paper's ">= 2p invocations" dominant-function bound
+  /// (dominant-eligibility rule).
+  std::uint64_t invocationMultiplier = 2;
+  /// Classifier the SOS pipeline will use (sync-coverage and
+  /// dominant-eligibility rules).
+  analysis::SyncClassifier sync{};
+};
+
+/// A rule that produced more findings than LintOptions::maxFindingsPerRule.
+struct TruncatedRule {
+  std::string rule;
+  std::uint64_t dropped = 0;
+
+  bool operator==(const TruncatedRule& other) const = default;
+};
+
+/// Complete result of one lintTrace() run.
+struct LintReport {
+  std::vector<Finding> findings;       ///< deterministic report order
+  std::vector<std::string> rulesRun;   ///< executed rule ids, registry order
+  std::vector<TruncatedRule> truncated;
+  std::size_t processCount = 0;
+
+  bool clean() const { return findings.empty(); }
+  /// Number of findings of exactly severity `s`.
+  std::size_t count(Severity s) const;
+  /// Number of findings of severity `s` or worse.
+  std::size_t countAtLeast(Severity s) const;
+  bool hasAtLeast(Severity s) const { return countAtLeast(s) > 0; }
+};
+
+class RuleContext;
+
+/// Destination for a rule's findings. The engine constructs one sink per
+/// (rule, process) in the per-rank phase and one per rule in the global
+/// phase; the sink applies LintOptions::minSeverity filtering.
+class Sink {
+public:
+  Sink(std::string ruleId, std::int64_t process, Severity minSeverity,
+       std::vector<Finding>& out)
+      : ruleId_(std::move(ruleId)),
+        process_(process),
+        minSeverity_(minSeverity),
+        out_(out) {}
+
+  /// Finding tied to one event of this sink's process.
+  void reportAt(Severity severity, std::size_t eventIndex,
+                std::string message);
+  /// Finding about this sink's whole process (whole trace in the global
+  /// phase).
+  void report(Severity severity, std::string message);
+  /// Finding about a specific process; for global-phase rules that blame
+  /// individual ranks (e.g. quarantine-interaction).
+  void reportProcess(Severity severity, trace::ProcessId process,
+                     std::string message);
+
+private:
+  std::string ruleId_;
+  std::int64_t process_;
+  Severity minSeverity_;
+  std::vector<Finding>& out_;
+};
+
+/// One diagnostic rule. Implementations must be stateless const objects:
+/// checkProcess() is called concurrently for distinct ranks.
+class Rule {
+public:
+  virtual ~Rule() = default;
+
+  /// Stable kebab-case identifier (lowercase letters, digits, '-').
+  virtual std::string_view id() const = 0;
+  /// One-line description (the docs/LINT.md reference table).
+  virtual std::string_view description() const = 0;
+
+  /// Per-rank check over one process stream. Called concurrently for
+  /// different ranks; must not touch shared mutable state and must not
+  /// use the RuleContext's lazily-built stages (profileOrNull etc.).
+  virtual void checkProcess(const RuleContext& context, trace::ProcessId p,
+                            Sink& sink) const;
+  /// Whole-trace check; runs serially after the per-rank phase and may
+  /// use every RuleContext helper.
+  virtual void checkTrace(const RuleContext& context, Sink& sink) const;
+};
+
+/// Shared state handed to rules. The lazily-built stages (analysis view,
+/// profile, dominant ranking) are for the serial global phase only.
+class RuleContext {
+public:
+  RuleContext(const trace::Trace& trace, const LintOptions& options);
+  ~RuleContext();
+
+  RuleContext(const RuleContext&) = delete;
+  RuleContext& operator=(const RuleContext&) = delete;
+
+  const trace::Trace& trace() const { return trace_; }
+  const LintOptions& options() const { return options_; }
+
+  /// The trace the analysis pipeline would run on: the dropQuarantined
+  /// view for degraded inputs, trace() itself otherwise. Null when every
+  /// rank is quarantined (nothing analyzable). Global phase only.
+  const trace::Trace* analysisTrace() const;
+  /// Flat profile of analysisTrace(), or null when it cannot be built
+  /// (malformed streams, fully-quarantined trace). Global phase only.
+  const profile::FlatProfile* profileOrNull() const;
+  /// Dominant ranking under options() on analysisTrace(), or null when
+  /// the profile is unavailable. Global phase only.
+  const analysis::DominantSelection* dominantOrNull() const;
+
+private:
+  const trace::Trace& trace_;
+  const LintOptions& options_;
+  mutable bool analysisTraceComputed_ = false;
+  mutable std::unique_ptr<trace::Trace> filteredView_;
+  mutable const trace::Trace* analysisTrace_ = nullptr;
+  mutable bool profileComputed_ = false;
+  mutable std::unique_ptr<profile::FlatProfile> profile_;
+  mutable bool dominantComputed_ = false;
+  mutable std::unique_ptr<analysis::DominantSelection> dominant_;
+};
+
+/// Ordered collection of rules. Copy RuleRegistry::builtin() and add()
+/// custom rules to extend the engine; registry order is report order for
+/// tied findings, so it is part of the determinism contract.
+class RuleRegistry {
+public:
+  RuleRegistry() = default;
+
+  /// Register a rule; its id must be unique, non-empty kebab-case.
+  void add(std::shared_ptr<const Rule> rule);
+
+  /// Rule by id, or null.
+  const Rule* find(std::string_view id) const;
+
+  const std::vector<std::shared_ptr<const Rule>>& rules() const {
+    return rules_;
+  }
+
+  /// The built-in rules (see docs/LINT.md for the reference table), in
+  /// their fixed registry order.
+  static const RuleRegistry& builtin();
+
+private:
+  std::vector<std::shared_ptr<const Rule>> rules_;
+};
+
+/// Run every enabled rule of `registry` over `trace`. Never throws on
+/// trace *content*; throws perfvar::Error only for caller mistakes
+/// (unknown rule ids in onlyRules/disabledRules are reported as Info
+/// findings, not errors, so suppression lists stay forward-compatible).
+LintReport lintTrace(const trace::Trace& trace, const LintOptions& options = {},
+                     const RuleRegistry& registry = RuleRegistry::builtin());
+LintReport lintTrace(trace::Trace&&, const LintOptions& = {},
+                     const RuleRegistry& = RuleRegistry::builtin()) = delete;
+
+/// Human-readable report: one line per finding plus a summary footer.
+/// Deterministic byte-for-byte function of the report.
+std::string formatLintReport(const LintReport& report);
+
+/// Render a lint report through the unified export path. Supported
+/// formats: Text (formatLintReport), Json, Csv (one row per finding);
+/// the analysis-specific CSV variants throw.
+void exportLintReport(const LintReport& report, analysis::ExportFormat format,
+                      std::ostream& out);
+
+/// Convenience string wrapper.
+std::string exportLintReportString(const LintReport& report,
+                                   analysis::ExportFormat format);
+
+}  // namespace perfvar::lint
+
+#endif  // PERFVAR_LINT_LINT_HPP

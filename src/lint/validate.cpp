@@ -1,0 +1,67 @@
+/// \file validate.cpp
+/// trace::validate() / trace::requireValid(), reimplemented on top of the
+/// lint engine (declared in trace/trace.hpp, defined here so the trace
+/// library does not depend on lint). The forwarder runs exactly the five
+/// structural rules the historical single-pass validator implemented and
+/// returns issues with identical order and messages.
+
+#include <algorithm>
+#include <sstream>
+
+#include "lint/lint.hpp"
+#include "trace/trace.hpp"
+#include "util/error.hpp"
+
+namespace perfvar::trace {
+
+namespace {
+
+/// The lint rules equivalent to the historical validate() checks, in the
+/// builtin registry order (clock before the structural rules, matching the
+/// old loop that tested the timestamp before the event kind).
+lint::LintOptions validateOptions() {
+  lint::LintOptions options;
+  options.onlyRules = {"clock-monotonicity", "stack-balance",
+                       "undefined-function-ref", "undefined-metric-ref",
+                       "message-endpoints"};
+  options.minSeverity = lint::Severity::Info;
+  options.maxFindingsPerRule = 0;  // validate() never truncated
+  return options;
+}
+
+}  // namespace
+
+std::vector<ValidationIssue> validate(const Trace& trace) {
+  const lint::LintReport report = lint::lintTrace(trace, validateOptions());
+  std::vector<ValidationIssue> issues;
+  issues.reserve(report.findings.size());
+  for (const lint::Finding& f : report.findings) {
+    issues.push_back(ValidationIssue{
+        static_cast<ProcessId>(f.process),
+        static_cast<std::size_t>(f.eventIndex), f.message});
+  }
+  return issues;
+}
+
+void requireValid(const Trace& trace) {
+  const auto issues = validate(trace);
+  if (issues.empty()) {
+    return;
+  }
+  std::ostringstream os;
+  os << "invalid trace (" << issues.size() << " issue(s)):";
+  const std::size_t shown = std::min<std::size_t>(issues.size(), 5);
+  for (std::size_t i = 0; i < shown; ++i) {
+    os << "\n  process " << issues[i].process << ", event "
+       << issues[i].eventIndex << ": " << issues[i].message;
+  }
+  if (issues.size() > shown) {
+    os << "\n  ...";
+  }
+  ErrorContext context;
+  context.code = ErrorCode::MalformedEvent;
+  context.rank = static_cast<std::int64_t>(issues.front().process);
+  throw Error(os.str(), std::move(context));
+}
+
+}  // namespace perfvar::trace

@@ -1,9 +1,6 @@
 #include "trace/trace.hpp"
 
 #include <algorithm>
-#include <sstream>
-
-#include "util/error.hpp"
 
 namespace perfvar::trace {
 
@@ -48,91 +45,6 @@ Timestamp Trace::endTime() const {
 
 double Trace::durationSeconds() const {
   return toSeconds(endTime() - startTime());
-}
-
-std::vector<ValidationIssue> validate(const Trace& trace) {
-  std::vector<ValidationIssue> issues;
-  const auto report = [&](ProcessId p, std::size_t i, std::string msg) {
-    issues.push_back(ValidationIssue{p, i, std::move(msg)});
-  };
-
-  for (ProcessId p = 0; p < trace.processes.size(); ++p) {
-    const auto& events = trace.processes[p].events;
-    std::vector<FunctionId> stack;
-    Timestamp last = 0;
-    for (std::size_t i = 0; i < events.size(); ++i) {
-      const Event& e = events[i];
-      if (i > 0 && e.time < last) {
-        report(p, i, "timestamp decreases");
-      }
-      last = e.time;
-      switch (e.kind) {
-        case EventKind::Enter:
-          if (e.ref >= trace.functions.size()) {
-            report(p, i, "enter references undefined function");
-          } else {
-            stack.push_back(e.ref);
-          }
-          break;
-        case EventKind::Leave:
-          if (e.ref >= trace.functions.size()) {
-            report(p, i, "leave references undefined function");
-          } else if (stack.empty()) {
-            report(p, i, "leave without matching enter");
-          } else if (stack.back() != e.ref) {
-            std::ostringstream os;
-            os << "leave of '" << trace.functions.name(e.ref)
-               << "' does not match innermost enter '"
-               << trace.functions.name(stack.back()) << "'";
-            report(p, i, os.str());
-          } else {
-            stack.pop_back();
-          }
-          break;
-        case EventKind::MpiSend:
-        case EventKind::MpiRecv:
-          if (e.ref >= trace.processes.size()) {
-            report(p, i, "message references undefined peer process");
-          } else if (e.ref == p) {
-            report(p, i, "message to/from self");
-          }
-          break;
-        case EventKind::Metric:
-          if (e.ref >= trace.metrics.size()) {
-            report(p, i, "metric sample references undefined metric");
-          }
-          break;
-      }
-    }
-    if (!stack.empty()) {
-      std::ostringstream os;
-      os << stack.size() << " unclosed enter frame(s), innermost '"
-         << trace.functions.name(stack.back()) << "'";
-      report(p, events.size(), os.str());
-    }
-  }
-  return issues;
-}
-
-void requireValid(const Trace& trace) {
-  const auto issues = validate(trace);
-  if (issues.empty()) {
-    return;
-  }
-  std::ostringstream os;
-  os << "invalid trace (" << issues.size() << " issue(s)):";
-  const std::size_t shown = std::min<std::size_t>(issues.size(), 5);
-  for (std::size_t i = 0; i < shown; ++i) {
-    os << "\n  process " << issues[i].process << ", event "
-       << issues[i].eventIndex << ": " << issues[i].message;
-  }
-  if (issues.size() > shown) {
-    os << "\n  ...";
-  }
-  ErrorContext context;
-  context.code = ErrorCode::MalformedEvent;
-  context.rank = static_cast<std::int64_t>(issues.front().process);
-  throw Error(os.str(), std::move(context));
 }
 
 }  // namespace perfvar::trace

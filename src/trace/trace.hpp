@@ -81,10 +81,20 @@ struct ValidationIssue {
 ///  - all Enter frames are closed by the end of the stream.
 /// Message events are additionally checked for self-messages.
 /// Returns all issues found (empty == valid).
+///
+/// Deprecated: validate() is subsumed by the lint engine (lint/lint.hpp)
+/// and now forwards to it, running exactly the structural rules listed
+/// above (clock-monotonicity, stack-balance, undefined-function-ref,
+/// undefined-metric-ref, message-endpoints); issue order and messages are
+/// unchanged. New code should call lint::lintTrace(), which also covers
+/// the semantic rules (message pairing, sync coverage, dominant
+/// eligibility, ...) and reports severities. Defined in the perfvar_lint
+/// library: linking against validate()/requireValid() requires it.
 std::vector<ValidationIssue> validate(const Trace& trace);
 
 /// Convenience: throws perfvar::Error listing the first issues if the trace
-/// is not valid.
+/// is not valid. Deprecated alongside validate(); prefer checking
+/// lint::LintReport::hasAtLeast(lint::Severity::Error).
 void requireValid(const Trace& trace);
 
 }  // namespace perfvar::trace

@@ -1,0 +1,48 @@
+#include "util/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace perfvar::util {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::value(double v) {
+  separator();
+  if (std::isfinite(v)) {
+    out_ << v;
+  } else {
+    out_ << "null";
+  }
+  fresh_ = false;
+}
+
+}  // namespace perfvar::util

@@ -1,0 +1,87 @@
+#ifndef PERFVAR_UTIL_JSON_WRITER_HPP
+#define PERFVAR_UTIL_JSON_WRITER_HPP
+
+/// \file json_writer.hpp
+/// Minimal structured JSON writer shared by every JSON export path
+/// (analysis reports, lint reports). No dependencies, deterministic
+/// byte-for-byte output: numbers print with 17 significant digits so
+/// doubles round-trip, non-finite values render as null.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace perfvar::util {
+
+/// JSON-escape a string (quotes, backslashes, control characters).
+std::string jsonEscape(const std::string& s);
+
+/// Streaming JSON writer. The caller is responsible for well-formedness
+/// (matching begin/end calls, keys only inside objects); the writer only
+/// handles separators and escaping.
+class JsonWriter {
+public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {
+    out_.precision(17);
+  }
+
+  void beginObject() {
+    separator();
+    out_ << '{';
+    fresh_ = true;
+  }
+  void endObject() {
+    out_ << '}';
+    fresh_ = false;
+  }
+  void beginArray() {
+    separator();
+    out_ << '[';
+    fresh_ = true;
+  }
+  void endArray() {
+    out_ << ']';
+    fresh_ = false;
+  }
+  void key(const std::string& name) {
+    separator();
+    out_ << '"' << jsonEscape(name) << "\":";
+    fresh_ = true;
+  }
+  void value(double v);
+  void value(std::uint64_t v) {
+    separator();
+    out_ << v;
+    fresh_ = false;
+  }
+  void value(std::int64_t v) {
+    separator();
+    out_ << v;
+    fresh_ = false;
+  }
+  void value(const std::string& s) {
+    separator();
+    out_ << '"' << jsonEscape(s) << '"';
+    fresh_ = false;
+  }
+  void value(bool b) {
+    separator();
+    out_ << (b ? "true" : "false");
+    fresh_ = false;
+  }
+
+private:
+  void separator() {
+    if (!fresh_) {
+      out_ << ',';
+    }
+    fresh_ = true;
+  }
+
+  std::ostream& out_;
+  bool fresh_ = true;
+};
+
+}  // namespace perfvar::util
+
+#endif  // PERFVAR_UTIL_JSON_WRITER_HPP

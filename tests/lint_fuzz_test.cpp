@@ -1,0 +1,276 @@
+/// Lint robustness fuzz: every lint rule must survive hostile inputs —
+/// FaultInjector-corrupted v1/v2 images loaded in Salvage mode, and
+/// in-memory traces with deterministically scrambled event fields — by
+/// reporting findings, never by crashing, hanging or throwing out of
+/// lintTrace() (its documented robustness contract). Each salvaged or
+/// mutated trace is linted with the full registry and once per rule in
+/// isolation, serially and on 4 threads, and every report must render in
+/// all three export formats.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/builder.hpp"
+#include "trace/fault_injection.hpp"
+#include "util/error.hpp"
+
+namespace perfvar::lint {
+namespace {
+
+namespace ft = perfvar::testing;
+using ft::FaultInjector;
+using ft::Image;
+using trace::Trace;
+
+/// Same shape as the fault-injection matrix's synthetic trace: every
+/// event kind, escape-coded ids, neighbor messaging.
+Trace syntheticTrace(std::size_t ranks, std::size_t iterations) {
+  trace::TraceBuilder b(ranks);
+  std::vector<trace::FunctionId> fns;
+  for (std::size_t i = 0; i < 40; ++i) {
+    fns.push_back(
+        b.defineFunction("fn" + std::to_string(i), i % 3 ? "APP" : "MPI",
+                         i % 3 ? trace::Paradigm::Compute
+                               : trace::Paradigm::MPI));
+  }
+  const auto m = b.defineMetric("cycles", "count");
+  for (trace::ProcessId p = 0; p < ranks; ++p) {
+    trace::Timestamp t = 17 * (p + 1);
+    for (std::size_t it = 0; it < iterations; ++it) {
+      const auto f = fns[(p + it) % fns.size()];
+      b.enter(p, t, f);
+      t += 3 + ((p * 31 + it * 7) % 5000);
+      b.metric(p, t, m, static_cast<double>(p) * 1e6 + it);
+      if (ranks > 1) {
+        const auto peer = static_cast<trace::ProcessId>((p + 1) % ranks);
+        b.mpiSend(p, t, peer, static_cast<std::uint32_t>(it), 64 * (it + 1));
+        const auto src =
+            static_cast<trace::ProcessId>((p + ranks - 1) % ranks);
+        b.mpiRecv(p, t + 1, src, static_cast<std::uint32_t>(it), 64);
+      }
+      t += 2;
+      b.leave(p, t, f);
+      ++t;
+    }
+  }
+  return b.finish();
+}
+
+/// Lint `tr` with the full registry and once per rule in isolation, at 1
+/// and 4 threads. Any exception escaping lintTrace() (or a renderer)
+/// fails the test; findings are the expected outcome.
+void lintMustSurvive(const Trace& tr, const std::string& what) {
+  SCOPED_TRACE(what);
+  for (const std::size_t threads : {1ul, 4ul}) {
+    LintOptions options;
+    options.threads = threads;
+    LintReport report;
+    ASSERT_NO_THROW(report = lintTrace(tr, options))
+        << "full registry @" << threads << " threads";
+    for (const auto format :
+         {analysis::ExportFormat::Text, analysis::ExportFormat::Json,
+          analysis::ExportFormat::Csv}) {
+      ASSERT_NO_THROW(exportLintReportString(report, format));
+    }
+  }
+  for (const auto& rule : RuleRegistry::builtin().rules()) {
+    LintOptions solo;
+    solo.onlyRules = {std::string(rule->id())};
+    ASSERT_NO_THROW(lintTrace(tr, solo)) << "rule " << rule->id();
+  }
+}
+
+/// Salvage-load `image`; true (with `out` filled) when the load itself
+/// survived. A classified Error is acceptable — global damage (header,
+/// definition table) is not salvageable — but then there is nothing to
+/// lint.
+bool salvage(const Image& image, Trace& out) {
+  trace::BinaryReadOptions options;
+  options.recovery = trace::RecoveryMode::Salvage;
+  try {
+    out = trace::readBinaryBuffer(image.data(), image.size(), options);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+// ---- salvaged corrupted images ---------------------------------------------
+
+TEST(LintFuzz, SurvivesSalvagedBitFlips) {
+  const Trace original = syntheticTrace(5, 24);
+  for (const std::uint32_t version :
+       {trace::kBinaryFormatV1, trace::kBinaryFormatV2}) {
+    const Image clean = ft::encodeImage(original, version);
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+      FaultInjector inj(seed);
+      // Flip 1..4 bits anywhere in the image, header included.
+      const Image bad =
+          inj.bitFlip(clean, 0, clean.size(), 1 + seed % 4);
+      Trace tr;
+      if (salvage(bad, tr)) {
+        lintMustSurvive(tr, "v" + std::to_string(version) + " bit-flip seed " +
+                                std::to_string(seed));
+      }
+    }
+  }
+}
+
+TEST(LintFuzz, SurvivesSalvagedTruncationsAndTornTails) {
+  const Trace original = syntheticTrace(4, 16);
+  for (const std::uint32_t version :
+       {trace::kBinaryFormatV1, trace::kBinaryFormatV2}) {
+    const Image clean = ft::encodeImage(original, version);
+    const std::size_t step = clean.size() / 23 + 1;
+    for (std::size_t cut = 0; cut < clean.size(); cut += step) {
+      Trace tr;
+      if (salvage(FaultInjector::truncateAt(clean, cut), tr)) {
+        lintMustSurvive(tr, "v" + std::to_string(version) + " truncate@" +
+                                std::to_string(cut));
+      }
+    }
+    for (const std::size_t torn : {1ul, 7ul, 64ul}) {
+      Trace tr;
+      if (salvage(FaultInjector::tornTail(clean, torn), tr)) {
+        lintMustSurvive(tr, "v" + std::to_string(version) + " torn-tail " +
+                                std::to_string(torn));
+      }
+    }
+  }
+}
+
+TEST(LintFuzz, SurvivesSalvagedTableDamage) {
+  const Trace original = syntheticTrace(5, 24);
+  const Image clean = ft::encodeImage(original, trace::kBinaryFormatV2);
+  for (std::size_t rank = 0; rank < 5; ++rank) {
+    Trace zeroed;
+    if (salvage(FaultInjector::zeroTableEntry(clean, rank), zeroed)) {
+      lintMustSurvive(zeroed, "zero-table-entry " + std::to_string(rank));
+    }
+    Trace oversized;
+    if (salvage(FaultInjector::oversizeCount(clean, rank), oversized)) {
+      lintMustSurvive(oversized, "oversize-count " + std::to_string(rank));
+    }
+  }
+}
+
+TEST(LintFuzz, SalvagedTraceAlwaysNamesQuarantineInteraction) {
+  // When a salvage load quarantined ranks, the lint report must say so.
+  const Trace original = syntheticTrace(6, 30);
+  const Image clean = ft::encodeImage(original, trace::kBinaryFormatV2);
+  FaultInjector inj(42);
+  const Image bad = inj.bitFlip(clean, clean.size() / 2, clean.size(), 3);
+  Trace tr;
+  ASSERT_TRUE(salvage(bad, tr));
+  if (!tr.quarantined.empty()) {
+    const LintReport report = lintTrace(tr);
+    bool named = false;
+    for (const Finding& f : report.findings) {
+      named |= f.rule == "quarantine-interaction";
+    }
+    EXPECT_TRUE(named);
+  }
+}
+
+// ---- scrambled in-memory traces --------------------------------------------
+
+/// xorshift64: deterministic, seed-stable across platforms.
+std::uint64_t nextRand(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+/// Scramble `mutations` random event fields of a copy of `tr`.
+Trace scramble(const Trace& tr, std::uint64_t seed, std::size_t mutations) {
+  Trace out = tr;
+  std::uint64_t state = seed * 2654435761u + 1;
+  for (std::size_t i = 0; i < mutations; ++i) {
+    auto& proc = out.processes[nextRand(state) % out.processes.size()];
+    if (proc.events.empty()) {
+      continue;
+    }
+    trace::Event& e = proc.events[nextRand(state) % proc.events.size()];
+    switch (nextRand(state) % 5) {
+      case 0:
+        e.time = nextRand(state);  // breaks monotonicity
+        break;
+      case 1:
+        // Out-of-range kinds included: rules must not choke on them.
+        e.kind = static_cast<trace::EventKind>(nextRand(state) % 8);
+        break;
+      case 2:
+        e.ref = static_cast<std::uint32_t>(nextRand(state));
+        break;
+      case 3:
+        e.size = nextRand(state);
+        break;
+      case 4:
+        e.value = static_cast<double>(nextRand(state));
+        break;
+    }
+  }
+  return out;
+}
+
+TEST(LintFuzz, SurvivesScrambledEventFields) {
+  const Trace original = syntheticTrace(4, 16);
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    const Trace mutated = scramble(original, seed, 1 + seed % 40);
+    lintMustSurvive(mutated, "scramble seed " + std::to_string(seed));
+  }
+}
+
+TEST(LintFuzz, SurvivesDegenerateShapes) {
+  // Empty trace, definition-only trace, event-only (no definitions),
+  // single empty process, bogus quarantine metadata.
+  Trace empty;
+  lintMustSurvive(empty, "empty trace");
+
+  Trace defsOnly;
+  defsOnly.functions.intern("f");
+  defsOnly.metrics.intern("m");
+  lintMustSurvive(defsOnly, "definitions only");
+
+  Trace noDefs;
+  noDefs.processes.push_back(
+      {"p0",
+       {trace::Event::enter(1, 0), trace::Event::leave(2, 0),
+        trace::Event::metric(3, 0, 1.0), trace::Event::mpiSend(4, 1, 0, 8)}});
+  lintMustSurvive(noDefs, "events without definitions");
+
+  Trace bogusQuarantine = syntheticTrace(2, 4);
+  trace::QuarantinedRank q;
+  q.process = 57;  // out of range
+  q.error = ErrorCode::ChecksumMismatch;
+  bogusQuarantine.quarantined.push_back(q);
+  lintMustSurvive(bogusQuarantine, "bogus quarantine metadata");
+  const LintReport report = lintTrace(bogusQuarantine);
+  EXPECT_TRUE(report.hasAtLeast(Severity::Error));  // nonexistent process
+}
+
+TEST(LintFuzz, ScrambledReportsAreDeterministic) {
+  // Determinism must hold on hostile inputs too, not just clean traces.
+  const Trace original = syntheticTrace(4, 16);
+  for (std::uint64_t seed = 3; seed <= 12; seed += 3) {
+    const Trace mutated = scramble(original, seed, 25);
+    LintOptions serial;
+    const LintReport reference = lintTrace(mutated, serial);
+    LintOptions threaded;
+    threaded.threads = 4;
+    const LintReport report = lintTrace(mutated, threaded);
+    EXPECT_EQ(report.findings, reference.findings)
+        << "scramble seed " << seed;
+    EXPECT_EQ(exportLintReportString(report, analysis::ExportFormat::Json),
+              exportLintReportString(reference, analysis::ExportFormat::Json));
+  }
+}
+
+}  // namespace
+}  // namespace perfvar::lint

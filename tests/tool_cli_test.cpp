@@ -267,6 +267,75 @@ TEST(ToolCli, AnalyzeSucceedsAndThreadsDoNotChangeTheOutput) {
   EXPECT_EQ(parallel.out, serial.out);
 }
 
+// ---- lint ----------------------------------------------------------------
+// The lint subcommand has its own exit-code contract: 0 = clean (below
+// --fail-on), 1 = findings at/above --fail-on, 2 = trace unloadable.
+
+TEST(ToolCli, LintCleanTraceExitsZeroWithNoFindings) {
+  const RunResult r = run(tool() + " lint " + tracePath());
+  EXPECT_EQ(r.exitCode, 0);
+  EXPECT_NE(r.out.find("no findings"), std::string::npos) << r.out;
+}
+
+TEST(ToolCli, LintUnloadableTraceExitsTwo) {
+  // Without --salvage the corrupt file cannot be loaded at all: that is a
+  // load error (2), distinct from "loaded but has findings" (1).
+  const RunResult r =
+      run(tool() + " lint " + corruptTracePath() + " 2>&1 1>/dev/null");
+  EXPECT_EQ(r.exitCode, 2);
+  EXPECT_NE(r.out.find("error: checksum-mismatch: " + corruptTracePath()),
+            std::string::npos)
+      << "stderr: " << r.out;
+  EXPECT_EQ(run(tool() + " lint definitely_missing.pvt 2>/dev/null").exitCode,
+            2);
+}
+
+TEST(ToolCli, LintSalvagedTraceExitsOneNamingQuarantineInteraction) {
+  const RunResult r = run(tool() + " --salvage lint " + corruptTracePath());
+  EXPECT_EQ(r.exitCode, 1);
+  EXPECT_NE(r.out.find("[quarantine-interaction]"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("rank quarantined by salvage load"), std::string::npos);
+}
+
+TEST(ToolCli, LintFailOnThresholdControlsTheExitCode) {
+  // The salvaged trace's findings are warnings: a warning threshold
+  // (default) fails, an error threshold passes.
+  EXPECT_EQ(run(tool() + " --salvage lint --fail-on warning " +
+                corruptTracePath() + " > /dev/null").exitCode,
+            1);
+  EXPECT_EQ(run(tool() + " --salvage lint --fail-on error " +
+                corruptTracePath() + " > /dev/null").exitCode,
+            0);
+  // Unknown severity names are usage errors.
+  EXPECT_EQ(run(tool() + " lint --fail-on fatal " + tracePath() +
+                " 2>/dev/null").exitCode,
+            2);
+  EXPECT_EQ(run(tool() + " lint --fail-on 2>/dev/null").exitCode, 2);
+}
+
+TEST(ToolCli, LintDisableSuppressesARule) {
+  const RunResult full = run(tool() + " --salvage lint " + corruptTracePath());
+  ASSERT_NE(full.out.find("[quarantine-interaction]"), std::string::npos);
+  const RunResult suppressed =
+      run(tool() + " --salvage lint --disable quarantine-interaction " +
+          corruptTracePath());
+  EXPECT_EQ(suppressed.out.find("[quarantine-interaction]"),
+            std::string::npos)
+      << suppressed.out;
+}
+
+TEST(ToolCli, LintJsonIsDeterministicAcrossThreads) {
+  const RunResult serial =
+      run(tool() + " --salvage lint --json " + corruptTracePath());
+  EXPECT_EQ(serial.exitCode, 1);
+  EXPECT_EQ(serial.out.rfind("{\"lint\":", 0), 0u) << serial.out;
+  const RunResult parallel = run(tool() + " --threads 4 --salvage lint --json " +
+                                 corruptTracePath());
+  EXPECT_EQ(parallel.exitCode, 1);
+  EXPECT_EQ(parallel.out, serial.out);
+}
+
 // ---- the query session ---------------------------------------------------
 
 TEST(ToolCli, QuerySessionMatchesOneShotAnalyze) {
