@@ -23,6 +23,8 @@
 #include "balance/partition.hpp"
 #include "profile/calltree.hpp"
 #include "profile/profile.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
 #include "trace/binary_io.hpp"
 #include "trace/builder.hpp"
 #include "trace/replay.hpp"
@@ -626,6 +628,81 @@ void BM_WindowSos(benchmark::State& state) {
                           static_cast<std::int64_t>(tr.eventCount()));
 }
 BENCHMARK(BM_WindowSos);
+
+// ---- analysis server: round-trip latency and append throughput ------------
+//
+// The BM_Serve* family measures `trace_tool serve` end to end, minus the
+// kernel socket hop variability: an in-process Server serving a Client
+// over a socketpair, exactly the transport the daemon uses. Cold = load
+// from disk + first analysis; warm = repeated analysis answered from the
+// resident engine's stage cache (the interactive re-query latency); the
+// append bench is the streaming-ingestion byte throughput. CI runs
+//   perf_micro --benchmark_filter=BM_Serve
+//              --benchmark_out=BENCH_serve.json --benchmark_out_format=json
+// and archives BENCH_serve.json.
+
+server::Client serveClient(server::Server& srv) {
+  auto [serverEnd, clientEnd] = util::socketPair();
+  srv.serveConnection(std::move(serverEnd));
+  return server::Client{std::move(clientEnd)};
+}
+
+void BM_ServeColdQuery(benchmark::State& state) {
+  const IoFixture& f = ioFixture();
+  server::Server srv;
+  server::Client client = serveClient(srv);
+  for (auto _ : state) {
+    if (!client.load("cold", f.v2Path).ok() ||
+        client.analyze("cold").type != server::FrameType::Data) {
+      state.SkipWithError("cold load/analyze failed");
+      break;
+    }
+    state.PauseTiming();
+    client.evict("cold");
+    state.ResumeTiming();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.v2Bytes));
+}
+BENCHMARK(BM_ServeColdQuery)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_ServeWarmQuery(benchmark::State& state) {
+  const IoFixture& f = ioFixture();
+  server::Server srv;
+  server::Client client = serveClient(srv);
+  if (!client.load("warm", f.v2Path).ok() || !client.analyze("warm").ok()) {
+    state.SkipWithError("warm-up load/analyze failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.analyze("warm"));
+  }
+}
+BENCHMARK(BM_ServeWarmQuery)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+void BM_ServeAppend(benchmark::State& state) {
+  const std::string image = binaryImage(trace::kBinaryFormatV2);
+  server::Server srv;
+  server::Client client = serveClient(srv);
+  const auto selection = analysis::selectDominantFunction(trace64());
+  const std::string segmentFn =
+      trace64().functions.at(selection.dominant().function).name;
+  for (auto _ : state) {
+    state.PauseTiming();
+    client.evict("stream");
+    client.open("stream", segmentFn);
+    state.ResumeTiming();
+    if (!client.append("stream", image).ok()) {
+      state.SkipWithError("append failed");
+      break;
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(image.size()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace64().eventCount()));
+}
+BENCHMARK(BM_ServeAppend)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 void BM_Simulator(benchmark::State& state) {
   apps::CosmoSpecsConfig cfg;

@@ -1,15 +1,23 @@
 /// \file insitu_monitor.cpp
 /// The paper's "in-situ analysis ... is feasible as well" extension, made
-/// concrete: events stream into a StreamingSos analyzer the way a live
-/// measurement layer would deliver them, and the online monitor raises an
-/// alert the moment the interrupted invocation completes - long before
-/// the run (or a post-mortem analysis) would end.
+/// concrete end-to-end: an analysis server runs in this process (served
+/// over an anonymous socket pair, exactly as `trace_tool serve` would
+/// over a Unix socket), and a measurement-side client streams the run to
+/// it in time-window chunks. The server's StreamingSos raises an alert
+/// the moment the interrupted invocation completes — long before the run
+/// (or a post-mortem analysis) would end — and the alert frames travel
+/// back over the wire to the subscribed client.
 
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
-#include "analysis/streaming.hpp"
 #include "apps/cosmo_specs_fd4.hpp"
-#include "util/format.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/filter.hpp"
 
 int main() {
   using namespace perfvar;
@@ -25,28 +33,52 @@ int main() {
   const apps::CosmoSpecsFd4Scenario scenario = apps::buildCosmoSpecsFd4(cfg);
   const trace::Trace tr =
       sim::simulate(scenario.program, scenario.simOptions);
+  const std::string segmentFn =
+      tr.functions.at(scenario.iterationFunction).name;
 
-  analysis::StreamingOptions opts;
-  opts.alertThreshold = 8.0;
-  analysis::StreamingSos monitor(tr, scenario.iterationFunction, opts);
+  // The server end of the wire; resident traces live as long as `srv`.
+  server::Server srv;
+  auto [serverEnd, clientEnd] = util::socketPair();
+  srv.serveConnection(std::move(serverEnd));
+  server::Client client{std::move(clientEnd)};
 
+  auto opened = client.open("run", segmentFn + " threshold 8.0");
+  std::cout << opened.payload << '\n';
+  client.subscribe("run");
+
+  // Stream the run in 8 time windows, as a live measurement layer would
+  // flush its buffers: each chunk is a self-contained v2 image.
   std::size_t alerts = 0;
   bool correct = false;
-  monitor.setAlertCallback([&](const analysis::StreamingAlert& alert) {
-    ++alerts;
-    const auto& seg = alert.segment.segment;
-    std::cout << "  ALERT after " << monitor.segmentsCompleted()
-              << " segments: " << tr.processes[seg.process].name
-              << ", iteration " << seg.index << ", SOS "
-              << fmt::seconds(tr.toSeconds(alert.segment.sosTime)) << " (z "
-              << fmt::fixed(alert.robustZ, 1) << ")\n";
-    correct |= seg.process == scenario.culpritRank &&
-               seg.index == scenario.culpritIteration;
-  });
+  for (const trace::Trace& chunk : trace::splitByTime(tr, 8)) {
+    std::ostringstream image;
+    trace::writeBinary(chunk, image);
+    const server::ClientResponse response =
+        client.append("run", image.str());
+    if (!response.ok()) {
+      std::cout << "UNEXPECTED: append failed: " << response.payload
+                << '\n';
+      return 1;
+    }
+    for (const std::string& alert : response.alerts) {
+      std::cout << "  ALERT " << alert << '\n';
+      ++alerts;
+      // formatStreamingAlert names the process and the segment index;
+      // check the culprit is the interrupted rank's iteration.
+      const std::string who =
+          "process " + std::to_string(scenario.culpritRank) + " ";
+      const std::string which =
+          "segment " + std::to_string(scenario.culpritIteration) + " ";
+      correct |= alert.find(who) != std::string::npos &&
+                 alert.find(which) != std::string::npos;
+    }
+    std::cout << response.payload << '\n';
+  }
 
-  analysis::StreamingSos::replay(tr, monitor);
-  std::cout << "processed " << monitor.segmentsCompleted()
-            << " segments, " << alerts << " alert(s)\n";
+  const server::ClientResponse stats = client.stats("run");
+  std::cout << stats.payload;
+  client.shutdownServer();
+
   if (alerts > 0 && correct) {
     std::cout << "the interruption was flagged while \"running\" - no "
                  "post-mortem pass needed\n";

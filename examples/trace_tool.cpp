@@ -21,14 +21,20 @@
 ///   trace_tool unarchive <dir> <out.pvt>       assemble an archive
 ///   trace_tool query <in.pvt>                  load once, answer many
 ///                                              queries read from stdin
+///   trace_tool serve <socket>                  long-lived analysis daemon
+///                                              on a Unix socket
+///   trace_tool connect <socket>                scripted client session:
+///                                              commands from stdin, one
+///                                              per line
 ///
 /// Global options: --threads N runs the analysis commands — and the v2
 /// trace decode — on N worker threads (0 = all hardware threads; output
 /// is bit-identical to serial); --format v1|v2 selects the binary layout
 /// written by generate/slice/archive/unarchive (default v2); --salvage
 /// loads damaged inputs in recovery mode (quarantined ranks are excluded
-/// from analysis and reported); --help prints the usage text. Unknown
-/// options are rejected.
+/// from analysis and reported); --budget-mb N / --session-budget-mb N cap
+/// the serve daemon's resident-trace memory (LRU eviction); --help prints
+/// the usage text. Unknown options are rejected.
 ///
 /// Exit codes: 0 = success, 1 = runtime/analysis error (unreadable trace,
 /// no dominant function, failed validation, ...), 2 = usage error
@@ -43,6 +49,7 @@
 /// Without arguments, a self-contained demo runs (generate + analyze a
 /// temporary COSMO-SPECS trace).
 
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -56,6 +63,8 @@
 #include "apps/wrf.hpp"
 #include "engine/engine.hpp"
 #include "profile/profile.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
 #include "trace/archive.hpp"
 #include "trace/binary_io.hpp"
 #include "trace/filter.hpp"
@@ -128,6 +137,20 @@ void printUsage(std::ostream& out) {
       "                                     [max-hotspots N]\n"
       "                                   profile | stats | cache |\n"
       "                                   help | quit\n"
+      "  serve <socket>                 long-lived analysis daemon on a\n"
+      "                                 Unix socket (docs/PROTOCOL.md);\n"
+      "                                 stops on a client 'shutdown'\n"
+      "  connect <socket>               drive a daemon from stdin (one\n"
+      "                                 command per line):\n"
+      "                                   load <name> <in.pvt>\n"
+      "                                   open <name> <segmentFn>\n"
+      "                                     [threshold Z] [warmup N]\n"
+      "                                   append <name> <chunk.pvt>\n"
+      "                                   analyze <name> [options]\n"
+      "                                   export <name> <format> [options]\n"
+      "                                   lint <name> | stats [name] |\n"
+      "                                   evict <name> | subscribe <name> |\n"
+      "                                   shutdown | help | quit\n"
       "\n"
       "  --threads N   run the analysis and the v2 trace decode on N\n"
       "                worker threads (0 = all hardware threads); results\n"
@@ -137,6 +160,11 @@ void printUsage(std::ostream& out) {
       "  --salvage     load inputs in recovery mode: damaged ranks are\n"
       "                quarantined (and excluded from analysis) instead\n"
       "                of failing the whole load\n"
+      "  --budget-mb N          serve only: global memory budget over all\n"
+      "                         resident traces (MiB, LRU eviction);\n"
+      "                         0 = unlimited (default)\n"
+      "  --session-budget-mb N  serve only: per-session memory budget\n"
+      "                         (MiB); 0 = unlimited (default)\n"
       "  --json        lint only: report as JSON instead of text\n"
       "  --fail-on S   lint only: severity that fails the run with exit\n"
       "                code 1 (info | warning | error; default warning)\n"
@@ -299,11 +327,146 @@ int runQuerySession(engine::AnalysisEngine& eng, std::istream& in,
   return kExitOk;
 }
 
+void printConnectHelp(std::ostream& out) {
+  out << "connect commands:\n"
+         "  load <name> <in.pvt>          open a trace file on the server\n"
+         "  open <name> <segmentFn> [threshold Z] [warmup N]\n"
+         "                                create a live streaming trace\n"
+         "  append <name> <chunk.pvt>     stream a v2 chunk into it\n"
+         "  analyze <name> [candidate K] [threshold Z] [max-hotspots N]\n"
+         "  export <name> <text|json|csv|csv-iterations|csv-hotspots>"
+         " [options]\n"
+         "  lint <name>                   rule-based diagnostics\n"
+         "  stats [name]                  server or per-trace statistics\n"
+         "  evict <name>                  drop a resident trace\n"
+         "  subscribe <name>              receive alerts of a live trace\n"
+         "  shutdown                      stop the server and exit\n"
+         "  help                          this text\n"
+         "  quit                          end the session\n";
+}
+
+/// The `connect` session: drive a running daemon with the same one-line
+/// command language as `query`, extended with the multi-trace verbs.
+/// Data/Ok/alert payloads go to `out`; Error and Evicted responses are
+/// reported on stderr and make the session exit nonzero at the end
+/// (after the remaining commands still ran).
+int runConnectSession(server::Client& client, std::istream& in,
+                      std::ostream& out) {
+  bool failed = false;
+  const auto show = [&](const server::ClientResponse& response) {
+    for (const std::string& alert : response.alerts) {
+      out << alert << '\n';
+    }
+    switch (response.type) {
+      case server::FrameType::Ok:
+        out << response.payload << '\n';
+        break;
+      case server::FrameType::Data:
+        out << response.payload;
+        if (!response.payload.empty() && response.payload.back() != '\n') {
+          out << '\n';
+        }
+        break;
+      case server::FrameType::Evicted:
+        std::cerr << "trace_tool: trace '" << response.payload
+                  << "' was evicted (memory budget)\n";
+        failed = true;
+        break;
+      case server::FrameType::Error: {
+        const server::ProtocolError e = response.error();
+        std::cerr << "trace_tool: server error: " << errorCodeName(e.code)
+                  << ": " << e.message << '\n';
+        failed = true;
+        break;
+      }
+      default:
+        break;  // Bye is handled by the callers below
+    }
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream split(line);
+    std::vector<std::string> tokens;
+    for (std::string t; split >> t;) {
+      tokens.push_back(t);
+    }
+    if (tokens.empty() || tokens[0][0] == '#') {
+      continue;
+    }
+    const std::string& cmd = tokens[0];
+    if (cmd == "quit" || cmd == "exit" || cmd == "close") {
+      client.close();
+      return failed ? kExitRuntime : kExitOk;
+    }
+    if (cmd == "shutdown") {
+      client.shutdownServer();
+      return failed ? kExitRuntime : kExitOk;
+    }
+    if (cmd == "help") {
+      printConnectHelp(out);
+      continue;
+    }
+    // Everything else is `<verb> [args...]`; the server parses the args
+    // and answers structured errors for bad ones.
+    const auto rest = [&](std::size_t first) {
+      std::string joined;
+      for (std::size_t i = first; i < tokens.size(); ++i) {
+        if (!joined.empty()) {
+          joined += ' ';
+        }
+        joined += tokens[i];
+      }
+      return joined;
+    };
+    if (cmd == "append") {
+      if (tokens.size() != 3) {
+        std::cerr << "trace_tool: append expects <name> <chunk.pvt>\n";
+        return kExitUsage;
+      }
+      std::ifstream chunk(tokens[2], std::ios::binary);
+      if (!chunk) {
+        std::cerr << "trace_tool: cannot read chunk file '" << tokens[2]
+                  << "'\n";
+        failed = true;
+        continue;
+      }
+      std::ostringstream image;
+      image << chunk.rdbuf();
+      show(client.append(tokens[1], image.str()));
+    } else if (cmd == "load") {
+      show(client.request(server::FrameType::Load, rest(1)));
+    } else if (cmd == "open") {
+      show(client.request(server::FrameType::Open, rest(1)));
+    } else if (cmd == "analyze") {
+      show(client.request(server::FrameType::Analyze, rest(1)));
+    } else if (cmd == "export") {
+      show(client.request(server::FrameType::Export, rest(1)));
+    } else if (cmd == "lint") {
+      show(client.request(server::FrameType::Lint, rest(1)));
+    } else if (cmd == "stats") {
+      show(client.request(server::FrameType::Stats, rest(1)));
+    } else if (cmd == "evict") {
+      show(client.request(server::FrameType::Evict, rest(1)));
+    } else if (cmd == "subscribe") {
+      show(client.request(server::FrameType::Subscribe, rest(1)));
+    } else {
+      std::cerr << "trace_tool: unknown connect command '" << cmd
+                << "' (try 'help')\n";
+      return kExitUsage;
+    }
+  }
+  client.close();  // EOF without quit: still say goodbye
+  return failed ? kExitRuntime : kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     std::size_t threads = 1;  // 1 = serial pipeline and serial decode
+    std::size_t budgetMb = 0;         // serve: global budget, 0 = unlimited
+    std::size_t sessionBudgetMb = 0;  // serve: per-session budget
     std::uint32_t format = trace::kBinaryFormatVersion;
     bool salvage = false;
     bool verify = false;
@@ -339,6 +502,24 @@ int main(int argc, char** argv) {
         } else {
           return usageError("--format expects v1 or v2, got '" + value +
                             "'");
+        }
+      } else if (arg == "--budget-mb") {
+        if (i + 1 >= argc) {
+          return usageError("--budget-mb needs a value");
+        }
+        const std::string value = argv[++i];
+        if (!parseSize(value, budgetMb)) {
+          return usageError("--budget-mb expects a non-negative integer, "
+                            "got '" + value + "'");
+        }
+      } else if (arg == "--session-budget-mb") {
+        if (i + 1 >= argc) {
+          return usageError("--session-budget-mb needs a value");
+        }
+        const std::string value = argv[++i];
+        if (!parseSize(value, sessionBudgetMb)) {
+          return usageError("--session-budget-mb expects a non-negative "
+                            "integer, got '" + value + "'");
         }
       } else if (arg == "--salvage") {
         salvage = true;
@@ -473,7 +654,28 @@ int main(int argc, char** argv) {
           cmd == "info") {
         return usageError("'" + cmd + "' expects exactly one <in.pvt>");
       }
+      if (cmd == "serve" || cmd == "connect") {
+        return usageError("'" + cmd + "' expects exactly one <socket>");
+      }
       return usageError("unknown command '" + cmd + "'");
+    }
+    if (cmd == "serve") {
+      server::ServerOptions serverOptions;
+      serverOptions.threads = threads;
+      serverOptions.maxResidentBytes = budgetMb * 1024 * 1024;
+      serverOptions.maxSessionBytes = sessionBudgetMb * 1024 * 1024;
+      server::Server srv(serverOptions);
+      srv.listen(args[1]);
+      // Scripts wait for this line before connecting; flush it.
+      std::cout << "serving on " << args[1] << std::endl;
+      srv.run();
+      std::cout << "server stopped\n";
+      return kExitOk;
+    }
+    if (cmd == "connect") {
+      server::Client client =
+          server::Client::connectTo(args[1], /*retries=*/50);
+      return runConnectSession(client, std::cin, std::cout);
     }
     if (cmd == "info") {
       if (verify) {

@@ -3,9 +3,22 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/format.hpp"
 #include "util/stats.hpp"
 
 namespace perfvar::analysis {
+
+std::string formatStreamingAlert(const trace::Trace& trace,
+                                 const StreamingAlert& alert) {
+  const trace::ProcessId p = alert.segment.segment.process;
+  const std::string name = p < trace.processCount()
+                               ? trace.processes[p].name
+                               : std::string{};
+  return "alert: process " + std::to_string(p) + " \"" + name +
+         "\" segment " + std::to_string(alert.segment.segment.index) +
+         " sos " + fmt::seconds(trace.toSeconds(alert.segment.sosTime)) +
+         " z " + fmt::fixed(alert.robustZ, 2);
+}
 
 StreamingSos::StreamingSos(const trace::Trace& definitions,
                            trace::FunctionId segmentFunction,
@@ -136,7 +149,7 @@ void StreamingSos::finish() {
   }
 }
 
-void StreamingSos::replay(const trace::Trace& tr, StreamingSos& analyzer) {
+void StreamingSos::feed(const trace::Trace& tr) {
   // Interleave the per-process streams in global time order (stable by
   // process id), as a live measurement system would deliver them.
   struct Cursor {
@@ -162,12 +175,16 @@ void StreamingSos::replay(const trace::Trace& tr, StreamingSos& analyzer) {
       }
     }
     auto& cursor = cursors[best];
-    analyzer.onEvent(cursor.process,
-                     tr.processes[cursor.process].events[cursor.index]);
+    onEvent(cursor.process,
+            tr.processes[cursor.process].events[cursor.index]);
     if (++cursor.index >= tr.processes[cursor.process].events.size()) {
       cursors.erase(cursors.begin() + static_cast<std::ptrdiff_t>(best));
     }
   }
+}
+
+void StreamingSos::replay(const trace::Trace& tr, StreamingSos& analyzer) {
+  analyzer.feed(tr);
   analyzer.finish();
 }
 

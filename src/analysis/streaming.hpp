@@ -37,6 +37,13 @@ struct StreamingAlert {
   double robustZ = 0.0;
 };
 
+/// One-line deterministic rendering of an alert, e.g.
+/// "alert: process 3 \"Rank 3\" segment 17 sos 12.34 ms z 5.67".
+/// `trace` supplies the process name and timestamp resolution. Used by
+/// the analysis server's Alert frames and the in-situ monitor example.
+std::string formatStreamingAlert(const trace::Trace& trace,
+                                 const StreamingAlert& alert);
+
 /// Options of the streaming analyzer.
 struct StreamingOptions {
   SyncClassifier classifier{};
@@ -74,8 +81,17 @@ public:
   /// consumer would instead call this at MPI_Finalize time).
   void finish();
 
+  /// Feed every event of `chunk` in global (time, process) order WITHOUT
+  /// finishing: frames may stay open across the chunk boundary. This is
+  /// the analysis server's `append` path — feeding the chunks of
+  /// trace::splitByTime() in order visits events exactly like one replay()
+  /// of the whole trace (minus the final finish()). `chunk` only supplies
+  /// events; definitions remain the ones given at construction.
+  void feed(const trace::Trace& chunk);
+
   /// Convenience: replay a complete trace through the streaming analyzer
-  /// (events interleaved across processes in time order).
+  /// (events interleaved across processes in time order); equivalent to
+  /// feed(trace) followed by finish().
   static void replay(const trace::Trace& trace, StreamingSos& analyzer);
 
 private:

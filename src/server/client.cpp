@@ -1,0 +1,101 @@
+#include "server/client.hpp"
+
+#include "util/framing.hpp"
+
+namespace perfvar::server {
+
+Client::Client(util::FileDescriptor fd) : fd_(std::move(fd)) {
+  util::suppressSigpipe();
+  util::writeFrame(fd_.get(), static_cast<std::uint8_t>(FrameType::Hello),
+                   encodeHello());
+  util::Frame frame;
+  PERFVAR_REQUIRE_E(util::readFrame(fd_.get(), frame),
+                    "client: server closed the connection during handshake",
+                    ErrorContext::at(ErrorCode::TruncatedInput));
+  if (static_cast<FrameType>(frame.type) == FrameType::Error) {
+    const ProtocolError e = decodeErrorPayload(frame.payload);
+    throw Error("client: handshake rejected: " + e.message,
+                ErrorContext::at(e.code));
+  }
+  PERFVAR_REQUIRE_E(
+      static_cast<FrameType>(frame.type) == FrameType::HelloOk,
+      std::string("client: expected hello-ok, got ") +
+          frameTypeName(static_cast<FrameType>(frame.type)),
+      ErrorContext::at(ErrorCode::MalformedEvent));
+}
+
+Client Client::connectTo(const std::string& path, std::size_t retries) {
+  return Client(util::connectUnix(path, retries));
+}
+
+ClientResponse Client::request(FrameType type, std::string_view payload) {
+  util::writeFrame(fd_.get(), static_cast<std::uint8_t>(type), payload);
+  ClientResponse response;
+  util::Frame frame;
+  for (;;) {
+    PERFVAR_REQUIRE_E(util::readFrame(fd_.get(), frame),
+                      "client: server closed the connection mid-request",
+                      ErrorContext::at(ErrorCode::TruncatedInput));
+    const auto ftype = static_cast<FrameType>(frame.type);
+    if (ftype == FrameType::Alert) {
+      response.alerts.push_back(std::move(frame.payload));
+      continue;
+    }
+    PERFVAR_REQUIRE_E(isFinalResponse(ftype),
+                      std::string("client: unexpected response frame ") +
+                          frameTypeName(ftype),
+                      ErrorContext::at(ErrorCode::MalformedEvent));
+    response.type = ftype;
+    response.payload = std::move(frame.payload);
+    return response;
+  }
+}
+
+ClientResponse Client::load(const std::string& name,
+                            const std::string& path) {
+  return request(FrameType::Load, name + " " + path);
+}
+
+ClientResponse Client::open(const std::string& name,
+                            const std::string& spec) {
+  return request(FrameType::Open, name + " " + spec);
+}
+
+ClientResponse Client::append(const std::string& name,
+                              std::string_view image) {
+  return request(FrameType::Append, encodeAppendPayload(name, image));
+}
+
+ClientResponse Client::analyze(const std::string& spec) {
+  return request(FrameType::Analyze, spec);
+}
+
+ClientResponse Client::exportReport(const std::string& spec) {
+  return request(FrameType::Export, spec);
+}
+
+ClientResponse Client::lint(const std::string& name) {
+  return request(FrameType::Lint, name);
+}
+
+ClientResponse Client::stats(const std::string& name) {
+  return request(FrameType::Stats, name);
+}
+
+ClientResponse Client::evict(const std::string& name) {
+  return request(FrameType::Evict, name);
+}
+
+ClientResponse Client::subscribe(const std::string& name) {
+  return request(FrameType::Subscribe, name);
+}
+
+ClientResponse Client::close() {
+  return request(FrameType::Close, {});
+}
+
+ClientResponse Client::shutdownServer() {
+  return request(FrameType::Shutdown, {});
+}
+
+}  // namespace perfvar::server

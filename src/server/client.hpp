@@ -1,0 +1,85 @@
+#ifndef PERFVAR_SERVER_CLIENT_HPP
+#define PERFVAR_SERVER_CLIENT_HPP
+
+/// \file client.hpp
+/// Blocking client of the analysis server protocol.
+///
+/// A Client owns one connected descriptor, performs the Hello handshake
+/// on construction, and turns each request into the protocol's
+/// frame-sequence contract: request() writes one frame and collects
+/// responses until the final one (Ok, Data, Error, Evicted or Bye),
+/// gathering any Alert frames seen on the way. It is the one
+/// implementation of the client side shared by `trace_tool connect`, the
+/// in-situ monitor example, the benchmarks and the server tests — so a
+/// protocol change breaks loudly in all of them at once.
+///
+/// A Client is NOT thread-safe; give each thread its own connection
+/// (that is the server's unit of session isolation anyway).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "server/protocol.hpp"
+#include "util/socket.hpp"
+
+namespace perfvar::server {
+
+/// Outcome of one request: the final frame plus any Alert payloads that
+/// arrived before it (own appends on subscribed live traces, or
+/// unsolicited alerts queued since the previous request).
+struct ClientResponse {
+  FrameType type = FrameType::Error;
+  std::string payload;
+  std::vector<std::string> alerts;
+
+  /// True for the two success finals (Ok / Data).
+  bool ok() const {
+    return type == FrameType::Ok || type == FrameType::Data;
+  }
+
+  /// Decode an Error final's structured payload (code + message).
+  ProtocolError error() const { return decodeErrorPayload(payload); }
+};
+
+class Client {
+public:
+  /// Adopt a connected descriptor and perform the handshake. Throws
+  /// Error when the server refuses or the transport fails.
+  explicit Client(util::FileDescriptor fd);
+
+  /// Connect to a daemon's Unix socket, retrying while it starts up.
+  static Client connectTo(const std::string& path, std::size_t retries = 50);
+
+  /// Send one frame and collect responses until the final frame.
+  /// Error finals are RETURNED (type == FrameType::Error), not thrown —
+  /// they are protocol results; only transport failures throw.
+  ClientResponse request(FrameType type, std::string_view payload);
+
+  // Convenience wrappers over request() — text payloads mirror the
+  // `trace_tool connect` command language.
+  ClientResponse load(const std::string& name, const std::string& path);
+  ClientResponse open(const std::string& name, const std::string& spec);
+  ClientResponse append(const std::string& name, std::string_view image);
+  ClientResponse analyze(const std::string& spec);
+  ClientResponse exportReport(const std::string& spec);
+  ClientResponse lint(const std::string& name);
+  ClientResponse stats(const std::string& name = {});
+  ClientResponse evict(const std::string& name);
+  ClientResponse subscribe(const std::string& name);
+
+  /// End the session (Close -> Bye). The connection is unusable after.
+  ClientResponse close();
+
+  /// Ask the server to stop entirely (Shutdown -> Bye).
+  ClientResponse shutdownServer();
+
+  int fd() const { return fd_.get(); }
+
+private:
+  util::FileDescriptor fd_;
+};
+
+}  // namespace perfvar::server
+
+#endif  // PERFVAR_SERVER_CLIENT_HPP

@@ -1,0 +1,228 @@
+#include "server/protocol.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace perfvar::server {
+
+namespace {
+
+void putU32LE(std::string& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint32_t getU32LE(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+bool parseSize(const std::string& value, std::size_t& out) {
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  try {
+    out = static_cast<std::size_t>(std::stoul(value));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+bool parseDouble(const std::string& value, double& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stod(value, &pos);
+    return pos == value.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+bool isFinalResponse(FrameType type) {
+  switch (type) {
+    case FrameType::Ok:
+    case FrameType::Data:
+    case FrameType::Error:
+    case FrameType::Evicted:
+    case FrameType::Bye:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* frameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::Hello: return "hello";
+    case FrameType::Load: return "load";
+    case FrameType::Open: return "open";
+    case FrameType::Append: return "append";
+    case FrameType::Analyze: return "analyze";
+    case FrameType::Export: return "export";
+    case FrameType::Lint: return "lint";
+    case FrameType::Stats: return "stats";
+    case FrameType::Evict: return "evict";
+    case FrameType::Subscribe: return "subscribe";
+    case FrameType::Close: return "close";
+    case FrameType::Shutdown: return "shutdown";
+    case FrameType::HelloOk: return "hello-ok";
+    case FrameType::Ok: return "ok";
+    case FrameType::Data: return "data";
+    case FrameType::Error: return "error";
+    case FrameType::Evicted: return "evicted";
+    case FrameType::Alert: return "alert";
+    case FrameType::Bye: return "bye";
+  }
+  return "unknown";
+}
+
+std::string encodeHello() {
+  std::string payload(kProtocolMagic, sizeof kProtocolMagic);
+  putU32LE(payload, kProtocolVersion);
+  return payload;
+}
+
+void checkHello(std::string_view payload) {
+  PERFVAR_REQUIRE_E(
+      payload.size() >= sizeof kProtocolMagic &&
+          std::memcmp(payload.data(), kProtocolMagic,
+                      sizeof kProtocolMagic) == 0,
+      "hello: bad protocol magic (expected \"PVTS\")",
+      ErrorContext::at(ErrorCode::BadMagic, 0));
+  PERFVAR_REQUIRE_E(payload.size() == sizeof kProtocolMagic + 4,
+                    "hello: truncated payload",
+                    ErrorContext::at(ErrorCode::TruncatedInput,
+                                     payload.size()));
+  const std::uint32_t version = getU32LE(
+      reinterpret_cast<const unsigned char*>(payload.data()) +
+      sizeof kProtocolMagic);
+  PERFVAR_REQUIRE_E(version == kProtocolVersion,
+                    "hello: unsupported protocol version " +
+                        std::to_string(version) + " (this server speaks " +
+                        std::to_string(kProtocolVersion) + ")",
+                    ErrorContext::at(ErrorCode::UnsupportedVersion, 4));
+}
+
+std::string encodeHelloOk() {
+  std::string payload;
+  putU32LE(payload, kProtocolVersion);
+  return payload;
+}
+
+std::string encodeErrorPayload(ErrorCode code, std::string_view message) {
+  std::string payload;
+  payload.push_back(static_cast<char>(code));
+  payload.append(message);
+  return payload;
+}
+
+ProtocolError decodeErrorPayload(std::string_view payload) {
+  ProtocolError e;
+  if (payload.empty()) {
+    e.message = "(empty error payload)";
+    return e;
+  }
+  const auto raw = static_cast<std::uint8_t>(payload[0]);
+  e.code = raw <= static_cast<std::uint8_t>(ErrorCode::StackImbalance)
+               ? static_cast<ErrorCode>(raw)
+               : ErrorCode::Generic;
+  e.message.assign(payload.begin() + 1, payload.end());
+  return e;
+}
+
+std::string encodeAppendPayload(std::string_view name,
+                                std::string_view image) {
+  std::string payload;
+  payload.reserve(4 + name.size() + image.size());
+  putU32LE(payload, static_cast<std::uint32_t>(name.size()));
+  payload.append(name);
+  payload.append(image);
+  return payload;
+}
+
+AppendPayload decodeAppendPayload(std::string_view payload) {
+  PERFVAR_REQUIRE_E(payload.size() >= 4,
+                    "append: truncated payload (no name length)",
+                    ErrorContext::at(ErrorCode::MalformedEvent, 0));
+  const std::uint32_t nameLen = getU32LE(
+      reinterpret_cast<const unsigned char*>(payload.data()));
+  PERFVAR_REQUIRE_E(4 + static_cast<std::size_t>(nameLen) <= payload.size(),
+                    "append: name length overruns the payload",
+                    ErrorContext::at(ErrorCode::MalformedEvent, 0));
+  AppendPayload out;
+  out.name.assign(payload.data() + 4, nameLen);
+  out.image = payload.substr(4 + nameLen);
+  return out;
+}
+
+std::vector<std::string> splitTokens(std::string_view text) {
+  std::istringstream split{std::string(text)};
+  std::vector<std::string> tokens;
+  for (std::string t; split >> t;) {
+    tokens.push_back(t);
+  }
+  return tokens;
+}
+
+analysis::PipelineOptions parsePipelineOptions(
+    const std::vector<std::string>& tokens, std::size_t first) {
+  analysis::PipelineOptions opts;
+  for (std::size_t i = first; i < tokens.size(); i += 2) {
+    PERFVAR_REQUIRE_E(i + 1 < tokens.size(),
+                      "query option '" + tokens[i] + "' needs a value",
+                      ErrorContext::at(ErrorCode::MalformedEvent));
+    const std::string& key = tokens[i];
+    const std::string& value = tokens[i + 1];
+    if (key == "candidate") {
+      PERFVAR_REQUIRE_E(parseSize(value, opts.candidateIndex),
+                        "candidate expects a non-negative integer, got '" +
+                            value + "'",
+                        ErrorContext::at(ErrorCode::MalformedEvent));
+    } else if (key == "threshold") {
+      PERFVAR_REQUIRE_E(parseDouble(value, opts.variation.outlierThreshold),
+                        "threshold expects a number, got '" + value + "'",
+                        ErrorContext::at(ErrorCode::MalformedEvent));
+    } else if (key == "max-hotspots") {
+      PERFVAR_REQUIRE_E(parseSize(value, opts.variation.maxHotspots),
+                        "max-hotspots expects a non-negative integer, got '" +
+                            value + "'",
+                        ErrorContext::at(ErrorCode::MalformedEvent));
+    } else {
+      throw Error("unknown query option '" + key + "'",
+                  ErrorContext::at(ErrorCode::MalformedEvent));
+    }
+  }
+  return opts;
+}
+
+analysis::ExportFormat parseExportFormat(const std::string& name) {
+  if (name == "text") {
+    return analysis::ExportFormat::Text;
+  }
+  if (name == "json") {
+    return analysis::ExportFormat::Json;
+  }
+  if (name == "csv") {
+    return analysis::ExportFormat::Csv;
+  }
+  if (name == "csv-iterations") {
+    return analysis::ExportFormat::CsvIterations;
+  }
+  if (name == "csv-hotspots") {
+    return analysis::ExportFormat::CsvHotspots;
+  }
+  throw Error("unknown export format '" + name +
+                  "' (expected text | json | csv | csv-iterations | "
+                  "csv-hotspots)",
+              ErrorContext::at(ErrorCode::MalformedEvent));
+}
+
+}  // namespace perfvar::server

@@ -1,0 +1,140 @@
+#ifndef PERFVAR_SERVER_PROTOCOL_HPP
+#define PERFVAR_SERVER_PROTOCOL_HPP
+
+/// \file protocol.hpp
+/// Frame vocabulary of the analysis server ("PVTS" protocol, version 1).
+///
+/// Transport: every message is one length-prefixed frame (util/framing.hpp;
+/// byte layout in docs/PROTOCOL.md). This header defines what the frame
+/// types and payloads mean.
+///
+/// Conversation shape:
+///   1. The client opens with a Hello frame (magic "PVTS" + version); the
+///      server answers HelloOk or an Error frame and drops the connection.
+///   2. Every later request frame is answered by a sequence of response
+///      frames ending in exactly one FINAL frame (Ok, Data, Error,
+///      Evicted or Bye — see isFinalResponse). Non-final Alert frames may
+///      precede the final frame of an Append request, and may arrive
+///      unsolicited between requests on subscribed connections.
+///
+/// Request payloads are space-separated text tokens (mirroring the
+/// `trace_tool query` stdin language), except Append, which carries a
+/// binary v2 chunk image after a length-prefixed trace name. Error
+/// payloads reuse the ErrorCode taxonomy of util/error.hpp, so a client
+/// can assert on *which* failure occurred without string matching.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/export.hpp"
+#include "analysis/pipeline.hpp"
+#include "util/error.hpp"
+
+namespace perfvar::server {
+
+/// Handshake magic of the Hello payload ("PVTS" = PerfVar Trace Server).
+inline constexpr char kProtocolMagic[4] = {'P', 'V', 'T', 'S'};
+
+/// Protocol version spoken by this build.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Frame types. Requests occupy [1, 63], responses [64, 127]; everything
+/// else is a protocol violation answered with an Error frame.
+enum class FrameType : std::uint8_t {
+  // ---- requests (client -> server) ----
+  Hello = 1,      ///< handshake: magic + version
+  Load = 2,       ///< "<name> <path>": open a trace file as an engine
+  Open = 3,       ///< "<name> <segmentFn> [threshold Z] [warmup N]":
+                  ///< create a live (streaming) trace
+  Append = 4,     ///< binary: name + v2 chunk image for a live trace
+  Analyze = 5,    ///< "<name> [candidate K] [threshold Z] [max-hotspots N]"
+  Export = 6,     ///< "<name> <format> [analyze options]"
+  Lint = 7,       ///< "<name>": rule-based diagnostics
+  Stats = 8,      ///< "" = server stats; "<name>" = per-trace stats
+  Evict = 9,      ///< "<name>": drop a resident trace
+  Subscribe = 10, ///< "<name>": receive Alert frames of a live trace
+  Close = 11,     ///< "": end this session (server answers Bye)
+  Shutdown = 12,  ///< "": stop the whole server (server answers Bye)
+
+  // ---- responses (server -> client) ----
+  HelloOk = 64,   ///< handshake accepted: u32 LE server protocol version
+  Ok = 65,        ///< final: request succeeded, short text summary
+  Data = 66,      ///< final: request succeeded, bulk payload (report, ...)
+  Error = 67,     ///< final: u8 ErrorCode + message text
+  Evicted = 68,   ///< final: the named trace was evicted (memory budget)
+  Alert = 69,     ///< non-final: streaming SOS alert line
+  Bye = 70,       ///< final: session (or server) is closing
+};
+
+/// True for the response types that end a request's frame sequence.
+bool isFinalResponse(FrameType type);
+
+/// Stable lower-case name of a frame type ("load", "ok", ...), for logs
+/// and error messages; "unknown" for out-of-range values.
+const char* frameTypeName(FrameType type);
+
+// ---- Hello ----------------------------------------------------------------
+
+/// Payload of the Hello request: magic "PVTS" + u32 LE kProtocolVersion.
+std::string encodeHello();
+
+/// Validate a Hello payload; throws Error(BadMagic) on wrong magic and
+/// Error(UnsupportedVersion) on a version this build does not speak.
+void checkHello(std::string_view payload);
+
+/// Payload of the HelloOk response: u32 LE server protocol version.
+std::string encodeHelloOk();
+
+// ---- Error ----------------------------------------------------------------
+
+/// Payload of an Error frame: u8 ErrorCode + UTF-8 message.
+std::string encodeErrorPayload(ErrorCode code, std::string_view message);
+
+/// Decoded Error frame payload.
+struct ProtocolError {
+  ErrorCode code = ErrorCode::Generic;
+  std::string message;
+};
+
+/// Decode an Error payload; malformed payloads decode as Generic with the
+/// raw bytes as message (error frames must never themselves throw).
+ProtocolError decodeErrorPayload(std::string_view payload);
+
+// ---- Append ---------------------------------------------------------------
+
+/// Payload of an Append request:
+///   u32 LE name length | name bytes | v2 chunk image (to end of payload)
+std::string encodeAppendPayload(std::string_view name,
+                                std::string_view image);
+
+/// Decoded Append payload. `image` points into the payload passed to
+/// decodeAppendPayload — it must outlive the view.
+struct AppendPayload {
+  std::string name;
+  std::string_view image;
+};
+
+/// Decode an Append payload; throws Error(MalformedEvent) when the name
+/// length overruns the payload.
+AppendPayload decodeAppendPayload(std::string_view payload);
+
+// ---- text request helpers -------------------------------------------------
+
+/// Split a text payload into whitespace-separated tokens.
+std::vector<std::string> splitTokens(std::string_view text);
+
+/// Parse `[candidate K] [threshold Z] [max-hotspots N]` pairs starting at
+/// tokens[first] (the trace_tool query option language). Throws
+/// Error(MalformedEvent) on unknown keys or bad values.
+analysis::PipelineOptions parsePipelineOptions(
+    const std::vector<std::string>& tokens, std::size_t first);
+
+/// Parse an export format name (text | json | csv | csv-iterations |
+/// csv-hotspots); throws Error(MalformedEvent) on anything else.
+analysis::ExportFormat parseExportFormat(const std::string& name);
+
+}  // namespace perfvar::server
+
+#endif  // PERFVAR_SERVER_PROTOCOL_HPP

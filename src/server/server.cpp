@@ -1,0 +1,145 @@
+#include "server/server.hpp"
+
+#include "util/framing.hpp"
+
+namespace perfvar::server {
+
+Server::Server(ServerOptions options) : service_(options) {
+  util::suppressSigpipe();
+}
+
+Server::~Server() {
+  stop();
+  // stop() shut every session socket down, so each loop sees EOF and
+  // exits; the joins below cannot hang on a blocked read.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    threads.swap(threads_);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+}
+
+void Server::listen(const std::string& path) {
+  listenFd_ = util::listenUnix(path);
+  socketPath_ = path;
+}
+
+void Server::run() {
+  PERFVAR_REQUIRE(listenFd_.valid(), "server: listen() before run()");
+  while (!stopping_.load()) {
+    util::FileDescriptor conn = util::acceptConnection(listenFd_.get());
+    if (!conn.valid()) {
+      break;  // the listening socket was shut down: stop()
+    }
+    serveConnection(std::move(conn));
+  }
+}
+
+void Server::serveConnection(util::FileDescriptor fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = nextSession_++;
+  sessionFds_.emplace(id, fd.get());
+  if (stopping_.load()) {
+    // Raced with stop(): make sure this session's first read fails too.
+    util::shutdownSocket(fd.get());
+  }
+  threads_.emplace_back(
+      [this, id](util::FileDescriptor conn) {
+        sessionLoop(std::move(conn), id);
+      },
+      std::move(fd));
+}
+
+void Server::stop() {
+  stopping_.store(true);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (listenFd_.valid()) {
+    util::shutdownSocket(listenFd_.get());
+  }
+  for (const auto& [id, fd] : sessionFds_) {
+    util::shutdownSocket(fd);
+  }
+}
+
+void Server::sessionLoop(util::FileDescriptor fd, std::uint64_t id) {
+  auto sender = std::make_shared<Sender>(fd.get());
+  std::shared_ptr<ServerSession> session;
+  try {
+    util::Frame request;
+    // Handshake: the first frame must be a valid Hello. Anything else
+    // gets a best-effort Error frame and the connection is dropped.
+    if (util::readFrame(fd.get(), request)) {
+      bool accepted = false;
+      if (static_cast<FrameType>(request.type) != FrameType::Hello) {
+        sender->send(FrameType::Error,
+                     encodeErrorPayload(
+                         ErrorCode::MalformedEvent,
+                         std::string("expected a hello frame, got ") +
+                             frameTypeName(
+                                 static_cast<FrameType>(request.type))));
+      } else {
+        try {
+          checkHello(request.payload);
+          accepted = true;
+        } catch (const Error& e) {
+          sender->send(FrameType::Error,
+                       encodeErrorPayload(e.code(), e.what()));
+        }
+      }
+      if (accepted) {
+        sender->send(FrameType::HelloOk, encodeHelloOk());
+        session = service_.openSession(sender);
+        while (util::readFrame(fd.get(), request)) {
+          const auto type = static_cast<FrameType>(request.type);
+          if (type == FrameType::Close) {
+            sender->send(FrameType::Bye, "closing session");
+            break;
+          }
+          if (type == FrameType::Shutdown) {
+            sender->send(FrameType::Bye, "shutting down");
+            stop();
+            break;
+          }
+          bool delivered = true;
+          for (const util::Frame& response :
+               service_.handle(session, request)) {
+            if (!sender->send(static_cast<FrameType>(response.type),
+                              response.payload)) {
+              delivered = false;
+              break;
+            }
+          }
+          if (!delivered) {
+            break;  // peer gone mid-response
+          }
+        }
+      }
+    }
+  } catch (const Error& e) {
+    // readFrame faults: an oversized declared length (MalformedEvent)
+    // deserves a structured goodbye; truncation and transport errors
+    // mean the peer is gone — nothing left to tell it.
+    if (e.code() == ErrorCode::MalformedEvent) {
+      sender->send(FrameType::Error, encodeErrorPayload(e.code(), e.what()));
+    }
+  } catch (const std::exception&) {
+    // Session threads never propagate: a crash here would take the whole
+    // daemon down, which is exactly what the fuzz tests forbid.
+  }
+  if (session) {
+    service_.closeSession(session);
+  }
+  sender->deactivate();
+  {
+    // Deregister under the lock BEFORE closing, so stop() cannot shut
+    // down a reused descriptor number.
+    std::lock_guard<std::mutex> lock(mutex_);
+    sessionFds_.erase(id);
+  }
+  fd.close();
+}
+
+}  // namespace perfvar::server

@@ -1,0 +1,89 @@
+#ifndef PERFVAR_SERVER_SERVER_HPP
+#define PERFVAR_SERVER_SERVER_HPP
+
+/// \file server.hpp
+/// The analysis daemon: transport + session threads around TraceService.
+///
+/// A Server accepts framed-protocol connections (docs/PROTOCOL.md) and
+/// runs one session thread per connection. Two transports feed it:
+///
+///   - listen(path) + run(): the `trace_tool serve` daemon on a
+///     Unix-domain socket. run() blocks until stop() — which a client can
+///     trigger with a Shutdown frame.
+///   - serveConnection(fd): adopt one already-connected descriptor (the
+///     server end of util::socketPair()). Tests, benchmarks and
+///     examples/insitu_monitor use this to run client and server in one
+///     process without touching the filesystem.
+///
+/// stop() wakes the accept loop AND shuts down every live session socket,
+/// so blocked reads see EOF and the destructor's join cannot hang. The
+/// TraceService — and with it every resident trace — lives exactly as
+/// long as the Server.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/service.hpp"
+#include "util/socket.hpp"
+
+namespace perfvar::server {
+
+class Server {
+public:
+  explicit Server(ServerOptions options = {});
+
+  /// Stops the server and joins every session thread.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The shared brain; handy for in-process assertions (stats()).
+  TraceService& service() { return service_; }
+
+  /// Bind the daemon's Unix-domain listening socket. Throws
+  /// Error(IoFailure) when the path cannot be bound.
+  void listen(const std::string& path);
+
+  /// Path passed to listen(), empty before.
+  const std::string& socketPath() const { return socketPath_; }
+
+  /// Accept loop: serves connections until stop(). Requires listen().
+  void run();
+
+  /// Adopt one connected descriptor and serve it on a session thread
+  /// (returns immediately). Works with or without listen()/run().
+  void serveConnection(util::FileDescriptor fd);
+
+  /// Initiate shutdown: wakes the accept loop and every session read.
+  /// Idempotent and callable from session threads (Shutdown frames).
+  void stop();
+
+  bool stopped() const { return stopping_.load(); }
+
+private:
+  void sessionLoop(util::FileDescriptor fd, std::uint64_t id);
+
+  TraceService service_;
+  util::FileDescriptor listenFd_;
+  std::string socketPath_;
+  std::atomic<bool> stopping_{false};
+
+  /// Guards sessionFds_ and threads_. Session sockets are shut down (and
+  /// session threads registered) only under this mutex, and a session
+  /// closes its descriptor only AFTER deregistering under it — so stop()
+  /// never races a shutdown(2) against a close(2)/descriptor reuse.
+  std::mutex mutex_;
+  std::map<std::uint64_t, int> sessionFds_;
+  std::uint64_t nextSession_ = 0;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace perfvar::server
+
+#endif  // PERFVAR_SERVER_SERVER_HPP

@@ -1,0 +1,735 @@
+#include "server/service.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/streaming.hpp"
+#include "engine/engine.hpp"
+#include "lint/lint.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/stats.hpp"
+#include "util/format.hpp"
+
+namespace perfvar::server {
+
+// ---- Sender ---------------------------------------------------------------
+
+bool Sender::send(FrameType type, std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!active_) {
+    return false;
+  }
+  try {
+    util::writeFrame(fd_, static_cast<std::uint8_t>(type), payload);
+    return true;
+  } catch (const Error&) {
+    // Peer gone (EPIPE, reset): one broadcast must never poison the
+    // handler that triggered it. The session loop notices on its own.
+    active_ = false;
+    return false;
+  }
+}
+
+void Sender::deactivate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_ = false;
+}
+
+// ---- resident-trace registry ----------------------------------------------
+
+/// One resident trace: either a file-backed engine (stage caches) or a
+/// live streaming trace.
+struct TraceService::Entry {
+  enum class Kind { Engine, Live };
+
+  std::mutex mutex;  ///< serializes computation on this trace
+
+  Kind kind = Kind::Engine;
+  std::string name;
+
+  // Engine entries.
+  std::string path;
+  std::unique_ptr<engine::AnalysisEngine> engine;
+  std::string loadMessage;  ///< the idempotent Ok payload of `load`
+
+  // Live entries.
+  trace::Trace live;
+  std::string segmentFunctionName;
+  analysis::StreamingOptions streamOptions;
+  std::unique_ptr<analysis::StreamingSos> sos;
+  std::vector<analysis::StreamingAlert> pendingAlerts;
+  std::string openMessage;  ///< the idempotent Ok payload of `open`
+  std::uint64_t appendsDone = 0;
+  std::uint64_t alertsTotal = 0;
+  std::vector<std::weak_ptr<ServerSession>> subscribers;
+
+  // Accounting (guarded by the REGISTRY mutex, not by `mutex`).
+  std::size_t bytes = 0;
+  std::uint64_t lastUse = 0;
+  std::uint64_t ownerSession = 0;
+};
+
+/// Name -> entry map plus eviction state. All members are guarded by
+/// `mutex`; Entry contents (beyond the accounting block) are not.
+class TraceService::Registry {
+public:
+  mutable std::mutex mutex;
+  std::map<std::string, std::shared_ptr<Entry>> entries;
+  /// Names removed by budget or explicit eviction: referencing one gets a
+  /// graceful Evicted response until the name is re-loaded / re-opened.
+  std::set<std::string> tombstones;
+  std::uint64_t useClock = 0;
+  std::uint64_t evictions = 0;
+  std::size_t residentBytes = 0;
+  std::map<std::uint64_t, std::size_t> sessionBytes;
+  std::uint64_t nextSessionId = 1;
+
+  /// Drop one entry (caller holds `mutex`).
+  void evictLocked(const std::map<std::string,
+                                  std::shared_ptr<Entry>>::iterator it) {
+    const std::shared_ptr<Entry>& e = it->second;
+    residentBytes -= std::min(residentBytes, e->bytes);
+    auto sess = sessionBytes.find(e->ownerSession);
+    if (sess != sessionBytes.end()) {
+      sess->second -= std::min(sess->second, e->bytes);
+    }
+    tombstones.insert(it->first);
+    ++evictions;
+    entries.erase(it);
+  }
+
+  /// LRU eviction until the global and per-session budgets hold again;
+  /// `keep` (the entry just touched) is never evicted. Caller holds
+  /// `mutex`.
+  void enforceBudgetsLocked(const ServerOptions& options, const Entry* keep,
+                            std::uint64_t sessionId) {
+    const auto lruVictim = [&](bool sessionOnly) {
+      auto victim = entries.end();
+      for (auto it = entries.begin(); it != entries.end(); ++it) {
+        if (it->second.get() == keep) {
+          continue;
+        }
+        if (sessionOnly && it->second->ownerSession != sessionId) {
+          continue;
+        }
+        if (victim == entries.end() ||
+            it->second->lastUse < victim->second->lastUse) {
+          victim = it;
+        }
+      }
+      return victim;
+    };
+    while (options.maxResidentBytes > 0 &&
+           residentBytes > options.maxResidentBytes) {
+      const auto victim = lruVictim(/*sessionOnly=*/false);
+      if (victim == entries.end()) {
+        break;  // only `keep` is left; it may exceed the budget alone
+      }
+      evictLocked(victim);
+    }
+    while (options.maxSessionBytes > 0 &&
+           sessionBytes[sessionId] > options.maxSessionBytes) {
+      const auto victim = lruVictim(/*sessionOnly=*/true);
+      if (victim == entries.end()) {
+        break;
+      }
+      evictLocked(victim);
+    }
+  }
+};
+
+namespace {
+
+util::Frame frame(FrameType type, std::string payload) {
+  util::Frame f;
+  f.type = static_cast<std::uint8_t>(type);
+  f.payload = std::move(payload);
+  return f;
+}
+
+std::vector<util::Frame> one(FrameType type, std::string payload) {
+  std::vector<util::Frame> out;
+  out.push_back(frame(type, std::move(payload)));
+  return out;
+}
+
+[[noreturn]] void throwUnknownTrace(const std::string& name) {
+  throw Error("unknown trace '" + name + "' (load or open it first)",
+              ErrorContext::at(ErrorCode::Generic));
+}
+
+[[noreturn]] void throwUsage(const std::string& message) {
+  throw Error(message, ErrorContext::at(ErrorCode::MalformedEvent));
+}
+
+}  // namespace
+
+// ---- TraceService ---------------------------------------------------------
+
+TraceService::TraceService(ServerOptions options)
+    : options_(options), registry_(std::make_unique<Registry>()) {}
+
+TraceService::~TraceService() = default;
+
+std::shared_ptr<ServerSession> TraceService::openSession(
+    std::shared_ptr<Sender> sender) {
+  auto session = std::make_shared<ServerSession>();
+  session->sender = std::move(sender);
+  std::lock_guard<std::mutex> lock(registry_->mutex);
+  session->id = registry_->nextSessionId++;
+  registry_->sessionBytes[session->id] = 0;
+  return session;
+}
+
+void TraceService::closeSession(
+    const std::shared_ptr<ServerSession>& session) {
+  if (!session) {
+    return;
+  }
+  if (session->sender) {
+    session->sender->deactivate();
+  }
+  std::lock_guard<std::mutex> lock(registry_->mutex);
+  registry_->sessionBytes.erase(session->id);
+  // Resident traces deliberately outlive the session that loaded them;
+  // subscriptions die with the session (the weak_ptrs expire).
+}
+
+ServiceStats TraceService::stats() const {
+  std::lock_guard<std::mutex> lock(registry_->mutex);
+  ServiceStats s;
+  s.traces = registry_->entries.size();
+  s.residentBytes = registry_->residentBytes;
+  s.evictions = registry_->evictions;
+  return s;
+}
+
+std::vector<util::Frame> TraceService::handle(
+    const std::shared_ptr<ServerSession>& session,
+    const util::Frame& request) {
+  try {
+    return dispatch(session, request);
+  } catch (const Error& e) {
+    return one(FrameType::Error, encodeErrorPayload(e.code(), e.what()));
+  } catch (const std::exception& e) {
+    return one(FrameType::Error,
+               encodeErrorPayload(ErrorCode::Generic, e.what()));
+  }
+}
+
+std::vector<util::Frame> TraceService::dispatch(
+    const std::shared_ptr<ServerSession>& session,
+    const util::Frame& request) {
+  const auto type = static_cast<FrameType>(request.type);
+  switch (type) {
+    case FrameType::Load:
+      return handleLoad(session, splitTokens(request.payload));
+    case FrameType::Open:
+      return handleOpen(session, splitTokens(request.payload));
+    case FrameType::Append:
+      return handleAppend(session, request.payload);
+    case FrameType::Analyze:
+      return handleAnalyze(splitTokens(request.payload));
+    case FrameType::Export:
+      return handleExport(splitTokens(request.payload));
+    case FrameType::Lint:
+      return handleLint(splitTokens(request.payload));
+    case FrameType::Stats:
+      return handleStats(splitTokens(request.payload));
+    case FrameType::Evict:
+      return handleEvict(splitTokens(request.payload));
+    case FrameType::Subscribe:
+      return handleSubscribe(session, splitTokens(request.payload));
+    case FrameType::Hello:
+      throwUsage("unexpected hello frame mid-session");
+    default:
+      throwUsage("unknown request frame type " +
+                 std::to_string(request.type));
+  }
+}
+
+std::vector<util::Frame> TraceService::handleLoad(
+    const std::shared_ptr<ServerSession>& session,
+    const std::vector<std::string>& tokens) {
+  if (tokens.size() != 2) {
+    throwUsage("load expects: <name> <path>");
+  }
+  const std::string& name = tokens[0];
+  const std::string& path = tokens[1];
+
+  std::shared_ptr<Entry> entry;
+  bool created = false;
+  {
+    std::lock_guard<std::mutex> lock(registry_->mutex);
+    const auto it = registry_->entries.find(name);
+    if (it != registry_->entries.end()) {
+      entry = it->second;
+      // Idempotent reload of the same file: the anchor that makes
+      // concurrent `load` transcripts byte-identical to serial ones.
+      if (entry->kind != Entry::Kind::Engine || entry->path != path) {
+        throw Error("trace name '" + name +
+                        "' is already resident with a different source",
+                    ErrorContext::at(ErrorCode::Generic));
+      }
+      entry->lastUse = ++registry_->useClock;
+    } else {
+      registry_->tombstones.erase(name);
+      entry = std::make_shared<Entry>();
+      entry->kind = Entry::Kind::Engine;
+      entry->name = name;
+      entry->path = path;
+      entry->ownerSession = session->id;
+      entry->lastUse = ++registry_->useClock;
+      registry_->entries.emplace(name, entry);
+      created = true;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (!entry->engine) {
+      try {
+        trace::BinaryReadOptions ro;
+        ro.threads = options_.threads;
+        trace::Trace tr = trace::loadBinaryFile(path, ro);
+        engine::EngineOptions eo;
+        eo.threads = options_.threads;
+        eo.maxCacheEntries = options_.maxCacheEntries;
+        auto eng = std::make_unique<engine::AnalysisEngine>(std::move(tr),
+                                                            eo);
+        std::ostringstream msg;
+        msg << "loaded " << name << ": "
+            << eng->trace().processCount() << " processes, "
+            << eng->trace().eventCount() << " events";
+        entry->loadMessage = msg.str();
+        entry->engine = std::move(eng);
+      } catch (...) {
+        // Roll the registration back so the name is usable again; a
+        // concurrent waiter holding this shared_ptr retries the load
+        // itself and reports the same error.
+        if (created) {
+          std::lock_guard<std::mutex> lock2(registry_->mutex);
+          const auto it = registry_->entries.find(name);
+          if (it != registry_->entries.end() && it->second == entry) {
+            registry_->entries.erase(it);
+          }
+        }
+        throw;
+      }
+      const std::size_t bytes =
+          trace::approxMemoryBytes(entry->engine->trace());
+      std::lock_guard<std::mutex> lock2(registry_->mutex);
+      const auto it = registry_->entries.find(name);
+      if (it != registry_->entries.end() && it->second == entry) {
+        registry_->residentBytes += bytes;
+        registry_->sessionBytes[entry->ownerSession] += bytes;
+        entry->bytes = bytes;
+        registry_->enforceBudgetsLocked(options_, entry.get(), session->id);
+      }
+    }
+    return one(FrameType::Ok, entry->loadMessage);
+  }
+}
+
+std::vector<util::Frame> TraceService::handleOpen(
+    const std::shared_ptr<ServerSession>& session,
+    const std::vector<std::string>& tokens) {
+  if (tokens.size() < 2) {
+    throwUsage("open expects: <name> <segmentFunction> [threshold Z] "
+               "[warmup N]");
+  }
+  const std::string& name = tokens[0];
+  const std::string& fn = tokens[1];
+  analysis::StreamingOptions streamOptions;
+  for (std::size_t i = 2; i < tokens.size(); i += 2) {
+    if (i + 1 >= tokens.size()) {
+      throwUsage("open option '" + tokens[i] + "' needs a value");
+    }
+    const std::string& key = tokens[i];
+    const std::string& value = tokens[i + 1];
+    if (key == "threshold") {
+      try {
+        std::size_t pos = 0;
+        streamOptions.alertThreshold = std::stod(value, &pos);
+        if (pos != value.size()) {
+          throwUsage("open threshold expects a number, got '" + value + "'");
+        }
+      } catch (const std::exception&) {
+        throwUsage("open threshold expects a number, got '" + value + "'");
+      }
+    } else if (key == "warmup") {
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        throwUsage("open warmup expects a non-negative integer, got '" +
+                   value + "'");
+      }
+      streamOptions.warmupSegments =
+          static_cast<std::size_t>(std::stoul(value));
+    } else {
+      throwUsage("unknown open option '" + key + "'");
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(registry_->mutex);
+  const auto it = registry_->entries.find(name);
+  if (it != registry_->entries.end()) {
+    const std::shared_ptr<Entry>& entry = it->second;
+    const bool sameSpec =
+        entry->kind == Entry::Kind::Live &&
+        entry->segmentFunctionName == fn &&
+        entry->streamOptions.alertThreshold ==
+            streamOptions.alertThreshold &&
+        entry->streamOptions.warmupSegments == streamOptions.warmupSegments;
+    if (!sameSpec) {
+      throw Error("trace name '" + name +
+                      "' is already resident with a different source",
+                  ErrorContext::at(ErrorCode::Generic));
+    }
+    entry->lastUse = ++registry_->useClock;
+    return one(FrameType::Ok, entry->openMessage);
+  }
+  registry_->tombstones.erase(name);
+  auto entry = std::make_shared<Entry>();
+  entry->kind = Entry::Kind::Live;
+  entry->name = name;
+  entry->segmentFunctionName = fn;
+  entry->streamOptions = streamOptions;
+  entry->ownerSession = session->id;
+  entry->lastUse = ++registry_->useClock;
+  std::ostringstream msg;
+  msg << "opened " << name << ": segment " << fn << ", threshold "
+      << fmt::fixed(streamOptions.alertThreshold, 2) << ", warmup "
+      << streamOptions.warmupSegments;
+  entry->openMessage = msg.str();
+  registry_->entries.emplace(name, entry);
+  return one(FrameType::Ok, entry->openMessage);
+}
+
+/// Registry lookup outcome shared by the name-referencing handlers.
+struct TraceService::Lookup {
+  std::shared_ptr<Entry> entry;
+  bool evicted = false;
+};
+
+TraceService::Lookup TraceService::lookupEntry(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_->mutex);
+  Lookup out;
+  const auto it = registry_->entries.find(name);
+  if (it != registry_->entries.end()) {
+    out.entry = it->second;
+    out.entry->lastUse = ++registry_->useClock;
+  } else if (registry_->tombstones.count(name) > 0) {
+    out.evicted = true;
+  }
+  return out;
+}
+
+std::vector<util::Frame> TraceService::handleAppend(
+    const std::shared_ptr<ServerSession>& session,
+    std::string_view payload) {
+  const AppendPayload append = decodeAppendPayload(payload);
+  const Lookup found = lookupEntry(append.name);
+  if (found.evicted) {
+    return one(FrameType::Evicted, append.name);
+  }
+  if (!found.entry) {
+    throwUnknownTrace(append.name);
+  }
+  const std::shared_ptr<Entry>& entry = found.entry;
+  if (entry->kind != Entry::Kind::Live) {
+    throw Error("trace '" + append.name +
+                    "' is file-backed; append requires a live trace "
+                    "(use open)",
+                ErrorContext::at(ErrorCode::Generic));
+  }
+
+  std::vector<util::Frame> out;
+  std::string okMessage;
+  std::vector<std::string> alertLines;
+  std::size_t newBytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    // Sizes before the append: the chunk's events land at each stream's
+    // tail, which is what the streaming analyzer must consume.
+    std::vector<std::size_t> before(entry->live.processCount());
+    for (std::size_t p = 0; p < before.size(); ++p) {
+      before[p] = entry->live.processes[p].events.size();
+    }
+
+    trace::BinaryReadOptions ro;
+    ro.threads = options_.threads;
+    const trace::AppendStats stats = trace::appendBinaryBuffer(
+        entry->live, append.image.data(), append.image.size(), ro);
+
+    if (!entry->sos && entry->live.processCount() > 0) {
+      // Adopt-on-first-append just defined the trace; bring the
+      // streaming analyzer up against its definitions.
+      const auto fn = entry->live.functions.find(entry->segmentFunctionName);
+      if (!fn.has_value()) {
+        entry->live = trace::Trace{};  // back to pristine, name reusable
+        throw Error("segment function '" + entry->segmentFunctionName +
+                        "' is not defined in the appended chunk",
+                    ErrorContext::at(ErrorCode::MalformedEvent));
+      }
+      entry->sos = std::make_unique<analysis::StreamingSos>(
+          entry->live, *fn, entry->streamOptions);
+      Entry* raw = entry.get();
+      entry->sos->setAlertCallback(
+          [raw](const analysis::StreamingAlert& alert) {
+            raw->pendingAlerts.push_back(alert);
+          });
+      before.assign(entry->live.processCount(), 0);
+    }
+
+    if (entry->sos) {
+      // Feed exactly the appended tail, interleaved in (time, process)
+      // order — identical to what one replay() of the final trace visits
+      // for this time window. (A zero-process chunk leaves the analyzer
+      // unconstructed; there is nothing to feed either.)
+      trace::Trace tail;
+      tail.resolution = entry->live.resolution;
+      tail.processes.resize(entry->live.processCount());
+      for (std::size_t p = 0; p < entry->live.processCount(); ++p) {
+        const auto& events = entry->live.processes[p].events;
+        tail.processes[p].events.assign(events.begin() +
+                                            static_cast<std::ptrdiff_t>(
+                                                before[p]),
+                                        events.end());
+      }
+      entry->sos->feed(tail);
+    }
+
+    for (const analysis::StreamingAlert& alert : entry->pendingAlerts) {
+      alertLines.push_back(append.name + ": " +
+                           analysis::formatStreamingAlert(entry->live,
+                                                          alert));
+    }
+    entry->alertsTotal += entry->pendingAlerts.size();
+    entry->pendingAlerts.clear();
+    ++entry->appendsDone;
+
+    std::ostringstream msg;
+    msg << "appended " << append.name << ": " << stats.eventsAppended
+        << " events, "
+        << (entry->sos ? entry->sos->segmentsCompleted() : 0)
+        << " segments, " << alertLines.size() << " alerts";
+    okMessage = msg.str();
+    newBytes = trace::approxMemoryBytes(entry->live);
+
+    // Broadcast to subscribed sessions while holding the entry lock, so
+    // alerts of successive appends arrive in order. The requester's own
+    // alerts go into the response sequence instead (deterministically
+    // before the final Ok).
+    auto& subs = entry->subscribers;
+    for (auto it = subs.begin(); it != subs.end();) {
+      const std::shared_ptr<ServerSession> sub = it->lock();
+      if (!sub) {
+        it = subs.erase(it);
+        continue;
+      }
+      if (sub->id != session->id) {
+        for (const std::string& line : alertLines) {
+          sub->sender->send(FrameType::Alert, line);
+        }
+      }
+      ++it;
+    }
+    if (session->subscriptions.count(append.name) > 0) {
+      for (const std::string& line : alertLines) {
+        out.push_back(frame(FrameType::Alert, line));
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(registry_->mutex);
+    const auto it = registry_->entries.find(append.name);
+    if (it != registry_->entries.end() && it->second == entry) {
+      registry_->residentBytes += newBytes;
+      registry_->residentBytes -= std::min(registry_->residentBytes,
+                                           entry->bytes);
+      auto sess = registry_->sessionBytes.find(entry->ownerSession);
+      if (sess != registry_->sessionBytes.end()) {
+        sess->second += newBytes;
+        sess->second -= std::min(sess->second, entry->bytes);
+      }
+      entry->bytes = newBytes;
+      registry_->enforceBudgetsLocked(options_, entry.get(),
+                                      entry->ownerSession);
+    }
+  }
+  out.push_back(frame(FrameType::Ok, okMessage));
+  return out;
+}
+
+std::vector<util::Frame> TraceService::handleAnalyze(
+    const std::vector<std::string>& tokens) {
+  if (tokens.empty()) {
+    throwUsage("analyze expects: <name> [candidate K] [threshold Z] "
+               "[max-hotspots N]");
+  }
+  const Lookup found = lookupEntry(tokens[0]);
+  if (found.evicted) {
+    return one(FrameType::Evicted, tokens[0]);
+  }
+  if (!found.entry) {
+    throwUnknownTrace(tokens[0]);
+  }
+  analysis::PipelineOptions opts = parsePipelineOptions(tokens, 1);
+  const std::shared_ptr<Entry>& entry = found.entry;
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  if (entry->kind == Entry::Kind::Engine) {
+    return one(FrameType::Data, entry->engine->formatReport(opts));
+  }
+  PERFVAR_REQUIRE(entry->live.processCount() > 0,
+                  "live trace '" + tokens[0] + "' has no appended data yet");
+  opts.threads = options_.threads;
+  const analysis::AnalysisResult result =
+      analysis::analyzeTrace(entry->live, opts);
+  return one(FrameType::Data, analysis::formatAnalysis(entry->live, result));
+}
+
+std::vector<util::Frame> TraceService::handleExport(
+    const std::vector<std::string>& tokens) {
+  if (tokens.size() < 2) {
+    throwUsage("export expects: <name> <text|json|csv|csv-iterations|"
+               "csv-hotspots> [analyze options]");
+  }
+  const Lookup found = lookupEntry(tokens[0]);
+  if (found.evicted) {
+    return one(FrameType::Evicted, tokens[0]);
+  }
+  if (!found.entry) {
+    throwUnknownTrace(tokens[0]);
+  }
+  const analysis::ExportFormat format = parseExportFormat(tokens[1]);
+  analysis::PipelineOptions opts = parsePipelineOptions(tokens, 2);
+  const std::shared_ptr<Entry>& entry = found.entry;
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  std::ostringstream os;
+  if (entry->kind == Entry::Kind::Engine) {
+    entry->engine->exportReport(format, os, opts);
+  } else {
+    PERFVAR_REQUIRE(entry->live.processCount() > 0,
+                    "live trace '" + tokens[0] +
+                        "' has no appended data yet");
+    opts.threads = options_.threads;
+    const analysis::AnalysisResult result =
+        analysis::analyzeTrace(entry->live, opts);
+    analysis::exportReport(entry->live, result, format, os);
+  }
+  return one(FrameType::Data, os.str());
+}
+
+std::vector<util::Frame> TraceService::handleLint(
+    const std::vector<std::string>& tokens) {
+  if (tokens.size() != 1) {
+    throwUsage("lint expects: <name>");
+  }
+  const Lookup found = lookupEntry(tokens[0]);
+  if (found.evicted) {
+    return one(FrameType::Evicted, tokens[0]);
+  }
+  if (!found.entry) {
+    throwUnknownTrace(tokens[0]);
+  }
+  const std::shared_ptr<Entry>& entry = found.entry;
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  std::ostringstream os;
+  if (entry->kind == Entry::Kind::Engine) {
+    lint::exportLintReport(*entry->engine->lintReport(),
+                           analysis::ExportFormat::Text, os);
+  } else {
+    PERFVAR_REQUIRE(entry->live.processCount() > 0,
+                    "live trace '" + tokens[0] +
+                        "' has no appended data yet");
+    lint::LintOptions lo;
+    lo.threads = options_.threads;
+    lint::exportLintReport(lint::lintTrace(entry->live, lo),
+                           analysis::ExportFormat::Text, os);
+  }
+  return one(FrameType::Data, os.str());
+}
+
+std::vector<util::Frame> TraceService::handleStats(
+    const std::vector<std::string>& tokens) {
+  if (tokens.empty()) {
+    const ServiceStats s = stats();
+    std::ostringstream os;
+    os << "traces: " << s.traces << '\n'
+       << "resident: " << s.residentBytes << " bytes\n"
+       << "evictions: " << s.evictions << '\n';
+    return one(FrameType::Data, os.str());
+  }
+  if (tokens.size() != 1) {
+    throwUsage("stats expects at most one <name>");
+  }
+  const Lookup found = lookupEntry(tokens[0]);
+  if (found.evicted) {
+    return one(FrameType::Evicted, tokens[0]);
+  }
+  if (!found.entry) {
+    throwUnknownTrace(tokens[0]);
+  }
+  const std::shared_ptr<Entry>& entry = found.entry;
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  std::ostringstream os;
+  os << "trace: " << entry->name << '\n';
+  if (entry->kind == Entry::Kind::Engine) {
+    os << "kind: engine\n"
+       << "bytes: " << entry->bytes << '\n'
+       << engine::formatCacheStats(entry->engine->cacheStats()) << '\n';
+  } else {
+    os << "kind: live\n"
+       << "bytes: " << entry->bytes << '\n'
+       << "appends: " << entry->appendsDone << '\n'
+       << "segments: "
+       << (entry->sos ? entry->sos->segmentsCompleted() : 0) << '\n'
+       << "alerts: " << entry->alertsTotal << '\n';
+  }
+  return one(FrameType::Data, os.str());
+}
+
+std::vector<util::Frame> TraceService::handleEvict(
+    const std::vector<std::string>& tokens) {
+  if (tokens.size() != 1) {
+    throwUsage("evict expects: <name>");
+  }
+  std::lock_guard<std::mutex> lock(registry_->mutex);
+  const auto it = registry_->entries.find(tokens[0]);
+  if (it == registry_->entries.end()) {
+    if (registry_->tombstones.count(tokens[0]) > 0) {
+      return one(FrameType::Evicted, tokens[0]);
+    }
+    throwUnknownTrace(tokens[0]);
+  }
+  registry_->evictLocked(it);
+  return one(FrameType::Ok, "evicted " + tokens[0]);
+}
+
+std::vector<util::Frame> TraceService::handleSubscribe(
+    const std::shared_ptr<ServerSession>& session,
+    const std::vector<std::string>& tokens) {
+  if (tokens.size() != 1) {
+    throwUsage("subscribe expects: <name>");
+  }
+  const Lookup found = lookupEntry(tokens[0]);
+  if (found.evicted) {
+    return one(FrameType::Evicted, tokens[0]);
+  }
+  if (!found.entry) {
+    throwUnknownTrace(tokens[0]);
+  }
+  const std::shared_ptr<Entry>& entry = found.entry;
+  if (entry->kind != Entry::Kind::Live) {
+    throw Error("trace '" + tokens[0] +
+                    "' is file-backed; only live traces emit alerts",
+                ErrorContext::at(ErrorCode::Generic));
+  }
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  entry->subscribers.push_back(session);
+  session->subscriptions.insert(tokens[0]);
+  return one(FrameType::Ok, "subscribed " + tokens[0]);
+}
+
+}  // namespace perfvar::server

@@ -1,0 +1,165 @@
+#ifndef PERFVAR_SERVER_SERVICE_HPP
+#define PERFVAR_SERVER_SERVICE_HPP
+
+/// \file service.hpp
+/// TraceService: the transport-independent brain of the analysis server.
+///
+/// The service keeps multiple traces resident behind the existing
+/// content-addressed stage caches and answers protocol requests:
+///
+///   - `load` opens a trace file as an engine::AnalysisEngine entry, so
+///     repeated analyze/export requests are served from its stage caches.
+///     Loading an already-resident name with the same path is idempotent
+///     (same Ok response) — the determinism anchor of the concurrency
+///     tests.
+///   - `open` + `append` maintain a LIVE trace: each Append frame carries
+///     a self-contained v2 chunk image, decoded with the per-rank block
+///     path (trace::appendBinaryBuffer) and fed through
+///     analysis::StreamingSos so windowed SOS alerts stream back — to the
+///     appending connection (deterministically, before its final Ok) and
+///     to every subscribed session.
+///   - Memory budgets: ServerOptions::maxResidentBytes (global) and
+///     maxSessionBytes (per loading session) are enforced by LRU
+///     eviction. Evicted names are tombstoned; requests referencing them
+///     receive a graceful Evicted frame (not a generic error) until the
+///     name is re-loaded or re-opened.
+///
+/// Locking: a registry mutex guards the name -> entry map, tombstones,
+/// LRU clocks and byte accounting; a per-entry mutex serializes
+/// computation on one trace. The two are never held simultaneously in a
+/// nested fashion that could deadlock: handlers take the registry lock
+/// only in short lookup/account sections, and the entry lock only between
+/// them. Responses are deterministic per request (given the same resident
+/// state), which is what the serial-vs-concurrent differential test
+/// leans on.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hpp"
+#include "util/framing.hpp"
+
+namespace perfvar::server {
+
+/// Construction-time options of a TraceService / Server.
+struct ServerOptions {
+  /// Worker threads of trace decode and analysis stages (per request):
+  /// 1 = inline, 0 = hardware concurrency.
+  std::size_t threads = 1;
+  /// Per-engine derived-stage cache capacity (EngineOptions equivalent).
+  std::size_t maxCacheEntries = 64;
+  /// Global memory budget over all resident traces in bytes
+  /// (trace::approxMemoryBytes accounting); 0 = unlimited. Exceeding it
+  /// evicts least-recently-used entries (never the one being touched).
+  std::size_t maxResidentBytes = 0;
+  /// Per-session budget over the traces a session loaded; 0 = unlimited.
+  std::size_t maxSessionBytes = 0;
+};
+
+/// Thread-safe frame sink of one connection. send() never throws: a
+/// failed write (peer gone) deactivates the sender and every later send
+/// becomes a no-op, so alert broadcasts cannot poison an append handler.
+class Sender {
+public:
+  explicit Sender(int fd) : fd_(fd) {}
+
+  /// Write one frame; returns false when the sender is (or just became)
+  /// inactive.
+  bool send(FrameType type, std::string_view payload);
+
+  /// Stop sending (session teardown).
+  void deactivate();
+
+private:
+  std::mutex mutex_;
+  int fd_;
+  bool active_ = true;
+};
+
+/// Per-connection session state. Created by openSession(), passed to
+/// every handle() call of that connection.
+struct ServerSession {
+  std::uint64_t id = 0;
+  std::shared_ptr<Sender> sender;
+  /// Live-trace names this session subscribed to (alert delivery).
+  std::set<std::string> subscriptions;
+};
+
+/// Server-wide counters (the no-argument `stats` request).
+struct ServiceStats {
+  std::size_t traces = 0;
+  std::size_t residentBytes = 0;
+  std::uint64_t evictions = 0;
+};
+
+class TraceService {
+public:
+  explicit TraceService(ServerOptions options = {});
+  ~TraceService();
+
+  TraceService(const TraceService&) = delete;
+  TraceService& operator=(const TraceService&) = delete;
+
+  const ServerOptions& options() const { return options_; }
+
+  /// Register a new connection; the returned session identifies it in
+  /// every later handle() call.
+  std::shared_ptr<ServerSession> openSession(std::shared_ptr<Sender> sender);
+
+  /// Unregister a connection. Its loaded traces stay resident (a server
+  /// outlives its clients); its subscriptions die with it.
+  void closeSession(const std::shared_ptr<ServerSession>& session);
+
+  /// Answer one request frame: returns the ordered response frames for
+  /// the requesting connection, ending in exactly one final frame.
+  /// Errors — protocol violations, unknown names, corrupt chunks — come
+  /// back as Error frames; handle() itself only throws on programming
+  /// errors. Alert frames for OTHER subscribed sessions are delivered
+  /// through their senders as a side effect.
+  std::vector<util::Frame> handle(
+      const std::shared_ptr<ServerSession>& session,
+      const util::Frame& request);
+
+  /// Current server-wide counters.
+  ServiceStats stats() const;
+
+private:
+  struct Entry;
+  class Registry;
+  struct Lookup;
+
+  /// Find a resident trace by name and bump its LRU clock; distinguishes
+  /// "never existed" from "was evicted" (tombstoned).
+  Lookup lookupEntry(const std::string& name);
+
+  std::vector<util::Frame> dispatch(
+      const std::shared_ptr<ServerSession>& session,
+      const util::Frame& request);
+
+  std::vector<util::Frame> handleLoad(const std::shared_ptr<ServerSession>&,
+                                      const std::vector<std::string>& tokens);
+  std::vector<util::Frame> handleOpen(const std::shared_ptr<ServerSession>&,
+                                      const std::vector<std::string>& tokens);
+  std::vector<util::Frame> handleAppend(const std::shared_ptr<ServerSession>&,
+                                        std::string_view payload);
+  std::vector<util::Frame> handleAnalyze(const std::vector<std::string>&);
+  std::vector<util::Frame> handleExport(const std::vector<std::string>&);
+  std::vector<util::Frame> handleLint(const std::vector<std::string>&);
+  std::vector<util::Frame> handleStats(const std::vector<std::string>&);
+  std::vector<util::Frame> handleEvict(const std::vector<std::string>&);
+  std::vector<util::Frame> handleSubscribe(
+      const std::shared_ptr<ServerSession>&,
+      const std::vector<std::string>& tokens);
+
+  ServerOptions options_;
+  std::unique_ptr<Registry> registry_;
+};
+
+}  // namespace perfvar::server
+
+#endif  // PERFVAR_SERVER_SERVICE_HPP

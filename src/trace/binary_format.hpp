@@ -35,6 +35,11 @@ void writeBinaryV2(const Trace& trace, std::ostream& out,
 Trace readBinaryV2(const unsigned char* image, std::size_t size,
                    const BinaryReadOptions& options, BinaryFileInfo* info);
 
+/// Streaming append of one self-contained v2 chunk image (see
+/// appendBinaryBuffer for the contract). Always decodes strictly.
+AppendStats appendBinaryV2(Trace& trace, const unsigned char* image,
+                           std::size_t size, const BinaryReadOptions& options);
+
 /// v2 file summary from the header, table and definitions block only;
 /// event blocks are bounds-checked against the file but neither decoded
 /// nor checksummed (inspect stays cheap on large files).

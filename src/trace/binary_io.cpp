@@ -702,6 +702,19 @@ Trace readBinaryBuffer(const void* data, std::size_t size,
   return trace;
 }
 
+AppendStats appendBinaryBuffer(Trace& trace, const void* data,
+                               std::size_t size,
+                               const BinaryReadOptions& options) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const std::uint32_t version = sniffPrologue(bytes, size);
+  PERFVAR_REQUIRE_E(version == kBinaryFormatV2,
+                    "binary trace append: requires a v2 chunk (v" +
+                        std::to_string(version) +
+                        " has no independently decodable blocks)",
+                    ErrorContext::at(ErrorCode::UnsupportedVersion, 4));
+  return detail::appendBinaryV2(trace, bytes, size, options);
+}
+
 void saveBinaryFile(const Trace& trace, const std::string& path,
                     const BinaryWriteOptions& options) {
   std::ofstream out(path, std::ios::binary);

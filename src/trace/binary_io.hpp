@@ -134,6 +134,32 @@ Trace readBinary(std::istream& in, const BinaryReadOptions& options = {});
 Trace readBinaryBuffer(const void* data, std::size_t size,
                        const BinaryReadOptions& options = {});
 
+/// Outcome of one appendBinaryBuffer() call.
+struct AppendStats {
+  std::size_t eventsAppended = 0;    ///< events added across all processes
+  std::size_t processesTouched = 0;  ///< processes that received >= 1 event
+};
+
+/// Streaming ingestion: decode a self-contained v2 chunk image and append
+/// its events to `trace`. This is the `append` path of the analysis
+/// server — a producer keeps emitting whole v2 images (each covering the
+/// next time window) and the accumulated trace stays analyzable after
+/// every chunk.
+///
+/// The first append into a default-constructed (empty) trace adopts the
+/// chunk wholesale. Every later chunk must be compatible: same
+/// resolution, identical definitions (functions, metrics, process names,
+/// byte-compared in encoded form), and per process its first event must
+/// not precede the last event already accumulated, so each stream stays
+/// time-sorted. Chunks always decode strictly (BinaryReadOptions::recovery
+/// is ignored; a corrupt chunk throws and leaves `trace` untouched).
+/// Throws Error(UnsupportedVersion) for v1 images — v1 has no
+/// independently decodable blocks — and Error(MalformedEvent) for an
+/// incompatible or out-of-order chunk.
+AppendStats appendBinaryBuffer(Trace& trace, const void* data,
+                               std::size_t size,
+                               const BinaryReadOptions& options = {});
+
 /// Convenience file wrappers. loadBinaryFile() memory-maps the file when
 /// possible (BinaryReadOptions::mapFile) and falls back to one buffered
 /// read.

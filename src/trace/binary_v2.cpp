@@ -655,6 +655,68 @@ Trace readBinaryV2Salvage(const unsigned char* image, std::size_t size,
   return trace;
 }
 
+AppendStats appendBinaryV2(Trace& trace, const unsigned char* image,
+                           std::size_t size,
+                           const BinaryReadOptions& options) {
+  // Chunks always decode strictly: a half-salvaged chunk appended to a
+  // live trace would silently poison every later analysis.
+  BinaryReadOptions strict = options;
+  strict.recovery = RecoveryMode::Strict;
+  strict.report = nullptr;
+  Trace chunk = readBinaryV2(image, size, strict, nullptr);
+
+  AppendStats stats;
+  const bool empty = trace.processes.empty() && trace.functions.size() == 0 &&
+                     trace.metrics.size() == 0;
+  if (empty) {
+    // Adopt-on-first-append: the first chunk defines the stream.
+    for (const ProcessTrace& p : chunk.processes) {
+      if (!p.events.empty()) {
+        ++stats.processesTouched;
+        stats.eventsAppended += p.events.size();
+      }
+    }
+    trace = std::move(chunk);
+    return stats;
+  }
+
+  PERFVAR_REQUIRE_E(chunk.resolution == trace.resolution,
+                    "binary trace append: chunk resolution differs from the "
+                    "live trace",
+                    ErrorContext::at(ErrorCode::MalformedEvent));
+  PERFVAR_REQUIRE_E(chunk.processes.size() == trace.processes.size(),
+                    "binary trace append: chunk process count differs from "
+                    "the live trace",
+                    ErrorContext::at(ErrorCode::MalformedEvent));
+  PERFVAR_REQUIRE_E(encodeDefs(chunk) == encodeDefs(trace),
+                    "binary trace append: chunk definitions differ from the "
+                    "live trace",
+                    ErrorContext::at(ErrorCode::MalformedEvent));
+
+  // Validate every stream boundary before mutating anything, so a bad
+  // chunk leaves the live trace untouched.
+  for (std::size_t i = 0; i < chunk.processes.size(); ++i) {
+    const auto& add = chunk.processes[i].events;
+    const auto& have = trace.processes[i].events;
+    PERFVAR_REQUIRE_E(
+        add.empty() || have.empty() || add.front().time >= have.back().time,
+        "binary trace append: chunk events precede the live stream",
+        ErrorContext::at(ErrorCode::MalformedEvent, 0,
+                         static_cast<std::int64_t>(i)));
+  }
+  for (std::size_t i = 0; i < chunk.processes.size(); ++i) {
+    auto& add = chunk.processes[i].events;
+    if (add.empty()) {
+      continue;
+    }
+    auto& have = trace.processes[i].events;
+    have.insert(have.end(), add.begin(), add.end());
+    ++stats.processesTouched;
+    stats.eventsAppended += add.size();
+  }
+  return stats;
+}
+
 BinaryFileInfo inspectBinaryV2(const unsigned char* image, std::size_t size) {
   const V2Layout layout = parseHeader(image, size);
   Trace defsOnly;

@@ -155,6 +155,48 @@ Trace selectProcesses(const Trace& tr,
   return out;
 }
 
+std::vector<Trace> splitByTime(const Trace& tr, std::size_t chunks) {
+  PERFVAR_REQUIRE(chunks >= 1, "splitByTime: need at least one chunk");
+  const Timestamp start = tr.startTime();
+  const Timestamp end = tr.endTime();
+  const Timestamp span = end - start;
+
+  std::vector<Trace> out(chunks);
+  for (Trace& chunk : out) {
+    chunk.resolution = tr.resolution;
+    chunk.functions = tr.functions;
+    chunk.metrics = tr.metrics;
+    chunk.processes.resize(tr.processCount());
+    for (ProcessId p = 0; p < tr.processCount(); ++p) {
+      chunk.processes[p].name = tr.processes[p].name;
+    }
+  }
+
+  // Window of a timestamp: equal spans of [start, end], last window
+  // inclusive. Assignment is a pure, monotone function of the time alone,
+  // so equal timestamps across processes always land in the same chunk —
+  // the property that keeps streaming replay order identical to a
+  // one-shot replay (floating-point rounding cannot break either
+  // guarantee, only nudge a window boundary).
+  const auto windowOf = [&](Timestamp t) {
+    if (span == 0) {
+      return std::size_t{0};
+    }
+    const double fraction = static_cast<double>(t - start) /
+                            (static_cast<double>(span) + 1.0);
+    const auto k =
+        static_cast<std::size_t>(fraction * static_cast<double>(chunks));
+    return std::min(k, chunks - 1);
+  };
+
+  for (ProcessId p = 0; p < tr.processCount(); ++p) {
+    for (const Event& e : tr.processes[p].events) {
+      out[windowOf(e.time)].processes[p].events.push_back(e);
+    }
+  }
+  return out;
+}
+
 Trace dropQuarantined(const Trace& tr) {
   if (tr.quarantined.empty()) {
     return tr;

@@ -42,6 +42,18 @@ Trace filterFunctions(const Trace& trace,
 Trace selectProcesses(const Trace& trace,
                       const std::vector<ProcessId>& processes);
 
+/// Partition a trace into `chunks` consecutive time windows for streaming
+/// (`append`) ingestion. Unlike sliceTime, events are assigned whole to
+/// the window containing their timestamp — no synthetic boundary events
+/// are created — so concatenating the chunks per process reproduces the
+/// original event streams exactly, and feeding them through
+/// analysis::StreamingSos in order visits events in the same global
+/// (time, process) order as a one-shot replay. Every chunk carries the
+/// full definitions and all process names (some chunks may hold no events
+/// for some processes). Windows are equal spans of [startTime, endTime];
+/// requires chunks >= 1.
+std::vector<Trace> splitByTime(const Trace& trace, std::size_t chunks);
+
 /// Drop every quarantined rank of a salvage-loaded trace (selectProcesses
 /// semantics: dense renumbering in ascending process order, messages to
 /// dropped peers removed) and clear the quarantine metadata. The result is

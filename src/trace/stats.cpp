@@ -41,6 +41,23 @@ TraceStats computeStats(const Trace& trace) {
   return s;
 }
 
+std::size_t approxMemoryBytes(const Trace& trace) {
+  std::size_t bytes = sizeof(Trace);
+  for (const auto& p : trace.processes) {
+    bytes += sizeof(p) + p.name.size() + p.events.capacity() * sizeof(Event);
+  }
+  for (const auto& f : trace.functions.all()) {
+    bytes += sizeof(f) + f.name.size() + f.group.size();
+  }
+  for (const auto& m : trace.metrics.all()) {
+    bytes += sizeof(m) + m.name.size() + m.unit.size();
+  }
+  for (const auto& q : trace.quarantined) {
+    bytes += sizeof(q) + q.name.size();
+  }
+  return bytes;
+}
+
 std::string formatStats(const TraceStats& s) {
   std::ostringstream os;
   os << "processes:   " << s.processCount << '\n'

@@ -30,6 +30,12 @@ struct TraceStats {
 /// Compute trace statistics in one pass.
 TraceStats computeStats(const Trace& trace);
 
+/// Approximate resident size of a trace in bytes: event storage plus
+/// definition strings plus container overhead. The analysis server uses
+/// this for its memory-budget accounting, so the estimate only needs to be
+/// stable and proportional, not exact.
+std::size_t approxMemoryBytes(const Trace& trace);
+
 /// Multi-line human-readable rendering of the statistics.
 std::string formatStats(const TraceStats& stats);
 

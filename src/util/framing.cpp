@@ -1,0 +1,50 @@
+#include "util/framing.hpp"
+
+#include "util/socket.hpp"
+
+namespace perfvar::util {
+
+std::string encodeFrame(std::uint8_t type, std::string_view payload) {
+  PERFVAR_REQUIRE(payload.size() <= kMaxFramePayload,
+                  "frame payload exceeds kMaxFramePayload");
+  std::string wire;
+  wire.reserve(5 + payload.size());
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    wire.push_back(static_cast<char>((n >> (8 * i)) & 0xFF));
+  }
+  wire.push_back(static_cast<char>(type));
+  wire.append(payload);
+  return wire;
+}
+
+void writeFrame(int fd, std::uint8_t type, std::string_view payload) {
+  const std::string wire = encodeFrame(type, payload);
+  writeFull(fd, wire.data(), wire.size());
+}
+
+bool readFrame(int fd, Frame& out, std::size_t maxPayload) {
+  unsigned char header[5];
+  if (!readFull(fd, header, sizeof header)) {
+    return false;
+  }
+  std::uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) {
+    n |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  }
+  PERFVAR_REQUIRE_E(n <= maxPayload,
+                    "frame payload length " + std::to_string(n) +
+                        " exceeds the limit of " + std::to_string(maxPayload),
+                    ErrorContext::at(ErrorCode::MalformedEvent));
+  out.type = header[4];
+  out.payload.resize(n);
+  if (n > 0 && !readFull(fd, out.payload.data(), n)) {
+    ErrorContext context;
+    context.code = ErrorCode::TruncatedInput;
+    throw Error("connection closed between frame header and payload",
+                std::move(context));
+  }
+  return true;
+}
+
+}  // namespace perfvar::util

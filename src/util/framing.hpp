@@ -1,0 +1,58 @@
+#ifndef PERFVAR_UTIL_FRAMING_HPP
+#define PERFVAR_UTIL_FRAMING_HPP
+
+/// \file framing.hpp
+/// Length-prefixed frame transport of the analysis server.
+///
+/// Every message on a server connection is one frame:
+///
+///   offset  size  field
+///   0       4     payload length N (u32 LE), N <= maxPayload
+///   4       1     frame type (u8, see server/protocol.hpp)
+///   5       N     payload
+///
+/// The framing layer is deliberately dumb: it moves opaque (type,
+/// payload) pairs and enforces only the length bound. What the types and
+/// payloads mean is the protocol layer's business (server/protocol.hpp,
+/// docs/PROTOCOL.md). Malformed input never crashes: an oversized
+/// declared length throws Error(MalformedEvent) before any payload is
+/// read, EOF mid-frame throws Error(TruncatedInput), and a clean EOF on a
+/// frame boundary is reported as "no more frames".
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace perfvar::util {
+
+/// One frame: opaque type byte plus payload bytes.
+struct Frame {
+  std::uint8_t type = 0;
+  std::string payload;
+};
+
+/// Hard ceiling on a frame payload. Large enough for any v2 chunk a
+/// producer reasonably streams (64 MiB); anything bigger is treated as a
+/// protocol violation, not an allocation request.
+inline constexpr std::size_t kMaxFramePayload = 64ULL * 1024 * 1024;
+
+/// Serialize one frame into its wire bytes (header + payload).
+std::string encodeFrame(std::uint8_t type, std::string_view payload);
+
+/// Write one frame to `fd`. Throws Error(Generic) when the payload
+/// exceeds kMaxFramePayload and Error(IoFailure) on transport failure.
+void writeFrame(int fd, std::uint8_t type, std::string_view payload);
+
+/// Read one frame from `fd`. Returns false on a clean EOF before the
+/// first header byte (the peer hung up between frames). Throws
+/// Error(MalformedEvent) when the declared length exceeds `maxPayload`
+/// (nothing past the header is consumed), Error(TruncatedInput) on EOF
+/// mid-frame, and Error(IoFailure) on transport errors.
+bool readFrame(int fd, Frame& out, std::size_t maxPayload = kMaxFramePayload);
+
+}  // namespace perfvar::util
+
+#endif  // PERFVAR_UTIL_FRAMING_HPP

@@ -395,5 +395,106 @@ TEST(ToolCli, QueryBadOptionValueIsAUsageError) {
   EXPECT_EQ(r.exitCode, 2);
 }
 
+// The session input grammar, pinned: EOF is a normal way to end the
+// session (0), blank/comment lines are skipped, and a final line without
+// a trailing newline is still a complete command.
+
+TEST(ToolCli, QueryImmediateEofIsACleanExit) {
+  const RunResult r = run("printf '' | " + tool() + " query " + tracePath());
+  EXPECT_EQ(r.exitCode, 0);
+  EXPECT_TRUE(r.out.empty()) << r.out;
+}
+
+TEST(ToolCli, QueryBlankAndCommentLinesAreSkipped) {
+  const RunResult r = run("printf '\\n   \\n\\t\\n# note\\n' | " + tool() +
+                          " query " + tracePath());
+  EXPECT_EQ(r.exitCode, 0);
+  EXPECT_TRUE(r.out.empty()) << r.out;
+}
+
+TEST(ToolCli, QueryEofMidCommandStillRunsTheCommand) {
+  const RunResult oneShot = run(tool() + " analyze " + tracePath());
+  ASSERT_EQ(oneShot.exitCode, 0);
+  // No trailing newline: getline delivers the partial last line, the
+  // command runs, then EOF ends the session with 0.
+  const RunResult r =
+      run("printf 'analyze' | " + tool() + " query " + tracePath());
+  EXPECT_EQ(r.exitCode, 0);
+  EXPECT_EQ(r.out, oneShot.out);
+}
+
+TEST(ToolCli, QueryOptionWithoutValueIsAUsageError) {
+  EXPECT_EQ(run("printf 'analyze threshold\\n' | " + tool() + " query " +
+                tracePath() + " 2>/dev/null").exitCode,
+            2);
+  EXPECT_EQ(run("printf 'export\\n' | " + tool() + " query " + tracePath() +
+                " 2>/dev/null").exitCode,
+            2);
+}
+
+TEST(ToolCli, QueryArgumentCountIsValidated) {
+  EXPECT_EQ(run(tool() + " query 2>/dev/null").exitCode, 2);
+  EXPECT_EQ(run(tool() + " query a.pvt extra 2>/dev/null").exitCode, 2);
+  EXPECT_EQ(run(tool() + " query definitely_missing.pvt </dev/null"
+                " 2>/dev/null").exitCode,
+            1);
+}
+
+// ---- the serve daemon and the connect client -----------------------------
+
+TEST(ToolCli, ServeAndConnectExpectExactlyOneSocket) {
+  EXPECT_EQ(run(tool() + " serve 2>/dev/null").exitCode, 2);
+  EXPECT_EQ(run(tool() + " serve a.sock b.sock 2>/dev/null").exitCode, 2);
+  EXPECT_EQ(run(tool() + " connect 2>/dev/null").exitCode, 2);
+}
+
+TEST(ToolCli, ConnectToAMissingSocketIsARuntimeError) {
+  const RunResult r = run(tool() + " connect definitely_missing.sock"
+                          " </dev/null 2>/dev/null");
+  EXPECT_EQ(r.exitCode, 1);
+}
+
+/// The CI smoke scenario as a test: daemon in the background, a scripted
+/// connect session loads a trace, analyzes it twice (the second answer
+/// comes from the warm stage cache), reads the per-trace stats, and shuts
+/// the daemon down.
+TEST(ToolCli, ServeConnectSessionMatchesOneShotAnalyze) {
+  const RunResult oneShot = run(tool() + " analyze " + tracePath());
+  ASSERT_EQ(oneShot.exitCode, 0);
+
+  const std::string sock = "tool_cli_serve.sock";
+  const RunResult session = run(
+      "rm -f " + sock + "; " +
+      tool() + " serve " + sock + " >/dev/null 2>&1 & srv=$!; " +
+      "printf 'load t " + tracePath() +
+      "\\nanalyze t\\nanalyze t\\nstats t\\nshutdown\\n' | " +
+      tool() + " connect " + sock + "; code=$?; wait $srv; exit $code");
+  ASSERT_EQ(session.exitCode, 0) << session.out;
+  EXPECT_NE(session.out.find("loaded t: "), std::string::npos);
+  // The analysis crossed the wire byte-identically, twice.
+  const std::size_t first = session.out.find(oneShot.out);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(session.out.find(oneShot.out, first + 1), std::string::npos);
+  // The repeated analyze hit the resident engine's warm stage cache.
+  EXPECT_NE(session.out.find("cache: hits="), std::string::npos)
+      << session.out;
+  EXPECT_EQ(session.out.find("cache: hits=0 "), std::string::npos)
+      << session.out;
+}
+
+TEST(ToolCli, ConnectServerErrorsMakeTheSessionExitNonzero) {
+  const std::string sock = "tool_cli_serve_err.sock";
+  const RunResult session = run(
+      "rm -f " + sock + "; " +
+      tool() + " serve " + sock + " >/dev/null 2>&1 & srv=$!; " +
+      "printf 'analyze ghost\\nshutdown\\n' | " +
+      tool() + " connect " + sock + " 2>&1 1>/dev/null;"
+      " code=$?; wait $srv; exit $code");
+  EXPECT_EQ(session.exitCode, 1);
+  // The failure is a structured server error, not a dead connection.
+  EXPECT_NE(session.out.find("server error:"), std::string::npos)
+      << session.out;
+}
+
 }  // namespace
 }  // namespace perfvar
