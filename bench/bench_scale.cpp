@@ -1,0 +1,131 @@
+/// \file bench_scale.cpp
+/// The BM_Scale bench family (google-benchmark): out-of-core analysis at
+/// 1k / 10k / 100k ranks. Each size streams the synthetic scale scenario
+/// to disk with trace::V2StreamWriter and measures (a) the streamed
+/// generation itself, (b) a full dominant+SOS+variation pass through the
+/// lazy TraceView backend under a bounded shard budget, and (c) the same
+/// pass through an eager whole-trace load where memory still allows
+/// (1k/10k). The peak decoded-shard residency is reported as a counter,
+/// so BENCH_scale.json documents both time and the memory bound. CI runs
+/// this in Release and uploads BENCH_scale.json (job: bench-scale).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/pipeline.hpp"
+#include "apps/scale_synthetic.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/stats.hpp"
+#include "trace/view.hpp"
+
+namespace {
+
+using namespace perfvar;
+
+/// Bench-sized scenario: 5 iterations keeps 100k ranks at ~3.7M events.
+apps::ScaleConfig benchConfig(std::int64_t ranks) {
+  apps::ScaleConfig cfg;
+  cfg.ranks = static_cast<std::size_t>(ranks);
+  cfg.iterations = 5;
+  return cfg;
+}
+
+std::string benchPath(std::int64_t ranks) {
+  return "bench_scale_" + std::to_string(ranks) + ".pvt";
+}
+
+/// Generate the fixture once per size; later benchmarks reuse the file.
+const std::string& fixtureFile(std::int64_t ranks) {
+  static std::string path1k, path10k, path100k;
+  std::string& slot =
+      ranks >= 100'000 ? path100k : (ranks >= 10'000 ? path10k : path1k);
+  if (slot.empty()) {
+    slot = benchPath(ranks);
+    apps::writeScaleTrace(slot, benchConfig(ranks));
+  }
+  return slot;
+}
+
+void BM_ScaleGenerateStreamed(benchmark::State& state) {
+  const apps::ScaleConfig cfg = benchConfig(state.range(0));
+  const std::string path = benchPath(state.range(0)) + ".tmp";
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const apps::ScaleWriteResult written = apps::writeScaleTrace(path, cfg);
+    events = written.events;
+    benchmark::DoNotOptimize(written.ranks);
+  }
+  std::remove(path.c_str());
+  state.counters["events"] = static_cast<double>(events);
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
+}
+BENCHMARK(BM_ScaleGenerateStreamed)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScaleAnalyzeLazy(benchmark::State& state) {
+  const std::string& path = fixtureFile(state.range(0));
+  trace::TraceViewOptions viewOpts;
+  viewOpts.shardBudgetBytes = 64ull << 20;  // 64 MiB regardless of size
+  analysis::PipelineOptions pipeline;
+  pipeline.threads = 0;
+  std::uint64_t peak = 0;
+  for (auto _ : state) {
+    const trace::TraceView view = trace::TraceView::openFile(path, viewOpts);
+    const analysis::AnalysisResult result =
+        analysis::analyzeTrace(view, pipeline);
+    benchmark::DoNotOptimize(result.variation.hotspots.size());
+    peak = view.stats().peakResidentBytes;
+  }
+  state.counters["peak_resident_mb"] =
+      static_cast<double>(peak) / (1024.0 * 1024.0);
+}
+BENCHMARK(BM_ScaleAnalyzeLazy)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScaleAnalyzeEager(benchmark::State& state) {
+  const std::string& path = fixtureFile(state.range(0));
+  analysis::PipelineOptions pipeline;
+  pipeline.threads = 0;
+  for (auto _ : state) {
+    const trace::Trace tr = trace::loadBinaryFile(path);
+    const analysis::AnalysisResult result =
+        analysis::analyzeTrace(tr, pipeline);
+    benchmark::DoNotOptimize(result.variation.hotspots.size());
+  }
+}
+// Eager baseline stops at 10k ranks; 100k is the lazy backend's territory.
+BENCHMARK(BM_ScaleAnalyzeEager)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScaleStatsSweep(benchmark::State& state) {
+  const std::string& path = fixtureFile(state.range(0));
+  trace::TraceViewOptions viewOpts;
+  viewOpts.shardBudgetBytes = 16ull << 20;
+  const trace::TraceView view = trace::TraceView::openFile(path, viewOpts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::computeStats(view).eventCount);
+  }
+  state.counters["peak_resident_mb"] =
+      static_cast<double>(view.stats().peakResidentBytes) /
+      (1024.0 * 1024.0);
+}
+BENCHMARK(BM_ScaleStatsSweep)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -267,11 +267,11 @@ void BM_LintFullRegistry(benchmark::State& state) {
 BENCHMARK(BM_LintFullRegistry)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
 
 /// The validate() subset alone — the forwarder's cost relative to the
-/// historical single-pass validator it replaced.
+/// historical single-pass validator they replaced.
 void BM_LintValidateSubset(benchmark::State& state) {
   const trace::Trace& tr = trace64();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(trace::validate(tr));
+    benchmark::DoNotOptimize(lint::validateStructure(tr));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(tr.eventCount()));

@@ -2,6 +2,10 @@
 /// Command-line utility around the trace substrate:
 ///
 ///   trace_tool generate <scenario> <out.pvt>   write a case-study trace
+///   trace_tool generate scale <out.pvt> [ranks [iters]]
+///                                              stream the synthetic scale
+///                                              scenario straight to disk
+///                                              (never held in memory)
 ///   trace_tool info [--verify] <in.pvt>        format version, file size,
 ///                                              per-rank blocks; --verify
 ///                                              adds a salvage dry run
@@ -27,13 +31,17 @@
 ///                                              commands from stdin, one
 ///                                              per line
 ///
-/// Global options: --threads N runs the analysis commands — and the v2
-/// trace decode — on N worker threads (0 = all hardware threads; output
-/// is bit-identical to serial); --format v1|v2 selects the binary layout
-/// written by generate/slice/archive/unarchive (default v2); --salvage
-/// loads damaged inputs in recovery mode (quarantined ranks are excluded
-/// from analysis and reported); --budget-mb N / --session-budget-mb N cap
-/// the serve daemon's resident-trace memory (LRU eviction); --help prints
+/// Global options (see tool_options.hpp, the one shared parser):
+/// --threads N runs the analysis commands — and the v2 trace decode — on
+/// N worker threads (0 = all hardware threads; output is bit-identical
+/// to serial); --format v1|v2 selects the binary layout written by
+/// generate/slice/archive/unarchive (default v2); --salvage loads
+/// damaged inputs in recovery mode (quarantined ranks are excluded from
+/// analysis and reported); --lazy opens analysis inputs out-of-core
+/// (mmap + per-rank lazy decode, --shard-budget-mb N caps the decoded
+/// LRU) so six-figure-rank traces analyze in bounded memory with
+/// byte-identical output; --budget-mb N / --session-budget-mb N cap the
+/// serve daemon's resident-trace memory (LRU eviction); --help prints
 /// the usage text. Unknown options are rejected.
 ///
 /// Exit codes: 0 = success, 1 = runtime/analysis error (unreadable trace,
@@ -60,6 +68,7 @@
 #include "lint/lint.hpp"
 #include "apps/cosmo_specs.hpp"
 #include "apps/cosmo_specs_fd4.hpp"
+#include "apps/scale_synthetic.hpp"
 #include "apps/wrf.hpp"
 #include "engine/engine.hpp"
 #include "profile/profile.hpp"
@@ -70,7 +79,10 @@
 #include "trace/filter.hpp"
 #include "trace/stats.hpp"
 #include "trace/text_io.hpp"
+#include "trace/view.hpp"
 #include "util/error.hpp"
+
+#include "tool_options.hpp"
 
 namespace {
 
@@ -103,9 +115,15 @@ trace::Trace generateScenario(const std::string& name) {
 void printUsage(std::ostream& out) {
   out <<
       "usage: trace_tool [--threads N] [--format v1|v2] [--salvage]\n"
-      "                  <command> [args]\n"
+      "                  [--lazy] <command> [args]\n"
       "  generate <scenario> <out.pvt>  scenario: cosmo-specs |\n"
       "                                 cosmo-specs-fd4 | wrf\n"
+      "  generate scale <out.pvt> [ranks [iterations]]\n"
+      "                                 stream the synthetic scale scenario\n"
+      "                                 to disk rank by rank (defaults:\n"
+      "                                 1024 ranks, 20 iterations); built\n"
+      "                                 for 100k-rank traces, pairs with\n"
+      "                                 --lazy analysis\n"
       "  info [--verify] <in.pvt>       format version, file size and\n"
       "                                 per-rank block sizes/event counts;\n"
       "                                 --verify adds a salvage dry run\n"
@@ -160,6 +178,11 @@ void printUsage(std::ostream& out) {
       "  --salvage     load inputs in recovery mode: damaged ranks are\n"
       "                quarantined (and excluded from analysis) instead\n"
       "                of failing the whole load\n"
+      "  --lazy        open analysis inputs out-of-core (PVTF v2 only):\n"
+      "                mmap + per-rank lazy decode under an LRU budget;\n"
+      "                output is byte-identical to an eager load\n"
+      "  --shard-budget-mb N    --lazy only: decoded-shard LRU budget\n"
+      "                         (MiB, default 256)\n"
       "  --budget-mb N          serve only: global memory budget over all\n"
       "                         resident traces (MiB, LRU eviction);\n"
       "                         0 = unlimited (default)\n"
@@ -180,28 +203,8 @@ int usageError(const std::string& message) {
   return kExitUsage;
 }
 
-bool parseSize(const std::string& value, std::size_t& out) {
-  if (value.empty() ||
-      value.find_first_not_of("0123456789") != std::string::npos) {
-    return false;
-  }
-  try {
-    out = static_cast<std::size_t>(std::stoul(value));
-  } catch (const std::exception&) {
-    return false;
-  }
-  return true;
-}
-
-bool parseDouble(const std::string& value, double& out) {
-  try {
-    std::size_t pos = 0;
-    out = std::stod(value, &pos);
-    return pos == value.size();
-  } catch (const std::exception&) {
-    return false;
-  }
-}
+using tool::parseDouble;
+using tool::parseSize;
 
 bool parseExportFormat(const std::string& name,
                        analysis::ExportFormat& format) {
@@ -464,100 +467,45 @@ int runConnectSession(server::Client& client, std::istream& in,
 
 int main(int argc, char** argv) {
   try {
-    std::size_t threads = 1;  // 1 = serial pipeline and serial decode
-    std::size_t budgetMb = 0;         // serve: global budget, 0 = unlimited
-    std::size_t sessionBudgetMb = 0;  // serve: per-session budget
-    std::uint32_t format = trace::kBinaryFormatVersion;
-    bool salvage = false;
-    bool verify = false;
-    bool lintJson = false;
-    lint::Severity lintFailOn = lint::Severity::Warning;
-    std::vector<std::string> lintDisabled;
-    std::vector<std::string> args;
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg == "--help" || arg == "-h") {
+    tool::ToolOptions options;
+    std::string parseError;
+    switch (tool::parseToolOptions(argc, argv, options, parseError)) {
+      case tool::ParseStatus::Help:
         printUsage(std::cout);
         return kExitOk;
-      }
-      if (arg == "--threads") {
-        if (i + 1 >= argc) {
-          return usageError("--threads needs a value");
-        }
-        const std::string value = argv[++i];
-        // 0 = all hardware threads; 1 = serial.
-        if (!parseSize(value, threads)) {
-          return usageError("--threads expects a non-negative integer, "
-                            "got '" + value + "'");
-        }
-      } else if (arg == "--format") {
-        if (i + 1 >= argc) {
-          return usageError("--format needs a value");
-        }
-        const std::string value = argv[++i];
-        if (value == "v1") {
-          format = trace::kBinaryFormatV1;
-        } else if (value == "v2") {
-          format = trace::kBinaryFormatV2;
-        } else {
-          return usageError("--format expects v1 or v2, got '" + value +
-                            "'");
-        }
-      } else if (arg == "--budget-mb") {
-        if (i + 1 >= argc) {
-          return usageError("--budget-mb needs a value");
-        }
-        const std::string value = argv[++i];
-        if (!parseSize(value, budgetMb)) {
-          return usageError("--budget-mb expects a non-negative integer, "
-                            "got '" + value + "'");
-        }
-      } else if (arg == "--session-budget-mb") {
-        if (i + 1 >= argc) {
-          return usageError("--session-budget-mb needs a value");
-        }
-        const std::string value = argv[++i];
-        if (!parseSize(value, sessionBudgetMb)) {
-          return usageError("--session-budget-mb expects a non-negative "
-                            "integer, got '" + value + "'");
-        }
-      } else if (arg == "--salvage") {
-        salvage = true;
-      } else if (arg == "--verify") {
-        verify = true;
-      } else if (arg == "--json") {
-        lintJson = true;
-      } else if (arg == "--fail-on") {
-        if (i + 1 >= argc) {
-          return usageError("--fail-on needs a value");
-        }
-        const std::string value = argv[++i];
-        if (value != "info" && value != "warning" && value != "error") {
-          return usageError("--fail-on expects info, warning or error, "
-                            "got '" + value + "'");
-        }
-        lintFailOn = lint::severityFromName(value);
-      } else if (arg == "--disable") {
-        if (i + 1 >= argc) {
-          return usageError("--disable needs a rule id");
-        }
-        lintDisabled.emplace_back(argv[++i]);
-      } else if (!arg.empty() && arg[0] == '-') {
-        return usageError("unknown option '" + arg + "'");
-      } else {
-        args.push_back(arg);
-      }
+      case tool::ParseStatus::Error:
+        return usageError(parseError);
+      case tool::ParseStatus::Ok:
+        break;
     }
+    const std::size_t threads = options.threads;
+    const bool salvage = options.salvage;
+    const std::vector<std::string>& args = options.positional;
     analysis::PipelineOptions pipelineOptions;
     pipelineOptions.threads = threads;
     trace::BinaryWriteOptions writeOptions;
-    writeOptions.version = format;
+    writeOptions.version = options.format;
     writeOptions.threads = threads;
     trace::BinaryReadOptions readOptions;
     readOptions.threads = threads;
     if (salvage) {
       readOptions.recovery = trace::RecoveryMode::Salvage;
     }
+    trace::TraceViewOptions viewOptions;
+    viewOptions.shardBudgetBytes = options.shardBudgetMb * 1024 * 1024;
+    if (salvage) {
+      viewOptions.recovery = trace::RecoveryMode::Salvage;
+    }
+    // One loader for every analysis command: --lazy keeps the file on
+    // disk behind the out-of-core backend, the default materializes it.
+    // Both paths produce the same TraceView interface and identical
+    // command output.
+    const auto loadView = [&](const std::string& path) {
+      if (options.lazy) {
+        return trace::TraceView::openFile(path, viewOptions);
+      }
+      return trace::TraceView::owned(trace::loadBinaryFile(path, readOptions));
+    };
     if (args.empty()) {
       // Demo mode: exercise the full round trip on a small scenario.
       std::cout << "(no arguments: running the self-contained demo)\n\n";
@@ -580,6 +528,32 @@ int main(int argc, char** argv) {
     }
 
     const std::string& cmd = args[0];
+    if (cmd == "generate" && args.size() >= 2 && args[1] == "scale") {
+      if (args.size() < 3 || args.size() > 5) {
+        return usageError(
+            "'generate scale' expects <out.pvt> [ranks [iterations]]");
+      }
+      if (options.format != trace::kBinaryFormatV2) {
+        return usageError("'generate scale' streams PVTF v2; remove "
+                          "--format v1");
+      }
+      apps::ScaleConfig cfg;
+      if (args.size() >= 4 && !parseSize(args[3], cfg.ranks)) {
+        return usageError("'generate scale' ranks expects a non-negative "
+                          "integer, got '" + args[3] + "'");
+      }
+      if (args.size() == 5 && !parseSize(args[4], cfg.iterations)) {
+        return usageError("'generate scale' iterations expects a "
+                          "non-negative integer, got '" + args[4] + "'");
+      }
+      const apps::ScaleWriteResult written =
+          apps::writeScaleTrace(args[2], cfg);
+      std::cout << "wrote " << args[2] << " (" << written.ranks
+                << " ranks, " << written.events << " events, "
+                << written.culpritRanks
+                << " culprit ranks; streamed rank by rank)\n";
+      return kExitOk;
+    }
     if (cmd == "generate") {
       if (args.size() != 3) {
         return usageError("'generate' expects <scenario> <out.pvt>");
@@ -662,8 +636,8 @@ int main(int argc, char** argv) {
     if (cmd == "serve") {
       server::ServerOptions serverOptions;
       serverOptions.threads = threads;
-      serverOptions.maxResidentBytes = budgetMb * 1024 * 1024;
-      serverOptions.maxSessionBytes = sessionBudgetMb * 1024 * 1024;
+      serverOptions.maxResidentBytes = options.budgetMb * 1024 * 1024;
+      serverOptions.maxSessionBytes = options.sessionBudgetMb * 1024 * 1024;
       server::Server srv(serverOptions);
       srv.listen(args[1]);
       // Scripts wait for this line before connecting; flush it.
@@ -678,7 +652,7 @@ int main(int argc, char** argv) {
       return runConnectSession(client, std::cin, std::cout);
     }
     if (cmd == "info") {
-      if (verify) {
+      if (options.verify) {
         // A salvage dry run: works on damaged files the strict block
         // inspection below would reject.
         const trace::LoadReport report =
@@ -705,16 +679,20 @@ int main(int argc, char** argv) {
     if (cmd == "query") {
       engine::EngineOptions engineOptions;
       engineOptions.threads = threads;
-      auto eng = engine::AnalysisEngine::fromFile(args[1], engineOptions);
+      auto eng = options.lazy
+                     ? engine::AnalysisEngine::fromFileLazy(
+                           args[1], engineOptions, viewOptions)
+                     : engine::AnalysisEngine::fromFile(args[1],
+                                                        engineOptions);
       return runQuerySession(eng, std::cin, std::cout);
     }
     if (cmd == "lint") {
       // Own exit-code contract (see file comment): a trace that cannot be
       // loaded at all exits 2, not the generic runtime code 1 — scripts
       // can then distinguish "damaged beyond linting" from "has findings".
-      trace::Trace tr;
+      trace::TraceView tr;
       try {
-        tr = trace::loadBinaryFile(args[1], readOptions);
+        tr = loadView(args[1]);
       } catch (const Error& e) {
         if (!e.path().empty()) {
           std::cerr << "error: " << errorCodeName(e.code()) << ": "
@@ -726,19 +704,20 @@ int main(int argc, char** argv) {
       }
       lint::LintOptions lintOptions;
       lintOptions.threads = threads;
-      lintOptions.disabledRules = lintDisabled;
+      lintOptions.disabledRules = options.lintDisabled;
       const lint::LintReport report = lint::lintTrace(tr, lintOptions);
       lint::exportLintReport(report,
-                             lintJson ? analysis::ExportFormat::Json
-                                      : analysis::ExportFormat::Text,
+                             options.lintJson ? analysis::ExportFormat::Json
+                                              : analysis::ExportFormat::Text,
                              std::cout);
-      return report.hasAtLeast(lintFailOn) ? kExitLintFindings : kExitOk;
+      return report.hasAtLeast(options.lintFailOn) ? kExitLintFindings
+                                                   : kExitOk;
     }
-    const trace::Trace tr = trace::loadBinaryFile(args[1], readOptions);
+    const trace::TraceView tr = loadView(args[1]);
     if (cmd == "stats") {
       std::cout << trace::formatStats(trace::computeStats(tr));
     } else if (cmd == "validate") {
-      const auto issues = trace::validate(tr);
+      const auto issues = lint::validateStructure(tr);
       if (issues.empty()) {
         std::cout << "trace is structurally valid\n";
       } else {
@@ -755,7 +734,13 @@ int main(int argc, char** argv) {
       const auto result = analysis::analyzeTrace(tr, pipelineOptions);
       std::cout << analysis::formatAnalysis(tr, result);
     } else if (cmd == "dump") {
-      trace::writeText(tr, std::cout);
+      // PVTX dumps the whole trace anyway; a lazy view materializes here.
+      if (const trace::Trace* eager = tr.eagerOrNull()) {
+        trace::writeText(*eager, std::cout);
+      } else {
+        const trace::Trace materialized = tr.materialize();
+        trace::writeText(materialized, std::cout);
+      }
     } else if (cmd == "export-json") {
       const auto result = analysis::analyzeTrace(tr, pipelineOptions);
       analysis::exportReport(tr, result, analysis::ExportFormat::Json,

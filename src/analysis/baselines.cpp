@@ -50,7 +50,7 @@ DetectionOutcome rankProcesses(std::string method,
 
 }  // namespace
 
-DetectionOutcome detectByProfile(const trace::Trace& tr,
+DetectionOutcome detectByProfile(const trace::TraceView& tr,
                                  const SyncClassifier& classifier) {
   const auto profile = profile::FlatProfile::build(tr);
   std::vector<bool> keep = classifier.mask(tr);
@@ -80,13 +80,13 @@ DetectionOutcome outcomeFromSos(const SosResult& sos,
   return out;
 }
 
-DetectionOutcome detectBySegmentDuration(const trace::Trace& tr,
+DetectionOutcome detectBySegmentDuration(const trace::TraceView& tr,
                                          trace::FunctionId segmentFunction) {
   const SosResult durations = analyzeSegmentDurations(tr, segmentFunction);
   return outcomeFromSos(durations, "segment-duration");
 }
 
-DetectionOutcome detectBySos(const trace::Trace& tr,
+DetectionOutcome detectBySos(const trace::TraceView& tr,
                              trace::FunctionId segmentFunction,
                              const SyncClassifier& classifier) {
   const SosResult sos = analyzeSos(tr, segmentFunction, classifier);

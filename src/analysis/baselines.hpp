@@ -47,18 +47,18 @@ struct DetectionOutcome {
 
 /// Profile-only baseline: rank processes by total exclusive time of
 /// non-synchronization functions.
-DetectionOutcome detectByProfile(const trace::Trace& trace,
+DetectionOutcome detectByProfile(const trace::TraceView& trace,
                                  const SyncClassifier& classifier = {});
 
 /// Segment-duration baseline: rank processes by total segment duration;
 /// the suspicious iteration is the one with the slowest mean duration.
-DetectionOutcome detectBySegmentDuration(const trace::Trace& trace,
+DetectionOutcome detectBySegmentDuration(const trace::TraceView& trace,
                                          trace::FunctionId segmentFunction);
 
 /// Full method of the paper: rank processes by total SOS-time; the
 /// suspicious iteration is the one holding the top hotspot (falling back
 /// to the slowest mean SOS iteration).
-DetectionOutcome detectBySos(const trace::Trace& trace,
+DetectionOutcome detectBySos(const trace::TraceView& trace,
                              trace::FunctionId segmentFunction,
                              const SyncClassifier& classifier = {});
 

@@ -68,7 +68,7 @@ ClusterResult clusterSegments(const SosResult& sos,
                               const ClusterOptions& options) {
   PERFVAR_REQUIRE(options.clusters >= 1, "need at least one cluster");
   const auto& tr = sos.trace();
-  const double res = static_cast<double>(tr.resolution);
+  const double res = static_cast<double>(tr.resolution());
 
   // Collect feature points.
   std::vector<Point> points;
@@ -80,7 +80,7 @@ ClusterResult clusterSegments(const SosResult& sos,
       pt.index = i;
       pt.rawSos = static_cast<double>(per[i].sosTime) / res;
       if (options.rateMetric) {
-        PERFVAR_REQUIRE(*options.rateMetric < tr.metrics.size(),
+        PERFVAR_REQUIRE(*options.rateMetric < tr.metrics().size(),
                         "invalid rate metric");
         const double duration =
             static_cast<double>(per[i].segment.inclusive()) / res;

@@ -16,7 +16,7 @@ double meanIterationImbalance(const SosResult& sos, std::size_t iterations) {
   double acc = 0.0;
   std::size_t counted = 0;
   std::vector<double> values;
-  const double res = static_cast<double>(sos.trace().resolution);
+  const double res = static_cast<double>(sos.trace().resolution());
   for (std::size_t i = 0; i < iterations; ++i) {
     values.clear();
     for (const auto& per : sos.all()) {

@@ -12,13 +12,13 @@ namespace perfvar::analysis {
 
 MetricCorrelation correlateMetric(const SosResult& sos,
                                   trace::MetricId metric) {
-  PERFVAR_REQUIRE(metric < sos.trace().metrics.size(), "invalid metric id");
+  PERFVAR_REQUIRE(metric < sos.trace().metrics().size(), "invalid metric id");
   MetricCorrelation c;
   c.metric = metric;
 
   std::vector<double> segSos;
   std::vector<double> segMetric;
-  const double res = static_cast<double>(sos.trace().resolution);
+  const double res = static_cast<double>(sos.trace().resolution());
   for (const auto& per : sos.all()) {
     for (const auto& a : per) {
       segSos.push_back(static_cast<double>(a.sosTime) / res);
@@ -48,7 +48,7 @@ MetricCorrelation correlateMetric(const SosResult& sos,
 
 std::vector<MetricCorrelation> correlateAllMetrics(const SosResult& sos) {
   std::vector<MetricCorrelation> out;
-  for (std::size_t m = 0; m < sos.trace().metrics.size(); ++m) {
+  for (std::size_t m = 0; m < sos.trace().metrics().size(); ++m) {
     const auto totals =
         sos.totalMetricPerProcess(static_cast<trace::MetricId>(m));
     const bool anySample =
@@ -66,10 +66,10 @@ std::vector<MetricCorrelation> correlateAllMetrics(const SosResult& sos) {
   return out;
 }
 
-std::string formatCorrelation(const trace::Trace& tr,
+std::string formatCorrelation(const trace::TraceView& tr,
                               const MetricCorrelation& c) {
   std::ostringstream os;
-  os << tr.metrics.name(c.metric) << ": per-process Pearson "
+  os << tr.metrics().name(c.metric) << ": per-process Pearson "
      << fmt::fixed(c.processPearson, 3) << ", Spearman "
      << fmt::fixed(c.processSpearman, 3) << "; per-segment Pearson "
      << fmt::fixed(c.segmentPearson, 3) << " over " << c.segmentPairs

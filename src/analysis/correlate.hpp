@@ -41,7 +41,7 @@ MetricCorrelation correlateMetric(const SosResult& sos, trace::MetricId metric);
 std::vector<MetricCorrelation> correlateAllMetrics(const SosResult& sos);
 
 /// One-line rendering, e.g. for reports.
-std::string formatCorrelation(const trace::Trace& trace,
+std::string formatCorrelation(const trace::TraceView& trace,
                               const MetricCorrelation& c);
 
 }  // namespace perfvar::analysis

@@ -13,7 +13,7 @@ const DominantCandidate& DominantSelection::dominant() const {
   return candidates.front();
 }
 
-DominantSelection selectDominantFunction(const trace::Trace& tr,
+DominantSelection selectDominantFunction(const trace::TraceView& tr,
                                          const profile::FlatProfile& profile,
                                          const DominantOptions& options) {
   PERFVAR_REQUIRE(options.invocationMultiplier >= 1,
@@ -23,7 +23,7 @@ DominantSelection selectDominantFunction(const trace::Trace& tr,
   const std::vector<bool> syncMask =
       options.excludeSynchronization
           ? options.syncClassifier.mask(tr)
-          : std::vector<bool>(tr.functions.size(), false);
+          : std::vector<bool>(tr.functions().size(), false);
 
   DominantSelection sel;
   for (const profile::FunctionStats& s : profile.byInclusiveTime()) {
@@ -43,20 +43,20 @@ DominantSelection selectDominantFunction(const trace::Trace& tr,
   return sel;
 }
 
-DominantSelection selectDominantFunction(const trace::Trace& tr,
+DominantSelection selectDominantFunction(const trace::TraceView& tr,
                                          const DominantOptions& options) {
   const auto profile = profile::FlatProfile::build(tr);
   return selectDominantFunction(tr, profile, options);
 }
 
-std::string formatSelection(const trace::Trace& tr,
+std::string formatSelection(const trace::TraceView& tr,
                             const DominantSelection& sel,
                             std::size_t maxCandidates) {
   std::ostringstream os;
   if (!sel.rejectedTopLevel.empty()) {
     os << "rejected (too few invocations):\n";
     for (const auto& c : sel.rejectedTopLevel) {
-      os << "  " << tr.functions.name(c.function) << "  inclusive "
+      os << "  " << tr.functions().name(c.function) << "  inclusive "
          << fmt::seconds(tr.toSeconds(c.aggregatedInclusive)) << ", "
          << c.invocations << " invocation(s)\n";
     }
@@ -70,7 +70,7 @@ std::string formatSelection(const trace::Trace& tr,
   for (std::size_t i = 0; i < n; ++i) {
     const auto& c = sel.candidates[i];
     os << "  " << (i == 0 ? "[dominant] " : "           ")
-       << tr.functions.name(c.function) << "  inclusive "
+       << tr.functions().name(c.function) << "  inclusive "
        << fmt::seconds(tr.toSeconds(c.aggregatedInclusive)) << ", "
        << c.invocations << " invocation(s)\n";
   }

@@ -22,6 +22,7 @@
 #include "analysis/sync.hpp"
 #include "profile/profile.hpp"
 #include "trace/trace.hpp"
+#include "trace/view.hpp"
 
 namespace perfvar::analysis {
 
@@ -64,16 +65,16 @@ struct DominantSelection {
 };
 
 /// Run the selection on a prebuilt profile.
-DominantSelection selectDominantFunction(const trace::Trace& trace,
+DominantSelection selectDominantFunction(const trace::TraceView& trace,
                                          const profile::FlatProfile& profile,
                                          const DominantOptions& options = {});
 
 /// Convenience overload building the profile internally.
-DominantSelection selectDominantFunction(const trace::Trace& trace,
+DominantSelection selectDominantFunction(const trace::TraceView& trace,
                                          const DominantOptions& options = {});
 
 /// Human-readable summary of a selection (top candidates, rejections).
-std::string formatSelection(const trace::Trace& trace,
+std::string formatSelection(const trace::TraceView& trace,
                             const DominantSelection& selection,
                             std::size_t maxCandidates = 5);
 

@@ -22,7 +22,7 @@ void writeSosMatrixCsv(const SosResult& sos, std::ostream& out) {
   out << '\n';
   out.precision(12);
   for (std::size_t p = 0; p < sos.processCount(); ++p) {
-    out << sos.trace().processes[p].name;
+    out << sos.trace().processName(static_cast<trace::ProcessId>(p));
     const auto& per = sos.process(static_cast<trace::ProcessId>(p));
     for (std::size_t i = 0; i < cols; ++i) {
       out << ',';
@@ -46,19 +46,19 @@ void writeIterationStatsCsv(const VariationReport& report, std::ostream& out) {
   }
 }
 
-void writeHotspotsCsv(const trace::Trace& tr, const VariationReport& report,
-                      std::ostream& out) {
+void writeHotspotsCsv(const trace::TraceView& tr,
+                      const VariationReport& report, std::ostream& out) {
   out << "process,processName,iteration,sosSeconds,durationSeconds,globalZ,"
          "iterationZ\n";
   out.precision(12);
   for (const auto& h : report.hotspots) {
-    out << h.process << ",\"" << tr.processes[h.process].name << "\","
+    out << h.process << ",\"" << tr.processName(h.process) << "\","
         << h.iteration << ',' << h.sosSeconds << ',' << h.durationSeconds
         << ',' << h.globalZ << ',' << h.iterationZ << '\n';
   }
 }
 
-void writeAnalysisJson(const trace::Trace& tr,
+void writeAnalysisJson(const trace::TraceView& tr,
                        const DominantSelection& selection,
                        const SosResult& sos, const VariationReport& report,
                        std::ostream& out) {
@@ -70,7 +70,7 @@ void writeAnalysisJson(const trace::Trace& tr,
   w.key("processes");
   w.value(static_cast<std::uint64_t>(tr.processCount()));
   w.key("functions");
-  w.value(static_cast<std::uint64_t>(tr.functions.size()));
+  w.value(static_cast<std::uint64_t>(tr.functions().size()));
   w.key("events");
   w.value(static_cast<std::uint64_t>(tr.eventCount()));
   w.key("durationSeconds");
@@ -82,13 +82,13 @@ void writeAnalysisJson(const trace::Trace& tr,
   w.key("function");
   w.value(sos.segmentFunction() == trace::kInvalidFunction
               ? std::string("(fixed time windows)")
-              : tr.functions.name(sos.segmentFunction()));
+              : tr.functions().name(sos.segmentFunction()));
   w.key("candidates");
   w.beginArray();
   for (const auto& c : selection.candidates) {
     w.beginObject();
     w.key("function");
-    w.value(tr.functions.name(c.function));
+    w.value(tr.functions().name(c.function));
     w.key("invocations");
     w.value(c.invocations);
     w.key("aggregatedInclusiveSeconds");
@@ -107,7 +107,7 @@ void writeAnalysisJson(const trace::Trace& tr,
     w.key("name");
     // Process ids index the trace the SOS analysis ran on — for degraded
     // inputs that is the filtered view, not `tr` (same object otherwise).
-    w.value(sos.trace().processes[ps.process].name);
+    w.value(sos.trace().processName(ps.process));
     w.key("segments");
     w.value(static_cast<std::uint64_t>(ps.segments));
     w.key("totalSos");
@@ -180,14 +180,14 @@ void writeAnalysisJson(const trace::Trace& tr,
 
   // Emitted only for degraded (Salvage-loaded) inputs, so clean-trace
   // output stays byte-for-byte unchanged.
-  if (!tr.quarantined.empty()) {
+  if (!tr.quarantined().empty()) {
     w.key("degradation");
     w.beginObject();
     w.key("analyzedProcesses");
     w.value(static_cast<std::uint64_t>(sos.trace().processCount()));
     w.key("quarantined");
     w.beginArray();
-    for (const trace::QuarantinedRank& q : tr.quarantined) {
+    for (const trace::QuarantinedRank& q : tr.quarantined()) {
       w.beginObject();
       w.key("process");
       w.value(static_cast<std::uint64_t>(q.process));
@@ -213,7 +213,8 @@ void writeAnalysisJson(const trace::Trace& tr,
 
 }  // namespace detail
 
-void exportReport(const trace::Trace& tr, const DominantSelection& selection,
+void exportReport(const trace::TraceView& tr,
+                  const DominantSelection& selection,
                   const SosResult& sos, const VariationReport& report,
                   ExportFormat format, std::ostream& out) {
   switch (format) {
@@ -238,60 +239,18 @@ void exportReport(const trace::Trace& tr, const DominantSelection& selection,
   PERFVAR_REQUIRE(false, "unknown ExportFormat");
 }
 
-void exportReport(const trace::Trace& tr, const AnalysisResult& result,
+void exportReport(const trace::TraceView& tr, const AnalysisResult& result,
                   ExportFormat format, std::ostream& out) {
   exportReport(tr, result.selection, *result.sos, result.variation, format,
                out);
 }
 
-std::string exportReportString(const trace::Trace& tr,
+std::string exportReportString(const trace::TraceView& tr,
                                const AnalysisResult& result,
                                ExportFormat format) {
   std::ostringstream os;
   exportReport(tr, result, format, os);
   return os.str();
 }
-
-// Deprecated forwarders; the attribute only fires at external use sites,
-// but GCC also flags the out-of-line definitions, so silence it here.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-void writeSosMatrixCsv(const SosResult& sos, std::ostream& out) {
-  detail::writeSosMatrixCsv(sos, out);
-}
-
-void writeIterationStatsCsv(const VariationReport& report, std::ostream& out) {
-  detail::writeIterationStatsCsv(report, out);
-}
-
-void writeHotspotsCsv(const trace::Trace& tr, const VariationReport& report,
-                      std::ostream& out) {
-  detail::writeHotspotsCsv(tr, report, out);
-}
-
-void writeAnalysisJson(const trace::Trace& tr,
-                       const DominantSelection& selection,
-                       const SosResult& sos, const VariationReport& report,
-                       std::ostream& out) {
-  detail::writeAnalysisJson(tr, selection, sos, report, out);
-}
-
-std::string sosMatrixCsv(const SosResult& sos) {
-  std::ostringstream os;
-  detail::writeSosMatrixCsv(sos, os);
-  return os.str();
-}
-
-std::string analysisJson(const trace::Trace& tr,
-                         const DominantSelection& selection,
-                         const SosResult& sos,
-                         const VariationReport& report) {
-  std::ostringstream os;
-  detail::writeAnalysisJson(tr, selection, sos, report, os);
-  return os.str();
-}
-
-#pragma GCC diagnostic pop
 
 }  // namespace perfvar::analysis

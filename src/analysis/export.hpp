@@ -7,9 +7,9 @@
 /// notebooks and dashboards can consume the SOS analysis.
 ///
 /// exportReport() is the one entry point: it renders a complete analysis
-/// in any supported format. The former per-format functions
-/// (writeSosMatrixCsv, writeAnalysisJson, ...) remain as deprecated
-/// forwarders with unchanged output.
+/// in any supported format. (The former per-format functions completed
+/// their deprecation cycle and are gone; the detail:: implementations
+/// below produce the identical bytes.)
 
 #include <iosfwd>
 #include <string>
@@ -34,59 +34,36 @@ enum class ExportFormat {
 /// byte-for-byte functions of the analysis results (full double
 /// precision), so serial, parallel and cached pipelines export
 /// identically.
-void exportReport(const trace::Trace& trace, const AnalysisResult& result,
+void exportReport(const trace::TraceView& trace,
+                  const AnalysisResult& result,
                   ExportFormat format, std::ostream& out);
 
 /// Same from individual stage results (used by engine::AnalysisEngine to
 /// export cached stages without assembling an AnalysisResult).
-void exportReport(const trace::Trace& trace,
+void exportReport(const trace::TraceView& trace,
                   const DominantSelection& selection, const SosResult& sos,
                   const VariationReport& report, ExportFormat format,
                   std::ostream& out);
 
 /// Convenience string wrapper.
-std::string exportReportString(const trace::Trace& trace,
+std::string exportReportString(const trace::TraceView& trace,
                                const AnalysisResult& result,
                                ExportFormat format);
 
 namespace detail {
 
-/// Format implementations shared by exportReport() and the deprecated
-/// forwarders below (Text lives in pipeline.cpp as formatAnalysis()).
+/// Format implementations behind exportReport() (Text lives in
+/// pipeline.cpp as formatAnalysis()).
 void writeSosMatrixCsv(const SosResult& sos, std::ostream& out);
 void writeIterationStatsCsv(const VariationReport& report, std::ostream& out);
-void writeHotspotsCsv(const trace::Trace& trace, const VariationReport& report,
-                      std::ostream& out);
-void writeAnalysisJson(const trace::Trace& trace,
+void writeHotspotsCsv(const trace::TraceView& trace,
+                      const VariationReport& report, std::ostream& out);
+void writeAnalysisJson(const trace::TraceView& trace,
                        const DominantSelection& selection,
                        const SosResult& sos, const VariationReport& report,
                        std::ostream& out);
 
 }  // namespace detail
-
-/// Deprecated per-format entry points; each forwards to the shared
-/// implementation behind exportReport() and produces unchanged output.
-[[deprecated("use exportReport(..., ExportFormat::Csv, ...)")]] void
-writeSosMatrixCsv(const SosResult& sos, std::ostream& out);
-
-[[deprecated("use exportReport(..., ExportFormat::CsvIterations, ...)")]] void
-writeIterationStatsCsv(const VariationReport& report, std::ostream& out);
-
-[[deprecated("use exportReport(..., ExportFormat::CsvHotspots, ...)")]] void
-writeHotspotsCsv(const trace::Trace& trace, const VariationReport& report,
-                 std::ostream& out);
-
-[[deprecated("use exportReport(..., ExportFormat::Json, ...)")]] void
-writeAnalysisJson(const trace::Trace& trace,
-                  const DominantSelection& selection, const SosResult& sos,
-                  const VariationReport& report, std::ostream& out);
-
-[[deprecated("use exportReportString(..., ExportFormat::Csv)")]] std::string
-sosMatrixCsv(const SosResult& sos);
-
-[[deprecated("use exportReportString(..., ExportFormat::Json)")]] std::string
-analysisJson(const trace::Trace& trace, const DominantSelection& selection,
-             const SosResult& sos, const VariationReport& report);
 
 }  // namespace perfvar::analysis
 

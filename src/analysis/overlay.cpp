@@ -10,7 +10,7 @@ namespace perfvar::analysis {
 MetricOverlay MetricOverlay::build(const SosResult& sos, Value value) {
   MetricOverlay overlay;
   const auto& tr = sos.trace();
-  const double res = static_cast<double>(tr.resolution);
+  const double res = static_cast<double>(tr.resolution());
   overlay.start_ = tr.startTime();
   overlay.end_ = tr.endTime();
   overlay.steps_.resize(sos.processCount());
@@ -74,13 +74,13 @@ std::vector<std::vector<double>> MetricOverlay::sampleGrid(
 
 std::vector<std::vector<double>> expandQuarantinedRows(
     const std::vector<std::vector<double>>& filtered,
-    const trace::Trace& full) {
-  if (full.quarantined.empty()) {
+    const trace::TraceView& full) {
+  if (full.quarantined().empty()) {
     return filtered;
   }
-  std::vector<std::vector<double>> expanded(full.processes.size());
+  std::vector<std::vector<double>> expanded(full.processCount());
   std::size_t next = 0;
-  for (std::size_t p = 0; p < full.processes.size(); ++p) {
+  for (std::size_t p = 0; p < full.processCount(); ++p) {
     if (full.isQuarantined(static_cast<trace::ProcessId>(p))) {
       continue;  // leave the row empty
     }
@@ -93,10 +93,10 @@ std::vector<std::vector<double>> expandQuarantinedRows(
   return expanded;
 }
 
-std::vector<std::size_t> quarantinedRowIndices(const trace::Trace& full) {
+std::vector<std::size_t> quarantinedRowIndices(const trace::TraceView& full) {
   std::vector<std::size_t> rows;
-  rows.reserve(full.quarantined.size());
-  for (const trace::QuarantinedRank& q : full.quarantined) {
+  rows.reserve(full.quarantined().size());
+  for (const trace::QuarantinedRank& q : full.quarantined()) {
     rows.push_back(q.process);
   }
   std::sort(rows.begin(), rows.end());

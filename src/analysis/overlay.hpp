@@ -64,11 +64,11 @@ private:
 /// quarantined ranks this returns `filtered` unchanged.
 std::vector<std::vector<double>> expandQuarantinedRows(
     const std::vector<std::vector<double>>& filtered,
-    const trace::Trace& full);
+    const trace::TraceView& full);
 
 /// Row indices of the quarantined ranks of `full`, ready to assign to
 /// vis::HeatmapOptions::noDataRows next to expandQuarantinedRows().
-std::vector<std::size_t> quarantinedRowIndices(const trace::Trace& full);
+std::vector<std::size_t> quarantinedRowIndices(const trace::TraceView& full);
 
 }  // namespace perfvar::analysis
 

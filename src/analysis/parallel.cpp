@@ -25,7 +25,7 @@ detail::IndexRunner poolRunner(util::ThreadPool& pool, std::size_t grain) {
 
 }  // namespace
 
-profile::FlatProfile buildProfileParallel(const trace::Trace& tr,
+profile::FlatProfile buildProfileParallel(const trace::TraceView& tr,
                                           util::ThreadPool& pool,
                                           std::size_t grainRanks) {
   std::vector<std::vector<profile::FunctionStats>> perProcess(
@@ -41,9 +41,10 @@ profile::FlatProfile buildProfileParallel(const trace::Trace& tr,
 }
 
 std::vector<std::vector<Segment>> extractSegmentsParallel(
-    const trace::Trace& tr, trace::FunctionId f, util::ThreadPool& pool,
+    const trace::TraceView& tr, trace::FunctionId f,
+    util::ThreadPool& pool,
     std::size_t grainRanks) {
-  PERFVAR_REQUIRE(f < tr.functions.size(),
+  PERFVAR_REQUIRE(f < tr.functions().size(),
                   "segmentation function is not defined in this trace");
   std::vector<std::vector<Segment>> result(tr.processCount());
   util::parallelChunks(&pool, tr.processCount(), grainRanks,
@@ -56,11 +57,11 @@ std::vector<std::vector<Segment>> extractSegmentsParallel(
   return result;
 }
 
-SosResult analyzeSosParallel(const trace::Trace& tr,
+SosResult analyzeSosParallel(const trace::TraceView& tr,
                              trace::FunctionId segmentFunction,
                              const SyncClassifier& classifier,
                              util::ThreadPool& pool, std::size_t grainRanks) {
-  PERFVAR_REQUIRE(segmentFunction < tr.functions.size(),
+  PERFVAR_REQUIRE(segmentFunction < tr.functions().size(),
                   "segmentation function is not defined in this trace");
   const std::vector<bool> syncMask = classifier.mask(tr);
   std::vector<std::vector<SegmentAnalysis>> perProcess(tr.processCount());
@@ -84,7 +85,7 @@ VariationReport analyzeVariationParallel(const SosResult& sos,
 
 namespace detail {
 
-AnalysisResult analyzeTraceSharded(const trace::Trace& tr,
+AnalysisResult analyzeTraceSharded(const trace::TraceView& tr,
                                    const PipelineOptions& options) {
   util::ThreadPool pool(options.threads);
   const std::size_t grain = options.grainSizeRanks;
@@ -109,21 +110,5 @@ AnalysisResult analyzeTraceSharded(const trace::Trace& tr,
 
 }  // namespace detail
 
-// Definition of the deprecated wrapper; the attribute only warns at use
-// sites, but GCC also flags the out-of-line definition itself, so the
-// diagnostic is silenced locally.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-AnalysisResult analyzeTraceParallel(const trace::Trace& tr,
-                                    const ParallelPipelineOptions& options) {
-  PipelineOptions unified = options.pipeline;
-  unified.threads = options.threads;
-  unified.grainSizeRanks = options.grainSizeRanks;
-  // threads == 1 historically ran a one-worker pool that executed every
-  // stage inline; the serial path analyzeTrace() picks for threads == 1 is
-  // bit-identical by the determinism guarantee.
-  return analyzeTrace(tr, unified);
-}
-#pragma GCC diagnostic pop
 
 }  // namespace perfvar::analysis

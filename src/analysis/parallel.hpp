@@ -28,49 +28,20 @@
 
 namespace perfvar::analysis {
 
-/// Options of the deprecated analyzeTraceParallel() wrapper. New code sets
-/// PipelineOptions::threads / grainSizeRanks and calls analyzeTrace().
-struct ParallelPipelineOptions {
-  /// Stage options, identical to the serial pipeline's.
-  PipelineOptions pipeline{};
-  /// Worker threads; 0 = std::thread::hardware_concurrency(). A value of 1
-  /// runs every stage inline (no tasks are spawned).
-  std::size_t threads = 0;
-  /// Ranks per pool task. Larger grains amortize task overhead on traces
-  /// with many cheap ranks; 1 gives the best load balance when ranks are
-  /// expensive or skewed. Has no effect on the result.
-  std::size_t grainSizeRanks = 1;
-};
-
-/// Deprecated forwarder: analyzeTrace() is the unified entry point; this
-/// copies threads/grainSizeRanks into PipelineOptions and calls it. Output
-/// is bit-identical to the historical behavior (a threads == 1 pool ran
-/// every stage inline, exactly like the serial pipeline).
-///
-/// Lifetime: like analyzeTrace(), the result references `trace`; passing a
-/// temporary is a compile error.
-[[deprecated(
-    "call analyzeTrace() and set PipelineOptions::threads "
-    "instead")]] AnalysisResult
-analyzeTraceParallel(const trace::Trace& trace,
-                     const ParallelPipelineOptions& options = {});
-AnalysisResult analyzeTraceParallel(trace::Trace&&,
-                                    const ParallelPipelineOptions& = {}) =
-    delete;
-
 /// Rank-sharded profile::FlatProfile::build().
-profile::FlatProfile buildProfileParallel(const trace::Trace& trace,
+profile::FlatProfile buildProfileParallel(const trace::TraceView& trace,
                                           util::ThreadPool& pool,
                                           std::size_t grainRanks = 1);
 
 /// Rank-sharded extractSegments().
 std::vector<std::vector<Segment>> extractSegmentsParallel(
-    const trace::Trace& trace, trace::FunctionId f, util::ThreadPool& pool,
+    const trace::TraceView& trace, trace::FunctionId f,
+    util::ThreadPool& pool,
     std::size_t grainRanks = 1);
 
 /// Rank-sharded analyzeSos(). The classifier mask is computed once on the
 /// calling thread and shared read-only by all tasks.
-SosResult analyzeSosParallel(const trace::Trace& trace,
+SosResult analyzeSosParallel(const trace::TraceView& trace,
                              trace::FunctionId segmentFunction,
                              const SyncClassifier& classifier,
                              util::ThreadPool& pool,
@@ -91,7 +62,7 @@ namespace detail {
 /// The rank-sharded pipeline run: analyzeTrace() dispatches here when
 /// options.threads != 1. Spawns a pool of options.threads workers (0 =
 /// hardware concurrency) for the duration of the call.
-AnalysisResult analyzeTraceSharded(const trace::Trace& trace,
+AnalysisResult analyzeTraceSharded(const trace::TraceView& trace,
                                    const PipelineOptions& options);
 
 }  // namespace detail

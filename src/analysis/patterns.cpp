@@ -72,12 +72,12 @@ trace::ProcessId PatternReport::worstVictim() const {
   return worst;
 }
 
-PatternReport findWaitStates(const trace::Trace& tr,
+PatternReport findWaitStates(const trace::TraceView& tr,
                              const PatternOptions& options) {
   PatternReport report;
   report.severityByProcess.assign(
       kPatternCount, std::vector<double>(tr.processCount(), 0.0));
-  const double res = static_cast<double>(tr.resolution);
+  const double res = static_cast<double>(tr.resolution());
 
   const auto record = [&](PatternKind kind, trace::ProcessId p,
                           trace::Timestamp start, double severity,
@@ -97,9 +97,9 @@ PatternReport findWaitStates(const trace::Trace& tr,
   // Collect the collective frames per (function, process) in occurrence
   // order, then analyze round k across processes: the waiting time of a
   // rank is the gap between its own arrival and the last arrival.
-  std::vector<bool> isCollective(tr.functions.size(), false);
-  for (std::size_t f = 0; f < tr.functions.size(); ++f) {
-    const auto& def = tr.functions.at(static_cast<trace::FunctionId>(f));
+  std::vector<bool> isCollective(tr.functions().size(), false);
+  for (std::size_t f = 0; f < tr.functions().size(); ++f) {
+    const auto& def = tr.functions().at(static_cast<trace::FunctionId>(f));
     isCollective[f] = def.paradigm == trace::Paradigm::MPI &&
                       isCollectiveName(def.name);
   }
@@ -110,7 +110,7 @@ PatternReport findWaitStates(const trace::Trace& tr,
   };
   // frames[function][process] -> occurrence-ordered frames.
   std::vector<std::vector<std::vector<CollFrame>>> frames(
-      tr.functions.size(),
+      tr.functions().size(),
       std::vector<std::vector<CollFrame>>(tr.processCount()));
 
   // ---- Late Sender (also gathered in the same replay pass) --------------
@@ -122,7 +122,7 @@ PatternReport findWaitStates(const trace::Trace& tr,
   };
   std::vector<RecvWait> recvWaits;
 
-  for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
+  for (trace::ProcessId p = 0; p < tr.processCount(); ++p) {
     struct Open {
       trace::FunctionId fn;
       trace::Timestamp enter;
@@ -146,15 +146,16 @@ PatternReport findWaitStates(const trace::Trace& tr,
       // The enclosing frame is the receive operation; the blocking time
       // is the span from posting the receive to message completion.
       const Open& open = stack.back();
-      if (tr.functions.at(open.fn).paradigm == trace::Paradigm::MPI &&
+      if (tr.functions().at(open.fn).paradigm == trace::Paradigm::MPI &&
           e.time > open.enter) {
         recvWaits.push_back(RecvWait{p, open.enter, e.time, open.fn});
       }
     };
-    trace::replayProcess(tr.processes[p], v);
+    const trace::RankPin pin = tr.rank(p);
+    trace::replayEvents(pin.events(), v);
   }
 
-  for (std::size_t f = 0; f < tr.functions.size(); ++f) {
+  for (std::size_t f = 0; f < tr.functions().size(); ++f) {
     if (!isCollective[f]) {
       continue;
     }
@@ -211,7 +212,7 @@ PatternReport findWaitStates(const trace::Trace& tr,
   return report;
 }
 
-std::string formatPatternReport(const trace::Trace& tr,
+std::string formatPatternReport(const trace::TraceView& tr,
                                 const PatternReport& report,
                                 std::size_t maxRows) {
   std::ostringstream os;
@@ -227,7 +228,7 @@ std::string formatPatternReport(const trace::Trace& tr,
        ++i) {
     const auto& inst = report.instances[i];
     rows.push_back({patternName(inst.kind),
-                    tr.processes[inst.process].name,
+                    tr.processName(inst.process),
                     fmt::seconds(inst.severitySeconds),
                     fmt::seconds(tr.toSeconds(inst.start))});
   }

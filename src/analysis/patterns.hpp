@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "trace/view.hpp"
 
 namespace perfvar::analysis {
 
@@ -74,11 +75,11 @@ struct PatternOptions {
 /// collective function, matched by per-process occurrence order, complete
 /// together - exactly how the simulator and real barrier semantics work).
 /// Late-sender analysis matches message events FIFO per (src, dst, tag).
-PatternReport findWaitStates(const trace::Trace& trace,
+PatternReport findWaitStates(const trace::TraceView& trace,
                              const PatternOptions& options = {});
 
 /// Render the severity summary (per pattern, top processes).
-std::string formatPatternReport(const trace::Trace& trace,
+std::string formatPatternReport(const trace::TraceView& trace,
                                 const PatternReport& report,
                                 std::size_t maxRows = 10);
 

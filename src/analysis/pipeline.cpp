@@ -8,15 +8,15 @@
 
 namespace perfvar::analysis {
 
-AnalysisResult analyzeTrace(const trace::Trace& tr,
+AnalysisResult analyzeTrace(const trace::TraceView& tr,
                             const PipelineOptions& options) {
-  if (!tr.quarantined.empty()) {
+  if (!tr.quarantined().empty()) {
     // Degraded input (a Salvage-mode load): analyze the healthy ranks as
-    // if the quarantined ones were never recorded. The filtered view must
-    // outlive the result (SosResult points into it), so it rides along.
-    auto view = std::make_unique<trace::Trace>(trace::dropQuarantined(tr));
-    AnalysisResult result = analyzeTrace(*view, options);
-    result.salvagedView = std::move(view);
+    // if the quarantined ones were never recorded. The sub-view shares
+    // ownership of the filtered storage, so it rides along in the result.
+    trace::TraceView view = tr.dropQuarantined();
+    AnalysisResult result = analyzeTrace(view, options);
+    result.salvagedView = view;
     return result;
   }
   if (options.threads != 1) {
@@ -39,15 +39,15 @@ AnalysisResult analyzeTrace(const trace::Trace& tr,
   return result;
 }
 
-std::string formatDegradation(const trace::Trace& tr) {
-  if (tr.quarantined.empty()) {
+std::string formatDegradation(const trace::TraceView& tr) {
+  if (tr.quarantined().empty()) {
     return {};
   }
   std::ostringstream os;
   os << "=== degraded input ===\n"
-     << tr.quarantined.size() << '/' << tr.processes.size()
+     << tr.quarantined().size() << '/' << tr.processCount()
      << " ranks quarantined; they are excluded from the analysis\n";
-  for (const trace::QuarantinedRank& q : tr.quarantined) {
+  for (const trace::QuarantinedRank& q : tr.quarantined()) {
     os << "  rank " << q.process << " \"" << q.name
        << "\": " << errorCodeName(q.error) << " (salvaged "
        << q.eventsSalvaged << " events, dropped " << q.eventsDropped
@@ -56,7 +56,7 @@ std::string formatDegradation(const trace::Trace& tr) {
   return os.str();
 }
 
-std::string formatAnalysis(const trace::Trace& tr,
+std::string formatAnalysis(const trace::TraceView& tr,
                            const DominantSelection& selection,
                            const SosResult& sos,
                            const VariationReport& variation) {
@@ -65,13 +65,13 @@ std::string formatAnalysis(const trace::Trace& tr,
      << formatSelection(tr, selection) << '\n'
      << "=== runtime-variation analysis ===\n"
      << formatVariationReport(sos, variation);
-  if (!tr.quarantined.empty()) {
+  if (!tr.quarantined().empty()) {
     os << '\n' << formatDegradation(tr);
   }
   return os.str();
 }
 
-std::string formatAnalysis(const trace::Trace& tr,
+std::string formatAnalysis(const trace::TraceView& tr,
                            const AnalysisResult& result) {
   return formatAnalysis(tr, result.selection, *result.sos, result.variation);
 }

@@ -51,9 +51,9 @@ struct AnalysisResult {
   std::unique_ptr<SosResult> sos;  ///< heap: SosResult is not assignable
   VariationReport variation;
   /// Set only when the input trace carried quarantined ranks: the filtered
-  /// trace (trace::dropQuarantined) the analysis actually ran on. SosResult
-  /// points into this view, so it lives here, inside the result.
-  std::unique_ptr<trace::Trace> salvagedView;
+  /// sub-view (dropQuarantined) the analysis actually ran on. SosResult
+  /// shares ownership of its backend, so the result is self-contained.
+  trace::TraceView salvagedView;
 };
 
 /// Run the full pipeline; throws perfvar::Error if no function qualifies
@@ -61,8 +61,7 @@ struct AnalysisResult {
 ///
 /// With options.threads == 1 every stage runs inline; any other value
 /// routes through the rank-sharded parallel engine (parallel.hpp) with
-/// bit-identical output. This is the one analysis entry point; the former
-/// analyzeTraceParallel() is a deprecated forwarder to it.
+/// bit-identical output. This is the one analysis entry point.
 ///
 /// Graceful degradation: a trace carrying quarantined ranks (a Salvage-
 /// mode load) is analyzed as if those ranks were never present — the
@@ -71,11 +70,11 @@ struct AnalysisResult {
 /// manually filtered trace would. This throws (like any analysis of an
 /// empty trace) when every rank is quarantined.
 ///
-/// Lifetime: the result references `trace` (SosResult keeps a pointer to
-/// avoid copying large traces); the trace must outlive the result. The
-/// rvalue overload is deleted so passing a temporary trace is a compile
-/// error instead of a dangling pointer.
-AnalysisResult analyzeTrace(const trace::Trace& trace,
+/// Lifetime: for a view borrowed from a Trace (the implicit conversion)
+/// the trace must outlive the result; owned and out-of-core views share
+/// ownership with the result. The rvalue overload is deleted so passing a
+/// temporary trace is a compile error instead of a dangling pointer.
+AnalysisResult analyzeTrace(const trace::TraceView& trace,
                             const PipelineOptions& options = {});
 AnalysisResult analyzeTrace(trace::Trace&&,
                             const PipelineOptions& = {}) = delete;
@@ -83,13 +82,13 @@ AnalysisResult analyzeTrace(trace::Trace&&,
 /// Render a complete text report (dominant selection + variation report;
 /// plus a degraded-input section when `trace` carries quarantined ranks —
 /// output for clean traces is byte-for-byte unchanged).
-std::string formatAnalysis(const trace::Trace& trace,
+std::string formatAnalysis(const trace::TraceView& trace,
                            const AnalysisResult& result);
 
 /// Same report from individual stage results (the engine renders cached
 /// stages without assembling an AnalysisResult; both overloads share one
 /// implementation, so their output is identical).
-std::string formatAnalysis(const trace::Trace& trace,
+std::string formatAnalysis(const trace::TraceView& trace,
                            const DominantSelection& selection,
                            const SosResult& sos,
                            const VariationReport& variation);
@@ -97,7 +96,7 @@ std::string formatAnalysis(const trace::Trace& trace,
 /// The degraded-input section of formatAnalysis: one line per quarantined
 /// rank (error class, events salvaged/dropped). Empty string for a clean
 /// trace.
-std::string formatDegradation(const trace::Trace& trace);
+std::string formatDegradation(const trace::TraceView& trace);
 
 }  // namespace perfvar::analysis
 

@@ -9,7 +9,7 @@ namespace perfvar::analysis {
 
 namespace detail {
 
-std::vector<Segment> extractSegmentsProcess(const trace::Trace& tr,
+std::vector<Segment> extractSegmentsProcess(const trace::TraceView& tr,
                                             trace::ProcessId p,
                                             trace::FunctionId f) {
   PERFVAR_REQUIRE(p < tr.processCount(), "invalid process id");
@@ -39,18 +39,19 @@ std::vector<Segment> extractSegmentsProcess(const trace::Trace& tr,
       }
     }
   };
-  trace::replayProcess(tr.processes[p], v);
+  const trace::RankPin pin = tr.rank(p);
+  trace::replayEvents(pin.events(), v);
   return result;
 }
 
 }  // namespace detail
 
-std::vector<std::vector<Segment>> extractSegments(const trace::Trace& tr,
+std::vector<std::vector<Segment>> extractSegments(const trace::TraceView& tr,
                                                   trace::FunctionId f) {
-  PERFVAR_REQUIRE(f < tr.functions.size(),
+  PERFVAR_REQUIRE(f < tr.functions().size(),
                   "segmentation function is not defined in this trace");
   std::vector<std::vector<Segment>> result(tr.processCount());
-  for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
+  for (trace::ProcessId p = 0; p < tr.processCount(); ++p) {
     result[p] = detail::extractSegmentsProcess(tr, p, f);
   }
   return result;

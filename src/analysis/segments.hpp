@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "trace/view.hpp"
 
 namespace perfvar::analysis {
 
@@ -29,7 +30,7 @@ struct Segment {
 /// Nested (recursive) invocations of `f` are not split into sub-segments;
 /// only the outermost invocation forms a segment. Result is indexed by
 /// process; processes that never invoke `f` get an empty vector.
-std::vector<std::vector<Segment>> extractSegments(const trace::Trace& trace,
+std::vector<std::vector<Segment>> extractSegments(const trace::TraceView& trace,
                                                   trace::FunctionId f);
 
 /// Summary of the segmentation shape.
@@ -48,7 +49,7 @@ namespace detail {
 /// Segments of a single process (row `p` of extractSegments). Both the
 /// serial extractor and the rank-sharded parallel one call this, so their
 /// results are identical by construction.
-std::vector<Segment> extractSegmentsProcess(const trace::Trace& trace,
+std::vector<Segment> extractSegmentsProcess(const trace::TraceView& trace,
                                             trace::ProcessId p,
                                             trace::FunctionId f);
 

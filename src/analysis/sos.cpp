@@ -9,10 +9,10 @@
 
 namespace perfvar::analysis {
 
-SosResult::SosResult(const trace::Trace& tr,
+SosResult::SosResult(const trace::TraceView& tr,
                      trace::FunctionId segmentFunction,
                      std::vector<std::vector<SegmentAnalysis>> perProcess)
-    : trace_(&tr),
+    : view_(tr),
       segmentFunction_(segmentFunction),
       perProcess_(std::move(perProcess)) {
   PERFVAR_REQUIRE(perProcess_.size() == tr.processCount(),
@@ -47,13 +47,13 @@ std::size_t SosResult::minSegmentsPerProcess() const {
 double SosResult::sosSeconds(trace::ProcessId p, std::size_t i) const {
   const auto& per = process(p);
   PERFVAR_REQUIRE(i < per.size(), "invalid segment index");
-  return trace_->toSeconds(per[i].sosTime);
+  return view_.toSeconds(per[i].sosTime);
 }
 
 double SosResult::durationSeconds(trace::ProcessId p, std::size_t i) const {
   const auto& per = process(p);
   PERFVAR_REQUIRE(i < per.size(), "invalid segment index");
-  return trace_->toSeconds(per[i].segment.inclusive());
+  return view_.toSeconds(per[i].segment.inclusive());
 }
 
 namespace {
@@ -76,7 +76,7 @@ std::vector<std::vector<double>> denseMatrix(
 }  // namespace
 
 std::vector<std::vector<double>> SosResult::sosMatrixSeconds() const {
-  const double res = static_cast<double>(trace_->resolution);
+  const double res = static_cast<double>(view_.resolution());
   return denseMatrix(perProcess_, maxSegmentsPerProcess(),
                      [res](const SegmentAnalysis& a) {
                        return static_cast<double>(a.sosTime) / res;
@@ -84,7 +84,7 @@ std::vector<std::vector<double>> SosResult::sosMatrixSeconds() const {
 }
 
 std::vector<std::vector<double>> SosResult::durationMatrixSeconds() const {
-  const double res = static_cast<double>(trace_->resolution);
+  const double res = static_cast<double>(view_.resolution());
   return denseMatrix(perProcess_, maxSegmentsPerProcess(),
                      [res](const SegmentAnalysis& a) {
                        return static_cast<double>(a.segment.inclusive()) / res;
@@ -93,7 +93,7 @@ std::vector<std::vector<double>> SosResult::durationMatrixSeconds() const {
 
 std::vector<std::vector<double>> SosResult::metricMatrix(
     trace::MetricId m) const {
-  PERFVAR_REQUIRE(m < trace_->metrics.size(), "invalid metric id");
+  PERFVAR_REQUIRE(m < view_.metrics().size(), "invalid metric id");
   return denseMatrix(perProcess_, maxSegmentsPerProcess(),
                      [m](const SegmentAnalysis& a) {
                        return m < a.metricDelta.size() ? a.metricDelta[m] : 0.0;
@@ -104,7 +104,7 @@ std::vector<double> SosResult::allSosSeconds() const {
   std::vector<double> out;
   for (const auto& per : perProcess_) {
     for (const auto& a : per) {
-      out.push_back(trace_->toSeconds(a.sosTime));
+      out.push_back(view_.toSeconds(a.sosTime));
     }
   }
   return out;
@@ -152,7 +152,7 @@ std::vector<double> perIterationMean(
 std::vector<double> SosResult::meanDurationPerIteration() const {
   const std::size_t n = maxSegmentsPerProcess();
   std::vector<double> out(n, 0.0);
-  const double res = static_cast<double>(trace_->resolution);
+  const double res = static_cast<double>(view_.resolution());
   for (std::size_t i = 0; i < n; ++i) {
     double sum = 0.0;
     std::size_t count = 0;
@@ -169,7 +169,7 @@ std::vector<double> SosResult::meanDurationPerIteration() const {
 
 std::vector<double> SosResult::meanSosPerIteration() const {
   return perIterationMean(perProcess_, maxSegmentsPerProcess(),
-                          static_cast<double>(trace_->resolution),
+                          static_cast<double>(view_.resolution()),
                           &SegmentAnalysis::sosTime);
 }
 
@@ -180,13 +180,13 @@ std::vector<double> SosResult::totalSosPerProcess() const {
     for (const auto& a : perProcess_[p]) {
       sum += a.sosTime;
     }
-    out[p] = trace_->toSeconds(sum);
+    out[p] = view_.toSeconds(sum);
   }
   return out;
 }
 
 std::vector<double> SosResult::totalMetricPerProcess(trace::MetricId m) const {
-  PERFVAR_REQUIRE(m < trace_->metrics.size(), "invalid metric id");
+  PERFVAR_REQUIRE(m < view_.metrics().size(), "invalid metric id");
   std::vector<double> out(perProcess_.size(), 0.0);
   for (std::size_t p = 0; p < perProcess_.size(); ++p) {
     for (const auto& a : perProcess_[p]) {
@@ -201,10 +201,10 @@ std::vector<double> SosResult::totalMetricPerProcess(trace::MetricId m) const {
 namespace detail {
 
 std::vector<SegmentAnalysis> analyzeSosProcess(
-    const trace::Trace& tr, trace::ProcessId p,
+    const trace::TraceView& tr, trace::ProcessId p,
     trace::FunctionId segmentFunction, const std::vector<bool>& syncMask) {
   PERFVAR_REQUIRE(p < tr.processCount(), "invalid process id");
-  const std::size_t nMetrics = tr.metrics.size();
+  const std::size_t nMetrics = tr.metrics().size();
   std::vector<SegmentAnalysis> segments;
 
   // Per-process replay state.
@@ -234,7 +234,7 @@ std::vector<SegmentAnalysis> analyzeSosProcess(
       ++segNesting;
     }
     if (segNesting > 0) {
-      const auto& def = tr.functions.at(fn);
+      const auto& def = tr.functions().at(fn);
       const auto par = static_cast<std::size_t>(def.paradigm);
       if (paradigmNesting[par]++ == 0) {
         paradigmStart[par] = t;
@@ -248,7 +248,7 @@ std::vector<SegmentAnalysis> analyzeSosProcess(
   };
   v.onLeave = [&](const trace::Frame& frame) {
     if (segNesting > 0) {
-      const auto& def = tr.functions.at(frame.function);
+      const auto& def = tr.functions().at(frame.function);
       const auto par = static_cast<std::size_t>(def.paradigm);
       PERFVAR_ASSERT(paradigmNesting[par] > 0, "paradigm nesting underflow");
       if (--paradigmNesting[par] == 0) {
@@ -281,7 +281,7 @@ std::vector<SegmentAnalysis> analyzeSosProcess(
   v.onMetric = [&](const trace::Event& e, std::size_t) {
     const trace::MetricId m = e.ref;
     const bool accumulated =
-        tr.metrics.at(m).mode == trace::MetricMode::Accumulated;
+        tr.metrics().at(m).mode == trace::MetricMode::Accumulated;
     if (segNesting > 0 && !current.metricDelta.empty()) {
       if (accumulated) {
         const double base = seenMetric[m] ? lastMetric[m] : 0.0;
@@ -293,30 +293,32 @@ std::vector<SegmentAnalysis> analyzeSosProcess(
     lastMetric[m] = e.value;
     seenMetric[m] = true;
   };
-  trace::replayProcess(tr.processes[p], v);
+  const trace::RankPin pin = tr.rank(p);
+  trace::replayEvents(pin.events(), v);
   return segments;
 }
 
 }  // namespace detail
 
-SosResult analyzeSos(const trace::Trace& tr, trace::FunctionId segmentFunction,
+SosResult analyzeSos(const trace::TraceView& tr,
+                     trace::FunctionId segmentFunction,
                      const SyncClassifier& classifier) {
-  PERFVAR_REQUIRE(segmentFunction < tr.functions.size(),
+  PERFVAR_REQUIRE(segmentFunction < tr.functions().size(),
                   "segmentation function is not defined in this trace");
   const std::vector<bool> syncMask = classifier.mask(tr);
   std::vector<std::vector<SegmentAnalysis>> perProcess(tr.processCount());
-  for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
+  for (trace::ProcessId p = 0; p < tr.processCount(); ++p) {
     perProcess[p] = detail::analyzeSosProcess(tr, p, segmentFunction, syncMask);
   }
   return SosResult(tr, segmentFunction, std::move(perProcess));
 }
 
-SosResult analyzeSegmentDurations(const trace::Trace& tr,
+SosResult analyzeSegmentDurations(const trace::TraceView& tr,
                                   trace::FunctionId segmentFunction) {
   return analyzeSos(tr, segmentFunction, SyncClassifier::none());
 }
 
-SosResult analyzeSosWindows(const trace::Trace& tr,
+SosResult analyzeSosWindows(const trace::TraceView& tr,
                             trace::Timestamp windowTicks,
                             const SyncClassifier& classifier) {
   PERFVAR_REQUIRE(windowTicks > 0, "window length must be positive");
@@ -327,10 +329,10 @@ SosResult analyzeSosWindows(const trace::Trace& tr,
       (end - start + windowTicks - 1) / windowTicks);
   PERFVAR_REQUIRE(windows <= (1u << 24), "too many windows");
   const std::vector<bool> syncMask = classifier.mask(tr);
-  const std::size_t nMetrics = tr.metrics.size();
+  const std::size_t nMetrics = tr.metrics().size();
 
   std::vector<std::vector<SegmentAnalysis>> perProcess(tr.processCount());
-  for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
+  for (trace::ProcessId p = 0; p < tr.processCount(); ++p) {
     auto& segs = perProcess[p];
     segs.resize(windows);
     for (std::size_t w = 0; w < windows; ++w) {
@@ -394,7 +396,7 @@ SosResult analyzeSosWindows(const trace::Trace& tr,
     v.onMetric = [&](const trace::Event& e, std::size_t) {
       const trace::MetricId m = e.ref;
       auto& seg = segs[windowOf(e.time)];
-      if (tr.metrics.at(m).mode == trace::MetricMode::Accumulated) {
+      if (tr.metrics().at(m).mode == trace::MetricMode::Accumulated) {
         const double base = seenMetric[m] ? lastMetric[m] : 0.0;
         seg.metricDelta[m] += e.value - base;
       } else {
@@ -403,7 +405,8 @@ SosResult analyzeSosWindows(const trace::Trace& tr,
       lastMetric[m] = e.value;
       seenMetric[m] = true;
     };
-    trace::replayProcess(tr.processes[p], v);
+    const trace::RankPin pin = tr.rank(p);
+    trace::replayEvents(pin.events(), v);
 
     for (auto& seg : segs) {
       const trace::Timestamp duration = seg.segment.inclusive();

@@ -25,6 +25,7 @@
 #include "analysis/segments.hpp"
 #include "analysis/sync.hpp"
 #include "trace/trace.hpp"
+#include "trace/view.hpp"
 
 namespace perfvar::analysis {
 
@@ -46,7 +47,7 @@ struct SegmentAnalysis {
 /// SOS analysis result for one segmentation function over a whole trace.
 class SosResult {
 public:
-  SosResult(const trace::Trace& trace, trace::FunctionId segmentFunction,
+  SosResult(const trace::TraceView& trace, trace::FunctionId segmentFunction,
             std::vector<std::vector<SegmentAnalysis>> perProcess);
 
   trace::FunctionId segmentFunction() const { return segmentFunction_; }
@@ -97,10 +98,13 @@ public:
   /// Per-process totals of a metric's deltas over all segments.
   std::vector<double> totalMetricPerProcess(trace::MetricId m) const;
 
-  const trace::Trace& trace() const { return *trace_; }
+  /// The analyzed view. Copies of the view share the backend, so the
+  /// result stays valid as long as the underlying storage does (for
+  /// borrowed views: as long as the viewed Trace lives).
+  const trace::TraceView& trace() const { return view_; }
 
 private:
-  const trace::Trace* trace_;
+  trace::TraceView view_;
   trace::FunctionId segmentFunction_;
   std::vector<std::vector<SegmentAnalysis>> perProcess_;
 };
@@ -108,9 +112,10 @@ private:
 /// Run the SOS analysis: segment every process by `segmentFunction` and
 /// compute SOS-times with the given synchronization classifier.
 ///
-/// Lifetime: the result references `trace` (it is not copied); the trace
-/// must outlive the SosResult. Passing a temporary is a compile error.
-SosResult analyzeSos(const trace::Trace& trace,
+/// Lifetime: for a borrowed view (the implicit conversion from Trace&)
+/// the trace must outlive the SosResult. Passing a temporary Trace is a
+/// compile error; out-of-core and owned views share ownership.
+SosResult analyzeSos(const trace::TraceView& trace,
                      trace::FunctionId segmentFunction,
                      const SyncClassifier& classifier = SyncClassifier{});
 SosResult analyzeSos(trace::Trace&&, trace::FunctionId,
@@ -119,7 +124,7 @@ SosResult analyzeSos(trace::Trace&&, trace::FunctionId,
 /// Baseline from the paper's Section V discussion: plain segment durations
 /// (no synchronization subtraction). Equivalent to analyzeSos with
 /// SyncClassifier::none().
-SosResult analyzeSegmentDurations(const trace::Trace& trace,
+SosResult analyzeSegmentDurations(const trace::TraceView& trace,
                                   trace::FunctionId segmentFunction);
 SosResult analyzeSegmentDurations(trace::Trace&&,
                                   trace::FunctionId) = delete;
@@ -132,7 +137,7 @@ SosResult analyzeSegmentDurations(trace::Trace&&,
 /// window boundaries - the ablation benches quantify how much sharper the
 /// dominant-function segmentation is. The result's segmentFunction() is
 /// trace::kInvalidFunction.
-SosResult analyzeSosWindows(const trace::Trace& trace,
+SosResult analyzeSosWindows(const trace::TraceView& trace,
                             trace::Timestamp windowTicks,
                             const SyncClassifier& classifier =
                                 SyncClassifier{});
@@ -148,7 +153,7 @@ namespace detail {
 /// the rank-sharded parallel one call this, so their results are identical
 /// by construction.
 std::vector<SegmentAnalysis> analyzeSosProcess(
-    const trace::Trace& trace, trace::ProcessId p,
+    const trace::TraceView& trace, trace::ProcessId p,
     trace::FunctionId segmentFunction, const std::vector<bool>& syncMask);
 
 }  // namespace detail

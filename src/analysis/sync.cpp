@@ -107,10 +107,11 @@ bool SyncClassifier::isSync(const trace::FunctionDef& def) const {
   return false;
 }
 
-std::vector<bool> SyncClassifier::mask(const trace::Trace& trace) const {
-  std::vector<bool> m(trace.functions.size());
-  for (std::size_t f = 0; f < trace.functions.size(); ++f) {
-    m[f] = isSync(trace.functions.at(static_cast<trace::FunctionId>(f)));
+std::vector<bool> SyncClassifier::mask(const trace::TraceView& trace) const {
+  const trace::FunctionRegistry& functions = trace.functions();
+  std::vector<bool> m(functions.size());
+  for (std::size_t f = 0; f < functions.size(); ++f) {
+    m[f] = isSync(functions.at(static_cast<trace::FunctionId>(f)));
   }
   return m;
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "trace/view.hpp"
 
 namespace perfvar::analysis {
 
@@ -55,7 +56,7 @@ public:
   bool isSync(const trace::FunctionDef& def) const;
 
   /// Precompute the per-function-id decision vector for one trace.
-  std::vector<bool> mask(const trace::Trace& trace) const;
+  std::vector<bool> mask(const trace::TraceView& trace) const;
 
   SyncPolicy policy() const { return policy_; }
 

@@ -34,7 +34,7 @@ VariationReport analyzeVariationImpl(const SosResult& sos,
   const auto& perProcess = sos.all();
   const std::size_t nProcs = perProcess.size();
   const std::size_t nIters = sos.maxSegmentsPerProcess();
-  const double res = static_cast<double>(sos.trace().resolution);
+  const double res = static_cast<double>(sos.trace().resolution());
 
   // ---- global SOS distribution -------------------------------------------
   const std::vector<double> allSos = sos.allSosSeconds();
@@ -215,7 +215,7 @@ std::string formatVariationReport(const SosResult& sos,
   os << "segmentation function: "
      << (sos.segmentFunction() == trace::kInvalidFunction
              ? std::string("(fixed time windows)")
-             : tr.functions.name(sos.segmentFunction()))
+             : tr.functions().name(sos.segmentFunction()))
      << "\n";
   os << "segments: " << report.sosSummary.count << " across "
      << report.processes.size() << " processes\n";
@@ -231,7 +231,7 @@ std::string formatVariationReport(const SosResult& sos,
     os << "culprit processes (robust z of total SOS >= threshold):\n";
     for (const auto p : report.culpritProcesses) {
       const auto& ps = report.processes[p];
-      os << "  " << tr.processes[p].name << "  total "
+      os << "  " << tr.processName(p) << "  total "
          << fmt::seconds(ps.totalSos) << "  z " << fmt::fixed(ps.totalZ, 2)
          << "\n";
     }
@@ -246,7 +246,7 @@ std::string formatVariationReport(const SosResult& sos,
     for (std::size_t i = 0; i < std::min(maxRows, report.hotspots.size());
          ++i) {
       const Hotspot& h = report.hotspots[i];
-      rows.push_back({tr.processes[h.process].name,
+      rows.push_back({tr.processName(h.process),
                       std::to_string(h.iteration), fmt::seconds(h.sosSeconds),
                       fmt::seconds(h.durationSeconds),
                       fmt::fixed(h.globalZ, 2), fmt::fixed(h.iterationZ, 2)});

@@ -1,0 +1,194 @@
+/// \file scale_synthetic.cpp
+/// The deterministic scale scenario (see scale_synthetic.hpp).
+
+#include "apps/scale_synthetic.hpp"
+
+#include <string>
+
+#include "trace/stream_writer.hpp"
+#include "util/error.hpp"
+
+namespace perfvar::apps {
+
+namespace {
+
+/// splitmix64 finalizer: the stateless mixer behind the per-(rank,
+/// iteration) jitter. Stateless so rank r's stream can be synthesized
+/// without generating ranks 0..r-1 first.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::size_t hiccupStart(const ScaleConfig& config) {
+  return config.hiccupStartIteration == static_cast<std::size_t>(-1)
+             ? config.iterations / 2
+             : config.hiccupStartIteration;
+}
+
+/// Compute cost of (rank, iteration) including the culprit hiccup.
+std::uint64_t computeTicks(const ScaleConfig& config, trace::ProcessId rank,
+                           std::size_t iteration, bool culprit) {
+  std::uint64_t ticks = config.computeBaseTicks;
+  if (config.computeJitterTicks > 0) {
+    const std::uint64_t h =
+        mix(config.seed ^ mix(static_cast<std::uint64_t>(rank) * 0x10001ULL +
+                              iteration));
+    ticks += h % config.computeJitterTicks;
+  }
+  if (culprit && iteration >= hiccupStart(config)) {
+    ticks += config.hiccupExtraTicks;
+  }
+  return ticks;
+}
+
+/// The barrier-exit bound of one iteration: base + max possible jitter +
+/// (hiccup, once any rank may carry it) + the fixed exchange cost. The
+/// same closed form for every rank, so all ranks leave the exchange
+/// region at the same timestamp without any cross-rank scan.
+std::uint64_t iterationSpanTicks(const ScaleConfig& config,
+                                 std::size_t iteration, bool anyCulprits) {
+  std::uint64_t span = config.computeBaseTicks + config.exchangeTicks;
+  if (config.computeJitterTicks > 0) {
+    span += config.computeJitterTicks - 1;
+  }
+  if (anyCulprits && iteration >= hiccupStart(config)) {
+    span += config.hiccupExtraTicks;
+  }
+  return span;
+}
+
+std::size_t countCulprits(const ScaleConfig& config) {
+  std::size_t n = 0;
+  for (std::size_t r = 0; r < config.ranks; ++r) {
+    if (scaleRankIsCulprit(config, static_cast<trace::ProcessId>(r))) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void requireUsable(const ScaleConfig& config) {
+  if (config.ranks == 0 || config.iterations == 0) {
+    throw Error("scale scenario requires at least one rank and iteration");
+  }
+  if (config.exchangeTicks < 8) {
+    throw Error("scale scenario exchangeTicks must be >= 8");
+  }
+}
+
+constexpr std::uint32_t kHaloTag = 7;
+constexpr trace::Timestamp kRunStart = 1000;
+
+}  // namespace
+
+ScaleDefs registerScaleDefs(trace::FunctionRegistry& functions,
+                            trace::MetricRegistry& metrics) {
+  ScaleDefs defs;
+  defs.mainFunction =
+      functions.intern("main", "app", trace::Paradigm::Compute);
+  defs.computeFunction =
+      functions.intern("compute", "app", trace::Paradigm::Compute);
+  defs.exchangeFunction =
+      functions.intern("MPI_Exchange", "mpi", trace::Paradigm::MPI);
+  defs.computeTicksMetric =
+      metrics.intern("compute_ticks", "ticks", trace::MetricMode::Absolute);
+  return defs;
+}
+
+std::string scaleProcessName(std::size_t rank) {
+  return "Rank " + std::to_string(rank);
+}
+
+bool scaleRankIsCulprit(const ScaleConfig& config, trace::ProcessId rank) {
+  if (config.hiccupPerMille == 0 || config.hiccupExtraTicks == 0) {
+    return false;
+  }
+  const std::uint64_t h =
+      mix(config.seed ^ 0xC0FFEEULL ^ static_cast<std::uint64_t>(rank));
+  return h % 1000 < config.hiccupPerMille;
+}
+
+std::vector<trace::Event> scaleRankEvents(const ScaleConfig& config,
+                                          trace::ProcessId rank,
+                                          const ScaleDefs& defs) {
+  using trace::Event;
+  requireUsable(config);
+  const bool culprit = scaleRankIsCulprit(config, rank);
+  const bool anyCulprits =
+      config.hiccupPerMille > 0 && config.hiccupExtraTicks > 0;
+  const auto p = static_cast<std::uint64_t>(config.ranks);
+  const auto next =
+      static_cast<trace::ProcessId>((static_cast<std::uint64_t>(rank) + 1) % p);
+  const auto prev = static_cast<trace::ProcessId>(
+      (static_cast<std::uint64_t>(rank) + p - 1) % p);
+
+  std::vector<Event> events;
+  events.reserve(2 + config.iterations * 7);
+  events.push_back(Event::enter(kRunStart, defs.mainFunction));
+  trace::Timestamp t = kRunStart;
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    const std::uint64_t work = computeTicks(config, rank, iter, culprit);
+    const trace::Timestamp barrierExit =
+        t + iterationSpanTicks(config, iter, anyCulprits);
+    events.push_back(Event::enter(t, defs.computeFunction));
+    events.push_back(Event::leave(t + work, defs.computeFunction));
+    events.push_back(Event::enter(t + work, defs.exchangeFunction));
+    events.push_back(
+        Event::mpiSend(t + work + 1, next, kHaloTag, config.messageBytes));
+    events.push_back(
+        Event::mpiRecv(t + work + 2, prev, kHaloTag, config.messageBytes));
+    events.push_back(Event::metric(t + work + 3, defs.computeTicksMetric,
+                                   static_cast<double>(work)));
+    events.push_back(Event::leave(barrierExit, defs.exchangeFunction));
+    t = barrierExit;
+  }
+  events.push_back(Event::leave(t, defs.mainFunction));
+  return events;
+}
+
+ScaleWriteResult writeScaleTrace(const std::string& path,
+                                 const ScaleConfig& config) {
+  requireUsable(config);
+  trace::FunctionRegistry functions;
+  trace::MetricRegistry metrics;
+  const ScaleDefs defs = registerScaleDefs(functions, metrics);
+  std::vector<std::string> names;
+  names.reserve(config.ranks);
+  for (std::size_t r = 0; r < config.ranks; ++r) {
+    names.push_back(scaleProcessName(r));
+  }
+
+  trace::V2StreamWriter writer(path, config.resolution, functions, metrics,
+                               names);
+  ScaleWriteResult result;
+  result.ranks = config.ranks;
+  result.culpritRanks = countCulprits(config);
+  for (std::size_t r = 0; r < config.ranks; ++r) {
+    const auto rank = static_cast<trace::ProcessId>(r);
+    const std::vector<trace::Event> events =
+        scaleRankEvents(config, rank, defs);
+    writer.writeRank(rank, events);
+    result.events += events.size();
+  }
+  writer.finish();
+  return result;
+}
+
+trace::Trace buildScaleTrace(const ScaleConfig& config) {
+  requireUsable(config);
+  trace::Trace tr;
+  tr.resolution = config.resolution;
+  const ScaleDefs defs = registerScaleDefs(tr.functions, tr.metrics);
+  tr.processes.resize(config.ranks);
+  for (std::size_t r = 0; r < config.ranks; ++r) {
+    tr.processes[r].name = scaleProcessName(r);
+    tr.processes[r].events =
+        scaleRankEvents(config, static_cast<trace::ProcessId>(r), defs);
+  }
+  return tr;
+}
+
+}  // namespace perfvar::apps

@@ -220,17 +220,18 @@ struct AnalysisEngine::Impl {
 };
 
 AnalysisEngine::AnalysisEngine(trace::Trace trace, EngineOptions options)
-    : trace_(std::make_shared<const trace::Trace>(std::move(trace))),
+    : AnalysisEngine(trace::TraceView::owned(std::move(trace)),
+                     std::move(options)) {}
+
+AnalysisEngine::AnalysisEngine(trace::TraceView view, EngineOptions options)
+    : view_(std::move(view)),
       options_(options),
       impl_(std::make_unique<Impl>()) {
   // Degraded input: build the filtered analysis view once; every stage
   // (and every cache entry) is then relative to it, exactly like
   // analyzeTrace() on the same trace.
-  analysisTrace_ =
-      trace_->quarantined.empty()
-          ? trace_
-          : std::make_shared<const trace::Trace>(
-                trace::dropQuarantined(*trace_));
+  analysisView_ =
+      view_.quarantined().empty() ? view_ : view_.dropQuarantined();
   if (options_.threads != 1) {
     impl_->pool = std::make_unique<util::ThreadPool>(options_.threads);
   }
@@ -267,6 +268,13 @@ AnalysisEngine AnalysisEngine::fromFile(const std::string& path,
   return AnalysisEngine(trace::loadBinaryFile(path, readOptions), options);
 }
 
+AnalysisEngine AnalysisEngine::fromFileLazy(const std::string& path,
+                                            EngineOptions options,
+                                            trace::TraceViewOptions viewOptions) {
+  return AnalysisEngine(trace::TraceView::openFile(path, viewOptions),
+                        options);
+}
+
 std::shared_ptr<const profile::FlatProfile> AnalysisEngine::profile() {
   {
     std::lock_guard<std::mutex> lock(impl_->cacheMutex);
@@ -279,11 +287,11 @@ std::shared_ptr<const profile::FlatProfile> AnalysisEngine::profile() {
   auto computed = [&] {
     if (!impl_->pool) {
       return std::make_shared<const profile::FlatProfile>(
-          profile::FlatProfile::build(*analysisTrace_));
+          profile::FlatProfile::build(analysisView_));
     }
     std::lock_guard<std::mutex> poolLock(impl_->poolMutex);
     return std::make_shared<const profile::FlatProfile>(
-        analysis::buildProfileParallel(*analysisTrace_, *impl_->pool,
+        analysis::buildProfileParallel(analysisView_, *impl_->pool,
                                        options_.grainSizeRanks));
   }();
   std::lock_guard<std::mutex> lock(impl_->cacheMutex);
@@ -312,12 +320,12 @@ std::shared_ptr<const lint::LintReport> AnalysisEngine::lintReport() {
     lintOptions.disabledRules = options_.lintDisabledRules;
     if (!impl_->pool) {
       return std::make_shared<const lint::LintReport>(
-          lint::lintTrace(*trace_, lintOptions));
+          lint::lintTrace(view_, lintOptions));
     }
     std::lock_guard<std::mutex> poolLock(impl_->poolMutex);
     lintOptions.pool = impl_->pool.get();
     return std::make_shared<const lint::LintReport>(
-        lint::lintTrace(*trace_, lintOptions));
+        lint::lintTrace(view_, lintOptions));
   }();
   std::lock_guard<std::mutex> lock(impl_->cacheMutex);
   if (!impl_->lint) {
@@ -334,23 +342,23 @@ std::shared_ptr<const analysis::DominantSelection> AnalysisEngine::dominant(
   return impl_->getOrCompute(
       impl_->dominant, fingerprintDominant(options), options_.maxCacheEntries,
       [&] {
-        return analysis::selectDominantFunction(*analysisTrace_, *prof,
+        return analysis::selectDominantFunction(analysisView_, *prof,
                                                 options);
       });
 }
 
 EngineResult AnalysisEngine::analyze(const analysis::PipelineOptions& options) {
   EngineResult result;
-  // The stages reference the analysis view (SosResult points into it), so
-  // that is the trace a result must keep alive.
-  result.trace = analysisTrace_;
+  // The stages were computed on the analysis view; copies of it share
+  // the backend, so the result stays valid past the engine.
+  result.trace = analysisView_;
   result.profile = profile();
   // Inline dominant() with the profile already in hand: one counter event
   // per stage per query (a cold analyze is 4 misses, a warm one 4 hits).
   result.selection = impl_->getOrCompute(
       impl_->dominant, fingerprintDominant(options.dominant),
       options_.maxCacheEntries, [&] {
-        return analysis::selectDominantFunction(*analysisTrace_,
+        return analysis::selectDominantFunction(analysisView_,
                                                 *result.profile,
                                                 options.dominant);
       });
@@ -368,11 +376,11 @@ EngineResult AnalysisEngine::analyze(const analysis::PipelineOptions& options) {
   result.sos = impl_->getOrCompute(
       impl_->sos, sosKey, options_.maxCacheEntries, [&] {
         if (!impl_->pool) {
-          return analysis::analyzeSos(*analysisTrace_, result.segmentFunction,
+          return analysis::analyzeSos(analysisView_, result.segmentFunction,
                                       options.sync);
         }
         std::lock_guard<std::mutex> poolLock(impl_->poolMutex);
-        return analysis::analyzeSosParallel(*analysisTrace_,
+        return analysis::analyzeSosParallel(analysisView_,
                                             result.segmentFunction,
                                             options.sync, *impl_->pool,
                                             options_.grainSizeRanks);
@@ -396,14 +404,14 @@ EngineResult AnalysisEngine::analyze(const analysis::PipelineOptions& options) {
 std::string AnalysisEngine::formatReport(
     const analysis::PipelineOptions& options) {
   const EngineResult r = analyze(options);
-  return analysis::formatAnalysis(*trace_, *r.selection, *r.sos, *r.variation);
+  return analysis::formatAnalysis(view_, *r.selection, *r.sos, *r.variation);
 }
 
 void AnalysisEngine::exportReport(analysis::ExportFormat format,
                                   std::ostream& out,
                                   const analysis::PipelineOptions& options) {
   const EngineResult r = analyze(options);
-  analysis::exportReport(*trace_, *r.selection, *r.sos, *r.variation, format,
+  analysis::exportReport(view_, *r.selection, *r.sos, *r.variation, format,
                          out);
 }
 

@@ -56,6 +56,7 @@
 #include "lint/lint.hpp"
 #include "profile/profile.hpp"
 #include "trace/trace.hpp"
+#include "trace/view.hpp"
 
 namespace perfvar::util {
 class ThreadPool;
@@ -101,10 +102,11 @@ struct CacheStats {
 /// copy; keeps the underlying stages (and the engine's trace) alive even
 /// across cache eviction or engine destruction.
 struct EngineResult {
-  /// The trace the stages were computed on. For a degraded (quarantined)
-  /// input this is the filtered view the analysis ran on, which SosResult
-  /// points into; for a clean trace it is the engine's trace itself.
-  std::shared_ptr<const trace::Trace> trace;
+  /// The view the stages were computed on. For a degraded (quarantined)
+  /// input this is the filtered sub-view the analysis ran on; for a clean
+  /// trace it is the engine's view itself. Shares backend ownership, so
+  /// the result outlives the engine.
+  trace::TraceView trace;
   std::shared_ptr<const profile::FlatProfile> profile;
   std::shared_ptr<const analysis::DominantSelection> selection;
   trace::FunctionId segmentFunction = trace::kInvalidFunction;
@@ -113,29 +115,44 @@ struct EngineResult {
 };
 
 /// Cached, thread-safe, repeatedly-queryable analysis session over one
-/// trace. Non-copyable and non-movable: cached SosResults point into the
-/// owned trace, whose address must stay stable.
+/// trace. Non-copyable and non-movable: cached results reference the
+/// engine's view, whose backend identity must stay stable.
 class AnalysisEngine {
 public:
-  /// Take ownership of `trace` (move it in; the engine is the one place
-  /// that keeps it alive for cached results). A trace with quarantined
-  /// ranks (a Salvage-mode load) is accepted: every stage then runs on
-  /// the trace::dropQuarantined view, exactly like analyzeTrace().
+  /// Take ownership of `trace` (move it in; the engine wraps it in an
+  /// owned TraceView that keeps it alive for cached results). A trace
+  /// with quarantined ranks (a Salvage-mode load) is accepted: every
+  /// stage then runs on the dropQuarantined sub-view, exactly like
+  /// analyzeTrace().
   explicit AnalysisEngine(trace::Trace trace, EngineOptions options = {});
+
+  /// Session over an existing view — the span-based entry point. Accepts
+  /// any backend: a borrowed in-memory trace (which must outlive the
+  /// engine), a shared/owned trace, or an out-of-core TraceView::openFile
+  /// view, which is how 100k-rank sessions stay within memory budget.
+  explicit AnalysisEngine(trace::TraceView view, EngineOptions options = {});
 
   ~AnalysisEngine();
 
   AnalysisEngine(const AnalysisEngine&) = delete;
   AnalysisEngine& operator=(const AnalysisEngine&) = delete;
 
-  /// Load a PVT trace file and open a session over it. The file is
-  /// memory-mapped and (for v2 files) its per-rank blocks are decoded on
-  /// `options.threads` workers; the loaded trace is identical for every
-  /// thread count.
+  /// Load a PVT trace file eagerly and open a session over it. The file
+  /// is memory-mapped and (for v2 files) its per-rank blocks are decoded
+  /// on `options.threads` workers; the loaded trace is identical for
+  /// every thread count.
   static AnalysisEngine fromFile(const std::string& path,
                                  EngineOptions options = {});
 
-  const trace::Trace& trace() const { return *trace_; }
+  /// Open a session over a PVTF v2 file out-of-core: per-rank blocks are
+  /// decoded on demand into the view's bounded shard cache instead of
+  /// materializing the whole trace. Every query result is byte-identical
+  /// to a fromFile() session on the same file.
+  static AnalysisEngine fromFileLazy(const std::string& path,
+                                     EngineOptions options = {},
+                                     trace::TraceViewOptions viewOptions = {});
+
+  const trace::TraceView& trace() const { return view_; }
   const EngineOptions& options() const { return options_; }
 
   /// The flat profile (stage 1); computed once per engine.
@@ -176,10 +193,10 @@ public:
 
 private:
   struct Impl;
-  std::shared_ptr<const trace::Trace> trace_;
-  /// What the stages compute on: trace_ itself for a clean trace, the
-  /// dropQuarantined view for a degraded one (built once at construction).
-  std::shared_ptr<const trace::Trace> analysisTrace_;
+  trace::TraceView view_;
+  /// What the stages compute on: view_ itself for a clean trace, the
+  /// dropQuarantined sub-view for a degraded one (built at construction).
+  trace::TraceView analysisView_;
   EngineOptions options_;
   std::unique_ptr<Impl> impl_;
 };

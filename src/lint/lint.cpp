@@ -85,21 +85,21 @@ void Rule::checkProcess(const RuleContext&, trace::ProcessId, Sink&) const {}
 
 void Rule::checkTrace(const RuleContext&, Sink&) const {}
 
-RuleContext::RuleContext(const trace::Trace& trace, const LintOptions& options)
-    : trace_(trace), options_(options) {}
+RuleContext::RuleContext(const trace::TraceView& trace,
+                         const LintOptions& options)
+    : view_(trace), options_(options) {}
 
 RuleContext::~RuleContext() = default;
 
-const trace::Trace* RuleContext::analysisTrace() const {
+const trace::TraceView* RuleContext::analysisTrace() const {
   if (!analysisTraceComputed_) {
     analysisTraceComputed_ = true;
-    if (trace_.quarantined.empty()) {
-      analysisTrace_ = &trace_;
+    if (view_.quarantined().empty()) {
+      analysisTrace_ = &view_;
     } else {
       try {
-        filteredView_ =
-            std::make_unique<trace::Trace>(trace::dropQuarantined(trace_));
-        analysisTrace_ = filteredView_.get();
+        filteredView_ = view_.dropQuarantined();
+        analysisTrace_ = &filteredView_;
       } catch (const std::exception&) {
         analysisTrace_ = nullptr;  // every rank quarantined
       }
@@ -115,18 +115,19 @@ namespace {
 /// context must not hand it a trace with dangling refs. Imbalance and
 /// backwards clocks are caught by the replay's own checks; dangling refs
 /// are the one precondition to screen here.
-bool refsAreDefined(const trace::Trace& tr) {
-  for (const trace::ProcessTrace& proc : tr.processes) {
-    for (const trace::Event& e : proc.events) {
+bool refsAreDefined(const trace::TraceView& tr) {
+  for (trace::ProcessId p = 0; p < tr.processCount(); ++p) {
+    const trace::RankPin pin = tr.rank(p);
+    for (const trace::Event& e : pin.events()) {
       switch (e.kind) {
         case trace::EventKind::Enter:
         case trace::EventKind::Leave:
-          if (e.ref >= tr.functions.size()) {
+          if (e.ref >= tr.functions().size()) {
             return false;
           }
           break;
         case trace::EventKind::Metric:
-          if (e.ref >= tr.metrics.size()) {
+          if (e.ref >= tr.metrics().size()) {
             return false;
           }
           break;
@@ -143,7 +144,7 @@ bool refsAreDefined(const trace::Trace& tr) {
 const profile::FlatProfile* RuleContext::profileOrNull() const {
   if (!profileComputed_) {
     profileComputed_ = true;
-    const trace::Trace* tr = analysisTrace();
+    const trace::TraceView* tr = analysisTrace();
     if (tr != nullptr && refsAreDefined(*tr)) {
       try {
         profile_ =
@@ -234,7 +235,7 @@ void sortRankFindings(std::vector<Finding>& findings,
 
 }  // namespace
 
-LintReport lintTrace(const trace::Trace& trace, const LintOptions& options,
+LintReport lintTrace(const trace::TraceView& trace, const LintOptions& options,
                      const RuleRegistry& registry) {
   LintReport report;
   report.processCount = trace.processCount();

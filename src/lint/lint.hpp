@@ -43,6 +43,7 @@
 #include "analysis/sync.hpp"
 #include "profile/profile.hpp"
 #include "trace/trace.hpp"
+#include "trace/view.hpp"
 
 namespace perfvar::util {
 class ThreadPool;
@@ -183,19 +184,19 @@ public:
 /// profile, dominant ranking) are for the serial global phase only.
 class RuleContext {
 public:
-  RuleContext(const trace::Trace& trace, const LintOptions& options);
+  RuleContext(const trace::TraceView& trace, const LintOptions& options);
   ~RuleContext();
 
   RuleContext(const RuleContext&) = delete;
   RuleContext& operator=(const RuleContext&) = delete;
 
-  const trace::Trace& trace() const { return trace_; }
+  const trace::TraceView& trace() const { return view_; }
   const LintOptions& options() const { return options_; }
 
   /// The trace the analysis pipeline would run on: the dropQuarantined
   /// view for degraded inputs, trace() itself otherwise. Null when every
   /// rank is quarantined (nothing analyzable). Global phase only.
-  const trace::Trace* analysisTrace() const;
+  const trace::TraceView* analysisTrace() const;
   /// Flat profile of analysisTrace(), or null when it cannot be built
   /// (malformed streams, fully-quarantined trace). Global phase only.
   const profile::FlatProfile* profileOrNull() const;
@@ -204,11 +205,11 @@ public:
   const analysis::DominantSelection* dominantOrNull() const;
 
 private:
-  const trace::Trace& trace_;
+  trace::TraceView view_;
   const LintOptions& options_;
   mutable bool analysisTraceComputed_ = false;
-  mutable std::unique_ptr<trace::Trace> filteredView_;
-  mutable const trace::Trace* analysisTrace_ = nullptr;
+  mutable trace::TraceView filteredView_;
+  mutable const trace::TraceView* analysisTrace_ = nullptr;
   mutable bool profileComputed_ = false;
   mutable std::unique_ptr<profile::FlatProfile> profile_;
   mutable bool dominantComputed_ = false;
@@ -244,7 +245,7 @@ private:
 /// trace *content*; throws perfvar::Error only for caller mistakes
 /// (unknown rule ids in onlyRules/disabledRules are reported as Info
 /// findings, not errors, so suppression lists stay forward-compatible).
-LintReport lintTrace(const trace::Trace& trace, const LintOptions& options = {},
+LintReport lintTrace(const trace::TraceView& trace, const LintOptions& options = {},
                      const RuleRegistry& registry = RuleRegistry::builtin());
 LintReport lintTrace(trace::Trace&&, const LintOptions& = {},
                      const RuleRegistry& = RuleRegistry::builtin()) = delete;
@@ -262,6 +263,26 @@ void exportLintReport(const LintReport& report, analysis::ExportFormat format,
 /// Convenience string wrapper.
 std::string exportLintReportString(const LintReport& report,
                                    analysis::ExportFormat format);
+
+/// One problem found by validateStructure().
+struct ValidationIssue {
+  trace::ProcessId process = 0;
+  std::size_t eventIndex = 0;  ///< index into the process event stream
+  std::string message;
+};
+
+/// Structural validation: runs exactly the five structural rules
+/// (clock-monotonicity, stack-balance, undefined-function-ref,
+/// undefined-metric-ref, message-endpoints) and returns every finding as
+/// a ValidationIssue (empty == valid). This is the successor of the
+/// removed trace::validate(), with identical issue order and messages.
+std::vector<ValidationIssue> validateStructure(const trace::TraceView& trace);
+std::vector<ValidationIssue> validateStructure(trace::Trace&&) = delete;
+
+/// Convenience: throws perfvar::Error listing the first issues when the
+/// trace is not structurally valid (successor of trace::requireValid()).
+void requireStructurallyValid(const trace::TraceView& trace);
+void requireStructurallyValid(trace::Trace&&) = delete;
 
 }  // namespace perfvar::lint
 

@@ -23,7 +23,7 @@ using trace::Event;
 using trace::EventKind;
 using trace::FunctionId;
 using trace::ProcessId;
-using trace::Trace;
+using trace::TraceView;
 
 // ---------------------------------------------------------------------------
 // Per-rank structural rules (the validate() subset).
@@ -37,7 +37,8 @@ public:
   }
   void checkProcess(const RuleContext& context, ProcessId p,
                     Sink& sink) const override {
-    const auto& events = context.trace().processes[p].events;
+    const trace::RankPin pin = context.trace().rank(p);
+    const trace::EventSpan events = pin.events();
     trace::Timestamp last = 0;
     for (std::size_t i = 0; i < events.size(); ++i) {
       if (i > 0 && events[i].time < last) {
@@ -60,12 +61,13 @@ public:
   }
   void checkProcess(const RuleContext& context, ProcessId p,
                     Sink& sink) const override {
-    const Trace& tr = context.trace();
-    const auto& events = tr.processes[p].events;
+    const TraceView& tr = context.trace();
+    const trace::RankPin pin = tr.rank(p);
+    const trace::EventSpan events = pin.events();
     std::vector<FunctionId> stack;
     for (std::size_t i = 0; i < events.size(); ++i) {
       const Event& e = events[i];
-      if (e.ref >= tr.functions.size() &&
+      if (e.ref >= tr.functions().size() &&
           (e.kind == EventKind::Enter || e.kind == EventKind::Leave)) {
         continue;
       }
@@ -76,9 +78,9 @@ public:
           sink.reportAt(Severity::Error, i, "leave without matching enter");
         } else if (stack.back() != e.ref) {
           std::ostringstream os;
-          os << "leave of '" << tr.functions.name(e.ref)
+          os << "leave of '" << tr.functions().name(e.ref)
              << "' does not match innermost enter '"
-             << tr.functions.name(stack.back()) << "'";
+             << tr.functions().name(stack.back()) << "'";
           sink.reportAt(Severity::Error, i, os.str());
         } else {
           stack.pop_back();
@@ -88,7 +90,7 @@ public:
     if (!stack.empty()) {
       std::ostringstream os;
       os << stack.size() << " unclosed enter frame(s), innermost '"
-         << tr.functions.name(stack.back()) << "'";
+         << tr.functions().name(stack.back()) << "'";
       sink.reportAt(Severity::Error, events.size(), os.str());
     }
   }
@@ -103,11 +105,12 @@ public:
   }
   void checkProcess(const RuleContext& context, ProcessId p,
                     Sink& sink) const override {
-    const Trace& tr = context.trace();
-    const auto& events = tr.processes[p].events;
+    const TraceView& tr = context.trace();
+    const trace::RankPin pin = tr.rank(p);
+    const trace::EventSpan events = pin.events();
     for (std::size_t i = 0; i < events.size(); ++i) {
       const Event& e = events[i];
-      if (e.ref >= tr.functions.size()) {
+      if (e.ref >= tr.functions().size()) {
         if (e.kind == EventKind::Enter) {
           sink.reportAt(Severity::Error, i,
                         "enter references undefined function");
@@ -129,11 +132,12 @@ public:
   }
   void checkProcess(const RuleContext& context, ProcessId p,
                     Sink& sink) const override {
-    const Trace& tr = context.trace();
-    const auto& events = tr.processes[p].events;
+    const TraceView& tr = context.trace();
+    const trace::RankPin pin = tr.rank(p);
+    const trace::EventSpan events = pin.events();
     for (std::size_t i = 0; i < events.size(); ++i) {
       if (events[i].kind == EventKind::Metric &&
-          events[i].ref >= tr.metrics.size()) {
+          events[i].ref >= tr.metrics().size()) {
         sink.reportAt(Severity::Error, i,
                       "metric sample references undefined metric");
       }
@@ -150,14 +154,15 @@ public:
   }
   void checkProcess(const RuleContext& context, ProcessId p,
                     Sink& sink) const override {
-    const Trace& tr = context.trace();
-    const auto& events = tr.processes[p].events;
+    const TraceView& tr = context.trace();
+    const trace::RankPin pin = tr.rank(p);
+    const trace::EventSpan events = pin.events();
     for (std::size_t i = 0; i < events.size(); ++i) {
       const Event& e = events[i];
       if (e.kind != EventKind::MpiSend && e.kind != EventKind::MpiRecv) {
         continue;
       }
-      if (e.ref >= tr.processes.size()) {
+      if (e.ref >= tr.processCount()) {
         sink.reportAt(Severity::Error, i,
                       "message references undefined peer process");
       } else if (e.ref == p) {
@@ -180,15 +185,16 @@ public:
     return "send and receive counts must match per directed rank pair";
   }
   void checkTrace(const RuleContext& context, Sink& sink) const override {
-    const Trace& tr = context.trace();
+    const TraceView& tr = context.trace();
     // (sender, receiver) -> {sends recorded at sender, recvs at receiver};
     // std::map for deterministic iteration order.
     std::map<std::pair<ProcessId, ProcessId>,
              std::pair<std::uint64_t, std::uint64_t>>
         pairs;
-    for (ProcessId p = 0; p < tr.processes.size(); ++p) {
-      for (const Event& e : tr.processes[p].events) {
-        if (e.ref >= tr.processes.size() || e.ref == p) {
+    for (ProcessId p = 0; p < tr.processCount(); ++p) {
+      const trace::RankPin pin = tr.rank(p);
+      for (const Event& e : pin.events()) {
+        if (e.ref >= tr.processCount() || e.ref == p) {
           continue;  // message-endpoints reports these
         }
         if (e.kind == EventKind::MpiSend) {
@@ -223,12 +229,13 @@ public:
            "definition must be referenced";
   }
   void checkTrace(const RuleContext& context, Sink& sink) const override {
-    const Trace& tr = context.trace();
+    const TraceView& tr = context.trace();
     reportDuplicates(tr, sink);
 
-    std::vector<bool> functionUsed(tr.functions.size(), false);
-    for (const auto& proc : tr.processes) {
-      for (const Event& e : proc.events) {
+    std::vector<bool> functionUsed(tr.functions().size(), false);
+    for (ProcessId p = 0; p < tr.processCount(); ++p) {
+      const trace::RankPin pin = tr.rank(p);
+      for (const Event& e : pin.events()) {
         if ((e.kind == EventKind::Enter || e.kind == EventKind::Leave) &&
             e.ref < functionUsed.size()) {
           functionUsed[e.ref] = true;
@@ -238,7 +245,7 @@ public:
     for (std::size_t f = 0; f < functionUsed.size(); ++f) {
       if (!functionUsed[f]) {
         sink.report(Severity::Info,
-                    "function '" + tr.functions.name(
+                    "function '" + tr.functions().name(
                                        static_cast<FunctionId>(f)) +
                         "' is defined but never referenced by any event");
       }
@@ -246,9 +253,9 @@ public:
   }
 
 private:
-  static void reportDuplicates(const Trace& tr, Sink& sink) {
+  static void reportDuplicates(const TraceView& tr, Sink& sink) {
     std::map<std::string, std::uint64_t> functionNames;
-    for (const auto& def : tr.functions.all()) {
+    for (const auto& def : tr.functions().all()) {
       ++functionNames[def.name];
     }
     for (const auto& [name, n] : functionNames) {
@@ -259,7 +266,7 @@ private:
       }
     }
     std::map<std::string, std::uint64_t> metricNames;
-    for (const auto& def : tr.metrics.all()) {
+    for (const auto& def : tr.metrics().all()) {
       ++metricNames[def.name];
     }
     for (const auto& [name, n] : metricNames) {
@@ -282,8 +289,8 @@ public:
     return "function names that look like MPI/OpenMP must carry that paradigm";
   }
   void checkTrace(const RuleContext& context, Sink& sink) const override {
-    const Trace& tr = context.trace();
-    const auto& defs = tr.functions.all();
+    const TraceView& tr = context.trace();
+    const auto& defs = tr.functions().all();
     for (std::size_t f = 0; f < defs.size(); ++f) {
       const trace::FunctionDef& def = defs[f];
       const bool looksMpi = def.name.rfind("MPI_", 0) == 0;
@@ -319,7 +326,7 @@ public:
            "must exist";
   }
   void checkTrace(const RuleContext& context, Sink& sink) const override {
-    const trace::Trace* tr = context.analysisTrace();
+    const TraceView* tr = context.analysisTrace();
     if (tr == nullptr || tr->eventCount() == 0) {
       return;  // nothing analyzable; other rules report why
     }
@@ -334,7 +341,7 @@ public:
          << " invocations; time-dominant segmentation is undefined";
       if (!sel->rejectedTopLevel.empty()) {
         os << " (best rejected candidate: '"
-           << tr->functions.name(sel->rejectedTopLevel.front().function)
+           << tr->functions().name(sel->rejectedTopLevel.front().function)
            << "' with " << sel->rejectedTopLevel.front().invocations
            << " invocation(s))";
       }
@@ -353,7 +360,7 @@ public:
     return "segment counts of the dominant function should match across ranks";
   }
   void checkTrace(const RuleContext& context, Sink& sink) const override {
-    const trace::Trace* tr = context.analysisTrace();
+    const TraceView* tr = context.analysisTrace();
     const analysis::DominantSelection* sel = context.dominantOrNull();
     if (tr == nullptr || sel == nullptr || !sel->hasDominant()) {
       return;  // dominant-eligibility reports the missing candidate
@@ -364,7 +371,7 @@ public:
         analysis::describeSegmentation(segments);
     if (!info.uniform) {
       std::ostringstream os;
-      os << "segment counts of dominant function '" << tr->functions.name(f)
+      os << "segment counts of dominant function '" << tr->functions().name(f)
          << "' differ across ranks (min " << info.minPerProcess << ", max "
          << info.maxPerProcess
          << "); per-iteration statistics will misalign";
@@ -384,8 +391,9 @@ public:
   }
   void checkProcess(const RuleContext& context, ProcessId p,
                     Sink& sink) const override {
-    const Trace& tr = context.trace();
-    const auto& events = tr.processes[p].events;
+    const TraceView& tr = context.trace();
+    const trace::RankPin pin = tr.rank(p);
+    const trace::EventSpan events = pin.events();
     // Tolerant replay: ignore refs the structural rules already flag and
     // only pair a leave with a matching innermost enter.
     std::vector<std::pair<FunctionId, std::pair<trace::Timestamp, bool>>>
@@ -395,7 +403,7 @@ public:
       const Event& e = events[i];
       const bool ordered = i == 0 || e.time >= last;
       last = e.time;
-      if (e.ref >= tr.functions.size() ||
+      if (e.ref >= tr.functions().size() ||
           (e.kind != EventKind::Enter && e.kind != EventKind::Leave)) {
         continue;
       }
@@ -408,7 +416,7 @@ public:
             e.time == stack.back().second.first) {
           sink.reportAt(Severity::Info, i,
                         "zero-duration invocation of '" +
-                            tr.functions.name(e.ref) + "'");
+                            tr.functions().name(e.ref) + "'");
         }
         stack.pop_back();
       }
@@ -425,17 +433,17 @@ public:
     return "salvage-quarantined ranks are excluded from analyses";
   }
   void checkTrace(const RuleContext& context, Sink& sink) const override {
-    const Trace& tr = context.trace();
-    if (tr.quarantined.empty()) {
+    const TraceView& tr = context.trace();
+    if (tr.quarantined().empty()) {
       return;
     }
-    for (const trace::QuarantinedRank& q : tr.quarantined) {
+    for (const trace::QuarantinedRank& q : tr.quarantined()) {
       std::ostringstream os;
       os << "rank quarantined by salvage load ("
          << errorCodeName(q.error) << "): " << q.eventsSalvaged
          << " event(s) salvaged, " << q.eventsDropped
          << " dropped; analyses exclude this rank";
-      if (q.process < tr.processes.size()) {
+      if (q.process < tr.processCount()) {
         sink.reportProcess(Severity::Warning, q.process, os.str());
       } else {
         os << " (quarantine metadata names nonexistent process "

@@ -1,50 +1,49 @@
 /// \file validate.cpp
-/// trace::validate() / trace::requireValid(), reimplemented on top of the
-/// lint engine (declared in trace/trace.hpp, defined here so the trace
-/// library does not depend on lint). The forwarder runs exactly the five
-/// structural rules the historical single-pass validator implemented and
-/// returns issues with identical order and messages.
+/// lint::validateStructure() / lint::requireStructurallyValid(): the
+/// structural-validation conveniences, implemented on the lint engine.
+/// They run exactly the five structural rules the historical single-pass
+/// trace::validate() implemented (now gone after its deprecation cycle)
+/// and return issues with identical order and messages.
 
 #include <algorithm>
 #include <sstream>
 
 #include "lint/lint.hpp"
-#include "trace/trace.hpp"
 #include "util/error.hpp"
 
-namespace perfvar::trace {
+namespace perfvar::lint {
 
 namespace {
 
 /// The lint rules equivalent to the historical validate() checks, in the
 /// builtin registry order (clock before the structural rules, matching the
 /// old loop that tested the timestamp before the event kind).
-lint::LintOptions validateOptions() {
-  lint::LintOptions options;
+LintOptions validateOptions() {
+  LintOptions options;
   options.onlyRules = {"clock-monotonicity", "stack-balance",
                        "undefined-function-ref", "undefined-metric-ref",
                        "message-endpoints"};
-  options.minSeverity = lint::Severity::Info;
-  options.maxFindingsPerRule = 0;  // validate() never truncated
+  options.minSeverity = Severity::Info;
+  options.maxFindingsPerRule = 0;  // structural validation never truncates
   return options;
 }
 
 }  // namespace
 
-std::vector<ValidationIssue> validate(const Trace& trace) {
-  const lint::LintReport report = lint::lintTrace(trace, validateOptions());
+std::vector<ValidationIssue> validateStructure(const trace::TraceView& trace) {
+  const LintReport report = lintTrace(trace, validateOptions());
   std::vector<ValidationIssue> issues;
   issues.reserve(report.findings.size());
-  for (const lint::Finding& f : report.findings) {
+  for (const Finding& f : report.findings) {
     issues.push_back(ValidationIssue{
-        static_cast<ProcessId>(f.process),
+        static_cast<trace::ProcessId>(f.process),
         static_cast<std::size_t>(f.eventIndex), f.message});
   }
   return issues;
 }
 
-void requireValid(const Trace& trace) {
-  const auto issues = validate(trace);
+void requireStructurallyValid(const trace::TraceView& trace) {
+  const auto issues = validateStructure(trace);
   if (issues.empty()) {
     return;
   }
@@ -64,4 +63,4 @@ void requireValid(const Trace& trace) {
   throw Error(os.str(), std::move(context));
 }
 
-}  // namespace perfvar::trace
+}  // namespace perfvar::lint

@@ -44,7 +44,7 @@ std::size_t CallTreeNode::maxDepth() const {
   return d + 1;
 }
 
-CallTree CallTree::build(const trace::ProcessTrace& process) {
+CallTree CallTree::build(trace::EventSpan events) {
   CallTree tree;
   // Path of nodes from the root to the currently open frame. Raw pointers
   // into the tree are safe here only because we never touch siblings of an
@@ -87,14 +87,15 @@ CallTree CallTree::build(const trace::ProcessTrace& process) {
     node.inclusive += frame.inclusive();
     node.exclusive += frame.exclusive();
   };
-  trace::replayProcess(process, v);
+  trace::replayEvents(events, v);
   return tree;
 }
 
-CallTree CallTree::buildMerged(const trace::Trace& tr) {
+CallTree CallTree::buildMerged(const trace::TraceView& tr) {
   CallTree merged;
-  for (const auto& p : tr.processes) {
-    merged.merge(build(p));
+  for (trace::ProcessId p = 0; p < tr.processCount(); ++p) {
+    const trace::RankPin pin = tr.rank(p);
+    merged.merge(build(pin.events()));
   }
   return merged;
 }
@@ -126,13 +127,13 @@ const CallTreeNode* CallTree::findPath(
 
 namespace {
 
-void formatNode(const trace::Trace& tr, const CallTreeNode& node,
+void formatNode(const trace::TraceView& tr, const CallTreeNode& node,
                 std::size_t depth, std::size_t maxDepth, std::ostream& os) {
   if (depth > maxDepth) {
     return;
   }
   if (node.function != trace::kInvalidFunction) {
-    os << std::string(2 * (depth - 1), ' ') << tr.functions.name(node.function)
+    os << std::string(2 * (depth - 1), ' ') << tr.functions().name(node.function)
        << "  [calls " << node.invocations << ", incl "
        << fmt::seconds(tr.toSeconds(node.inclusive)) << ", excl "
        << fmt::seconds(tr.toSeconds(node.exclusive)) << "]\n";
@@ -144,7 +145,7 @@ void formatNode(const trace::Trace& tr, const CallTreeNode& node,
 
 }  // namespace
 
-std::string formatCallTree(const trace::Trace& tr, const CallTree& tree,
+std::string formatCallTree(const trace::TraceView& tr, const CallTree& tree,
                            std::size_t maxDepth) {
   std::ostringstream os;
   formatNode(tr, tree.root(), 0, maxDepth, os);

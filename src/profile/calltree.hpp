@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "trace/view.hpp"
 
 namespace perfvar::profile {
 
@@ -41,11 +42,15 @@ struct CallTreeNode {
 /// top-level functions.
 class CallTree {
 public:
-  /// Build the call tree of a single process stream.
-  static CallTree build(const trace::ProcessTrace& process);
+  /// Build the call tree of a single event stream.
+  static CallTree build(trace::EventSpan events);
+  static CallTree build(const trace::ProcessTrace& process) {
+    return build(
+        trace::EventSpan(process.events.data(), process.events.size()));
+  }
 
   /// Build the merged call tree of all processes of a trace.
-  static CallTree buildMerged(const trace::Trace& trace);
+  static CallTree buildMerged(const trace::TraceView& trace);
 
   const CallTreeNode& root() const { return root_; }
 
@@ -66,7 +71,7 @@ private:
 };
 
 /// Indented multi-line rendering of a call tree (up to `maxDepth` levels).
-std::string formatCallTree(const trace::Trace& trace, const CallTree& tree,
+std::string formatCallTree(const trace::TraceView& trace, const CallTree& tree,
                            std::size_t maxDepth);
 
 }  // namespace perfvar::profile

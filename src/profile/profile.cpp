@@ -35,10 +35,10 @@ void FunctionStats::merge(const FunctionStats& other) {
   maxInclusive = std::max(maxInclusive, other.maxInclusive);
 }
 
-std::vector<FunctionStats> FlatProfile::buildProcess(const trace::Trace& tr,
-                                                     trace::ProcessId p) {
+std::vector<FunctionStats> FlatProfile::buildProcess(
+    const trace::TraceView& tr, trace::ProcessId p) {
   PERFVAR_REQUIRE(p < tr.processCount(), "invalid process id");
-  const std::size_t nFuncs = tr.functions.size();
+  const std::size_t nFuncs = tr.functions().size();
   std::vector<FunctionStats> row(nFuncs);
   for (std::size_t f = 0; f < nFuncs; ++f) {
     row[f].function = static_cast<trace::FunctionId>(f);
@@ -47,15 +47,17 @@ std::vector<FunctionStats> FlatProfile::buildProcess(const trace::Trace& tr,
   v.onLeave = [&](const trace::Frame& frame) {
     row[frame.function].add(frame.inclusive(), frame.exclusive());
   };
-  trace::replayProcess(tr.processes[p], v);
+  const trace::RankPin pin = tr.rank(p);
+  trace::replayEvents(pin.events(), v);
   return row;
 }
 
 FlatProfile FlatProfile::fromPerProcess(
-    const trace::Trace& tr, std::vector<std::vector<FunctionStats>> perProcess) {
+    const trace::TraceView& tr,
+    std::vector<std::vector<FunctionStats>> perProcess) {
   PERFVAR_REQUIRE(perProcess.size() == tr.processCount(),
                   "per-process row count mismatch");
-  const std::size_t nFuncs = tr.functions.size();
+  const std::size_t nFuncs = tr.functions().size();
   FlatProfile profile;
   profile.perProcess_ = std::move(perProcess);
   profile.aggregated_.assign(nFuncs, FunctionStats{});
@@ -71,9 +73,9 @@ FlatProfile FlatProfile::fromPerProcess(
   return profile;
 }
 
-FlatProfile FlatProfile::build(const trace::Trace& tr) {
+FlatProfile FlatProfile::build(const trace::TraceView& tr) {
   std::vector<std::vector<FunctionStats>> perProcess(tr.processCount());
-  for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
+  for (trace::ProcessId p = 0; p < tr.processCount(); ++p) {
     perProcess[p] = buildProcess(tr, p);
   }
   return fromPerProcess(tr, std::move(perProcess));
@@ -137,7 +139,7 @@ std::vector<trace::Timestamp> FlatProfile::exclusiveTimePerProcess(
   return out;
 }
 
-std::string formatTopFunctions(const trace::Trace& tr,
+std::string formatTopFunctions(const trace::TraceView& tr,
                                const FlatProfile& profile, std::size_t n) {
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"function", "group", "paradigm", "invocations", "inclusive",
@@ -145,7 +147,7 @@ std::string formatTopFunctions(const trace::Trace& tr,
   const auto sorted = profile.byInclusiveTime();
   for (std::size_t i = 0; i < std::min(n, sorted.size()); ++i) {
     const FunctionStats& s = sorted[i];
-    const trace::FunctionDef& def = tr.functions.at(s.function);
+    const trace::FunctionDef& def = tr.functions().at(s.function);
     rows.push_back({def.name, def.group, trace::paradigmName(def.paradigm),
                     std::to_string(s.invocations),
                     fmt::seconds(tr.toSeconds(s.inclusive)),

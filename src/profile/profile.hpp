@@ -19,6 +19,7 @@
 
 #include "trace/replay.hpp"
 #include "trace/trace.hpp"
+#include "trace/view.hpp"
 
 namespace perfvar::profile {
 
@@ -38,13 +39,14 @@ struct FunctionStats {
 /// Flat profile of a trace.
 class FlatProfile {
 public:
-  /// Build the profile of a structurally valid trace.
-  static FlatProfile build(const trace::Trace& trace);
+  /// Build the profile of a structurally valid trace (accepts a Trace via
+  /// the implicit TraceView conversion).
+  static FlatProfile build(const trace::TraceView& trace);
 
   /// Stats of a single process (row `p` of the full profile). Used by the
   /// parallel pipeline to shard the replay by rank; build() is implemented
   /// on top of it, so sharded and serial profiles are identical.
-  static std::vector<FunctionStats> buildProcess(const trace::Trace& trace,
+  static std::vector<FunctionStats> buildProcess(const trace::TraceView& trace,
                                                  trace::ProcessId p);
 
   /// Assemble a full profile from per-process rows (as produced by
@@ -52,7 +54,7 @@ public:
   /// ascending process order. All aggregation is integer sums and min/max,
   /// so the result does not depend on how the rows were computed.
   static FlatProfile fromPerProcess(
-      const trace::Trace& trace,
+      const trace::TraceView& trace,
       std::vector<std::vector<FunctionStats>> perProcess);
 
   std::size_t processCount() const { return perProcess_.size(); }
@@ -85,7 +87,7 @@ private:
 };
 
 /// Render the top-n functions of a profile as a monospace table.
-std::string formatTopFunctions(const trace::Trace& trace,
+std::string formatTopFunctions(const trace::TraceView& trace,
                                const FlatProfile& profile, std::size_t n);
 
 }  // namespace perfvar::profile

@@ -173,52 +173,16 @@ private:
 // ---- block codecs ---------------------------------------------------------
 
 std::string encodeDefs(const Trace& trace) {
-  BufferWriter w;
-  w.varint(trace.functions.size());
-  for (const FunctionDef& f : trace.functions.all()) {
-    w.string(f.name);
-    w.string(f.group);
-    w.u8(static_cast<std::uint8_t>(f.paradigm));
-  }
-  w.varint(trace.metrics.size());
-  for (const MetricDef& m : trace.metrics.all()) {
-    w.string(m.name);
-    w.string(m.unit);
-    w.u8(static_cast<std::uint8_t>(m.mode));
-  }
+  std::vector<std::string> names;
+  names.reserve(trace.processes.size());
   for (const ProcessTrace& p : trace.processes) {
-    w.string(p.name);
+    names.push_back(p.name);
   }
-  return w.take();
+  return encodeV2Defs(trace.functions, trace.metrics, names);
 }
 
 std::string encodeEvents(const ProcessTrace& process) {
-  BufferWriter w;
-  Timestamp last = 0;
-  for (const Event& e : process.events) {
-    const std::uint32_t refLo = std::min(e.ref, kRefEscape);
-    w.u8(static_cast<std::uint8_t>(
-        static_cast<std::uint32_t>(e.kind) | (refLo << 3)));
-    w.varint(e.time - last);
-    last = e.time;
-    if (refLo == kRefEscape) {
-      w.varint(e.ref);
-    }
-    switch (e.kind) {
-      case EventKind::Enter:
-      case EventKind::Leave:
-        break;
-      case EventKind::MpiSend:
-      case EventKind::MpiRecv:
-        w.varint(e.aux);
-        w.varint(e.size);
-        break;
-      case EventKind::Metric:
-        w.f64(e.value);
-        break;
-    }
-  }
-  return w.take();
+  return encodeV2Events(process.events.data(), process.events.size());
 }
 
 /// Decode one event at the cursor, accumulating the delta-encoded
@@ -439,6 +403,133 @@ util::ThreadPool* resolvePool(util::ThreadPool* external, std::size_t threads,
 
 }  // namespace
 
+std::string encodeV2Defs(const FunctionRegistry& functions,
+                         const MetricRegistry& metrics,
+                         const std::vector<std::string>& processNames) {
+  BufferWriter w;
+  w.varint(functions.size());
+  for (const FunctionDef& f : functions.all()) {
+    w.string(f.name);
+    w.string(f.group);
+    w.u8(static_cast<std::uint8_t>(f.paradigm));
+  }
+  w.varint(metrics.size());
+  for (const MetricDef& m : metrics.all()) {
+    w.string(m.name);
+    w.string(m.unit);
+    w.u8(static_cast<std::uint8_t>(m.mode));
+  }
+  for (const std::string& name : processNames) {
+    w.string(name);
+  }
+  return w.take();
+}
+
+std::string encodeV2Events(const Event* events, std::size_t count) {
+  BufferWriter w;
+  Timestamp last = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Event& e = events[i];
+    const std::uint32_t refLo = std::min(e.ref, kRefEscape);
+    w.u8(static_cast<std::uint8_t>(
+        static_cast<std::uint32_t>(e.kind) | (refLo << 3)));
+    w.varint(e.time - last);
+    last = e.time;
+    if (refLo == kRefEscape) {
+      w.varint(e.ref);
+    }
+    switch (e.kind) {
+      case EventKind::Enter:
+      case EventKind::Leave:
+        break;
+      case EventKind::MpiSend:
+      case EventKind::MpiRecv:
+        w.varint(e.aux);
+        w.varint(e.size);
+        break;
+      case EventKind::Metric:
+        w.f64(e.value);
+        break;
+    }
+  }
+  return w.take();
+}
+
+V2Summary parseV2Summary(const unsigned char* image, std::size_t size,
+                         bool lenientBlocks) {
+  const V2Layout layout = parseHeader(image, size, lenientBlocks);
+  V2Summary summary;
+  summary.resolution = layout.resolution;
+  Trace defsOnly;
+  summary.processNames = decodeDefs(image, layout, defsOnly);
+  summary.functions = std::move(defsOnly.functions);
+  summary.metrics = std::move(defsOnly.metrics);
+  summary.blocks.resize(layout.table.size());
+  for (std::size_t i = 0; i < layout.table.size(); ++i) {
+    V2BlockExtent& b = summary.blocks[i];
+    b.offset = layout.table[i].offset;
+    b.size = layout.table[i].size;
+    b.events = layout.table[i].events;
+    b.hash = layout.table[i].hash;
+    b.fault = layout.blockFault[i];
+  }
+  return summary;
+}
+
+void decodeV2Block(const unsigned char* image, const V2BlockExtent& extent,
+                   ProcessId rank, std::vector<Event>& out) {
+  const unsigned char* block = image + extent.offset;
+  PERFVAR_REQUIRE_E(
+      fnv1a(block, static_cast<std::size_t>(extent.size)) == extent.hash,
+      "binary trace v2: block checksum mismatch",
+      ErrorContext::at(ErrorCode::ChecksumMismatch, extent.offset,
+                       static_cast<std::int64_t>(rank)));
+  decodeEvents(block, block + extent.size, extent.events, out);
+}
+
+void salvageV2Block(const unsigned char* image, std::size_t fileSize,
+                    const V2BlockExtent& extent, ProcessId rank,
+                    std::size_t functionCount, std::size_t metricCount,
+                    std::size_t processCount, RankLoadStatus& status,
+                    std::vector<Event>& out) {
+  status.bytesTotal = extent.size;
+  status.eventsDeclared = extent.events;
+  ErrorCode fault = extent.fault;
+  if (fault == ErrorCode::None) {
+    const unsigned char* block = image + extent.offset;
+    if (fnv1a(block, static_cast<std::size_t>(extent.size)) == extent.hash) {
+      try {
+        decodeEvents(block, block + extent.size, extent.events, out);
+        status.ok = true;
+        status.error = ErrorCode::None;
+        status.bytesSalvaged = extent.size;
+        status.eventsSalvaged = extent.events;
+        return;  // rank is healthy
+      } catch (const Error& e) {
+        fault = e.code() == ErrorCode::Generic ? ErrorCode::MalformedEvent
+                                               : e.code();
+        out.clear();
+      }
+    } else {
+      fault = ErrorCode::ChecksumMismatch;
+    }
+    status.bytesSalvaged = decodeEventsLenient(block, block + extent.size,
+                                               extent.events, out);
+  } else if (fault == ErrorCode::TruncatedInput && extent.offset < fileSize) {
+    // Tail block cut off mid-write: decode the bytes that made it.
+    const unsigned char* block = image + extent.offset;
+    status.bytesSalvaged = decodeEventsLenient(block, image + fileSize,
+                                               extent.events, out);
+  }
+  status.ok = false;
+  status.error = fault;
+  status.eventsSalvaged = balanceSalvagedEvents(
+      out, functionCount, metricCount, processCount, rank);
+  status.eventsDropped = extent.events > status.eventsSalvaged
+                             ? extent.events - status.eventsSalvaged
+                             : 0;
+}
+
 void writeBinaryV2(const Trace& trace, std::ostream& out,
                    const BinaryWriteOptions& options) {
   const std::size_t nProcs = trace.processes.size();
@@ -516,15 +607,11 @@ Trace readBinaryV2(const unsigned char* image, std::size_t size,
       pool, layout.table.size(), 1, [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
           const TableEntry& t = layout.table[i];
-          const unsigned char* block = image + t.offset;
-          PERFVAR_REQUIRE_E(
-              fnv1a(block, static_cast<std::size_t>(t.size)) == t.hash,
-              "binary trace v2: block checksum mismatch",
-              ErrorContext::at(ErrorCode::ChecksumMismatch, t.offset,
-                               static_cast<std::int64_t>(i)));
+          const V2BlockExtent extent{t.offset, t.size, t.events, t.hash,
+                                     ErrorCode::None};
           trace.processes[i].name = names[i];
-          decodeEvents(block, block + t.size, t.events,
-                       trace.processes[i].events);
+          decodeV2Block(image, extent, static_cast<ProcessId>(i),
+                        trace.processes[i].events);
         }
       });
 
@@ -613,43 +700,12 @@ Trace readBinaryV2Salvage(const unsigned char* image, std::size_t size,
       const TableEntry& t = layout.table[i];
       RankLoadStatus& st = report.ranks[i];
       st.process = names[i];
-      st.bytesTotal = t.size;
-      st.eventsDeclared = t.events;
       trace.processes[i].name = names[i];
-      std::vector<Event>& events = trace.processes[i].events;
-
-      ErrorCode fault = layout.blockFault[i];
-      if (fault == ErrorCode::None) {
-        const unsigned char* block = image + t.offset;
-        if (fnv1a(block, static_cast<std::size_t>(t.size)) == t.hash) {
-          try {
-            decodeEvents(block, block + t.size, t.events, events);
-            st.bytesSalvaged = t.size;
-            st.eventsSalvaged = t.events;
-            continue;  // rank is healthy
-          } catch (const Error& e) {
-            fault = e.code() == ErrorCode::Generic ? ErrorCode::MalformedEvent
-                                                   : e.code();
-            events.clear();
-          }
-        } else {
-          fault = ErrorCode::ChecksumMismatch;
-        }
-        st.bytesSalvaged = decodeEventsLenient(block, block + t.size,
-                                               t.events, events);
-      } else if (fault == ErrorCode::TruncatedInput && t.offset < size) {
-        // Tail block cut off mid-write: decode the bytes that made it.
-        const unsigned char* block = image + t.offset;
-        st.bytesSalvaged = decodeEventsLenient(block, image + size,
-                                               t.events, events);
-      }
-      st.ok = false;
-      st.error = fault;
-      st.eventsSalvaged = balanceSalvagedEvents(
-          events, trace.functions.size(), trace.metrics.size(), nProcs,
-          static_cast<ProcessId>(i));
-      st.eventsDropped =
-          t.events > st.eventsSalvaged ? t.events - st.eventsSalvaged : 0;
+      const V2BlockExtent extent{t.offset, t.size, t.events, t.hash,
+                                 layout.blockFault[i]};
+      salvageV2Block(image, size, extent, static_cast<ProcessId>(i),
+                     trace.functions.size(), trace.metrics.size(), nProcs,
+                     st, trace.processes[i].events);
     }
   });
   return trace;
@@ -714,6 +770,7 @@ AppendStats appendBinaryV2(Trace& trace, const unsigned char* image,
     ++stats.processesTouched;
     stats.eventsAppended += add.size();
   }
+  trace.invalidateTimeBounds();
   return stats;
 }
 

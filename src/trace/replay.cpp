@@ -4,14 +4,14 @@
 
 namespace perfvar::trace {
 
-void replayProcess(const ProcessTrace& process, const ReplayVisitor& visitor) {
+void replayEvents(EventSpan events, const ReplayVisitor& visitor) {
   struct OpenFrame {
     FunctionId function;
     Timestamp enterTime;
     Timestamp childrenTime;
   };
   std::vector<OpenFrame> stack;
-  for (const Event& e : process.events) {
+  for (const Event& e : events) {
     switch (e.kind) {
       case EventKind::Enter: {
         if (visitor.onEnter) {
@@ -61,19 +61,29 @@ void replayProcess(const ProcessTrace& process, const ReplayVisitor& visitor) {
   PERFVAR_REQUIRE(stack.empty(), "replay: unclosed frames at stream end");
 }
 
-void replayTrace(const Trace& trace,
+void replayProcess(const ProcessTrace& process, const ReplayVisitor& visitor) {
+  replayEvents(EventSpan(process.events.data(), process.events.size()),
+               visitor);
+}
+
+void replayTrace(const TraceView& trace,
                  const std::function<ReplayVisitor(ProcessId)>& makeVisitor) {
-  for (ProcessId p = 0; p < trace.processes.size(); ++p) {
-    replayProcess(trace.processes[p], makeVisitor(p));
+  for (ProcessId p = 0; p < trace.processCount(); ++p) {
+    const RankPin pin = trace.rank(p);
+    replayEvents(pin.events(), makeVisitor(p));
   }
 }
 
-std::vector<Frame> collectFrames(const ProcessTrace& process) {
+std::vector<Frame> collectFrames(EventSpan events) {
   std::vector<Frame> frames;
   ReplayVisitor v;
   v.onLeave = [&](const Frame& f) { frames.push_back(f); };
-  replayProcess(process, v);
+  replayEvents(events, v);
   return frames;
+}
+
+std::vector<Frame> collectFrames(const ProcessTrace& process) {
+  return collectFrames(EventSpan(process.events.data(), process.events.size()));
 }
 
 }  // namespace perfvar::trace

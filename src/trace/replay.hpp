@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "trace/view.hpp"
 
 namespace perfvar::trace {
 
@@ -41,15 +42,21 @@ struct ReplayVisitor {
   std::function<void(const Event&, std::size_t)> onMetric;
 };
 
-/// Replay one process stream. The stream must be structurally valid
-/// (use trace::validate / requireValid first); malformed streams throw.
+/// Replay one time-sorted event stream. The stream must be structurally
+/// valid (the lint structural rules — stack balance, monotonic clocks);
+/// malformed streams throw.
+void replayEvents(EventSpan events, const ReplayVisitor& visitor);
+
+/// Replay one process stream (span overload above does the work).
 void replayProcess(const ProcessTrace& process, const ReplayVisitor& visitor);
 
-/// Replay every process of a trace (in process order).
-void replayTrace(const Trace& trace,
+/// Replay every process of a view (in process order). Accepts a Trace via
+/// the implicit TraceView conversion.
+void replayTrace(const TraceView& trace,
                  const std::function<ReplayVisitor(ProcessId)>& makeVisitor);
 
-/// Collect all completed frames of a process in leave order.
+/// Collect all completed frames of a stream in leave order.
+std::vector<Frame> collectFrames(EventSpan events);
 std::vector<Frame> collectFrames(const ProcessTrace& process);
 
 }  // namespace perfvar::trace

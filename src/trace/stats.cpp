@@ -6,17 +6,18 @@
 
 namespace perfvar::trace {
 
-TraceStats computeStats(const Trace& trace) {
+TraceStats computeStats(const TraceView& trace) {
   TraceStats s;
   s.processCount = trace.processCount();
-  s.functionCount = trace.functions.size();
-  s.metricCount = trace.metrics.size();
+  s.functionCount = trace.functions().size();
+  s.metricCount = trace.metrics().size();
   s.startTime = trace.startTime();
   s.endTime = trace.endTime();
   s.durationSeconds = trace.durationSeconds();
-  for (const auto& p : trace.processes) {
+  for (ProcessId p = 0; p < trace.processCount(); ++p) {
+    const RankPin pin = trace.rank(p);
     std::size_t depth = 0;
-    for (const Event& e : p.events) {
+    for (const Event& e : pin.events()) {
       ++s.eventCount;
       ++s.eventsByKind[static_cast<std::size_t>(e.kind)];
       switch (e.kind) {
@@ -53,6 +54,24 @@ std::size_t approxMemoryBytes(const Trace& trace) {
     bytes += sizeof(m) + m.name.size() + m.unit.size();
   }
   for (const auto& q : trace.quarantined) {
+    bytes += sizeof(q) + q.name.size();
+  }
+  return bytes;
+}
+
+std::size_t approxMemoryBytes(const TraceView& trace) {
+  std::size_t bytes = sizeof(Trace);
+  for (ProcessId p = 0; p < trace.processCount(); ++p) {
+    bytes += sizeof(ProcessTrace) + trace.processName(p).size() +
+             trace.eventCount(p) * sizeof(Event);
+  }
+  for (const auto& f : trace.functions().all()) {
+    bytes += sizeof(f) + f.name.size() + f.group.size();
+  }
+  for (const auto& m : trace.metrics().all()) {
+    bytes += sizeof(m) + m.name.size() + m.unit.size();
+  }
+  for (const auto& q : trace.quarantined()) {
     bytes += sizeof(q) + q.name.size();
   }
   return bytes;

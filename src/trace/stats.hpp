@@ -9,6 +9,7 @@
 #include <string>
 
 #include "trace/trace.hpp"
+#include "trace/view.hpp"
 
 namespace perfvar::trace {
 
@@ -27,14 +28,20 @@ struct TraceStats {
   std::size_t maxStackDepth = 0;
 };
 
-/// Compute trace statistics in one pass.
-TraceStats computeStats(const Trace& trace);
+/// Compute trace statistics in one pass (one rank pinned at a time, so
+/// out-of-core views stream within their shard budget).
+TraceStats computeStats(const TraceView& trace);
 
 /// Approximate resident size of a trace in bytes: event storage plus
 /// definition strings plus container overhead. The analysis server uses
 /// this for its memory-budget accounting, so the estimate only needs to be
 /// stable and proportional, not exact.
 std::size_t approxMemoryBytes(const Trace& trace);
+
+/// Same estimate for a view, from declared per-rank event counts — no
+/// shard is decoded, so this is cheap even for an out-of-core backend
+/// (it estimates the fully-materialized size, not the resident set).
+std::size_t approxMemoryBytes(const TraceView& trace);
 
 /// Multi-line human-readable rendering of the statistics.
 std::string formatStats(const TraceStats& stats);

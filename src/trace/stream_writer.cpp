@@ -1,0 +1,121 @@
+#include "trace/stream_writer.hpp"
+
+#include "trace/binary_format.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace perfvar::trace {
+
+namespace {
+
+// Mirrors the fixed-width layout in binary_v2.cpp (see docs/FORMAT.md):
+// prologue [0,16) = magic | version | header hash; fixed header [16,48);
+// block table at 48, 32 bytes per process.
+constexpr std::size_t kHeaderHashOffset = 8;
+constexpr std::size_t kTableOffset = 48;
+constexpr std::size_t kTableEntrySize = 32;
+
+void putU64LE(std::string& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  return util::Hasher{}
+      .bytes(reinterpret_cast<const unsigned char*>(s.data()), s.size())
+      .digest();
+}
+
+}  // namespace
+
+V2StreamWriter::V2StreamWriter(const std::string& path,
+                               std::uint64_t resolution,
+                               const FunctionRegistry& functions,
+                               const MetricRegistry& metrics,
+                               const std::vector<std::string>& processNames)
+    : out_(path, std::ios::binary), path_(path) {
+  PERFVAR_REQUIRE(!processNames.empty(),
+                  "V2StreamWriter: need at least one process");
+  PERFVAR_REQUIRE(resolution > 0, "V2StreamWriter: zero resolution");
+  PERFVAR_REQUIRE_E(out_.good(), "cannot open '" + path + "' for writing",
+                    ErrorContext::at(ErrorCode::IoFailure));
+  processCount_ = processNames.size();
+
+  const std::string defs =
+      detail::encodeV2Defs(functions, metrics, processNames);
+
+  fixedHeader_.reserve(kTableOffset - 16);
+  putU64LE(fixedHeader_, resolution);
+  putU64LE(fixedHeader_, processCount_);
+  putU64LE(fixedHeader_, defs.size());
+  putU64LE(fixedHeader_, fnv1a(defs));
+
+  table_.assign(processCount_ * kTableEntrySize, '\0');
+  offset_ = kTableOffset + table_.size() + defs.size();
+
+  std::string prologue;
+  prologue.append(detail::kBinaryMagic, 4);
+  for (int i = 0; i < 4; ++i) {
+    prologue.push_back(
+        static_cast<char>((kBinaryFormatV2 >> (8 * i)) & 0xFF));
+  }
+  putU64LE(prologue, 0);  // header-hash placeholder, sealed by finish()
+
+  out_.write(prologue.data(), static_cast<std::streamsize>(prologue.size()));
+  out_.write(fixedHeader_.data(),
+             static_cast<std::streamsize>(fixedHeader_.size()));
+  out_.write(table_.data(), static_cast<std::streamsize>(table_.size()));
+  out_.write(defs.data(), static_cast<std::streamsize>(defs.size()));
+  PERFVAR_REQUIRE_E(out_.good(), "write to '" + path_ + "' failed",
+                    ErrorContext::at(ErrorCode::IoFailure));
+}
+
+void V2StreamWriter::writeRank(ProcessId rank, const Event* events,
+                               std::size_t count) {
+  PERFVAR_REQUIRE(!finished_, "V2StreamWriter: writeRank after finish");
+  PERFVAR_REQUIRE(rank == nextRank_,
+                  "V2StreamWriter: ranks must be written in process order");
+  PERFVAR_REQUIRE(nextRank_ < processCount_,
+                  "V2StreamWriter: more ranks than declared processes");
+
+  const std::string block = detail::encodeV2Events(events, count);
+
+  std::string entry;
+  entry.reserve(kTableEntrySize);
+  putU64LE(entry, offset_);
+  putU64LE(entry, block.size());
+  putU64LE(entry, count);
+  putU64LE(entry, fnv1a(block));
+  table_.replace(nextRank_ * kTableEntrySize, kTableEntrySize, entry);
+
+  out_.write(block.data(), static_cast<std::streamsize>(block.size()));
+  PERFVAR_REQUIRE_E(out_.good(), "write to '" + path_ + "' failed",
+                    ErrorContext::at(ErrorCode::IoFailure));
+  offset_ += block.size();
+  ++nextRank_;
+}
+
+void V2StreamWriter::finish() {
+  PERFVAR_REQUIRE(!finished_, "V2StreamWriter: finish called twice");
+  PERFVAR_REQUIRE(nextRank_ == processCount_,
+                  "V2StreamWriter: finish before every rank was written");
+  finished_ = true;
+
+  // Patch the now-complete block table, then re-seal the header hash over
+  // [16, 48 + 32 * P) — exactly the bytes writeBinary() hashes, so the
+  // file is byte-identical to a one-shot write of the same trace.
+  out_.seekp(static_cast<std::streamoff>(kTableOffset));
+  out_.write(table_.data(), static_cast<std::streamsize>(table_.size()));
+
+  std::string headerHash;
+  putU64LE(headerHash, fnv1a(fixedHeader_ + table_));
+  out_.seekp(static_cast<std::streamoff>(kHeaderHashOffset));
+  out_.write(headerHash.data(),
+             static_cast<std::streamsize>(headerHash.size()));
+  out_.close();
+  PERFVAR_REQUIRE_E(out_.good(), "write to '" + path_ + "' failed",
+                    ErrorContext::at(ErrorCode::IoFailure));
+}
+
+}  // namespace perfvar::trace

@@ -4,6 +4,44 @@
 
 namespace perfvar::trace {
 
+Trace::Trace(const Trace& other)
+    : resolution(other.resolution),
+      functions(other.functions),
+      metrics(other.metrics),
+      processes(other.processes),
+      quarantined(other.quarantined) {}
+
+Trace& Trace::operator=(const Trace& other) {
+  if (this != &other) {
+    resolution = other.resolution;
+    functions = other.functions;
+    metrics = other.metrics;
+    processes = other.processes;
+    quarantined = other.quarantined;
+    invalidateTimeBounds();
+  }
+  return *this;
+}
+
+Trace::Trace(Trace&& other) noexcept
+    : resolution(other.resolution),
+      functions(std::move(other.functions)),
+      metrics(std::move(other.metrics)),
+      processes(std::move(other.processes)),
+      quarantined(std::move(other.quarantined)) {}
+
+Trace& Trace::operator=(Trace&& other) noexcept {
+  if (this != &other) {
+    resolution = other.resolution;
+    functions = std::move(other.functions);
+    metrics = std::move(other.metrics);
+    processes = std::move(other.processes);
+    quarantined = std::move(other.quarantined);
+    invalidateTimeBounds();
+  }
+  return *this;
+}
+
 bool Trace::isQuarantined(ProcessId p) const {
   for (const auto& q : quarantined) {
     if (q.process == p) {
@@ -21,26 +59,39 @@ std::size_t Trace::eventCount() const {
   return n;
 }
 
-Timestamp Trace::startTime() const {
-  Timestamp t = 0;
+void Trace::computeTimeBounds() const {
+  Timestamp start = 0;
+  Timestamp end = 0;
   bool any = false;
   for (const auto& p : processes) {
     if (!p.events.empty()) {
-      t = any ? std::min(t, p.events.front().time) : p.events.front().time;
+      start = any ? std::min(start, p.events.front().time)
+                  : p.events.front().time;
+      end = std::max(end, p.events.back().time);
       any = true;
     }
   }
-  return t;
+  cachedStart_.store(start, std::memory_order_relaxed);
+  cachedEnd_.store(end, std::memory_order_relaxed);
+  boundsCached_.store(true, std::memory_order_release);
+}
+
+Timestamp Trace::startTime() const {
+  if (!boundsCached_.load(std::memory_order_acquire)) {
+    computeTimeBounds();
+  }
+  return cachedStart_.load(std::memory_order_relaxed);
 }
 
 Timestamp Trace::endTime() const {
-  Timestamp t = 0;
-  for (const auto& p : processes) {
-    if (!p.events.empty()) {
-      t = std::max(t, p.events.back().time);
-    }
+  if (!boundsCached_.load(std::memory_order_acquire)) {
+    computeTimeBounds();
   }
-  return t;
+  return cachedEnd_.load(std::memory_order_relaxed);
+}
+
+void Trace::invalidateTimeBounds() {
+  boundsCached_.store(false, std::memory_order_release);
 }
 
 double Trace::durationSeconds() const {

@@ -4,6 +4,7 @@
 /// \file trace.hpp
 /// The in-memory trace container and its validation.
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -46,6 +47,14 @@ struct Trace {
   /// ranks (see trace::dropQuarantined / analysis::analyzeTrace).
   std::vector<QuarantinedRank> quarantined;
 
+  Trace() = default;
+  // The copy/move members exist only because of the atomic time-bounds
+  // cache below; copies and moved-into traces start with a cold cache.
+  Trace(const Trace& other);
+  Trace& operator=(const Trace& other);
+  Trace(Trace&& other) noexcept;
+  Trace& operator=(Trace&& other) noexcept;
+
   std::size_t processCount() const { return processes.size(); }
 
   /// True when process `p` was quarantined by a salvage load.
@@ -54,48 +63,37 @@ struct Trace {
   /// Total number of events across all processes.
   std::size_t eventCount() const;
 
-  /// Earliest event timestamp (0 for an empty trace).
+  /// Earliest event timestamp (0 for an empty trace). Memoized: the first
+  /// call scans every stream, later calls return the cached bound. See
+  /// invalidateTimeBounds() for the mutation contract.
   Timestamp startTime() const;
 
-  /// Latest event timestamp (0 for an empty trace).
+  /// Latest event timestamp (0 for an empty trace). Memoized like
+  /// startTime().
   Timestamp endTime() const;
+
+  /// Drop the cached start/end time bounds. The library's own mutation
+  /// seams (appendBinaryBuffer, TraceBuilder, assignment) invalidate for
+  /// you; call this yourself after mutating `processes` event streams
+  /// directly on a trace whose bounds were already queried.
+  void invalidateTimeBounds();
 
   /// Trace duration in seconds.
   double durationSeconds() const;
 
   /// Seconds represented by `t` ticks under this trace's resolution.
   double toSeconds(Timestamp t) const { return ticksToSeconds(t, resolution); }
+
+private:
+  void computeTimeBounds() const;
+
+  // Thread-safe memoization of startTime()/endTime(): concurrent readers
+  // may race to compute, but they store identical values through atomics
+  // (the scan is deterministic), so the cache is benign under TSan.
+  mutable std::atomic<Timestamp> cachedStart_{0};
+  mutable std::atomic<Timestamp> cachedEnd_{0};
+  mutable std::atomic<bool> boundsCached_{false};
 };
-
-/// One problem found by validate().
-struct ValidationIssue {
-  ProcessId process = 0;
-  std::size_t eventIndex = 0;  ///< index into the process event stream
-  std::string message;
-};
-
-/// Structural validation of a trace. Checks per process stream:
-///  - timestamps are non-decreasing,
-///  - Enter/Leave are properly nested and Leave matches the innermost Enter,
-///  - every referenced function/metric id is defined,
-///  - all Enter frames are closed by the end of the stream.
-/// Message events are additionally checked for self-messages.
-/// Returns all issues found (empty == valid).
-///
-/// Deprecated: validate() is subsumed by the lint engine (lint/lint.hpp)
-/// and now forwards to it, running exactly the structural rules listed
-/// above (clock-monotonicity, stack-balance, undefined-function-ref,
-/// undefined-metric-ref, message-endpoints); issue order and messages are
-/// unchanged. New code should call lint::lintTrace(), which also covers
-/// the semantic rules (message pairing, sync coverage, dominant
-/// eligibility, ...) and reports severities. Defined in the perfvar_lint
-/// library: linking against validate()/requireValid() requires it.
-std::vector<ValidationIssue> validate(const Trace& trace);
-
-/// Convenience: throws perfvar::Error listing the first issues if the trace
-/// is not valid. Deprecated alongside validate(); prefer checking
-/// lint::LintReport::hasAtLeast(lint::Severity::Error).
-void requireValid(const Trace& trace);
 
 }  // namespace perfvar::trace
 

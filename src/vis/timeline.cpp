@@ -28,13 +28,13 @@ const std::vector<Rgb>& categoricalPalette() {
 }
 
 /// Invoke `cb(function, t0, t1)` for every maximal interval during which
-/// `function` is on top of the call stack of `proc`.
+/// `function` is on top of the call stack of the stream.
 template <typename Callback>
-void forEachTopInterval(const trace::ProcessTrace& proc, Callback&& cb) {
+void forEachTopInterval(trace::EventSpan events, Callback&& cb) {
   std::vector<trace::FunctionId> stack;
   trace::Timestamp prev = 0;
   bool first = true;
-  for (const trace::Event& e : proc.events) {
+  for (const trace::Event& e : events) {
     if (e.kind != trace::EventKind::Enter &&
         e.kind != trace::EventKind::Leave) {
       continue;
@@ -59,7 +59,7 @@ struct TimeWindow {
   trace::Timestamp end;
 };
 
-TimeWindow resolveWindow(const trace::Trace& tr,
+TimeWindow resolveWindow(const trace::TraceView& tr,
                          const TimelineOptions& options) {
   if (options.windowEnd > options.windowStart) {
     return {options.windowStart, options.windowEnd};
@@ -69,15 +69,15 @@ TimeWindow resolveWindow(const trace::Trace& tr,
 
 }  // namespace
 
-FunctionColors FunctionColors::standard(const trace::Trace& tr) {
+FunctionColors FunctionColors::standard(const trace::TraceView& tr) {
   FunctionColors fc;
-  fc.trace_ = &tr;
-  fc.byFunction_.resize(tr.functions.size());
+  fc.view_ = tr;
+  fc.byFunction_.resize(tr.functions().size());
   std::map<std::string, Rgb> groupColor;
   std::size_t nextPaletteSlot = 0;
 
-  for (std::size_t f = 0; f < tr.functions.size(); ++f) {
-    const auto& def = tr.functions.at(static_cast<trace::FunctionId>(f));
+  for (std::size_t f = 0; f < tr.functions().size(); ++f) {
+    const auto& def = tr.functions().at(static_cast<trace::FunctionId>(f));
     Rgb c;
     switch (def.paradigm) {
       case trace::Paradigm::MPI:
@@ -111,8 +111,8 @@ FunctionColors FunctionColors::standard(const trace::Trace& tr) {
 
   // Legend: one entry per distinct label.
   std::map<std::string, Rgb> legendMap;
-  for (std::size_t f = 0; f < tr.functions.size(); ++f) {
-    const auto& def = tr.functions.at(static_cast<trace::FunctionId>(f));
+  for (std::size_t f = 0; f < tr.functions().size(); ++f) {
+    const auto& def = tr.functions().at(static_cast<trace::FunctionId>(f));
     std::string label;
     if (def.paradigm == trace::Paradigm::MPI) {
       label = "MPI";
@@ -135,9 +135,9 @@ Rgb FunctionColors::color(trace::FunctionId f) const {
 }
 
 void FunctionColors::setGroupColor(const std::string& group, Rgb c) {
-  PERFVAR_REQUIRE(trace_ != nullptr, "uninitialized FunctionColors");
-  for (std::size_t f = 0; f < trace_->functions.size(); ++f) {
-    if (trace_->functions.at(static_cast<trace::FunctionId>(f)).group ==
+  PERFVAR_REQUIRE(view_.valid(), "uninitialized FunctionColors");
+  for (std::size_t f = 0; f < view_.functions().size(); ++f) {
+    if (view_.functions().at(static_cast<trace::FunctionId>(f)).group ==
         group) {
       byFunction_[f] = c;
     }
@@ -154,17 +154,17 @@ std::vector<std::pair<std::string, Rgb>> FunctionColors::legend() const {
 }
 
 std::vector<std::vector<trace::FunctionId>> timelineBins(
-    const trace::Trace& tr, const TimelineOptions& options) {
+    const trace::TraceView& tr, const TimelineOptions& options) {
   PERFVAR_REQUIRE(options.bins > 0, "timeline needs at least one bin");
   const TimeWindow window = resolveWindow(tr, options);
   const double span = static_cast<double>(window.end - window.start);
   const std::size_t bins = options.bins;
-  const std::size_t nFuncs = tr.functions.size();
+  const std::size_t nFuncs = tr.functions().size();
 
   std::vector<std::vector<trace::FunctionId>> result(
       tr.processCount(),
       std::vector<trace::FunctionId>(bins, trace::kInvalidFunction));
-  for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
+  for (trace::ProcessId p = 0; p < tr.processCount(); ++p) {
     if (tr.isQuarantined(p)) {
       std::fill(result[p].begin(), result[p].end(), kTimelineNoData);
     }
@@ -176,15 +176,16 @@ std::vector<std::vector<trace::FunctionId>> timelineBins(
   // coverage[bin][func] = covered ticks within the bin.
   std::vector<std::vector<double>> coverage(bins,
                                             std::vector<double>(nFuncs, 0.0));
-  for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
+  for (trace::ProcessId p = 0; p < tr.processCount(); ++p) {
     if (tr.isQuarantined(p)) {
       continue;
     }
     for (auto& binRow : coverage) {
       std::fill(binRow.begin(), binRow.end(), 0.0);
     }
+    const trace::RankPin pin = tr.rank(p);
     forEachTopInterval(
-        tr.processes[p],
+        pin.events(),
         [&](trace::FunctionId f, trace::Timestamp t0, trace::Timestamp t1) {
           const trace::Timestamp a = std::max(t0, window.start);
           const trace::Timestamp b = std::min(t1, window.end);
@@ -225,7 +226,8 @@ std::vector<std::vector<trace::FunctionId>> timelineBins(
   return result;
 }
 
-Image renderTimelineImage(const trace::Trace& tr, const FunctionColors& colors,
+Image renderTimelineImage(const trace::TraceView& tr,
+                          const FunctionColors& colors,
                           const TimelineOptions& options) {
   const auto bins = timelineBins(tr, options);
   const std::size_t rows = bins.size();
@@ -266,7 +268,7 @@ Image renderTimelineImage(const trace::Trace& tr, const FunctionColors& colors,
   return img;
 }
 
-SvgDocument renderTimelineSvg(const trace::Trace& tr,
+SvgDocument renderTimelineSvg(const trace::TraceView& tr,
                               const FunctionColors& colors,
                               const TimelineOptions& options) {
   const auto bins = timelineBins(tr, options);
@@ -319,11 +321,12 @@ SvgDocument renderTimelineSvg(const trace::Trace& tr,
       std::map<std::tuple<trace::ProcessId, trace::ProcessId, std::uint32_t>,
                std::vector<trace::Timestamp>>
           pendingSends;
-      for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
+      for (trace::ProcessId p = 0; p < tr.processCount(); ++p) {
         if (tr.isQuarantined(p)) {
           continue;  // salvaged partial streams are not trustworthy
         }
-        for (const auto& e : tr.processes[p].events) {
+        const trace::RankPin pin = tr.rank(p);
+        for (const auto& e : pin.events()) {
           if (e.kind == trace::EventKind::MpiSend) {
             pendingSends[{p, e.ref, e.aux}].push_back(e.time);
           }
@@ -333,11 +336,12 @@ SvgDocument renderTimelineSvg(const trace::Trace& tr,
                std::size_t>
           nextSend;
       std::vector<Msg> messages;
-      for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
+      for (trace::ProcessId p = 0; p < tr.processCount(); ++p) {
         if (tr.isQuarantined(p)) {
           continue;
         }
-        for (const auto& e : tr.processes[p].events) {
+        const trace::RankPin pin = tr.rank(p);
+        for (const auto& e : pin.events()) {
           if (e.kind == trace::EventKind::MpiRecv) {
             const auto key = std::make_tuple(
                 static_cast<trace::ProcessId>(e.ref), p, e.aux);
@@ -386,15 +390,15 @@ SvgDocument renderTimelineSvg(const trace::Trace& tr,
   return svg;
 }
 
-std::string renderTimelineAscii(const trace::Trace& tr,
+std::string renderTimelineAscii(const trace::TraceView& tr,
                                 const TimelineOptions& options) {
   const auto bins = timelineBins(tr, options);
   // Assign letters per function group (MPI gets '#').
   std::map<std::string, char> groupChar;
-  std::vector<char> funcChar(tr.functions.size(), '?');
+  std::vector<char> funcChar(tr.functions().size(), '?');
   char next = 'a';
-  for (std::size_t f = 0; f < tr.functions.size(); ++f) {
-    const auto& def = tr.functions.at(static_cast<trace::FunctionId>(f));
+  for (std::size_t f = 0; f < tr.functions().size(); ++f) {
+    const auto& def = tr.functions().at(static_cast<trace::FunctionId>(f));
     if (def.paradigm == trace::Paradigm::MPI) {
       funcChar[f] = '#';
       continue;
@@ -429,7 +433,7 @@ std::string renderTimelineAscii(const trace::Trace& tr,
     for (const auto& [label, c] : groupChar) {
       os << ", " << c << " = " << label;
     }
-    if (!tr.quarantined.empty()) {
+    if (!tr.quarantined().empty()) {
       os << ", x = no data (quarantined)";
     }
     os << '\n';
@@ -437,8 +441,8 @@ std::string renderTimelineAscii(const trace::Trace& tr,
   return os.str();
 }
 
-std::vector<std::vector<double>> paradigmShareOverTime(const trace::Trace& tr,
-                                                       std::size_t bins) {
+std::vector<std::vector<double>> paradigmShareOverTime(
+    const trace::TraceView& tr, std::size_t bins) {
   PERFVAR_REQUIRE(bins > 0, "needs at least one bin");
   const trace::Timestamp start = tr.startTime();
   const trace::Timestamp end = tr.endTime();
@@ -451,12 +455,13 @@ std::vector<std::vector<double>> paradigmShareOverTime(const trace::Trace& tr,
   }
   std::vector<double> busy(bins, 0.0);
   const double binWidth = span / static_cast<double>(bins);
-  for (const auto& proc : tr.processes) {
+  for (trace::ProcessId p = 0; p < tr.processCount(); ++p) {
+    const trace::RankPin pin = tr.rank(p);
     forEachTopInterval(
-        proc,
+        pin.events(),
         [&](trace::FunctionId f, trace::Timestamp t0, trace::Timestamp t1) {
           const auto paradigm = static_cast<std::size_t>(
-              tr.functions.at(f).paradigm);
+              tr.functions().at(f).paradigm);
           const auto firstBin = static_cast<std::size_t>(
               static_cast<double>(t0 - start) / binWidth);
           const auto lastBin = std::min(

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "trace/view.hpp"
 #include "vis/color.hpp"
 #include "vis/image.hpp"
 #include "vis/svg.hpp"
@@ -26,7 +27,7 @@ class FunctionColors {
 public:
   /// Default palette: MPI red, IO brown, OpenMP orange; application
   /// groups cycle through a categorical palette; ungrouped compute green.
-  static FunctionColors standard(const trace::Trace& trace);
+  static FunctionColors standard(const trace::TraceView& trace);
 
   Rgb color(trace::FunctionId f) const;
 
@@ -38,7 +39,7 @@ public:
 
 private:
   FunctionColors() = default;
-  const trace::Trace* trace_ = nullptr;
+  trace::TraceView view_;  ///< shares the backend; keeps registries alive
   std::vector<Rgb> byFunction_;
   std::vector<std::pair<std::string, Rgb>> legend_;
 };
@@ -79,22 +80,22 @@ inline constexpr trace::FunctionId kTimelineNoData =
 /// salvaged partial data is deliberately not drawn as if it were sound.
 /// Exposed for tests and ASCII rendering.
 std::vector<std::vector<trace::FunctionId>> timelineBins(
-    const trace::Trace& trace, const TimelineOptions& options);
+    const trace::TraceView& trace, const TimelineOptions& options);
 
 /// Raster timeline.
-Image renderTimelineImage(const trace::Trace& trace,
+Image renderTimelineImage(const trace::TraceView& trace,
                           const FunctionColors& colors,
                           const TimelineOptions& options);
 
 /// SVG timeline (with optional message lines).
-SvgDocument renderTimelineSvg(const trace::Trace& trace,
+SvgDocument renderTimelineSvg(const trace::TraceView& trace,
                               const FunctionColors& colors,
                               const TimelineOptions& options);
 
 /// ASCII timeline for terminals: one character per (process, bin); each
 /// function group gets a letter (its legend is appended), MPI renders as
 /// '#', idle as ' '. Useful for quick looks at traces over SSH.
-std::string renderTimelineAscii(const trace::Trace& trace,
+std::string renderTimelineAscii(const trace::TraceView& trace,
                                 const TimelineOptions& options);
 
 /// Fraction of total stack-top time per paradigm over `bins` time bins,
@@ -102,7 +103,7 @@ std::string renderTimelineAscii(const trace::Trace& trace,
 /// regenerates "MPI share grows over the run" observations from timeline
 /// views.
 std::vector<std::vector<double>> paradigmShareOverTime(
-    const trace::Trace& trace, std::size_t bins);
+    const trace::TraceView& trace, std::size_t bins);
 
 }  // namespace perfvar::vis
 

@@ -197,7 +197,8 @@ TEST(Baselines, ProfileDetectorRanksByExclusiveComputeTime) {
     b.enter(p, w, mpi);
     b.leave(p, 300, mpi);  // equalizing barrier
   }
-  const auto outcome = detectByProfile(b.finish());
+  const trace::Trace tr = b.finish();
+  const auto outcome = detectByProfile(tr);
   EXPECT_EQ(outcome.method, "profile-only");
   EXPECT_EQ(outcome.rankedProcesses[0], 2u);
   EXPECT_EQ(outcome.rankedProcesses[2], 0u);

@@ -88,7 +88,8 @@ TEST(Patterns, BalancedRunHasNoSeverity) {
     b.enter(p, 100, fBarrier);
     b.leave(p, 110, fBarrier);
   }
-  const PatternReport report = findWaitStates(b.finish());
+  const trace::Trace tr = b.finish();
+  const PatternReport report = findWaitStates(tr);
   EXPECT_EQ(report.totalSeverity, 0.0);
   EXPECT_TRUE(report.instances.empty());
 }
@@ -195,35 +196,27 @@ TEST(Export, TextFormatMatchesFormatAnalysis) {
             formatAnalysis(figureTrace(), result));
 }
 
-// The old per-format entry points must keep compiling and producing
-// byte-identical output until they are removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Export, DeprecatedForwardersMatchExportReport) {
+// The per-format writers (now internal) are exactly what exportReport
+// dispatches to — the format-selection layer adds nothing.
+TEST(Export, PerFormatWritersMatchExportReport) {
   const AnalysisResult result = figureResult();
   const trace::Trace& tr = figureTrace();
 
-  EXPECT_EQ(sosMatrixCsv(*result.sos),
-            exportReportString(tr, result, ExportFormat::Csv));
-  EXPECT_EQ(analysisJson(tr, result.selection, *result.sos, result.variation),
-            exportReportString(tr, result, ExportFormat::Json));
+  std::ostringstream direct;
+  detail::writeSosMatrixCsv(*result.sos, direct);
+  detail::writeIterationStatsCsv(result.variation, direct);
+  detail::writeHotspotsCsv(tr, result.variation, direct);
+  detail::writeAnalysisJson(tr, result.selection, *result.sos,
+                            result.variation, direct);
 
-  std::ostringstream oldOut;
-  writeSosMatrixCsv(*result.sos, oldOut);
-  writeIterationStatsCsv(result.variation, oldOut);
-  writeHotspotsCsv(tr, result.variation, oldOut);
-  writeAnalysisJson(tr, result.selection, *result.sos, result.variation,
-                    oldOut);
+  std::ostringstream dispatched;
+  exportReport(tr, result, ExportFormat::Csv, dispatched);
+  exportReport(tr, result, ExportFormat::CsvIterations, dispatched);
+  exportReport(tr, result, ExportFormat::CsvHotspots, dispatched);
+  exportReport(tr, result, ExportFormat::Json, dispatched);
 
-  std::ostringstream newOut;
-  exportReport(tr, result, ExportFormat::Csv, newOut);
-  exportReport(tr, result, ExportFormat::CsvIterations, newOut);
-  exportReport(tr, result, ExportFormat::CsvHotspots, newOut);
-  exportReport(tr, result, ExportFormat::Json, newOut);
-
-  EXPECT_EQ(oldOut.str(), newOut.str());
+  EXPECT_EQ(direct.str(), dispatched.str());
 }
-#pragma GCC diagnostic pop
 
 // --- ASCII timeline ------------------------------------------------------------------
 

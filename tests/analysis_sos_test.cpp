@@ -55,7 +55,8 @@ TEST(Segments, ProcessWithoutFunctionGetsNoSegments) {
   b.leave(0, 5, f);
   b.enter(1, 0, g);
   b.leave(1, 5, g);
-  const auto segments = extractSegments(b.finish(), f);
+  const trace::Trace tr = b.finish();
+  const auto segments = extractSegments(tr, f);
   EXPECT_EQ(segments[0].size(), 1u);
   EXPECT_TRUE(segments[1].empty());
 }

@@ -8,6 +8,7 @@
 #include "apps/wrf.hpp"
 #include "trace/trace.hpp"
 #include "util/error.hpp"
+#include "lint/lint.hpp"
 
 namespace perfvar::apps {
 namespace {
@@ -73,9 +74,12 @@ TEST(CloudField, BlockMassesMatchPointQueries) {
 // --- paper examples --------------------------------------------------------------
 
 TEST(PaperExamples, AllTracesAreValid) {
-  EXPECT_TRUE(trace::validate(buildFigure1Trace()).empty());
-  EXPECT_TRUE(trace::validate(buildFigure2Trace()).empty());
-  EXPECT_TRUE(trace::validate(buildFigure3Trace()).empty());
+  const trace::Trace fig1 = buildFigure1Trace();
+  const trace::Trace fig2 = buildFigure2Trace();
+  const trace::Trace fig3 = buildFigure3Trace();
+  EXPECT_TRUE(lint::validateStructure(fig1).empty());
+  EXPECT_TRUE(lint::validateStructure(fig2).empty());
+  EXPECT_TRUE(lint::validateStructure(fig3).empty());
 }
 
 TEST(PaperExamples, Figure3NarrativeNumbers) {
@@ -113,7 +117,7 @@ TEST(CosmoSpecs, ProducesAValidTraceWithGrowingImbalance) {
   const CosmoSpecsScenario scenario = buildCosmoSpecs(cfg);
   const trace::Trace tr =
       sim::simulate(scenario.program, scenario.simOptions);
-  EXPECT_TRUE(trace::validate(tr).empty());
+  EXPECT_TRUE(lint::validateStructure(tr).empty());
   EXPECT_EQ(tr.processCount(), 16u);
   // Iteration function appears timesteps times per rank.
   std::size_t iterFrames = 0;
@@ -179,7 +183,7 @@ TEST(CosmoSpecsFd4, GroundTruthIndicesAreConsistent) {
   EXPECT_EQ(scenario.culpritFineSegment, 3u * 4u + 1u);
   const trace::Trace tr =
       sim::simulate(scenario.program, scenario.simOptions);
-  EXPECT_TRUE(trace::validate(tr).empty());
+  EXPECT_TRUE(lint::validateStructure(tr).empty());
 }
 
 TEST(CosmoSpecsFd4, RejectsOutOfRangePositions) {
@@ -202,7 +206,7 @@ TEST(Wrf, ProducesValidTraceWithFpeCounter) {
   cfg.noiseSigma = 0.0;
   const WrfScenario scenario = buildWrf(cfg);
   const trace::Trace tr = sim::simulate(scenario.program, scenario.simOptions);
-  EXPECT_TRUE(trace::validate(tr).empty());
+  EXPECT_TRUE(lint::validateStructure(tr).empty());
   const auto fpe = tr.metrics.find(scenario.fpExceptionMetricName);
   ASSERT_TRUE(fpe.has_value());
   // Rank 9 accumulates far more exceptions than any other rank.

@@ -209,7 +209,7 @@ TEST(Engine, LruEvictionKeepsResultsCorrectAndOwned) {
   EXPECT_GT(eng.cacheStats().evictions, 0u);
 
   // The result handed out before the churn still works (shared ownership).
-  EXPECT_EQ(analysis::formatAnalysis(*first.trace, *first.selection,
+  EXPECT_EQ(analysis::formatAnalysis(first.trace, *first.selection,
                                      *first.sos, *first.variation),
             firstReport);
   // And a re-query after eviction recomputes correctly.
@@ -236,8 +236,8 @@ TEST(Engine, ResultOutlivesTheEngine) {
     engine::AnalysisEngine eng{std::move(tr)};
     result = eng.analyze();
   }
-  // The engine is gone; the shared trace and stages keep the result valid.
-  EXPECT_EQ(analysis::formatAnalysis(*result.trace, *result.selection,
+  // The engine is gone; the shared view and stages keep the result valid.
+  EXPECT_EQ(analysis::formatAnalysis(result.trace, *result.selection,
                                      *result.sos, *result.variation),
             expected);
 }

@@ -23,6 +23,7 @@
 #include "trace/fault_injection.hpp"
 #include "trace/filter.hpp"
 #include "util/error.hpp"
+#include "lint/lint.hpp"
 
 namespace perfvar::trace {
 namespace {
@@ -223,7 +224,7 @@ TEST(FaultMatrix, SalvageV2QuarantinesExactlyTheFaultyRank) {
         }
       }
       // Salvaged prefixes are balanced: the whole trace still validates.
-      EXPECT_TRUE(validate(tr).empty());
+      EXPECT_TRUE(lint::validateStructure(tr).empty());
       // The same faulty image quarantines the same ranks every time.
       LoadReport again;
       const Trace tr2 =
@@ -292,7 +293,7 @@ TEST(FaultMatrix, SalvageV1KeepsThePrefixOnTruncation) {
     EXPECT_FALSE(report.ranks[p].ok) << "rank " << p;
     EXPECT_EQ(report.ranks[p].error, ErrorCode::TruncatedInput);
   }
-  EXPECT_TRUE(validate(tr).empty());
+  EXPECT_TRUE(lint::validateStructure(tr).empty());
 }
 
 TEST(FaultMatrix, SalvageV1QuarantinesEverythingOnContentDamage) {

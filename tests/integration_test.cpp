@@ -13,6 +13,7 @@
 #include "apps/wrf.hpp"
 #include "trace/binary_io.hpp"
 #include "vis/timeline.hpp"
+#include "lint/lint.hpp"
 
 #include <sstream>
 
@@ -23,7 +24,7 @@ TEST(CaseStudyA, CosmoSpecsFullScale) {
   const apps::CosmoSpecsScenario scenario = apps::buildCosmoSpecs();
   const trace::Trace tr =
       sim::simulate(scenario.program, scenario.simOptions);
-  trace::requireValid(tr);
+  lint::requireStructurallyValid(tr);
 
   const analysis::AnalysisResult result = analysis::analyzeTrace(tr);
   // The heuristic picks the per-timestep wrapper as dominant.
@@ -88,7 +89,7 @@ TEST(CaseStudyB, Fd4InterruptionDrilldown) {
   const apps::CosmoSpecsFd4Scenario scenario = apps::buildCosmoSpecsFd4(cfg);
   const trace::Trace tr =
       sim::simulate(scenario.program, scenario.simOptions);
-  trace::requireValid(tr);
+  lint::requireStructurallyValid(tr);
 
   // Coarse: the dominant function is the coupling iteration; the top
   // hotspot is (rank 20, iteration 6).
@@ -137,7 +138,7 @@ TEST(CaseStudyC, WrfFpeCounterCorrelation) {
   const apps::WrfScenario scenario = apps::buildWrf(cfg);
   const trace::Trace tr =
       sim::simulate(scenario.program, scenario.simOptions);
-  trace::requireValid(tr);
+  lint::requireStructurallyValid(tr);
 
   const analysis::AnalysisResult result = analysis::analyzeTrace(tr);
   EXPECT_EQ(result.segmentFunction, scenario.iterationFunction);

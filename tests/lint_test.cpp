@@ -1,6 +1,6 @@
 /// Lint engine tests: rule-by-rule triggering, the determinism guarantee
 /// (byte-identical reports at 1/2/8 threads), options handling
-/// (suppression, severity floor, truncation), renderers, the validate()
+/// (suppression, severity floor, truncation), renderers, the structural
 /// forwarder equivalence, and the engine's lint-on-load gate.
 
 #include <gtest/gtest.h>
@@ -533,14 +533,15 @@ TEST(LintExport, CsvEscapesQuotes) {
   EXPECT_NE(csv.find("fn\"\"quoted"), std::string::npos);
 }
 
-// ---- validate() forwarder --------------------------------------------------
+// ---- structural validation --------------------------------------------------
 
-TEST(ValidateForwarder, CleanTraceStaysClean) {
-  EXPECT_TRUE(trace::validate(cleanTrace()).empty());
-  EXPECT_NO_THROW(trace::requireValid(cleanTrace()));
+TEST(ValidateStructure, CleanTraceStaysClean) {
+  const Trace tr = cleanTrace();
+  EXPECT_TRUE(validateStructure(tr).empty());
+  EXPECT_NO_THROW(requireStructurallyValid(tr));
 }
 
-TEST(ValidateForwarder, IssueOrderMatchesHistoricalValidator) {
+TEST(ValidateStructure, IssueOrderMatchesHistoricalValidator) {
   // The historical validator walked each rank once, reporting the
   // timestamp check before the kind checks; it skipped the stack
   // manipulation for undefined function refs. Reproduce its exact issue
@@ -555,7 +556,7 @@ TEST(ValidateForwarder, IssueOrderMatchesHistoricalValidator) {
                            Event::metric(7, 9, 0.0),   // 3: undef metric
                            Event::mpiSend(8, 0, 0, 1), // 4: self message
                            Event::mpiRecv(9, 42, 0, 1)}});  // 5: bad peer
-  const auto issues = trace::validate(tr);
+  const auto issues = validateStructure(tr);
   ASSERT_EQ(issues.size(), 7u);
   EXPECT_EQ(issues[0].eventIndex, 1u);
   EXPECT_EQ(issues[0].message, "timestamp decreases");
@@ -570,13 +571,13 @@ TEST(ValidateForwarder, IssueOrderMatchesHistoricalValidator) {
   EXPECT_EQ(issues[6].message, "1 unclosed enter frame(s), innermost 'f'");
 }
 
-TEST(ValidateForwarder, RequireValidThrowsWithContext) {
+TEST(ValidateStructure, RequireValidThrowsWithContext) {
   Trace tr;
   const auto f = tr.functions.intern("f");
   tr.processes.push_back({"p0", {}});
   tr.processes.push_back({"p1", {Event::leave(1, f)}});
   try {
-    trace::requireValid(tr);
+    requireStructurallyValid(tr);
     FAIL() << "expected Error";
   } catch (const Error& e) {
     EXPECT_EQ(e.code(), ErrorCode::MalformedEvent);
@@ -588,7 +589,7 @@ TEST(ValidateForwarder, RequireValidThrowsWithContext) {
   }
 }
 
-TEST(ValidateForwarder, SemanticRulesDoNotLeakIntoValidate) {
+TEST(ValidateStructure, SemanticRulesDoNotLeakIntoValidate) {
   // A trace with only semantic findings (no dominant candidate, zero
   // durations, unreferenced defs) must still validate cleanly.
   trace::TraceBuilder b(2);
@@ -600,7 +601,7 @@ TEST(ValidateForwarder, SemanticRulesDoNotLeakIntoValidate) {
   }
   const Trace tr = b.finish();
   EXPECT_FALSE(lintTrace(tr).clean());
-  EXPECT_TRUE(trace::validate(tr).empty());
+  EXPECT_TRUE(validateStructure(tr).empty());
 }
 
 // ---- engine integration ----------------------------------------------------

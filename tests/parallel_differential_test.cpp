@@ -333,31 +333,6 @@ TEST(ParallelDifferential, GrainSizeDoesNotChangeTheResult) {
   }
 }
 
-// The deprecated wrapper must keep forwarding to the unified entry point
-// with identical results until it is removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(ParallelDifferential, DeprecatedWrapperMatchesUnifiedEntryPoint) {
-  const trace::Trace tr = buildSynthetic(6, 10, Shape::Imbalanced);
-  analysis::PipelineOptions unified;
-  unified.threads = 3;
-  unified.grainSizeRanks = 2;
-  const analysis::AnalysisResult direct = analysis::analyzeTrace(tr, unified);
-
-  analysis::ParallelPipelineOptions legacy;
-  legacy.threads = 3;
-  legacy.grainSizeRanks = 2;
-  const analysis::AnalysisResult viaWrapper =
-      analysis::analyzeTraceParallel(tr, legacy);
-
-  expectSelectionEqual(direct.selection, viaWrapper.selection);
-  expectSosEqual(*direct.sos, *viaWrapper.sos);
-  expectVariationEqual(direct.variation, viaWrapper.variation);
-  EXPECT_EQ(analysis::formatAnalysis(tr, direct),
-            analysis::formatAnalysis(tr, viaWrapper));
-}
-#pragma GCC diagnostic pop
-
 TEST(ParallelDifferential, StageEntryPointsMatchSerial) {
   const trace::Trace tr = buildSimulated();
   util::ThreadPool pool(4);
@@ -469,16 +444,10 @@ template <typename T>
 concept SosAnalyzableAsTemporary = requires(T t) {
   analysis::analyzeSos(std::move(t), trace::FunctionId{0});
 };
-template <typename T>
-concept ParallelAnalyzableAsTemporary = requires(T t) {
-  analysis::analyzeTraceParallel(std::move(t));
-};
 static_assert(!AnalyzableAsTemporary<trace::Trace>,
               "analyzeTrace must reject temporary traces");
 static_assert(!SosAnalyzableAsTemporary<trace::Trace>,
               "analyzeSos must reject temporary traces");
-static_assert(!ParallelAnalyzableAsTemporary<trace::Trace>,
-              "analyzeTraceParallel must reject temporary traces");
 template <typename T>
 concept AnalyzableAsLvalue = requires(T& t) { analysis::analyzeTrace(t); };
 static_assert(AnalyzableAsLvalue<trace::Trace>,

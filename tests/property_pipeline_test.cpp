@@ -13,6 +13,7 @@
 #include "trace/binary_io.hpp"
 #include "trace/stats.hpp"
 #include "util/rng.hpp"
+#include "lint/lint.hpp"
 
 #include <sstream>
 
@@ -76,7 +77,7 @@ class PipelineSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(PipelineSweep, TraceIsStructurallyValid) {
   const GeneratedRun run = generate(GetParam());
-  EXPECT_TRUE(trace::validate(run.tr).empty());
+  EXPECT_TRUE(lint::validateStructure(run.tr).empty());
 }
 
 TEST_P(PipelineSweep, PipelineInvariantsHold) {

@@ -13,6 +13,7 @@
 #include "trace/text_io.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "lint/lint.hpp"
 
 namespace perfvar::trace {
 namespace {
@@ -197,7 +198,7 @@ TEST(PvtxRobustness, LineDeletionIsDetectedOrHarmless) {
     }
     try {
       const Trace loaded = fromText(mutated);
-      const bool valid = validate(loaded).empty();
+      const bool valid = lint::validateStructure(loaded).empty();
       const bool sameShape = loaded.eventCount() == original.eventCount();
       EXPECT_FALSE(valid && sameShape)
           << "deleting line " << skip << " went unnoticed: " << lines[skip];

@@ -8,6 +8,7 @@
 #include "sim/simulator.hpp"
 #include "trace/replay.hpp"
 #include "util/error.hpp"
+#include "lint/lint.hpp"
 
 namespace perfvar::sim {
 namespace {
@@ -40,7 +41,7 @@ TEST(Nonblocking, IsendCompletesImmediatelyAtWait) {
   b.recv(1, 0, 7);
   SimReport report;
   const trace::Trace tr = simulate(b.finish(), quietOptions(), &report);
-  trace::requireValid(tr);
+  lint::requireStructurallyValid(tr);
   EXPECT_EQ(report.messages, 1u);
   // The sender's MPI_Wait frame has zero width (eager completion).
   const auto fWait = *tr.functions.find("MPI_Wait");
@@ -111,7 +112,7 @@ TEST(Nonblocking, WaitAllCompletesInPostingOrder) {
   b.send(2, 0, 0, 64);
   SimReport report;
   const trace::Trace tr = simulate(b.finish(), quietOptions(), &report);
-  trace::requireValid(tr);
+  lint::requireStructurallyValid(tr);
   EXPECT_EQ(report.messages, 2u);
   // Two MPI_Wait frames on rank 0.
   const auto fWait = *tr.functions.find("MPI_Wait");

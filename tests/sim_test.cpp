@@ -6,6 +6,7 @@
 #include "sim/simulator.hpp"
 #include "trace/replay.hpp"
 #include "util/error.hpp"
+#include "lint/lint.hpp"
 
 namespace perfvar::sim {
 namespace {
@@ -73,7 +74,7 @@ TEST(Simulate, ComputeProducesMatchingEnterLeave) {
   b.compute(0, f, 0.25);
   SimReport report;
   const trace::Trace tr = simulate(b.finish(), quietOptions(), &report);
-  trace::requireValid(tr);
+  lint::requireStructurallyValid(tr);
   EXPECT_NEAR(report.makespan, 0.75, 1e-9);
   const auto frames = trace::collectFrames(tr.processes[0]);
   ASSERT_EQ(frames.size(), 2u);
@@ -293,7 +294,7 @@ TEST(Simulate, CrossedSendsDoNotDeadlock) {
   b.recv(1, 0, 0);
   SimReport report;
   const trace::Trace tr = simulate(b.finish(), quietOptions(), &report);
-  trace::requireValid(tr);
+  lint::requireStructurallyValid(tr);
   EXPECT_EQ(report.messages, 2u);
 }
 

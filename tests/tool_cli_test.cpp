@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <unistd.h>
 #include <fstream>
 #include <string>
 
@@ -50,6 +51,13 @@ RunResult run(const std::string& command) {
 
 std::string tool() { return std::string(PERFVAR_TRACE_TOOL_BIN); }
 
+/// Per-process fixture file name: ctest runs each test in its own
+/// process from one working directory, so a fixed name would let two
+/// concurrently-starting tests race on writing the same file.
+std::string uniqueName(const std::string& stem) {
+  return stem + "_" + std::to_string(getpid()) + ".pvt";
+}
+
 /// Shared fixture trace on disk (written once per test binary).
 const std::string& tracePath() {
   static const std::string path = [] {
@@ -60,7 +68,7 @@ const std::string& tracePath() {
     const auto scenario = apps::buildCosmoSpecs(cfg);
     const trace::Trace tr =
         sim::simulate(scenario.program, scenario.simOptions);
-    const std::string p = "tool_cli_test.pvt";
+    const std::string p = uniqueName("tool_cli_test");
     trace::saveBinaryFile(tr, p);
     return p;
   }();
@@ -83,7 +91,7 @@ const std::string& corruptTracePath() {
         clean, static_cast<std::size_t>(block.offset),
         static_cast<std::size_t>(block.offset) +
             static_cast<std::size_t>(block.bytes));
-    const std::string p = "tool_cli_test_corrupt.pvt";
+    const std::string p = uniqueName("tool_cli_test_corrupt");
     std::ofstream out(p, std::ios::binary | std::ios::trunc);
     out.write(reinterpret_cast<const char*>(bad.data()),
               static_cast<std::streamsize>(bad.size()));
@@ -144,8 +152,8 @@ TEST(ToolCli, InfoPrintsV2LayoutSummary) {
 }
 
 TEST(ToolCli, FormatFlagSelectsTheOnDiskLayout) {
-  const std::string v1 = "tool_cli_fmt_v1.pvt";
-  const std::string v2 = "tool_cli_fmt_v2.pvt";
+  const std::string v1 = uniqueName("tool_cli_fmt_v1");
+  const std::string v2 = uniqueName("tool_cli_fmt_v2");
   // A full-range slice is a copy; --format picks the output layout.
   ASSERT_EQ(run(tool() + " --format v1 slice " + tracePath() + " " + v1 +
                 " 0 1e6").exitCode,
@@ -227,7 +235,7 @@ TEST(ToolCli, InfoVerifyFlagsACorruptFile) {
 }
 
 TEST(ToolCli, SalvageRecoversACorruptFileIntoACleanOne) {
-  const std::string recovered = "tool_cli_test_recovered.pvt";
+  const std::string recovered = uniqueName("tool_cli_test_recovered");
   const RunResult r =
       run(tool() + " salvage " + corruptTracePath() + " " + recovered);
   ASSERT_EQ(r.exitCode, 0) << r.out;

@@ -1,0 +1,142 @@
+/// \file tool_options_test.cpp
+/// The shared trace_tool option parser (examples/tool_options.hpp): the
+/// exact parser the production front end uses, exercised directly —
+/// defaults, every flag, unknown-flag rejection, missing/malformed
+/// values, and positional passthrough order.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "examples/tool_options.hpp"
+
+namespace {
+
+using namespace perfvar;
+using tool::ParseStatus;
+using tool::ToolOptions;
+
+/// Run the parser over a brace-list of argv tokens (argv[0] included).
+ParseStatus parse(std::vector<const char*> argv, ToolOptions& options,
+                  std::string& error) {
+  argv.insert(argv.begin(), "trace_tool");
+  return tool::parseToolOptions(static_cast<int>(argv.size()), argv.data(),
+                                options, error);
+}
+
+TEST(ToolOptions, DefaultsMatchDocumentedContract) {
+  ToolOptions options;
+  std::string error;
+  EXPECT_EQ(parse({"analyze", "in.pvt"}, options, error), ParseStatus::Ok);
+  EXPECT_EQ(options.threads, 1u);
+  EXPECT_EQ(options.format, trace::kBinaryFormatV2);
+  EXPECT_FALSE(options.salvage);
+  EXPECT_FALSE(options.lazy);
+  EXPECT_EQ(options.shardBudgetMb, 256u);
+  EXPECT_EQ(options.lintFailOn, lint::Severity::Warning);
+  EXPECT_EQ(options.positional,
+            (std::vector<std::string>{"analyze", "in.pvt"}));
+}
+
+TEST(ToolOptions, AllFlagsParse) {
+  ToolOptions options;
+  std::string error;
+  EXPECT_EQ(parse({"--threads", "8", "--format", "v1", "--salvage",
+                   "--verify", "--lazy", "--shard-budget-mb", "64",
+                   "--budget-mb", "512", "--session-budget-mb", "128",
+                   "--json", "--fail-on", "error", "--disable",
+                   "clock-monotonicity", "--disable", "stack-balance",
+                   "lint", "in.pvt"},
+                  options, error),
+            ParseStatus::Ok)
+      << error;
+  EXPECT_EQ(options.threads, 8u);
+  EXPECT_EQ(options.format, trace::kBinaryFormatV1);
+  EXPECT_TRUE(options.salvage);
+  EXPECT_TRUE(options.verify);
+  EXPECT_TRUE(options.lazy);
+  EXPECT_EQ(options.shardBudgetMb, 64u);
+  EXPECT_EQ(options.budgetMb, 512u);
+  EXPECT_EQ(options.sessionBudgetMb, 128u);
+  EXPECT_TRUE(options.lintJson);
+  EXPECT_EQ(options.lintFailOn, lint::Severity::Error);
+  EXPECT_EQ(options.lintDisabled,
+            (std::vector<std::string>{"clock-monotonicity",
+                                      "stack-balance"}));
+  EXPECT_EQ(options.positional,
+            (std::vector<std::string>{"lint", "in.pvt"}));
+}
+
+TEST(ToolOptions, OptionsInterleaveWithPositionals) {
+  ToolOptions options;
+  std::string error;
+  EXPECT_EQ(parse({"generate", "--format", "v2", "scale", "out.pvt",
+                   "--threads", "2", "100000"},
+                  options, error),
+            ParseStatus::Ok);
+  EXPECT_EQ(options.positional, (std::vector<std::string>{
+                                    "generate", "scale", "out.pvt",
+                                    "100000"}));
+  EXPECT_EQ(options.threads, 2u);
+}
+
+TEST(ToolOptions, HelpShortCircuits) {
+  ToolOptions options;
+  std::string error;
+  EXPECT_EQ(parse({"--help"}, options, error), ParseStatus::Help);
+  EXPECT_EQ(parse({"analyze", "-h"}, options, error), ParseStatus::Help);
+}
+
+TEST(ToolOptions, UnknownFlagsAreRejected) {
+  ToolOptions options;
+  std::string error;
+  EXPECT_EQ(parse({"--no-such-flag", "analyze"}, options, error),
+            ParseStatus::Error);
+  EXPECT_EQ(error, "unknown option '--no-such-flag'");
+  EXPECT_EQ(parse({"-x"}, options, error), ParseStatus::Error);
+}
+
+TEST(ToolOptions, MissingAndMalformedValues) {
+  const std::vector<const char*> valueFlags{
+      "--threads",   "--format",           "--shard-budget-mb",
+      "--budget-mb", "--session-budget-mb", "--fail-on",
+      "--disable"};
+  for (const char* flag : valueFlags) {
+    ToolOptions options;
+    std::string error;
+    EXPECT_EQ(parse({flag}, options, error), ParseStatus::Error)
+        << flag << " without a value must be rejected";
+    EXPECT_FALSE(error.empty());
+  }
+
+  ToolOptions options;
+  std::string error;
+  EXPECT_EQ(parse({"--threads", "-3"}, options, error), ParseStatus::Error);
+  EXPECT_EQ(parse({"--threads", "many"}, options, error),
+            ParseStatus::Error);
+  EXPECT_EQ(parse({"--format", "v3"}, options, error), ParseStatus::Error);
+  EXPECT_EQ(parse({"--fail-on", "fatal"}, options, error),
+            ParseStatus::Error);
+  EXPECT_EQ(parse({"--shard-budget-mb", "1.5"}, options, error),
+            ParseStatus::Error);
+}
+
+TEST(ToolOptions, SizeAndDoubleParsers) {
+  std::size_t n = 0;
+  EXPECT_TRUE(tool::parseSize("42", n));
+  EXPECT_EQ(n, 42u);
+  EXPECT_FALSE(tool::parseSize("", n));
+  EXPECT_FALSE(tool::parseSize("4 2", n));
+  EXPECT_FALSE(tool::parseSize("-1", n));
+  EXPECT_FALSE(tool::parseSize("0x10", n));
+
+  double d = 0.0;
+  EXPECT_TRUE(tool::parseDouble("2.5", d));
+  EXPECT_EQ(d, 2.5);
+  EXPECT_TRUE(tool::parseDouble("-1e-3", d));
+  EXPECT_FALSE(tool::parseDouble("2.5x", d));
+  EXPECT_FALSE(tool::parseDouble("", d));
+}
+
+}  // namespace

@@ -10,6 +10,7 @@
 #include "trace/archive.hpp"
 #include "trace/builder.hpp"
 #include "util/error.hpp"
+#include "lint/lint.hpp"
 
 namespace perfvar::trace {
 namespace {
@@ -60,7 +61,7 @@ TEST(Archive, RoundTripsFullTrace) {
                 original.processes[p].events[i]);
     }
   }
-  EXPECT_TRUE(validate(loaded).empty());
+  EXPECT_TRUE(lint::validateStructure(loaded).empty());
 }
 
 TEST(Archive, LayoutHasAnchorDefinitionsAndRankFiles) {
@@ -102,7 +103,7 @@ TEST(Archive, SelectiveLoadRemapsPeers) {
     }
   }
   EXPECT_TRUE(sawRecv);
-  EXPECT_TRUE(validate(subset).empty());
+  EXPECT_TRUE(lint::validateStructure(subset).empty());
 }
 
 TEST(Archive, SelectiveLoadValidatesInput) {

@@ -6,6 +6,7 @@
 #include "trace/stats.hpp"
 #include "trace/trace.hpp"
 #include "util/error.hpp"
+#include "lint/lint.hpp"
 
 namespace perfvar::trace {
 namespace {
@@ -72,7 +73,7 @@ TEST(Builder, BuildsValidTrace) {
   b.enter(1, 5, f);
   b.leave(1, 25, f);
   const Trace tr = b.finish();
-  EXPECT_TRUE(validate(tr).empty());
+  EXPECT_TRUE(lint::validateStructure(tr).empty());
   EXPECT_EQ(tr.eventCount(), 6u);
   EXPECT_EQ(tr.startTime(), 0u);
   EXPECT_EQ(tr.endTime(), 30u);
@@ -160,7 +161,8 @@ TEST(Builder, EqualTimestampsAreAllowed) {
   b.enter(0, 5, g);
   b.leave(0, 5, g);
   b.leave(0, 5, f);
-  EXPECT_TRUE(validate(b.finish()).empty());
+  const Trace tr = b.finish();
+  EXPECT_TRUE(lint::validateStructure(tr).empty());
 }
 
 TEST(Builder, DepthTracksNesting) {
@@ -182,7 +184,7 @@ TEST(Validate, DetectsHandCraftedCorruption) {
   tr.processes.resize(1);
   tr.processes[0].events.push_back(Event::enter(10, f));
   tr.processes[0].events.push_back(Event::leave(5, f));  // time decreases
-  const auto issues = validate(tr);
+  const auto issues = lint::validateStructure(tr);
   ASSERT_EQ(issues.size(), 1u);
   EXPECT_NE(issues[0].message.find("timestamp"), std::string::npos);
 }
@@ -192,10 +194,10 @@ TEST(Validate, DetectsUnclosedFrame) {
   const auto f = tr.functions.intern("f");
   tr.processes.resize(1);
   tr.processes[0].events.push_back(Event::enter(0, f));
-  const auto issues = validate(tr);
+  const auto issues = lint::validateStructure(tr);
   ASSERT_EQ(issues.size(), 1u);
   EXPECT_NE(issues[0].message.find("unclosed"), std::string::npos);
-  EXPECT_THROW(requireValid(tr), Error);
+  EXPECT_THROW(lint::requireStructurallyValid(tr), Error);
 }
 
 TEST(Validate, DetectsUndefinedFunctionReference) {
@@ -203,7 +205,7 @@ TEST(Validate, DetectsUndefinedFunctionReference) {
   tr.functions.intern("f");
   tr.processes.resize(1);
   tr.processes[0].events.push_back(Event::enter(0, 42));
-  EXPECT_FALSE(validate(tr).empty());
+  EXPECT_FALSE(lint::validateStructure(tr).empty());
 }
 
 TEST(Stats, CountsEverything) {
@@ -217,7 +219,8 @@ TEST(Stats, CountsEverything) {
   b.enter(1, 0, f);
   b.mpiRecv(1, 3, 0, 9, 100);
   b.leave(1, 12, f);
-  const TraceStats s = computeStats(b.finish());
+  const Trace statsTrace = b.finish();
+  const TraceStats s = computeStats(statsTrace);
   EXPECT_EQ(s.processCount, 2u);
   EXPECT_EQ(s.eventCount, 7u);
   EXPECT_EQ(s.messageCount, 1u);

@@ -6,6 +6,7 @@
 #include "trace/filter.hpp"
 #include "trace/replay.hpp"
 #include "util/error.hpp"
+#include "lint/lint.hpp"
 
 namespace perfvar::trace {
 namespace {
@@ -14,7 +15,7 @@ TEST(SliceTime, ProducesValidTraceWithBoundaryFrames) {
   // fig3: a-invocations at [0,6), [6,9), [9,14). Slice to iteration 1.
   const Trace tr = apps::buildFigure3Trace();
   const Trace sliced = sliceTime(tr, 6, 9);
-  EXPECT_TRUE(validate(sliced).empty());
+  EXPECT_TRUE(lint::validateStructure(sliced).empty());
   EXPECT_EQ(sliced.startTime(), 6u);
   EXPECT_EQ(sliced.endTime(), 9u);
   // main is re-opened at the boundary and closed at the end on every rank.
@@ -47,7 +48,7 @@ TEST(SliceTime, MidFrameCutSynthesizesEnterAndLeave) {
   b.leave(0, 30, g);
   b.leave(0, 40, f);
   const Trace sliced = sliceTime(b.finish(), 15, 25);
-  EXPECT_TRUE(validate(sliced).empty());
+  EXPECT_TRUE(lint::validateStructure(sliced).empty());
   const auto frames = collectFrames(sliced.processes[0]);
   ASSERT_EQ(frames.size(), 2u);
   // g closed first (leave order): [15,25) clipped.
@@ -83,7 +84,7 @@ TEST(SliceTime, EmptyWindowRejected) {
 TEST(SliceTime, WindowBeyondTraceYieldsOnlySynthetics) {
   const Trace tr = apps::buildFigure1Trace();
   const Trace sliced = sliceTime(tr, 100, 200);
-  EXPECT_TRUE(validate(sliced).empty());
+  EXPECT_TRUE(lint::validateStructure(sliced).empty());
   EXPECT_TRUE(sliced.processes[0].events.empty());  // everything closed
 }
 
@@ -100,7 +101,7 @@ TEST(FilterFunctions, DropsFramesAndSplicesChildren) {
   b.leave(0, 50, a);
   const Trace filtered = filterFunctions(
       b.finish(), [&](FunctionId f) { return f == wrapper; });
-  EXPECT_TRUE(validate(filtered).empty());
+  EXPECT_TRUE(lint::validateStructure(filtered).empty());
   const auto frames = collectFrames(filtered.processes[0]);
   ASSERT_EQ(frames.size(), 2u);
   EXPECT_EQ(frames[0].function, leaf);
@@ -122,7 +123,7 @@ TEST(FilterFunctions, KeepsMetricsAndMessages) {
   b.leave(1, 5, f);
   const Trace filtered =
       filterFunctions(b.finish(), [&](FunctionId fn) { return fn == f; });
-  EXPECT_TRUE(validate(filtered).empty());
+  EXPECT_TRUE(lint::validateStructure(filtered).empty());
   EXPECT_EQ(filtered.processes[0].events.size(), 2u);  // metric + send
 }
 
@@ -139,7 +140,7 @@ TEST(SelectProcesses, RenumbersAndRemapsMessages) {
   EXPECT_EQ(selected.processCount(), 2u);
   EXPECT_EQ(selected.processes[0].name, "Rank 3");
   EXPECT_EQ(selected.processes[1].name, "Rank 1");
-  EXPECT_TRUE(validate(selected).empty());
+  EXPECT_TRUE(lint::validateStructure(selected).empty());
   // Rank 1 (now process 1) sends to rank 3 (now process 0).
   bool sawSend = false;
   for (const auto& e : selected.processes[1].events) {

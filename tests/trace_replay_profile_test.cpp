@@ -134,7 +134,8 @@ TEST(Profile, MinMaxInclusiveTracked) {
   b.leave(0, 10, f);
   b.enter(0, 10, f);
   b.leave(0, 50, f);
-  const auto profile = profile::FlatProfile::build(b.finish());
+  const trace::Trace tr = b.finish();
+  const auto profile = profile::FlatProfile::build(tr);
   EXPECT_EQ(profile.aggregated(f).minInclusive, 10u);
   EXPECT_EQ(profile.aggregated(f).maxInclusive, 40u);
 }
@@ -156,7 +157,8 @@ TEST(Profile, RecursionCountsEachInvocation) {
   b.enter(0, 10, f);
   b.leave(0, 20, f);
   b.leave(0, 40, f);
-  const auto profile = profile::FlatProfile::build(b.finish());
+  const trace::Trace tr = b.finish();
+  const auto profile = profile::FlatProfile::build(tr);
   EXPECT_EQ(profile.aggregated(f).invocations, 2u);
   EXPECT_EQ(profile.aggregated(f).inclusive, 50u);  // 40 + 10
   EXPECT_EQ(profile.aggregated(f).exclusive, 40u);  // (40-10) + 10
