@@ -41,6 +41,9 @@ struct ToolOptions {
   /// --lazy: open inputs out-of-core (mmap + per-rank lazy decode)
   /// instead of materializing the whole trace up front.
   bool lazy = false;
+  /// --verbose: analysis commands append scheduler diagnostics
+  /// (per-worker thread-pool counters) after their report.
+  bool verbose = false;
   /// --shard-budget-mb N: decoded-shard LRU budget of --lazy (MiB).
   std::size_t shardBudgetMb = 256;
   /// --budget-mb N: serve only — global resident-trace budget (MiB).
@@ -154,6 +157,8 @@ inline ParseStatus parseToolOptions(int argc, const char* const* argv,
       options.verify = true;
     } else if (arg == "--lazy") {
       options.lazy = true;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
     } else if (arg == "--json") {
       options.lintJson = true;
     } else if (arg == "--fail-on") {

@@ -81,6 +81,7 @@
 #include "trace/text_io.hpp"
 #include "trace/view.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 #include "tool_options.hpp"
 
@@ -115,7 +116,7 @@ trace::Trace generateScenario(const std::string& name) {
 void printUsage(std::ostream& out) {
   out <<
       "usage: trace_tool [--threads N] [--format v1|v2] [--salvage]\n"
-      "                  [--lazy] <command> [args]\n"
+      "                  [--lazy] [--verbose] <command> [args]\n"
       "  generate <scenario> <out.pvt>  scenario: cosmo-specs |\n"
       "                                 cosmo-specs-fd4 | wrf\n"
       "  generate scale <out.pvt> [ranks [iterations]]\n"
@@ -181,6 +182,9 @@ void printUsage(std::ostream& out) {
       "  --lazy        open analysis inputs out-of-core (PVTF v2 only):\n"
       "                mmap + per-rank lazy decode under an LRU budget;\n"
       "                output is byte-identical to an eager load\n"
+      "  --verbose     analyze only: append the thread pool's scheduling\n"
+      "                counters (per-worker tasks/chunks/steals) after\n"
+      "                the report; with --threads 1 notes the serial run\n"
       "  --shard-budget-mb N    --lazy only: decoded-shard LRU budget\n"
       "                         (MiB, default 256)\n"
       "  --budget-mb N          serve only: global memory budget over all\n"
@@ -731,8 +735,22 @@ int main(int argc, char** argv) {
       const auto profile = profile::FlatProfile::build(tr);
       std::cout << profile::formatTopFunctions(tr, profile, 20);
     } else if (cmd == "analyze") {
+      // --verbose: collect the thread pool's scheduling counters for this
+      // run and append them after the report (stdout, so scripted runs
+      // capture both; the report itself is unchanged).
+      util::ThreadPoolStats poolStats;
+      if (options.verbose) {
+        pipelineOptions.poolStats = &poolStats;
+      }
       const auto result = analysis::analyzeTrace(tr, pipelineOptions);
       std::cout << analysis::formatAnalysis(tr, result);
+      if (options.verbose) {
+        if (poolStats.workers.empty()) {
+          std::cout << "\nthread pool: serial run (no workers)\n";
+        } else {
+          std::cout << '\n' << util::formatThreadPoolStats(poolStats);
+        }
+      }
     } else if (cmd == "dump") {
       // PVTX dumps the whole trace anyway; a lazy view materializes here.
       if (const trace::Trace* eager = tr.eagerOrNull()) {

@@ -9,12 +9,20 @@ namespace perfvar::analysis {
 
 namespace {
 
+util::ChunkOptions chunkOpts(std::size_t grain, bool stealing) {
+  util::ChunkOptions opts;
+  opts.grain = grain;
+  opts.stealing = stealing;
+  return opts;
+}
+
 /// Pool-backed IndexRunner for the variation loops: chunks of `grain`
 /// indices per task, bodies write disjoint slots.
-detail::IndexRunner poolRunner(util::ThreadPool& pool, std::size_t grain) {
-  return [&pool, grain](std::size_t n,
-                        const std::function<void(std::size_t)>& body) {
-    util::parallelChunks(&pool, n, grain,
+detail::IndexRunner poolRunner(util::ThreadPool& pool, std::size_t grain,
+                               bool stealing) {
+  return [&pool, grain, stealing](
+             std::size_t n, const std::function<void(std::size_t)>& body) {
+    util::parallelChunks(&pool, n, chunkOpts(grain, stealing),
                          [&body](std::size_t begin, std::size_t end) {
                            for (std::size_t i = begin; i < end; ++i) {
                              body(i);
@@ -27,14 +35,23 @@ detail::IndexRunner poolRunner(util::ThreadPool& pool, std::size_t grain) {
 
 profile::FlatProfile buildProfileParallel(const trace::TraceView& tr,
                                           util::ThreadPool& pool,
-                                          std::size_t grainRanks) {
+                                          std::size_t grainRanks,
+                                          bool stealing,
+                                          bool referenceKernels) {
   std::vector<std::vector<profile::FunctionStats>> perProcess(
       tr.processCount());
-  util::parallelChunks(&pool, tr.processCount(), grainRanks,
+  util::parallelChunks(&pool, tr.processCount(),
+                       chunkOpts(grainRanks, stealing),
                        [&](std::size_t begin, std::size_t end) {
                          for (std::size_t p = begin; p < end; ++p) {
-                           perProcess[p] = profile::FlatProfile::buildProcess(
-                               tr, static_cast<trace::ProcessId>(p));
+                           const auto rank =
+                               static_cast<trace::ProcessId>(p);
+                           perProcess[p] =
+                               referenceKernels
+                                   ? profile::FlatProfile::
+                                         buildProcessReference(tr, rank)
+                                   : profile::FlatProfile::buildProcess(
+                                         tr, rank);
                          }
                        });
   return profile::FlatProfile::fromPerProcess(tr, std::move(perProcess));
@@ -43,11 +60,12 @@ profile::FlatProfile buildProfileParallel(const trace::TraceView& tr,
 std::vector<std::vector<Segment>> extractSegmentsParallel(
     const trace::TraceView& tr, trace::FunctionId f,
     util::ThreadPool& pool,
-    std::size_t grainRanks) {
+    std::size_t grainRanks, bool stealing) {
   PERFVAR_REQUIRE(f < tr.functions().size(),
                   "segmentation function is not defined in this trace");
   std::vector<std::vector<Segment>> result(tr.processCount());
-  util::parallelChunks(&pool, tr.processCount(), grainRanks,
+  util::parallelChunks(&pool, tr.processCount(),
+                       chunkOpts(grainRanks, stealing),
                        [&](std::size_t begin, std::size_t end) {
                          for (std::size_t p = begin; p < end; ++p) {
                            result[p] = detail::extractSegmentsProcess(
@@ -60,27 +78,39 @@ std::vector<std::vector<Segment>> extractSegmentsParallel(
 SosResult analyzeSosParallel(const trace::TraceView& tr,
                              trace::FunctionId segmentFunction,
                              const SyncClassifier& classifier,
-                             util::ThreadPool& pool, std::size_t grainRanks) {
+                             util::ThreadPool& pool, std::size_t grainRanks,
+                             bool stealing, bool referenceKernels) {
   PERFVAR_REQUIRE(segmentFunction < tr.functions().size(),
                   "segmentation function is not defined in this trace");
   const std::vector<bool> syncMask = classifier.mask(tr);
   std::vector<std::vector<SegmentAnalysis>> perProcess(tr.processCount());
-  util::parallelChunks(&pool, tr.processCount(), grainRanks,
-                       [&](std::size_t begin, std::size_t end) {
-                         for (std::size_t p = begin; p < end; ++p) {
-                           perProcess[p] = detail::analyzeSosProcess(
-                               tr, static_cast<trace::ProcessId>(p),
-                               segmentFunction, syncMask);
-                         }
-                       });
+  util::parallelChunks(
+      &pool, tr.processCount(), chunkOpts(grainRanks, stealing),
+      [&](std::size_t begin, std::size_t end) {
+        // One scratch per chunk: the metric-state buffers are sized by
+        // the (fixed) metric count, so ranks after the first reuse the
+        // allocation instead of repeating it.
+        detail::SosScratch scratch;
+        for (std::size_t p = begin; p < end; ++p) {
+          const auto rank = static_cast<trace::ProcessId>(p);
+          perProcess[p] =
+              referenceKernels
+                  ? detail::analyzeSosProcessReference(
+                        tr, rank, segmentFunction, syncMask)
+                  : detail::analyzeSosProcess(tr, rank, segmentFunction,
+                                              syncMask, scratch);
+        }
+      });
   return SosResult(tr, segmentFunction, std::move(perProcess));
 }
 
 VariationReport analyzeVariationParallel(const SosResult& sos,
                                          const VariationOptions& options,
                                          util::ThreadPool& pool,
-                                         std::size_t grain) {
-  return detail::analyzeVariationImpl(sos, options, poolRunner(pool, grain));
+                                         std::size_t grain, bool stealing,
+                                         bool referenceKernels) {
+  return detail::analyzeVariationImpl(
+      sos, options, poolRunner(pool, grain, stealing), referenceKernels);
 }
 
 namespace detail {
@@ -89,9 +119,11 @@ AnalysisResult analyzeTraceSharded(const trace::TraceView& tr,
                                    const PipelineOptions& options) {
   util::ThreadPool pool(options.threads);
   const std::size_t grain = options.grainSizeRanks;
+  const bool stealing = options.stealing;
+  const bool reference = options.referenceKernels;
 
   AnalysisResult result;
-  result.profile = buildProfileParallel(tr, pool, grain);
+  result.profile = buildProfileParallel(tr, pool, grain, stealing, reference);
   result.selection = selectDominantFunction(tr, result.profile,
                                             options.dominant);
   PERFVAR_REQUIRE(result.selection.hasDominant(),
@@ -101,10 +133,14 @@ AnalysisResult analyzeTraceSharded(const trace::TraceView& tr,
                   "candidateIndex exceeds the number of dominant candidates");
   result.segmentFunction =
       result.selection.candidates[options.candidateIndex].function;
-  result.sos = std::make_unique<SosResult>(analyzeSosParallel(
-      tr, result.segmentFunction, options.sync, pool, grain));
+  result.sos = std::make_unique<SosResult>(
+      analyzeSosParallel(tr, result.segmentFunction, options.sync, pool,
+                         grain, stealing, reference));
   result.variation = analyzeVariationParallel(
-      *result.sos, options.variation, pool, grain);
+      *result.sos, options.variation, pool, grain, stealing, reference);
+  if (options.poolStats != nullptr) {
+    *options.poolStats = pool.stats();
+  }
   return result;
 }
 

@@ -28,34 +28,47 @@
 
 namespace perfvar::analysis {
 
-/// Rank-sharded profile::FlatProfile::build().
+/// Rank-sharded profile::FlatProfile::build(). `stealing` toggles work
+/// stealing between worker shards (a pure scheduling knob, see
+/// ThreadPool::runChunks); `referenceKernels` replays with the
+/// pre-optimization std::function visitor instead of the inlined one —
+/// both leave the result bit-identical.
 profile::FlatProfile buildProfileParallel(const trace::TraceView& trace,
                                           util::ThreadPool& pool,
-                                          std::size_t grainRanks = 1);
+                                          std::size_t grainRanks = 1,
+                                          bool stealing = true,
+                                          bool referenceKernels = false);
 
 /// Rank-sharded extractSegments().
 std::vector<std::vector<Segment>> extractSegmentsParallel(
     const trace::TraceView& trace, trace::FunctionId f,
     util::ThreadPool& pool,
-    std::size_t grainRanks = 1);
+    std::size_t grainRanks = 1,
+    bool stealing = true);
 
 /// Rank-sharded analyzeSos(). The classifier mask is computed once on the
-/// calling thread and shared read-only by all tasks.
+/// calling thread and shared read-only by all tasks; each chunk reuses one
+/// SosScratch across its ranks (single allocation per chunk, not per rank).
 SosResult analyzeSosParallel(const trace::TraceView& trace,
                              trace::FunctionId segmentFunction,
                              const SyncClassifier& classifier,
                              util::ThreadPool& pool,
-                             std::size_t grainRanks = 1);
+                             std::size_t grainRanks = 1,
+                             bool stealing = true,
+                             bool referenceKernels = false);
 SosResult analyzeSosParallel(trace::Trace&&, trace::FunctionId,
                              const SyncClassifier&, util::ThreadPool&,
-                             std::size_t = 1) = delete;
+                             std::size_t = 1, bool = true,
+                             bool = false) = delete;
 
 /// analyzeVariation() with the per-iteration and per-process loops sharded
 /// over the pool (the cross-rank reductions stay on the calling thread).
 VariationReport analyzeVariationParallel(const SosResult& sos,
                                          const VariationOptions& options,
                                          util::ThreadPool& pool,
-                                         std::size_t grain = 1);
+                                         std::size_t grain = 1,
+                                         bool stealing = true,
+                                         bool referenceKernels = false);
 
 namespace detail {
 

@@ -23,7 +23,18 @@ AnalysisResult analyzeTrace(const trace::TraceView& tr,
     return detail::analyzeTraceSharded(tr, options);
   }
   AnalysisResult result;
-  result.profile = profile::FlatProfile::build(tr);
+  if (options.referenceKernels) {
+    std::vector<std::vector<profile::FunctionStats>> perProcess(
+        tr.processCount());
+    for (std::size_t p = 0; p < tr.processCount(); ++p) {
+      perProcess[p] = profile::FlatProfile::buildProcessReference(
+          tr, static_cast<trace::ProcessId>(p));
+    }
+    result.profile =
+        profile::FlatProfile::fromPerProcess(tr, std::move(perProcess));
+  } else {
+    result.profile = profile::FlatProfile::build(tr);
+  }
   result.selection = selectDominantFunction(tr, result.profile,
                                             options.dominant);
   PERFVAR_REQUIRE(result.selection.hasDominant(),
@@ -33,9 +44,28 @@ AnalysisResult analyzeTrace(const trace::TraceView& tr,
                   "candidateIndex exceeds the number of dominant candidates");
   result.segmentFunction =
       result.selection.candidates[options.candidateIndex].function;
-  result.sos = std::make_unique<SosResult>(
-      analyzeSos(tr, result.segmentFunction, options.sync));
-  result.variation = analyzeVariation(*result.sos, options.variation);
+  if (options.referenceKernels) {
+    const std::vector<bool> syncMask = options.sync.mask(tr);
+    std::vector<std::vector<SegmentAnalysis>> perProcess(tr.processCount());
+    for (std::size_t p = 0; p < tr.processCount(); ++p) {
+      perProcess[p] = detail::analyzeSosProcessReference(
+          tr, static_cast<trace::ProcessId>(p), result.segmentFunction,
+          syncMask);
+    }
+    result.sos = std::make_unique<SosResult>(
+        SosResult(tr, result.segmentFunction, std::move(perProcess)));
+  } else {
+    result.sos = std::make_unique<SosResult>(
+        analyzeSos(tr, result.segmentFunction, options.sync));
+  }
+  result.variation = detail::analyzeVariationImpl(
+      *result.sos, options.variation,
+      [](std::size_t n, const std::function<void(std::size_t)>& body) {
+        for (std::size_t i = 0; i < n; ++i) {
+          body(i);
+        }
+      },
+      options.referenceKernels);
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include "analysis/sos.hpp"
 #include "analysis/variation.hpp"
 #include "profile/profile.hpp"
+#include "util/thread_pool.hpp"
 
 namespace perfvar::analysis {
 
@@ -41,6 +42,22 @@ struct PipelineOptions {
   /// Ranks per pool task when threads != 1. Larger grains amortize task
   /// overhead on traces with many cheap ranks; has no effect on the result.
   std::size_t grainSizeRanks = 1;
+  /// Work stealing between worker shards of the rank-sharded stages
+  /// (threads != 1). Off = static contiguous partition, the pre-stealing
+  /// baseline where a tail of expensive ranks serializes on its shard
+  /// owner. Purely a scheduling knob: results are bit-identical either way.
+  bool stealing = true;
+  /// Run the pre-optimization reference kernels (std::function replay
+  /// visitors, per-element leave-one-out rebuilds) instead of the tuned
+  /// ones. Results are bit-identical by contract (the differential matrix
+  /// in tests/throughput_test.cpp enforces it); this exists as the oracle
+  /// side of that matrix and as perfbench's recorded-in-the-same-run
+  /// baseline.
+  bool referenceKernels = false;
+  /// When non-null and threads != 1, receives the per-worker scheduler
+  /// counters of the run's pool (chunks run/stolen, idle wakeups) — the
+  /// tail-rank idling visibility behind `trace_tool --verbose`.
+  util::ThreadPoolStats* poolStats = nullptr;
 };
 
 /// Complete result of one pipeline run.

@@ -6,6 +6,7 @@
 
 #include "trace/replay.hpp"
 #include "util/error.hpp"
+#include "util/perf_counters.hpp"
 
 namespace perfvar::analysis {
 
@@ -198,9 +199,135 @@ std::vector<double> SosResult::totalMetricPerProcess(trace::MetricId m) const {
   return out;
 }
 
+namespace {
+
+/// Statically-typed replay visitor of the SOS hot loop: the same
+/// per-process state machine as the reference implementation below, but
+/// with every callback a plain member function so the replay walk inlines
+/// it (no std::function dispatch per event).
+struct SosProcessVisitor {
+  const trace::TraceView& tr;
+  trace::ProcessId p;
+  trace::FunctionId segmentFunction;
+  const std::vector<bool>& syncMask;
+  std::size_t nMetrics;
+  std::vector<SegmentAnalysis>& segments;
+  detail::SosScratch& scratch;
+
+  std::size_t segNesting = 0;     // nesting inside the segment function
+  trace::Timestamp segStart = 0;  // enter of the outermost invocation
+  SegmentAnalysis current{};      // accumulators of the open segment
+  std::size_t syncNesting = 0;    // nesting inside sync functions
+  trace::Timestamp syncStart = 0;
+  std::array<std::size_t, kParadigmCount> paradigmNesting{};
+  std::array<trace::Timestamp, kParadigmCount> paradigmStart{};
+
+  void onEnter(trace::FunctionId fn, trace::Timestamp t, std::size_t) {
+    if (fn == segmentFunction) {
+      if (segNesting == 0) {
+        current = SegmentAnalysis{};
+        current.metricDelta.assign(nMetrics, 0.0);
+        segStart = t;
+      }
+      ++segNesting;
+    }
+    if (segNesting > 0) {
+      const auto& def = tr.functions().at(fn);
+      const auto par = static_cast<std::size_t>(def.paradigm);
+      if (paradigmNesting[par]++ == 0) {
+        paradigmStart[par] = t;
+      }
+      if (syncMask[fn]) {
+        if (syncNesting++ == 0) {
+          syncStart = t;
+        }
+      }
+    }
+  }
+
+  void onLeave(const trace::Frame& frame) {
+    if (segNesting > 0) {
+      const auto& def = tr.functions().at(frame.function);
+      const auto par = static_cast<std::size_t>(def.paradigm);
+      PERFVAR_ASSERT(paradigmNesting[par] > 0, "paradigm nesting underflow");
+      if (--paradigmNesting[par] == 0) {
+        current.paradigmTime[par] += frame.leaveTime - paradigmStart[par];
+      }
+      if (syncMask[frame.function]) {
+        PERFVAR_ASSERT(syncNesting > 0, "sync nesting underflow");
+        if (--syncNesting == 0) {
+          current.syncTime += frame.leaveTime - syncStart;
+        }
+      }
+    }
+    if (frame.function == segmentFunction) {
+      PERFVAR_ASSERT(segNesting > 0, "segment nesting underflow");
+      if (--segNesting == 0) {
+        current.segment.process = p;
+        current.segment.index = static_cast<std::uint32_t>(segments.size());
+        current.segment.enter = segStart;
+        current.segment.leave = frame.leaveTime;
+        const trace::Timestamp duration = current.segment.inclusive();
+        PERFVAR_ASSERT(current.syncTime <= duration,
+                       "sync time exceeds segment duration");
+        current.sosTime = duration - current.syncTime;
+        segments.push_back(std::move(current));
+        current = SegmentAnalysis{};
+      }
+    }
+  }
+
+  void onMessage(bool, const trace::Event&) {}
+
+  void onMetric(const trace::Event& e, std::size_t) {
+    const trace::MetricId m = e.ref;
+    const bool accumulated =
+        tr.metrics().at(m).mode == trace::MetricMode::Accumulated;
+    if (segNesting > 0 && !current.metricDelta.empty()) {
+      if (accumulated) {
+        const double base = scratch.seenMetric[m] ? scratch.lastMetric[m] : 0.0;
+        current.metricDelta[m] += e.value - base;
+      } else {
+        current.metricDelta[m] = e.value;
+      }
+    }
+    scratch.lastMetric[m] = e.value;
+    scratch.seenMetric[m] = true;
+  }
+};
+
+}  // namespace
+
 namespace detail {
 
 std::vector<SegmentAnalysis> analyzeSosProcess(
+    const trace::TraceView& tr, trace::ProcessId p,
+    trace::FunctionId segmentFunction, const std::vector<bool>& syncMask,
+    SosScratch& scratch) {
+  PERFVAR_REQUIRE(p < tr.processCount(), "invalid process id");
+  const std::size_t nMetrics = tr.metrics().size();
+  scratch.lastMetric.assign(nMetrics, 0.0);
+  scratch.seenMetric.assign(nMetrics, false);
+  std::vector<SegmentAnalysis> segments;
+  const trace::RankPin pin = tr.rank(p);
+  // A segment costs at least an enter/leave pair; clamp the guess so a
+  // pathological rank cannot reserve unbounded memory up front.
+  segments.reserve(std::min<std::size_t>(pin.events().size() / 2, 4096));
+  SosProcessVisitor visitor{tr,       p,       segmentFunction, syncMask,
+                            nMetrics, segments, scratch};
+  trace::replayEventsWith(pin.events(), visitor);
+  PERFVAR_COUNTER_ADD("sos.segments", segments.size());
+  return segments;
+}
+
+std::vector<SegmentAnalysis> analyzeSosProcess(
+    const trace::TraceView& tr, trace::ProcessId p,
+    trace::FunctionId segmentFunction, const std::vector<bool>& syncMask) {
+  SosScratch scratch;
+  return analyzeSosProcess(tr, p, segmentFunction, syncMask, scratch);
+}
+
+std::vector<SegmentAnalysis> analyzeSosProcessReference(
     const trace::TraceView& tr, trace::ProcessId p,
     trace::FunctionId segmentFunction, const std::vector<bool>& syncMask) {
   PERFVAR_REQUIRE(p < tr.processCount(), "invalid process id");

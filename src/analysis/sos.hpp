@@ -146,6 +146,14 @@ SosResult analyzeSosWindows(trace::Trace&&, trace::Timestamp,
 
 namespace detail {
 
+/// Reusable per-call buffers of analyzeSosProcess. A worker analyzing many
+/// ranks passes the same scratch to every call so the metric-state vectors
+/// are allocated once per worker instead of once per rank.
+struct SosScratch {
+  std::vector<double> lastMetric;
+  std::vector<bool> seenMetric;
+};
+
 /// SOS analysis of a single process (row `p` of analyzeSos): segment the
 /// process timeline by `segmentFunction` and compute SOS-time, paradigm
 /// breakdown and metric deltas per segment. `syncMask` is the classifier's
@@ -153,6 +161,21 @@ namespace detail {
 /// the rank-sharded parallel one call this, so their results are identical
 /// by construction.
 std::vector<SegmentAnalysis> analyzeSosProcess(
+    const trace::TraceView& trace, trace::ProcessId p,
+    trace::FunctionId segmentFunction, const std::vector<bool>& syncMask);
+
+/// As above with caller-owned scratch buffers (the hot path of the
+/// rank-sharded analyzer).
+std::vector<SegmentAnalysis> analyzeSosProcess(
+    const trace::TraceView& trace, trace::ProcessId p,
+    trace::FunctionId segmentFunction, const std::vector<bool>& syncMask,
+    SosScratch& scratch);
+
+/// The original std::function-visitor implementation, retained as the
+/// differential oracle for the inlined replay kernel (and as perfbench's
+/// pre-optimization baseline). Must stay bit-identical to
+/// analyzeSosProcess; tests/throughput_test.cpp enforces it.
+std::vector<SegmentAnalysis> analyzeSosProcessReference(
     const trace::TraceView& trace, trace::ProcessId p,
     trace::FunctionId segmentFunction, const std::vector<bool>& syncMask);
 

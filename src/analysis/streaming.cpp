@@ -1,6 +1,7 @@
 #include "analysis/streaming.hpp"
 
 #include <algorithm>
+#include <queue>
 
 #include "util/error.hpp"
 #include "util/format.hpp"
@@ -151,34 +152,32 @@ void StreamingSos::finish() {
 
 void StreamingSos::feed(const trace::Trace& tr) {
   // Interleave the per-process streams in global time order (stable by
-  // process id), as a live measurement system would deliver them.
+  // process id), as a live measurement system would deliver them. A
+  // min-heap on (time, process) delivers the exact pop order of the
+  // former linear scan — the minimum over all cursors with the process id
+  // as tie-break — at O(log P) instead of O(P) per event.
   struct Cursor {
+    trace::Timestamp time;
     trace::ProcessId process;
     std::size_t index;
   };
-  std::vector<Cursor> cursors;
+  const auto later = [](const Cursor& a, const Cursor& b) {
+    return a.time > b.time || (a.time == b.time && a.process > b.process);
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heap(later);
   for (trace::ProcessId p = 0; p < tr.processes.size(); ++p) {
     if (!tr.processes[p].events.empty()) {
-      cursors.push_back(Cursor{p, 0});
+      heap.push(Cursor{tr.processes[p].events.front().time, p, 0});
     }
   }
-  while (!cursors.empty()) {
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < cursors.size(); ++i) {
-      const auto& a = tr.processes[cursors[i].process]
-                          .events[cursors[i].index];
-      const auto& b = tr.processes[cursors[best].process]
-                          .events[cursors[best].index];
-      if (a.time < b.time ||
-          (a.time == b.time && cursors[i].process < cursors[best].process)) {
-        best = i;
-      }
-    }
-    auto& cursor = cursors[best];
-    onEvent(cursor.process,
-            tr.processes[cursor.process].events[cursor.index]);
-    if (++cursor.index >= tr.processes[cursor.process].events.size()) {
-      cursors.erase(cursors.begin() + static_cast<std::ptrdiff_t>(best));
+  while (!heap.empty()) {
+    Cursor cursor = heap.top();
+    heap.pop();
+    const auto& events = tr.processes[cursor.process].events;
+    onEvent(cursor.process, events[cursor.index]);
+    if (++cursor.index < events.size()) {
+      cursor.time = events[cursor.index].time;
+      heap.push(cursor);
     }
   }
 }

@@ -29,7 +29,8 @@ namespace detail {
 
 VariationReport analyzeVariationImpl(const SosResult& sos,
                                      const VariationOptions& options,
-                                     const IndexRunner& run) {
+                                     const IndexRunner& run,
+                                     bool referenceKernels) {
   VariationReport report;
   const auto& perProcess = sos.all();
   const std::size_t nProcs = perProcess.size();
@@ -117,17 +118,26 @@ VariationReport analyzeVariationImpl(const SosResult& sos,
     report.processes[p] = ps;
   });
   // Leave-one-out scoring: a single extreme process must not dilute its
-  // own score by inflating the scale estimate.
-  run(nProcs, [&](std::size_t p) {
-    std::vector<double> others;
-    others.reserve(nProcs > 0 ? nProcs - 1 : 0);
-    for (std::size_t q = 0; q < nProcs; ++q) {
-      if (q != p) {
-        others.push_back(totals[q]);
+  // own score by inflating the scale estimate. The batched kernel scores
+  // all processes from one shared sort; the per-process rebuild loop it
+  // replaced (kept below as the reference path) is O(P^2 log P) and was
+  // the analyze wall at 10k+ ranks.
+  if (referenceKernels) {
+    run(nProcs, [&](std::size_t p) {
+      std::vector<double> others;
+      others.reserve(nProcs > 0 ? nProcs - 1 : 0);
+      for (std::size_t q = 0; q < nProcs; ++q) {
+        if (q != p) {
+          others.push_back(totals[q]);
+        }
       }
-    }
-    report.processes[p].totalZ = stats::referenceZ(totals[p], others);
-  });
+      report.processes[p].totalZ = stats::referenceZ(totals[p], others);
+    });
+  } else {
+    const std::vector<double> totalZ = stats::leaveOneOutZ(totals);
+    run(nProcs,
+        [&](std::size_t p) { report.processes[p].totalZ = totalZ[p]; });
+  }
 
   report.processesBySos.resize(nProcs);
   std::iota(report.processesBySos.begin(), report.processesBySos.end(), 0u);
@@ -157,6 +167,10 @@ VariationReport analyzeVariationImpl(const SosResult& sos,
         iterSos.push_back(static_cast<double>(perProcess[p][i].sosTime) / res);
       }
     }
+    // Leave-one-out iteration z, batched like the process scoring above;
+    // computed lazily because most iterations have no hotspot at all.
+    std::vector<double> iterZ;
+    bool iterZReady = false;
     std::size_t compactIdx = 0;
     for (std::size_t p = 0; p < nProcs; ++p) {
       if (i >= perProcess[p].size()) {
@@ -173,13 +187,21 @@ VariationReport analyzeVariationImpl(const SosResult& sos,
         h.sosSeconds = v;
         h.durationSeconds = static_cast<double>(a.segment.inclusive()) / res;
         h.globalZ = gz;
-        iterOthers.clear();
-        for (std::size_t k = 0; k < iterSos.size(); ++k) {
-          if (k != myIdx) {
-            iterOthers.push_back(iterSos[k]);
+        if (referenceKernels) {
+          iterOthers.clear();
+          for (std::size_t k = 0; k < iterSos.size(); ++k) {
+            if (k != myIdx) {
+              iterOthers.push_back(iterSos[k]);
+            }
           }
+          h.iterationZ = stats::referenceZ(v, iterOthers);
+        } else {
+          if (!iterZReady) {
+            iterZ = stats::leaveOneOutZ(iterSos);
+            iterZReady = true;
+          }
+          h.iterationZ = iterZ[myIdx];
         }
-        h.iterationZ = stats::referenceZ(v, iterOthers);
         perIterHotspots[i].push_back(h);
       }
     }

@@ -112,9 +112,16 @@ using IndexRunner =
 /// thread-pool runner. Per-iteration and per-process loops go through
 /// `run`; cross-cutting reductions (global summary, rankings, trends) stay
 /// on the calling thread.
+///
+/// `referenceKernels` selects the original O(n^2) per-element referenceZ
+/// loops instead of the batched stats::leaveOneOutZ kernel. The two are
+/// bit-identical (enforced by tests/throughput_test.cpp); the reference
+/// path exists as differential oracle and as perfbench's pre-optimization
+/// baseline.
 VariationReport analyzeVariationImpl(const SosResult& sos,
                                      const VariationOptions& options,
-                                     const IndexRunner& run);
+                                     const IndexRunner& run,
+                                     bool referenceKernels = false);
 
 }  // namespace detail
 

@@ -70,12 +70,32 @@ std::size_t countCulprits(const ScaleConfig& config) {
   return n;
 }
 
+/// Extra nested compute pairs of `rank`: skewEventsFactor for the
+/// deterministic tail of the rank space, 0 elsewhere (and everywhere at
+/// the default config, which keeps pre-skew streams byte-identical).
+std::size_t skewPairs(const ScaleConfig& config, trace::ProcessId rank) {
+  if (config.skewTailPerMille == 0 || config.skewEventsFactor == 0) {
+    return 0;
+  }
+  const std::size_t tail =
+      (config.ranks * config.skewTailPerMille + 999) / 1000;
+  return static_cast<std::size_t>(rank) >= config.ranks - tail
+             ? config.skewEventsFactor
+             : 0;
+}
+
 void requireUsable(const ScaleConfig& config) {
   if (config.ranks == 0 || config.iterations == 0) {
     throw Error("scale scenario requires at least one rank and iteration");
   }
   if (config.exchangeTicks < 8) {
     throw Error("scale scenario exchangeTicks must be >= 8");
+  }
+  if (config.skewTailPerMille > 0 && config.skewEventsFactor > 0 &&
+      config.computeBaseTicks < 2 * config.skewEventsFactor + 2) {
+    // The nested pairs sit at t+1+2i / t+2+2i and must close before the
+    // compute leave at t + work (work >= computeBaseTicks).
+    throw Error("scale scenario computeBaseTicks too small for the skew");
   }
 }
 
@@ -125,8 +145,10 @@ std::vector<trace::Event> scaleRankEvents(const ScaleConfig& config,
   const auto prev = static_cast<trace::ProcessId>(
       (static_cast<std::uint64_t>(rank) + p - 1) % p);
 
+  const std::size_t pairs = skewPairs(config, rank);
+
   std::vector<Event> events;
-  events.reserve(2 + config.iterations * 7);
+  events.reserve(2 + config.iterations * (7 + 2 * pairs));
   events.push_back(Event::enter(kRunStart, defs.mainFunction));
   trace::Timestamp t = kRunStart;
   for (std::size_t iter = 0; iter < config.iterations; ++iter) {
@@ -134,6 +156,13 @@ std::vector<trace::Event> scaleRankEvents(const ScaleConfig& config,
     const trace::Timestamp barrierExit =
         t + iterationSpanTicks(config, iter, anyCulprits);
     events.push_back(Event::enter(t, defs.computeFunction));
+    // Event-density skew: nested sub-steps strictly inside the compute
+    // span. They reuse the compute function (no definitions change) and
+    // leave every boundary timestamp untouched.
+    for (std::size_t i = 0; i < pairs; ++i) {
+      events.push_back(Event::enter(t + 1 + 2 * i, defs.computeFunction));
+      events.push_back(Event::leave(t + 2 + 2 * i, defs.computeFunction));
+    }
     events.push_back(Event::leave(t + work, defs.computeFunction));
     events.push_back(Event::enter(t + work, defs.exchangeFunction));
     events.push_back(

@@ -62,6 +62,16 @@ struct ScaleConfig {
   /// Payload of each ring halo message.
   std::uint64_t messageBytes = 64 * 1024;
 
+  /// Per-mille of ranks (the tail of the rank space, deterministic) that
+  /// carry an event-dense compute region: skewEventsFactor extra nested
+  /// compute enter/leave pairs per iteration, strictly inside the compute
+  /// span. Timestamps and analysis results are unchanged — this skews the
+  /// per-rank *event count* (and thus replay cost), which is what the
+  /// work-stealing scheduler and the throughput benchmark exercise.
+  /// 0 (the default) emits exactly the pre-skew streams, byte for byte.
+  std::size_t skewTailPerMille = 0;
+  std::size_t skewEventsFactor = 0;
+
   /// Seed of the deterministic jitter / culprit selection.
   std::uint64_t seed = 2026;
 };

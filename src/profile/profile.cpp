@@ -35,7 +35,38 @@ void FunctionStats::merge(const FunctionStats& other) {
   maxInclusive = std::max(maxInclusive, other.maxInclusive);
 }
 
+namespace {
+
+/// Statically-typed replay visitor of the profile hot loop; the add() on
+/// each completed frame inlines into the replay walk.
+struct ProfileVisitor {
+  std::vector<FunctionStats>& row;
+
+  void onEnter(trace::FunctionId, trace::Timestamp, std::size_t) {}
+  void onLeave(const trace::Frame& frame) {
+    row[frame.function].add(frame.inclusive(), frame.exclusive());
+  }
+  void onMessage(bool, const trace::Event&) {}
+  void onMetric(const trace::Event&, std::size_t) {}
+};
+
+}  // namespace
+
 std::vector<FunctionStats> FlatProfile::buildProcess(
+    const trace::TraceView& tr, trace::ProcessId p) {
+  PERFVAR_REQUIRE(p < tr.processCount(), "invalid process id");
+  const std::size_t nFuncs = tr.functions().size();
+  std::vector<FunctionStats> row(nFuncs);
+  for (std::size_t f = 0; f < nFuncs; ++f) {
+    row[f].function = static_cast<trace::FunctionId>(f);
+  }
+  ProfileVisitor visitor{row};
+  const trace::RankPin pin = tr.rank(p);
+  trace::replayEventsWith(pin.events(), visitor);
+  return row;
+}
+
+std::vector<FunctionStats> FlatProfile::buildProcessReference(
     const trace::TraceView& tr, trace::ProcessId p) {
   PERFVAR_REQUIRE(p < tr.processCount(), "invalid process id");
   const std::size_t nFuncs = tr.functions().size();

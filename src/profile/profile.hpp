@@ -49,6 +49,12 @@ public:
   static std::vector<FunctionStats> buildProcess(const trace::TraceView& trace,
                                                  trace::ProcessId p);
 
+  /// The original std::function-visitor row builder, retained as the
+  /// differential oracle for the inlined replay kernel (and as perfbench's
+  /// pre-optimization baseline). Must stay bit-identical to buildProcess.
+  static std::vector<FunctionStats> buildProcessReference(
+      const trace::TraceView& trace, trace::ProcessId p);
+
   /// Assemble a full profile from per-process rows (as produced by
   /// buildProcess, one row per process of `trace`), aggregating in
   /// ascending process order. All aggregation is integer sums and min/max,

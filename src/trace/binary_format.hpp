@@ -16,6 +16,18 @@ namespace perfvar::trace::detail {
 
 inline constexpr char kBinaryMagic[4] = {'P', 'V', 'T', 'F'};
 
+/// Bounds-checked LEB128 decode advancing `p`. Throws perfvar::Error with
+/// ErrorCode::TruncatedInput when the encoding runs past `end` and
+/// ErrorCode::MalformedEvent when it would exceed 64 value bits (more
+/// than 10 bytes). decodeVarint takes a fully-unrolled fast path whenever
+/// 10 bytes are in bounds (one range check for the whole maximum
+/// encoding); decodeVarintScalar is the byte-at-a-time loop it must match
+/// byte for byte — exposed so the property tests can compare the two over
+/// random and adversarial encodings.
+std::uint64_t decodeVarint(const unsigned char*& p, const unsigned char* end);
+std::uint64_t decodeVarintScalar(const unsigned char*& p,
+                                 const unsigned char* end);
+
 /// Size of the "magic + version" prologue both layouts share.
 inline constexpr std::size_t kBinaryPrologueSize = 8;
 

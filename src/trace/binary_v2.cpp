@@ -28,6 +28,7 @@
 #include "trace/binary_format.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
+#include "util/perf_counters.hpp"
 #include "util/thread_pool.hpp"
 
 namespace perfvar::trace::detail {
@@ -110,6 +111,95 @@ private:
   std::string buf_;
 };
 
+}  // namespace
+
+std::uint64_t decodeVarintScalar(const unsigned char*& p,
+                                 const unsigned char* end) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    PERFVAR_REQUIRE_E(shift < 64, "binary trace v2: varint too long",
+                      ErrorContext::at(ErrorCode::MalformedEvent));
+    PERFVAR_REQUIRE_E(p < end, "binary trace v2: truncated block",
+                      ErrorContext::at(ErrorCode::TruncatedInput));
+    const std::uint8_t b = *p++;
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      break;
+    }
+    shift += 7;
+  }
+  return v;
+}
+
+std::uint64_t decodeVarint(const unsigned char*& p, const unsigned char* end) {
+  // Fast path: with the 10-byte maximum encoding fully in bounds, the
+  // unrolled decode needs no per-byte range check. The property tests in
+  // tests/trace_binary_v2_test.cpp pin it byte-for-byte (value, cursor
+  // advance, error classification) against the scalar loop above.
+  if (end - p >= 10) {
+    PERFVAR_COUNTER_INC("v2.varint_fast");
+    const unsigned char* q = p;
+    std::uint64_t v = static_cast<std::uint64_t>(q[0] & 0x7F);
+    if ((q[0] & 0x80) == 0) {
+      p = q + 1;
+      return v;
+    }
+    v |= static_cast<std::uint64_t>(q[1] & 0x7F) << 7;
+    if ((q[1] & 0x80) == 0) {
+      p = q + 2;
+      return v;
+    }
+    v |= static_cast<std::uint64_t>(q[2] & 0x7F) << 14;
+    if ((q[2] & 0x80) == 0) {
+      p = q + 3;
+      return v;
+    }
+    v |= static_cast<std::uint64_t>(q[3] & 0x7F) << 21;
+    if ((q[3] & 0x80) == 0) {
+      p = q + 4;
+      return v;
+    }
+    v |= static_cast<std::uint64_t>(q[4] & 0x7F) << 28;
+    if ((q[4] & 0x80) == 0) {
+      p = q + 5;
+      return v;
+    }
+    v |= static_cast<std::uint64_t>(q[5] & 0x7F) << 35;
+    if ((q[5] & 0x80) == 0) {
+      p = q + 6;
+      return v;
+    }
+    v |= static_cast<std::uint64_t>(q[6] & 0x7F) << 42;
+    if ((q[6] & 0x80) == 0) {
+      p = q + 7;
+      return v;
+    }
+    v |= static_cast<std::uint64_t>(q[7] & 0x7F) << 49;
+    if ((q[7] & 0x80) == 0) {
+      p = q + 8;
+      return v;
+    }
+    v |= static_cast<std::uint64_t>(q[8] & 0x7F) << 56;
+    if ((q[8] & 0x80) == 0) {
+      p = q + 9;
+      return v;
+    }
+    // Tenth byte: shift 63 like the scalar loop (high bits of an overlong
+    // final byte drop); a continuation bit here means the encoding would
+    // run past 64 value bits, the scalar loop's MalformedEvent case.
+    v |= static_cast<std::uint64_t>(q[9] & 0x7F) << 63;
+    PERFVAR_REQUIRE_E((q[9] & 0x80) == 0, "binary trace v2: varint too long",
+                      ErrorContext::at(ErrorCode::MalformedEvent));
+    p = q + 10;
+    return v;
+  }
+  PERFVAR_COUNTER_INC("v2.varint_scalar");
+  return decodeVarintScalar(p, end);
+}
+
+namespace {
+
 /// Bounds-checked decoder over a byte range; every overrun throws
 /// perfvar::Error (the fuzz contract: corrupt inputs never crash).
 class ByteCursor {
@@ -126,21 +216,7 @@ public:
     return *p_++;
   }
 
-  std::uint64_t varint() {
-    std::uint64_t v = 0;
-    int shift = 0;
-    while (true) {
-      PERFVAR_REQUIRE_E(shift < 64, "binary trace v2: varint too long",
-                        ErrorContext::at(ErrorCode::MalformedEvent));
-      const std::uint8_t b = u8();
-      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
-      if ((b & 0x80) == 0) {
-        break;
-      }
-      shift += 7;
-    }
-    return v;
-  }
+  std::uint64_t varint() { return decodeVarint(p_, end_); }
 
   double f64() {
     PERFVAR_REQUIRE_E(remaining() >= 8, "binary trace v2: truncated block",

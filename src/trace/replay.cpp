@@ -4,61 +4,39 @@
 
 namespace perfvar::trace {
 
-void replayEvents(EventSpan events, const ReplayVisitor& visitor) {
-  struct OpenFrame {
-    FunctionId function;
-    Timestamp enterTime;
-    Timestamp childrenTime;
-  };
-  std::vector<OpenFrame> stack;
-  for (const Event& e : events) {
-    switch (e.kind) {
-      case EventKind::Enter: {
-        if (visitor.onEnter) {
-          visitor.onEnter(e.ref, e.time, stack.size());
-        }
-        stack.push_back(OpenFrame{e.ref, e.time, 0});
-        break;
-      }
-      case EventKind::Leave: {
-        PERFVAR_REQUIRE(!stack.empty() && stack.back().function == e.ref,
-                        "replay: unbalanced enter/leave");
-        const OpenFrame open = stack.back();
-        stack.pop_back();
-        Frame frame;
-        frame.function = open.function;
-        frame.parent =
-            stack.empty() ? kInvalidFunction : stack.back().function;
-        frame.enterTime = open.enterTime;
-        frame.leaveTime = e.time;
-        frame.depth = stack.size();
-        frame.childrenTime = open.childrenTime;
-        if (!stack.empty()) {
-          stack.back().childrenTime += frame.inclusive();
-        }
-        if (visitor.onLeave) {
-          visitor.onLeave(frame);
-        }
-        break;
-      }
-      case EventKind::MpiSend:
-        if (visitor.onMessage) {
-          visitor.onMessage(true, e);
-        }
-        break;
-      case EventKind::MpiRecv:
-        if (visitor.onMessage) {
-          visitor.onMessage(false, e);
-        }
-        break;
-      case EventKind::Metric:
-        if (visitor.onMetric) {
-          visitor.onMetric(e, stack.size());
-        }
-        break;
+namespace {
+
+/// Adapter running the std::function-based ReplayVisitor through the
+/// statically-typed walk; absent callbacks stay skippable.
+struct DynamicVisitor {
+  const ReplayVisitor& v;
+
+  void onEnter(FunctionId f, Timestamp t, std::size_t depth) const {
+    if (v.onEnter) {
+      v.onEnter(f, t, depth);
     }
   }
-  PERFVAR_REQUIRE(stack.empty(), "replay: unclosed frames at stream end");
+  void onLeave(const Frame& frame) const {
+    if (v.onLeave) {
+      v.onLeave(frame);
+    }
+  }
+  void onMessage(bool isSend, const Event& e) const {
+    if (v.onMessage) {
+      v.onMessage(isSend, e);
+    }
+  }
+  void onMetric(const Event& e, std::size_t depth) const {
+    if (v.onMetric) {
+      v.onMetric(e, depth);
+    }
+  }
+};
+
+}  // namespace
+
+void replayEvents(EventSpan events, const ReplayVisitor& visitor) {
+  replayEventsWith(events, DynamicVisitor{visitor});
 }
 
 void replayProcess(const ProcessTrace& process, const ReplayVisitor& visitor) {

@@ -1,0 +1,138 @@
+#ifndef PERFVAR_UTIL_PERF_COUNTERS_HPP
+#define PERFVAR_UTIL_PERF_COUNTERS_HPP
+
+/// \file perf_counters.hpp
+/// Compile-flag-gated hot-loop instrumentation (-DPERFVAR_PERF_COUNTERS,
+/// CMake option of the same name).
+///
+/// A counting site does `PERFVAR_COUNTER_INC("v2.varint_fast")` (or
+/// `PERFVAR_COUNTER_ADD(name, delta)`); the macro expands to a relaxed
+/// atomic add on a function-local static that registers itself with a
+/// global registry on first execution. `collectPerfCounters()` returns a
+/// name-sorted snapshot (sites sharing a name are summed) and
+/// `resetPerfCounters()` zeroes every registered site. When the flag is
+/// off the macros compile to nothing and the collect/reset entry points
+/// stay callable (they report an empty set), so perfbench links either
+/// way.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#if defined(PERFVAR_PERF_COUNTERS)
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#endif
+
+namespace perfvar::util {
+
+/// One named counter in a `collectPerfCounters()` snapshot.
+struct PerfCounterValue {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+#if defined(PERFVAR_PERF_COUNTERS)
+
+namespace detail {
+
+class PerfCounterRegistry;
+
+/// A single counting site. Constructed lazily as a function-local static
+/// by the macros below; registration happens once, counting is a relaxed
+/// fetch_add with no lock.
+class PerfCounter {
+public:
+  explicit PerfCounter(const char* name);
+
+  const char* name() const { return name_; }
+  std::uint64_t load() const { return value_.load(std::memory_order_relaxed); }
+  void add(std::uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+private:
+  const char* name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class PerfCounterRegistry {
+public:
+  static PerfCounterRegistry& instance() {
+    static PerfCounterRegistry registry;
+    return registry;
+  }
+
+  void add(PerfCounter* counter) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.push_back(counter);
+  }
+
+  std::vector<PerfCounterValue> collect() const {
+    std::map<std::string, std::uint64_t> merged;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const PerfCounter* counter : counters_) {
+        merged[counter->name()] += counter->load();
+      }
+    }
+    std::vector<PerfCounterValue> out;
+    out.reserve(merged.size());
+    for (const auto& [name, value] : merged) {
+      out.push_back(PerfCounterValue{name, value});
+    }
+    return out;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (PerfCounter* counter : counters_) {
+      counter->reset();
+    }
+  }
+
+private:
+  mutable std::mutex mutex_;
+  std::vector<PerfCounter*> counters_;
+};
+
+inline PerfCounter::PerfCounter(const char* name) : name_(name) {
+  PerfCounterRegistry::instance().add(this);
+}
+
+}  // namespace detail
+
+inline std::vector<PerfCounterValue> collectPerfCounters() {
+  return detail::PerfCounterRegistry::instance().collect();
+}
+
+inline void resetPerfCounters() {
+  detail::PerfCounterRegistry::instance().reset();
+}
+
+#define PERFVAR_COUNTER_ADD(counterName, delta)                              \
+  do {                                                                       \
+    static ::perfvar::util::detail::PerfCounter perfvarCounterSite(          \
+        counterName);                                                        \
+    perfvarCounterSite.add(static_cast<std::uint64_t>(delta));               \
+  } while (false)
+
+#else  // !PERFVAR_PERF_COUNTERS
+
+inline std::vector<PerfCounterValue> collectPerfCounters() { return {}; }
+inline void resetPerfCounters() {}
+
+#define PERFVAR_COUNTER_ADD(counterName, delta) \
+  do {                                          \
+  } while (false)
+
+#endif  // PERFVAR_PERF_COUNTERS
+
+#define PERFVAR_COUNTER_INC(counterName) PERFVAR_COUNTER_ADD(counterName, 1)
+
+}  // namespace perfvar::util
+
+#endif  // PERFVAR_UTIL_PERF_COUNTERS_HPP

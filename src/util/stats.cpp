@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/error.hpp"
+#include "util/perf_counters.hpp"
 
 namespace perfvar::stats {
 
@@ -25,6 +26,55 @@ double medianOfSorted(const std::vector<double>& v) {
     return v[n / 2];
   }
   return 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/// Per-thread scratch for the selection kernels: one allocation amortized
+/// across every median/MAD/robust-z call on the thread instead of a fresh
+/// vector per call. Never escapes this translation unit.
+std::vector<double>& selectionScratch() {
+  thread_local std::vector<double> scratch;
+  return scratch;
+}
+
+/// Median by nth_element; permutes `v`. Selects the same elements a full
+/// sort would: for odd n the value at sorted index n/2, for even n the
+/// max of the lower half paired with the n/2-th order statistic, combined
+/// in the exact expression order of the sort-based implementation — so
+/// the result is bit-identical to medianOfSorted(sorted(v)).
+double medianInPlace(std::vector<double>& v) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  const std::size_t n = v.size();
+  const std::size_t mid = n / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  if (n % 2 == 1) {
+    return v[mid];
+  }
+  const double lower =
+      *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lower + v[mid]);
+}
+
+/// Median of a sorted array `v` with the element at `removed` taken out,
+/// without materializing the reduced array: element t of the reduced
+/// array is v[t] when t < removed and v[t+1] otherwise.
+double medianOfSortedMinusOne(const std::vector<double>& v,
+                              std::size_t removed) {
+  const std::size_t m = v.size() - 1;
+  if (m == 0) {
+    return 0.0;
+  }
+  if (m % 2 == 1) {
+    const std::size_t h = m / 2;
+    return h < removed ? v[h] : v[h + 1];
+  }
+  const std::size_t a = m / 2 - 1;
+  const std::size_t b = m / 2;
+  const double lower = a < removed ? v[a] : v[a + 1];
+  const double upper = b < removed ? v[b] : v[b + 1];
+  return 0.5 * (lower + upper);
 }
 
 }  // namespace
@@ -79,7 +129,9 @@ Summary summarize(std::span<const double> xs) {
 }
 
 double median(std::span<const double> xs) {
-  return medianOfSorted(sorted(xs));
+  auto& v = selectionScratch();
+  v.assign(xs.begin(), xs.end());
+  return medianInPlace(v);
 }
 
 double quantile(std::span<const double> xs, double q) {
@@ -87,7 +139,8 @@ double quantile(std::span<const double> xs, double q) {
   if (xs.empty()) {
     return 0.0;
   }
-  const auto v = sorted(xs);
+  auto& v = selectionScratch();
+  v.assign(xs.begin(), xs.end());
   if (v.size() == 1) {
     return v[0];
   }
@@ -95,25 +148,45 @@ double quantile(std::span<const double> xs, double q) {
   const auto lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, v.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return v[lo] * (1.0 - frac) + v[hi] * frac;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(lo),
+                   v.end());
+  const double vlo = v[lo];
+  // The sorted value at lo+1 is the minimum of everything nth_element
+  // left above the pivot; hi == lo only at q == 1.0.
+  const double vhi =
+      hi == lo
+          ? vlo
+          : *std::min_element(v.begin() + static_cast<std::ptrdiff_t>(lo + 1),
+                              v.end());
+  return vlo * (1.0 - frac) + vhi * frac;
 }
 
 double mad(std::span<const double> xs) {
   if (xs.empty()) {
     return 0.0;
   }
-  const double med = median(xs);
-  std::vector<double> dev;
-  dev.reserve(xs.size());
-  for (const double x : xs) {
-    dev.push_back(std::abs(x - med));
+  // One scratch copy serves both selections: the median permutes it but
+  // keeps the multiset, then it is transformed in place to |x - med|.
+  auto& v = selectionScratch();
+  v.assign(xs.begin(), xs.end());
+  const double med = medianInPlace(v);
+  for (double& e : v) {
+    e = std::abs(e - med);
   }
-  return median(dev);
+  return medianInPlace(v);
 }
 
 double robustZ(double x, std::span<const double> sample) {
-  const double med = median(sample);
-  const double scale = kMadToSigma * mad(sample);
+  if (sample.empty()) {
+    return 0.0;  // median 0, MAD 0, stddev 0 -> the zScore fallback is 0
+  }
+  auto& v = selectionScratch();
+  v.assign(sample.begin(), sample.end());
+  const double med = medianInPlace(v);
+  for (double& e : v) {
+    e = std::abs(e - med);
+  }
+  const double scale = kMadToSigma * medianInPlace(v);
   if (scale > 0.0) {
     return (x - med) / scale;
   }
@@ -132,8 +205,13 @@ double referenceZ(double x, std::span<const double> reference) {
   if (reference.empty()) {
     return 0.0;
   }
-  const double med = median(reference);
-  double scale = kMadToSigma * mad(reference);
+  auto& v = selectionScratch();
+  v.assign(reference.begin(), reference.end());
+  const double med = medianInPlace(v);
+  for (double& e : v) {
+    e = std::abs(e - med);
+  }
+  double scale = kMadToSigma * medianInPlace(v);
   if (scale <= 0.0) {
     scale = stddev(reference);
   }
@@ -147,6 +225,110 @@ double referenceZ(double x, std::span<const double> reference) {
     return (x - med) / base;
   }
   return (x - med) / scale;
+}
+
+std::vector<double> leaveOneOutZ(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<double> out(n, 0.0);
+  if (n <= 1) {
+    return out;  // referenceZ against an empty reference is 0
+  }
+
+  // Sort once; every leave-one-out reference is this order with one
+  // position removed. Ties may be assigned either way: removing any
+  // instance of an equal value leaves the same multiset.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return xs[a] < xs[b] || (xs[a] == xs[b] && a < b);
+  });
+  std::vector<double> a(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    a[t] = xs[order[t]];
+  }
+  if (a.front() == a.back()) {
+    return out;  // constant sample: x equals the reference median -> 0
+  }
+
+  const std::size_t m = n - 1;
+
+  // Exact per-element fallback for degenerate references (MAD == 0):
+  // rebuild the reference in original index order — the stddev inside
+  // referenceZ sums in that order — and delegate to the oracle.
+  const auto fallback = [&](std::size_t i) {
+    std::vector<double> others;
+    others.reserve(m);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) {
+        others.push_back(xs[j]);
+      }
+    }
+    PERFVAR_COUNTER_INC("stats.leave_one_out_fallback");
+    return referenceZ(xs[i], others);
+  };
+
+  // The leave-one-out median takes at most three distinct values,
+  // constant over contiguous ranges of the removed sorted position.
+  struct Region {
+    std::size_t first;
+    std::size_t last;
+    double med;
+  };
+  Region regions[3];
+  std::size_t numRegions = 0;
+  if (m % 2 == 1) {
+    const std::size_t h = m / 2;
+    regions[numRegions++] = {0, h, a[h + 1]};
+    regions[numRegions++] = {h + 1, n - 1, a[h]};
+  } else {
+    const std::size_t lo = m / 2 - 1;
+    const std::size_t hi = m / 2;
+    regions[numRegions++] = {0, lo, 0.5 * (a[lo + 1] + a[hi + 1])};
+    regions[numRegions++] = {hi, hi, 0.5 * (a[lo] + a[hi + 1])};
+    regions[numRegions++] = {hi + 1, n - 1, 0.5 * (a[lo] + a[hi])};
+  }
+
+  // Scratch shared across regions: devs holds |a[t] - med| sorted, and
+  // devRank[t] is the position of a[t]'s deviation inside devs.
+  std::vector<double> devs(n);
+  std::vector<std::size_t> devRank(n);
+  for (std::size_t r = 0; r < numRegions; ++r) {
+    const double med = regions[r].med;
+    // |a[t] - med| is two sorted runs over sorted `a`: decreasing up to
+    // the split (values <= med, walked backwards) and increasing after
+    // it. A linear two-run merge sorts the deviations branchlessly
+    // relative to a comparison sort and yields each element's rank.
+    const std::size_t split = static_cast<std::size_t>(
+        std::upper_bound(a.begin(), a.end(), med) - a.begin());
+    std::size_t left = split;   // next left candidate is a[left - 1]
+    std::size_t right = split;  // next right candidate is a[right]
+    for (std::size_t t = 0; t < n; ++t) {
+      const bool takeLeft =
+          left != 0 && (right == n || std::abs(a[left - 1] - med) <=
+                                          std::abs(a[right] - med));
+      if (takeLeft) {
+        --left;
+        devs[t] = std::abs(a[left] - med);
+        devRank[left] = t;
+      } else {
+        devs[t] = std::abs(a[right] - med);
+        devRank[right] = t;
+        ++right;
+      }
+    }
+    for (std::size_t k = regions[r].first; k <= regions[r].last; ++k) {
+      const std::size_t i = order[k];
+      const double scale =
+          kMadToSigma * medianOfSortedMinusOne(devs, devRank[k]);
+      if (scale > 0.0) {
+        out[i] = (xs[i] - med) / scale;
+        PERFVAR_COUNTER_INC("stats.leave_one_out_fast");
+      } else {
+        out[i] = fallback(i);
+      }
+    }
+  }
+  return out;
 }
 
 OlsFit olsFit(std::span<const double> xs, std::span<const double> ys) {
@@ -283,5 +465,59 @@ std::vector<std::size_t> histogram(std::span<const double> xs, std::size_t bins)
   }
   return counts;
 }
+
+namespace detail {
+
+double medianReference(std::span<const double> xs) {
+  return medianOfSorted(sorted(xs));
+}
+
+double quantileReference(std::span<const double> xs, double q) {
+  PERFVAR_REQUIRE(q >= 0.0 && q <= 1.0, "quantile: q must be in [0,1]");
+  if (xs.empty()) {
+    return 0.0;
+  }
+  const std::vector<double> v = sorted(xs);
+  if (v.size() == 1) {
+    return v[0];
+  }
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double madReference(std::span<const double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  const double med = medianOfSorted(sorted(xs));
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (const double x : xs) {
+    dev.push_back(std::abs(x - med));
+  }
+  std::sort(dev.begin(), dev.end());
+  return medianOfSorted(dev);
+}
+
+std::vector<double> leaveOneOutZReference(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<double> out(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> others;
+    others.reserve(n > 0 ? n - 1 : 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) {
+        others.push_back(xs[j]);
+      }
+    }
+    out[i] = referenceZ(xs[i], others);
+  }
+  return out;
+}
+
+}  // namespace detail
 
 }  // namespace perfvar::stats

@@ -70,6 +70,13 @@ double zScore(double x, std::span<const double> sample);
 /// instead of being diluted by itself, as happens with in-sample z).
 double referenceZ(double x, std::span<const double> reference);
 
+/// Leave-one-out robust z for every element: out[i] equals
+/// referenceZ(xs[i], xs with position i removed), bit for bit. Computed in
+/// O(n log n) total via one shared sort (the naive loop is O(n^2 log n)
+/// and dominates whole-trace analysis at 10k+ ranks); elements whose
+/// reference degenerates to MAD == 0 take an exact per-element fallback.
+std::vector<double> leaveOneOutZ(std::span<const double> xs);
+
 /// OLS fit of y against x. Requires xs.size() == ys.size(); returns a
 /// zeroed fit for fewer than 2 points or zero x-variance.
 OlsFit olsFit(std::span<const double> xs, std::span<const double> ys);
@@ -97,6 +104,18 @@ std::vector<double> ranks(std::span<const double> xs);
 /// Equal-width histogram with `bins` buckets spanning [min, max]. Values
 /// equal to max land in the last bucket. Empty input yields all-zero counts.
 std::vector<std::size_t> histogram(std::span<const double> xs, std::size_t bins);
+
+namespace detail {
+
+/// Straightforward sort-based implementations retained as differential
+/// oracles: the optimized kernels above must match them bit for bit (see
+/// tests/util_stats_test.cpp). Not for production call sites.
+double medianReference(std::span<const double> xs);
+double quantileReference(std::span<const double> xs, double q);
+double madReference(std::span<const double> xs);
+std::vector<double> leaveOneOutZReference(std::span<const double> xs);
+
+}  // namespace detail
 
 }  // namespace perfvar::stats
 

@@ -13,9 +13,11 @@
 #include <vector>
 
 #include "apps/paper_examples.hpp"
+#include "trace/binary_format.hpp"
 #include "trace/binary_io.hpp"
 #include "trace/builder.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace perfvar::trace {
@@ -300,6 +302,129 @@ TEST(BinaryV2, WriteRejectsUnknownVersion) {
   options.version = 7;
   std::ostringstream os;
   EXPECT_THROW(writeBinary(syntheticTrace(1, 2), os, options), Error);
+}
+
+// ---- varint decoder properties --------------------------------------------
+//
+// The unrolled fast path (taken whenever 10 bytes are in bounds) must be
+// observationally identical to the byte-at-a-time scalar loop: same
+// value, same cursor advance, same error classification on adversarial
+// encodings.
+
+namespace {
+
+std::vector<unsigned char> encodeLeb128(std::uint64_t v) {
+  std::vector<unsigned char> out;
+  do {
+    unsigned char byte = v & 0x7F;
+    v >>= 7;
+    if (v != 0) {
+      byte |= 0x80;
+    }
+    out.push_back(byte);
+  } while (v != 0);
+  return out;
+}
+
+/// Decode with both implementations over a buffer padded to `padding`
+/// trailing bytes (0 = the <10-byte scalar fallback, >=10 = the unrolled
+/// fast path) and require identical value and cursor advance.
+std::uint64_t decodeBothWays(const std::vector<unsigned char>& encoded,
+                             std::size_t padding) {
+  std::vector<unsigned char> buf = encoded;
+  buf.insert(buf.end(), padding, 0x55);
+  const unsigned char* fast = buf.data();
+  const std::uint64_t fastValue =
+      detail::decodeVarint(fast, buf.data() + buf.size());
+  const unsigned char* scalar = buf.data();
+  const std::uint64_t scalarValue =
+      detail::decodeVarintScalar(scalar, buf.data() + buf.size());
+  EXPECT_EQ(fastValue, scalarValue);
+  EXPECT_EQ(fast - buf.data(), scalar - buf.data());
+  EXPECT_EQ(static_cast<std::size_t>(fast - buf.data()), encoded.size());
+  return fastValue;
+}
+
+}  // namespace
+
+TEST(VarintProperty, RandomRoundTripsOnBothPaths) {
+  Rng rng(2026);
+  for (int i = 0; i < 5000; ++i) {
+    // Bit-width-uniform values so every encoded length 1..10 is hit.
+    const auto bits = static_cast<std::uint32_t>(rng.uniformInt(0, 63));
+    const std::uint64_t v = rng() >> (63 - bits);
+    const auto encoded = encodeLeb128(v);
+    for (const std::size_t padding : {std::size_t{0}, std::size_t{16}}) {
+      EXPECT_EQ(decodeBothWays(encoded, padding), v);
+    }
+  }
+}
+
+TEST(VarintProperty, BoundaryPaddingSweepsScalarVsFast) {
+  // Around the 10-byte fast-path threshold the two implementations must
+  // agree for every remaining-bytes count.
+  const std::uint64_t v = ~std::uint64_t{0};  // max-length encoding
+  const auto encoded = encodeLeb128(v);
+  ASSERT_EQ(encoded.size(), 10u);
+  for (std::size_t padding = 0; padding <= 12; ++padding) {
+    EXPECT_EQ(decodeBothWays(encoded, padding), v);
+  }
+}
+
+TEST(VarintProperty, TruncatedEncodingsThrowTruncatedInput) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = rng() | (1ULL << 60);  // multi-byte for sure
+    const auto encoded = encodeLeb128(v);
+    for (std::size_t keep = 0; keep < encoded.size(); ++keep) {
+      std::vector<unsigned char> buf(encoded.begin(),
+                                     encoded.begin() + keep);
+      const unsigned char* p = buf.data();
+      try {
+        (void)detail::decodeVarint(p, buf.data() + buf.size());
+        FAIL() << "truncated varint decoded";
+      } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::TruncatedInput);
+      }
+    }
+  }
+}
+
+TEST(VarintProperty, OverlongEncodingsThrowMalformedEvent) {
+  // 10 continuation bytes followed by more payload: the encoding would
+  // exceed 64 value bits. Both paths must classify it as malformed, on
+  // the fast path (ample padding) and the scalar path alike.
+  std::vector<unsigned char> overlong(11, 0x80);
+  overlong.push_back(0x01);
+  for (const std::size_t padding : {std::size_t{0}, std::size_t{16}}) {
+    std::vector<unsigned char> buf = overlong;
+    buf.insert(buf.end(), padding, 0x00);
+    const unsigned char* fast = buf.data();
+    try {
+      (void)detail::decodeVarint(fast, buf.data() + buf.size());
+      FAIL() << "overlong varint decoded";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::MalformedEvent);
+    }
+    const unsigned char* scalar = buf.data();
+    try {
+      (void)detail::decodeVarintScalar(scalar, buf.data() + buf.size());
+      FAIL() << "overlong varint decoded (scalar)";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::MalformedEvent);
+    }
+  }
+}
+
+TEST(VarintProperty, TenthByteHighBitsDropLikeScalar) {
+  // A 10-byte encoding whose final byte carries payload bits above bit
+  // 63: the scalar loop shifts them out (shift 63 keeps only the low
+  // bit), and the fast path must reproduce that exactly.
+  std::vector<unsigned char> encoded(9, 0x80);
+  encoded.push_back(0x7F);  // bits 63..69 set, only bit 63 survives
+  for (const std::size_t padding : {std::size_t{0}, std::size_t{16}}) {
+    EXPECT_EQ(decodeBothWays(encoded, padding), 1ULL << 63);
+  }
 }
 
 }  // namespace

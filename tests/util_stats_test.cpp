@@ -197,5 +197,113 @@ TEST_P(RobustZSweep, InSamplePointsAreNotOutliers) {
 INSTANTIATE_TEST_SUITE_P(Sizes, RobustZSweep,
                          ::testing::Values(1, 2, 3, 17, 99));
 
+// ---- selection-kernel bit identity ----------------------------------------
+//
+// The nth_element-based kernels and the batched leave-one-out scorer must
+// match the sort-based reference implementations bit for bit (EXPECT_EQ
+// on doubles, not EXPECT_NEAR): the parallel-analysis determinism
+// contract and the golden-report tests both depend on it.
+
+namespace {
+
+std::vector<double> randomSample(Rng& rng, std::size_t n, bool withTies) {
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(withTies ? static_cast<double>(rng.uniformInt(0, 9))
+                          : rng.normal(5.0, 2.0));
+  }
+  return xs;
+}
+
+}  // namespace
+
+TEST(StatsBitIdentity, MedianMatchesReferenceOnEdgeCases) {
+  const std::vector<std::vector<double>> cases = {
+      {},
+      {3.25},
+      {2.0, 1.0},
+      {7.0, 7.0, 7.0},
+      {1.0, 2.0, 3.0, 4.0},
+      {-0.0, 0.0},
+      {1e300, -1e300, 3.0},
+  };
+  for (const auto& xs : cases) {
+    EXPECT_EQ(median(xs), detail::medianReference(xs));
+    EXPECT_EQ(mad(xs), detail::madReference(xs));
+  }
+}
+
+TEST(StatsBitIdentity, RandomSweepMedianQuantileMad) {
+  Rng rng(42);
+  for (const bool withTies : {false, true}) {
+    for (std::size_t n = 1; n <= 64; ++n) {
+      const std::vector<double> xs = randomSample(rng, n, withTies);
+      EXPECT_EQ(median(xs), detail::medianReference(xs));
+      EXPECT_EQ(mad(xs), detail::madReference(xs));
+      for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+        EXPECT_EQ(quantile(xs, q), detail::quantileReference(xs, q))
+            << "n=" << n << " q=" << q << " ties=" << withTies;
+      }
+    }
+  }
+}
+
+TEST(StatsBitIdentity, LeaveOneOutMatchesNaiveLoop) {
+  Rng rng(7);
+  for (const bool withTies : {false, true}) {
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                                std::size_t{2}, std::size_t{3},
+                                std::size_t{4}, std::size_t{5},
+                                std::size_t{17}, std::size_t{64},
+                                std::size_t{101}}) {
+      const std::vector<double> xs = randomSample(rng, n, withTies);
+      const std::vector<double> fast = leaveOneOutZ(xs);
+      const std::vector<double> ref = detail::leaveOneOutZReference(xs);
+      ASSERT_EQ(fast.size(), ref.size());
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_EQ(fast[i], ref[i])
+            << "n=" << n << " i=" << i << " ties=" << withTies;
+      }
+    }
+  }
+}
+
+TEST(StatsBitIdentity, LeaveOneOutDegenerateSamples) {
+  const std::vector<std::vector<double>> cases = {
+      {5.0, 5.0, 5.0, 5.0},              // constant -> all zeros
+      {5.0, 5.0, 5.0, 9.0},              // MAD collapses without the outlier
+      {1.0, 1.0, 2.0, 2.0},              // heavy ties
+      {0.0, 0.0, 0.0, 1e-12},            // near-zero constant reference
+      {3.0, 100.0},                      // n = 2: empty scale both ways
+      {-2.0, -2.0, -2.0, -2.0, 7.5, 7.5},
+  };
+  for (const auto& xs : cases) {
+    const std::vector<double> fast = leaveOneOutZ(xs);
+    const std::vector<double> ref = detail::leaveOneOutZReference(xs);
+    ASSERT_EQ(fast.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(fast[i], ref[i]) << "i=" << i;
+    }
+  }
+}
+
+TEST(StatsBitIdentity, RobustZAndReferenceZUnchangedByScratchReuse) {
+  // Interleave kernels so each call inherits a dirty scratch buffer from
+  // a different predecessor; results must not depend on it.
+  Rng rng(11);
+  const std::vector<double> a = randomSample(rng, 33, false);
+  const std::vector<double> b = randomSample(rng, 7, true);
+  const double za1 = robustZ(4.0, a);
+  (void)median(b);
+  (void)mad(a);
+  const double za2 = robustZ(4.0, a);
+  EXPECT_EQ(za1, za2);
+  const double ra1 = referenceZ(4.0, b);
+  (void)quantile(a, 0.73);
+  const double ra2 = referenceZ(4.0, b);
+  EXPECT_EQ(ra1, ra2);
+}
+
 }  // namespace
 }  // namespace perfvar::stats
