@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -703,6 +704,40 @@ void BM_ServeAppend(benchmark::State& state) {
                           static_cast<std::int64_t>(trace64().eventCount()));
 }
 BENCHMARK(BM_ServeAppend)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// Same stream with the write-ahead journal on: the BM_ServeAppend delta
+// is the durability tax on ingestion throughput (no fsync — the default
+// `--journal-dir` configuration).
+void BM_ServeAppendJournal(benchmark::State& state) {
+  const std::string image = binaryImage(trace::kBinaryFormatV2);
+  const std::string journalDir = "perf_micro_journal.d";
+  server::ServerOptions options;
+  options.journalDir = journalDir;
+  server::Server srv(options);
+  server::Client client = serveClient(srv);
+  const auto selection = analysis::selectDominantFunction(trace64());
+  const std::string segmentFn =
+      trace64().functions.at(selection.dominant().function).name;
+  for (auto _ : state) {
+    state.PauseTiming();
+    client.evict("stream");
+    client.open("stream", segmentFn);
+    state.ResumeTiming();
+    if (!client.append("stream", image).ok()) {
+      state.SkipWithError("append failed");
+      break;
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(image.size()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace64().eventCount()));
+  std::error_code ec;
+  std::filesystem::remove_all(journalDir, ec);
+}
+BENCHMARK(BM_ServeAppendJournal)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Simulator(benchmark::State& state) {
   apps::CosmoSpecsConfig cfg;

@@ -50,6 +50,24 @@ struct ToolOptions {
   std::size_t budgetMb = 0;
   /// --session-budget-mb N: serve only — per-session budget (MiB).
   std::size_t sessionBudgetMb = 0;
+  /// --journal-dir D: serve only — write-ahead journal directory for
+  /// live streaming traces (empty = journaling off).
+  std::string journalDir;
+  /// --recover: serve only — replay --journal-dir on startup.
+  bool recover = false;
+  /// --journal-fsync: serve only — fsync the journal after every record.
+  bool journalFsync = false;
+  /// --reorder-window-bytes N: serve only — buffer for out-of-order
+  /// streamed chunks (0 = strict time-ordered appends).
+  std::size_t reorderWindowBytes = 0;
+  /// --send-timeout-ms N: serve only — per-send poll timeout before a
+  /// slow peer is treated as dead (0 = block forever).
+  std::size_t sendTimeoutMs = 5000;
+  /// --retry N: connect only — connection attempts before giving up.
+  std::size_t retry = 50;
+  /// --retry-delay-ms N: connect only — initial backoff delay; doubles
+  /// per attempt up to 2 s.
+  std::size_t retryDelayMs = 100;
   /// --json: lint only — JSON report instead of text.
   bool lintJson = false;
   /// --fail-on S: lint only — severity that fails the run.
@@ -151,6 +169,37 @@ inline ParseStatus parseToolOptions(int argc, const char* const* argv,
       if (!parseSize(value, options.sessionBudgetMb)) {
         return badValue(arg, "a non-negative integer", value);
       }
+    } else if (arg == "--journal-dir") {
+      if (!needsValue(arg, i)) return ParseStatus::Error;
+      options.journalDir = argv[++i];
+    } else if (arg == "--reorder-window-bytes") {
+      if (!needsValue(arg, i)) return ParseStatus::Error;
+      const std::string value = argv[++i];
+      if (!parseSize(value, options.reorderWindowBytes)) {
+        return badValue(arg, "a non-negative integer", value);
+      }
+    } else if (arg == "--send-timeout-ms") {
+      if (!needsValue(arg, i)) return ParseStatus::Error;
+      const std::string value = argv[++i];
+      if (!parseSize(value, options.sendTimeoutMs)) {
+        return badValue(arg, "a non-negative integer", value);
+      }
+    } else if (arg == "--retry") {
+      if (!needsValue(arg, i)) return ParseStatus::Error;
+      const std::string value = argv[++i];
+      if (!parseSize(value, options.retry)) {
+        return badValue(arg, "a non-negative integer", value);
+      }
+    } else if (arg == "--retry-delay-ms") {
+      if (!needsValue(arg, i)) return ParseStatus::Error;
+      const std::string value = argv[++i];
+      if (!parseSize(value, options.retryDelayMs)) {
+        return badValue(arg, "a non-negative integer", value);
+      }
+    } else if (arg == "--recover") {
+      options.recover = true;
+    } else if (arg == "--journal-fsync") {
+      options.journalFsync = true;
     } else if (arg == "--salvage") {
       options.salvage = true;
     } else if (arg == "--verify") {

@@ -57,11 +57,16 @@
 /// Without arguments, a self-contained demo runs (generate + analyze a
 /// temporary COSMO-SPECS trace).
 
+#include <cerrno>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "analysis/export.hpp"
 #include "analysis/pipeline.hpp"
@@ -95,6 +100,15 @@ constexpr int kExitUsage = 2;    ///< malformed command lines
 /// `lint` contract: 1 = findings at/above --fail-on, 2 = unloadable trace.
 constexpr int kExitLintFindings = 1;
 constexpr int kExitLintLoadError = 2;
+
+/// Self-pipe for `serve` SIGTERM drain: the handler only writes one byte
+/// (async-signal-safe); a watcher thread does the actual graceful drain.
+int gSigtermPipe[2] = {-1, -1};
+
+extern "C" void onSigterm(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(gSigtermPipe[1], &byte, 1);
+}
 
 trace::Trace generateScenario(const std::string& name) {
   if (name == "cosmo-specs") {
@@ -158,7 +172,10 @@ void printUsage(std::ostream& out) {
       "                                   help | quit\n"
       "  serve <socket>                 long-lived analysis daemon on a\n"
       "                                 Unix socket (docs/PROTOCOL.md);\n"
-      "                                 stops on a client 'shutdown'\n"
+      "                                 stops on a client 'shutdown';\n"
+      "                                 SIGTERM drains gracefully (stops\n"
+      "                                 accepting, finishes in-flight\n"
+      "                                 requests, fsyncs journals)\n"
       "  connect <socket>               drive a daemon from stdin (one\n"
       "                                 command per line):\n"
       "                                   load <name> <in.pvt>\n"
@@ -192,6 +209,26 @@ void printUsage(std::ostream& out) {
       "                         0 = unlimited (default)\n"
       "  --session-budget-mb N  serve only: per-session memory budget\n"
       "                         (MiB); 0 = unlimited (default)\n"
+      "  --journal-dir D        serve only: per-trace write-ahead journals\n"
+      "                         for live streams; budget evictions spill\n"
+      "                         to disk and fault back in on demand\n"
+      "  --recover              serve only: replay --journal-dir before\n"
+      "                         listening (crash recovery)\n"
+      "  --journal-fsync        serve only: fsync after every journal\n"
+      "                         record (durable against power loss, not\n"
+      "                         just process crash)\n"
+      "  --reorder-window-bytes N  serve only: buffer out-of-order stream\n"
+      "                         chunks up to N bytes per trace and commit\n"
+      "                         them in time order (0 = strict order,\n"
+      "                         default)\n"
+      "  --send-timeout-ms N    serve only: per-send timeout before a\n"
+      "                         stalled client is dropped (0 = block\n"
+      "                         forever; default 5000)\n"
+      "  --retry N              connect only: connection attempts before\n"
+      "                         giving up (default 50)\n"
+      "  --retry-delay-ms N     connect only: initial retry delay;\n"
+      "                         doubles per attempt up to 2s (default\n"
+      "                         100)\n"
       "  --json        lint only: report as JSON instead of text\n"
       "  --fail-on S   lint only: severity that fails the run with exit\n"
       "                code 1 (info | warning | error; default warning)\n"
@@ -638,21 +675,69 @@ int main(int argc, char** argv) {
       return usageError("unknown command '" + cmd + "'");
     }
     if (cmd == "serve") {
+      if (options.recover && options.journalDir.empty()) {
+        return usageError("--recover requires --journal-dir");
+      }
       server::ServerOptions serverOptions;
       serverOptions.threads = threads;
       serverOptions.maxResidentBytes = options.budgetMb * 1024 * 1024;
       serverOptions.maxSessionBytes = options.sessionBudgetMb * 1024 * 1024;
+      serverOptions.journalDir = options.journalDir;
+      serverOptions.recover = options.recover;
+      serverOptions.journalFsync = options.journalFsync;
+      serverOptions.reorderWindowBytes = options.reorderWindowBytes;
+      serverOptions.rehydrate = !options.journalDir.empty();
+      serverOptions.sendTimeoutMs = static_cast<int>(options.sendTimeoutMs);
       server::Server srv(serverOptions);
+      if (options.recover) {
+        std::cout << "recovered " << srv.service().stats().traces
+                  << " trace(s) from " << options.journalDir << '\n';
+      }
+      // SIGTERM = graceful drain: a self-pipe wakes a watcher thread that
+      // runs the drain outside signal context (drain() joins threads and
+      // takes locks, none of which is async-signal-safe).
+      const bool haveDrainPipe = ::pipe(gSigtermPipe) == 0;
+      std::thread drainWatcher;
+      if (haveDrainPipe) {
+        struct sigaction action {};
+        action.sa_handler = onSigterm;
+        sigemptyset(&action.sa_mask);
+        ::sigaction(SIGTERM, &action, nullptr);
+        drainWatcher = std::thread([&srv] {
+          char byte = 0;
+          while (::read(gSigtermPipe[0], &byte, 1) < 0 && errno == EINTR) {
+          }
+          if (byte == 1) {
+            std::cout << "draining (SIGTERM)\n" << std::flush;
+            srv.drain();
+          }
+        });
+      }
       srv.listen(args[1]);
       // Scripts wait for this line before connecting; flush it.
       std::cout << "serving on " << args[1] << std::endl;
       srv.run();
+      if (haveDrainPipe) {
+        // Wake the watcher if the stop came from a client Shutdown frame
+        // instead of a signal (byte 0 = nothing to drain).
+        const char wake = 0;
+        [[maybe_unused]] const ssize_t n =
+            ::write(gSigtermPipe[1], &wake, 1);
+        drainWatcher.join();
+        ::signal(SIGTERM, SIG_DFL);
+        ::close(gSigtermPipe[0]);
+        ::close(gSigtermPipe[1]);
+        gSigtermPipe[0] = gSigtermPipe[1] = -1;
+      }
+      srv.service().syncJournals();
       std::cout << "server stopped\n";
       return kExitOk;
     }
     if (cmd == "connect") {
-      server::Client client =
-          server::Client::connectTo(args[1], /*retries=*/50);
+      util::ConnectRetryPolicy retryPolicy;
+      retryPolicy.retries = options.retry;
+      retryPolicy.initialDelayMs = options.retryDelayMs;
+      server::Client client = server::Client::connectTo(args[1], retryPolicy);
       return runConnectSession(client, std::cin, std::cout);
     }
     if (cmd == "info") {

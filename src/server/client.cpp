@@ -28,6 +28,11 @@ Client Client::connectTo(const std::string& path, std::size_t retries) {
   return Client(util::connectUnix(path, retries));
 }
 
+Client Client::connectTo(const std::string& path,
+                         const util::ConnectRetryPolicy& policy) {
+  return Client(util::connectUnix(path, policy));
+}
+
 ClientResponse Client::request(FrameType type, std::string_view payload) {
   util::writeFrame(fd_.get(), static_cast<std::uint8_t>(type), payload);
   ClientResponse response;

@@ -51,6 +51,11 @@ public:
   /// Connect to a daemon's Unix socket, retrying while it starts up.
   static Client connectTo(const std::string& path, std::size_t retries = 50);
 
+  /// Connect with an explicit bounded-retry/backoff policy
+  /// (`trace_tool connect --retry N --retry-delay-ms M`).
+  static Client connectTo(const std::string& path,
+                          const util::ConnectRetryPolicy& policy);
+
   /// Send one frame and collect responses until the final frame.
   /// Error finals are RETURNED (type == FrameType::Error), not thrown —
   /// they are protocol results; only transport failures throw.

@@ -1,0 +1,300 @@
+#include "server/journal.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/framing.hpp"
+#include "util/hash.hpp"
+
+namespace perfvar::server {
+
+namespace {
+
+constexpr char kJournalMagic[4] = {'P', 'V', 'T', 'J'};
+
+/// Ceiling on a record payload: the largest Append payload is one mode
+/// byte plus a maximum-size protocol frame image. Anything larger in a
+/// scanned file is corruption, not an allocation request.
+constexpr std::uint64_t kMaxJournalPayload = util::kMaxFramePayload + 64;
+
+void putU32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void putU64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+std::uint32_t getU32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t getU64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+std::uint64_t recordChecksum(JournalRecordType type, std::string_view payload) {
+  const auto typeByte = static_cast<std::uint8_t>(type);
+  return util::Hasher{}
+      .bytes(&typeByte, 1)
+      .bytes(payload.data(), payload.size())
+      .digest();
+}
+
+std::uint64_t headerChecksum(std::string_view nameAndVersionBytes) {
+  return util::Hasher{}
+      .bytes(nameAndVersionBytes.data(), nameAndVersionBytes.size())
+      .digest();
+}
+
+[[noreturn]] void throwMalformed(const std::string& what,
+                                 const std::string& path = {}) {
+  ErrorContext context;
+  context.code = ErrorCode::MalformedEvent;
+  context.path = path;
+  throw Error(what, std::move(context));
+}
+
+std::string encodeRecord(JournalRecordType type, std::string_view payload) {
+  std::string out;
+  out.reserve(4 + 1 + payload.size() + 8);
+  putU32(out, static_cast<std::uint32_t>(payload.size()));
+  out.push_back(static_cast<char>(type));
+  out.append(payload);
+  putU64(out, recordChecksum(type, payload));
+  return out;
+}
+
+std::string encodeHeader(std::string_view traceName) {
+  std::string out(kJournalMagic, sizeof(kJournalMagic));
+  std::string hashed;
+  putU32(hashed, kJournalVersion);
+  putU32(hashed, static_cast<std::uint32_t>(traceName.size()));
+  hashed.append(traceName);
+  out += hashed;
+  putU64(out, headerChecksum(hashed));
+  return out;
+}
+
+}  // namespace
+
+std::string encodeJournalOpen(const JournalOpen& open) {
+  std::string out;
+  putU32(out, static_cast<std::uint32_t>(open.segmentFunction.size()));
+  out.append(open.segmentFunction);
+  std::uint64_t thresholdBits = 0;
+  static_assert(sizeof(thresholdBits) == sizeof(open.threshold));
+  std::memcpy(&thresholdBits, &open.threshold, sizeof(thresholdBits));
+  putU64(out, thresholdBits);
+  putU64(out, open.warmup);
+  return out;
+}
+
+JournalOpen decodeJournalOpen(std::string_view payload) {
+  if (payload.size() < 4) {
+    throwMalformed("journal Open record too short");
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(payload.data());
+  const std::uint32_t fnLen = getU32(p);
+  if (payload.size() != 4 + static_cast<std::size_t>(fnLen) + 16) {
+    throwMalformed("journal Open record has inconsistent length");
+  }
+  JournalOpen open;
+  open.segmentFunction.assign(payload.data() + 4, fnLen);
+  const std::uint64_t thresholdBits = getU64(p + 4 + fnLen);
+  std::memcpy(&open.threshold, &thresholdBits, sizeof(open.threshold));
+  open.warmup = getU64(p + 4 + fnLen + 8);
+  return open;
+}
+
+std::string encodeJournalAppend(bool buffered, std::string_view image) {
+  std::string out;
+  out.reserve(1 + image.size());
+  out.push_back(buffered ? '\1' : '\0');
+  out.append(image);
+  return out;
+}
+
+JournalAppend decodeJournalAppend(std::string_view payload) {
+  if (payload.empty() || (payload[0] != '\0' && payload[0] != '\1')) {
+    throwMalformed("journal Append record has a bad mode byte");
+  }
+  JournalAppend append;
+  append.buffered = payload[0] == '\1';
+  append.image = payload.substr(1);
+  return append;
+}
+
+std::string encodeJournalFlush(std::uint64_t count) {
+  std::string out;
+  putU64(out, count);
+  return out;
+}
+
+std::uint64_t decodeJournalFlush(std::string_view payload) {
+  if (payload.size() != 8) {
+    throwMalformed("journal Flush record has inconsistent length");
+  }
+  return getU64(reinterpret_cast<const unsigned char*>(payload.data()));
+}
+
+std::string journalFileName(std::string_view traceName) {
+  std::string stem;
+  for (const char c : traceName.substr(0, 48)) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                      c == '.';
+    stem.push_back(keep ? c : '_');
+  }
+  const std::uint64_t hash =
+      util::Hasher{}.bytes(traceName.data(), traceName.size()).digest();
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(hash));
+  if (!stem.empty()) {
+    stem.push_back('-');
+  }
+  return stem + hex + ".pvj";
+}
+
+std::vector<std::string> listJournals(const std::string& dir) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file(ec) && entry.path().extension() == ".pvj") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+JournalWriter JournalWriter::create(const std::string& dir,
+                                    std::string_view traceName,
+                                    bool fsyncEachRecord) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path =
+      (std::filesystem::path(dir) / journalFileName(traceName)).string();
+  util::AppendFile file = util::AppendFile::create(path);
+  JournalWriter writer(std::move(file), fsyncEachRecord);
+  const std::string header = encodeHeader(traceName);
+  writer.file_.append(header.data(), header.size());
+  if (fsyncEachRecord) {
+    writer.file_.sync();
+  }
+  return writer;
+}
+
+JournalWriter JournalWriter::openExisting(std::string path,
+                                          bool fsyncEachRecord) {
+  util::AppendFile file = util::AppendFile::openAppend(path);
+  return JournalWriter(std::move(file), fsyncEachRecord);
+}
+
+void JournalWriter::append(JournalRecordType type, std::string_view payload) {
+  const std::string record = encodeRecord(type, payload);
+  file_.append(record.data(), record.size());
+  if (fsyncEachRecord_) {
+    file_.sync();
+  }
+}
+
+void JournalWriter::sync() {
+  file_.sync();
+}
+
+JournalScan scanJournal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ErrorContext context;
+    context.code = ErrorCode::IoFailure;
+    context.path = path;
+    throw Error("cannot open journal", std::move(context));
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  const auto* data = reinterpret_cast<const unsigned char*>(bytes.data());
+  const std::uint64_t size = bytes.size();
+
+  // Header: magic | u32 version | u32 nameLen | name | u64 checksum.
+  if (size < sizeof(kJournalMagic) + 8 ||
+      std::memcmp(bytes.data(), kJournalMagic, sizeof(kJournalMagic)) != 0) {
+    ErrorContext context;
+    context.code = ErrorCode::BadMagic;
+    context.path = path;
+    throw Error("not a PVTJ journal", std::move(context));
+  }
+  const std::uint32_t version = getU32(data + 4);
+  PERFVAR_REQUIRE_E(version == kJournalVersion,
+                    "unsupported journal version " + std::to_string(version),
+                    [&] {
+                      ErrorContext c;
+                      c.code = ErrorCode::UnsupportedVersion;
+                      c.path = path;
+                      return c;
+                    }());
+  const std::uint32_t nameLen = getU32(data + 8);
+  const std::uint64_t headerEnd = 12ull + nameLen + 8;
+  if (nameLen > kMaxJournalPayload || size < headerEnd) {
+    throwMalformed("journal header is truncated", path);
+  }
+  const std::string_view hashed(bytes.data() + 4, 8 + nameLen);
+  if (getU64(data + 12 + nameLen) != headerChecksum(hashed)) {
+    ErrorContext context;
+    context.code = ErrorCode::ChecksumMismatch;
+    context.path = path;
+    throw Error("journal header checksum mismatch", std::move(context));
+  }
+
+  JournalScan scan;
+  scan.traceName.assign(bytes.data() + 12, nameLen);
+  scan.validBytes = headerEnd;
+
+  // Records: accept the longest clean prefix; stop at the first record
+  // whose length, bounds or checksum fail (the torn tail).
+  std::uint64_t offset = headerEnd;
+  while (true) {
+    if (size - offset < 4) {
+      break;
+    }
+    const std::uint64_t payloadLen = getU32(data + offset);
+    if (payloadLen > kMaxJournalPayload ||
+        size - offset < 4 + 1 + payloadLen + 8) {
+      break;
+    }
+    const auto type = static_cast<JournalRecordType>(data[offset + 4]);
+    if (type != JournalRecordType::Open && type != JournalRecordType::Append &&
+        type != JournalRecordType::Flush) {
+      break;
+    }
+    const std::string_view payload(bytes.data() + offset + 5, payloadLen);
+    const std::uint64_t stored = getU64(data + offset + 5 + payloadLen);
+    if (stored != recordChecksum(type, payload)) {
+      break;
+    }
+    scan.records.push_back(JournalRecord{type, std::string(payload)});
+    offset += 4 + 1 + payloadLen + 8;
+    scan.validBytes = offset;
+  }
+  scan.torn = scan.validBytes != size;
+  return scan;
+}
+
+}  // namespace perfvar::server

@@ -1,0 +1,142 @@
+#ifndef PERFVAR_SERVER_JOURNAL_HPP
+#define PERFVAR_SERVER_JOURNAL_HPP
+
+/// \file journal.hpp
+/// Per-trace write-ahead append journal ("PVTJ") of the analysis server.
+///
+/// A live streaming trace exists only in daemon memory; a crash between
+/// the producer's Append and the next archive step loses it. When the
+/// server runs with a journal directory, every accepted Open/Append is
+/// recorded here *before* the request is acknowledged, so `serve
+/// --journal-dir <d> --recover` can replay the journals and reconstruct
+/// each live entry byte-identical to the pre-crash state — including the
+/// reorder-window contents and StreamingSos progress, which replay
+/// re-derives by re-feeding the same chunk images through the same code
+/// path as the original appends.
+///
+/// File layout (all integers little-endian):
+///
+///   header:  "PVTJ" | u32 version (=1) | u32 nameLen | name bytes
+///            | u64 FNV-1a over (version | nameLen | name)
+///   records: u32 payloadLen | u8 type | payload | u64 FNV-1a over
+///            (type byte | payload)
+///
+/// Record types:
+///   Open   (1): u32 fnLen | fn | u64 threshold (double bit pattern)
+///               | u64 warmup — the live entry's stream options.
+///   Append (2): u8 mode (0 = committed directly, 1 = entered the reorder
+///               window) | raw v2 chunk image as received on the wire.
+///   Flush  (3): u64 count — the `count` earliest reorder-window chunks
+///               were committed (failed chunks count as processed; they
+///               are dropped on replay exactly as they were live).
+///
+/// Recovery is torn-tail tolerant: scanJournal() accepts the longest
+/// prefix of structurally valid, checksum-clean records and reports where
+/// the valid bytes end, so a crash mid-write costs at most the final
+/// (unacknowledged) record. Double-apply is impossible by construction —
+/// truncating the tail and replaying the prefix is idempotent.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/append_file.hpp"
+
+namespace perfvar::server {
+
+/// Journal file format version written by this build.
+inline constexpr std::uint32_t kJournalVersion = 1;
+
+/// Record vocabulary (see file comment for payload layouts).
+enum class JournalRecordType : std::uint8_t {
+  Open = 1,
+  Append = 2,
+  Flush = 3,
+};
+
+/// One decoded journal record.
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::Open;
+  std::string payload;
+};
+
+/// Payload of an Open record.
+struct JournalOpen {
+  std::string segmentFunction;
+  double threshold = 0.0;
+  std::uint64_t warmup = 0;
+};
+
+/// Payload of an Append record.
+struct JournalAppend {
+  bool buffered = false;    ///< entered the reorder window (vs committed)
+  std::string_view image;   ///< points into the record payload
+};
+
+std::string encodeJournalOpen(const JournalOpen& open);
+JournalOpen decodeJournalOpen(std::string_view payload);
+
+std::string encodeJournalAppend(bool buffered, std::string_view image);
+/// The returned view aliases `payload`.
+JournalAppend decodeJournalAppend(std::string_view payload);
+
+std::string encodeJournalFlush(std::uint64_t count);
+std::uint64_t decodeJournalFlush(std::string_view payload);
+
+/// Deterministic journal file name for a trace: a sanitized prefix of the
+/// trace name plus its FNV-1a hash, ".pvj" suffix. Collision-free because
+/// the hash disambiguates names that sanitize identically.
+std::string journalFileName(std::string_view traceName);
+
+/// All *.pvj files directly inside `dir`, sorted by path for reproducible
+/// recovery order. A missing directory yields an empty list.
+std::vector<std::string> listJournals(const std::string& dir);
+
+/// Appending writer over one trace's journal file.
+class JournalWriter {
+public:
+  /// Start a fresh journal for `traceName` inside `dir` (truncates any
+  /// previous file — an Open supersedes the name's history). Creates
+  /// `dir` if missing.
+  static JournalWriter create(const std::string& dir,
+                              std::string_view traceName, bool fsyncEachRecord);
+
+  /// Continue appending to an existing journal file (recovery keeps the
+  /// replayed prefix and extends it).
+  static JournalWriter openExisting(std::string path, bool fsyncEachRecord);
+
+  /// Append one record (single write(2)), then fsync when the policy says
+  /// so. Throws Error(IoFailure) on any failure.
+  void append(JournalRecordType type, std::string_view payload);
+
+  /// fsync now regardless of policy (shutdown drain).
+  void sync();
+
+  const std::string& path() const { return file_.path(); }
+
+private:
+  JournalWriter(util::AppendFile file, bool fsyncEachRecord)
+      : file_(std::move(file)), fsyncEachRecord_(fsyncEachRecord) {}
+
+  util::AppendFile file_;
+  bool fsyncEachRecord_ = false;
+};
+
+/// Result of scanning a journal file.
+struct JournalScan {
+  std::string traceName;               ///< from the header
+  std::vector<JournalRecord> records;  ///< valid prefix, in order
+  std::uint64_t validBytes = 0;        ///< file offset after the last good record
+  bool torn = false;                   ///< trailing bytes past validBytes
+};
+
+/// Scan `path`, accepting the longest valid record prefix. A file whose
+/// header is unreadable/corrupt throws Error (the journal identifies no
+/// trace); a corrupt or truncated record tail merely stops the scan with
+/// torn = true. Never throws on tail damage.
+JournalScan scanJournal(const std::string& path);
+
+}  // namespace perfvar::server
+
+#endif  // PERFVAR_SERVER_JOURNAL_HPP

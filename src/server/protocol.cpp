@@ -131,7 +131,7 @@ ProtocolError decodeErrorPayload(std::string_view payload) {
     return e;
   }
   const auto raw = static_cast<std::uint8_t>(payload[0]);
-  e.code = raw <= static_cast<std::uint8_t>(ErrorCode::StackImbalance)
+  e.code = raw <= static_cast<std::uint8_t>(ErrorCode::ChunkOutOfWindow)
                ? static_cast<ErrorCode>(raw)
                : ErrorCode::Generic;
   e.message.assign(payload.begin() + 1, payload.end());

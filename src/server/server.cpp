@@ -64,8 +64,37 @@ void Server::stop() {
   }
 }
 
+void Server::drain() {
+  stopping_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (listenFd_.valid()) {
+      util::shutdownSocket(listenFd_.get());
+    }
+    // Read-side only: blocked readFrame calls return EOF and the session
+    // loops wind down, but a response currently being written still
+    // flushes to the peer.
+    for (const auto& [id, fd] : sessionFds_) {
+      util::shutdownSocketRead(fd);
+    }
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    threads.swap(threads_);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  service_.syncJournals();
+}
+
 void Server::sessionLoop(util::FileDescriptor fd, std::uint64_t id) {
-  auto sender = std::make_shared<Sender>(fd.get());
+  const ServerOptions& serverOptions = service_.options();
+  SenderOptions senderOptions;
+  senderOptions.sendTimeoutMs = serverOptions.sendTimeoutMs;
+  senderOptions.alertQueueBytes = serverOptions.alertQueueBytes;
+  auto sender = std::make_shared<Sender>(fd.get(), senderOptions);
   std::shared_ptr<ServerSession> session;
   try {
     util::Frame request;

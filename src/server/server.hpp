@@ -64,6 +64,14 @@ public:
   /// Idempotent and callable from session threads (Shutdown frames).
   void stop();
 
+  /// Graceful shutdown (SIGTERM): stop accepting new connections and new
+  /// requests, but let every in-flight request finish and flush its
+  /// response — sessions see EOF on the *read* side only, so replies
+  /// already being written still reach the peer. Joins all session
+  /// threads, then fsyncs every live journal. Callable from a non-session
+  /// thread only (it joins session threads).
+  void drain();
+
   bool stopped() const { return stopping_.load(); }
 
 private:

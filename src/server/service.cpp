@@ -14,25 +14,117 @@ namespace perfvar::server {
 
 // ---- Sender ---------------------------------------------------------------
 
+/// Flush outbuf_ to the socket. waitForDrain = false is the nonblocking
+/// alert pump: write what the kernel accepts and leave the rest queued.
+/// waitForDrain = true (response frames) polls for writability up to the
+/// per-send timeout between partial writes; a peer that stays unwritable
+/// that long is treated as dead and the sender deactivates — exactly the
+/// semantics a closed peer already had, extended to stalled-but-alive
+/// ones.
+bool Sender::flushLocked(bool waitForDrain) {
+  while (active_ && !outbuf_.empty()) {
+    std::size_t written = 0;
+    if (!util::sendNonBlocking(fd_, outbuf_.data(), outbuf_.size(),
+                               written)) {
+      // Peer gone (EPIPE, reset): one broadcast must never poison the
+      // handler that triggered it. The session loop notices on its own.
+      active_ = false;
+      outbuf_.clear();
+      return false;
+    }
+    if (written > 0) {
+      outbuf_.erase(0, written);
+      continue;
+    }
+    if (!waitForDrain) {
+      return true;  // kernel buffer full; bytes stay queued
+    }
+    bool writable = false;
+    try {
+      writable = util::pollWritable(
+          fd_, options_.sendTimeoutMs > 0 ? options_.sendTimeoutMs : -1);
+    } catch (const Error&) {
+      writable = false;
+    }
+    if (!writable) {
+      active_ = false;
+      outbuf_.clear();
+      return false;
+    }
+  }
+  return active_;
+}
+
+void Sender::queueDropMarkerLocked() {
+  outbuf_ += util::encodeFrame(
+      static_cast<std::uint8_t>(FrameType::Alert),
+      "dropped=" + std::to_string(droppedPending_));
+  droppedPending_ = 0;
+}
+
 bool Sender::send(FrameType type, std::string_view payload) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!active_) {
     return false;
   }
-  try {
-    util::writeFrame(fd_, static_cast<std::uint8_t>(type), payload);
-    return true;
-  } catch (const Error&) {
-    // Peer gone (EPIPE, reset): one broadcast must never poison the
-    // handler that triggered it. The session loop notices on its own.
-    active_ = false;
+  if (droppedPending_ > 0) {
+    queueDropMarkerLocked();
+  }
+  outbuf_ += util::encodeFrame(static_cast<std::uint8_t>(type), payload);
+  return flushLocked(/*waitForDrain=*/true);
+}
+
+bool Sender::enqueueAlert(std::string_view line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!active_) {
     return false;
   }
+  std::string bytes =
+      util::encodeFrame(static_cast<std::uint8_t>(FrameType::Alert), line);
+  if (outbuf_.size() + bytes.size() > options_.alertQueueBytes &&
+      !outbuf_.empty()) {
+    // Slow consumer: drop this alert, remember how many were coalesced
+    // away. The marker frame is queued once the backlog clears.
+    ++droppedPending_;
+    ++droppedTotal_;
+    flushLocked(/*waitForDrain=*/false);
+    return active_;
+  }
+  if (droppedPending_ > 0) {
+    queueDropMarkerLocked();
+  }
+  outbuf_ += bytes;
+  return flushLocked(/*waitForDrain=*/false);
+}
+
+bool Sender::pumpAlerts() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!active_) {
+    return false;
+  }
+  const bool ok = flushLocked(/*waitForDrain=*/false);
+  if (ok && droppedPending_ > 0 &&
+      outbuf_.size() < options_.alertQueueBytes) {
+    queueDropMarkerLocked();
+    return flushLocked(/*waitForDrain=*/false);
+  }
+  return ok;
 }
 
 void Sender::deactivate() {
   std::lock_guard<std::mutex> lock(mutex_);
   active_ = false;
+  outbuf_.clear();
+}
+
+bool Sender::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
+std::uint64_t Sender::alertsDropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return droppedTotal_;
 }
 
 // ---- resident-trace registry ----------------------------------------------
@@ -63,6 +155,23 @@ struct TraceService::Entry {
   std::uint64_t alertsTotal = 0;
   std::vector<std::weak_ptr<ServerSession>> subscribers;
 
+  /// One out-of-order chunk held in the reorder window.
+  struct PendingChunk {
+    std::string image;           ///< raw v2 chunk image (wire bytes)
+    trace::Timestamp start = 0;  ///< earliest event time in the chunk
+    std::uint64_t seq = 0;       ///< arrival order (tiebreak for equal starts)
+  };
+  /// Reorder window, sorted by (start, seq). Committed earliest-first on
+  /// overflow and in full before any read.
+  std::vector<PendingChunk> pending;
+  std::size_t pendingBytes = 0;
+  std::uint64_t nextChunkSeq = 0;
+  std::uint64_t chunksDropped = 0;  ///< window chunks the trace rejected
+
+  /// Write-ahead journal of this live trace; null when journaling is off
+  /// or permanently disabled after a journal I/O failure.
+  std::unique_ptr<JournalWriter> journal;
+
   // Accounting (guarded by the REGISTRY mutex, not by `mutex`).
   std::size_t bytes = 0;
   std::uint64_t lastUse = 0;
@@ -73,27 +182,56 @@ struct TraceService::Entry {
 /// `mutex`; Entry contents (beyond the accounting block) are not.
 class TraceService::Registry {
 public:
+  /// On-disk remains of a spilled (rehydratable) entry.
+  struct SpillInfo {
+    Entry::Kind kind = Entry::Kind::Engine;
+    std::string source;  ///< engine: trace file path; live: journal path
+    std::uint64_t ownerSession = 0;
+  };
+
   mutable std::mutex mutex;
   std::map<std::string, std::shared_ptr<Entry>> entries;
   /// Names removed by budget or explicit eviction: referencing one gets a
   /// graceful Evicted response until the name is re-loaded / re-opened.
   std::set<std::string> tombstones;
+  /// Names budget-evicted with a recoverable source: referencing one
+  /// faults it back in (rehydration). Disjoint from tombstones.
+  std::map<std::string, SpillInfo> spilled;
   std::uint64_t useClock = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t rehydrations = 0;
   std::size_t residentBytes = 0;
   std::map<std::uint64_t, std::size_t> sessionBytes;
   std::uint64_t nextSessionId = 1;
 
-  /// Drop one entry (caller holds `mutex`).
+  /// Drop one entry (caller holds `mutex`). With `spill` set, an entry
+  /// whose state survives on disk — an engine's source file or a live
+  /// entry's journal — is parked in `spilled` instead of tombstoned, so
+  /// the next reference rehydrates it. (Reading e->journal here is safe:
+  /// the pointer is set before the entry is published into `entries` and
+  /// never reassigned while resident.)
   void evictLocked(const std::map<std::string,
-                                  std::shared_ptr<Entry>>::iterator it) {
+                                  std::shared_ptr<Entry>>::iterator it,
+                   bool spill) {
     const std::shared_ptr<Entry>& e = it->second;
     residentBytes -= std::min(residentBytes, e->bytes);
     auto sess = sessionBytes.find(e->ownerSession);
     if (sess != sessionBytes.end()) {
       sess->second -= std::min(sess->second, e->bytes);
     }
-    tombstones.insert(it->first);
+    std::string source;
+    if (spill) {
+      if (e->kind == Entry::Kind::Engine) {
+        source = e->path;
+      } else if (e->journal) {
+        source = e->journal->path();
+      }
+    }
+    if (!source.empty()) {
+      spilled[it->first] = SpillInfo{e->kind, source, e->ownerSession};
+    } else {
+      tombstones.insert(it->first);
+    }
     ++evictions;
     entries.erase(it);
   }
@@ -125,7 +263,7 @@ public:
       if (victim == entries.end()) {
         break;  // only `keep` is left; it may exceed the budget alone
       }
-      evictLocked(victim);
+      evictLocked(victim, options.rehydrate);
     }
     while (options.maxSessionBytes > 0 &&
            sessionBytes[sessionId] > options.maxSessionBytes) {
@@ -133,7 +271,7 @@ public:
       if (victim == entries.end()) {
         break;
       }
-      evictLocked(victim);
+      evictLocked(victim, options.rehydrate);
     }
   }
 };
@@ -162,12 +300,25 @@ std::vector<util::Frame> one(FrameType type, std::string payload) {
   throw Error(message, ErrorContext::at(ErrorCode::MalformedEvent));
 }
 
+std::string formatOpenMessage(const std::string& name, const std::string& fn,
+                              const analysis::StreamingOptions& so) {
+  std::ostringstream msg;
+  msg << "opened " << name << ": segment " << fn << ", threshold "
+      << fmt::fixed(so.alertThreshold, 2) << ", warmup "
+      << so.warmupSegments;
+  return msg.str();
+}
+
 }  // namespace
 
 // ---- TraceService ---------------------------------------------------------
 
 TraceService::TraceService(ServerOptions options)
-    : options_(options), registry_(std::make_unique<Registry>()) {}
+    : options_(std::move(options)), registry_(std::make_unique<Registry>()) {
+  if (options_.recover && !options_.journalDir.empty()) {
+    recoverJournals();
+  }
+}
 
 TraceService::~TraceService() = default;
 
@@ -201,7 +352,30 @@ ServiceStats TraceService::stats() const {
   s.traces = registry_->entries.size();
   s.residentBytes = registry_->residentBytes;
   s.evictions = registry_->evictions;
+  s.spilled = registry_->spilled.size();
+  s.rehydrations = registry_->rehydrations;
   return s;
+}
+
+void TraceService::syncJournals() {
+  std::vector<std::shared_ptr<Entry>> entries;
+  {
+    std::lock_guard<std::mutex> lock(registry_->mutex);
+    for (const auto& [name, entry] : registry_->entries) {
+      entries.push_back(entry);
+    }
+  }
+  for (const std::shared_ptr<Entry>& entry : entries) {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->journal) {
+      try {
+        entry->journal->sync();
+      } catch (const Error&) {
+        // Drain is best effort; the per-record fsync policy is the
+        // guarantee knob.
+      }
+    }
+  }
 }
 
 std::vector<util::Frame> TraceService::handle(
@@ -229,13 +403,13 @@ std::vector<util::Frame> TraceService::dispatch(
     case FrameType::Append:
       return handleAppend(session, request.payload);
     case FrameType::Analyze:
-      return handleAnalyze(splitTokens(request.payload));
+      return handleAnalyze(session, splitTokens(request.payload));
     case FrameType::Export:
-      return handleExport(splitTokens(request.payload));
+      return handleExport(session, splitTokens(request.payload));
     case FrameType::Lint:
-      return handleLint(splitTokens(request.payload));
+      return handleLint(session, splitTokens(request.payload));
     case FrameType::Stats:
-      return handleStats(splitTokens(request.payload));
+      return handleStats(session, splitTokens(request.payload));
     case FrameType::Evict:
       return handleEvict(splitTokens(request.payload));
     case FrameType::Subscribe:
@@ -248,6 +422,14 @@ std::vector<util::Frame> TraceService::dispatch(
   }
 }
 
+/// Registry lookup outcome shared by the name-referencing handlers.
+struct TraceService::Lookup {
+  std::shared_ptr<Entry> entry;
+  bool evicted = false;
+  bool spilled = false;
+  Registry::SpillInfo spill;  ///< valid when spilled
+};
+
 std::vector<util::Frame> TraceService::handleLoad(
     const std::shared_ptr<ServerSession>& session,
     const std::vector<std::string>& tokens) {
@@ -256,6 +438,12 @@ std::vector<util::Frame> TraceService::handleLoad(
   }
   const std::string& name = tokens[0];
   const std::string& path = tokens[1];
+
+  if (options_.rehydrate) {
+    // Fault a spilled entry back in first, so the idempotent-reload check
+    // below sees it as resident (a spilled entry is cold, not gone).
+    resolveEntry(name);
+  }
 
   std::shared_ptr<Entry> entry;
   bool created = false;
@@ -274,6 +462,7 @@ std::vector<util::Frame> TraceService::handleLoad(
       entry->lastUse = ++registry_->useClock;
     } else {
       registry_->tombstones.erase(name);
+      registry_->spilled.erase(name);
       entry = std::make_shared<Entry>();
       entry->kind = Entry::Kind::Engine;
       entry->name = name;
@@ -370,6 +559,13 @@ std::vector<util::Frame> TraceService::handleOpen(
     }
   }
 
+  if (options_.rehydrate) {
+    // A spilled live entry is cold, not gone: fault it back in so a
+    // same-spec re-open resumes the journaled history instead of
+    // silently starting the trace over.
+    resolveEntry(name);
+  }
+
   std::lock_guard<std::mutex> lock(registry_->mutex);
   const auto it = registry_->entries.find(name);
   if (it != registry_->entries.end()) {
@@ -389,6 +585,7 @@ std::vector<util::Frame> TraceService::handleOpen(
     return one(FrameType::Ok, entry->openMessage);
   }
   registry_->tombstones.erase(name);
+  registry_->spilled.erase(name);
   auto entry = std::make_shared<Entry>();
   entry->kind = Entry::Kind::Live;
   entry->name = name;
@@ -396,20 +593,21 @@ std::vector<util::Frame> TraceService::handleOpen(
   entry->streamOptions = streamOptions;
   entry->ownerSession = session->id;
   entry->lastUse = ++registry_->useClock;
-  std::ostringstream msg;
-  msg << "opened " << name << ": segment " << fn << ", threshold "
-      << fmt::fixed(streamOptions.alertThreshold, 2) << ", warmup "
-      << streamOptions.warmupSegments;
-  entry->openMessage = msg.str();
+  entry->openMessage = formatOpenMessage(name, fn, streamOptions);
+  if (!options_.journalDir.empty()) {
+    // Journal the open before the entry becomes visible: an acknowledged
+    // open must survive a crash, and a failed journal must fail the open.
+    entry->journal = std::make_unique<JournalWriter>(JournalWriter::create(
+        options_.journalDir, name, options_.journalFsync));
+    JournalOpen open;
+    open.segmentFunction = fn;
+    open.threshold = streamOptions.alertThreshold;
+    open.warmup = streamOptions.warmupSegments;
+    entry->journal->append(JournalRecordType::Open, encodeJournalOpen(open));
+  }
   registry_->entries.emplace(name, entry);
   return one(FrameType::Ok, entry->openMessage);
 }
-
-/// Registry lookup outcome shared by the name-referencing handlers.
-struct TraceService::Lookup {
-  std::shared_ptr<Entry> entry;
-  bool evicted = false;
-};
 
 TraceService::Lookup TraceService::lookupEntry(const std::string& name) {
   std::lock_guard<std::mutex> lock(registry_->mutex);
@@ -418,17 +616,359 @@ TraceService::Lookup TraceService::lookupEntry(const std::string& name) {
   if (it != registry_->entries.end()) {
     out.entry = it->second;
     out.entry->lastUse = ++registry_->useClock;
+  } else if (const auto sit = registry_->spilled.find(name);
+             sit != registry_->spilled.end()) {
+    out.spilled = true;
+    out.spill = sit->second;
   } else if (registry_->tombstones.count(name) > 0) {
     out.evicted = true;
   }
   return out;
 }
 
+TraceService::Lookup TraceService::resolveEntry(const std::string& name) {
+  Lookup found = lookupEntry(name);
+  if (found.entry || found.evicted || !found.spilled) {
+    return found;
+  }
+  // Rebuild outside any lock: engine loads and journal replays are slow,
+  // and the budgets below must not hold the registry hostage meanwhile.
+  std::shared_ptr<Entry> entry;
+  try {
+    entry = found.spill.kind == Entry::Kind::Engine
+                ? buildEngineEntry(name, found.spill.source)
+                : buildLiveFromJournal(found.spill.source, &name);
+    entry->ownerSession = found.spill.ownerSession;
+  } catch (const std::exception&) {
+    entry = nullptr;  // source gone / unreadable: degrade to a tombstone
+  }
+  std::lock_guard<std::mutex> lock(registry_->mutex);
+  const auto it = registry_->entries.find(name);
+  if (it != registry_->entries.end()) {
+    // Lost a rehydration race; the resident entry wins.
+    found.spilled = false;
+    found.entry = it->second;
+    found.entry->lastUse = ++registry_->useClock;
+    return found;
+  }
+  registry_->spilled.erase(name);
+  found.spilled = false;
+  if (!entry) {
+    registry_->tombstones.insert(name);
+    found.evicted = true;
+    return found;
+  }
+  ++registry_->rehydrations;
+  entry->lastUse = ++registry_->useClock;
+  registry_->entries.emplace(name, entry);
+  registry_->residentBytes += entry->bytes;
+  registry_->sessionBytes[entry->ownerSession] += entry->bytes;
+  registry_->enforceBudgetsLocked(options_, entry.get(),
+                                  entry->ownerSession);
+  found.entry = entry;
+  return found;
+}
+
+std::shared_ptr<TraceService::Entry> TraceService::buildEngineEntry(
+    const std::string& name, const std::string& path) {
+  auto entry = std::make_shared<Entry>();
+  entry->kind = Entry::Kind::Engine;
+  entry->name = name;
+  entry->path = path;
+  trace::BinaryReadOptions ro;
+  ro.threads = options_.threads;
+  trace::Trace tr = trace::loadBinaryFile(path, ro);
+  engine::EngineOptions eo;
+  eo.threads = options_.threads;
+  eo.maxCacheEntries = options_.maxCacheEntries;
+  auto eng = std::make_unique<engine::AnalysisEngine>(std::move(tr), eo);
+  std::ostringstream msg;
+  msg << "loaded " << name << ": " << eng->trace().processCount()
+      << " processes, " << eng->trace().eventCount() << " events";
+  entry->loadMessage = msg.str();
+  entry->engine = std::move(eng);
+  entry->bytes = trace::approxMemoryBytes(entry->engine->trace());
+  return entry;
+}
+
+std::shared_ptr<TraceService::Entry> TraceService::buildLiveFromJournal(
+    const std::string& path, const std::string* expectedName) {
+  JournalScan scan = scanJournal(path);
+  if (scan.torn) {
+    // Amputate the torn tail before reopening for append, so the next
+    // record lands after the last valid one.
+    util::truncateFile(path, scan.validBytes);
+  }
+  PERFVAR_REQUIRE_E(!scan.records.empty() &&
+                        scan.records.front().type == JournalRecordType::Open,
+                    "journal has no Open record: " + path,
+                    ErrorContext::at(ErrorCode::MalformedEvent));
+  PERFVAR_REQUIRE_E(expectedName == nullptr || scan.traceName == *expectedName,
+                    "journal names trace '" + scan.traceName +
+                        "', expected '" +
+                        (expectedName ? *expectedName : std::string{}) + "'",
+                    ErrorContext::at(ErrorCode::MalformedEvent));
+
+  const JournalOpen open = decodeJournalOpen(scan.records.front().payload);
+  auto entry = std::make_shared<Entry>();
+  entry->kind = Entry::Kind::Live;
+  entry->name = scan.traceName;
+  entry->segmentFunctionName = open.segmentFunction;
+  entry->streamOptions.alertThreshold = open.threshold;
+  entry->streamOptions.warmupSegments =
+      static_cast<std::size_t>(open.warmup);
+  entry->openMessage = formatOpenMessage(
+      entry->name, entry->segmentFunctionName, entry->streamOptions);
+
+  // Replay is record-driven, not window-driven: the journal says exactly
+  // which chunks committed and which stayed buffered, so the rebuilt
+  // entry matches the pre-crash one even if the reorder-window setting
+  // changed across the restart.
+  for (std::size_t i = 1; i < scan.records.size(); ++i) {
+    const JournalRecord& record = scan.records[i];
+    if (record.type == JournalRecordType::Append) {
+      const JournalAppend append = decodeJournalAppend(record.payload);
+      if (append.buffered) {
+        try {
+          trace::BinaryReadOptions ro;
+          ro.threads = options_.threads;
+          trace::Trace chunk = trace::readBinaryBuffer(
+              append.image.data(), append.image.size(), ro);
+          Entry::PendingChunk pc;
+          pc.image.assign(append.image.data(), append.image.size());
+          pc.start = chunk.startTime();
+          pc.seq = entry->nextChunkSeq++;
+          const auto pos = std::upper_bound(
+              entry->pending.begin(), entry->pending.end(), pc.start,
+              [](trace::Timestamp start, const Entry::PendingChunk& c) {
+                return start < c.start;
+              });
+          entry->pendingBytes += pc.image.size();
+          entry->pending.insert(pos, std::move(pc));
+        } catch (const Error&) {
+          ++entry->chunksDropped;
+        }
+      } else {
+        try {
+          commitChunkLocked(*entry, append.image);
+        } catch (const Error&) {
+          ++entry->chunksDropped;
+        }
+      }
+      ++entry->appendsDone;
+    } else if (record.type == JournalRecordType::Flush) {
+      const std::uint64_t count = decodeJournalFlush(record.payload);
+      for (std::uint64_t n = 0; n < count && !entry->pending.empty(); ++n) {
+        commitEarliestLocked(*entry);
+      }
+    }
+    // Alerts re-fire during replay; only the lifetime counter matters
+    // (no sessions exist yet to deliver to).
+    entry->alertsTotal += entry->pendingAlerts.size();
+    entry->pendingAlerts.clear();
+  }
+
+  entry->bytes =
+      trace::approxMemoryBytes(entry->live) + entry->pendingBytes;
+  if (!options_.journalDir.empty()) {
+    entry->journal = std::make_unique<JournalWriter>(
+        JournalWriter::openExisting(path, options_.journalFsync));
+  }
+  return entry;
+}
+
+void TraceService::recoverJournals() {
+  for (const std::string& path : listJournals(options_.journalDir)) {
+    std::shared_ptr<Entry> entry;
+    try {
+      entry = buildLiveFromJournal(path, nullptr);
+    } catch (const std::exception&) {
+      continue;  // recovery never fails on one bad journal
+    }
+    std::lock_guard<std::mutex> lock(registry_->mutex);
+    if (registry_->entries.count(entry->name) > 0) {
+      continue;
+    }
+    entry->lastUse = ++registry_->useClock;
+    registry_->entries.emplace(entry->name, entry);
+    registry_->residentBytes += entry->bytes;
+    registry_->sessionBytes[entry->ownerSession] += entry->bytes;
+  }
+  std::lock_guard<std::mutex> lock(registry_->mutex);
+  registry_->enforceBudgetsLocked(options_, nullptr, 0);
+}
+
+trace::AppendStats TraceService::commitChunkLocked(Entry& entry,
+                                                   std::string_view image) {
+  // Sizes before the append: the chunk's events land at each stream's
+  // tail, which is what the streaming analyzer must consume.
+  std::vector<std::size_t> before(entry.live.processCount());
+  for (std::size_t p = 0; p < before.size(); ++p) {
+    before[p] = entry.live.processes[p].events.size();
+  }
+
+  trace::BinaryReadOptions ro;
+  ro.threads = options_.threads;
+  const trace::AppendStats stats = trace::appendBinaryBuffer(
+      entry.live, image.data(), image.size(), ro);
+
+  if (!entry.sos && entry.live.processCount() > 0) {
+    // Adopt-on-first-append just defined the trace; bring the
+    // streaming analyzer up against its definitions.
+    const auto fn = entry.live.functions.find(entry.segmentFunctionName);
+    if (!fn.has_value()) {
+      entry.live = trace::Trace{};  // back to pristine, name reusable
+      throw Error("segment function '" + entry.segmentFunctionName +
+                      "' is not defined in the appended chunk",
+                  ErrorContext::at(ErrorCode::MalformedEvent));
+    }
+    entry.sos = std::make_unique<analysis::StreamingSos>(
+        entry.live, *fn, entry.streamOptions);
+    Entry* raw = &entry;
+    entry.sos->setAlertCallback(
+        [raw](const analysis::StreamingAlert& alert) {
+          raw->pendingAlerts.push_back(alert);
+        });
+    before.assign(entry.live.processCount(), 0);
+  }
+
+  if (entry.sos) {
+    // Feed exactly the appended tail, interleaved in (time, process)
+    // order — identical to what one replay() of the final trace visits
+    // for this time window. (A zero-process chunk leaves the analyzer
+    // unconstructed; there is nothing to feed either.)
+    trace::Trace tail;
+    tail.resolution = entry.live.resolution;
+    tail.processes.resize(entry.live.processCount());
+    for (std::size_t p = 0; p < entry.live.processCount(); ++p) {
+      const auto& events = entry.live.processes[p].events;
+      tail.processes[p].events.assign(
+          events.begin() + static_cast<std::ptrdiff_t>(before[p]),
+          events.end());
+    }
+    entry.sos->feed(tail);
+  }
+  return stats;
+}
+
+void TraceService::commitEarliestLocked(Entry& entry) {
+  Entry::PendingChunk chunk = std::move(entry.pending.front());
+  entry.pending.erase(entry.pending.begin());
+  entry.pendingBytes -= std::min(entry.pendingBytes, chunk.image.size());
+  try {
+    commitChunkLocked(entry, chunk.image);
+  } catch (const Error&) {
+    ++entry.chunksDropped;
+  }
+}
+
+std::size_t TraceService::flushWindowToLocked(Entry& entry,
+                                              std::size_t targetBytes) {
+  std::size_t processed = 0;
+  while (!entry.pending.empty() && entry.pendingBytes > targetBytes) {
+    commitEarliestLocked(entry);
+    ++processed;
+  }
+  if (processed > 0 && entry.journal) {
+    journalRecordLocked(entry, JournalRecordType::Flush,
+                        encodeJournalFlush(processed));
+  }
+  return processed;
+}
+
+void TraceService::journalRecordLocked(Entry& entry, JournalRecordType type,
+                                       std::string_view payload) {
+  if (!entry.journal) {
+    return;
+  }
+  try {
+    entry.journal->append(type, payload);
+  } catch (...) {
+    // Durability is gone for this entry; keep serving from memory but
+    // never pretend later records were journaled, and fail this request
+    // loudly so the producer knows.
+    entry.journal.reset();
+    throw;
+  }
+}
+
+std::vector<std::string> TraceService::drainAlertsLocked(Entry& entry) {
+  std::vector<std::string> lines;
+  lines.reserve(entry.pendingAlerts.size());
+  for (const analysis::StreamingAlert& alert : entry.pendingAlerts) {
+    lines.push_back(entry.name + ": " +
+                    analysis::formatStreamingAlert(entry.live, alert));
+  }
+  entry.alertsTotal += entry.pendingAlerts.size();
+  entry.pendingAlerts.clear();
+  return lines;
+}
+
+void TraceService::broadcastAlertsLocked(
+    Entry& entry, const std::shared_ptr<ServerSession>& session,
+    const std::vector<std::string>& lines, std::vector<util::Frame>& out) {
+  // Queue to subscribed sessions while holding the entry lock, so alerts
+  // of successive appends arrive in order. Delivery is the bounded-queue
+  // nonblocking path: a slow subscriber cannot stall this handler. The
+  // requester's own alerts go into the response sequence instead
+  // (deterministically before the final frame).
+  auto& subs = entry.subscribers;
+  for (auto it = subs.begin(); it != subs.end();) {
+    const std::shared_ptr<ServerSession> sub = it->lock();
+    if (!sub) {
+      it = subs.erase(it);
+      continue;
+    }
+    if (!session || sub->id != session->id) {
+      for (const std::string& line : lines) {
+        sub->sender->enqueueAlert(line);
+      }
+    }
+    ++it;
+  }
+  if (session && session->subscriptions.count(entry.name) > 0) {
+    for (const std::string& line : lines) {
+      out.push_back(frame(FrameType::Alert, line));
+    }
+  }
+}
+
+std::size_t TraceService::flushForReadLocked(
+    Entry& entry, const std::shared_ptr<ServerSession>& session,
+    std::vector<util::Frame>& out) {
+  if (entry.kind != Entry::Kind::Live || entry.pending.empty()) {
+    return 0;
+  }
+  const std::size_t processed = flushWindowToLocked(entry, 0);
+  broadcastAlertsLocked(entry, session, drainAlertsLocked(entry), out);
+  return processed;
+}
+
+void TraceService::reaccountEntry(const std::string& name,
+                                  const std::shared_ptr<Entry>& entry,
+                                  std::size_t newBytes) {
+  std::lock_guard<std::mutex> lock(registry_->mutex);
+  const auto it = registry_->entries.find(name);
+  if (it != registry_->entries.end() && it->second == entry) {
+    registry_->residentBytes += newBytes;
+    registry_->residentBytes -= std::min(registry_->residentBytes,
+                                         entry->bytes);
+    auto sess = registry_->sessionBytes.find(entry->ownerSession);
+    if (sess != registry_->sessionBytes.end()) {
+      sess->second += newBytes;
+      sess->second -= std::min(sess->second, entry->bytes);
+    }
+    entry->bytes = newBytes;
+    registry_->enforceBudgetsLocked(options_, entry.get(),
+                                    entry->ownerSession);
+  }
+}
+
 std::vector<util::Frame> TraceService::handleAppend(
     const std::shared_ptr<ServerSession>& session,
     std::string_view payload) {
   const AppendPayload append = decodeAppendPayload(payload);
-  const Lookup found = lookupEntry(append.name);
+  const Lookup found = resolveEntry(append.name);
   if (found.evicted) {
     return one(FrameType::Evicted, append.name);
   }
@@ -449,126 +989,99 @@ std::vector<util::Frame> TraceService::handleAppend(
   std::size_t newBytes = 0;
   {
     std::lock_guard<std::mutex> lock(entry->mutex);
-    // Sizes before the append: the chunk's events land at each stream's
-    // tail, which is what the streaming analyzer must consume.
-    std::vector<std::size_t> before(entry->live.processCount());
-    for (std::size_t p = 0; p < before.size(); ++p) {
-      before[p] = entry->live.processes[p].events.size();
+    const std::size_t window = options_.reorderWindowBytes;
+    bool direct = window == 0;
+    std::size_t flushed = 0;
+    trace::Trace chunk;
+    if (!direct) {
+      // Window mode decodes the chunk strictly up front: a corrupt image
+      // is rejected with the same error taxonomy as a direct append, and
+      // never journaled.
+      trace::BinaryReadOptions ro;
+      ro.threads = options_.threads;
+      chunk = trace::readBinaryBuffer(append.image.data(),
+                                      append.image.size(), ro);
+      // Definition-only chunks carry no ordering constraint; commit them
+      // directly so adopt-on-first-append semantics hold.
+      direct = chunk.eventCount() == 0;
+      if (!direct && entry->live.eventCount() > 0 &&
+          chunk.startTime() < entry->live.endTime()) {
+        throw Error(
+            "chunk for '" + append.name +
+                "' starts before the committed tail (the reorder window "
+                "already flushed past it)",
+            ErrorContext::at(ErrorCode::ChunkOutOfWindow));
+      }
+    } else if (!entry->pending.empty()) {
+      // Recovery can leave a window from a run that had one configured;
+      // commit it before direct appends so time order is preserved.
+      flushed += flushWindowToLocked(*entry, 0);
     }
 
-    trace::BinaryReadOptions ro;
-    ro.threads = options_.threads;
-    const trace::AppendStats stats = trace::appendBinaryBuffer(
-        entry->live, append.image.data(), append.image.size(), ro);
-
-    if (!entry->sos && entry->live.processCount() > 0) {
-      // Adopt-on-first-append just defined the trace; bring the
-      // streaming analyzer up against its definitions.
-      const auto fn = entry->live.functions.find(entry->segmentFunctionName);
-      if (!fn.has_value()) {
-        entry->live = trace::Trace{};  // back to pristine, name reusable
-        throw Error("segment function '" + entry->segmentFunctionName +
-                        "' is not defined in the appended chunk",
-                    ErrorContext::at(ErrorCode::MalformedEvent));
-      }
-      entry->sos = std::make_unique<analysis::StreamingSos>(
-          entry->live, *fn, entry->streamOptions);
-      Entry* raw = entry.get();
-      entry->sos->setAlertCallback(
-          [raw](const analysis::StreamingAlert& alert) {
-            raw->pendingAlerts.push_back(alert);
+    if (direct) {
+      const trace::AppendStats stats =
+          commitChunkLocked(*entry, append.image);
+      journalRecordLocked(*entry, JournalRecordType::Append,
+                          encodeJournalAppend(/*buffered=*/false,
+                                              append.image));
+      ++entry->appendsDone;
+      alertLines = drainAlertsLocked(*entry);
+      std::ostringstream msg;
+      msg << "appended " << append.name << ": " << stats.eventsAppended
+          << " events, "
+          << (entry->sos ? entry->sos->segmentsCompleted() : 0)
+          << " segments, " << alertLines.size() << " alerts";
+      okMessage = msg.str();
+    } else {
+      // Journal before the buffer mutation: an accepted chunk must be
+      // recoverable the instant its Ok is on the wire.
+      journalRecordLocked(*entry, JournalRecordType::Append,
+                          encodeJournalAppend(/*buffered=*/true,
+                                              append.image));
+      Entry::PendingChunk pc;
+      pc.image.assign(append.image.data(), append.image.size());
+      pc.start = chunk.startTime();
+      pc.seq = entry->nextChunkSeq++;
+      const auto pos = std::upper_bound(
+          entry->pending.begin(), entry->pending.end(), pc.start,
+          [](trace::Timestamp start, const Entry::PendingChunk& c) {
+            return start < c.start;
           });
-      before.assign(entry->live.processCount(), 0);
-    }
-
-    if (entry->sos) {
-      // Feed exactly the appended tail, interleaved in (time, process)
-      // order — identical to what one replay() of the final trace visits
-      // for this time window. (A zero-process chunk leaves the analyzer
-      // unconstructed; there is nothing to feed either.)
-      trace::Trace tail;
-      tail.resolution = entry->live.resolution;
-      tail.processes.resize(entry->live.processCount());
-      for (std::size_t p = 0; p < entry->live.processCount(); ++p) {
-        const auto& events = entry->live.processes[p].events;
-        tail.processes[p].events.assign(events.begin() +
-                                            static_cast<std::ptrdiff_t>(
-                                                before[p]),
-                                        events.end());
+      entry->pendingBytes += pc.image.size();
+      entry->pending.insert(pos, std::move(pc));
+      ++entry->appendsDone;
+      if (entry->pendingBytes > window) {
+        flushed += flushWindowToLocked(*entry, window);
       }
-      entry->sos->feed(tail);
-    }
-
-    for (const analysis::StreamingAlert& alert : entry->pendingAlerts) {
-      alertLines.push_back(append.name + ": " +
-                           analysis::formatStreamingAlert(entry->live,
-                                                          alert));
-    }
-    entry->alertsTotal += entry->pendingAlerts.size();
-    entry->pendingAlerts.clear();
-    ++entry->appendsDone;
-
-    std::ostringstream msg;
-    msg << "appended " << append.name << ": " << stats.eventsAppended
-        << " events, "
-        << (entry->sos ? entry->sos->segmentsCompleted() : 0)
-        << " segments, " << alertLines.size() << " alerts";
-    okMessage = msg.str();
-    newBytes = trace::approxMemoryBytes(entry->live);
-
-    // Broadcast to subscribed sessions while holding the entry lock, so
-    // alerts of successive appends arrive in order. The requester's own
-    // alerts go into the response sequence instead (deterministically
-    // before the final Ok).
-    auto& subs = entry->subscribers;
-    for (auto it = subs.begin(); it != subs.end();) {
-      const std::shared_ptr<ServerSession> sub = it->lock();
-      if (!sub) {
-        it = subs.erase(it);
-        continue;
+      alertLines = drainAlertsLocked(*entry);
+      std::ostringstream msg;
+      msg << "buffered " << append.name << ": " << chunk.eventCount()
+          << " events, window " << entry->pending.size() << " chunks/"
+          << entry->pendingBytes << " bytes";
+      if (flushed > 0) {
+        msg << ", flushed " << flushed << " chunks, " << alertLines.size()
+            << " alerts";
       }
-      if (sub->id != session->id) {
-        for (const std::string& line : alertLines) {
-          sub->sender->send(FrameType::Alert, line);
-        }
-      }
-      ++it;
+      okMessage = msg.str();
     }
-    if (session->subscriptions.count(append.name) > 0) {
-      for (const std::string& line : alertLines) {
-        out.push_back(frame(FrameType::Alert, line));
-      }
-    }
+    newBytes =
+        trace::approxMemoryBytes(entry->live) + entry->pendingBytes;
+    broadcastAlertsLocked(*entry, session, alertLines, out);
   }
 
-  {
-    std::lock_guard<std::mutex> lock(registry_->mutex);
-    const auto it = registry_->entries.find(append.name);
-    if (it != registry_->entries.end() && it->second == entry) {
-      registry_->residentBytes += newBytes;
-      registry_->residentBytes -= std::min(registry_->residentBytes,
-                                           entry->bytes);
-      auto sess = registry_->sessionBytes.find(entry->ownerSession);
-      if (sess != registry_->sessionBytes.end()) {
-        sess->second += newBytes;
-        sess->second -= std::min(sess->second, entry->bytes);
-      }
-      entry->bytes = newBytes;
-      registry_->enforceBudgetsLocked(options_, entry.get(),
-                                      entry->ownerSession);
-    }
-  }
+  reaccountEntry(append.name, entry, newBytes);
   out.push_back(frame(FrameType::Ok, okMessage));
   return out;
 }
 
 std::vector<util::Frame> TraceService::handleAnalyze(
+    const std::shared_ptr<ServerSession>& session,
     const std::vector<std::string>& tokens) {
   if (tokens.empty()) {
     throwUsage("analyze expects: <name> [candidate K] [threshold Z] "
                "[max-hotspots N]");
   }
-  const Lookup found = lookupEntry(tokens[0]);
+  const Lookup found = resolveEntry(tokens[0]);
   if (found.evicted) {
     return one(FrameType::Evicted, tokens[0]);
   }
@@ -577,25 +1090,43 @@ std::vector<util::Frame> TraceService::handleAnalyze(
   }
   analysis::PipelineOptions opts = parsePipelineOptions(tokens, 1);
   const std::shared_ptr<Entry>& entry = found.entry;
-  std::lock_guard<std::mutex> lock(entry->mutex);
-  if (entry->kind == Entry::Kind::Engine) {
-    return one(FrameType::Data, entry->engine->formatReport(opts));
+  std::vector<util::Frame> out;
+  std::size_t flushed = 0;
+  std::size_t newBytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    flushed = flushForReadLocked(*entry, session, out);
+    if (entry->kind == Entry::Kind::Engine) {
+      out.push_back(frame(FrameType::Data, entry->engine->formatReport(opts)));
+    } else {
+      PERFVAR_REQUIRE(entry->live.processCount() > 0,
+                      "live trace '" + tokens[0] +
+                          "' has no appended data yet");
+      opts.threads = options_.threads;
+      const analysis::AnalysisResult result =
+          analysis::analyzeTrace(entry->live, opts);
+      out.push_back(frame(FrameType::Data,
+                          analysis::formatAnalysis(entry->live, result)));
+    }
+    newBytes = entry->kind == Entry::Kind::Live
+                   ? trace::approxMemoryBytes(entry->live) +
+                         entry->pendingBytes
+                   : entry->bytes;
   }
-  PERFVAR_REQUIRE(entry->live.processCount() > 0,
-                  "live trace '" + tokens[0] + "' has no appended data yet");
-  opts.threads = options_.threads;
-  const analysis::AnalysisResult result =
-      analysis::analyzeTrace(entry->live, opts);
-  return one(FrameType::Data, analysis::formatAnalysis(entry->live, result));
+  if (flushed > 0) {
+    reaccountEntry(tokens[0], entry, newBytes);
+  }
+  return out;
 }
 
 std::vector<util::Frame> TraceService::handleExport(
+    const std::shared_ptr<ServerSession>& session,
     const std::vector<std::string>& tokens) {
   if (tokens.size() < 2) {
     throwUsage("export expects: <name> <text|json|csv|csv-iterations|"
                "csv-hotspots> [analyze options]");
   }
-  const Lookup found = lookupEntry(tokens[0]);
+  const Lookup found = resolveEntry(tokens[0]);
   if (found.evicted) {
     return one(FrameType::Evicted, tokens[0]);
   }
@@ -605,28 +1136,43 @@ std::vector<util::Frame> TraceService::handleExport(
   const analysis::ExportFormat format = parseExportFormat(tokens[1]);
   analysis::PipelineOptions opts = parsePipelineOptions(tokens, 2);
   const std::shared_ptr<Entry>& entry = found.entry;
-  std::lock_guard<std::mutex> lock(entry->mutex);
-  std::ostringstream os;
-  if (entry->kind == Entry::Kind::Engine) {
-    entry->engine->exportReport(format, os, opts);
-  } else {
-    PERFVAR_REQUIRE(entry->live.processCount() > 0,
-                    "live trace '" + tokens[0] +
-                        "' has no appended data yet");
-    opts.threads = options_.threads;
-    const analysis::AnalysisResult result =
-        analysis::analyzeTrace(entry->live, opts);
-    analysis::exportReport(entry->live, result, format, os);
+  std::vector<util::Frame> out;
+  std::size_t flushed = 0;
+  std::size_t newBytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    flushed = flushForReadLocked(*entry, session, out);
+    std::ostringstream os;
+    if (entry->kind == Entry::Kind::Engine) {
+      entry->engine->exportReport(format, os, opts);
+    } else {
+      PERFVAR_REQUIRE(entry->live.processCount() > 0,
+                      "live trace '" + tokens[0] +
+                          "' has no appended data yet");
+      opts.threads = options_.threads;
+      const analysis::AnalysisResult result =
+          analysis::analyzeTrace(entry->live, opts);
+      analysis::exportReport(entry->live, result, format, os);
+    }
+    out.push_back(frame(FrameType::Data, os.str()));
+    newBytes = entry->kind == Entry::Kind::Live
+                   ? trace::approxMemoryBytes(entry->live) +
+                         entry->pendingBytes
+                   : entry->bytes;
   }
-  return one(FrameType::Data, os.str());
+  if (flushed > 0) {
+    reaccountEntry(tokens[0], entry, newBytes);
+  }
+  return out;
 }
 
 std::vector<util::Frame> TraceService::handleLint(
+    const std::shared_ptr<ServerSession>& session,
     const std::vector<std::string>& tokens) {
   if (tokens.size() != 1) {
     throwUsage("lint expects: <name>");
   }
-  const Lookup found = lookupEntry(tokens[0]);
+  const Lookup found = resolveEntry(tokens[0]);
   if (found.evicted) {
     return one(FrameType::Evicted, tokens[0]);
   }
@@ -634,37 +1180,55 @@ std::vector<util::Frame> TraceService::handleLint(
     throwUnknownTrace(tokens[0]);
   }
   const std::shared_ptr<Entry>& entry = found.entry;
-  std::lock_guard<std::mutex> lock(entry->mutex);
-  std::ostringstream os;
-  if (entry->kind == Entry::Kind::Engine) {
-    lint::exportLintReport(*entry->engine->lintReport(),
-                           analysis::ExportFormat::Text, os);
-  } else {
-    PERFVAR_REQUIRE(entry->live.processCount() > 0,
-                    "live trace '" + tokens[0] +
-                        "' has no appended data yet");
-    lint::LintOptions lo;
-    lo.threads = options_.threads;
-    lint::exportLintReport(lint::lintTrace(entry->live, lo),
-                           analysis::ExportFormat::Text, os);
+  std::vector<util::Frame> out;
+  std::size_t flushed = 0;
+  std::size_t newBytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    flushed = flushForReadLocked(*entry, session, out);
+    std::ostringstream os;
+    if (entry->kind == Entry::Kind::Engine) {
+      lint::exportLintReport(*entry->engine->lintReport(),
+                             analysis::ExportFormat::Text, os);
+    } else {
+      PERFVAR_REQUIRE(entry->live.processCount() > 0,
+                      "live trace '" + tokens[0] +
+                          "' has no appended data yet");
+      lint::LintOptions lo;
+      lo.threads = options_.threads;
+      lint::exportLintReport(lint::lintTrace(entry->live, lo),
+                             analysis::ExportFormat::Text, os);
+    }
+    out.push_back(frame(FrameType::Data, os.str()));
+    newBytes = entry->kind == Entry::Kind::Live
+                   ? trace::approxMemoryBytes(entry->live) +
+                         entry->pendingBytes
+                   : entry->bytes;
   }
-  return one(FrameType::Data, os.str());
+  if (flushed > 0) {
+    reaccountEntry(tokens[0], entry, newBytes);
+  }
+  return out;
 }
 
 std::vector<util::Frame> TraceService::handleStats(
+    const std::shared_ptr<ServerSession>& session,
     const std::vector<std::string>& tokens) {
+  static_cast<void>(session);  // stats never flushes the reorder window
   if (tokens.empty()) {
     const ServiceStats s = stats();
     std::ostringstream os;
     os << "traces: " << s.traces << '\n'
        << "resident: " << s.residentBytes << " bytes\n"
-       << "evictions: " << s.evictions << '\n';
+       << "evictions: " << s.evictions << '\n'
+       << "spilled: " << s.spilled << '\n'
+       << "rehydrations: " << s.rehydrations << '\n';
     return one(FrameType::Data, os.str());
   }
   if (tokens.size() != 1) {
     throwUsage("stats expects at most one <name>");
   }
-  const Lookup found = lookupEntry(tokens[0]);
+  const Lookup found = resolveEntry(tokens[0]);
   if (found.evicted) {
     return one(FrameType::Evicted, tokens[0]);
   }
@@ -685,7 +1249,11 @@ std::vector<util::Frame> TraceService::handleStats(
        << "appends: " << entry->appendsDone << '\n'
        << "segments: "
        << (entry->sos ? entry->sos->segmentsCompleted() : 0) << '\n'
-       << "alerts: " << entry->alertsTotal << '\n';
+       << "alerts: " << entry->alertsTotal << '\n'
+       << "window: " << entry->pending.size() << " chunks, "
+       << entry->pendingBytes << " bytes\n"
+       << "window-dropped: " << entry->chunksDropped << '\n'
+       << "journal: " << (entry->journal ? "on" : "off") << '\n';
   }
   return one(FrameType::Data, os.str());
 }
@@ -698,12 +1266,21 @@ std::vector<util::Frame> TraceService::handleEvict(
   std::lock_guard<std::mutex> lock(registry_->mutex);
   const auto it = registry_->entries.find(tokens[0]);
   if (it == registry_->entries.end()) {
+    if (registry_->spilled.count(tokens[0]) > 0) {
+      // Explicit eviction of a spilled name: the user wants it gone, so
+      // drop the rehydration path too.
+      registry_->spilled.erase(tokens[0]);
+      registry_->tombstones.insert(tokens[0]);
+      return one(FrameType::Ok, "evicted " + tokens[0]);
+    }
     if (registry_->tombstones.count(tokens[0]) > 0) {
       return one(FrameType::Evicted, tokens[0]);
     }
     throwUnknownTrace(tokens[0]);
   }
-  registry_->evictLocked(it);
+  // Explicit eviction is a drop, never a spill: rehydration is for the
+  // budget's evictions, not the user's.
+  registry_->evictLocked(it, /*spill=*/false);
   return one(FrameType::Ok, "evicted " + tokens[0]);
 }
 
@@ -713,7 +1290,7 @@ std::vector<util::Frame> TraceService::handleSubscribe(
   if (tokens.size() != 1) {
     throwUsage("subscribe expects: <name>");
   }
-  const Lookup found = lookupEntry(tokens[0]);
+  const Lookup found = resolveEntry(tokens[0]);
   if (found.evicted) {
     return one(FrameType::Evicted, tokens[0]);
   }

@@ -22,7 +22,21 @@
 ///     maxSessionBytes (per loading session) are enforced by LRU
 ///     eviction. Evicted names are tombstoned; requests referencing them
 ///     receive a graceful Evicted frame (not a generic error) until the
-///     name is re-loaded or re-opened.
+///     name is re-loaded or re-opened. With rehydration enabled, budget
+///     eviction instead spills the entry's source reference (trace file
+///     path or journal path) and a later request faults it back in —
+///     eviction becomes a cache miss, not data loss.
+///   - Durability: with ServerOptions::journalDir set, every accepted
+///     Open/Append of a live trace is recorded in a per-trace
+///     write-ahead journal (server/journal.hpp) before the request is
+///     acknowledged; `recover` replays the journals at construction so a
+///     restarted daemon serves the same bytes as the crashed one.
+///   - Out-of-order producers: reorderWindowBytes > 0 buffers appended
+///     chunks in a bounded per-trace window and commits them in start-time
+///     order (on window overflow, oldest first, and before any read), so
+///     uncoordinated producers need not serialize their appends. A chunk
+///     older than the already-committed tail is rejected with the
+///     deterministic chunk-out-of-window error.
 ///
 /// Locking: a registry mutex guards the name -> entry map, tombstones,
 /// LRU clocks and byte accounting; a per-entry mutex serializes
@@ -41,7 +55,9 @@
 #include <string>
 #include <vector>
 
+#include "server/journal.hpp"
 #include "server/protocol.hpp"
+#include "trace/binary_io.hpp"
 #include "util/framing.hpp"
 
 namespace perfvar::server {
@@ -59,26 +75,87 @@ struct ServerOptions {
   std::size_t maxResidentBytes = 0;
   /// Per-session budget over the traces a session loaded; 0 = unlimited.
   std::size_t maxSessionBytes = 0;
+  /// Directory of per-trace write-ahead journals; empty = journaling off
+  /// (the pre-durability behavior, byte-identical on the wire).
+  std::string journalDir;
+  /// Replay the journals found in journalDir at construction,
+  /// reconstructing every live entry the crashed daemon had accepted.
+  bool recover = false;
+  /// fsync the journal after every record. Off, durability extends to
+  /// the OS page cache (daemon crash safe, host crash not).
+  bool journalFsync = false;
+  /// Byte budget of the per-live-trace out-of-order reorder window;
+  /// 0 = appends must arrive time-ordered (the pre-window behavior).
+  std::size_t reorderWindowBytes = 0;
+  /// Spill budget-evicted entries (journal/source reference) and fault
+  /// them back in when referenced, instead of tombstoning. trace_tool
+  /// enables this together with --journal-dir.
+  bool rehydrate = false;
+  /// Per-send poll timeout in milliseconds: a peer whose socket stays
+  /// unwritable this long is treated as dead and its sender deactivates
+  /// (0 = block indefinitely, the pre-timeout behavior).
+  int sendTimeoutMs = 5000;
+  /// Byte bound of a subscriber's queued undelivered alert frames;
+  /// beyond it new alerts are dropped and summarized by a `dropped=N`
+  /// marker frame once the queue drains.
+  std::size_t alertQueueBytes = 1 << 20;
+};
+
+/// Delivery policy of a Sender (derived from ServerOptions).
+struct SenderOptions {
+  int sendTimeoutMs = 5000;          ///< 0 = block indefinitely
+  std::size_t alertQueueBytes = 1 << 20;
 };
 
 /// Thread-safe frame sink of one connection. send() never throws: a
-/// failed write (peer gone) deactivates the sender and every later send
-/// becomes a no-op, so alert broadcasts cannot poison an append handler.
+/// failed write (peer gone) or a stalled peer (per-send poll timeout)
+/// deactivates the sender and every later send becomes a no-op, so alert
+/// broadcasts cannot poison an append handler.
+///
+/// Alert fan-out is decoupled from the peer's read pace: enqueueAlert()
+/// appends the frame's wire bytes to a bounded in-memory queue and
+/// flushes opportunistically without ever blocking. When the queue is
+/// full, new alerts are dropped and coalesced into a single
+/// `dropped=N` Alert marker frame emitted once space frees, so a slow
+/// subscriber costs bounded memory and zero append latency. send()
+/// always drains the queue first, keeping each connection's frame order
+/// intact.
 class Sender {
 public:
-  explicit Sender(int fd) : fd_(fd) {}
+  explicit Sender(int fd, SenderOptions options = {})
+      : fd_(fd), options_(options) {}
 
-  /// Write one frame; returns false when the sender is (or just became)
-  /// inactive.
+  /// Write one frame (queued alerts first); returns false when the
+  /// sender is (or just became) inactive.
   bool send(FrameType type, std::string_view payload);
+
+  /// Queue one Alert frame without blocking; drops-and-counts beyond the
+  /// queue bound. Returns false when the sender is inactive.
+  bool enqueueAlert(std::string_view line);
+
+  /// Nonblocking best-effort flush of queued bytes; returns false when
+  /// the sender is inactive.
+  bool pumpAlerts();
 
   /// Stop sending (session teardown).
   void deactivate();
 
+  bool active() const;
+
+  /// Alerts dropped over the sender's lifetime (slow-consumer policy).
+  std::uint64_t alertsDropped() const;
+
 private:
-  std::mutex mutex_;
+  bool flushLocked(bool waitForDrain);
+  void queueDropMarkerLocked();
+
+  mutable std::mutex mutex_;
   int fd_;
+  SenderOptions options_;
   bool active_ = true;
+  std::string outbuf_;  ///< queued wire bytes (alerts, partial writes)
+  std::uint64_t droppedPending_ = 0;  ///< drops awaiting a marker frame
+  std::uint64_t droppedTotal_ = 0;
 };
 
 /// Per-connection session state. Created by openSession(), passed to
@@ -95,6 +172,8 @@ struct ServiceStats {
   std::size_t traces = 0;
   std::size_t residentBytes = 0;
   std::uint64_t evictions = 0;
+  std::size_t spilled = 0;        ///< evicted entries waiting on disk
+  std::uint64_t rehydrations = 0; ///< spilled entries faulted back in
 };
 
 class TraceService {
@@ -128,14 +207,85 @@ public:
   /// Current server-wide counters.
   ServiceStats stats() const;
 
+  /// fsync every live entry's journal (graceful drain / SIGTERM).
+  void syncJournals();
+
 private:
   struct Entry;
   class Registry;
   struct Lookup;
 
   /// Find a resident trace by name and bump its LRU clock; distinguishes
-  /// "never existed" from "was evicted" (tombstoned).
+  /// "never existed" from "was evicted" (tombstoned) from "spilled to
+  /// disk" (rehydratable).
   Lookup lookupEntry(const std::string& name);
+
+  /// lookupEntry plus transparent rehydration of spilled entries: a
+  /// spilled name is rebuilt from its journal / source file and
+  /// re-registered under the budgets before the lookup returns. When the
+  /// source is gone the name degrades to a tombstone (Evicted).
+  Lookup resolveEntry(const std::string& name);
+
+  /// Replay every journal in options_.journalDir into resident live
+  /// entries (construction with recover set). Unreadable journals are
+  /// skipped, never fatal.
+  void recoverJournals();
+
+  /// Rebuild a live entry by replaying its journal (torn tails are
+  /// truncated first). `expectedName` guards rehydration against a
+  /// renamed journal file; nullptr accepts the header's name (recovery).
+  std::shared_ptr<Entry> buildLiveFromJournal(const std::string& path,
+                                              const std::string* expectedName);
+
+  /// Rebuild an engine entry from its trace file (rehydration).
+  std::shared_ptr<Entry> buildEngineEntry(const std::string& name,
+                                          const std::string& path);
+
+  // -- live-entry helpers; all *Locked members expect the entry lock --
+
+  /// Append one chunk image to the live trace and feed the streaming
+  /// analyzer exactly the appended tail (the legacy append body).
+  trace::AppendStats commitChunkLocked(Entry& e, std::string_view image);
+
+  /// Commit the earliest reorder-window chunk. A chunk the trace rejects
+  /// is dropped and counted — its producer was acknowledged long ago, so
+  /// the error has no addressee (replay does the same, keeping recovery
+  /// deterministic).
+  void commitEarliestLocked(Entry& e);
+
+  /// Commit earliest-first until the window holds at most `targetBytes`;
+  /// writes one journal Flush record covering the processed chunks.
+  /// Returns the number of chunks processed (committed + dropped).
+  std::size_t flushWindowToLocked(Entry& e, std::size_t targetBytes);
+
+  /// Append one journal record; a journal write failure permanently
+  /// disables the entry's journal (durability lost, loudly) and rethrows.
+  void journalRecordLocked(Entry& e, JournalRecordType type,
+                           std::string_view payload);
+
+  /// Format-and-clear pendingAlerts into "name: alert" lines, keeping
+  /// the lifetime counter.
+  std::vector<std::string> drainAlertsLocked(Entry& e);
+
+  /// Deliver alert lines: queued to every other subscribed session's
+  /// sender, appended to `out` for the requester when it subscribed.
+  void broadcastAlertsLocked(Entry& e,
+                             const std::shared_ptr<ServerSession>& session,
+                             const std::vector<std::string>& lines,
+                             std::vector<util::Frame>& out);
+
+  /// Commit the whole reorder window before a read so reads observe all
+  /// accepted data; delivers the resulting alerts. Returns the number of
+  /// chunks processed (0 = nothing buffered, no side effects).
+  std::size_t flushForReadLocked(Entry& e,
+                                 const std::shared_ptr<ServerSession>& session,
+                                 std::vector<util::Frame>& out);
+
+  /// Re-account an entry's bytes with the registry and enforce budgets
+  /// (call without the entry lock held).
+  void reaccountEntry(const std::string& name,
+                      const std::shared_ptr<Entry>& entry,
+                      std::size_t newBytes);
 
   std::vector<util::Frame> dispatch(
       const std::shared_ptr<ServerSession>& session,
@@ -147,10 +297,14 @@ private:
                                       const std::vector<std::string>& tokens);
   std::vector<util::Frame> handleAppend(const std::shared_ptr<ServerSession>&,
                                         std::string_view payload);
-  std::vector<util::Frame> handleAnalyze(const std::vector<std::string>&);
-  std::vector<util::Frame> handleExport(const std::vector<std::string>&);
-  std::vector<util::Frame> handleLint(const std::vector<std::string>&);
-  std::vector<util::Frame> handleStats(const std::vector<std::string>&);
+  std::vector<util::Frame> handleAnalyze(const std::shared_ptr<ServerSession>&,
+                                         const std::vector<std::string>&);
+  std::vector<util::Frame> handleExport(const std::shared_ptr<ServerSession>&,
+                                        const std::vector<std::string>&);
+  std::vector<util::Frame> handleLint(const std::shared_ptr<ServerSession>&,
+                                      const std::vector<std::string>&);
+  std::vector<util::Frame> handleStats(const std::shared_ptr<ServerSession>&,
+                                       const std::vector<std::string>&);
   std::vector<util::Frame> handleEvict(const std::vector<std::string>&);
   std::vector<util::Frame> handleSubscribe(
       const std::shared_ptr<ServerSession>&,

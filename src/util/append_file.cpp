@@ -1,0 +1,76 @@
+#include "util/append_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace perfvar::util {
+
+namespace {
+
+[[noreturn]] void throwIo(const std::string& what, const std::string& path) {
+  ErrorContext context;
+  context.code = ErrorCode::IoFailure;
+  context.path = path;
+  throw Error(what + ": " + std::strerror(errno), std::move(context));
+}
+
+}  // namespace
+
+AppendFile AppendFile::openWithFlags(const std::string& path, int flags) {
+  while (true) {
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd >= 0) {
+      return AppendFile{FileDescriptor(fd), path};
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    throwIo("open", path);
+  }
+}
+
+AppendFile AppendFile::create(const std::string& path) {
+  return openWithFlags(path, O_WRONLY | O_CREAT | O_TRUNC | O_APPEND);
+}
+
+AppendFile AppendFile::openAppend(const std::string& path) {
+  return openWithFlags(path, O_WRONLY | O_CREAT | O_APPEND);
+}
+
+void AppendFile::append(const void* data, std::size_t n) {
+  PERFVAR_REQUIRE_E(fd_.valid(), "append on a closed AppendFile",
+                    ErrorContext::at(ErrorCode::IoFailure));
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t put = ::write(fd_.get(), p + done, n - done);
+    if (put > 0) {
+      done += static_cast<std::size_t>(put);
+      continue;
+    }
+    if (put < 0 && errno == EINTR) {
+      continue;
+    }
+    throwIo("write", path_);
+  }
+}
+
+void AppendFile::sync() {
+  PERFVAR_REQUIRE_E(fd_.valid(), "sync on a closed AppendFile",
+                    ErrorContext::at(ErrorCode::IoFailure));
+  if (::fsync(fd_.get()) != 0) {
+    throwIo("fsync", path_);
+  }
+}
+
+void truncateFile(const std::string& path, std::uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    throwIo("truncate", path);
+  }
+}
+
+}  // namespace perfvar::util

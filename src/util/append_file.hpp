@@ -1,0 +1,65 @@
+#ifndef PERFVAR_UTIL_APPEND_FILE_HPP
+#define PERFVAR_UTIL_APPEND_FILE_HPP
+
+/// \file append_file.hpp
+/// Durable append-only file writer.
+///
+/// The server's write-ahead journals (src/server/journal.hpp) need a
+/// primitive the buffered iostream layer cannot give them: append a whole
+/// record with a single write(2) on an O_APPEND descriptor — so records
+/// from one writer land contiguously and a crash tears at most the final
+/// record — and optionally fsync(2) before acknowledging. AppendFile is
+/// that primitive, RAII-owned like the rest of util. Every failure throws
+/// perfvar::Error with ErrorCode::IoFailure and the file path attached.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/socket.hpp"  // FileDescriptor
+
+namespace perfvar::util {
+
+/// Move-only append-only file handle. Default-constructed instances are
+/// invalid; obtain real ones from create() / openAppend().
+class AppendFile {
+public:
+  AppendFile() = default;
+
+  /// Create or truncate `path` for appending.
+  static AppendFile create(const std::string& path);
+
+  /// Open `path` for appending, creating it when absent and keeping
+  /// existing contents.
+  static AppendFile openAppend(const std::string& path);
+
+  /// Append all `n` bytes with one write(2) call per retry window (EINTR
+  /// and short writes are resumed). Throws Error(IoFailure) on failure.
+  void append(const void* data, std::size_t n);
+
+  /// fsync(2) the descriptor; throws Error(IoFailure) on failure.
+  void sync();
+
+  bool valid() const { return fd_.valid(); }
+  const std::string& path() const { return path_; }
+
+  /// Close now (idempotent, no implicit sync).
+  void close() { fd_.close(); }
+
+private:
+  AppendFile(FileDescriptor fd, std::string path)
+      : fd_(std::move(fd)), path_(std::move(path)) {}
+
+  static AppendFile openWithFlags(const std::string& path, int flags);
+
+  FileDescriptor fd_;
+  std::string path_;
+};
+
+/// Truncate `path` to exactly `size` bytes (the torn-tail amputation step
+/// of journal recovery). Throws Error(IoFailure) on failure.
+void truncateFile(const std::string& path, std::uint64_t size);
+
+}  // namespace perfvar::util
+
+#endif  // PERFVAR_UTIL_APPEND_FILE_HPP

@@ -25,6 +25,8 @@ const char* errorCodeName(ErrorCode code) {
       return "malformed-event";
     case ErrorCode::StackImbalance:
       return "stack-imbalance";
+    case ErrorCode::ChunkOutOfWindow:
+      return "chunk-out-of-window";
   }
   return "unknown";
 }

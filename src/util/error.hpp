@@ -33,6 +33,7 @@ enum class ErrorCode : std::uint8_t {
   TruncatedInput,      ///< input ends before the declared data does
   MalformedEvent,      ///< structurally invalid payload content
   StackImbalance,      ///< Enter/Leave nesting violated
+  ChunkOutOfWindow,    ///< streamed chunk older than the reorder window
 };
 
 /// Stable kebab-case name for an ErrorCode ("checksum-mismatch", ...).

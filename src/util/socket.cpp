@@ -5,7 +5,9 @@
 #include <cstring>
 #include <thread>
 
+#include <algorithm>
 #include <csignal>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -94,6 +96,28 @@ FileDescriptor connectUnix(const std::string& path, std::size_t retries,
   }
 }
 
+FileDescriptor connectUnix(const std::string& path,
+                           const ConnectRetryPolicy& policy) {
+  const sockaddr_un addr = unixAddress(path);
+  std::size_t delayMs = policy.initialDelayMs;
+  for (std::size_t attempt = 0;; ++attempt) {
+    FileDescriptor fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+      throwIo("socket(AF_UNIX)", path);
+    }
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (attempt >= policy.retries) {
+      throwIo("connect", path);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(delayMs));
+    delayMs = std::min(policy.maxDelayMs,
+                       delayMs > 0 ? delayMs * 2 : std::size_t{1});
+  }
+}
+
 std::pair<FileDescriptor, FileDescriptor> socketPair() {
   int fds[2] = {-1, -1};
   if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
@@ -152,6 +176,58 @@ void suppressSigpipe() {
 
 void shutdownSocket(int fd) {
   ::shutdown(fd, SHUT_RDWR);
+}
+
+void shutdownSocketRead(int fd) {
+  ::shutdown(fd, SHUT_RD);
+}
+
+bool sendNonBlocking(int fd, const void* buf, std::size_t n,
+                     std::size_t& written) noexcept {
+  written = 0;
+  while (true) {
+    const ssize_t put =
+        ::send(fd, buf, n, MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (put >= 0) {
+      written = static_cast<std::size_t>(put);
+      return true;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return true;  // kernel buffer full: written stays 0
+    }
+    return false;
+  }
+}
+
+bool pollWritable(int fd, int timeoutMs) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeoutMs);
+  while (true) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int got = ::poll(&pfd, 1, timeoutMs);
+    if (got > 0) {
+      // POLLERR/POLLHUP also count as "writable": the next send reports
+      // the definitive error, which is what the caller must act on.
+      return true;
+    }
+    if (got == 0) {
+      return false;
+    }
+    if (errno == EINTR) {
+      if (timeoutMs >= 0) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now());
+        timeoutMs = static_cast<int>(std::max<long long>(0, left.count()));
+      }
+      continue;
+    }
+    throwIo("poll");
+  }
 }
 
 }  // namespace perfvar::util

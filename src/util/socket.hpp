@@ -78,6 +78,21 @@ FileDescriptor acceptConnection(int listenFd);
 FileDescriptor connectUnix(const std::string& path, std::size_t retries = 0,
                            std::size_t retryIntervalMs = 100);
 
+/// Reconnect schedule for connectUnix: `retries` additional attempts after
+/// the first, waiting `initialDelayMs` before the second attempt and
+/// doubling the wait after every failure up to `maxDelayMs` (exponential
+/// backoff, so a client started before its daemon neither spins nor waits
+/// a fixed worst-case interval).
+struct ConnectRetryPolicy {
+  std::size_t retries = 0;
+  std::size_t initialDelayMs = 100;
+  std::size_t maxDelayMs = 2000;
+};
+
+/// connectUnix with exponential backoff between attempts.
+FileDescriptor connectUnix(const std::string& path,
+                           const ConnectRetryPolicy& policy);
+
 /// Anonymous connected stream-socket pair (AF_UNIX). The in-process
 /// transport: one end is served, the other drives a client — no
 /// filesystem involved.
@@ -101,6 +116,24 @@ void suppressSigpipe();
 /// Wake any thread blocked in acceptConnection() on this listening socket
 /// (shutdown(2) on the descriptor); accept then reports "shut down".
 void shutdownSocket(int fd);
+
+/// Half-close the read side only (SHUT_RD): a thread blocked reading the
+/// next request frame sees a clean EOF, while queued responses still
+/// flow out. The graceful-drain primitive of Server::drain().
+void shutdownSocketRead(int fd);
+
+/// Best-effort nonblocking send on a connected socket (MSG_DONTWAIT, no
+/// SIGPIPE). Returns false when the peer is gone or the transport failed;
+/// on success `written` holds the bytes accepted (0 = kernel buffer full,
+/// try again later). Never blocks and never throws.
+bool sendNonBlocking(int fd, const void* buf, std::size_t n,
+                     std::size_t& written) noexcept;
+
+/// Wait until `fd` accepts more outgoing bytes. `timeoutMs` < 0 waits
+/// indefinitely. Returns false on timeout; throws Error(IoFailure) when
+/// the descriptor itself fails. EINTR is retried against the original
+/// deadline.
+bool pollWritable(int fd, int timeoutMs);
 
 }  // namespace perfvar::util
 

@@ -1,0 +1,151 @@
+/// The Sender's backpressure contract, exercised against real sockets
+/// with shrunken kernel buffers: alert fan-out to a slow subscriber
+/// never blocks, overflowing alerts coalesce into one `dropped=N`
+/// marker frame, and a peer that stops reading entirely trips the
+/// per-send poll timeout and is deactivated like a dead peer — while a
+/// merely slow reader is waited for and still gets its bytes.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "server/service.hpp"
+#include "util/framing.hpp"
+#include "util/socket.hpp"
+
+namespace perfvar::server {
+namespace {
+
+/// Shrink both kernel buffers so a few KB of payload is enough to make
+/// send(2) push back. The kernel clamps to its minimum; that is fine —
+/// the tests size their payloads well past it.
+void shrinkBuffers(int fd) {
+  const int tiny = 4096;
+  ASSERT_EQ(setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny)), 0);
+  ASSERT_EQ(setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny)), 0);
+}
+
+/// Read every frame until EOF.
+std::vector<util::Frame> drainFrames(int fd) {
+  std::vector<util::Frame> frames;
+  util::Frame frame;
+  while (util::readFrame(fd, frame)) {
+    frames.push_back(frame);
+  }
+  return frames;
+}
+
+TEST(ServerBackpressure, EnqueueAlertNeverBlocksAndCoalescesDrops) {
+  auto [a, b] = util::socketPair();
+  shrinkBuffers(a.get());
+  shrinkBuffers(b.get());
+
+  SenderOptions options;
+  options.alertQueueBytes = 2048;  // tiny bound: drops are certain
+  options.sendTimeoutMs = 200;
+  Sender sender(a.get(), options);
+
+  // Nobody reads from `b`: the kernel buffer fills, then the queue
+  // fills, then alerts start dropping. enqueueAlert must return without
+  // ever blocking (the test would hang here if it did).
+  const std::string line(512, 'A');
+  for (int i = 0; i < 200; ++i) {
+    sender.enqueueAlert(line);
+  }
+  EXPECT_TRUE(sender.active());
+  EXPECT_GT(sender.alertsDropped(), 0u);
+  const std::uint64_t dropped = sender.alertsDropped();
+
+  // Start reading: a response send flushes the queued alerts, then the
+  // coalesced dropped=N marker, then the response frame itself.
+  std::thread reader([fd = b.get(), &sender] {
+    // Give send() a moment to queue the final frame, then drain.
+    std::vector<util::Frame> frames = drainFrames(fd);
+    std::size_t alerts = 0;
+    bool sawMarker = false;
+    bool sawFinal = false;
+    for (const util::Frame& f : frames) {
+      if (static_cast<FrameType>(f.type) == FrameType::Alert) {
+        if (f.payload.rfind("dropped=", 0) == 0) {
+          sawMarker = true;
+          EXPECT_EQ(f.payload, "dropped=" +
+                                   std::to_string(sender.alertsDropped()));
+        } else {
+          ++alerts;
+        }
+      } else if (static_cast<FrameType>(f.type) == FrameType::Ok) {
+        sawFinal = true;
+      }
+    }
+    EXPECT_GT(alerts, 0u);        // the queued alerts got through
+    EXPECT_TRUE(sawMarker);       // the drops were reported
+    EXPECT_TRUE(sawFinal);        // the response still arrived, last
+  });
+  EXPECT_TRUE(sender.send(FrameType::Ok, "done"));
+  EXPECT_EQ(sender.alertsDropped(), dropped);  // marker cleared pending
+  sender.deactivate();
+  a.close();  // EOF for the reader
+  reader.join();
+}
+
+TEST(ServerBackpressure, StalledPeerTripsTheSendTimeoutAndDeactivates) {
+  auto [a, b] = util::socketPair();
+  shrinkBuffers(a.get());
+  shrinkBuffers(b.get());
+
+  SenderOptions options;
+  options.sendTimeoutMs = 100;
+  Sender sender(a.get(), options);
+
+  // A payload far beyond both kernel buffers; the peer never reads.
+  const std::string huge(1 << 20, 'Z');
+  EXPECT_FALSE(sender.send(FrameType::Data, huge));
+  EXPECT_FALSE(sender.active());
+  // Dead-peer semantics: every later send is a cheap no-op failure.
+  EXPECT_FALSE(sender.send(FrameType::Ok, "late"));
+}
+
+TEST(ServerBackpressure, SlowButLivePeerStillGetsEveryByte) {
+  auto [a, b] = util::socketPair();
+  shrinkBuffers(a.get());
+  shrinkBuffers(b.get());
+
+  SenderOptions options;
+  options.sendTimeoutMs = 5000;  // patient: the reader IS making progress
+  Sender sender(a.get(), options);
+
+  const std::string big(256 * 1024, 'Q');
+  std::string received;
+  std::thread reader([fd = b.get(), &received, &big] {
+    util::Frame frame;
+    while (util::readFrame(fd, frame)) {
+      if (static_cast<FrameType>(frame.type) == FrameType::Data) {
+        received = frame.payload;
+      }
+      if (received.size() == big.size()) {
+        break;
+      }
+    }
+  });
+  EXPECT_TRUE(sender.send(FrameType::Data, big));
+  EXPECT_TRUE(sender.active());
+  reader.join();
+  EXPECT_EQ(received, big);
+}
+
+TEST(ServerBackpressure, DeactivatedSenderDropsAlertsQuietly) {
+  auto [a, b] = util::socketPair();
+  Sender sender(a.get());
+  sender.deactivate();
+  EXPECT_FALSE(sender.enqueueAlert("into the void"));
+  EXPECT_FALSE(sender.pumpAlerts());
+  EXPECT_FALSE(sender.send(FrameType::Ok, "gone"));
+}
+
+}  // namespace
+}  // namespace perfvar::server

@@ -211,5 +211,115 @@ TEST(ServerStreaming, ExplicitEvictionFreesTheName) {
   EXPECT_NE(r.payload.find("200 segments"), std::string::npos) << r.payload;
 }
 
+// ---- the reorder window ----------------------------------------------------
+
+TEST(ServerStreaming, ReorderWindowMakesScrambledDeliveryEqualOrdered) {
+  const trace::Trace tr = outlierTrace();
+  const std::vector<trace::Trace> chunks = trace::splitByTime(tr, 7);
+  const std::size_t scrambled[] = {3, 0, 2, 1, 6, 4, 5};
+
+  // Ordered delivery through a window-less server: the baseline.
+  Rig ordered;
+  const StreamOutcome a = streamInChunks(ordered.client, tr, 7);
+
+  // Scrambled delivery through a generous window.
+  ServerOptions options;
+  options.reorderWindowBytes = 64 * 1024 * 1024;
+  Rig rig(options);
+  ASSERT_TRUE(rig.client.open("live", "step threshold 6.0").ok());
+  ASSERT_TRUE(rig.client.subscribe("live").ok());
+  for (const std::size_t i : scrambled) {
+    const ClientResponse r = rig.client.append("live", imageOf(chunks[i]));
+    ASSERT_TRUE(r.ok()) << r.payload;
+    EXPECT_NE(r.payload.find("buffered live:"), std::string::npos)
+        << r.payload;
+  }
+  // Reads flush the window in time order: analysis and export are
+  // byte-identical to the time-ordered, unbuffered delivery.
+  const ClientResponse report = rig.client.analyze("live");
+  ASSERT_EQ(report.type, FrameType::Data);
+  EXPECT_EQ(report.payload, a.report);
+  const ClientResponse exported = rig.client.exportReport("live json");
+  ASSERT_EQ(exported.type, FrameType::Data);
+  EXPECT_EQ(exported.payload, a.exported);
+  // The flush delivered the same alert sequence to the subscriber (they
+  // ride the read's response stream, Alert frames before the Data).
+  ASSERT_FALSE(a.alerts.empty());
+  EXPECT_EQ(report.alerts, a.alerts);
+}
+
+TEST(ServerStreaming, WindowOverflowFlushesEarliestChunksFirst) {
+  const trace::Trace tr = outlierTrace();
+  const std::vector<trace::Trace> chunks = trace::splitByTime(tr, 4);
+
+  ServerOptions options;
+  options.reorderWindowBytes = 1;  // every event-carrying chunk overflows
+  Rig rig(options);
+  ASSERT_TRUE(rig.client.open("live", "step threshold 6.0").ok());
+  for (const trace::Trace& chunk : chunks) {
+    const ClientResponse r = rig.client.append("live", imageOf(chunk));
+    ASSERT_TRUE(r.ok()) << r.payload;
+    // The chunk enters the window, immediately overflows the 1-byte
+    // bound, and is flushed (committed) right back out.
+    EXPECT_NE(r.payload.find("flushed 1 chunks"), std::string::npos)
+        << r.payload;
+  }
+  const ClientResponse stats = rig.client.stats("live");
+  ASSERT_EQ(stats.type, FrameType::Data);
+  EXPECT_NE(stats.payload.find("window: 0 chunks, 0 bytes"),
+            std::string::npos)
+      << stats.payload;
+  EXPECT_NE(stats.payload.find("segments: 200"), std::string::npos);
+}
+
+TEST(ServerStreaming, ChunkBehindTheCommittedTailIsAStructuredError) {
+  const trace::Trace tr = outlierTrace();
+  const std::vector<trace::Trace> chunks = trace::splitByTime(tr, 4);
+
+  ServerOptions options;
+  options.reorderWindowBytes = 1;  // tiny: every append commits at once
+  Rig rig(options);
+  ASSERT_TRUE(rig.client.open("live", "step threshold 6.0").ok());
+  ASSERT_TRUE(rig.client.append("live", imageOf(chunks[2])).ok());
+  // chunks[0] starts before the committed tail: the window has already
+  // flushed past it, and the error says so deterministically.
+  const ClientResponse r = rig.client.append("live", imageOf(chunks[0]));
+  ASSERT_EQ(r.type, FrameType::Error);
+  EXPECT_EQ(r.error().code, ErrorCode::ChunkOutOfWindow) << r.error().message;
+  EXPECT_NE(r.error().message.find("reorder window"), std::string::npos);
+  // The stream is still healthy for in-order progress.
+  EXPECT_TRUE(rig.client.append("live", imageOf(chunks[3])).ok());
+}
+
+TEST(ServerStreaming, StatsObserveTheWindowWithoutFlushingIt) {
+  const trace::Trace tr = outlierTrace();
+  const std::vector<trace::Trace> chunks = trace::splitByTime(tr, 3);
+
+  ServerOptions options;
+  options.reorderWindowBytes = 64 * 1024 * 1024;
+  Rig rig(options);
+  ASSERT_TRUE(rig.client.open("live", "step threshold 6.0").ok());
+  ASSERT_TRUE(rig.client.append("live", imageOf(chunks[1])).ok());
+  const ClientResponse stats = rig.client.stats("live");
+  ASSERT_EQ(stats.type, FrameType::Data);
+  EXPECT_NE(stats.payload.find("window: 1 chunks"), std::string::npos)
+      << stats.payload;
+  EXPECT_NE(stats.payload.find("journal: off"), std::string::npos);
+  // stats did not flush: a second stats still sees the buffered chunk.
+  const ClientResponse again = rig.client.stats("live");
+  EXPECT_NE(again.payload.find("window: 1 chunks"), std::string::npos);
+  // Complete the stream (still buffered), then read: a read does flush,
+  // committing all three chunks in time order.
+  ASSERT_TRUE(rig.client.append("live", imageOf(chunks[0])).ok());
+  ASSERT_TRUE(rig.client.append("live", imageOf(chunks[2])).ok());
+  const ClientResponse full = rig.client.stats("live");
+  EXPECT_NE(full.payload.find("window: 3 chunks"), std::string::npos)
+      << full.payload;
+  const ClientResponse analyzed = rig.client.analyze("live");
+  ASSERT_EQ(analyzed.type, FrameType::Data) << analyzed.payload;
+  const ClientResponse after = rig.client.stats("live");
+  EXPECT_NE(after.payload.find("window: 0 chunks"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace perfvar::server

@@ -504,5 +504,94 @@ TEST(ToolCli, ConnectServerErrorsMakeTheSessionExitNonzero) {
       << session.out;
 }
 
+// ---- durability: journals, SIGKILL recovery, SIGTERM drain ---------------
+
+TEST(ToolCli, RecoverWithoutJournalDirIsAUsageError) {
+  EXPECT_EQ(run(tool() + " --recover serve a.sock 2>/dev/null").exitCode, 2);
+}
+
+/// The crash-recovery smoke: a journaled daemon is fed a live stream and
+/// SIGKILLed with no warning; a second daemon started with --recover must
+/// answer `analyze` byte-identically to a daemon that never died.
+TEST(ToolCli, SigkilledJournaledDaemonRecoversByteIdentical) {
+  const std::string pid = std::to_string(getpid());
+  const std::string dir = "tool_cli_journal_" + pid;
+  const std::string sock = "tool_cli_kill_" + pid + ".sock";
+  run("rm -rf " + dir + " " + sock);
+
+  // Reference: journaled daemon, stream, analyze, clean shutdown.
+  const RunResult reference = run(
+      tool() + " serve " + sock + " --journal-dir " + dir +
+      " >/dev/null 2>&1 & srv=$!; " +
+      "printf 'open live cosmo_dynamics\\nappend live " + tracePath() +
+      "\\nanalyze live\\nshutdown\\n' | " + tool() + " connect " + sock +
+      "; code=$?; wait $srv; exit $code");
+  ASSERT_EQ(reference.exitCode, 0) << reference.out;
+  const std::size_t reportAt = reference.out.find("dominant");
+  ASSERT_NE(reportAt, std::string::npos) << reference.out;
+
+  // Crash run: same stream, then SIGKILL — no drain, no goodbye.
+  run("rm -rf " + dir);
+  const RunResult crashed = run(
+      tool() + " serve " + sock + " --journal-dir " + dir +
+      " >/dev/null 2>&1 & srv=$!; " +
+      "printf 'open live cosmo_dynamics\\nappend live " + tracePath() +
+      "\\n' | " + tool() + " connect " + sock + " >/dev/null; " +
+      "kill -9 $srv; wait $srv 2>/dev/null; exit 0");
+  ASSERT_EQ(crashed.exitCode, 0);
+
+  // Recovery run: replay the journal, analyze, compare.
+  const RunResult recovered = run(
+      tool() + " serve " + sock + " --journal-dir " + dir +
+      " --recover >/dev/null 2>&1 & srv=$!; " +
+      "printf 'analyze live\\nshutdown\\n' | " + tool() + " connect " +
+      sock + "; code=$?; wait $srv; exit $code");
+  ASSERT_EQ(recovered.exitCode, 0) << recovered.out;
+  // The recovered analyze equals the reference's analyze output, byte
+  // for byte, from the report head to the end of the session.
+  const std::size_t recoveredAt = recovered.out.find("dominant");
+  ASSERT_NE(recoveredAt, std::string::npos) << recovered.out;
+  EXPECT_EQ(recovered.out.substr(recoveredAt),
+            reference.out.substr(reportAt));
+  run("rm -rf " + dir + " " + sock);
+}
+
+TEST(ToolCli, SigtermDrainsTheDaemonGracefully) {
+  const std::string pid = std::to_string(getpid());
+  const std::string dir = "tool_cli_drain_" + pid;
+  const std::string sock = "tool_cli_drain_" + pid + ".sock";
+  run("rm -rf " + dir + " " + sock);
+
+  const RunResult r = run(
+      tool() + " serve " + sock + " --journal-dir " + dir +
+      " > drain_out_" + pid + ".txt 2>&1 & srv=$!; " +
+      "printf 'open live cosmo_dynamics\\nappend live " + tracePath() +
+      "\\nquit\\n' | " + tool() + " connect " + sock + " >/dev/null; " +
+      "kill -TERM $srv; wait $srv; code=$?; cat drain_out_" + pid +
+      ".txt; rm -f drain_out_" + pid + ".txt; exit $code");
+  EXPECT_EQ(r.exitCode, 0) << r.out;
+  EXPECT_NE(r.out.find("draining (SIGTERM)"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("server stopped"), std::string::npos) << r.out;
+
+  // The drain fsynced the journal: a recovery pass serves the trace.
+  const RunResult recovered = run(
+      tool() + " serve " + sock + " --journal-dir " + dir +
+      " --recover >/dev/null 2>&1 & srv=$!; " +
+      "printf 'stats live\\nshutdown\\n' | " + tool() + " connect " + sock +
+      "; code=$?; wait $srv; exit $code");
+  EXPECT_EQ(recovered.exitCode, 0) << recovered.out;
+  EXPECT_NE(recovered.out.find("journal: on"), std::string::npos)
+      << recovered.out;
+  run("rm -rf " + dir + " " + sock);
+}
+
+TEST(ToolCli, ConnectRetryGivesUpAfterTheConfiguredAttempts) {
+  // 2 attempts x 10 ms: fails fast instead of the default ~5 s.
+  const RunResult r = run(tool() +
+                          " connect --retry 2 --retry-delay-ms 10 "
+                          "definitely_missing.sock </dev/null 2>/dev/null");
+  EXPECT_EQ(r.exitCode, 1);
+}
+
 }  // namespace
 }  // namespace perfvar

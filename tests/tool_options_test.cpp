@@ -35,8 +35,53 @@ TEST(ToolOptions, DefaultsMatchDocumentedContract) {
   EXPECT_FALSE(options.lazy);
   EXPECT_EQ(options.shardBudgetMb, 256u);
   EXPECT_EQ(options.lintFailOn, lint::Severity::Warning);
+  EXPECT_TRUE(options.journalDir.empty());
+  EXPECT_FALSE(options.recover);
+  EXPECT_FALSE(options.journalFsync);
+  EXPECT_EQ(options.reorderWindowBytes, 0u);
+  EXPECT_EQ(options.sendTimeoutMs, 5000u);
+  EXPECT_EQ(options.retry, 50u);
+  EXPECT_EQ(options.retryDelayMs, 100u);
   EXPECT_EQ(options.positional,
             (std::vector<std::string>{"analyze", "in.pvt"}));
+}
+
+TEST(ToolOptions, DurabilityAndRetryFlagsParse) {
+  ToolOptions options;
+  std::string error;
+  EXPECT_EQ(parse({"--journal-dir", "wal", "--recover", "--journal-fsync",
+                   "--reorder-window-bytes", "65536", "--send-timeout-ms",
+                   "250", "serve", "a.sock"},
+                  options, error),
+            ParseStatus::Ok)
+      << error;
+  EXPECT_EQ(options.journalDir, "wal");
+  EXPECT_TRUE(options.recover);
+  EXPECT_TRUE(options.journalFsync);
+  EXPECT_EQ(options.reorderWindowBytes, 65536u);
+  EXPECT_EQ(options.sendTimeoutMs, 250u);
+  EXPECT_EQ(options.positional,
+            (std::vector<std::string>{"serve", "a.sock"}));
+
+  ToolOptions connectOptions;
+  EXPECT_EQ(parse({"--retry", "3", "--retry-delay-ms", "10", "connect",
+                   "a.sock"},
+                  connectOptions, error),
+            ParseStatus::Ok);
+  EXPECT_EQ(connectOptions.retry, 3u);
+  EXPECT_EQ(connectOptions.retryDelayMs, 10u);
+
+  // Value flags reject missing and malformed values like every other.
+  for (const char* flag : {"--journal-dir", "--reorder-window-bytes",
+                           "--send-timeout-ms", "--retry",
+                           "--retry-delay-ms"}) {
+    ToolOptions o;
+    EXPECT_EQ(parse({flag}, o, error), ParseStatus::Error) << flag;
+  }
+  ToolOptions o;
+  EXPECT_EQ(parse({"--reorder-window-bytes", "lots"}, o, error),
+            ParseStatus::Error);
+  EXPECT_EQ(parse({"--retry", "-1"}, o, error), ParseStatus::Error);
 }
 
 TEST(ToolOptions, AllFlagsParse) {

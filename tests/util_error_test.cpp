@@ -24,6 +24,8 @@ TEST(ErrorCodeNames, AreStableAndKebabCase) {
   EXPECT_STREQ(errorCodeName(ErrorCode::TruncatedInput), "truncated-input");
   EXPECT_STREQ(errorCodeName(ErrorCode::MalformedEvent), "malformed-event");
   EXPECT_STREQ(errorCodeName(ErrorCode::StackImbalance), "stack-imbalance");
+  EXPECT_STREQ(errorCodeName(ErrorCode::ChunkOutOfWindow),
+               "chunk-out-of-window");
 }
 
 TEST(ErrorContextTest, DefaultsMeanUnknown) {
