@@ -74,6 +74,12 @@ struct ToolOptions {
   lint::Severity lintFailOn = lint::Severity::Warning;
   /// --disable R: lint only — suppressed rule ids (repeatable).
   std::vector<std::string> lintDisabled;
+  /// --only I[,I...]: lint only — run exactly these rule ids
+  /// (comma-separated, repeatable; validated against the registry).
+  std::vector<std::string> lintOnly;
+  /// --exclude I[,I...]: lint only — skip these rule ids
+  /// (comma-separated, repeatable; validated against the registry).
+  std::vector<std::string> lintExclude;
   /// Non-option arguments in order: command, then its operands.
   std::vector<std::string> positional;
 };
@@ -97,6 +103,26 @@ inline bool parseSize(const std::string& value, std::size_t& out) {
     return false;
   }
   return true;
+}
+
+/// Append the comma-separated ids of `value` to `out`. Empty segments
+/// (leading/trailing/doubled commas, or an empty value) are rejected.
+inline bool parseIdList(const std::string& value,
+                        std::vector<std::string>& out) {
+  std::size_t begin = 0;
+  while (begin <= value.size()) {
+    const std::size_t comma = value.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? value.size() : comma;
+    if (end == begin) {
+      return false;
+    }
+    out.push_back(value.substr(begin, end - begin));
+    if (comma == std::string::npos) {
+      return true;
+    }
+    begin = comma + 1;
+  }
+  return false;
 }
 
 /// Full-token floating-point parse.
@@ -223,6 +249,16 @@ inline ParseStatus parseToolOptions(int argc, const char* const* argv,
         return ParseStatus::Error;
       }
       options.lintDisabled.emplace_back(argv[++i]);
+    } else if (arg == "--only" || arg == "--exclude") {
+      if (i + 1 >= argc) {
+        error = arg + " needs a comma-separated rule id list";
+        return ParseStatus::Error;
+      }
+      const std::string value = argv[++i];
+      auto& list = arg == "--only" ? options.lintOnly : options.lintExclude;
+      if (!parseIdList(value, list)) {
+        return badValue(arg, "a comma-separated rule id list", value);
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       error = "unknown option '" + arg + "'";
       return ParseStatus::Error;

@@ -17,6 +17,9 @@
 ///                                              --disable)
 ///   trace_tool profile <in.pvt>                top functions by time
 ///   trace_tool analyze <in.pvt>                full variation analysis
+///   trace_tool critpath <in.pvt> [fmt]         cross-rank dependency
+///                                              analysis (critical path,
+///                                              serialization, idle waves)
 ///   trace_tool dump <in.pvt>                   PVTX text dump to stdout
 ///   trace_tool slice <in.pvt> <out.pvt> <startSec> <endSec>
 ///   trace_tool export-json <in.pvt>            analysis as JSON to stdout
@@ -53,7 +56,8 @@
 /// above the --fail-on severity), 1 = findings at or above it, 2 = the
 /// trace could not be loaded at all.
 ///
-/// Scenarios: cosmo-specs | cosmo-specs-fd4 | wrf.
+/// Scenarios: cosmo-specs | cosmo-specs-fd4 | wrf | pipeline |
+/// desync-stencil.
 /// Without arguments, a self-contained demo runs (generate + analyze a
 /// temporary COSMO-SPECS trace).
 
@@ -73,6 +77,8 @@
 #include "lint/lint.hpp"
 #include "apps/cosmo_specs.hpp"
 #include "apps/cosmo_specs_fd4.hpp"
+#include "apps/desync_stencil.hpp"
+#include "apps/pipeline_chain.hpp"
 #include "apps/scale_synthetic.hpp"
 #include "apps/wrf.hpp"
 #include "engine/engine.hpp"
@@ -123,8 +129,15 @@ trace::Trace generateScenario(const std::string& name) {
     const auto s = apps::buildWrf();
     return sim::simulate(s.program, s.simOptions);
   }
+  if (name == "pipeline") {
+    return apps::buildPipelineTrace({});
+  }
+  if (name == "desync-stencil") {
+    return apps::buildStencilTrace({});
+  }
   throw Error("unknown scenario '" + name +
-              "' (expected cosmo-specs | cosmo-specs-fd4 | wrf)");
+              "' (expected cosmo-specs | cosmo-specs-fd4 | wrf | "
+              "pipeline | desync-stencil)");
 }
 
 void printUsage(std::ostream& out) {
@@ -132,7 +145,8 @@ void printUsage(std::ostream& out) {
       "usage: trace_tool [--threads N] [--format v1|v2] [--salvage]\n"
       "                  [--lazy] [--verbose] <command> [args]\n"
       "  generate <scenario> <out.pvt>  scenario: cosmo-specs |\n"
-      "                                 cosmo-specs-fd4 | wrf\n"
+      "                                 cosmo-specs-fd4 | wrf | pipeline |\n"
+      "                                 desync-stencil\n"
       "  generate scale <out.pvt> [ranks [iterations]]\n"
       "                                 stream the synthetic scale scenario\n"
       "                                 to disk rank by rank (defaults:\n"
@@ -154,6 +168,10 @@ void printUsage(std::ostream& out) {
       "                                 could not be loaded\n"
       "  profile <in.pvt>               flat profile (top 20)\n"
       "  analyze <in.pvt>               dominant function + SOS analysis\n"
+      "  critpath <in.pvt> [text|json|csv]\n"
+      "                                 cross-rank dependency analysis:\n"
+      "                                 critical path, serialization\n"
+      "                                 bottlenecks and idle waves\n"
       "  dump <in.pvt>                  PVTX text dump\n"
       "  slice <in.pvt> <out.pvt> <startSec> <endSec>\n"
       "  export-json <in.pvt>           analysis as JSON\n"
@@ -233,6 +251,12 @@ void printUsage(std::ostream& out) {
       "  --fail-on S   lint only: severity that fails the run with exit\n"
       "                code 1 (info | warning | error; default warning)\n"
       "  --disable R   lint only: skip rule id R (repeatable)\n"
+      "  --only I[,I...]     lint only: run exactly these rule ids\n"
+      "                      (comma-separated, repeatable); unknown ids\n"
+      "                      are a usage error (exit 2)\n"
+      "  --exclude I[,I...]  lint only: skip these rule ids\n"
+      "                      (comma-separated, repeatable); unknown ids\n"
+      "                      are a usage error (exit 2)\n"
       "  --help        print this text\n"
       "\n"
       "exit codes: 0 success, 1 runtime/analysis error, 2 usage error\n";
@@ -309,6 +333,8 @@ void printQueryHelp(std::ostream& out) {
          "  export <text|json|csv|csv-iterations|csv-hotspots>"
          " [candidate K] [threshold Z] [max-hotspots N]\n"
          "  profile   top functions by inclusive time\n"
+         "  critpath  cross-rank dependency analysis (critical path,\n"
+         "            serialization bottlenecks, idle waves)\n"
          "  stats     trace statistics\n"
          "  cache     cache hit/miss/eviction/bytes counters\n"
          "  help      this text\n"
@@ -342,6 +368,8 @@ int runQuerySession(engine::AnalysisEngine& eng, std::istream& in,
       out << trace::formatStats(trace::computeStats(eng.trace()));
     } else if (cmd == "profile") {
       out << profile::formatTopFunctions(eng.trace(), *eng.profile(), 20);
+    } else if (cmd == "critpath") {
+      out << eng.formatDepReport();
     } else if (cmd == "analyze" || cmd == "export") {
       analysis::PipelineOptions opts;
       analysis::ExportFormat format = analysis::ExportFormat::Text;
@@ -662,6 +690,32 @@ int main(int argc, char** argv) {
                 << report.ranks.size() << " ranks quarantined)\n";
       return kExitOk;
     }
+    if (cmd == "critpath") {
+      // critpath <in.pvt> [text|json|csv] — engine-based so --lazy and
+      // --threads apply; a warm re-query would hit the dep stage cache.
+      if (args.size() < 2 || args.size() > 3) {
+        return usageError("'critpath' expects <in.pvt> [text|json|csv]");
+      }
+      analysis::ExportFormat format = analysis::ExportFormat::Text;
+      if (args.size() == 3) {
+        if (!parseExportFormat(args[2], format) ||
+            (format != analysis::ExportFormat::Text &&
+             format != analysis::ExportFormat::Json &&
+             format != analysis::ExportFormat::Csv)) {
+          return usageError("'critpath' expects a format of text, json or "
+                            "csv, got '" + args[2] + "'");
+        }
+      }
+      engine::EngineOptions engineOptions;
+      engineOptions.threads = threads;
+      auto eng = options.lazy
+                     ? engine::AnalysisEngine::fromFileLazy(
+                           args[1], engineOptions, viewOptions)
+                     : engine::AnalysisEngine::fromFile(args[1],
+                                                        engineOptions);
+      eng.exportDepReport(format, std::cout);
+      return kExitOk;
+    }
     if (args.size() != 2) {
       if (cmd == "stats" || cmd == "validate" || cmd == "lint" ||
           cmd == "profile" || cmd == "analyze" || cmd == "dump" ||
@@ -776,6 +830,20 @@ int main(int argc, char** argv) {
       return runQuerySession(eng, std::cin, std::cout);
     }
     if (cmd == "lint") {
+      // --only/--exclude are validated strictly against the built-in
+      // registry: a typo'd rule id is a usage error (exit 2), not a
+      // silently ineffective filter.
+      const lint::RuleRegistry& registry = lint::RuleRegistry::builtin();
+      for (const std::string& id : options.lintOnly) {
+        if (registry.find(id) == nullptr) {
+          return usageError("unknown lint rule id '" + id + "'");
+        }
+      }
+      for (const std::string& id : options.lintExclude) {
+        if (registry.find(id) == nullptr) {
+          return usageError("unknown lint rule id '" + id + "'");
+        }
+      }
       // Own exit-code contract (see file comment): a trace that cannot be
       // loaded at all exits 2, not the generic runtime code 1 — scripts
       // can then distinguish "damaged beyond linting" from "has findings".
@@ -794,6 +862,10 @@ int main(int argc, char** argv) {
       lint::LintOptions lintOptions;
       lintOptions.threads = threads;
       lintOptions.disabledRules = options.lintDisabled;
+      lintOptions.onlyRules = options.lintOnly;
+      lintOptions.disabledRules.insert(lintOptions.disabledRules.end(),
+                                       options.lintExclude.begin(),
+                                       options.lintExclude.end());
       const lint::LintReport report = lint::lintTrace(tr, lintOptions);
       lint::exportLintReport(report,
                              options.lintJson ? analysis::ExportFormat::Json

@@ -1,0 +1,937 @@
+/// \file depgraph.cpp
+/// Happens-before graph construction and the three dependency detectors
+/// (see depgraph.hpp for the model and the determinism/robustness
+/// contracts).
+
+#include "analysis/depgraph.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/json_writer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace perfvar::analysis {
+
+namespace {
+
+/// One open frame of the tolerant stack replay.
+struct Frame {
+  trace::FunctionId function = trace::kInvalidFunction;
+  trace::Timestamp enter = 0;
+  bool sync = false;
+};
+
+/// Nodes and attribution of one rank, before the serial merge. A pure
+/// function of (rank stream, sync mask), so the per-rank phase shards
+/// freely without affecting the result.
+struct RankShard {
+  std::vector<DepNode> nodes;
+  std::vector<FunctionTicks> attribution;
+};
+
+/// Accumulate `ticks` of exclusive time in `function` into the pending
+/// attribution list (insertion order; intervals touch few functions, so
+/// the linear scan beats a map).
+void addAttribution(std::vector<FunctionTicks>& pending,
+                    trace::FunctionId function, std::uint64_t ticks) {
+  if (ticks == 0) {
+    return;
+  }
+  for (FunctionTicks& entry : pending) {
+    if (entry.function == function) {
+      entry.ticks += ticks;
+      return;
+    }
+  }
+  pending.push_back(FunctionTicks{function, ticks});
+}
+
+/// Extract the nodes of one rank: tolerant enter/leave replay (hostile
+/// streams never throw — unmatched leaves and dangling refs degrade to
+/// "outside any function"), per-function attribution between consecutive
+/// nodes, and the waitStart of receives from the innermost enclosing
+/// sync-classified region.
+RankShard extractRank(const trace::TraceView& view, trace::ProcessId rank,
+                      std::size_t functionCount,
+                      const std::vector<bool>& syncMask) {
+  RankShard shard;
+  const trace::RankPin pin = view.rank(rank);
+  const trace::EventSpan events = pin.events();
+
+  std::vector<Frame> stack;
+  std::vector<FunctionTicks> pending;
+  const trace::Timestamp first = events.size() > 0 ? events[0].time : 0;
+
+  const auto flushNode = [&](DepNode node) {
+    node.process = rank;
+    node.attrBegin = static_cast<std::uint32_t>(shard.attribution.size());
+    node.attrCount = static_cast<std::uint32_t>(pending.size());
+    shard.attribution.insert(shard.attribution.end(), pending.begin(),
+                             pending.end());
+    pending.clear();
+    shard.nodes.push_back(node);
+  };
+
+  DepNode start;
+  start.kind = DepNodeKind::RankStart;
+  start.time = start.waitStart = first;
+  flushNode(start);
+
+  trace::Timestamp cursor = first;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const trace::Event& e = events[i];
+    const trace::Timestamp t = e.time;
+    if (t > cursor) {
+      const trace::FunctionId top =
+          stack.empty() ? trace::kInvalidFunction : stack.back().function;
+      addAttribution(pending, top, t - cursor);
+      cursor = t;
+    }
+    switch (e.kind) {
+      case trace::EventKind::Enter: {
+        Frame frame;
+        frame.function = e.ref < functionCount ? e.ref
+                                               : trace::kInvalidFunction;
+        frame.enter = t;
+        frame.sync = frame.function != trace::kInvalidFunction &&
+                     syncMask[frame.function];
+        stack.push_back(frame);
+        break;
+      }
+      case trace::EventKind::Leave:
+        if (!stack.empty()) {
+          stack.pop_back();
+        }
+        break;
+      case trace::EventKind::MpiSend:
+      case trace::EventKind::MpiRecv: {
+        DepNode node;
+        node.kind = e.kind == trace::EventKind::MpiSend ? DepNodeKind::Send
+                                                        : DepNodeKind::Recv;
+        node.time = t;
+        node.eventIndex = static_cast<std::int64_t>(i);
+        node.peer = e.ref;
+        node.tag = e.aux;
+        node.function =
+            stack.empty() ? trace::kInvalidFunction : stack.back().function;
+        node.waitStart = t;
+        if (node.kind == DepNodeKind::Recv) {
+          for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            if (it->sync) {
+              node.waitStart = std::min(it->enter, t);
+              break;
+            }
+          }
+        }
+        flushNode(node);
+        break;
+      }
+      case trace::EventKind::Metric:
+        break;
+    }
+  }
+
+  DepNode end;
+  end.kind = DepNodeKind::RankEnd;
+  end.time = end.waitStart = cursor;
+  flushNode(end);
+  return shard;
+}
+
+std::uint64_t packChannelRank(trace::ProcessId a) {
+  return static_cast<std::uint64_t>(a);
+}
+
+}  // namespace
+
+const char* depNodeKindName(DepNodeKind k) {
+  switch (k) {
+    case DepNodeKind::RankStart:
+      return "start";
+    case DepNodeKind::Send:
+      return "send";
+    case DepNodeKind::Recv:
+      return "recv";
+    case DepNodeKind::RankEnd:
+      return "end";
+  }
+  return "?";
+}
+
+DepGraph buildDepGraph(const trace::TraceView& trace,
+                       const DepGraphOptions& options) {
+  DepGraph graph;
+  graph.processCount = trace.processCount();
+  graph.functionCount = trace.functions().size();
+
+  const std::vector<bool> syncMask = options.sync.mask(trace);
+
+  // Per-rank phase: every rank writes its own shard, so the result is
+  // independent of scheduling (parallelChunks' chunk boundaries depend
+  // only on n and grain, and shards merge in rank order below).
+  std::vector<RankShard> shards(graph.processCount);
+  util::ThreadPool* pool = options.pool;
+  std::unique_ptr<util::ThreadPool> owned;
+  if (pool == nullptr && options.threads != 1) {
+    owned = std::make_unique<util::ThreadPool>(options.threads);
+    pool = owned.get();
+  }
+  util::parallelChunks(pool, graph.processCount,
+                       std::max<std::size_t>(1, options.grainSizeRanks),
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t p = begin; p < end; ++p) {
+                           shards[p] = extractRank(
+                               trace, static_cast<trace::ProcessId>(p),
+                               graph.functionCount, syncMask);
+                         }
+                       });
+
+  // Serial merge in rank order: global node indices, prev links, and the
+  // shared attribution pool.
+  std::size_t totalNodes = 0;
+  std::size_t totalAttr = 0;
+  for (const RankShard& shard : shards) {
+    totalNodes += shard.nodes.size();
+    totalAttr += shard.attribution.size();
+  }
+  graph.nodes.reserve(totalNodes);
+  graph.attribution.reserve(totalAttr);
+  graph.rankNodes.reserve(graph.processCount);
+  for (RankShard& shard : shards) {
+    const std::size_t base = graph.nodes.size();
+    const std::size_t attrBase = graph.attribution.size();
+    graph.rankNodes.emplace_back(base, base + shard.nodes.size());
+    for (std::size_t j = 0; j < shard.nodes.size(); ++j) {
+      DepNode node = shard.nodes[j];
+      node.prev = j == 0 ? -1 : static_cast<std::int64_t>(base + j - 1);
+      // The per-node slice must stay addressable through a uint32 offset;
+      // a pool beyond that (a >4G-entry trace) drops further attribution
+      // rather than failing — the robustness contract over precision.
+      const std::size_t attrBegin = attrBase + node.attrBegin;
+      if (attrBegin + node.attrCount <=
+          std::numeric_limits<std::uint32_t>::max()) {
+        node.attrBegin = static_cast<std::uint32_t>(attrBegin);
+      } else {
+        node.attrBegin = 0;
+        node.attrCount = 0;
+      }
+      graph.nodes.push_back(node);
+    }
+    graph.attribution.insert(graph.attribution.end(),
+                             shard.attribution.begin(),
+                             shard.attribution.end());
+    shard = RankShard{};  // release as we go; shards can be large
+  }
+
+  // Trace extent from the sentinels (ranks with no events contribute the
+  // empty [0, 0] span and are ignored).
+  bool haveExtent = false;
+  for (std::size_t p = 0; p < graph.processCount; ++p) {
+    const auto [begin, end] = graph.rankNodes[p];
+    if (end - begin <= 2 && graph.nodes[begin].time == graph.nodes[end - 1].time &&
+        graph.nodes[begin].time == 0) {
+      continue;
+    }
+    const trace::Timestamp s = graph.nodes[begin].time;
+    const trace::Timestamp e = graph.nodes[end - 1].time;
+    if (!haveExtent) {
+      graph.startTime = s;
+      graph.endTime = e;
+      haveExtent = true;
+    } else {
+      graph.startTime = std::min(graph.startTime, s);
+      graph.endTime = std::max(graph.endTime, e);
+    }
+  }
+
+  // Matching phase (serial, deterministic): FIFO per (sender, receiver,
+  // tag) channel — the MPI non-overtaking guarantee. Node order within a
+  // channel is stream order on the one rank that feeds it, so the k-th
+  // send pairs with the k-th receive.
+  struct Channel {
+    std::vector<std::size_t> sends;
+    std::vector<std::size_t> recvs;
+  };
+  std::map<std::array<std::uint64_t, 3>, Channel> channels;
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+    const DepNode& node = graph.nodes[i];
+    if (node.kind != DepNodeKind::Send && node.kind != DepNodeKind::Recv) {
+      continue;
+    }
+    const bool isSend = node.kind == DepNodeKind::Send;
+    (isSend ? graph.stats.sendEvents : graph.stats.recvEvents) += 1;
+    if (node.peer >= graph.processCount || node.peer == node.process) {
+      graph.stats.invalidEndpoints += 1;
+      continue;
+    }
+    const trace::ProcessId sender = isSend ? node.process : node.peer;
+    const trace::ProcessId receiver = isSend ? node.peer : node.process;
+    Channel& channel = channels[{packChannelRank(sender),
+                                 packChannelRank(receiver), node.tag}];
+    (isSend ? channel.sends : channel.recvs).push_back(i);
+  }
+  for (auto& [key, channel] : channels) {
+    const std::size_t paired =
+        std::min(channel.sends.size(), channel.recvs.size());
+    for (std::size_t k = 0; k < paired; ++k) {
+      graph.nodes[channel.sends[k]].match =
+          static_cast<std::int64_t>(channel.recvs[k]);
+      graph.nodes[channel.recvs[k]].match =
+          static_cast<std::int64_t>(channel.sends[k]);
+    }
+    graph.stats.matchedPairs += paired;
+    graph.stats.unmatchedSends += channel.sends.size() - paired;
+    graph.stats.unmatchedRecvs += channel.recvs.size() - paired;
+  }
+  return graph;
+}
+
+CriticalPathResult extractCriticalPath(const DepGraph& graph) {
+  CriticalPathResult result;
+  result.rankTicks.assign(graph.processCount, 0);
+  result.functionTicks.assign(graph.functionCount + 1, 0);
+  if (graph.nodes.empty()) {
+    return result;
+  }
+
+  // End of the path: the latest RankEnd sentinel (lowest rank on ties).
+  std::int64_t end = -1;
+  for (std::size_t p = 0; p < graph.processCount; ++p) {
+    const auto [begin, rankEnd] = graph.rankNodes[p];
+    if (begin == rankEnd) {
+      continue;
+    }
+    const std::int64_t candidate = static_cast<std::int64_t>(rankEnd) - 1;
+    if (end < 0 || graph.nodes[candidate].time > graph.nodes[end].time) {
+      end = candidate;
+    }
+  }
+  if (end < 0) {
+    return result;
+  }
+  result.pathEnd = graph.nodes[end].time;
+  result.endProcess = graph.nodes[end].process;
+  result.pathStart = result.pathEnd;
+
+  const auto attributeLocal = [&](const DepNode& node) {
+    std::uint64_t local = 0;
+    for (std::uint32_t a = 0; a < node.attrCount; ++a) {
+      const FunctionTicks& entry = graph.attribution[node.attrBegin + a];
+      const std::size_t bucket =
+          entry.function < graph.functionCount
+              ? static_cast<std::size_t>(entry.function)
+              : graph.functionCount;
+      result.functionTicks[bucket] += entry.ticks;
+      local += entry.ticks;
+    }
+    if (node.process < graph.processCount) {
+      result.rankTicks[node.process] += local;
+    }
+    return local;
+  };
+
+  // Backward walk: at every node follow the dependency that completed
+  // last. The visited guard makes cyclic timestamps on hostile input
+  // terminate (times are strictly decreasing on well-formed traces, so it
+  // never fires there).
+  std::vector<bool> visited(graph.nodes.size(), false);
+  std::vector<CriticalPathStep> reversed;
+  std::int64_t cur = end;
+  while (cur >= 0) {
+    if (visited[static_cast<std::size_t>(cur)]) {
+      result.truncated = true;
+      result.pathStart = graph.nodes[cur].time;
+      break;
+    }
+    visited[static_cast<std::size_t>(cur)] = true;
+    const DepNode& v = graph.nodes[cur];
+
+    bool remote = false;
+    std::int64_t pred = v.prev;
+    if (v.kind == DepNodeKind::Recv && v.match >= 0 &&
+        graph.nodes[v.match].time > v.waitStart) {
+      // The message departed after the receiver was ready: the sender was
+      // the binding dependency. Equal times prefer the local edge — a
+      // total, thread-count-independent tie-break.
+      remote = true;
+      pred = v.match;
+    }
+    if (pred < 0) {
+      result.pathStart = v.time;
+      break;
+    }
+
+    const DepNode& u = graph.nodes[pred];
+    CriticalPathStep step;
+    step.node = cur;
+    step.process = v.process;
+    step.fromProcess = u.process;
+    step.fromTime = u.time;
+    step.toTime = v.time;
+    step.remote = remote;
+    if (remote) {
+      result.remoteTicks += step.ticks();
+    } else {
+      attributeLocal(v);
+    }
+    reversed.push_back(step);
+    cur = pred;
+  }
+
+  result.steps.assign(reversed.rbegin(), reversed.rend());
+  result.accountedTicks = result.remoteTicks;
+  for (const std::uint64_t t : result.rankTicks) {
+    result.accountedTicks += t;
+  }
+  return result;
+}
+
+SerializationReport detectSerialization(const DepGraph& graph,
+                                        const CriticalPathResult& path,
+                                        const SerializationOptions& options) {
+  SerializationReport report;
+  report.accountedTicks = path.accountedTicks;
+  const double denom =
+      path.accountedTicks > 0 ? static_cast<double>(path.accountedTicks) : 1.0;
+  report.remoteShare = static_cast<double>(path.remoteTicks) / denom;
+
+  for (std::size_t p = 0; p < path.rankTicks.size(); ++p) {
+    if (path.rankTicks[p] == 0) {
+      continue;
+    }
+    RankCriticality entry;
+    entry.process = static_cast<trace::ProcessId>(p);
+    entry.ticks = path.rankTicks[p];
+    entry.share = static_cast<double>(entry.ticks) / denom;
+    report.ranks.push_back(entry);
+  }
+  std::sort(report.ranks.begin(), report.ranks.end(),
+            [](const RankCriticality& a, const RankCriticality& b) {
+              if (a.ticks != b.ticks) {
+                return a.ticks > b.ticks;
+              }
+              return a.process < b.process;
+            });
+
+  // A path confined to one rank is indistinguishable from plain
+  // longest-rank runtime: without a traversed cross-rank dependency the
+  // per-rank share carries no serialization evidence (the variation
+  // pipeline already covers per-rank imbalance). Genuine whole-run
+  // serialization always ends with a late receive hopping onto the
+  // culprit, so it spans at least two ranks.
+  std::size_t pathRanks = 0;
+  for (const std::uint64_t ticks : path.rankTicks) {
+    pathRanks += ticks > 0;
+  }
+  const bool active = graph.processCount >= options.minProcesses &&
+                      path.accountedTicks > 0 && pathRanks >= 2;
+  if (active) {
+    for (const RankCriticality& entry : report.ranks) {
+      if (entry.share >= options.rankShareThreshold) {
+        report.dominatedRanks.push_back(entry);
+      }
+    }
+  }
+
+  // (rank, function) regions: re-read the attribution slices of the local
+  // steps; std::map keys give the deterministic accumulation order.
+  std::map<std::pair<trace::ProcessId, trace::FunctionId>, std::uint64_t>
+      regions;
+  for (const CriticalPathStep& step : path.steps) {
+    if (step.remote || step.node < 0) {
+      continue;
+    }
+    const DepNode& node = graph.nodes[step.node];
+    for (std::uint32_t a = 0; a < node.attrCount; ++a) {
+      const FunctionTicks& entry = graph.attribution[node.attrBegin + a];
+      const trace::FunctionId fn = entry.function < graph.functionCount
+                                       ? entry.function
+                                       : trace::kInvalidFunction;
+      regions[{node.process, fn}] += entry.ticks;
+    }
+  }
+  if (active) {
+    for (const auto& [key, ticks] : regions) {
+      const double share = static_cast<double>(ticks) / denom;
+      if (share < options.functionShareThreshold) {
+        continue;
+      }
+      RegionCriticality region;
+      region.process = key.first;
+      region.function = key.second;
+      region.ticks = ticks;
+      region.share = share;
+      report.bottlenecks.push_back(region);
+    }
+    std::sort(report.bottlenecks.begin(), report.bottlenecks.end(),
+              [](const RegionCriticality& a, const RegionCriticality& b) {
+                if (a.ticks != b.ticks) {
+                  return a.ticks > b.ticks;
+                }
+                if (a.process != b.process) {
+                  return a.process < b.process;
+                }
+                return a.function < b.function;
+              });
+  }
+  return report;
+}
+
+IdleWaveReport detectIdleWaves(const DepGraph& graph,
+                               const IdleWaveOptions& options) {
+  IdleWaveReport report;
+  const std::uint64_t duration =
+      graph.endTime > graph.startTime ? graph.endTime - graph.startTime : 0;
+  std::uint64_t floor = options.minWaitTicks;
+  if (options.minWaitShare > 0.0 && duration > 0) {
+    const double relative = options.minWaitShare * static_cast<double>(duration);
+    if (relative > static_cast<double>(floor)) {
+      floor = static_cast<std::uint64_t>(relative);
+    }
+  }
+  floor = std::max<std::uint64_t>(floor, 1);
+  report.effectiveMinWaitTicks = floor;
+
+  /// A receive that completed late because its matched send departed
+  /// after the receiver was already waiting.
+  struct Arrival {
+    std::size_t node = 0;
+    trace::Timestamp complete = 0;
+    trace::Timestamp sendTime = 0;
+    trace::Timestamp waitStart = 0;
+    std::uint64_t wait = 0;
+    trace::ProcessId rank = 0;
+    trace::ProcessId from = 0;
+  };
+  std::vector<Arrival> arrivals;
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+    const DepNode& v = graph.nodes[i];
+    if (v.kind != DepNodeKind::Recv || v.match < 0) {
+      continue;
+    }
+    const DepNode& u = graph.nodes[v.match];
+    if (u.time <= v.waitStart || u.time - v.waitStart < floor) {
+      continue;
+    }
+    Arrival a;
+    a.node = i;
+    a.complete = v.time;
+    a.sendTime = u.time;
+    a.waitStart = v.waitStart;
+    a.wait = u.time - v.waitStart;
+    a.rank = v.process;
+    a.from = u.process;
+    arrivals.push_back(a);
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Arrival& a, const Arrival& b) {
+              if (a.complete != b.complete) {
+                return a.complete < b.complete;
+              }
+              if (a.rank != b.rank) {
+                return a.rank < b.rank;
+              }
+              return a.node < b.node;
+            });
+  report.lateArrivals = arrivals.size();
+
+  // Chain building, one sweep in completion order: an arrival whose
+  // sender was itself delayed earlier joins the sender's wave; otherwise
+  // the sender rank is a wave origin. Chains sharing an origin merge
+  // (e.g. the two fronts of a stencil wave).
+  struct WaveBuild {
+    IdleWave wave;
+    std::set<trace::ProcessId> ranks;
+  };
+  std::vector<WaveBuild> waves;
+  std::map<trace::ProcessId, std::size_t> waveByOrigin;
+  std::vector<std::vector<std::pair<trace::Timestamp, std::size_t>>> byRank(
+      graph.processCount);
+  for (const Arrival& a : arrivals) {
+    std::size_t waveIndex;
+    const auto& senderArrivals = byRank[a.from];
+    // Latest processed late arrival on the sender before the send left.
+    const auto it = std::upper_bound(
+        senderArrivals.begin(), senderArrivals.end(),
+        std::make_pair(a.sendTime,
+                       std::numeric_limits<std::size_t>::max()));
+    if (it != senderArrivals.begin()) {
+      waveIndex = std::prev(it)->second;
+    } else {
+      const auto [originIt, created] =
+          waveByOrigin.try_emplace(a.from, waves.size());
+      if (created) {
+        waves.emplace_back();
+        waves.back().wave.origin = a.from;
+        waves.back().wave.firstTime = a.waitStart;
+        waves.back().wave.lastTime = a.complete;
+        waves.back().ranks.insert(a.from);
+      }
+      waveIndex = originIt->second;
+    }
+    WaveBuild& build = waves[waveIndex];
+    IdleWaveHop hop;
+    hop.process = a.rank;
+    hop.fromProcess = a.from;
+    hop.waitStart = a.waitStart;
+    hop.arriveTime = a.complete;
+    hop.waitTicks = a.wait;
+    build.wave.hops.push_back(hop);
+    build.wave.firstTime = std::min(build.wave.firstTime, a.waitStart);
+    build.wave.lastTime = std::max(build.wave.lastTime, a.complete);
+    build.wave.maxWaitTicks = std::max(build.wave.maxWaitTicks, a.wait);
+    build.ranks.insert(a.rank);
+    byRank[a.rank].emplace_back(a.complete, waveIndex);
+  }
+
+  for (WaveBuild& build : waves) {
+    build.wave.distinctRanks = build.ranks.size();
+    if (build.wave.distinctRanks >= options.minRanks) {
+      report.waves.push_back(std::move(build.wave));
+    }
+  }
+  std::sort(report.waves.begin(), report.waves.end(),
+            [](const IdleWave& a, const IdleWave& b) {
+              if (a.firstTime != b.firstTime) {
+                return a.firstTime < b.firstTime;
+              }
+              return a.origin < b.origin;
+            });
+  return report;
+}
+
+DepAnalysis analyzeDependencies(const trace::TraceView& trace,
+                                const DepAnalysisOptions& options) {
+  DepGraphOptions graphOptions;
+  graphOptions.sync = options.sync;
+  graphOptions.threads = options.threads;
+  graphOptions.grainSizeRanks = options.grainSizeRanks;
+  graphOptions.pool = options.pool;
+  const DepGraph graph = buildDepGraph(trace, graphOptions);
+
+  DepAnalysis analysis;
+  analysis.processCount = graph.processCount;
+  analysis.graphStats = graph.stats;
+  analysis.criticalPath = extractCriticalPath(graph);
+  analysis.serialization =
+      detectSerialization(graph, analysis.criticalPath, options.serialization);
+  analysis.idleWaves = detectIdleWaves(graph, options.idleWave);
+  return analysis;
+}
+
+namespace {
+
+/// "NN.N%" with one fixed decimal — snprintf so the bytes are independent
+/// of stream state and locale.
+std::string percent(double share) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", share * 100.0);
+  return buf;
+}
+
+std::string functionLabel(const trace::TraceView& trace,
+                          trace::FunctionId function) {
+  if (function >= trace.functions().size()) {
+    return "(untracked)";
+  }
+  return trace.functions().name(function);
+}
+
+void writeDepJson(const trace::TraceView& trace, const DepAnalysis& analysis,
+                  std::ostream& out) {
+  util::JsonWriter w(out);
+  const CriticalPathResult& path = analysis.criticalPath;
+  w.beginObject();
+  w.key("dependency_analysis");
+  w.beginObject();
+
+  w.key("graph");
+  w.beginObject();
+  w.key("processes");
+  w.value(static_cast<std::uint64_t>(analysis.processCount));
+  w.key("sends");
+  w.value(analysis.graphStats.sendEvents);
+  w.key("recvs");
+  w.value(analysis.graphStats.recvEvents);
+  w.key("matched_pairs");
+  w.value(analysis.graphStats.matchedPairs);
+  w.key("unmatched_sends");
+  w.value(analysis.graphStats.unmatchedSends);
+  w.key("unmatched_recvs");
+  w.value(analysis.graphStats.unmatchedRecvs);
+  w.key("invalid_endpoints");
+  w.value(analysis.graphStats.invalidEndpoints);
+  w.endObject();
+
+  w.key("critical_path");
+  w.beginObject();
+  w.key("start");
+  w.value(path.pathStart);
+  w.key("end");
+  w.value(path.pathEnd);
+  w.key("end_process");
+  w.value(static_cast<std::uint64_t>(path.endProcess));
+  w.key("accounted_ticks");
+  w.value(path.accountedTicks);
+  w.key("remote_ticks");
+  w.value(path.remoteTicks);
+  w.key("truncated");
+  w.value(path.truncated);
+  w.key("rank_ticks");
+  w.beginArray();
+  for (const std::uint64_t t : path.rankTicks) {
+    w.value(t);
+  }
+  w.endArray();
+  w.key("function_ticks");
+  w.beginArray();
+  for (std::size_t f = 0; f < path.functionTicks.size(); ++f) {
+    if (path.functionTicks[f] == 0) {
+      continue;
+    }
+    w.beginObject();
+    w.key("function");
+    w.value(functionLabel(trace, f + 1 == path.functionTicks.size()
+                                     ? trace::kInvalidFunction
+                                     : static_cast<trace::FunctionId>(f)));
+    w.key("ticks");
+    w.value(path.functionTicks[f]);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("steps");
+  w.beginArray();
+  for (const CriticalPathStep& step : path.steps) {
+    w.beginObject();
+    w.key("kind");
+    w.value(std::string(step.remote ? "remote" : "local"));
+    w.key("from_process");
+    w.value(static_cast<std::uint64_t>(step.fromProcess));
+    w.key("process");
+    w.value(static_cast<std::uint64_t>(step.process));
+    w.key("from_time");
+    w.value(step.fromTime);
+    w.key("to_time");
+    w.value(step.toTime);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+
+  const SerializationReport& ser = analysis.serialization;
+  w.key("serialization");
+  w.beginObject();
+  w.key("remote_share");
+  w.value(ser.remoteShare);
+  w.key("ranks");
+  w.beginArray();
+  for (const RankCriticality& r : ser.ranks) {
+    w.beginObject();
+    w.key("process");
+    w.value(static_cast<std::uint64_t>(r.process));
+    w.key("ticks");
+    w.value(r.ticks);
+    w.key("share");
+    w.value(r.share);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("dominated_ranks");
+  w.beginArray();
+  for (const RankCriticality& r : ser.dominatedRanks) {
+    w.value(static_cast<std::uint64_t>(r.process));
+  }
+  w.endArray();
+  w.key("bottlenecks");
+  w.beginArray();
+  for (const RegionCriticality& r : ser.bottlenecks) {
+    w.beginObject();
+    w.key("process");
+    w.value(static_cast<std::uint64_t>(r.process));
+    w.key("function");
+    w.value(functionLabel(trace, r.function));
+    w.key("ticks");
+    w.value(r.ticks);
+    w.key("share");
+    w.value(r.share);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+
+  const IdleWaveReport& waves = analysis.idleWaves;
+  w.key("idle_waves");
+  w.beginObject();
+  w.key("late_arrivals");
+  w.value(waves.lateArrivals);
+  w.key("min_wait_ticks");
+  w.value(waves.effectiveMinWaitTicks);
+  w.key("waves");
+  w.beginArray();
+  for (const IdleWave& wave : waves.waves) {
+    w.beginObject();
+    w.key("origin");
+    w.value(static_cast<std::uint64_t>(wave.origin));
+    w.key("ranks");
+    w.value(static_cast<std::uint64_t>(wave.distinctRanks));
+    w.key("hops");
+    w.value(static_cast<std::uint64_t>(wave.hops.size()));
+    w.key("first_time");
+    w.value(wave.firstTime);
+    w.key("last_time");
+    w.value(wave.lastTime);
+    w.key("max_wait_ticks");
+    w.value(wave.maxWaitTicks);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+
+  w.endObject();
+  w.endObject();
+  out << '\n';
+}
+
+void writeDepCsv(const DepAnalysis& analysis, std::ostream& out) {
+  out << "step,kind,from_process,process,from_time,to_time,ticks\n";
+  const CriticalPathResult& path = analysis.criticalPath;
+  for (std::size_t i = 0; i < path.steps.size(); ++i) {
+    const CriticalPathStep& step = path.steps[i];
+    out << i << ',' << (step.remote ? "remote" : "local") << ','
+        << step.fromProcess << ',' << step.process << ',' << step.fromTime
+        << ',' << step.toTime << ',' << step.ticks() << '\n';
+  }
+}
+
+}  // namespace
+
+std::string formatDepAnalysis(const trace::TraceView& trace,
+                              const DepAnalysis& analysis) {
+  std::ostringstream os;
+  const CriticalPathResult& path = analysis.criticalPath;
+  const DepGraphStats& stats = analysis.graphStats;
+  os << "dependency analysis: " << analysis.processCount << " process(es), "
+     << stats.sendEvents << " send(s), " << stats.recvEvents << " recv(s), "
+     << stats.matchedPairs << " matched pair(s)";
+  if (stats.unmatchedSends + stats.unmatchedRecvs + stats.invalidEndpoints >
+      0) {
+    os << " (" << stats.unmatchedSends << " unmatched send(s), "
+       << stats.unmatchedRecvs << " unmatched recv(s), "
+       << stats.invalidEndpoints << " invalid endpoint(s))";
+  }
+  os << '\n';
+
+  const std::uint64_t span =
+      path.pathEnd > path.pathStart ? path.pathEnd - path.pathStart : 0;
+  os << "critical path: " << span << " tick(s), ends on rank "
+     << path.endProcess << ", " << path.steps.size() << " step(s), remote "
+     << percent(path.accountedTicks > 0
+                    ? static_cast<double>(path.remoteTicks) /
+                          static_cast<double>(path.accountedTicks)
+                    : 0.0)
+     << '\n';
+  if (path.truncated) {
+    os << "  (walk truncated: cyclic timestamps; partial path)\n";
+  }
+
+  const SerializationReport& ser = analysis.serialization;
+  os << "critical-path time by rank (top 8):\n";
+  for (std::size_t i = 0; i < ser.ranks.size() && i < 8; ++i) {
+    const RankCriticality& r = ser.ranks[i];
+    os << "  rank " << r.process << ": " << r.ticks << " tick(s) ("
+       << percent(r.share) << ")\n";
+  }
+
+  // Per-function ranking, descending ticks (ties: function id ascending).
+  std::vector<std::pair<std::uint64_t, std::size_t>> byFunction;
+  for (std::size_t f = 0; f < path.functionTicks.size(); ++f) {
+    if (path.functionTicks[f] > 0) {
+      byFunction.emplace_back(path.functionTicks[f], f);
+    }
+  }
+  std::sort(byFunction.begin(), byFunction.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) {
+                return a.first > b.first;
+              }
+              return a.second < b.second;
+            });
+  os << "critical-path time by function (top 8):\n";
+  for (std::size_t i = 0; i < byFunction.size() && i < 8; ++i) {
+    const auto [ticks, f] = byFunction[i];
+    const trace::FunctionId fn = f + 1 == path.functionTicks.size()
+                                     ? trace::kInvalidFunction
+                                     : static_cast<trace::FunctionId>(f);
+    os << "  " << functionLabel(trace, fn) << ": " << ticks << " tick(s) ("
+       << percent(path.accountedTicks > 0
+                      ? static_cast<double>(ticks) /
+                            static_cast<double>(path.accountedTicks)
+                      : 0.0)
+       << ")\n";
+  }
+
+  os << "serialization: " << ser.dominatedRanks.size()
+     << " dominated rank(s), " << ser.bottlenecks.size()
+     << " bottleneck region(s)\n";
+  for (const RankCriticality& r : ser.dominatedRanks) {
+    os << "  dominated rank " << r.process << ": " << percent(r.share)
+       << " of the critical path\n";
+  }
+  for (const RegionCriticality& r : ser.bottlenecks) {
+    os << "  bottleneck rank " << r.process << " '"
+       << functionLabel(trace, r.function) << "': " << percent(r.share)
+       << " of the critical path\n";
+  }
+
+  const IdleWaveReport& waves = analysis.idleWaves;
+  os << "idle waves: " << waves.waves.size() << " wave(s), "
+     << waves.lateArrivals << " late arrival(s), wait floor "
+     << waves.effectiveMinWaitTicks << " tick(s)\n";
+  for (const IdleWave& wave : waves.waves) {
+    os << "  wave from rank " << wave.origin << ": " << wave.distinctRanks
+       << " rank(s), " << wave.hops.size() << " hop(s), t=["
+       << wave.firstTime << ".." << wave.lastTime << "], max wait "
+       << wave.maxWaitTicks << " tick(s)\n";
+  }
+  return os.str();
+}
+
+void exportDepAnalysis(const trace::TraceView& trace,
+                       const DepAnalysis& analysis, ExportFormat format,
+                       std::ostream& out) {
+  switch (format) {
+    case ExportFormat::Text:
+      out << formatDepAnalysis(trace, analysis);
+      return;
+    case ExportFormat::Json:
+      writeDepJson(trace, analysis, out);
+      return;
+    case ExportFormat::Csv:
+      writeDepCsv(analysis, out);
+      return;
+    case ExportFormat::CsvIterations:
+    case ExportFormat::CsvHotspots:
+      break;
+  }
+  throw Error(
+      "dependency analysis supports the text, json and csv export formats");
+}
+
+std::string exportDepAnalysisString(const trace::TraceView& trace,
+                                    const DepAnalysis& analysis,
+                                    ExportFormat format) {
+  std::ostringstream os;
+  exportDepAnalysis(trace, analysis, format, os);
+  return os.str();
+}
+
+}  // namespace perfvar::analysis

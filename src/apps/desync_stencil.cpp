@@ -1,0 +1,201 @@
+/// \file desync_stencil.cpp
+/// The desynchronized-stencil scenario (see desync_stencil.hpp).
+
+#include "apps/desync_stencil.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace perfvar::apps {
+
+namespace {
+
+/// splitmix64 finalizer (same stateless mixer as the scale scenario).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+void requireUsable(const StencilConfig& config) {
+  if (config.ranks < 3 || config.iterations == 0) {
+    throw Error("stencil scenario requires >= 3 ranks and >= 1 iteration");
+  }
+  if (config.exchangeTicks < 8) {
+    throw Error("stencil scenario exchangeTicks must be >= 8");
+  }
+  if (config.computeTicks == 0) {
+    throw Error("stencil scenario computeTicks must be >= 1");
+  }
+}
+
+std::size_t delayIterationOf(const StencilConfig& config) {
+  return config.delayIteration == static_cast<std::size_t>(-1)
+             ? config.iterations / 3
+             : config.delayIteration;
+}
+
+std::uint64_t computeCost(const StencilConfig& config, std::size_t rank,
+                          std::size_t iteration) {
+  std::uint64_t cost = config.computeTicks;
+  if (rank == stencilDelayRank(config) &&
+      iteration == delayIterationOf(config)) {
+    cost += config.delayExtraTicks;
+  }
+  if (config.jitterTicks > 0) {
+    cost += mix(config.seed ^ mix(static_cast<std::uint64_t>(rank) *
+                                      0x20003ULL +
+                                  iteration)) %
+            config.jitterTicks;
+  }
+  return cost;
+}
+
+/// Tag of a message travelling toward rank 0 (sent by r to r-1) and away
+/// from it (sent by r to r+1). Receives swap them: rank r consumes its
+/// left neighbor's kTagRight and its right neighbor's kTagLeft.
+constexpr std::uint32_t kTagLeft = 3;
+constexpr std::uint32_t kTagRight = 4;
+constexpr std::uint64_t kHaloBytes = 8 * 1024;
+constexpr trace::Timestamp kRunStart = 1000;
+
+/// The full schedule: per (rank, iteration) the compute end `c` and the
+/// two receive completions. No barrier — each rank proceeds as soon as
+/// its own halos arrived, which is exactly what lets the wave travel.
+struct Schedule {
+  // Indexed [rank * iterations + iteration].
+  std::vector<trace::Timestamp> start;
+  std::vector<trace::Timestamp> computeEnd;
+  std::vector<trace::Timestamp> recvLeft;   ///< from r-1 (0 when r == 0)
+  std::vector<trace::Timestamp> recvRight;  ///< from r+1 (0 when r == last)
+  std::vector<trace::Timestamp> exchangeEnd;
+};
+
+Schedule computeSchedule(const StencilConfig& config) {
+  const std::size_t n = config.ranks * config.iterations;
+  Schedule s;
+  s.start.assign(n, 0);
+  s.computeEnd.assign(n, 0);
+  s.recvLeft.assign(n, 0);
+  s.recvRight.assign(n, 0);
+  s.exchangeEnd.assign(n, 0);
+
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    // Pass 1: starts and compute ends (rank-local given the previous
+    // iteration's exchange ends).
+    for (std::size_t rank = 0; rank < config.ranks; ++rank) {
+      const std::size_t at = rank * config.iterations + iter;
+      s.start[at] = iter == 0 ? kRunStart : s.exchangeEnd[at - 1];
+      s.computeEnd[at] = s.start[at] + computeCost(config, rank, iter);
+    }
+    // Pass 2: receives and exchange ends (need both neighbors' computeEnd
+    // of this iteration). Sends depart at c+1 (left) and c+2 (right).
+    for (std::size_t rank = 0; rank < config.ranks; ++rank) {
+      const std::size_t at = rank * config.iterations + iter;
+      const trace::Timestamp c = s.computeEnd[at];
+      trace::Timestamp last = c + 3;
+      if (rank > 0) {
+        const trace::Timestamp fromLeft =
+            s.computeEnd[(rank - 1) * config.iterations + iter] + 2 +
+            config.linkTicks;
+        s.recvLeft[at] = std::max(last, fromLeft);
+        last = s.recvLeft[at];
+      }
+      if (rank + 1 < config.ranks) {
+        const trace::Timestamp fromRight =
+            s.computeEnd[(rank + 1) * config.iterations + iter] + 1 +
+            config.linkTicks;
+        s.recvRight[at] = std::max(last, fromRight);
+        last = s.recvRight[at];
+      }
+      s.exchangeEnd[at] = std::max(c + config.exchangeTicks, last);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+StencilDefs registerStencilDefs(trace::FunctionRegistry& functions) {
+  StencilDefs defs;
+  defs.mainFunction =
+      functions.intern("main", "app", trace::Paradigm::Compute);
+  defs.computeFunction =
+      functions.intern("compute", "app", trace::Paradigm::Compute);
+  defs.exchangeFunction =
+      functions.intern("MPI_Halo", "mpi", trace::Paradigm::MPI);
+  return defs;
+}
+
+std::string stencilProcessName(std::size_t rank) {
+  return "Cell " + std::to_string(rank);
+}
+
+std::size_t stencilDelayRank(const StencilConfig& config) {
+  return config.delayRank == static_cast<std::size_t>(-1) ? config.ranks / 2
+                                                          : config.delayRank;
+}
+
+std::vector<trace::Event> stencilRankEvents(const StencilConfig& config,
+                                            trace::ProcessId rank,
+                                            const StencilDefs& defs) {
+  using trace::Event;
+  requireUsable(config);
+  const Schedule s = computeSchedule(config);
+  const std::size_t r = rank;
+
+  std::vector<Event> events;
+  events.reserve(2 + config.iterations * 8);
+  events.push_back(Event::enter(kRunStart, defs.mainFunction));
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    const std::size_t at = r * config.iterations + iter;
+    const trace::Timestamp c = s.computeEnd[at];
+    events.push_back(Event::enter(s.start[at], defs.computeFunction));
+    events.push_back(Event::leave(c, defs.computeFunction));
+    events.push_back(Event::enter(c, defs.exchangeFunction));
+    if (r > 0) {
+      events.push_back(Event::mpiSend(c + 1,
+                                      static_cast<trace::ProcessId>(r - 1),
+                                      kTagLeft, kHaloBytes));
+    }
+    if (r + 1 < config.ranks) {
+      events.push_back(Event::mpiSend(c + 2,
+                                      static_cast<trace::ProcessId>(r + 1),
+                                      kTagRight, kHaloBytes));
+    }
+    if (r > 0) {
+      events.push_back(Event::mpiRecv(s.recvLeft[at],
+                                      static_cast<trace::ProcessId>(r - 1),
+                                      kTagRight, kHaloBytes));
+    }
+    if (r + 1 < config.ranks) {
+      events.push_back(Event::mpiRecv(s.recvRight[at],
+                                      static_cast<trace::ProcessId>(r + 1),
+                                      kTagLeft, kHaloBytes));
+    }
+    events.push_back(Event::leave(s.exchangeEnd[at], defs.exchangeFunction));
+  }
+  events.push_back(Event::leave(
+      s.exchangeEnd[r * config.iterations + config.iterations - 1],
+      defs.mainFunction));
+  return events;
+}
+
+trace::Trace buildStencilTrace(const StencilConfig& config) {
+  requireUsable(config);
+  trace::Trace tr;
+  tr.resolution = config.resolution;
+  const StencilDefs defs = registerStencilDefs(tr.functions);
+  tr.processes.resize(config.ranks);
+  for (std::size_t r = 0; r < config.ranks; ++r) {
+    tr.processes[r].name = stencilProcessName(r);
+    tr.processes[r].events =
+        stencilRankEvents(config, static_cast<trace::ProcessId>(r), defs);
+  }
+  return tr;
+}
+
+}  // namespace perfvar::apps

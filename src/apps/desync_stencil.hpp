@@ -1,0 +1,93 @@
+#ifndef PERFVAR_APPS_DESYNC_STENCIL_HPP
+#define PERFVAR_APPS_DESYNC_STENCIL_HPP
+
+/// \file desync_stencil.hpp
+/// 1-D stencil exchange that provably emits an idle wave.
+///
+/// Ground-truth workload of the idle-wave detector, after Afzal et al.:
+/// `ranks` processes run a non-periodic nearest-neighbor halo exchange
+/// with no global barrier, so a one-off delay on `delayRank` at
+/// `delayIteration` (an injected `delayExtraTicks` hiccup) desynchronizes
+/// the chain. Both neighbors wait one iteration later, their neighbors
+/// the iteration after that — a wavefront of late arrivals propagating
+/// one rank per iteration until it washes over the whole machine. The
+/// known answer: one idle wave whose origin is `delayRank`, and *no*
+/// serialization finding (the delayed rank's criticality share stays far
+/// below the dominance threshold).
+///
+/// Every rank's stream is a deterministic pure function of (config,
+/// rank); neighbor completion times come from a forward recurrence over
+/// the (small) iteration × rank schedule.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/definitions.hpp"
+#include "trace/event.hpp"
+#include "trace/trace.hpp"
+
+namespace perfvar::apps {
+
+/// Configuration of the stencil scenario. All costs are in ticks of
+/// `resolution`.
+struct StencilConfig {
+  std::size_t ranks = 16;
+  std::size_t iterations = 24;
+  /// Ticks per second of all timestamps (default nanoseconds).
+  std::uint64_t resolution = 1'000'000'000ULL;
+
+  /// Per-iteration compute cost of every rank.
+  std::uint64_t computeTicks = 100'000;
+  /// Minimum duration of the exchange region (>= 8: the send and recv
+  /// events sit inside it).
+  std::uint64_t exchangeTicks = 4'000;
+  /// Wire latency between a send and the matching arrival.
+  std::uint64_t linkTicks = 500;
+
+  /// The delayed rank; ~0ULL means ranks / 2.
+  std::size_t delayRank = static_cast<std::size_t>(-1);
+  /// The delayed iteration (0-based); ~0ULL means iterations / 3. The
+  /// wave needs iterations - delayIteration > max distance to the chain
+  /// ends to wash over every rank.
+  std::size_t delayIteration = static_cast<std::size_t>(-1);
+  /// The one-off extra compute the delayed rank pays.
+  std::uint64_t delayExtraTicks = 600'000;
+
+  /// Uniform per-(rank, iteration) compute jitter in [0, jitter); 0
+  /// keeps the schedule exactly at the closed-form ground truth.
+  std::uint64_t jitterTicks = 0;
+  /// Seed of the deterministic jitter.
+  std::uint64_t seed = 2026;
+};
+
+/// Interned definitions of the scenario.
+struct StencilDefs {
+  trace::FunctionId mainFunction = trace::kInvalidFunction;
+  trace::FunctionId computeFunction = trace::kInvalidFunction;
+  trace::FunctionId exchangeFunction = trace::kInvalidFunction;
+};
+
+/// Intern the scenario's functions into the given registry.
+StencilDefs registerStencilDefs(trace::FunctionRegistry& functions);
+
+/// Process name of rank `rank` ("Cell N").
+std::string stencilProcessName(std::size_t rank);
+
+/// The delayed rank under `config` (resolves the ~0 default).
+std::size_t stencilDelayRank(const StencilConfig& config);
+
+/// The time-sorted event stream of one rank: a pure deterministic
+/// function of (config, rank). Throws perfvar::Error on an unusable
+/// config (fewer than 3 ranks, zero iterations, exchangeTicks < 8).
+std::vector<trace::Event> stencilRankEvents(const StencilConfig& config,
+                                            trace::ProcessId rank,
+                                            const StencilDefs& defs);
+
+/// Materialize the scenario in memory.
+trace::Trace buildStencilTrace(const StencilConfig& config);
+
+}  // namespace perfvar::apps
+
+#endif  // PERFVAR_APPS_DESYNC_STENCIL_HPP

@@ -1,0 +1,175 @@
+/// \file pipeline_chain.cpp
+/// The pipelined producer–consumer scenario (see pipeline_chain.hpp).
+
+#include "apps/pipeline_chain.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace perfvar::apps {
+
+namespace {
+
+/// splitmix64 finalizer (same stateless mixer as the scale scenario).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+void requireUsable(const PipelineConfig& config) {
+  if (config.ranks < 2 || config.items == 0) {
+    throw Error("pipeline scenario requires >= 2 ranks and >= 1 item");
+  }
+  if (config.sendTicks < 2) {
+    throw Error("pipeline scenario sendTicks must be >= 2");
+  }
+  if (config.stageTicks == 0) {
+    throw Error("pipeline scenario stageTicks must be >= 1");
+  }
+}
+
+std::uint64_t stageCost(const PipelineConfig& config, std::size_t rank,
+                        std::size_t item) {
+  std::uint64_t cost = config.stageTicks;
+  if (rank == pipelineSlowRank(config)) {
+    cost += config.slowExtraTicks;
+  }
+  if (config.jitterTicks > 0) {
+    cost += mix(config.seed ^
+                mix(static_cast<std::uint64_t>(rank) * 0x10001ULL + item)) %
+            config.jitterTicks;
+  }
+  return cost;
+}
+
+constexpr std::uint32_t kItemTag = 11;
+constexpr std::uint64_t kItemBytes = 16 * 1024;
+constexpr trace::Timestamp kRunStart = 1000;
+
+/// The full schedule of the pipeline: when each (rank, item) pair starts
+/// waiting, finishes receiving, and finishes computing. The forward
+/// recurrence over items (outer) and ranks (inner) is the ground truth
+/// the detectors are validated against.
+struct Schedule {
+  // Indexed [rank * items + item].
+  std::vector<trace::Timestamp> waitFrom;   ///< recv region enter (r > 0)
+  std::vector<trace::Timestamp> recvDone;   ///< matched arrival consumed
+  std::vector<trace::Timestamp> computeEnd;
+  std::vector<trace::Timestamp> sendAt;     ///< send event (r < last)
+  std::vector<trace::Timestamp> finish;     ///< per-rank final timestamp
+};
+
+Schedule computeSchedule(const PipelineConfig& config) {
+  const std::size_t n = config.ranks * config.items;
+  Schedule s;
+  s.waitFrom.assign(n, 0);
+  s.recvDone.assign(n, 0);
+  s.computeEnd.assign(n, 0);
+  s.sendAt.assign(n, 0);
+  s.finish.assign(config.ranks, kRunStart);
+
+  std::vector<trace::Timestamp> ready(config.ranks, kRunStart);
+  for (std::size_t item = 0; item < config.items; ++item) {
+    for (std::size_t rank = 0; rank < config.ranks; ++rank) {
+      const std::size_t at = rank * config.items + item;
+      s.waitFrom[at] = ready[rank];
+      if (rank == 0) {
+        s.recvDone[at] = ready[rank];
+      } else {
+        const trace::Timestamp arrival =
+            s.sendAt[(rank - 1) * config.items + item] + config.linkTicks;
+        s.recvDone[at] = std::max(arrival, ready[rank]);
+      }
+      s.computeEnd[at] = s.recvDone[at] + stageCost(config, rank, item);
+      if (rank + 1 < config.ranks) {
+        s.sendAt[at] = s.computeEnd[at] + 1;
+        ready[rank] = s.computeEnd[at] + config.sendTicks;
+      } else {
+        ready[rank] = s.computeEnd[at];
+      }
+    }
+  }
+  for (std::size_t rank = 0; rank < config.ranks; ++rank) {
+    s.finish[rank] = ready[rank];
+  }
+  return s;
+}
+
+}  // namespace
+
+PipelineDefs registerPipelineDefs(trace::FunctionRegistry& functions) {
+  PipelineDefs defs;
+  defs.mainFunction =
+      functions.intern("main", "app", trace::Paradigm::Compute);
+  defs.stageFunction =
+      functions.intern("stage_compute", "app", trace::Paradigm::Compute);
+  defs.recvFunction =
+      functions.intern("MPI_Recv", "mpi", trace::Paradigm::MPI);
+  defs.sendFunction =
+      functions.intern("MPI_Send", "mpi", trace::Paradigm::MPI);
+  return defs;
+}
+
+std::string pipelineProcessName(std::size_t rank) {
+  return "Stage " + std::to_string(rank);
+}
+
+std::size_t pipelineSlowRank(const PipelineConfig& config) {
+  return config.slowRank == static_cast<std::size_t>(-1) ? config.ranks / 2
+                                                         : config.slowRank;
+}
+
+std::vector<trace::Event> pipelineRankEvents(const PipelineConfig& config,
+                                             trace::ProcessId rank,
+                                             const PipelineDefs& defs) {
+  using trace::Event;
+  requireUsable(config);
+  const Schedule s = computeSchedule(config);
+  const std::size_t r = rank;
+
+  std::vector<Event> events;
+  events.reserve(2 + config.items * 8);
+  events.push_back(Event::enter(kRunStart, defs.mainFunction));
+  for (std::size_t item = 0; item < config.items; ++item) {
+    const std::size_t at = r * config.items + item;
+    if (r > 0) {
+      events.push_back(Event::enter(s.waitFrom[at], defs.recvFunction));
+      events.push_back(Event::mpiRecv(s.recvDone[at],
+                                      static_cast<trace::ProcessId>(r - 1),
+                                      kItemTag, kItemBytes));
+      events.push_back(Event::leave(s.recvDone[at], defs.recvFunction));
+    }
+    events.push_back(Event::enter(s.recvDone[at], defs.stageFunction));
+    events.push_back(Event::leave(s.computeEnd[at], defs.stageFunction));
+    if (r + 1 < config.ranks) {
+      events.push_back(Event::enter(s.computeEnd[at], defs.sendFunction));
+      events.push_back(Event::mpiSend(s.sendAt[at],
+                                      static_cast<trace::ProcessId>(r + 1),
+                                      kItemTag, kItemBytes));
+      events.push_back(
+          Event::leave(s.computeEnd[at] + config.sendTicks, defs.sendFunction));
+    }
+  }
+  events.push_back(Event::leave(s.finish[r], defs.mainFunction));
+  return events;
+}
+
+trace::Trace buildPipelineTrace(const PipelineConfig& config) {
+  requireUsable(config);
+  trace::Trace tr;
+  tr.resolution = config.resolution;
+  const PipelineDefs defs = registerPipelineDefs(tr.functions);
+  tr.processes.resize(config.ranks);
+  for (std::size_t r = 0; r < config.ranks; ++r) {
+    tr.processes[r].name = pipelineProcessName(r);
+    tr.processes[r].events =
+        pipelineRankEvents(config, static_cast<trace::ProcessId>(r), defs);
+  }
+  return tr;
+}
+
+}  // namespace perfvar::apps

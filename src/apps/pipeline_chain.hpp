@@ -1,0 +1,90 @@
+#ifndef PERFVAR_APPS_PIPELINE_CHAIN_HPP
+#define PERFVAR_APPS_PIPELINE_CHAIN_HPP
+
+/// \file pipeline_chain.hpp
+/// Pipelined producer–consumer chain with a planted serializing rank.
+///
+/// Ground-truth workload of the dependency-graph analyses: `ranks` stages
+/// form a linear pipeline (rank r receives an item from r-1, processes
+/// it, sends it to r+1). One stage — `slowRank` — pays `slowExtraTicks`
+/// per item, so in steady state every downstream rank waits on it and the
+/// critical path runs almost entirely through the slow stage's compute
+/// region. The known answer: the serialization detector must report
+/// `slowRank` as the dominated rank and (slowRank, stage_compute) as the
+/// bottleneck region.
+///
+/// There is no backpressure: upstream stages run freely, so the slow
+/// stage's own receives are never late and its criticality is pure
+/// compute, not waiting.
+///
+/// Every rank's stream is a deterministic pure function of (config,
+/// rank); cross-rank arrival times come from a closed forward recurrence
+/// over the (small) rank × item schedule.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/definitions.hpp"
+#include "trace/event.hpp"
+#include "trace/trace.hpp"
+
+namespace perfvar::apps {
+
+/// Configuration of the pipeline scenario. All costs are in ticks of
+/// `resolution`.
+struct PipelineConfig {
+  std::size_t ranks = 8;
+  std::size_t items = 32;
+  /// Ticks per second of all timestamps (default nanoseconds).
+  std::uint64_t resolution = 1'000'000'000ULL;
+
+  /// Per-item cost of every stage.
+  std::uint64_t stageTicks = 100'000;
+  /// Extra per-item cost of the serializing stage.
+  std::uint64_t slowExtraTicks = 400'000;
+  /// The serializing stage; ~0ULL means ranks / 2.
+  std::size_t slowRank = static_cast<std::size_t>(-1);
+
+  /// Duration of the send region (>= 2: the send event sits inside it).
+  std::uint64_t sendTicks = 2'000;
+  /// Wire latency between a send and the matching arrival.
+  std::uint64_t linkTicks = 500;
+  /// Uniform per-(rank, item) compute jitter in [0, jitter); 0 keeps the
+  /// schedule exactly at the closed-form ground truth.
+  std::uint64_t jitterTicks = 0;
+  /// Seed of the deterministic jitter.
+  std::uint64_t seed = 2026;
+};
+
+/// Interned definitions of the scenario.
+struct PipelineDefs {
+  trace::FunctionId mainFunction = trace::kInvalidFunction;
+  trace::FunctionId stageFunction = trace::kInvalidFunction;
+  trace::FunctionId recvFunction = trace::kInvalidFunction;
+  trace::FunctionId sendFunction = trace::kInvalidFunction;
+};
+
+/// Intern the scenario's functions into the given registry.
+PipelineDefs registerPipelineDefs(trace::FunctionRegistry& functions);
+
+/// Process name of rank `rank` ("Stage N").
+std::string pipelineProcessName(std::size_t rank);
+
+/// The serializing rank under `config` (resolves the ~0 default).
+std::size_t pipelineSlowRank(const PipelineConfig& config);
+
+/// The time-sorted event stream of one rank: a pure deterministic
+/// function of (config, rank). Throws perfvar::Error on an unusable
+/// config (fewer than 2 ranks, zero items, sendTicks < 2).
+std::vector<trace::Event> pipelineRankEvents(const PipelineConfig& config,
+                                             trace::ProcessId rank,
+                                             const PipelineDefs& defs);
+
+/// Materialize the scenario in memory.
+trace::Trace buildPipelineTrace(const PipelineConfig& config);
+
+}  // namespace perfvar::apps
+
+#endif  // PERFVAR_APPS_PIPELINE_CHAIN_HPP

@@ -25,6 +25,7 @@ namespace {
 constexpr std::uint64_t kTagDominant = 0x646f6d;    // "dom"
 constexpr std::uint64_t kTagSos = 0x736f73;         // "sos"
 constexpr std::uint64_t kTagVariation = 0x766172;   // "var"
+constexpr std::uint64_t kTagDep = 0x646570;         // "dep"
 
 std::uint64_t fingerprintDominant(const analysis::DominantOptions& o) {
   util::Hasher h;
@@ -56,6 +57,21 @@ std::uint64_t fingerprintVariation(std::uint64_t sosKey,
       .f64(o.outlierThreshold)
       .f64(o.processThreshold)
       .u64(o.maxHotspots)
+      .digest();
+}
+
+std::uint64_t fingerprintDep(const analysis::DepAnalysisOptions& o) {
+  // Execution fields (threads/grainSizeRanks/pool) are deliberately
+  // excluded: graph construction is byte-identical at every thread count.
+  return util::Hasher{}
+      .u64(kTagDep)
+      .u64(o.sync.cacheToken())
+      .f64(o.serialization.rankShareThreshold)
+      .f64(o.serialization.functionShareThreshold)
+      .u64(o.serialization.minProcesses)
+      .u64(o.idleWave.minWaitTicks)
+      .f64(o.idleWave.minWaitShare)
+      .u64(o.idleWave.minRanks)
       .digest();
 }
 
@@ -91,6 +107,25 @@ std::size_t approxBytes(const analysis::VariationReport& v) {
          (v.processesBySos.capacity() + v.culpritProcesses.capacity()) *
              sizeof(trace::ProcessId) +
          v.hotspots.capacity() * sizeof(analysis::Hotspot);
+}
+
+std::size_t approxBytes(const analysis::DepAnalysis& a) {
+  std::size_t total =
+      sizeof(a) +
+      a.criticalPath.steps.capacity() * sizeof(analysis::CriticalPathStep) +
+      (a.criticalPath.rankTicks.capacity() +
+       a.criticalPath.functionTicks.capacity()) *
+          sizeof(std::uint64_t) +
+      (a.serialization.ranks.capacity() +
+       a.serialization.dominatedRanks.capacity()) *
+          sizeof(analysis::RankCriticality) +
+      a.serialization.bottlenecks.capacity() *
+          sizeof(analysis::RegionCriticality) +
+      a.idleWaves.waves.capacity() * sizeof(analysis::IdleWave);
+  for (const analysis::IdleWave& wave : a.idleWaves.waves) {
+    total += wave.hops.capacity() * sizeof(analysis::IdleWaveHop);
+  }
+  return total;
 }
 
 std::size_t approxBytes(const lint::LintReport& r) {
@@ -131,6 +166,7 @@ struct AnalysisEngine::Impl {
   Map<analysis::DominantSelection> dominant;
   Map<analysis::SosResult> sos;
   Map<analysis::VariationReport> variation;
+  Map<analysis::DepAnalysis> dep;
 
   std::atomic<std::uint64_t> hits{0};
   std::atomic<std::uint64_t> misses{0};
@@ -172,16 +208,20 @@ struct AnalysisEngine::Impl {
       }
       return best;
     };
-    while (dominant.size() + sos.size() + variation.size() > maxEntries) {
+    while (dominant.size() + sos.size() + variation.size() + dep.size() >
+           maxEntries) {
       const std::uint64_t d = lruUse(dominant);
       const std::uint64_t s = lruUse(sos);
       const std::uint64_t v = lruUse(variation);
-      if (d <= s && d <= v) {
+      const std::uint64_t g = lruUse(dep);
+      if (d <= s && d <= v && d <= g) {
         evictLruFrom(dominant, lruIt(dominant));
-      } else if (s <= v) {
+      } else if (s <= v && s <= g) {
         evictLruFrom(sos, lruIt(sos));
-      } else {
+      } else if (v <= g) {
         evictLruFrom(variation, lruIt(variation));
+      } else {
+        evictLruFrom(dep, lruIt(dep));
       }
     }
   }
@@ -347,6 +387,35 @@ std::shared_ptr<const analysis::DominantSelection> AnalysisEngine::dominant(
       });
 }
 
+std::shared_ptr<const analysis::DepAnalysis> AnalysisEngine::depAnalysis(
+    const analysis::DepAnalysisOptions& options) {
+  return impl_->getOrCompute(
+      impl_->dep, fingerprintDep(options), options_.maxCacheEntries, [&] {
+        analysis::DepAnalysisOptions effective = options;
+        effective.threads = options_.threads;
+        effective.grainSizeRanks = options_.grainSizeRanks;
+        effective.pool = nullptr;
+        if (!impl_->pool) {
+          return analysis::analyzeDependencies(analysisView_, effective);
+        }
+        std::lock_guard<std::mutex> poolLock(impl_->poolMutex);
+        effective.pool = impl_->pool.get();
+        return analysis::analyzeDependencies(analysisView_, effective);
+      });
+}
+
+std::string AnalysisEngine::formatDepReport(
+    const analysis::DepAnalysisOptions& options) {
+  return analysis::formatDepAnalysis(analysisView_, *depAnalysis(options));
+}
+
+void AnalysisEngine::exportDepReport(analysis::ExportFormat format,
+                                     std::ostream& out,
+                                     const analysis::DepAnalysisOptions& options) {
+  analysis::exportDepAnalysis(analysisView_, *depAnalysis(options), format,
+                              out);
+}
+
 EngineResult AnalysisEngine::analyze(const analysis::PipelineOptions& options) {
   EngineResult result;
   // The stages were computed on the analysis view; copies of it share
@@ -434,6 +503,7 @@ void AnalysisEngine::clearCache() {
   impl_->dominant.clear();
   impl_->sos.clear();
   impl_->variation.clear();
+  impl_->dep.clear();
   impl_->bytes = 0;
 }
 

@@ -18,6 +18,7 @@
 ///   dominant     DominantOptions fields (+ classifier token if excluding)
 ///   SOS          segment function id + SyncClassifier::cacheToken()
 ///   variation    SOS key + VariationOptions fields
+///   dep          SyncClassifier token + Serialization/IdleWave thresholds
 ///
 /// A drill-down that only changes candidateIndex therefore recomputes the
 /// SOS and variation stages for the new segment function and reuses the
@@ -51,6 +52,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/depgraph.hpp"
 #include "analysis/export.hpp"
 #include "analysis/pipeline.hpp"
 #include "lint/lint.hpp"
@@ -167,6 +169,23 @@ public:
   /// The dominant-function ranking (stage 2) under `options`.
   std::shared_ptr<const analysis::DominantSelection> dominant(
       const analysis::DominantOptions& options = {});
+
+  /// The cross-rank dependency analysis (happens-before graph, critical
+  /// path, serialization bottlenecks, idle waves) under `options`. Cached
+  /// like the other derived stages: the fingerprint covers the classifier
+  /// token and the detector thresholds, never the execution options, so a
+  /// warm re-query at any thread count is a cache hit returning the same
+  /// byte-identical instance. Threads/grainSizeRanks/pool in `options`
+  /// are ignored; execution is governed by EngineOptions.
+  std::shared_ptr<const analysis::DepAnalysis> depAnalysis(
+      const analysis::DepAnalysisOptions& options = {});
+
+  /// formatDepAnalysis() of a (cached) dependency query.
+  std::string formatDepReport(const analysis::DepAnalysisOptions& options = {});
+
+  /// exportDepAnalysis() of a (cached) dependency query (Text/Json/Csv).
+  void exportDepReport(analysis::ExportFormat format, std::ostream& out,
+                       const analysis::DepAnalysisOptions& options = {});
 
   /// Full pipeline query: every stage is served from cache when its
   /// options fingerprint matches a previous query. Throws perfvar::Error

@@ -176,6 +176,30 @@ const analysis::DominantSelection* RuleContext::dominantOrNull() const {
   return dominant_.get();
 }
 
+const analysis::DepAnalysis* RuleContext::depAnalysisOrNull() const {
+  if (!depAnalysisComputed_) {
+    depAnalysisComputed_ = true;
+    if (const trace::TraceView* tr = analysisTrace()) {
+      analysis::DepAnalysisOptions dopts;
+      dopts.sync = options_.sync;
+      dopts.serialization = options_.serialization;
+      dopts.idleWave = options_.idleWave;
+      // Runs in the serial global phase; the per-rank pool (if any) is
+      // idle there, so graph construction may reuse it. Thread count
+      // never changes the result (see depgraph.hpp).
+      dopts.pool = options_.pool;
+      dopts.threads = options_.threads;
+      try {
+        depAnalysis_ = std::make_unique<analysis::DepAnalysis>(
+            analysis::analyzeDependencies(*tr, dopts));
+      } catch (const std::exception&) {
+        depAnalysis_.reset();
+      }
+    }
+  }
+  return depAnalysis_.get();
+}
+
 void RuleRegistry::add(std::shared_ptr<const Rule> rule) {
   PERFVAR_REQUIRE(rule != nullptr, "null lint rule");
   const std::string_view id = rule->id();

@@ -38,6 +38,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/depgraph.hpp"
 #include "analysis/dominant.hpp"
 #include "analysis/export.hpp"
 #include "analysis/sync.hpp"
@@ -100,8 +101,15 @@ struct LintOptions {
   /// (dominant-eligibility rule).
   std::uint64_t invocationMultiplier = 2;
   /// Classifier the SOS pipeline will use (sync-coverage and
-  /// dominant-eligibility rules).
+  /// dominant-eligibility rules; also the dependency-graph rules' notion
+  /// of a wait region).
   analysis::SyncClassifier sync{};
+
+  /// Thresholds of the serialization-bottleneck / critical-path-dominance
+  /// rules (see analysis/depgraph.hpp).
+  analysis::SerializationOptions serialization{};
+  /// Thresholds of the idle-wave-propagation rule.
+  analysis::IdleWaveOptions idleWave{};
 };
 
 /// A rule that produced more findings than LintOptions::maxFindingsPerRule.
@@ -203,6 +211,11 @@ public:
   /// Dominant ranking under options() on analysisTrace(), or null when
   /// the profile is unavailable. Global phase only.
   const analysis::DominantSelection* dominantOrNull() const;
+  /// Cross-rank dependency analysis (critical path, serialization,
+  /// idle waves) of analysisTrace() under options(), built once and
+  /// shared by the three dependency rules. Null when there is no
+  /// analyzable trace. Global phase only.
+  const analysis::DepAnalysis* depAnalysisOrNull() const;
 
 private:
   trace::TraceView view_;
@@ -214,6 +227,8 @@ private:
   mutable std::unique_ptr<profile::FlatProfile> profile_;
   mutable bool dominantComputed_ = false;
   mutable std::unique_ptr<analysis::DominantSelection> dominant_;
+  mutable bool depAnalysisComputed_ = false;
+  mutable std::unique_ptr<analysis::DepAnalysis> depAnalysis_;
 };
 
 /// Ordered collection of rules. Copy RuleRegistry::builtin() and add()

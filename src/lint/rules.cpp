@@ -6,12 +6,14 @@
 /// validate() forwarder reproduces the historical single-pass issue order
 /// (the old loop checked the timestamp before the event kind).
 
+#include <iomanip>
 #include <map>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "analysis/depgraph.hpp"
 #include "analysis/segments.hpp"
 #include "lint/lint.hpp"
 #include "util/error.hpp"
@@ -458,6 +460,107 @@ public:
   }
 };
 
+// ---------------------------------------------------------------------------
+// Cross-rank dependency rules (the happens-before graph detectors; see
+// analysis/depgraph.hpp). All three share the context's one cached
+// DepAnalysis and run in the serial global phase.
+
+/// "NN.N%" of a share.
+std::string sharePercent(double share) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << share * 100.0 << '%';
+  return os.str();
+}
+
+std::string depFunctionName(const TraceView& tr, FunctionId f) {
+  return f < tr.functions().size() ? tr.functions().name(f) : "(untracked)";
+}
+
+/// One rank owning more than rankShareThreshold of the critical path: the
+/// run is serialized on it — speeding up any other rank cannot help.
+class CriticalPathDominatedRankRule final : public Rule {
+public:
+  std::string_view id() const override {
+    return "critical-path-dominated-rank";
+  }
+  std::string_view description() const override {
+    return "no single rank should dominate the critical path";
+  }
+  void checkTrace(const RuleContext& context, Sink& sink) const override {
+    const analysis::DepAnalysis* dep = context.depAnalysisOrNull();
+    if (dep == nullptr) {
+      return;  // nothing analyzable; other rules report why
+    }
+    for (const analysis::RankCriticality& r :
+         dep->serialization.dominatedRanks) {
+      std::ostringstream os;
+      os << "rank " << r.process << " owns " << sharePercent(r.share)
+         << " of the critical path (" << r.ticks
+         << " tick(s)); the run is serialized on this rank (threshold "
+         << sharePercent(
+                context.options().serialization.rankShareThreshold)
+         << ")";
+      sink.reportProcess(Severity::Warning, r.process, os.str());
+    }
+  }
+};
+
+/// One (rank, function) region owning more than functionShareThreshold of
+/// the critical path: the GAPP-style serialization bottleneck.
+class SerializationBottleneckRule final : public Rule {
+public:
+  std::string_view id() const override { return "serialization-bottleneck"; }
+  std::string_view description() const override {
+    return "no single code region on one rank should own most of the "
+           "critical path";
+  }
+  void checkTrace(const RuleContext& context, Sink& sink) const override {
+    const analysis::DepAnalysis* dep = context.depAnalysisOrNull();
+    if (dep == nullptr) {
+      return;
+    }
+    const TraceView* tr = context.analysisTrace();
+    for (const analysis::RegionCriticality& r :
+         dep->serialization.bottlenecks) {
+      std::ostringstream os;
+      os << "'" << depFunctionName(*tr, r.function) << "' on rank "
+         << r.process << " owns " << sharePercent(r.share)
+         << " of the critical path (" << r.ticks
+         << " tick(s)); this region serializes the run (threshold "
+         << sharePercent(
+                context.options().serialization.functionShareThreshold)
+         << ")";
+      sink.reportProcess(Severity::Warning, r.process, os.str());
+    }
+  }
+};
+
+/// A one-off delay whose late arrivals propagate rank-to-rank as a
+/// wavefront (Afzal et al.): blame the origin, not the ranks that waited.
+class IdleWavePropagationRule final : public Rule {
+public:
+  std::string_view id() const override { return "idle-wave-propagation"; }
+  std::string_view description() const override {
+    return "late arrivals should not propagate across ranks as an idle wave";
+  }
+  void checkTrace(const RuleContext& context, Sink& sink) const override {
+    const analysis::DepAnalysis* dep = context.depAnalysisOrNull();
+    if (dep == nullptr) {
+      return;
+    }
+    for (const analysis::IdleWave& wave : dep->idleWaves.waves) {
+      std::ostringstream os;
+      os << "idle wave originating at rank " << wave.origin
+         << " propagated across " << wave.distinctRanks << " rank(s) ("
+         << wave.hops.size() << " late arrival(s), max wait "
+         << wave.maxWaitTicks
+         << " tick(s)); a delay on the origin rank desynchronized its "
+            "neighborhood";
+      sink.reportProcess(Severity::Warning, wave.origin, os.str());
+    }
+  }
+};
+
 }  // namespace
 
 const RuleRegistry& RuleRegistry::builtin() {
@@ -475,6 +578,12 @@ const RuleRegistry& RuleRegistry::builtin() {
     r.add(std::make_shared<SegmentSkewRule>());
     r.add(std::make_shared<ZeroDurationRule>());
     r.add(std::make_shared<QuarantineInteractionRule>());
+    // The dependency-graph detectors append at the end: registry order is
+    // part of the determinism contract, so new rules never reorder
+    // existing findings.
+    r.add(std::make_shared<CriticalPathDominatedRankRule>());
+    r.add(std::make_shared<SerializationBottleneckRule>());
+    r.add(std::make_shared<IdleWavePropagationRule>());
     return r;
   }();
   return registry;

@@ -15,9 +15,12 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/depgraph.hpp"
 #include "analysis/pipeline.hpp"
 #include "apps/cosmo_specs.hpp"
+#include "apps/desync_stencil.hpp"
 #include "apps/paper_examples.hpp"
+#include "apps/pipeline_chain.hpp"
 #include "sim/simulator.hpp"
 
 #ifndef PERFVAR_GOLDEN_DIR
@@ -91,6 +94,34 @@ TEST(GoldenReport, Figure3Trace) {
 TEST(GoldenReport, SmallCosmoSpecsTrace) {
   const trace::Trace tr = smallCosmo();
   checkGolden("cosmo_4x4_report.txt", reportFor(tr));
+}
+
+// The dependency reports of the two planted ground-truth workloads: a
+// refactor of the graph builder or a detector cannot silently change the
+// diagnosed rank, shares or wave shape.
+TEST(GoldenReport, PipelineCritpathReport) {
+  const trace::Trace tr = apps::buildPipelineTrace({});
+  checkGolden("pipeline_critpath.txt",
+              analysis::formatDepAnalysis(tr, analysis::analyzeDependencies(tr)));
+}
+
+TEST(GoldenReport, StencilCritpathReport) {
+  const trace::Trace tr = apps::buildStencilTrace({});
+  checkGolden("stencil_critpath.txt",
+              analysis::formatDepAnalysis(tr, analysis::analyzeDependencies(tr)));
+}
+
+TEST(GoldenReport, ParallelCritpathReproducesTheGoldenReports) {
+  analysis::DepAnalysisOptions opts;
+  opts.threads = 4;
+  const trace::Trace pipeline = apps::buildPipelineTrace({});
+  const trace::Trace stencil = apps::buildStencilTrace({});
+  checkGolden("pipeline_critpath.txt",
+              analysis::formatDepAnalysis(
+                  pipeline, analysis::analyzeDependencies(pipeline, opts)));
+  checkGolden("stencil_critpath.txt",
+              analysis::formatDepAnalysis(
+                  stencil, analysis::analyzeDependencies(stencil, opts)));
 }
 
 TEST(GoldenReport, ParallelPipelineReproducesTheGoldenReports) {

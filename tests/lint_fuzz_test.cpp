@@ -255,6 +255,48 @@ TEST(LintFuzz, SurvivesDegenerateShapes) {
   EXPECT_TRUE(report.hasAtLeast(Severity::Error));  // nonexistent process
 }
 
+TEST(LintFuzz, SurvivesDependencyGraphPathologies) {
+  // Shapes aimed at the happens-before builder behind the dependency
+  // rules: cyclic timestamps across matched pairs (the backward walk must
+  // hit its visited guard, not loop), floods of unmatched sends, and
+  // self/out-of-range endpoints. The graph builder documents that it
+  // never throws; these entries keep the full lint pipeline honest.
+  Trace cyclic;
+  cyclic.functions.intern("f", "APP");
+  for (int p = 0; p < 3; ++p) {
+    trace::ProcessTrace proc;
+    proc.name = "p" + std::to_string(p);
+    const auto peer = static_cast<trace::ProcessId>((p + 1) % 3);
+    const auto src = static_cast<trace::ProcessId>((p + 2) % 3);
+    // Receives complete before the matching sends depart: time runs
+    // backward over every cross edge.
+    proc.events.push_back(trace::Event::mpiRecv(5, src, 0, 8));
+    proc.events.push_back(trace::Event::mpiSend(100, peer, 0, 8));
+    proc.events.push_back(trace::Event::mpiRecv(3, src, 1, 8));
+    proc.events.push_back(trace::Event::mpiSend(90, peer, 1, 8));
+    cyclic.processes.push_back(std::move(proc));
+  }
+  lintMustSurvive(cyclic, "cyclic timestamps across matched pairs");
+
+  Trace unmatched;
+  unmatched.functions.intern("f", "APP");
+  for (int p = 0; p < 4; ++p) {
+    trace::ProcessTrace proc;
+    proc.name = "p" + std::to_string(p);
+    for (trace::Timestamp t = 0; t < 64; ++t) {
+      // Every send targets rank 0 on its own tag; nothing ever receives.
+      proc.events.push_back(trace::Event::mpiSend(
+          t, 0, static_cast<std::uint32_t>(t), 8));
+    }
+    // Self-sends and out-of-range endpoints ride along.
+    proc.events.push_back(
+        trace::Event::mpiSend(100, static_cast<trace::ProcessId>(p), 0, 8));
+    proc.events.push_back(trace::Event::mpiSend(101, 10000, 0, 8));
+    unmatched.processes.push_back(std::move(proc));
+  }
+  lintMustSurvive(unmatched, "unmatched send flood");
+}
+
 TEST(LintFuzz, ScrambledReportsAreDeterministic) {
   // Determinism must hold on hostile inputs too, not just clean traces.
   const Trace original = syntheticTrace(4, 16);

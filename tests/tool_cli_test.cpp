@@ -344,6 +344,98 @@ TEST(ToolCli, LintJsonIsDeterministicAcrossThreads) {
   EXPECT_EQ(parallel.out, serial.out);
 }
 
+TEST(ToolCli, LintOnlyRestrictsTheRunToTheListedRules) {
+  // The salvaged trace has quarantine-interaction findings; restricting
+  // the run to an unrelated rule must come back clean (exit 0).
+  const RunResult restricted =
+      run(tool() + " --salvage lint --only zero-duration " +
+          corruptTracePath());
+  EXPECT_EQ(restricted.exitCode, 0) << restricted.out;
+  EXPECT_EQ(restricted.out.find("[quarantine-interaction]"),
+            std::string::npos);
+  // Selecting the firing rule preserves the findings exit code.
+  const RunResult selected =
+      run(tool() + " --salvage lint --only quarantine-interaction " +
+          corruptTracePath());
+  EXPECT_EQ(selected.exitCode, 1);
+  EXPECT_NE(selected.out.find("[quarantine-interaction]"),
+            std::string::npos);
+}
+
+TEST(ToolCli, LintExcludeSuppressesLikeDisable) {
+  const RunResult r =
+      run(tool() + " --salvage lint --exclude quarantine-interaction " +
+          corruptTracePath());
+  EXPECT_EQ(r.out.find("[quarantine-interaction]"), std::string::npos)
+      << r.out;
+}
+
+TEST(ToolCli, LintUnknownRuleIdsAreUsageErrors) {
+  // --only and --exclude are validated against the registry before any
+  // trace is loaded: a typo exits 2, it does not silently run nothing.
+  EXPECT_EQ(run(tool() + " lint --only no-such-rule " + tracePath() +
+                " 2>/dev/null").exitCode,
+            2);
+  EXPECT_EQ(run(tool() + " lint --exclude no-such-rule " + tracePath() +
+                " 2>/dev/null").exitCode,
+            2);
+  EXPECT_EQ(run(tool() + " lint --only zero-duration,no-such-rule " +
+                tracePath() + " 2>/dev/null").exitCode,
+            2);
+  // Malformed lists (empty segments) are rejected by the parser itself.
+  EXPECT_EQ(run(tool() + " lint --only zero-duration, " + tracePath() +
+                " 2>/dev/null").exitCode,
+            2);
+}
+
+// ---- critpath ------------------------------------------------------------
+
+/// Fixture trace with planted cross-rank structure (written once per
+/// test binary): the pipeline scenario with its serializing rank.
+const std::string& pipelinePath() {
+  static const std::string path = [] {
+    const std::string p = uniqueName("tool_cli_pipeline");
+    const RunResult r = run(tool() + " generate pipeline " + p);
+    EXPECT_EQ(r.exitCode, 0) << r.out;
+    return p;
+  }();
+  return path;
+}
+
+TEST(ToolCli, CritpathReportsTheSerializingRank) {
+  const RunResult r = run(tool() + " critpath " + pipelinePath());
+  ASSERT_EQ(r.exitCode, 0);
+  EXPECT_NE(r.out.find("dependency analysis:"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("dominated rank 4"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("'stage_compute'"), std::string::npos) << r.out;
+}
+
+TEST(ToolCli, CritpathFormatsAndArgumentValidation) {
+  const RunResult json = run(tool() + " critpath " + pipelinePath() + " json");
+  ASSERT_EQ(json.exitCode, 0);
+  EXPECT_EQ(json.out.rfind("{\"dependency_analysis\":", 0), 0u) << json.out;
+  const RunResult csv = run(tool() + " critpath " + pipelinePath() + " csv");
+  ASSERT_EQ(csv.exitCode, 0);
+  EXPECT_EQ(csv.out.rfind("step,kind,", 0), 0u) << csv.out;
+  // Unsupported formats and missing operands are usage errors.
+  EXPECT_EQ(run(tool() + " critpath " + pipelinePath() +
+                " csv-iterations 2>/dev/null").exitCode,
+            2);
+  EXPECT_EQ(run(tool() + " critpath 2>/dev/null").exitCode, 2);
+}
+
+TEST(ToolCli, CritpathIsDeterministicAcrossThreadsAndLazyLoads) {
+  const RunResult serial = run(tool() + " critpath " + pipelinePath());
+  ASSERT_EQ(serial.exitCode, 0);
+  const RunResult threaded =
+      run(tool() + " --threads 4 critpath " + pipelinePath());
+  ASSERT_EQ(threaded.exitCode, 0);
+  EXPECT_EQ(threaded.out, serial.out);
+  const RunResult lazy = run(tool() + " --lazy critpath " + pipelinePath());
+  ASSERT_EQ(lazy.exitCode, 0);
+  EXPECT_EQ(lazy.out, serial.out);
+}
+
 // ---- the query session ---------------------------------------------------
 
 TEST(ToolCli, QuerySessionMatchesOneShotAnalyze) {
@@ -389,6 +481,18 @@ TEST(ToolCli, QueryExportJsonMatchesOneShotExport) {
                                 " query " + tracePath());
   ASSERT_EQ(session.exitCode, 0);
   EXPECT_EQ(session.out, oneShot.out);
+}
+
+TEST(ToolCli, QueryCritpathMatchesTheOneShotCommand) {
+  const RunResult oneShot = run(tool() + " critpath " + pipelinePath());
+  ASSERT_EQ(oneShot.exitCode, 0);
+  // Two critpath queries: the second is a dep stage cache hit and must
+  // render byte-identically.
+  const RunResult session =
+      run("printf 'critpath\\ncritpath\\nquit\\n' | " + tool() + " query " +
+          pipelinePath());
+  ASSERT_EQ(session.exitCode, 0);
+  EXPECT_EQ(session.out, oneShot.out + oneShot.out);
 }
 
 TEST(ToolCli, QueryUnknownCommandIsAUsageError) {

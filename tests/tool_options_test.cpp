@@ -113,6 +113,42 @@ TEST(ToolOptions, AllFlagsParse) {
             (std::vector<std::string>{"lint", "in.pvt"}));
 }
 
+TEST(ToolOptions, OnlyAndExcludeParseCommaLists) {
+  ToolOptions options;
+  std::string error;
+  EXPECT_EQ(parse({"--only", "stack-balance,zero-duration", "--only",
+                   "idle-wave-propagation", "--exclude",
+                   "clock-monotonicity,sync-coverage", "lint", "in.pvt"},
+                  options, error),
+            ParseStatus::Ok)
+      << error;
+  // Repeated flags append; comma lists split in order.
+  EXPECT_EQ(options.lintOnly,
+            (std::vector<std::string>{"stack-balance", "zero-duration",
+                                      "idle-wave-propagation"}));
+  EXPECT_EQ(options.lintExclude,
+            (std::vector<std::string>{"clock-monotonicity",
+                                      "sync-coverage"}));
+  EXPECT_EQ(options.positional,
+            (std::vector<std::string>{"lint", "in.pvt"}));
+}
+
+TEST(ToolOptions, OnlyAndExcludeRejectMalformedLists) {
+  for (const char* flag : {"--only", "--exclude"}) {
+    ToolOptions options;
+    std::string error;
+    EXPECT_EQ(parse({flag}, options, error), ParseStatus::Error)
+        << flag << " without a value must be rejected";
+    // Empty segments: leading, trailing, doubled commas, empty value.
+    for (const char* bad : {"", ",", "a,", ",a", "a,,b"}) {
+      ToolOptions o;
+      EXPECT_EQ(parse({flag, bad}, o, error), ParseStatus::Error)
+          << flag << " '" << bad << "'";
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
 TEST(ToolOptions, OptionsInterleaveWithPositionals) {
   ToolOptions options;
   std::string error;
